@@ -1,0 +1,176 @@
+// E9 — design-choice ablations called out in DESIGN.md:
+//   (1) Why V-optimal boundaries? SSE of the optimal histogram vs the
+//       equi-width / MaxDiff / greedy-merge heuristics across datasets.
+//   (2) How does the interval-list size scale with delta (the paper's
+//       O((1/delta) log n) bound)?
+//   (3) What does the amortized prefix-sum rebase cost per append?
+//
+// Flags: --size=N --buckets=B
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/fixed_window.h"
+#include "src/core/heuristics.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/stream/sliding_window.h"
+#include "src/util/timer.h"
+#include "src/wavelet/sliding_wavelet.h"
+#include "src/wavelet/synopsis.h"
+
+namespace streamhist::bench {
+namespace {
+
+// Keeps the optimizer from eliding synopsis work in the maintenance loops.
+volatile int64_t benchmark_sink = 0;
+
+void HeuristicAblation(int64_t n, int64_t buckets) {
+  Banner("Ablation 1: V-optimal vs heuristic boundaries (SSE, lower is "
+         "better)");
+  TablePrinter table({"dataset", "optimal", "greedy-merge", "maxdiff",
+                      "equi-width", "stream-merge"});
+  for (DatasetKind kind :
+       {DatasetKind::kUtilization, DatasetKind::kRandomWalk,
+        DatasetKind::kPiecewiseConstant, DatasetKind::kZipf,
+        DatasetKind::kSineMix}) {
+    const std::vector<double> data = GenerateDataset(kind, n, /*seed=*/7);
+    StreamingMergeHistogram stream_merge(buckets);
+    for (double v : data) stream_merge.Append(v);
+    table.AddRow(
+        {DatasetKindName(kind), Fmt(OptimalSse(data, buckets), 5),
+         Fmt(BuildGreedyMergeHistogram(data, buckets).SseAgainst(data), 5),
+         Fmt(BuildMaxDiffHistogram(data, buckets).SseAgainst(data), 5),
+         Fmt(BuildEquiWidthHistogram(data, buckets).SseAgainst(data), 5),
+         Fmt(stream_merge.Extract().SseAgainst(data), 5)});
+  }
+  table.Print();
+}
+
+void IntervalScaling(int64_t n, int64_t buckets) {
+  Banner("Ablation 2: interval-list size vs delta (bound: O((1/delta) log n) "
+         "per level)");
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, 2 * n, /*seed=*/13);
+  TablePrinter table({"eps", "delta", "total intervals", "intervals/level",
+                      "HERROR evals/rebuild"});
+  for (double epsilon : {4.0, 2.0, 1.0, 0.5, 0.25, 0.125}) {
+    FixedWindowOptions options;
+    options.window_size = n;
+    options.num_buckets = buckets;
+    options.epsilon = epsilon;
+    options.rebuild_on_append = false;
+    FixedWindowHistogram fw = FixedWindowHistogram::Create(options).value();
+    for (double v : data) fw.Append(v);
+    fw.ApproxError();  // force one rebuild
+    table.AddRow({Fmt(epsilon, 4), Fmt(fw.delta(), 4),
+                  FmtInt(fw.last_total_intervals()),
+                  Fmt(static_cast<double>(fw.last_total_intervals()) /
+                          static_cast<double>(buckets - 1),
+                      4),
+                  FmtInt(fw.last_herror_evals())});
+  }
+  table.Print();
+}
+
+void RebaseCost(int64_t n) {
+  Banner("Ablation 3: sliding-window append cost incl. amortized rebase");
+  TablePrinter table({"window n", "appends", "ns/append", "rebases"});
+  for (int64_t window : {n / 4, n, 4 * n}) {
+    SlidingWindow w(window);
+    const int64_t appends = 50 * window;
+    Timer timer;
+    for (int64_t i = 0; i < appends; ++i) {
+      w.Append(static_cast<double>(i % 1000));
+    }
+    const double ns =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(appends);
+    table.AddRow({FmtInt(window), FmtInt(appends), Fmt(ns, 4),
+                  FmtInt(w.rebase_count())});
+  }
+  table.Print();
+}
+
+void WaveletMaintenance(int64_t buckets) {
+  Banner("Ablation 4: wavelet maintenance — recompute per arrival (the "
+         "paper's baseline) vs incremental O(log n) updates [MVW00-style]");
+  TablePrinter table({"window n", "rebuild us/arrival",
+                      "incr us/arrival (query each)",
+                      "incr us/arrival (query 1/32)", "best speedup"});
+  for (int64_t window : {256, 1024, 4096}) {
+    const std::vector<double> stream = GenerateDataset(
+        DatasetKind::kUtilization, 2 * window + 2000, /*seed=*/5);
+    // Recompute-from-scratch baseline.
+    SlidingWindow buffer(window);
+    for (int64_t i = 0; i < window; ++i) {
+      buffer.Append(stream[static_cast<size_t>(i)]);
+    }
+    const int64_t arrivals = 500;
+    Timer rebuild_timer;
+    for (int64_t i = 0; i < arrivals; ++i) {
+      buffer.Append(stream[static_cast<size_t>(window + i)]);
+      const WaveletSynopsis s =
+          WaveletSynopsis::Build(buffer.ToVector(), buckets);
+      benchmark_sink += s.num_coefficients();
+    }
+    const double rebuild_us =
+        rebuild_timer.ElapsedSeconds() * 1e6 / static_cast<double>(arrivals);
+
+    // Incrementally maintained coefficient tree; top-B selection only when
+    // queried (here: once per arrival, the worst case for the incremental
+    // scheme).
+    SlidingWavelet incremental = SlidingWavelet::Create(window).value();
+    for (int64_t i = 0; i < window; ++i) {
+      incremental.Append(stream[static_cast<size_t>(i)]);
+    }
+    Timer incr_timer;
+    for (int64_t i = 0; i < arrivals; ++i) {
+      incremental.Append(stream[static_cast<size_t>(window + i)]);
+      benchmark_sink +=
+          static_cast<int64_t>(incremental.ApproxRangeSum(0, window, buckets));
+    }
+    const double incr_us =
+        incr_timer.ElapsedSeconds() * 1e6 / static_cast<double>(arrivals);
+
+    // Query-sparse regime: the O(n) top-B selection amortizes over 32
+    // arrivals, leaving only the O(log n) coefficient updates.
+    Timer sparse_timer;
+    for (int64_t i = 0; i < arrivals; ++i) {
+      incremental.Append(stream[static_cast<size_t>(window + 500 + i)]);
+      if (i % 32 == 0) {
+        benchmark_sink += static_cast<int64_t>(
+            incremental.ApproxRangeSum(0, window, buckets));
+      }
+    }
+    const double sparse_us =
+        sparse_timer.ElapsedSeconds() * 1e6 / static_cast<double>(arrivals);
+
+    table.AddRow({FmtInt(window), Fmt(rebuild_us, 4), Fmt(incr_us, 4),
+                  Fmt(sparse_us, 4),
+                  Fmt(sparse_us > 0 ? rebuild_us / sparse_us : 0.0, 3)});
+  }
+  table.Print();
+}
+
+int Main(int argc, char** argv) {
+  const int64_t n = FlagInt(argc, argv, "size", 4096);
+  const int64_t buckets = FlagInt(argc, argv, "buckets", 16);
+
+  std::printf("Experiment E9: design-choice ablations\n");
+  HeuristicAblation(n, buckets);
+  IntervalScaling(std::min<int64_t>(n, 1024), buckets);
+  RebaseCost(1024);
+  WaveletMaintenance(buckets);
+  std::printf("\nShape check: optimal SSE <= every heuristic on every "
+              "dataset; interval count grows ~1/delta; append cost is flat "
+              "O(1) amortized across window sizes; incremental wavelet "
+              "maintenance beats per-arrival recomputation, increasingly so "
+              "for larger windows.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamhist::bench
+
+int main(int argc, char** argv) { return streamhist::bench::Main(argc, argv); }

@@ -1,0 +1,111 @@
+// E3/E4 — Figure 6 (c), (d): elapsed time to *incrementally maintain* a
+// fixed-window histogram per arrival (rebuild_on_append = true, the paper's
+// accounting) as a function of the window length, for B in {50, 100} and
+// eps in {0.1, 0.01}.
+//
+// The paper maintains over a 1M-point stream and reports total elapsed
+// seconds (17.5 - 18.7s on 2002 hardware). We maintain over a shorter
+// stream (per-arrival cost is what the figure shapes express) and report
+// both the total elapsed time and the per-point cost. Expected shape: time
+// grows with B and with smaller eps; dependence on n is mild (poly-log).
+//
+// Flags: --points=N (arrivals measured after warm-up), --warmup=W
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/fixed_window.h"
+#include "src/data/generators.h"
+#include "src/util/timer.h"
+
+namespace streamhist::bench {
+namespace {
+
+struct Result {
+  double seconds = 0.0;
+  double micros_per_point = 0.0;
+  int64_t intervals = 0;
+  int64_t evals = 0;
+};
+
+Result RunConfig(const std::vector<double>& stream, int64_t window,
+                 int64_t buckets, double epsilon, int64_t measured_points) {
+  FixedWindowOptions options;
+  options.window_size = window;
+  options.num_buckets = buckets;
+  options.epsilon = epsilon;
+  // Lazy mode + an explicit rebuild per measured arrival: the same
+  // per-arrival work as the paper's eager maintenance, but the (unmeasured)
+  // window-filling warm-up stays cheap.
+  options.rebuild_on_append = false;
+  FixedWindowHistogram fw = FixedWindowHistogram::Create(options).value();
+
+  // Warm-up: fill the window (not measured).
+  int64_t i = 0;
+  for (; i < window && i < static_cast<int64_t>(stream.size()); ++i) {
+    fw.Append(stream[static_cast<size_t>(i)]);
+  }
+
+  Timer timer;
+  int64_t measured = 0;
+  for (; measured < measured_points && i < static_cast<int64_t>(stream.size());
+       ++i, ++measured) {
+    fw.Append(stream[static_cast<size_t>(i)]);
+    fw.ApproxError();  // forces the incremental rebuild
+  }
+  Result result;
+  result.seconds = timer.ElapsedSeconds();
+  result.micros_per_point =
+      measured > 0 ? result.seconds * 1e6 / static_cast<double>(measured) : 0;
+  result.intervals = fw.last_total_intervals();
+  result.evals = fw.last_herror_evals();
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  // Per-arrival maintenance at the paper's (B, eps) is Theta(B^2/eps * n)
+  // once the interval lists saturate (see EXPERIMENTS.md); 20 arrivals per
+  // configuration gives stable per-point numbers within a CI-friendly
+  // runtime. Raise --points for longer runs.
+  const int64_t measured_points = FlagInt(argc, argv, "points", 20);
+  const int64_t max_window = FlagInt(argc, argv, "max-window", 1024);
+
+  std::printf("Experiment E3/E4 (paper Figure 6 c,d): incremental "
+              "maintenance cost of fixed-window histograms\n");
+  std::printf("measuring %s arrivals per configuration after window warm-up "
+              "(paper: full 1M-point stream)\n",
+              FmtInt(measured_points).c_str());
+
+  const std::vector<double> stream = GenerateDataset(
+      DatasetKind::kUtilization, measured_points + 4096, /*seed=*/2002);
+
+  for (double epsilon : {0.1, 0.01}) {
+    Banner(epsilon == 0.1 ? "Figure 6(c): eps = 0.1"
+                          : "Figure 6(d): eps = 0.01");
+    TablePrinter table({"window n", "B", "elapsed s", "us/point",
+                        "intervals", "HERROR evals/rebuild"});
+    for (int64_t window : {256, 512, 1024, 2048}) {
+      if (window > max_window) continue;
+      for (int64_t buckets : {50, 100}) {
+        const Result r =
+            RunConfig(stream, window, buckets, epsilon, measured_points);
+        table.AddRow({FmtInt(window), FmtInt(buckets), Fmt(r.seconds, 4),
+                      Fmt(r.micros_per_point, 4), FmtInt(r.intervals),
+                      FmtInt(r.evals)});
+      }
+    }
+    table.Print();
+  }
+  std::printf("\nShape check vs paper: time grows with B and with smaller "
+              "eps (Figure 6 c,d). Note on n: the paper's poly-log n bound "
+              "assumes interval lists of size O((1/delta) log n) << n; at "
+              "these window sizes the lists saturate near n on smooth data, "
+              "so per-point cost still grows with n. See EXPERIMENTS.md.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamhist::bench
+
+int main(int argc, char** argv) { return streamhist::bench::Main(argc, argv); }

@@ -1,0 +1,132 @@
+// E11 — extension experiment: value-domain selectivity estimation, the
+// classic database application of histograms the paper's introduction cites
+// ([IP95], [PI97]). Compares range-count (selectivity) estimation error
+// across histogram families on skewed value distributions, including the
+// one-pass streaming equi-depth built from the GK quantile summary.
+//
+// Expected shape: every histogram family beats matched-space sampling, and
+// the best family is data-dependent (equi-depth on heavy-tailed values,
+// V-optimal on multimodal ones — the [IP95] taxonomy); the streaming
+// equi-depth tracks its offline counterpart within the GK rank slack.
+//
+// Flags: --points=N --buckets=B --queries=Q
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/data/generators.h"
+#include "src/quantile/gk_summary.h"
+#include "src/quantile/reservoir.h"
+#include "src/selectivity/value_histogram.h"
+#include "src/util/random.h"
+
+namespace streamhist::bench {
+namespace {
+
+struct Workload {
+  std::vector<std::pair<double, double>> ranges;
+};
+
+Workload MakeWorkload(double lo, double hi, int64_t count, Random& rng) {
+  Workload w;
+  for (int64_t q = 0; q < count; ++q) {
+    const double a = rng.UniformDouble(lo, hi);
+    const double span = rng.UniformDouble(0.0, (hi - lo) / 8.0);
+    w.ranges.emplace_back(a, a + span);
+  }
+  return w;
+}
+
+double MeanAbsCountError(const ValueHistogram& h,
+                         const FrequencyDistribution& truth,
+                         const Workload& workload) {
+  double total = 0.0;
+  for (const auto& [lo, hi] : workload.ranges) {
+    total += std::fabs(h.EstimateCountInRange(lo, hi) -
+                       static_cast<double>(truth.CountInRange(lo, hi)));
+  }
+  return total / static_cast<double>(workload.ranges.size());
+}
+
+int Main(int argc, char** argv) {
+  const int64_t points = FlagInt(argc, argv, "points", 100000);
+  const int64_t buckets = FlagInt(argc, argv, "buckets", 20);
+  const int64_t num_queries = FlagInt(argc, argv, "queries", 500);
+
+  std::printf("Experiment E11 (extension): value-domain selectivity "
+              "estimation across histogram families\n");
+  std::printf("%s points, B=%s buckets, %s range-count queries\n",
+              FmtInt(points).c_str(), FmtInt(buckets).c_str(),
+              FmtInt(num_queries).c_str());
+
+  struct Dataset {
+    const char* name;
+    std::vector<double> data;
+  };
+  const Dataset datasets[] = {
+      {"zipf s=1.1", GenerateZipfValues(points, 10000, 1.1, 1)},
+      {"zipf s=0.7", GenerateZipfValues(points, 10000, 0.7, 2)},
+      {"utilization values",
+       GenerateDataset(DatasetKind::kUtilization, points, 3)},
+  };
+
+  for (const Dataset& d : datasets) {
+    Banner(d.name);
+    FrequencyDistribution truth(d.data);
+    Random rng(7);
+    const Workload workload =
+        MakeWorkload(truth.min(), truth.max(), num_queries, rng);
+
+    // One-pass summaries for the streaming variants.
+    GKSummary gk = GKSummary::Create(0.005).value();
+    ReservoirSample reservoir = ReservoirSample::Create(buckets * 2, 9).value();
+    for (double v : d.data) {
+      gk.Insert(v);
+      reservoir.Append(v);
+    }
+
+    TablePrinter table({"estimator", "mean |count error|",
+                        "vs equi-width"});
+    const ValueHistogram equi_width =
+        BuildEquiWidthValueHistogram(d.data, buckets);
+    const double ew_err = MeanAbsCountError(equi_width, truth, workload);
+    auto add = [&](const char* name, double err) {
+      table.AddRow({name, Fmt(err, 5), Fmt(ew_err > 0 ? err / ew_err : 0, 4)});
+    };
+    add("equi-width (offline)", ew_err);
+    add("equi-depth (offline)",
+        MeanAbsCountError(BuildEquiDepthValueHistogram(d.data, buckets), truth,
+                          workload));
+    add("equi-depth (streaming, GK)",
+        MeanAbsCountError(BuildStreamingEquiDepthHistogram(gk, buckets), truth,
+                          workload));
+    add("V-optimal on frequencies (offline)",
+        MeanAbsCountError(
+            BuildVOptimalValueHistogram(d.data, buckets, /*domain_bins=*/2000),
+            truth, workload));
+    // Sampling baseline at matched space (2B sampled values).
+    double sample_err = 0.0;
+    for (const auto& [lo, hi] : workload.ranges) {
+      sample_err += std::fabs(reservoir.EstimateCountInRange(lo, hi) -
+                              static_cast<double>(truth.CountInRange(lo, hi)));
+    }
+    add("reservoir sample (streaming)",
+        sample_err / static_cast<double>(workload.ranges.size()));
+    table.Print();
+  }
+
+  std::printf("\nShape check: every histogram family beats matched-space "
+              "sampling; the best family is data-dependent (equi-depth "
+              "excels on heavy-tailed value distributions, V-optimal on "
+              "multimodal ones, equi-width only on near-uniform ones); the "
+              "one-pass GK equi-depth tracks its offline counterpart within "
+              "a small factor set by the rank slack.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamhist::bench
+
+int main(int argc, char** argv) { return streamhist::bench::Main(argc, argv); }

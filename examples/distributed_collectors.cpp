@@ -1,0 +1,104 @@
+// Distributed collection: two collectors each stream one shard of a long
+// measurement window (e.g. two halves of a day, or two chained links) and
+// ship only their serialized histograms to a coordinator, which fuses them
+// into a single B-bucket sketch with MergeAdjacentHistograms. Query accuracy
+// at the coordinator is compared against a histogram built directly over all
+// the data it never saw.
+//
+//   ./build/examples/distributed_collectors
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/agglomerative.h"
+#include "src/core/heuristics.h"
+#include "src/core/histogram_io.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/query/estimator.h"
+#include "src/query/metrics.h"
+#include "src/query/workload.h"
+#include "src/util/random.h"
+
+namespace {
+
+streamhist::Histogram CollectShard(const std::vector<double>& shard,
+                                   int64_t buckets) {
+  using namespace streamhist;
+  ApproxHistogramOptions options;
+  options.num_buckets = buckets;
+  options.epsilon = 0.1;
+  AgglomerativeHistogram collector =
+      AgglomerativeHistogram::Create(options).value();
+  for (double v : shard) collector.Append(v);
+  return collector.Extract();
+}
+
+}  // namespace
+
+int main() {
+  using namespace streamhist;
+
+  constexpr int64_t kPointsPerShard = 5000;
+  constexpr int64_t kBuckets = 24;
+
+  // Each collector sees its own shard of the measurement timeline.
+  const std::vector<double> shard_a =
+      GenerateDataset(DatasetKind::kUtilization, kPointsPerShard, 1);
+  const std::vector<double> shard_b =
+      GenerateDataset(DatasetKind::kUtilization, kPointsPerShard, 2);
+
+  const Histogram hist_a = CollectShard(shard_a, kBuckets);
+  const Histogram hist_b = CollectShard(shard_b, kBuckets);
+
+  // The shards travel as bytes; the raw points never leave the collectors.
+  const std::string wire_a = SerializeHistogram(hist_a);
+  const std::string wire_b = SerializeHistogram(hist_b);
+  std::printf("collector A shipped %zu bytes for %lld points (%.0fx "
+              "compression)\n",
+              wire_a.size(), static_cast<long long>(kPointsPerShard),
+              static_cast<double>(kPointsPerShard) * 8 /
+                  static_cast<double>(wire_a.size()));
+  std::printf("collector B shipped %zu bytes for %lld points\n\n",
+              wire_b.size(), static_cast<long long>(kPointsPerShard));
+
+  // Coordinator: deserialize and fuse.
+  const Histogram remote_a = DeserializeHistogram(wire_a).value();
+  const Histogram remote_b = DeserializeHistogram(wire_b).value();
+  const Histogram fused = MergeAdjacentHistograms(remote_a, remote_b, kBuckets);
+  std::printf("coordinator fused %lld + %lld buckets into %lld over [0, %lld)\n",
+              static_cast<long long>(remote_a.num_buckets()),
+              static_cast<long long>(remote_b.num_buckets()),
+              static_cast<long long>(fused.num_buckets()),
+              static_cast<long long>(fused.domain_size()));
+
+  // Reference: a histogram built with full access to both shards.
+  std::vector<double> all = shard_a;
+  all.insert(all.end(), shard_b.begin(), shard_b.end());
+  const Histogram direct = BuildVOptimalHistogram(all, kBuckets).histogram;
+
+  ExactEstimator exact(all);
+  HistogramEstimator fused_est(&fused, "fused");
+  HistogramEstimator direct_est(&direct, "direct");
+  Random rng(7);
+  const auto queries =
+      GenerateUniformRangeQueries(static_cast<int64_t>(all.size()), 500, rng);
+  const double fused_mae =
+      EvaluateRangeSums(exact, fused_est, queries).mean_absolute_error;
+  const double direct_mae =
+      EvaluateRangeSums(exact, direct_est, queries).mean_absolute_error;
+  double mean_answer = 0.0;
+  for (const RangeQuery& q : queries) mean_answer += exact.RangeSum(q.lo, q.hi);
+  mean_answer /= static_cast<double>(queries.size());
+
+  std::printf("\nrange-sum accuracy over 500 random queries (mean answer "
+              "%.3g):\n", mean_answer);
+  std::printf("  fused remote sketches : MAE %.1f (%.3f%% of mean answer)\n",
+              fused_mae, 100 * fused_mae / mean_answer);
+  std::printf("  direct full-data build: MAE %.1f (%.3f%% of mean answer)\n",
+              direct_mae, 100 * direct_mae / mean_answer);
+  std::printf("\nThe coordinator never saw a raw point, yet its fused sketch "
+              "answers within the same accuracy class as the full-data "
+              "histogram.\n");
+  return 0;
+}

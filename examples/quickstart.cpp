@@ -1,0 +1,54 @@
+// Quickstart: maintain a (1+eps)-approximate V-optimal histogram over a
+// sliding window of a data stream and answer range-sum queries from it.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/fixed_window.h"
+#include "src/data/generators.h"
+#include "src/query/estimator.h"
+
+int main() {
+  using namespace streamhist;
+
+  // 1. Configure: window of the latest 512 points, 16 buckets, SSE within a
+  //    factor (1 + 0.1) of the best possible 16-bucket histogram.
+  FixedWindowOptions options;
+  options.window_size = 512;
+  options.num_buckets = 16;
+  options.epsilon = 0.1;
+  options.rebuild_on_append = false;  // rebuild lazily, on query
+
+  auto created = FixedWindowHistogram::Create(options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "bad options: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  FixedWindowHistogram histogram = std::move(created).value();
+
+  // 2. Stream data through it (here: a synthetic router-utilization trace).
+  const std::vector<double> stream =
+      GenerateDataset(DatasetKind::kUtilization, 10000, /*seed=*/42);
+  for (double point : stream) histogram.Append(point);
+
+  // 3. Query the approximation and compare with the exact window.
+  std::printf("histogram of the last %lld points (%lld buckets):\n",
+              static_cast<long long>(histogram.window().size()),
+              static_cast<long long>(histogram.Extract().num_buckets()));
+  std::printf("  %s\n", histogram.Extract().ToString().c_str());
+  std::printf("approximation SSE: %.1f (within %.0f%% of optimal by "
+              "construction)\n",
+              histogram.ApproxError(), options.epsilon * 100);
+
+  const auto exact_window = histogram.window().ToVector();
+  ExactEstimator exact(exact_window);
+  for (const auto& [lo, hi] : {std::pair<int64_t, int64_t>{0, 512},
+                               {100, 200}, {500, 512}}) {
+    std::printf("sum[%lld, %lld): approx %.0f | exact %.0f\n",
+                static_cast<long long>(lo), static_cast<long long>(hi),
+                histogram.RangeSum(lo, hi), exact.RangeSum(lo, hi));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Time-series similarity search (paper section 5.2, third experiment):
+// reduce each series in a collection to a B-segment piecewise-constant
+// representation, then answer "find series similar to Q" with a GEMINI
+// filter-and-refine loop. Histogram representations admit fewer false
+// positives than APCA at the same budget.
+//
+//   ./build/examples/timeseries_similarity
+
+#include <cstdio>
+#include <vector>
+
+#include "src/data/generators.h"
+#include "src/timeseries/distance.h"
+#include "src/timeseries/similarity.h"
+
+int main() {
+  using namespace streamhist;
+
+  constexpr int64_t kSeries = 150;
+  constexpr int64_t kLength = 256;
+  constexpr int64_t kSegments = 8;
+
+  std::printf("collection: %lld series of length %lld; representations use "
+              "%lld segments each\n\n",
+              static_cast<long long>(kSeries), static_cast<long long>(kLength),
+              static_cast<long long>(kSegments));
+
+  const auto collection =
+      GenerateSeriesCollection(kSeries, kLength, /*closeness=*/0.7, 7);
+  const auto query = GenerateSeriesCollection(1, kLength, 0.7, 8)[0];
+
+  struct Candidate {
+    const char* name;
+    ReprBuilder builder;
+  };
+  const Candidate candidates[] = {
+      {"APCA (Keogh et al., SIGMOD'01)", MakeApcaBuilder()},
+      {"Agglomerative histogram (one pass, eps=0.1)",
+       MakeAgglomerativeBuilder(0.1)},
+      {"V-optimal histogram (offline optimum)", MakeVOptimalBuilder()},
+  };
+
+  // Radius at which ~8% of the collection matches.
+  std::vector<double> dists;
+  for (const auto& s : collection) dists.push_back(Euclidean(query, s));
+  std::vector<double> sorted = dists;
+  std::nth_element(sorted.begin(), sorted.begin() + kSeries / 12,
+                   sorted.end());
+  const double radius = sorted[kSeries / 12];
+
+  for (const Candidate& c : candidates) {
+    SimilarityIndex index(collection, kSegments, c.builder);
+    SearchStats stats;
+    const auto matches = index.RangeSearch(query, radius, &stats);
+    std::printf("%s\n", c.name);
+    std::printf("  range search (r=%.0f): %lld matches, %lld candidates "
+                "passed the filter, %lld false positives\n",
+                radius, static_cast<long long>(stats.answers),
+                static_cast<long long>(stats.candidates),
+                static_cast<long long>(stats.false_positives));
+
+    const auto knn = index.KnnSearch(query, 5, &stats);
+    std::printf("  5-NN: refined %lld of %lld series; nearest ids:",
+                static_cast<long long>(stats.candidates),
+                static_cast<long long>(index.num_series()));
+    for (const Match& m : knn) {
+      std::printf(" %lld(d=%.0f)", static_cast<long long>(m.series_id),
+                  m.distance);
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf("All three representations return the *same* answers (no false "
+              "dismissals, guaranteed by the lower-bounding distance); they "
+              "differ only in wasted exact-distance computations.\n");
+  return 0;
+}

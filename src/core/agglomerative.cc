@@ -1,0 +1,220 @@
+#include "src/core/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<AgglomerativeHistogram> AgglomerativeHistogram::Create(
+    const ApproxHistogramOptions& options) {
+  if (options.num_buckets < 1) {
+    return Status::InvalidArgument("num_buckets must be >= 1");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  return AgglomerativeHistogram(options.num_buckets, options.epsilon);
+}
+
+AgglomerativeHistogram::AgglomerativeHistogram(int64_t num_buckets,
+                                               double epsilon)
+    : num_buckets_(num_buckets),
+      epsilon_(epsilon),
+      delta_(epsilon / (2.0 * static_cast<double>(num_buckets))) {
+  const size_t levels =
+      num_buckets_ > 1 ? static_cast<size_t>(num_buckets_ - 1) : 0;
+  queues_.resize(levels);
+  open_start_herror_.assign(levels, 0.0);
+  has_open_.assign(levels, false);
+  herr_cur_.assign(static_cast<size_t>(num_buckets_) + 1, 0.0);
+  herr_prev_.assign(static_cast<size_t>(num_buckets_) + 1, 0.0);
+}
+
+double AgglomerativeHistogram::SpanError(int64_t from_p, long double from_sum,
+                                         long double from_sqsum, int64_t to_p,
+                                         long double to_sum,
+                                         long double to_sqsum) {
+  const int64_t w = to_p - from_p;
+  STREAMHIST_DCHECK(w >= 0);
+  if (w <= 1) return 0.0;
+  const long double s = to_sum - from_sum;
+  const long double q = to_sqsum - from_sqsum;
+  const long double err = q - s * s / static_cast<long double>(w);
+  return err > 0.0L ? static_cast<double>(err) : 0.0;
+}
+
+void AgglomerativeHistogram::Append(double value) {
+  prev_sum_ = total_sum_;
+  prev_sqsum_ = total_sqsum_;
+  total_sum_ += value;
+  total_sqsum_ += static_cast<long double>(value) * value;
+  ++count_;
+  const int64_t n = count_;
+
+  std::swap(herr_prev_, herr_cur_);
+
+  // HERROR[n][1] = SQERROR(0, n).
+  herr_cur_[1] = SpanError(0, 0.0L, 0.0L, n, total_sum_, total_sqsum_);
+
+  // HERROR[n][k] minimized over snapshotted endpoints of queue k-1 plus the
+  // implicit candidate p = n-1 (the open interval's right end, whose prefix
+  // sums are the pre-append totals and whose HERROR is last step's value).
+  for (int64_t k = 2; k <= num_buckets_; ++k) {
+    if (n <= k) {
+      herr_cur_[static_cast<size_t>(k)] = 0.0;
+      continue;
+    }
+    double best = herr_prev_[static_cast<size_t>(k - 1)] +
+                  SpanError(n - 1, prev_sum_, prev_sqsum_, n, total_sum_,
+                            total_sqsum_);
+    // Scan the queue from the most recent endpoint backwards: the last
+    // bucket [e.p, n) only widens, so its SpanError is non-decreasing as we
+    // go back, and once it alone reaches the best total no earlier entry can
+    // improve — an exact prune that keeps the scan near the balance point.
+    const auto& queue = queues_[static_cast<size_t>(k - 2)];
+    for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
+      const double span =
+          SpanError(it->p, it->sum, it->sqsum, n, total_sum_, total_sqsum_);
+      if (span >= best) break;
+      best = std::min(best, it->herror + span);
+    }
+    herr_cur_[static_cast<size_t>(k)] = best;
+  }
+
+  // Interval maintenance for levels 1..B-1 (figure 3, lines 7-10): when the
+  // level's HERROR leaves the (1+delta) band of the open interval's start,
+  // close the interval at p = n-1 (snapshotting the pre-append sums and last
+  // step's HERROR) and open a new one at n.
+  for (int64_t k = 1; k < num_buckets_; ++k) {
+    const size_t ki = static_cast<size_t>(k - 1);
+    const double h = herr_cur_[static_cast<size_t>(k)];
+    if (!has_open_[ki]) {
+      has_open_[ki] = true;
+      open_start_herror_[ki] = h;
+    } else if (h > (1.0 + delta_) * open_start_herror_[ki]) {
+      queues_[ki].push_back(Entry{n - 1, prev_sum_, prev_sqsum_,
+                                  herr_prev_[static_cast<size_t>(k)]});
+      open_start_herror_[ki] = h;
+    }
+  }
+}
+
+double AgglomerativeHistogram::ApproxError() const {
+  if (count_ == 0) return 0.0;
+  return herr_cur_[static_cast<size_t>(num_buckets_)];
+}
+
+int64_t AgglomerativeHistogram::total_stored_entries() const {
+  int64_t total = 0;
+  for (const auto& q : queues_) total += static_cast<int64_t>(q.size());
+  return total;
+}
+
+Histogram AgglomerativeHistogram::Extract() const {
+  if (count_ == 0) return Histogram();
+  const int64_t n = count_;
+  if (num_buckets_ == 1) {
+    return Histogram::FromBucketsUnchecked(
+        {Bucket{0, n, static_cast<double>(total_sum_ /
+                                          static_cast<long double>(n))}});
+  }
+
+  // Sparse DP over snapshotted endpoints. cands[k] (k in [0, B-1]) are the
+  // admissible positions for the boundary after bucket k; cands[0] is the
+  // origin. Every level also gets the open endpoint p = n-1 so recent
+  // arrivals can end a bucket.
+  struct Cand {
+    int64_t p;
+    long double sum;
+    long double sqsum;
+    double f;       // best error of covering [0, p) with k buckets
+    int32_t back;   // index into cands[k-1]
+  };
+  std::vector<std::vector<Cand>> cands(static_cast<size_t>(num_buckets_));
+  cands[0].push_back(Cand{0, 0.0L, 0.0L, 0.0, -1});
+  for (int64_t k = 1; k < num_buckets_; ++k) {
+    auto& lvl = cands[static_cast<size_t>(k)];
+    // The origin doubles as "bucket k unused".
+    lvl.push_back(Cand{0, 0.0L, 0.0L, 0.0, 0});
+    for (const Entry& e : queues_[static_cast<size_t>(k - 1)]) {
+      lvl.push_back(Cand{e.p, e.sum, e.sqsum, kInf, -1});
+    }
+    if (n - 1 > 0 && (lvl.back().p < n - 1)) {
+      lvl.push_back(Cand{n - 1, prev_sum_, prev_sqsum_, kInf, -1});
+    }
+  }
+
+  for (int64_t k = 1; k < num_buckets_; ++k) {
+    auto& lvl = cands[static_cast<size_t>(k)];
+    const auto& prev = cands[static_cast<size_t>(k - 1)];
+    for (size_t ci = 1; ci < lvl.size(); ++ci) {  // skip the origin sentinel
+      Cand& c = lvl[ci];
+      for (size_t di = 0; di < prev.size(); ++di) {
+        const Cand& d = prev[di];
+        // d.p == c.p is allowed: a zero-width (unused) bucket, needed when
+        // the optimum uses fewer than B buckets (e.g. tiny prefixes).
+        if (d.p > c.p) break;  // candidates are sorted by p
+        if (d.f == kInf) continue;
+        const double candidate =
+            d.f + SpanError(d.p, d.sum, d.sqsum, c.p, c.sum, c.sqsum);
+        if (candidate < c.f) {
+          c.f = candidate;
+          c.back = static_cast<int32_t>(di);
+        }
+      }
+    }
+  }
+
+  // Final bucket ends at n with the total sums.
+  const auto& last = cands[static_cast<size_t>(num_buckets_ - 1)];
+  double best = kInf;
+  int32_t best_d = -1;
+  for (size_t di = 0; di < last.size(); ++di) {
+    const Cand& d = last[di];
+    if (d.p >= n || d.f == kInf) continue;
+    const double candidate =
+        d.f + SpanError(d.p, d.sum, d.sqsum, n, total_sum_, total_sqsum_);
+    if (candidate < best) {
+      best = candidate;
+      best_d = static_cast<int32_t>(di);
+    }
+  }
+  STREAMHIST_CHECK_GE(best_d, 0);
+
+  // Backtrack boundary snapshots from level B-1 down to the origin.
+  struct Snapshot {
+    int64_t p;
+    long double sum;
+  };
+  std::vector<Snapshot> bounds;
+  bounds.push_back(Snapshot{n, total_sum_});
+  int32_t di = best_d;
+  for (int64_t k = num_buckets_ - 1; k >= 1; --k) {
+    const Cand& d = cands[static_cast<size_t>(k)][static_cast<size_t>(di)];
+    if (d.p == 0) break;
+    bounds.push_back(Snapshot{d.p, d.sum});
+    di = d.back;
+  }
+  bounds.push_back(Snapshot{0, 0.0L});
+  std::reverse(bounds.begin(), bounds.end());
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(bounds.size() - 1);
+  for (size_t t = 0; t + 1 < bounds.size(); ++t) {
+    const int64_t begin = bounds[t].p;
+    const int64_t end = bounds[t + 1].p;
+    if (begin == end) continue;
+    const double mean = static_cast<double>(
+        (bounds[t + 1].sum - bounds[t].sum) / static_cast<long double>(end - begin));
+    buckets.push_back(Bucket{begin, end, mean});
+  }
+  return Histogram::FromBucketsUnchecked(std::move(buckets));
+}
+
+}  // namespace streamhist

@@ -1,0 +1,106 @@
+#include "src/core/bucket_cost.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+SseBucketCost::SseBucketCost(std::span<const double> data) : sums_(data) {}
+
+double SseBucketCost::Cost(int64_t i, int64_t j) const {
+  return sums_.SqError(i, j);
+}
+
+double SseBucketCost::Representative(int64_t i, int64_t j) const {
+  return sums_.Mean(i, j);
+}
+
+SaeBucketCost::SaeBucketCost(std::span<const double> data)
+    : data_(data.begin(), data.end()) {}
+
+double SaeBucketCost::Cost(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
+  if (j - i <= 1) return 0.0;
+  const double median = Representative(i, j);
+  long double total = 0.0L;
+  for (int64_t k = i; k < j; ++k) {
+    total += std::fabs(data_[static_cast<size_t>(k)] - median);
+  }
+  return static_cast<double>(total);
+}
+
+double SaeBucketCost::Representative(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(i < j);
+  std::vector<double> copy(data_.begin() + static_cast<ptrdiff_t>(i),
+                           data_.begin() + static_cast<ptrdiff_t>(j));
+  const size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(mid),
+                   copy.end());
+  double median = copy[mid];
+  if (copy.size() % 2 == 0) {
+    // Lower median's pair: the max of the first half.
+    const double lower =
+        *std::max_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(mid));
+    median = (median + lower) / 2.0;
+  }
+  return median;
+}
+
+MaxAbsBucketCost::MaxAbsBucketCost(std::span<const double> data)
+    : n_(static_cast<int64_t>(data.size())) {
+  const int levels =
+      n_ > 0 ? std::bit_width(static_cast<uint64_t>(n_)) : 1;
+  min_table_.resize(static_cast<size_t>(levels));
+  max_table_.resize(static_cast<size_t>(levels));
+  min_table_[0].assign(data.begin(), data.end());
+  max_table_[0].assign(data.begin(), data.end());
+  for (int l = 1; l < levels; ++l) {
+    const int64_t half = int64_t{1} << (l - 1);
+    const int64_t count = n_ - (int64_t{1} << l) + 1;
+    if (count <= 0) break;
+    min_table_[static_cast<size_t>(l)].resize(static_cast<size_t>(count));
+    max_table_[static_cast<size_t>(l)].resize(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      min_table_[static_cast<size_t>(l)][static_cast<size_t>(i)] =
+          std::min(min_table_[static_cast<size_t>(l - 1)][static_cast<size_t>(i)],
+                   min_table_[static_cast<size_t>(l - 1)]
+                             [static_cast<size_t>(i + half)]);
+      max_table_[static_cast<size_t>(l)][static_cast<size_t>(i)] =
+          std::max(max_table_[static_cast<size_t>(l - 1)][static_cast<size_t>(i)],
+                   max_table_[static_cast<size_t>(l - 1)]
+                             [static_cast<size_t>(i + half)]);
+    }
+  }
+}
+
+double MaxAbsBucketCost::RangeMin(int64_t i, int64_t j) const {
+  const int l = std::bit_width(static_cast<uint64_t>(j - i)) - 1;
+  const int64_t span = int64_t{1} << l;
+  return std::min(min_table_[static_cast<size_t>(l)][static_cast<size_t>(i)],
+                  min_table_[static_cast<size_t>(l)]
+                            [static_cast<size_t>(j - span)]);
+}
+
+double MaxAbsBucketCost::RangeMax(int64_t i, int64_t j) const {
+  const int l = std::bit_width(static_cast<uint64_t>(j - i)) - 1;
+  const int64_t span = int64_t{1} << l;
+  return std::max(max_table_[static_cast<size_t>(l)][static_cast<size_t>(i)],
+                  max_table_[static_cast<size_t>(l)]
+                            [static_cast<size_t>(j - span)]);
+}
+
+double MaxAbsBucketCost::Cost(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(0 <= i && i <= j && j <= n_);
+  if (j - i <= 1) return 0.0;
+  return (RangeMax(i, j) - RangeMin(i, j)) / 2.0;
+}
+
+double MaxAbsBucketCost::Representative(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(i < j);
+  return (RangeMax(i, j) + RangeMin(i, j)) / 2.0;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,83 @@
+#ifndef STREAMHIST_CORE_BUCKET_COST_H_
+#define STREAMHIST_CORE_BUCKET_COST_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/stream/prefix_sums.h"
+
+namespace streamhist {
+
+/// Cost of representing one bucket of a sequence by a single value, plus the
+/// optimal representative. The paper's results hold for any point-wise
+/// additive error function (footnote 3); the DP in vopt_dp.h is generic over
+/// this interface, while the streaming algorithms specialize to SSE.
+class BucketCost {
+ public:
+  virtual ~BucketCost() = default;
+
+  /// Cost of the bucket covering indices [i, j) under the optimal
+  /// representative. Must be 0 for buckets of width <= 1.
+  virtual double Cost(int64_t i, int64_t j) const = 0;
+
+  /// The representative value minimizing the bucket cost.
+  virtual double Representative(int64_t i, int64_t j) const = 0;
+
+  /// Number of indexable values.
+  virtual int64_t size() const = 0;
+};
+
+/// Sum of squared deviations from the bucket mean — the paper's SQERROR
+/// (equation 2). O(1) per query after O(n) prefix-sum setup.
+class SseBucketCost : public BucketCost {
+ public:
+  explicit SseBucketCost(std::span<const double> data);
+
+  double Cost(int64_t i, int64_t j) const override;
+  double Representative(int64_t i, int64_t j) const override;
+  int64_t size() const override { return sums_.size(); }
+
+ private:
+  PrefixSums sums_;
+};
+
+/// Sum of absolute deviations from the bucket median. O((j-i) log(j-i)) per
+/// query (sorts a copy); intended for the exact DP at modest n, not for
+/// streaming.
+class SaeBucketCost : public BucketCost {
+ public:
+  explicit SaeBucketCost(std::span<const double> data);
+
+  double Cost(int64_t i, int64_t j) const override;
+  double Representative(int64_t i, int64_t j) const override;
+  int64_t size() const override { return static_cast<int64_t>(data_.size()); }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Maximum absolute deviation from the bucket midrange ((min+max)/2).
+/// O(1) per query via sparse-table range-min/max over O(n log n) setup.
+class MaxAbsBucketCost : public BucketCost {
+ public:
+  explicit MaxAbsBucketCost(std::span<const double> data);
+
+  double Cost(int64_t i, int64_t j) const override;
+  double Representative(int64_t i, int64_t j) const override;
+  int64_t size() const override { return n_; }
+
+ private:
+  double RangeMin(int64_t i, int64_t j) const;
+  double RangeMax(int64_t i, int64_t j) const;
+
+  int64_t n_;
+  // min_table_[l][i] = min of data[i .. i+2^l); likewise max_table_.
+  std::vector<std::vector<double>> min_table_;
+  std::vector<std::vector<double>> max_table_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_BUCKET_COST_H_

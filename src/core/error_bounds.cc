@@ -1,0 +1,76 @@
+#include "src/core/error_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+std::vector<double> PerBucketSse(const Histogram& histogram,
+                                 std::span<const double> data) {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(data.size()),
+                      histogram.domain_size());
+  std::vector<double> sse;
+  sse.reserve(static_cast<size_t>(histogram.num_buckets()));
+  for (const Bucket& b : histogram.buckets()) {
+    long double total = 0.0L;
+    for (int64_t i = b.begin; i < b.end; ++i) {
+      const long double d = data[static_cast<size_t>(i)] - b.value;
+      total += d * d;
+    }
+    sse.push_back(static_cast<double>(total));
+  }
+  return sse;
+}
+
+BoundedValue RangeSumWithBound(const Histogram& histogram,
+                               std::span<const double> bucket_sse, int64_t lo,
+                               int64_t hi) {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(bucket_sse.size()),
+                      histogram.num_buckets());
+  STREAMHIST_CHECK(0 <= lo && lo <= hi && hi <= histogram.domain_size());
+  BoundedValue result;
+  result.estimate = histogram.RangeSum(lo, hi);
+
+  const auto& buckets = histogram.buckets();
+  for (size_t k = 0; k < buckets.size(); ++k) {
+    const Bucket& b = buckets[k];
+    const int64_t overlap_lo = std::max(lo, b.begin);
+    const int64_t overlap_hi = std::min(hi, b.end);
+    const int64_t overlap = overlap_hi - overlap_lo;
+    if (overlap <= 0) continue;
+    if (overlap == b.width()) continue;  // full bucket: mean error cancels
+    // Cauchy-Schwarz over the partial overlap: |sum (v - mean)| <=
+    // sqrt(overlap) * sqrt(sum (v - mean)^2) <= sqrt(overlap * SSE_b).
+    result.error_bound +=
+        std::sqrt(static_cast<double>(overlap) * bucket_sse[k]);
+  }
+  return result;
+}
+
+BoundedValue RangeAverageWithBound(const Histogram& histogram,
+                                   std::span<const double> bucket_sse,
+                                   int64_t lo, int64_t hi) {
+  STREAMHIST_CHECK_LT(lo, hi);
+  BoundedValue sum = RangeSumWithBound(histogram, bucket_sse, lo, hi);
+  const double width = static_cast<double>(hi - lo);
+  return BoundedValue{sum.estimate / width, sum.error_bound / width};
+}
+
+BoundedValue PointEstimateWithBound(const Histogram& histogram,
+                                    std::span<const double> bucket_sse,
+                                    int64_t i) {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(bucket_sse.size()),
+                      histogram.num_buckets());
+  STREAMHIST_CHECK(0 <= i && i < histogram.domain_size());
+  const auto& buckets = histogram.buckets();
+  for (size_t k = 0; k < buckets.size(); ++k) {
+    if (i < buckets[k].end) {
+      return BoundedValue{buckets[k].value, std::sqrt(bucket_sse[k])};
+    }
+  }
+  return BoundedValue{};  // unreachable: buckets cover the domain
+}
+
+}  // namespace streamhist

@@ -1,0 +1,53 @@
+#ifndef STREAMHIST_CORE_ERROR_BOUNDS_H_
+#define STREAMHIST_CORE_ERROR_BOUNDS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/histogram.h"
+
+namespace streamhist {
+
+/// An estimate with a certified deterministic error bar:
+/// |estimate - truth| <= error_bound.
+struct BoundedValue {
+  double estimate = 0.0;
+  double error_bound = 0.0;
+};
+
+/// Per-bucket SSEs of `histogram` against the underlying `data` — the inputs
+/// to certified range-sum bounds. The V-optimal objective E_X(H_B) is
+/// exactly the sum of these.
+std::vector<double> PerBucketSse(const Histogram& histogram,
+                                 std::span<const double> data);
+
+/// Certified approximate range sum over [lo, hi): because every bucket value
+/// is the exact bucket mean, buckets *fully inside* the query contribute
+/// zero error; each partially-overlapped boundary bucket b contributes at
+/// most sqrt(overlap_width * SSE_b) by Cauchy-Schwarz. The returned bound is
+/// therefore the sum of at most two such terms — typically far tighter than
+/// anything derived from the total SSE.
+///
+/// `bucket_sse[k]` must be the SSE of bucket k (PerBucketSse, or the
+/// streaming builders' exact window statistics). Requires the histogram's
+/// values to be exact bucket means (true for every builder in this library
+/// under the SSE metric).
+BoundedValue RangeSumWithBound(const Histogram& histogram,
+                               std::span<const double> bucket_sse, int64_t lo,
+                               int64_t hi);
+
+/// Certified range average: RangeSumWithBound scaled by the range width.
+/// Requires lo < hi.
+BoundedValue RangeAverageWithBound(const Histogram& histogram,
+                                   std::span<const double> bucket_sse,
+                                   int64_t lo, int64_t hi);
+
+/// Certified point estimate: |v_i - bucket_mean| <= sqrt(SSE_bucket).
+BoundedValue PointEstimateWithBound(const Histogram& histogram,
+                                    std::span<const double> bucket_sse,
+                                    int64_t i);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_ERROR_BOUNDS_H_

@@ -1,0 +1,245 @@
+#include "src/core/fixed_window.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Result<FixedWindowHistogram> FixedWindowHistogram::Create(
+    const FixedWindowOptions& options) {
+  if (options.window_size < 1) {
+    return Status::InvalidArgument("window_size must be >= 1");
+  }
+  if (options.num_buckets < 1) {
+    return Status::InvalidArgument("num_buckets must be >= 1");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  return FixedWindowHistogram(options);
+}
+
+FixedWindowHistogram::FixedWindowHistogram(const FixedWindowOptions& options)
+    : options_(options),
+      delta_(options.epsilon / (2.0 * static_cast<double>(options.num_buckets))),
+      window_(options.window_size) {
+  const size_t levels = options_.num_buckets > 1
+                            ? static_cast<size_t>(options_.num_buckets - 1)
+                            : 0;
+  queues_.resize(levels);
+  const size_t memo_slots =
+      static_cast<size_t>(options_.num_buckets + 1) *
+      static_cast<size_t>(options_.window_size + 1);
+  memo_.resize(memo_slots);
+  memo_epoch_.assign(memo_slots, 0);
+}
+
+void FixedWindowHistogram::Append(double value) {
+  window_.Append(value);
+  dirty_ = true;
+  cached_histogram_.reset();
+  if (options_.rebuild_on_append) Rebuild();
+}
+
+double FixedWindowHistogram::BucketCostOf(int64_t i, int64_t j) const {
+  if (options_.metric == WindowErrorMetric::kSse) {
+    return window_.SqError(i, j);
+  }
+  return maxabs_cost_->Cost(i, j);
+}
+
+double FixedWindowHistogram::RepresentativeOf(int64_t i, int64_t j) const {
+  if (options_.metric == WindowErrorMetric::kSse) {
+    return window_.Mean(i, j);
+  }
+  return maxabs_cost_->Representative(i, j);
+}
+
+void FixedWindowHistogram::AppendBatch(std::span<const double> values) {
+  if (values.empty()) return;
+  for (double v : values) window_.Append(v);
+  dirty_ = true;
+  cached_histogram_.reset();
+  if (options_.rebuild_on_append) Rebuild();
+}
+
+void FixedWindowHistogram::EvictOldest() {
+  window_.EvictOldest();
+  dirty_ = true;
+  cached_histogram_.reset();
+  if (options_.rebuild_on_append) Rebuild();
+}
+
+FixedWindowHistogram::Eval FixedWindowHistogram::EvalHerror(int64_t p,
+                                                            int64_t k) {
+  STREAMHIST_DCHECK(k >= 1);
+  STREAMHIST_DCHECK(0 <= p && p <= window_.size());
+  const size_t key = static_cast<size_t>(k * (options_.window_size + 1) + p);
+  if (memo_epoch_[key] == epoch_) return memo_[key];
+  ++last_herror_evals_;
+
+  Eval result;
+  if (p <= k) {
+    // Enough buckets for singletons: exact, last bucket is [p-1, p).
+    result = Eval{0.0, p > 0 ? p - 1 : 0};
+  } else if (k == 1) {
+    result = Eval{BucketCostOf(0, p), 0};
+  } else {
+    // Start from the candidate p-1, which covers splits inside the endpoint
+    // interval containing p-1 (its HERROR is within (1+delta) of any such
+    // split's, by the interval invariant).
+    const Eval inner = EvalHerror(p - 1, k - 1);
+    double best = inner.herror + BucketCostOf(p - 1, p);
+    int64_t best_boundary = p - 1;
+    // Then minimize over the level-(k-1) interval endpoints below p,
+    // scanning from the most recent endpoint backwards: the last bucket
+    // [e.p, p) only widens going back, so its SQERROR is non-decreasing, and
+    // once it alone reaches the best total no earlier entry can improve —
+    // an exact prune that keeps the scan near the balance point.
+    const auto& queue = queues_[static_cast<size_t>(k - 2)];
+    auto first_ge = std::lower_bound(
+        queue.begin(), queue.end(), p,
+        [](const QueueEntry& e, int64_t value) { return e.p < value; });
+    for (auto it = std::make_reverse_iterator(first_ge); it != queue.rend();
+         ++it) {
+      const double span = BucketCostOf(it->p, p);
+      if (span >= best) break;
+      const double candidate = it->herror + span;
+      if (candidate < best) {
+        best = candidate;
+        best_boundary = it->p;
+      }
+    }
+    result = Eval{best, best_boundary};
+  }
+  memo_[key] = result;
+  memo_epoch_[key] = epoch_;
+  return result;
+}
+
+void FixedWindowHistogram::CreateList(int64_t a, int64_t b, int64_t k) {
+  auto& queue = queues_[static_cast<size_t>(k - 1)];
+  while (a <= b) {
+    if (a == b) {
+      queue.push_back(QueueEntry{a, EvalHerror(a, k).herror});
+      return;
+    }
+    const double t = EvalHerror(a, k).herror;
+    const double threshold = (1.0 + delta_) * t;
+    // Largest c in [a, b] with HERROR[c, k] <= threshold (HERROR is
+    // non-decreasing in the prefix length, so this is a binary search; c >= a
+    // always since HERROR[a, k] == t <= threshold).
+    int64_t lo = a;
+    int64_t hi = b;
+    while (lo < hi) {
+      const int64_t mid = lo + (hi - lo + 1) / 2;
+      if (EvalHerror(mid, k).herror <= threshold) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    queue.push_back(QueueEntry{lo, EvalHerror(lo, k).herror});
+    a = lo + 1;
+  }
+}
+
+void FixedWindowHistogram::Rebuild() {
+  if (++epoch_ == 0) {  // wrapped: every stale stamp must be invalidated
+    std::fill(memo_epoch_.begin(), memo_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  for (auto& q : queues_) q.clear();
+  last_herror_evals_ = 0;
+  dirty_ = false;
+
+  const int64_t m = window_.size();
+  if (m == 0) {
+    final_herror_ = 0.0;
+    final_boundary_ = 0;
+    return;
+  }
+  if (options_.metric == WindowErrorMetric::kMaxAbs) {
+    // O(n log n) sparse min/max tables over the current window, giving O(1)
+    // bucket costs during the rebuild.
+    maxabs_cost_.emplace(window_.ToVector());
+  }
+  for (int64_t k = 1; k < options_.num_buckets; ++k) {
+    CreateList(1, m, k);
+  }
+  const Eval final = EvalHerror(m, options_.num_buckets);
+  final_herror_ = final.herror;
+  final_boundary_ = final.boundary;
+}
+
+double FixedWindowHistogram::ApproxError() {
+  if (dirty_) Rebuild();
+  return final_herror_;
+}
+
+Histogram FixedWindowHistogram::ExtractFromState() {
+  const int64_t m = window_.size();
+  if (m == 0) return Histogram();
+
+  std::vector<int64_t> boundaries;
+  boundaries.push_back(m);
+  int64_t boundary = final_boundary_;
+  int64_t k = options_.num_buckets;
+  while (true) {
+    boundaries.push_back(boundary);
+    if (boundary == 0) break;
+    --k;
+    STREAMHIST_CHECK_GE(k, 1);
+    boundary = EvalHerror(boundary, k).boundary;
+  }
+  std::reverse(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(boundaries.size() - 1);
+  for (size_t t = 0; t + 1 < boundaries.size(); ++t) {
+    const int64_t begin = boundaries[t];
+    const int64_t end = boundaries[t + 1];
+    buckets.push_back(Bucket{begin, end, RepresentativeOf(begin, end)});
+  }
+  return Histogram::FromBucketsUnchecked(std::move(buckets));
+}
+
+const Histogram& FixedWindowHistogram::Extract() {
+  if (dirty_) Rebuild();
+  if (!cached_histogram_.has_value()) {
+    cached_histogram_ = ExtractFromState();
+  }
+  return *cached_histogram_;
+}
+
+double FixedWindowHistogram::RangeSum(int64_t lo, int64_t hi) {
+  return Extract().RangeSum(lo, hi);
+}
+
+std::vector<double> FixedWindowHistogram::BucketErrors() {
+  STREAMHIST_CHECK(options_.metric == WindowErrorMetric::kSse)
+      << "certified bounds need mean representatives";
+  const Histogram& h = Extract();
+  std::vector<double> errors;
+  errors.reserve(static_cast<size_t>(h.num_buckets()));
+  for (const Bucket& b : h.buckets()) {
+    errors.push_back(window_.SqError(b.begin, b.end));
+  }
+  return errors;
+}
+
+int64_t FixedWindowHistogram::last_total_intervals() const {
+  int64_t total = 0;
+  for (const auto& q : queues_) total += static_cast<int64_t>(q.size());
+  return total;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,262 @@
+#include "src/core/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/stream/prefix_sums.h"
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+Histogram BuildEquiWidthHistogram(std::span<const double> data,
+                                  int64_t num_buckets) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  if (n == 0) return Histogram();
+  const int64_t b = std::min(num_buckets, n);
+  std::vector<int64_t> boundaries;
+  boundaries.reserve(static_cast<size_t>(b) + 1);
+  for (int64_t k = 0; k <= b; ++k) {
+    boundaries.push_back(k * n / b);
+  }
+  return HistogramFromBoundaries(data, boundaries);
+}
+
+Histogram BuildMaxDiffHistogram(std::span<const double> data,
+                                int64_t num_buckets) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  if (n == 0) return Histogram();
+  const int64_t b = std::min(num_buckets, n);
+
+  // Rank interior positions by the adjacent difference ending there.
+  std::vector<std::pair<double, int64_t>> diffs;
+  diffs.reserve(static_cast<size_t>(n - 1));
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    diffs.emplace_back(std::fabs(data[static_cast<size_t>(i + 1)] -
+                                 data[static_cast<size_t>(i)]),
+                       i + 1);
+  }
+  std::sort(diffs.begin(), diffs.end(), [](const auto& x, const auto& y) {
+    return x.first > y.first || (x.first == y.first && x.second < y.second);
+  });
+
+  std::vector<int64_t> boundaries{0, n};
+  for (int64_t k = 0; k < b - 1 && k < static_cast<int64_t>(diffs.size());
+       ++k) {
+    boundaries.push_back(diffs[static_cast<size_t>(k)].second);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return HistogramFromBoundaries(data, boundaries);
+}
+
+Histogram BuildGreedyMergeHistogram(std::span<const double> data,
+                                    int64_t num_buckets) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  if (n == 0) return Histogram();
+  const int64_t b = std::min(num_buckets, n);
+
+  PrefixSums sums(data);
+  // Doubly-linked segment list over boundaries; start from singletons.
+  struct Segment {
+    int64_t begin;
+    int64_t end;
+    int64_t prev;
+    int64_t next;
+    bool alive;
+  };
+  std::vector<Segment> segs(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    segs[static_cast<size_t>(i)] =
+        Segment{i, i + 1, i - 1, i + 1 < n ? i + 1 : -1, true};
+  }
+
+  auto merge_penalty = [&](int64_t a, int64_t bidx) {
+    const Segment& s1 = segs[static_cast<size_t>(a)];
+    const Segment& s2 = segs[static_cast<size_t>(bidx)];
+    return sums.SqError(s1.begin, s2.end) - sums.SqError(s1.begin, s1.end) -
+           sums.SqError(s2.begin, s2.end);
+  };
+
+  // Priority queue of (penalty, left segment id, stamp); stale entries are
+  // skipped via a per-segment version stamp.
+  struct Entry {
+    double penalty;
+    int64_t left;
+    int64_t stamp;
+  };
+  auto cmp = [](const Entry& x, const Entry& y) {
+    return x.penalty > y.penalty;
+  };
+  std::vector<Entry> heap;
+  std::vector<int64_t> stamp(static_cast<size_t>(n), 0);
+  auto push = [&](int64_t left) {
+    const Segment& s = segs[static_cast<size_t>(left)];
+    if (!s.alive || s.next < 0) return;
+    heap.push_back(Entry{merge_penalty(left, s.next), left,
+                         stamp[static_cast<size_t>(left)]});
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  };
+  for (int64_t i = 0; i + 1 < n; ++i) push(i);
+
+  int64_t alive = n;
+  while (alive > b && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const Entry e = heap.back();
+    heap.pop_back();
+    Segment& left = segs[static_cast<size_t>(e.left)];
+    if (!left.alive || e.stamp != stamp[static_cast<size_t>(e.left)] ||
+        left.next < 0) {
+      continue;
+    }
+    Segment& right = segs[static_cast<size_t>(left.next)];
+    // Merge right into left.
+    left.end = right.end;
+    right.alive = false;
+    left.next = right.next;
+    if (right.next >= 0) segs[static_cast<size_t>(right.next)].prev = e.left;
+    ++stamp[static_cast<size_t>(e.left)];
+    --alive;
+    push(e.left);
+    if (left.prev >= 0) {
+      ++stamp[static_cast<size_t>(left.prev)];
+      push(left.prev);
+    }
+  }
+
+  std::vector<int64_t> boundaries{0};
+  for (int64_t i = 0; i >= 0;) {
+    const Segment& s = segs[static_cast<size_t>(i)];
+    boundaries.push_back(s.end);
+    i = s.next;
+  }
+  return HistogramFromBoundaries(data, boundaries);
+}
+
+Histogram MergeAdjacentHistograms(const Histogram& left,
+                                  const Histogram& right,
+                                  int64_t num_buckets) {
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  struct Piece {
+    int64_t begin;
+    int64_t end;
+    double mean;
+  };
+  std::vector<Piece> pieces;
+  pieces.reserve(static_cast<size_t>(left.num_buckets() + right.num_buckets()));
+  for (const Bucket& b : left.buckets()) {
+    pieces.push_back(Piece{b.begin, b.end, b.value});
+  }
+  const int64_t shift = left.domain_size();
+  for (const Bucket& b : right.buckets()) {
+    pieces.push_back(Piece{b.begin + shift, b.end + shift, b.value});
+  }
+  if (pieces.empty()) return Histogram();
+
+  // Fusing adjacent pieces raises the SSE by exactly
+  // w1 w2 / (w1 + w2) * (mean1 - mean2)^2, independent of the unknown
+  // within-bucket residuals.
+  auto fuse_penalty = [](const Piece& a, const Piece& b) {
+    const double w1 = static_cast<double>(a.end - a.begin);
+    const double w2 = static_cast<double>(b.end - b.begin);
+    const double d = a.mean - b.mean;
+    return w1 * w2 / (w1 + w2) * d * d;
+  };
+  while (static_cast<int64_t>(pieces.size()) > num_buckets) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_i = 0;
+    for (size_t i = 0; i + 1 < pieces.size(); ++i) {
+      const double p = fuse_penalty(pieces[i], pieces[i + 1]);
+      if (p < best) {
+        best = p;
+        best_i = i;
+      }
+    }
+    Piece& a = pieces[best_i];
+    const Piece& b = pieces[best_i + 1];
+    const double w1 = static_cast<double>(a.end - a.begin);
+    const double w2 = static_cast<double>(b.end - b.begin);
+    a.mean = (w1 * a.mean + w2 * b.mean) / (w1 + w2);
+    a.end = b.end;
+    pieces.erase(pieces.begin() + static_cast<ptrdiff_t>(best_i) + 1);
+  }
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(pieces.size());
+  for (const Piece& p : pieces) {
+    buckets.push_back(Bucket{p.begin, p.end, p.mean});
+  }
+  return Histogram::FromBucketsUnchecked(std::move(buckets));
+}
+
+StreamingMergeHistogram::StreamingMergeHistogram(int64_t num_buckets)
+    : num_buckets_(num_buckets) {
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  summaries_.reserve(static_cast<size_t>(2 * num_buckets + 1));
+}
+
+double StreamingMergeHistogram::SummarySse(const Summary& s) {
+  const int64_t w = s.end - s.begin;
+  if (w <= 1) return 0.0;
+  const long double err = s.sqsum - s.sum * s.sum / static_cast<long double>(w);
+  return err > 0.0L ? static_cast<double>(err) : 0.0;
+}
+
+StreamingMergeHistogram::Summary StreamingMergeHistogram::Merge(
+    const Summary& a, const Summary& b) {
+  STREAMHIST_DCHECK(a.end == b.begin);
+  return Summary{a.begin, b.end, a.sum + b.sum, a.sqsum + b.sqsum};
+}
+
+double StreamingMergeHistogram::MergePenalty(const Summary& a,
+                                             const Summary& b) {
+  return SummarySse(Merge(a, b)) - SummarySse(a) - SummarySse(b);
+}
+
+void StreamingMergeHistogram::MergeCheapestPair(
+    std::vector<Summary>& summaries) {
+  STREAMHIST_CHECK_GE(summaries.size(), 2u);
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_i = 0;
+  for (size_t i = 0; i + 1 < summaries.size(); ++i) {
+    const double p = MergePenalty(summaries[i], summaries[i + 1]);
+    if (p < best) {
+      best = p;
+      best_i = i;
+    }
+  }
+  summaries[best_i] = Merge(summaries[best_i], summaries[best_i + 1]);
+  summaries.erase(summaries.begin() + static_cast<ptrdiff_t>(best_i) + 1);
+}
+
+void StreamingMergeHistogram::Append(double value) {
+  summaries_.push_back(Summary{total_count_, total_count_ + 1, value,
+                               static_cast<long double>(value) * value});
+  ++total_count_;
+  if (static_cast<int64_t>(summaries_.size()) > 2 * num_buckets_) {
+    MergeCheapestPair(summaries_);
+  }
+}
+
+Histogram StreamingMergeHistogram::Extract() const {
+  if (summaries_.empty()) return Histogram();
+  std::vector<Summary> working = summaries_;
+  while (static_cast<int64_t>(working.size()) > num_buckets_) {
+    MergeCheapestPair(working);
+  }
+  std::vector<Bucket> buckets;
+  buckets.reserve(working.size());
+  for (const Summary& s : working) {
+    buckets.push_back(Bucket{
+        s.begin, s.end,
+        static_cast<double>(s.sum / static_cast<long double>(s.end - s.begin))});
+  }
+  return Histogram::FromBucketsUnchecked(std::move(buckets));
+}
+
+}  // namespace streamhist

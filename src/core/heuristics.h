@@ -1,0 +1,88 @@
+#ifndef STREAMHIST_CORE_HEURISTICS_H_
+#define STREAMHIST_CORE_HEURISTICS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/histogram.h"
+
+namespace streamhist {
+
+/// Cheap serial-histogram heuristics used as ablation baselines against the
+/// paper's (1+eps)-approximate algorithms. All partition the *index* domain,
+/// matching the paper's sequence-approximation setting.
+
+/// Equal-length buckets (the last bucket absorbs the remainder).
+Histogram BuildEquiWidthHistogram(std::span<const double> data,
+                                  int64_t num_buckets);
+
+/// MaxDiff [Poosala et al.]: boundaries at the B-1 largest adjacent
+/// differences |v[i+1] - v[i]|.
+Histogram BuildMaxDiffHistogram(std::span<const double> data,
+                                int64_t num_buckets);
+
+/// Offline greedy bottom-up pairwise merge: start from singletons and
+/// repeatedly merge the adjacent pair whose merge increases SSE the least
+/// (priority-queue implementation, O(n log n)).
+Histogram BuildGreedyMergeHistogram(std::span<const double> data,
+                                    int64_t num_buckets);
+
+/// Merges two histograms over *adjacent* index ranges (the `right` histogram
+/// is shifted to start where `left` ends) into a single histogram with at
+/// most `num_buckets` buckets, greedily fusing the adjacent pair with the
+/// smallest SSE increase. Because bucket means and widths determine the
+/// cross-bucket SSE increase exactly (the within-bucket residuals are
+/// unknown but unchanged by merging), the greedy objective is evaluated
+/// exactly without the underlying data — this is how per-shard window
+/// sketches from distributed collectors combine into one.
+Histogram MergeAdjacentHistograms(const Histogram& left,
+                                  const Histogram& right,
+                                  int64_t num_buckets);
+
+/// Streaming greedy-merge histogram in the style of Ben-Haim & Tom-Tov /
+/// t-digest, adapted to the index domain: maintains at most `2 * num_buckets`
+/// summary buckets online; when full, merges the adjacent pair with minimal
+/// SSE increase. One pass, O(log B) amortized per point, *no* approximation
+/// guarantee — the foil that motivates the paper's provable algorithms.
+class StreamingMergeHistogram {
+ public:
+  /// `num_buckets` is the target B of extracted histograms; 2B summary
+  /// buckets are kept internally.
+  explicit StreamingMergeHistogram(int64_t num_buckets);
+
+  /// Appends one stream point.
+  void Append(double value);
+
+  /// Number of points seen.
+  int64_t size() const { return total_count_; }
+
+  /// Extracts a histogram with at most B buckets over [0, size()): the 2B
+  /// summary buckets are greedily merged down to B.
+  Histogram Extract() const;
+
+ private:
+  struct Summary {
+    int64_t begin;
+    int64_t end;
+    long double sum;
+    long double sqsum;
+  };
+
+  // SSE increase of merging summaries a and b (their union's SSE minus the
+  // parts' SSEs).
+  static double MergePenalty(const Summary& a, const Summary& b);
+  static double SummarySse(const Summary& s);
+  static Summary Merge(const Summary& a, const Summary& b);
+
+  // Merges the cheapest adjacent pair in `summaries` (linear scan; the
+  // vector is at most 2B long).
+  static void MergeCheapestPair(std::vector<Summary>& summaries);
+
+  int64_t num_buckets_;
+  int64_t total_count_ = 0;
+  std::vector<Summary> summaries_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_HEURISTICS_H_

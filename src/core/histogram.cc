@@ -1,0 +1,139 @@
+#include "src/core/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/stream/prefix_sums.h"
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+
+Status CheckBuckets(const std::vector<Bucket>& buckets) {
+  int64_t expected_begin = 0;
+  for (size_t k = 0; k < buckets.size(); ++k) {
+    const Bucket& b = buckets[k];
+    if (b.begin != expected_begin) {
+      std::ostringstream msg;
+      msg << "bucket " << k << " begins at " << b.begin << ", expected "
+          << expected_begin;
+      return Status::InvalidArgument(msg.str());
+    }
+    if (b.end <= b.begin) {
+      std::ostringstream msg;
+      msg << "bucket " << k << " is empty or inverted: [" << b.begin << ","
+          << b.end << ")";
+      return Status::InvalidArgument(msg.str());
+    }
+    expected_begin = b.end;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<Bucket> buckets)
+    : buckets_(std::move(buckets)) {
+  cum_.resize(buckets_.size() + 1);
+  cum_[0] = 0.0L;
+  for (size_t k = 0; k < buckets_.size(); ++k) {
+    cum_[k + 1] = cum_[k] + static_cast<long double>(buckets_[k].value) *
+                                static_cast<long double>(buckets_[k].width());
+  }
+}
+
+Result<Histogram> Histogram::Make(std::vector<Bucket> buckets) {
+  STREAMHIST_RETURN_NOT_OK(CheckBuckets(buckets));
+  return Histogram(std::move(buckets));
+}
+
+Histogram Histogram::FromBucketsUnchecked(std::vector<Bucket> buckets) {
+  STREAMHIST_DCHECK(CheckBuckets(buckets).ok());
+  return Histogram(std::move(buckets));
+}
+
+size_t Histogram::BucketIndexFor(int64_t i) const {
+  STREAMHIST_DCHECK(0 <= i && i < domain_size());
+  // First bucket with end > i.
+  auto it = std::upper_bound(
+      buckets_.begin(), buckets_.end(), i,
+      [](int64_t lhs, const Bucket& b) { return lhs < b.end; });
+  return static_cast<size_t>(it - buckets_.begin());
+}
+
+double Histogram::Estimate(int64_t i) const {
+  return buckets_[BucketIndexFor(i)].value;
+}
+
+double Histogram::PrefixSumTo(int64_t i) const {
+  STREAMHIST_DCHECK(0 <= i && i <= domain_size());
+  if (i == 0) return 0.0;
+  const size_t k = BucketIndexFor(i - 1);
+  const Bucket& b = buckets_[k];
+  return static_cast<double>(cum_[k]) +
+         b.value * static_cast<double>(i - b.begin);
+}
+
+double Histogram::RangeSum(int64_t lo, int64_t hi) const {
+  STREAMHIST_DCHECK(0 <= lo && lo <= hi && hi <= domain_size());
+  return PrefixSumTo(hi) - PrefixSumTo(lo);
+}
+
+double Histogram::RangeAverage(int64_t lo, int64_t hi) const {
+  STREAMHIST_DCHECK(lo < hi);
+  return RangeSum(lo, hi) / static_cast<double>(hi - lo);
+}
+
+double Histogram::SseAgainst(std::span<const double> data) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(data.size()), domain_size());
+  long double total = 0.0L;
+  for (const Bucket& b : buckets_) {
+    for (int64_t i = b.begin; i < b.end; ++i) {
+      const long double d = data[static_cast<size_t>(i)] - b.value;
+      total += d * d;
+    }
+  }
+  return static_cast<double>(total);
+}
+
+std::vector<double> Histogram::Reconstruct() const {
+  std::vector<double> out(static_cast<size_t>(domain_size()));
+  for (const Bucket& b : buckets_) {
+    for (int64_t i = b.begin; i < b.end; ++i) {
+      out[static_cast<size_t>(i)] = b.value;
+    }
+  }
+  return out;
+}
+
+Status Histogram::Validate() const { return CheckBuckets(buckets_); }
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (size_t k = 0; k < buckets_.size(); ++k) {
+    if (k > 0) os << ' ';
+    os << '[' << buckets_[k].begin << ',' << buckets_[k].end
+       << ")=" << buckets_[k].value;
+  }
+  return os.str();
+}
+
+Histogram HistogramFromBoundaries(std::span<const double> data,
+                                  const std::vector<int64_t>& boundaries) {
+  STREAMHIST_CHECK_GE(boundaries.size(), 2u);
+  STREAMHIST_CHECK_EQ(boundaries.front(), 0);
+  STREAMHIST_CHECK_EQ(boundaries.back(), static_cast<int64_t>(data.size()));
+  PrefixSums sums(data);
+  std::vector<Bucket> buckets;
+  buckets.reserve(boundaries.size() - 1);
+  for (size_t k = 0; k + 1 < boundaries.size(); ++k) {
+    const int64_t begin = boundaries[k];
+    const int64_t end = boundaries[k + 1];
+    STREAMHIST_CHECK_LT(begin, end);
+    buckets.push_back(Bucket{begin, end, sums.Mean(begin, end)});
+  }
+  return Histogram::FromBucketsUnchecked(std::move(buckets));
+}
+
+}  // namespace streamhist

@@ -1,0 +1,104 @@
+#ifndef STREAMHIST_CORE_HISTOGRAM_H_
+#define STREAMHIST_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace streamhist {
+
+/// One histogram bucket: the contiguous index range [begin, end) is
+/// approximated by the single representative `value` (the bucket mean for
+/// V-optimal/SSE histograms).
+struct Bucket {
+  int64_t begin = 0;
+  int64_t end = 0;
+  double value = 0.0;
+
+  int64_t width() const { return end - begin; }
+
+  friend bool operator==(const Bucket& a, const Bucket& b) {
+    return a.begin == b.begin && a.end == b.end && a.value == b.value;
+  }
+};
+
+/// A serial (index-partitioning) histogram: a piecewise-constant
+/// approximation of a sequence v[0..n) by B contiguous buckets, exactly the
+/// representation the paper constructs. Supports O(log B) point estimates
+/// and O(log B) range aggregates via bucket-level prefix sums.
+class Histogram {
+ public:
+  /// An empty histogram over the empty domain.
+  Histogram() = default;
+
+  /// Validated construction: buckets must be non-empty, contiguous
+  /// ([0,e1),[e1,e2),...) and in increasing order.
+  static Result<Histogram> Make(std::vector<Bucket> buckets);
+
+  /// Unchecked construction for internal builders that guarantee the
+  /// invariants; CHECK-fails on violation in debug builds.
+  static Histogram FromBucketsUnchecked(std::vector<Bucket> buckets);
+
+  /// Number of buckets B.
+  int64_t num_buckets() const { return static_cast<int64_t>(buckets_.size()); }
+
+  /// Domain size n (the `end` of the last bucket; 0 when empty).
+  int64_t domain_size() const {
+    return buckets_.empty() ? 0 : buckets_.back().end;
+  }
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Estimated value of point i. Requires 0 <= i < domain_size().
+  double Estimate(int64_t i) const;
+
+  /// Estimated sum of v[lo..hi) (half-open). Requires
+  /// 0 <= lo <= hi <= domain_size().
+  double RangeSum(int64_t lo, int64_t hi) const;
+
+  /// Estimated average of v[lo..hi); requires lo < hi.
+  double RangeAverage(int64_t lo, int64_t hi) const;
+
+  /// Sum squared error of this histogram against `data`, the paper's
+  /// E_X(H_B). data.size() must equal domain_size().
+  double SseAgainst(std::span<const double> data) const;
+
+  /// Reconstructs the full approximate sequence (length domain_size()).
+  std::vector<double> Reconstruct() const;
+
+  /// Checks the structural invariants; OK for default-constructed empties.
+  Status Validate() const;
+
+  /// Human-readable rendering, e.g. "[0,3)=4.5 [3,8)=1.0".
+  std::string ToString() const;
+
+  friend bool operator==(const Histogram& a, const Histogram& b) {
+    return a.buckets_ == b.buckets_;
+  }
+
+ private:
+  explicit Histogram(std::vector<Bucket> buckets);
+
+  // Index of the bucket containing point i.
+  size_t BucketIndexFor(int64_t i) const;
+  // Sum of the approximation over [0, i).
+  double PrefixSumTo(int64_t i) const;
+
+  std::vector<Bucket> buckets_;
+  // cum_[k] = sum over buckets [0..k) of value * width.
+  std::vector<long double> cum_;
+};
+
+/// Builds the bucket means for a fixed set of boundaries over `data`:
+/// boundaries = {0 = p0 < p1 < ... < pB = n} produces buckets
+/// [p0,p1),...,[p_{B-1},pB) each valued at its data mean.
+Histogram HistogramFromBoundaries(std::span<const double> data,
+                                  const std::vector<int64_t>& boundaries);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_HISTOGRAM_H_

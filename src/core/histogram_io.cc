@@ -1,0 +1,104 @@
+#include "src/core/histogram_io.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace streamhist {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53484947;  // "SHIG"
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void PutF64(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v) { return Read(v, 4); }
+  bool ReadU64(uint64_t* v) { return Read(v, 8); }
+  bool ReadF64(double* v) { return Read(v, 8); }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool Read(void* out, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeHistogram(const Histogram& histogram) {
+  std::string out;
+  out.reserve(16 + static_cast<size_t>(histogram.num_buckets()) * 24);
+  PutU32(out, kMagic);
+  PutU32(out, kVersion);
+  PutU64(out, static_cast<uint64_t>(histogram.num_buckets()));
+  for (const Bucket& b : histogram.buckets()) {
+    PutU64(out, static_cast<uint64_t>(b.begin));
+    PutU64(out, static_cast<uint64_t>(b.end));
+    PutF64(out, b.value);
+  }
+  return out;
+}
+
+Result<Histogram> DeserializeHistogram(const std::string& bytes) {
+  Reader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  uint64_t count = 0;
+  if (!reader.ReadU32(&magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad histogram magic");
+  }
+  if (!reader.ReadU32(&version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported histogram version");
+  }
+  if (!reader.ReadU64(&count)) {
+    return Status::InvalidArgument("truncated histogram header");
+  }
+  // Guard the allocation against a corrupted count: each bucket occupies
+  // exactly 24 payload bytes.
+  if (count > (bytes.size() - 16) / 24) {
+    return Status::InvalidArgument("histogram bucket count exceeds payload");
+  }
+  std::vector<Bucket> buckets;
+  buckets.reserve(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    uint64_t begin = 0, end = 0;
+    double value = 0.0;
+    if (!reader.ReadU64(&begin) || !reader.ReadU64(&end) ||
+        !reader.ReadF64(&value)) {
+      return Status::InvalidArgument("truncated histogram buckets");
+    }
+    buckets.push_back(Bucket{static_cast<int64_t>(begin),
+                             static_cast<int64_t>(end), value});
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after histogram");
+  }
+  return Histogram::Make(std::move(buckets));
+}
+
+}  // namespace streamhist

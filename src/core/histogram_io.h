@@ -1,0 +1,23 @@
+#ifndef STREAMHIST_CORE_HISTOGRAM_IO_H_
+#define STREAMHIST_CORE_HISTOGRAM_IO_H_
+
+#include <string>
+
+#include "src/core/histogram.h"
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Compact binary serialization of a histogram (little-endian; magic +
+/// version + bucket triples), so sketches can be shipped off-box — e.g. a
+/// router exporting its window histogram to a collector, the deployment the
+/// paper's introduction motivates.
+std::string SerializeHistogram(const Histogram& histogram);
+
+/// Inverse of SerializeHistogram; validates structure and returns
+/// InvalidArgument on malformed or truncated input.
+Result<Histogram> DeserializeHistogram(const std::string& bytes);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_HISTOGRAM_IO_H_

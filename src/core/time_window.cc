@@ -1,0 +1,73 @@
+#include "src/core/time_window.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+Result<TimeWindowHistogram> TimeWindowHistogram::Create(
+    const TimeWindowOptions& options) {
+  if (!(options.horizon > 0.0)) {
+    return Status::InvalidArgument("horizon must be > 0");
+  }
+  if (options.max_points < 1) {
+    return Status::InvalidArgument("max_points must be >= 1");
+  }
+  FixedWindowOptions window_options;
+  window_options.window_size = options.max_points;
+  window_options.num_buckets = options.num_buckets;
+  window_options.epsilon = options.epsilon;
+  window_options.rebuild_on_append = false;
+  STREAMHIST_ASSIGN_OR_RETURN(FixedWindowHistogram window,
+                              FixedWindowHistogram::Create(window_options));
+  return TimeWindowHistogram(options, std::move(window));
+}
+
+TimeWindowHistogram::TimeWindowHistogram(const TimeWindowOptions& options,
+                                         FixedWindowHistogram window)
+    : options_(options), window_(std::move(window)) {}
+
+void TimeWindowHistogram::EvictExpired(double now) {
+  const double cutoff = now - options_.horizon;
+  while (!timestamps_.empty() && timestamps_.front() <= cutoff) {
+    timestamps_.pop_front();
+    window_.EvictOldest();
+  }
+}
+
+Status TimeWindowHistogram::Append(double timestamp, double value) {
+  if (timestamp < last_timestamp_) {
+    return Status::InvalidArgument("timestamps must be non-decreasing");
+  }
+  last_timestamp_ = timestamp;
+  EvictExpired(timestamp);
+  // The capacity cap: FixedWindowHistogram auto-evicts the oldest point when
+  // full; mirror that in the timestamp deque.
+  if (static_cast<int64_t>(timestamps_.size()) >= options_.max_points) {
+    timestamps_.pop_front();
+  }
+  timestamps_.push_back(timestamp);
+  window_.Append(value);
+  return Status::OK();
+}
+
+void TimeWindowHistogram::AdvanceTo(double now) {
+  last_timestamp_ = std::max(last_timestamp_, now);
+  EvictExpired(now);
+}
+
+double TimeWindowHistogram::RangeSumByTime(double t_lo, double t_hi) {
+  if (timestamps_.empty() || !(t_lo < t_hi)) return 0.0;
+  // First retained index with timestamp >= t_lo / >= t_hi.
+  const auto lo_it =
+      std::lower_bound(timestamps_.begin(), timestamps_.end(), t_lo);
+  const auto hi_it =
+      std::lower_bound(timestamps_.begin(), timestamps_.end(), t_hi);
+  const int64_t lo = lo_it - timestamps_.begin();
+  const int64_t hi = hi_it - timestamps_.begin();
+  if (lo >= hi) return 0.0;
+  return window_.Extract().RangeSum(lo, hi);
+}
+
+}  // namespace streamhist

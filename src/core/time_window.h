@@ -1,0 +1,79 @@
+#ifndef STREAMHIST_CORE_TIME_WINDOW_H_
+#define STREAMHIST_CORE_TIME_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "src/core/fixed_window.h"
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Options for TimeWindowHistogram.
+struct TimeWindowOptions {
+  /// Points with timestamp <= now - horizon are evicted. Must be > 0.
+  double horizon = 60.0;
+  /// Hard cap on buffered points (memory guarantee); the oldest points are
+  /// dropped early if arrivals outpace the horizon. Must be >= 1.
+  int64_t max_points = 4096;
+  /// Histogram bucket budget B.
+  int64_t num_buckets = 8;
+  /// Approximation slack (see FixedWindowOptions).
+  double epsilon = 0.1;
+};
+
+/// Time-based sliding windows — the paper's operator queries are phrased
+/// over "time windows of interest" (e.g. the last T seconds), while its
+/// algorithm is count-based. This adapter keeps exactly the points whose
+/// timestamps fall inside a trailing horizon (with a hard count cap) and
+/// maintains the same (1+eps)-approximate histogram over them, using the
+/// fixed-window machinery plus an eviction primitive.
+///
+/// Timestamps must be non-decreasing (stream order).
+class TimeWindowHistogram {
+ public:
+  static Result<TimeWindowHistogram> Create(const TimeWindowOptions& options);
+
+  /// Appends a point observed at `timestamp` and evicts everything older
+  /// than timestamp - horizon. Returns InvalidArgument if the timestamp
+  /// regresses.
+  Status Append(double timestamp, double value);
+
+  /// Advances the clock without new data, evicting expired points.
+  void AdvanceTo(double now);
+
+  /// Points currently inside the window.
+  int64_t size() const { return static_cast<int64_t>(timestamps_.size()); }
+
+  /// Timestamp of the oldest retained point; requires size() > 0.
+  double oldest_timestamp() const { return timestamps_.front(); }
+
+  /// (1+eps)-approximate histogram over the points currently in the window
+  /// (index 0 = oldest).
+  const Histogram& Extract() { return window_.Extract(); }
+
+  /// Approximate SSE bound of the current histogram.
+  double ApproxError() { return window_.ApproxError(); }
+
+  /// Estimated sum of values observed in the time interval [t_lo, t_hi),
+  /// clipped to the retained window.
+  double RangeSumByTime(double t_lo, double t_hi);
+
+  const TimeWindowOptions& options() const { return options_; }
+
+ private:
+  TimeWindowHistogram(const TimeWindowOptions& options,
+                      FixedWindowHistogram window);
+
+  void EvictExpired(double now);
+
+  TimeWindowOptions options_;
+  FixedWindowHistogram window_;
+  std::deque<double> timestamps_;  // parallel to the window contents
+  double last_timestamp_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_TIME_WINDOW_H_

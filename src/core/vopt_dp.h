@@ -1,0 +1,39 @@
+#ifndef STREAMHIST_CORE_VOPT_DP_H_
+#define STREAMHIST_CORE_VOPT_DP_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/bucket_cost.h"
+#include "src/core/histogram.h"
+
+namespace streamhist {
+
+/// Result of the optimal dynamic program: the histogram itself plus its
+/// total error (the paper's HERROR[n, B]).
+struct OptimalHistogramResult {
+  Histogram histogram;
+  double error = 0.0;
+};
+
+/// The optimal histogram DP of Jagadish et al. [JKM+98] (paper section 4.1):
+///
+///   HERROR[j, k] = min_{i < j} HERROR[i, k-1] + SQERROR(i, j)
+///
+/// generic over the bucket-cost function. O(n^2 B) cost evaluations,
+/// O(n B) space for the backtracking table. At most `num_buckets` buckets
+/// are used; fewer are returned when the sequence has fewer points.
+OptimalHistogramResult BuildOptimalHistogram(const BucketCost& cost,
+                                             int64_t num_buckets);
+
+/// Convenience wrapper: optimal SSE (V-optimal) histogram of `data` with at
+/// most `num_buckets` buckets.
+OptimalHistogramResult BuildVOptimalHistogram(std::span<const double> data,
+                                              int64_t num_buckets);
+
+/// Only the optimal SSE value, O(n) space (no backtracking table kept).
+double OptimalSse(std::span<const double> data, int64_t num_buckets);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_VOPT_DP_H_

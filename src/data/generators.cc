@@ -1,0 +1,220 @@
+#include "src/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+
+double ClampQuantize(double v, double max_value, bool quantize) {
+  v = std::clamp(v, 0.0, max_value);
+  return quantize ? std::round(v) : v;
+}
+
+}  // namespace
+
+std::vector<double> GenerateUtilizationSeries(int64_t n,
+                                              const UtilizationOptions& options,
+                                              uint64_t seed) {
+  STREAMHIST_CHECK_GE(n, 0);
+  Random rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+
+  double ar_state = 0.0;
+  double burst = 0.0;
+  double level = options.base_level;
+  const double two_pi = 2.0 * M_PI;
+
+  for (int64_t t = 0; t < n; ++t) {
+    ar_state = options.ar_coefficient * ar_state +
+               rng.Gaussian(0.0, options.noise_stddev);
+    if (rng.Bernoulli(options.burst_probability)) {
+      burst += options.burst_magnitude * (0.5 + rng.UniformDouble());
+    }
+    burst *= options.burst_decay;
+    if (rng.Bernoulli(options.shift_probability)) {
+      level += rng.Gaussian(0.0, options.shift_stddev);
+      level = std::clamp(level, 0.0, options.max_value);
+    }
+    const double diurnal =
+        options.diurnal_amplitude *
+        std::sin(two_pi * static_cast<double>(t % options.diurnal_period) /
+                 static_cast<double>(options.diurnal_period));
+    const double v = level + diurnal + ar_state + burst;
+    out.push_back(ClampQuantize(v, options.max_value, options.quantize));
+  }
+  return out;
+}
+
+std::vector<double> GenerateRandomWalk(int64_t n, double step_stddev,
+                                       double max_value, uint64_t seed) {
+  STREAMHIST_CHECK_GE(n, 0);
+  STREAMHIST_CHECK_GT(max_value, 0.0);
+  Random rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  double x = max_value / 2.0;
+  for (int64_t t = 0; t < n; ++t) {
+    x += rng.Gaussian(0.0, step_stddev);
+    // Reflect at the boundaries to stay in range without clipping artifacts.
+    if (x < 0.0) x = -x;
+    if (x > max_value) x = 2.0 * max_value - x;
+    x = std::clamp(x, 0.0, max_value);
+    out.push_back(std::round(x));
+  }
+  return out;
+}
+
+std::vector<double> GeneratePiecewiseConstant(int64_t n, int64_t num_segments,
+                                              double level_range,
+                                              double noise_stddev,
+                                              uint64_t seed) {
+  STREAMHIST_CHECK_GE(n, 0);
+  STREAMHIST_CHECK_GT(num_segments, 0);
+  Random rng(seed);
+
+  // Choose num_segments-1 distinct interior boundaries.
+  std::vector<int64_t> boundaries;
+  boundaries.push_back(0);
+  if (n > 1) {
+    std::vector<int64_t> interior;
+    for (int64_t k = 1; k < num_segments && k < n; ++k) {
+      interior.push_back(rng.UniformInt(1, n - 1));
+    }
+    std::sort(interior.begin(), interior.end());
+    interior.erase(std::unique(interior.begin(), interior.end()),
+                   interior.end());
+    boundaries.insert(boundaries.end(), interior.begin(), interior.end());
+  }
+  boundaries.push_back(n);
+
+  std::vector<double> out(static_cast<size_t>(n));
+  for (size_t seg = 0; seg + 1 < boundaries.size(); ++seg) {
+    const double lvl = rng.UniformDouble(0.0, level_range);
+    for (int64_t t = boundaries[seg]; t < boundaries[seg + 1]; ++t) {
+      out[static_cast<size_t>(t)] = lvl + rng.Gaussian(0.0, noise_stddev);
+    }
+  }
+  return out;
+}
+
+std::vector<double> GenerateZipfValues(int64_t n, int64_t domain, double skew,
+                                       uint64_t seed) {
+  STREAMHIST_CHECK_GE(n, 0);
+  Random rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t t = 0; t < n; ++t) {
+    out.push_back(static_cast<double>(rng.Zipf(domain, skew)));
+  }
+  return out;
+}
+
+std::vector<double> GenerateSineMix(int64_t n, double max_value,
+                                    uint64_t seed) {
+  STREAMHIST_CHECK_GE(n, 0);
+  Random rng(seed);
+  // Three random sinusoids spanning slow to fast periods.
+  struct Component {
+    double amplitude;
+    double period;
+    double phase;
+  };
+  Component comps[3];
+  for (int c = 0; c < 3; ++c) {
+    comps[c].amplitude = max_value / 8.0 * (0.5 + rng.UniformDouble());
+    comps[c].period = std::pow(10.0, 1.5 + rng.UniformDouble() * 2.0);
+    comps[c].phase = rng.UniformDouble(0.0, 2.0 * M_PI);
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t t = 0; t < n; ++t) {
+    double v = max_value / 2.0;
+    for (const Component& c : comps) {
+      v += c.amplitude *
+           std::sin(2.0 * M_PI * static_cast<double>(t) / c.period + c.phase);
+    }
+    v += rng.Gaussian(0.0, max_value / 100.0);
+    out.push_back(ClampQuantize(v, max_value, /*quantize=*/true));
+  }
+  return out;
+}
+
+DatasetKind ParseDatasetKind(const std::string& name) {
+  if (name == "walk") return DatasetKind::kRandomWalk;
+  if (name == "piecewise") return DatasetKind::kPiecewiseConstant;
+  if (name == "zipf") return DatasetKind::kZipf;
+  if (name == "sines") return DatasetKind::kSineMix;
+  return DatasetKind::kUtilization;
+}
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kUtilization:
+      return "utilization";
+    case DatasetKind::kRandomWalk:
+      return "walk";
+    case DatasetKind::kPiecewiseConstant:
+      return "piecewise";
+    case DatasetKind::kZipf:
+      return "zipf";
+    case DatasetKind::kSineMix:
+      return "sines";
+  }
+  return "unknown";
+}
+
+std::vector<double> GenerateDataset(DatasetKind kind, int64_t n,
+                                    uint64_t seed) {
+  switch (kind) {
+    case DatasetKind::kUtilization:
+      return GenerateUtilizationSeries(n, UtilizationOptions{}, seed);
+    case DatasetKind::kRandomWalk:
+      return GenerateRandomWalk(n, /*step_stddev=*/200.0,
+                                /*max_value=*/65536.0, seed);
+    case DatasetKind::kPiecewiseConstant:
+      return GeneratePiecewiseConstant(n, /*num_segments=*/std::max<int64_t>(
+                                              8, n / 256),
+                                       /*level_range=*/65536.0,
+                                       /*noise_stddev=*/256.0, seed);
+    case DatasetKind::kZipf:
+      return GenerateZipfValues(n, /*domain=*/65536, /*skew=*/1.1, seed);
+    case DatasetKind::kSineMix:
+      return GenerateSineMix(n, /*max_value=*/65536.0, seed);
+  }
+  return {};
+}
+
+std::vector<std::vector<double>> GenerateSeriesCollection(
+    int64_t num_series, int64_t length, double closeness, uint64_t seed) {
+  STREAMHIST_CHECK_GT(num_series, 0);
+  STREAMHIST_CHECK_GT(length, 0);
+  STREAMHIST_CHECK(closeness > 0.0 && closeness <= 1.0);
+  Random rng(seed);
+
+  // A shared base shape; each series is base + scaled perturbation.
+  std::vector<double> base =
+      GenerateSineMix(length, /*max_value=*/65536.0, seed ^ 0xabcdef);
+  const double perturb_scale = (1.0 - closeness) * 8000.0 + 200.0;
+
+  std::vector<std::vector<double>> collection;
+  collection.reserve(static_cast<size_t>(num_series));
+  for (int64_t s = 0; s < num_series; ++s) {
+    std::vector<double> series(static_cast<size_t>(length));
+    double drift = 0.0;
+    const double offset = rng.Gaussian(0.0, perturb_scale);
+    for (int64_t t = 0; t < length; ++t) {
+      drift = 0.98 * drift + rng.Gaussian(0.0, perturb_scale / 20.0);
+      series[static_cast<size_t>(t)] =
+          base[static_cast<size_t>(t)] + offset + drift;
+    }
+    collection.push_back(std::move(series));
+  }
+  return collection;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,93 @@
+#ifndef STREAMHIST_DATA_GENERATORS_H_
+#define STREAMHIST_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace streamhist {
+
+/// Synthetic stand-ins for the paper's proprietary AT&T operational time
+/// series (service-utilization extracts, ~1M points of bounded integers).
+/// See DESIGN.md section 4 for the substitution rationale: the algorithms'
+/// relative behavior depends on bounded integer values and on
+/// locally-smooth-with-shifts structure, both of which these generators
+/// reproduce.
+
+/// Parameters for GenerateUtilizationSeries. Defaults produce a plausible
+/// router-utilization trace: diurnal periodicity, autocorrelated noise,
+/// occasional traffic bursts and persistent level shifts, quantized to a
+/// bounded non-negative integer range.
+struct UtilizationOptions {
+  double max_value = 1 << 16;     ///< values are clamped to [0, max_value]
+  double base_level = 20000.0;    ///< mean utilization
+  double diurnal_amplitude = 8000.0;
+  int64_t diurnal_period = 1440;  ///< points per "day"
+  double ar_coefficient = 0.95;   ///< AR(1) persistence of the noise term
+  double noise_stddev = 800.0;    ///< innovation std-dev of the AR(1) term
+  double burst_probability = 0.002;  ///< per-point chance a burst starts
+  double burst_magnitude = 15000.0;  ///< initial burst height (exp. decays)
+  double burst_decay = 0.9;          ///< per-point multiplicative decay
+  double shift_probability = 0.0005;  ///< per-point chance of a level shift
+  double shift_stddev = 5000.0;       ///< magnitude of level shifts
+  bool quantize = true;               ///< round to integers (paper model)
+};
+
+/// Generates `n` points of a synthetic utilization trace.
+std::vector<double> GenerateUtilizationSeries(int64_t n,
+                                              const UtilizationOptions& options,
+                                              uint64_t seed);
+
+/// Bounded random walk quantized to integers in [0, max_value]; reflects at
+/// the boundaries.
+std::vector<double> GenerateRandomWalk(int64_t n, double step_stddev,
+                                       double max_value, uint64_t seed);
+
+/// Piecewise-constant signal with `num_segments` random levels plus Gaussian
+/// noise — the regime where a B-bucket V-optimal histogram with
+/// B >= num_segments can be near-exact. Useful as algorithmic ground truth.
+std::vector<double> GeneratePiecewiseConstant(int64_t n, int64_t num_segments,
+                                              double level_range,
+                                              double noise_stddev,
+                                              uint64_t seed);
+
+/// I.i.d. values drawn Zipf-distributed over an integer domain [1, domain]
+/// with skew `s` — a heavy-tailed stress case with no temporal locality.
+std::vector<double> GenerateZipfValues(int64_t n, int64_t domain, double skew,
+                                       uint64_t seed);
+
+/// Sum of sinusoids plus noise, quantized; a smooth stress case where wavelet
+/// synopses are competitive.
+std::vector<double> GenerateSineMix(int64_t n, double max_value, uint64_t seed);
+
+/// Named dataset kinds for harnesses and examples.
+enum class DatasetKind {
+  kUtilization,
+  kRandomWalk,
+  kPiecewiseConstant,
+  kZipf,
+  kSineMix,
+};
+
+/// Parses a dataset name ("utilization", "walk", "piecewise", "zipf",
+/// "sines"); returns kUtilization for unknown names.
+DatasetKind ParseDatasetKind(const std::string& name);
+
+/// Stable display name for a dataset kind.
+const char* DatasetKindName(DatasetKind kind);
+
+/// Generates a named dataset with that kind's default parameters.
+std::vector<double> GenerateDataset(DatasetKind kind, int64_t n, uint64_t seed);
+
+/// A collection of same-length series sharing a common base shape with
+/// per-series warping and noise — the substitution for the paper's
+/// time-series collections in the similarity experiments. `closeness`
+/// in (0, 1]: larger means series are more similar to each other.
+std::vector<std::vector<double>> GenerateSeriesCollection(
+    int64_t num_series, int64_t length, double closeness, uint64_t seed);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_DATA_GENERATORS_H_

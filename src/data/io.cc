@@ -1,0 +1,48 @@
+#include "src/data/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace streamhist {
+
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<double>& values) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (double v : values) out << v << '\n';
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<double>> ReadSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::vector<double> values;
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    // Take the first comma-separated field.
+    const size_t comma = line.find(',');
+    const std::string field =
+        comma == std::string::npos ? line : line.substr(0, comma);
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end == field.c_str()) {
+      std::ostringstream msg;
+      msg << path << ":" << lineno << ": not a number: '" << field << "'";
+      return Status::InvalidArgument(msg.str());
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,21 @@
+#ifndef STREAMHIST_DATA_IO_H_
+#define STREAMHIST_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace streamhist {
+
+/// Writes one value per line to `path`. Overwrites an existing file.
+Status WriteSeriesCsv(const std::string& path, const std::vector<double>& values);
+
+/// Reads a one-value-per-line (or first-column-of-CSV) series from `path`.
+/// Blank lines and lines starting with '#' are skipped.
+Result<std::vector<double>> ReadSeriesCsv(const std::string& path);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_DATA_IO_H_

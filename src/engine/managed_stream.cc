@@ -1,0 +1,78 @@
+#include "src/engine/managed_stream.h"
+
+#include <sstream>
+#include <utility>
+
+namespace streamhist {
+
+Result<ManagedStream> ManagedStream::Create(const StreamConfig& config) {
+  FixedWindowOptions window_options;
+  window_options.window_size = config.window_size;
+  window_options.num_buckets = config.num_buckets;
+  window_options.epsilon = config.epsilon;
+  window_options.rebuild_on_append = false;  // queries trigger rebuilds
+  STREAMHIST_ASSIGN_OR_RETURN(FixedWindowHistogram window,
+                              FixedWindowHistogram::Create(window_options));
+
+  ManagedStream stream(config, std::move(window));
+  if (config.keep_lifetime_histogram) {
+    ApproxHistogramOptions lifetime_options;
+    lifetime_options.num_buckets = config.num_buckets;
+    lifetime_options.epsilon = config.epsilon;
+    STREAMHIST_ASSIGN_OR_RETURN(AgglomerativeHistogram lifetime,
+                                AgglomerativeHistogram::Create(lifetime_options));
+    stream.lifetime_ =
+        std::make_unique<AgglomerativeHistogram>(std::move(lifetime));
+  }
+  if (config.keep_quantiles) {
+    STREAMHIST_ASSIGN_OR_RETURN(GKSummary summary,
+                                GKSummary::Create(config.quantile_epsilon));
+    stream.quantiles_ = std::make_unique<GKSummary>(std::move(summary));
+  }
+  if (config.keep_distinct) {
+    STREAMHIST_ASSIGN_OR_RETURN(FMSketch sketch, FMSketch::Create(256));
+    stream.distinct_ = std::make_unique<FMSketch>(std::move(sketch));
+  }
+  return stream;
+}
+
+ManagedStream::ManagedStream(const StreamConfig& config,
+                             FixedWindowHistogram window)
+    : config_(config),
+      window_(std::make_unique<FixedWindowHistogram>(std::move(window))) {}
+
+void ManagedStream::Append(double value) {
+  window_->Append(value);
+  if (lifetime_ != nullptr) lifetime_->Append(value);
+  if (quantiles_ != nullptr) quantiles_->Insert(value);
+  if (distinct_ != nullptr) distinct_->AddValue(value);
+}
+
+void ManagedStream::AppendBatch(std::span<const double> values) {
+  for (double v : values) Append(v);
+}
+
+int64_t ManagedStream::total_points() const {
+  return window_->window().total_appended();
+}
+
+std::string ManagedStream::Describe() {
+  std::ostringstream os;
+  os << total_points() << " points seen; window " << window_->window().size()
+     << "/" << config_.window_size << ", B=" << config_.num_buckets
+     << ", eps=" << config_.epsilon
+     << ", window error=" << window_->ApproxError();
+  if (lifetime_ != nullptr) {
+    os << "; lifetime error=" << lifetime_->ApproxError();
+  }
+  if (quantiles_ != nullptr && quantiles_->size() > 0) {
+    os << "; p50=" << quantiles_->Quantile(0.5);
+  }
+  if (distinct_ != nullptr) {
+    os << "; ~" << static_cast<int64_t>(distinct_->EstimateDistinct())
+       << " distinct values";
+  }
+  return os.str();
+}
+
+}  // namespace streamhist

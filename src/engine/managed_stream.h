@@ -1,0 +1,83 @@
+#ifndef STREAMHIST_ENGINE_MANAGED_STREAM_H_
+#define STREAMHIST_ENGINE_MANAGED_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/core/agglomerative.h"
+#include "src/core/fixed_window.h"
+#include "src/quantile/gk_summary.h"
+#include "src/sketch/fm_sketch.h"
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Which synopses a managed stream maintains; the fixed-window histogram is
+/// always on (it is the primary query surface).
+struct StreamConfig {
+  /// Sliding-window length for the fixed-window histogram.
+  int64_t window_size = 1024;
+  /// Bucket budget for both histograms.
+  int64_t num_buckets = 16;
+  /// Approximation slack for both histograms.
+  double epsilon = 0.1;
+  /// Maintain a whole-stream AgglomerativeHistogram as well.
+  bool keep_lifetime_histogram = true;
+  /// Maintain a GK quantile summary of the value distribution.
+  bool keep_quantiles = true;
+  /// Rank slack of the quantile summary.
+  double quantile_epsilon = 0.01;
+  /// Maintain an FM distinct-values sketch.
+  bool keep_distinct = true;
+};
+
+/// One named data stream with its continuously-maintained synopses — the
+/// paper's deployment picture (section 1): a network element's measurement
+/// stream that must stay queryable without being stored.
+class ManagedStream {
+ public:
+  /// Validates the config (delegates to the synopsis factories).
+  static Result<ManagedStream> Create(const StreamConfig& config);
+
+  /// Feeds one point to every maintained synopsis.
+  void Append(double value);
+
+  /// Feeds a batch (synopses rebuild lazily, so batches are cheap).
+  void AppendBatch(std::span<const double> values);
+
+  /// Total points seen over the stream's lifetime.
+  int64_t total_points() const;
+
+  const StreamConfig& config() const { return config_; }
+
+  /// The sliding-window histogram (always present).
+  FixedWindowHistogram& window_histogram() { return *window_; }
+
+  /// Lifetime histogram; null when disabled.
+  AgglomerativeHistogram* lifetime_histogram() { return lifetime_.get(); }
+
+  /// Value-quantile summary; null when disabled.
+  const GKSummary* quantiles() const { return quantiles_.get(); }
+
+  /// Distinct-values sketch; null when disabled.
+  const FMSketch* distinct() const { return distinct_.get(); }
+
+  /// One-line status ("n=1024 window, 16 buckets, 120000 points seen, ...").
+  std::string Describe();
+
+ private:
+  ManagedStream(const StreamConfig& config, FixedWindowHistogram window);
+
+  StreamConfig config_;
+  // unique_ptr keeps the type movable despite the large synopsis states.
+  std::unique_ptr<FixedWindowHistogram> window_;
+  std::unique_ptr<AgglomerativeHistogram> lifetime_;
+  std::unique_ptr<GKSummary> quantiles_;
+  std::unique_ptr<FMSketch> distinct_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_ENGINE_MANAGED_STREAM_H_

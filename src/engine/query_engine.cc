@@ -1,0 +1,224 @@
+#include "src/engine/query_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "src/core/error_bounds.h"
+
+namespace streamhist {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& statement) {
+  std::vector<std::string> tokens;
+  std::istringstream in(statement);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string ToUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+Result<int64_t> ParseInt(const std::string& token) {
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("expected an integer, got '" + token + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(const std::string& token) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty()) {
+    return Status::InvalidArgument("expected a number, got '" + token + "'");
+  }
+  return value;
+}
+
+std::string FormatNumber(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+/// Resolves a [lo, hi) window range from "lo hi" or "LAST k" argument forms.
+Result<std::pair<int64_t, int64_t>> ParseRange(
+    const std::vector<std::string>& tokens, size_t first_arg,
+    int64_t window_size) {
+  if (tokens.size() == first_arg + 2 &&
+      ToUpper(tokens[first_arg]) == "LAST") {
+    STREAMHIST_ASSIGN_OR_RETURN(int64_t k, ParseInt(tokens[first_arg + 1]));
+    if (k < 1) return Status::InvalidArgument("LAST k requires k >= 1");
+    k = std::min(k, window_size);
+    return std::make_pair(window_size - k, window_size);
+  }
+  if (tokens.size() == first_arg + 2) {
+    STREAMHIST_ASSIGN_OR_RETURN(int64_t lo, ParseInt(tokens[first_arg]));
+    STREAMHIST_ASSIGN_OR_RETURN(int64_t hi, ParseInt(tokens[first_arg + 1]));
+    if (!(0 <= lo && lo <= hi && hi <= window_size)) {
+      std::ostringstream msg;
+      msg << "range [" << lo << "," << hi << ") outside window of size "
+          << window_size;
+      return Status::OutOfRange(msg.str());
+    }
+    return std::make_pair(lo, hi);
+  }
+  return Status::InvalidArgument("expected '<lo> <hi>' or 'LAST <k>'");
+}
+
+}  // namespace
+
+Status QueryEngine::CreateStream(const std::string& name,
+                                 const StreamConfig& config) {
+  if (name.empty()) return Status::InvalidArgument("stream name is empty");
+  if (streams_.contains(name)) {
+    return Status::InvalidArgument("stream '" + name + "' already exists");
+  }
+  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream,
+                              ManagedStream::Create(config));
+  streams_.emplace(name, std::move(stream));
+  return Status::OK();
+}
+
+Status QueryEngine::DropStream(const std::string& name) {
+  if (streams_.erase(name) == 0) {
+    return Status::NotFound("no stream named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::Append(const std::string& name, double value) {
+  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(name));
+  stream->Append(value);
+  return Status::OK();
+}
+
+Status QueryEngine::AppendBatch(const std::string& name,
+                                std::span<const double> values) {
+  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(name));
+  stream->AppendBatch(values);
+  return Status::OK();
+}
+
+Result<ManagedStream*> QueryEngine::GetStream(const std::string& name) {
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> QueryEngine::ListStreams() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stream] : streams_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> QueryEngine::Execute(const std::string& statement) {
+  const std::vector<std::string> tokens = Tokenize(statement);
+  if (tokens.empty()) return Status::InvalidArgument("empty statement");
+  const std::string verb = ToUpper(tokens[0]);
+
+  if (verb == "LIST") {
+    std::ostringstream os;
+    const auto names = ListStreams();
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << names[i];
+    }
+    return os.str();
+  }
+
+  if (tokens.size() < 2) {
+    return Status::InvalidArgument(verb + " requires a stream name");
+  }
+  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(tokens[1]));
+  const int64_t window_size = stream->window_histogram().window().size();
+
+  if (verb == "SUM" || verb == "AVG") {
+    STREAMHIST_ASSIGN_OR_RETURN(auto range,
+                                ParseRange(tokens, 2, window_size));
+    const auto [lo, hi] = range;
+    if (verb == "AVG" && lo == hi) {
+      return Status::InvalidArgument("AVG over an empty range");
+    }
+    const double sum = stream->window_histogram().RangeSum(lo, hi);
+    return FormatNumber(verb == "SUM"
+                            ? sum
+                            : sum / static_cast<double>(hi - lo));
+  }
+  if (verb == "SUMBOUND" || verb == "AVGBOUND") {
+    STREAMHIST_ASSIGN_OR_RETURN(auto range,
+                                ParseRange(tokens, 2, window_size));
+    const auto [lo, hi] = range;
+    if (lo == hi) {
+      return Status::InvalidArgument(verb + " over an empty range");
+    }
+    FixedWindowHistogram& fw = stream->window_histogram();
+    const std::vector<double> errors = fw.BucketErrors();
+    const BoundedValue r =
+        verb == "SUMBOUND"
+            ? RangeSumWithBound(fw.Extract(), errors, lo, hi)
+            : RangeAverageWithBound(fw.Extract(), errors, lo, hi);
+    return FormatNumber(r.estimate) + " +- " + FormatNumber(r.error_bound);
+  }
+  if (verb == "POINT") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("POINT <stream> <i>");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(int64_t i, ParseInt(tokens[2]));
+    if (i < 0 || i >= window_size) {
+      return Status::OutOfRange("point index outside the window");
+    }
+    return FormatNumber(stream->window_histogram().Extract().Estimate(i));
+  }
+  if (verb == "QUANTILE") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("QUANTILE <stream> <phi>");
+    }
+    if (stream->quantiles() == nullptr) {
+      return Status::FailedPrecondition("quantiles disabled for this stream");
+    }
+    if (stream->quantiles()->size() == 0) {
+      return Status::FailedPrecondition("stream is empty");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(double phi, ParseDouble(tokens[2]));
+    if (phi < 0.0 || phi > 1.0) {
+      return Status::OutOfRange("phi must be in [0, 1]");
+    }
+    return FormatNumber(stream->quantiles()->Quantile(phi));
+  }
+  if (verb == "DISTINCT") {
+    if (stream->distinct() == nullptr) {
+      return Status::FailedPrecondition(
+          "distinct counting disabled for this stream");
+    }
+    return FormatNumber(stream->distinct()->EstimateDistinct());
+  }
+  if (verb == "COUNT") {
+    return FormatNumber(static_cast<double>(stream->total_points()));
+  }
+  if (verb == "ERROR") {
+    return FormatNumber(stream->window_histogram().ApproxError());
+  }
+  if (verb == "DESCRIBE") {
+    return stream->Describe();
+  }
+  if (verb == "SHOW") {
+    return stream->window_histogram().Extract().ToString();
+  }
+  return Status::InvalidArgument("unknown verb '" + verb + "'");
+}
+
+}  // namespace streamhist

@@ -1,0 +1,74 @@
+#ifndef STREAMHIST_ENGINE_QUERY_ENGINE_H_
+#define STREAMHIST_ENGINE_QUERY_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/engine/managed_stream.h"
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// A registry of named managed streams plus a tiny textual query language —
+/// the "operators commonly pose queries" interface of the paper's
+/// introduction made concrete. All answers come from the maintained
+/// synopses; the raw stream is never stored beyond the sliding window.
+///
+/// Query language (one statement per line, case-insensitive keywords,
+/// window-relative indices, ranges half-open):
+///
+///   SUM <stream> <lo> <hi>        estimated sum of window values [lo, hi)
+///   SUM <stream> LAST <k>         estimated sum of the latest k points
+///   AVG <stream> <lo> <hi>        estimated average over [lo, hi)
+///   AVG <stream> LAST <k>
+///   SUMBOUND <stream> <args>      like SUM but answers "estimate +- bound"
+///                                 with a certified deterministic bound
+///   AVGBOUND <stream> <args>      like AVG, with the certified bound
+///   POINT <stream> <i>            estimated value of window point i
+///   QUANTILE <stream> <phi>       value quantile over the whole stream
+///   DISTINCT <stream>             estimated distinct values seen
+///   COUNT <stream>                total points seen
+///   ERROR <stream>                window histogram SSE bound
+///   DESCRIBE <stream>             synopsis status line
+///   SHOW <stream>                 the window histogram's buckets
+///   LIST                          names of registered streams
+class QueryEngine {
+ public:
+  QueryEngine() = default;
+
+  // Streams hold large state; the engine is intentionally move-only.
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  /// Registers a new stream under `name`; fails on duplicates or bad config.
+  Status CreateStream(const std::string& name, const StreamConfig& config);
+
+  /// Removes a stream; NotFound when absent.
+  Status DropStream(const std::string& name);
+
+  /// Appends one point to a named stream.
+  Status Append(const std::string& name, double value);
+
+  /// Appends a batch to a named stream.
+  Status AppendBatch(const std::string& name, std::span<const double> values);
+
+  /// The registered stream, or NotFound.
+  Result<ManagedStream*> GetStream(const std::string& name);
+
+  /// Registered stream names, sorted.
+  std::vector<std::string> ListStreams() const;
+
+  /// Parses and executes one query statement; the result is rendered as a
+  /// human-readable string (numeric answers use shortest-round-trip format).
+  Result<std::string> Execute(const std::string& statement);
+
+ private:
+  std::map<std::string, ManagedStream> streams_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,87 @@
+#include "src/quantile/gk_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+
+// The GK invariant threshold: every tuple satisfies g + delta <= floor(2 e n).
+int64_t Threshold(double epsilon, int64_t count) {
+  return static_cast<int64_t>(
+      std::floor(2.0 * epsilon * static_cast<double>(count)));
+}
+
+}  // namespace
+
+Result<GKSummary> GKSummary::Create(double epsilon) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  return GKSummary(epsilon);
+}
+
+void GKSummary::Insert(double value) {
+  // First tuple with value >= v; the new tuple goes right before it.
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, double v) { return t.value < v; });
+
+  int64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    delta = std::max<int64_t>(Threshold(epsilon_, count_) - 1, 0);
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+
+  // Compress every ~1/(2 eps) insertions (GK's schedule).
+  if (++inserts_since_compress_ >=
+      static_cast<int64_t>(std::ceil(1.0 / (2.0 * epsilon_)))) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void GKSummary::Compress() {
+  if (tuples_.size() <= 2) return;
+  const int64_t threshold = Threshold(epsilon_, count_);
+  // Right-to-left: fold tuple i into tuple i+1 when the merged tuple still
+  // satisfies the invariant. Never fold the first tuple (it pins the
+  // minimum) or past the last.
+  for (size_t i = tuples_.size() - 2; i >= 1; --i) {
+    Tuple& cur = tuples_[i];
+    Tuple& next = tuples_[i + 1];
+    if (cur.g + next.g + next.delta <= threshold) {
+      next.g += cur.g;
+      tuples_.erase(tuples_.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+}
+
+double GKSummary::Quantile(double phi) const {
+  STREAMHIST_CHECK_GT(count_, 0);
+  phi = std::clamp(phi, 0.0, 1.0);
+  const int64_t r = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(phi * static_cast<double>(count_))),
+      1, count_);
+  const double slack = epsilon_ * static_cast<double>(count_);
+
+  // Return the predecessor of the first tuple whose rmax exceeds r + slack;
+  // the GK invariant makes that predecessor's rank lie in [r-slack, r+slack].
+  int64_t rmin = 0;
+  double prev_value = tuples_.front().value;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    if (static_cast<double>(rmin + t.delta) >
+        static_cast<double>(r) + slack) {
+      return prev_value;
+    }
+    prev_value = t.value;
+  }
+  return tuples_.back().value;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,59 @@
+#ifndef STREAMHIST_QUANTILE_GK_SUMMARY_H_
+#define STREAMHIST_QUANTILE_GK_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Greenwald-Khanna one-pass epsilon-approximate quantile summary [GK01]
+/// (paper related work, section 2). After N insertions, Quantile(phi)
+/// returns a value whose rank is within epsilon * N of ceil(phi * N), in
+/// O((1/epsilon) log(epsilon N)) space.
+///
+/// Included as the paper's related-work substrate: it powers the
+/// value-domain equi-depth extension (quantile-boundary histograms over a
+/// stream) used by examples and ablation benches.
+class GKSummary {
+ public:
+  /// epsilon must be in (0, 1).
+  static Result<GKSummary> Create(double epsilon);
+
+  /// Inserts one value (amortized O(log(1/epsilon) + log log N)).
+  void Insert(double value);
+
+  /// Number of inserted values.
+  int64_t size() const { return count_; }
+
+  /// A value whose rank is within epsilon * N of phi * N. phi in [0, 1].
+  /// Requires size() > 0.
+  double Quantile(double phi) const;
+
+  /// Number of summary tuples currently held (space diagnostic).
+  int64_t num_tuples() const { return static_cast<int64_t>(tuples_.size()); }
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  explicit GKSummary(double epsilon) : epsilon_(epsilon) {}
+
+  /// A GK tuple: value v, g = rmin(v) - rmin(prev), delta = rmax(v) - rmin(v).
+  struct Tuple {
+    double value;
+    int64_t g;
+    int64_t delta;
+  };
+
+  void Compress();
+
+  double epsilon_;
+  int64_t count_ = 0;
+  int64_t inserts_since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_QUANTILE_GK_SUMMARY_H_

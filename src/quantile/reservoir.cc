@@ -1,0 +1,47 @@
+#include "src/quantile/reservoir.h"
+
+namespace streamhist {
+
+Result<ReservoirSample> ReservoirSample::Create(int64_t capacity,
+                                                uint64_t seed) {
+  if (capacity < 1) {
+    return Status::InvalidArgument("capacity must be >= 1");
+  }
+  return ReservoirSample(capacity, seed);
+}
+
+void ReservoirSample::Append(double value) {
+  ++seen_;
+  if (static_cast<int64_t>(sample_.size()) < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  // Replace a uniformly random slot with probability capacity / seen.
+  const int64_t j = rng_.UniformInt(0, seen_ - 1);
+  if (j < capacity_) {
+    sample_[static_cast<size_t>(j)] = value;
+  }
+}
+
+double ReservoirSample::EstimateMean() const {
+  if (sample_.empty()) return 0.0;
+  long double total = 0.0L;
+  for (double v : sample_) total += v;
+  return static_cast<double>(total / static_cast<long double>(sample_.size()));
+}
+
+double ReservoirSample::EstimateTotalSum() const {
+  return EstimateMean() * static_cast<double>(seen_);
+}
+
+double ReservoirSample::EstimateCountInRange(double lo, double hi) const {
+  if (sample_.empty()) return 0.0;
+  int64_t in_range = 0;
+  for (double v : sample_) {
+    if (v >= lo && v < hi) ++in_range;
+  }
+  return static_cast<double>(in_range) /
+         static_cast<double>(sample_.size()) * static_cast<double>(seen_);
+}
+
+}  // namespace streamhist

@@ -1,0 +1,55 @@
+#ifndef STREAMHIST_QUANTILE_RESERVOIR_H_
+#define STREAMHIST_QUANTILE_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Classic reservoir sample (Vitter's algorithm R) over a one-pass stream —
+/// the random-sampling baseline of Manku et al. [SRL99] cited in the paper's
+/// related work. Keeps a uniform sample of `capacity` points from everything
+/// seen; supports the scaled estimates used by sampling-based approximate
+/// query answering.
+class ReservoirSample {
+ public:
+  /// capacity must be >= 1.
+  static Result<ReservoirSample> Create(int64_t capacity, uint64_t seed = 1);
+
+  /// Offers one stream point to the reservoir.
+  void Append(double value);
+
+  /// Number of points seen so far.
+  int64_t size() const { return seen_; }
+
+  /// Number of points currently in the reservoir (<= capacity).
+  int64_t sample_size() const { return static_cast<int64_t>(sample_.size()); }
+
+  const std::vector<double>& sample() const { return sample_; }
+
+  /// Estimated sum over everything seen: mean(sample) * N.
+  double EstimateTotalSum() const;
+
+  /// Estimated count of seen points with value in [lo, hi):
+  /// (sample fraction in range) * N.
+  double EstimateCountInRange(double lo, double hi) const;
+
+  /// Estimated mean of all seen points.
+  double EstimateMean() const;
+
+ private:
+  ReservoirSample(int64_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  Random rng_;
+  std::vector<double> sample_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_QUANTILE_RESERVOIR_H_

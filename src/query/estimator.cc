@@ -1,0 +1,4 @@
+#include "src/query/estimator.h"
+
+// The estimator adapters are header-only; this translation unit keeps the
+// header honest about being self-contained.

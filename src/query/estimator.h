@@ -1,0 +1,95 @@
+#ifndef STREAMHIST_QUERY_ESTIMATOR_H_
+#define STREAMHIST_QUERY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/core/histogram.h"
+#include "src/stream/prefix_sums.h"
+#include "src/wavelet/synopsis.h"
+
+namespace streamhist {
+
+/// Uniform interface over the synopses the paper's experiments compare:
+/// answers approximate point and range-sum queries over a length-n sequence.
+class RangeSumEstimator {
+ public:
+  virtual ~RangeSumEstimator() = default;
+
+  /// Estimated sum over the half-open range [lo, hi).
+  virtual double RangeSum(int64_t lo, int64_t hi) const = 0;
+
+  /// Estimated value at index i.
+  virtual double Estimate(int64_t i) const = 0;
+
+  /// Domain size n.
+  virtual int64_t domain_size() const = 0;
+
+  /// Display name ("exact", "histogram", "wavelet", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Ground truth: exact answers from materialized data (prefix sums).
+class ExactEstimator : public RangeSumEstimator {
+ public:
+  explicit ExactEstimator(std::span<const double> data)
+      : sums_(data), n_(static_cast<int64_t>(data.size())) {}
+
+  double RangeSum(int64_t lo, int64_t hi) const override {
+    return sums_.Sum(lo, hi);
+  }
+  double Estimate(int64_t i) const override { return sums_.Sum(i, i + 1); }
+  int64_t domain_size() const override { return n_; }
+  std::string name() const override { return "exact"; }
+
+ private:
+  PrefixSums sums_;
+  int64_t n_;
+};
+
+/// Histogram-backed estimates (any of the paper's histogram builders).
+class HistogramEstimator : public RangeSumEstimator {
+ public:
+  /// Does not take ownership; `histogram` must outlive the estimator.
+  explicit HistogramEstimator(const Histogram* histogram,
+                              std::string name = "histogram")
+      : histogram_(histogram), name_(std::move(name)) {}
+
+  double RangeSum(int64_t lo, int64_t hi) const override {
+    return histogram_->RangeSum(lo, hi);
+  }
+  double Estimate(int64_t i) const override {
+    return histogram_->Estimate(i);
+  }
+  int64_t domain_size() const override { return histogram_->domain_size(); }
+  std::string name() const override { return name_; }
+
+ private:
+  const Histogram* histogram_;
+  std::string name_;
+};
+
+/// Wavelet-synopsis-backed estimates (the comparison baseline).
+class WaveletEstimator : public RangeSumEstimator {
+ public:
+  /// Does not take ownership; `synopsis` must outlive the estimator.
+  explicit WaveletEstimator(const WaveletSynopsis* synopsis)
+      : synopsis_(synopsis) {}
+
+  double RangeSum(int64_t lo, int64_t hi) const override {
+    return synopsis_->RangeSum(lo, hi);
+  }
+  double Estimate(int64_t i) const override {
+    return synopsis_->Estimate(i);
+  }
+  int64_t domain_size() const override { return synopsis_->domain_size(); }
+  std::string name() const override { return "wavelet"; }
+
+ private:
+  const WaveletSynopsis* synopsis_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_QUERY_ESTIMATOR_H_

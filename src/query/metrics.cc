@@ -1,0 +1,73 @@
+#include "src/query/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+
+/// Accumulates per-query errors into an AccuracyReport.
+class Accumulator {
+ public:
+  explicit Accumulator(double sanity_floor) : floor_(sanity_floor) {}
+
+  void Add(double exact, double approx) {
+    const double abs_err = std::fabs(approx - exact);
+    sum_abs_ += abs_err;
+    sum_sq_ += abs_err * abs_err;
+    sum_rel_ += abs_err / std::max(std::fabs(exact), floor_);
+    max_abs_ = std::max(max_abs_, abs_err);
+    ++count_;
+  }
+
+  AccuracyReport Finish() const {
+    AccuracyReport report;
+    report.num_queries = count_;
+    if (count_ == 0) return report;
+    const double n = static_cast<double>(count_);
+    report.mean_absolute_error = static_cast<double>(sum_abs_ / n);
+    report.root_mean_squared_error =
+        std::sqrt(static_cast<double>(sum_sq_ / n));
+    report.mean_relative_error = static_cast<double>(sum_rel_ / n);
+    report.max_absolute_error = max_abs_;
+    return report;
+  }
+
+ private:
+  double floor_;
+  long double sum_abs_ = 0.0L;
+  long double sum_sq_ = 0.0L;
+  long double sum_rel_ = 0.0L;
+  double max_abs_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace
+
+AccuracyReport EvaluateRangeSums(const RangeSumEstimator& exact,
+                                 const RangeSumEstimator& approx,
+                                 const std::vector<RangeQuery>& queries,
+                                 double sanity_floor) {
+  STREAMHIST_CHECK_EQ(exact.domain_size(), approx.domain_size());
+  Accumulator acc(sanity_floor);
+  for (const RangeQuery& q : queries) {
+    acc.Add(exact.RangeSum(q.lo, q.hi), approx.RangeSum(q.lo, q.hi));
+  }
+  return acc.Finish();
+}
+
+AccuracyReport EvaluateAllPoints(const RangeSumEstimator& exact,
+                                 const RangeSumEstimator& approx,
+                                 double sanity_floor) {
+  STREAMHIST_CHECK_EQ(exact.domain_size(), approx.domain_size());
+  Accumulator acc(sanity_floor);
+  for (int64_t i = 0; i < exact.domain_size(); ++i) {
+    acc.Add(exact.Estimate(i), approx.Estimate(i));
+  }
+  return acc.Finish();
+}
+
+}  // namespace streamhist

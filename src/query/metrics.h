@@ -1,0 +1,38 @@
+#ifndef STREAMHIST_QUERY_METRICS_H_
+#define STREAMHIST_QUERY_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/query/estimator.h"
+#include "src/query/workload.h"
+
+namespace streamhist {
+
+/// Aggregate accuracy of an approximate estimator against ground truth over
+/// a query workload.
+struct AccuracyReport {
+  int64_t num_queries = 0;
+  double mean_absolute_error = 0.0;  ///< mean |approx - exact|
+  double root_mean_squared_error = 0.0;
+  /// Mean of |approx - exact| / max(|exact|, sanity_floor): relative error
+  /// with a floor that keeps near-zero truths from dominating.
+  double mean_relative_error = 0.0;
+  double max_absolute_error = 0.0;
+};
+
+/// Evaluates `approx` against `exact` on the range-sum workload.
+/// `sanity_floor` guards the relative-error denominator (default 1.0).
+AccuracyReport EvaluateRangeSums(const RangeSumEstimator& exact,
+                                 const RangeSumEstimator& approx,
+                                 const std::vector<RangeQuery>& queries,
+                                 double sanity_floor = 1.0);
+
+/// Evaluates point-query accuracy over every index of the domain.
+AccuracyReport EvaluateAllPoints(const RangeSumEstimator& exact,
+                                 const RangeSumEstimator& approx,
+                                 double sanity_floor = 1.0);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_QUERY_METRICS_H_

@@ -1,0 +1,41 @@
+#include "src/query/workload.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+std::vector<RangeQuery> GenerateUniformRangeQueries(int64_t domain_size,
+                                                    int64_t count,
+                                                    Random& rng) {
+  STREAMHIST_CHECK_GT(domain_size, 0);
+  std::vector<RangeQuery> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int64_t q = 0; q < count; ++q) {
+    const int64_t lo = rng.UniformInt(0, domain_size - 1);
+    const int64_t span = rng.UniformInt(1, domain_size - lo);
+    queries.push_back(RangeQuery{lo, lo + span});
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> GenerateSpanBoundedQueries(int64_t domain_size,
+                                                   int64_t count,
+                                                   int64_t min_span,
+                                                   int64_t max_span,
+                                                   Random& rng) {
+  STREAMHIST_CHECK_GT(domain_size, 0);
+  STREAMHIST_CHECK(1 <= min_span && min_span <= max_span);
+  max_span = std::min(max_span, domain_size);
+  std::vector<RangeQuery> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int64_t q = 0; q < count; ++q) {
+    const int64_t span = rng.UniformInt(min_span, max_span);
+    const int64_t lo = rng.UniformInt(0, domain_size - span);
+    queries.push_back(RangeQuery{lo, lo + span});
+  }
+  return queries;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,37 @@
+#ifndef STREAMHIST_QUERY_WORKLOAD_H_
+#define STREAMHIST_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace streamhist {
+
+/// One range aggregation query over the half-open index range [lo, hi).
+struct RangeQuery {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  int64_t span() const { return hi - lo; }
+};
+
+/// Generates `count` random range-sum queries over a domain of size n,
+/// "the starting points as well as the span of the queries chosen uniformly
+/// and independently" (paper section 5.1): lo uniform on [0, n), span
+/// uniform on [1, n - lo].
+std::vector<RangeQuery> GenerateUniformRangeQueries(int64_t domain_size,
+                                                    int64_t count,
+                                                    Random& rng);
+
+/// Generates queries whose spans are uniform on [min_span, max_span]
+/// (clamped to fit), for span-controlled sweeps.
+std::vector<RangeQuery> GenerateSpanBoundedQueries(int64_t domain_size,
+                                                   int64_t count,
+                                                   int64_t min_span,
+                                                   int64_t max_span,
+                                                   Random& rng);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_QUERY_WORKLOAD_H_

@@ -1,0 +1,248 @@
+#include "src/selectivity/value_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/core/vopt_dp.h"
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+
+Status CheckValueBuckets(const std::vector<ValueBucket>& buckets) {
+  for (size_t k = 0; k < buckets.size(); ++k) {
+    const ValueBucket& b = buckets[k];
+    if (!(b.lo < b.hi)) {
+      return Status::InvalidArgument("empty or inverted value bucket");
+    }
+    if (b.count < 0) {
+      return Status::InvalidArgument("negative bucket count");
+    }
+    if (k > 0 && buckets[k - 1].hi != b.lo) {
+      return Status::InvalidArgument("value buckets must be contiguous");
+    }
+  }
+  return Status::OK();
+}
+
+// Width of the intersection of [lo, hi) with [a, b).
+double Overlap(double lo, double hi, double a, double b) {
+  const double left = std::max(lo, a);
+  const double right = std::min(hi, b);
+  return right > left ? right - left : 0.0;
+}
+
+}  // namespace
+
+Result<ValueHistogram> ValueHistogram::Make(std::vector<ValueBucket> buckets) {
+  STREAMHIST_RETURN_NOT_OK(CheckValueBuckets(buckets));
+  return ValueHistogram(std::move(buckets));
+}
+
+double ValueHistogram::total_count() const {
+  double total = 0.0;
+  for (const ValueBucket& b : buckets_) total += b.count;
+  return total;
+}
+
+double ValueHistogram::EstimateCountInRange(double lo, double hi) const {
+  if (!(lo < hi)) return 0.0;
+  double estimate = 0.0;
+  for (const ValueBucket& b : buckets_) {
+    const double overlap = Overlap(lo, hi, b.lo, b.hi);
+    if (overlap > 0.0) {
+      estimate += b.count * overlap / (b.hi - b.lo);
+    }
+  }
+  return estimate;
+}
+
+double ValueHistogram::EstimateSelectivity(double lo, double hi) const {
+  const double total = total_count();
+  return total > 0.0 ? EstimateCountInRange(lo, hi) / total : 0.0;
+}
+
+std::string ValueHistogram::ToString() const {
+  std::ostringstream os;
+  for (size_t k = 0; k < buckets_.size(); ++k) {
+    if (k > 0) os << ' ';
+    os << '[' << buckets_[k].lo << ',' << buckets_[k].hi
+       << ")=" << buckets_[k].count;
+  }
+  return os.str();
+}
+
+FrequencyDistribution::FrequencyDistribution(std::span<const double> data)
+    : sorted_(data.begin(), data.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+int64_t FrequencyDistribution::CountInRange(double lo, double hi) const {
+  const auto first = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+  const auto last = std::lower_bound(sorted_.begin(), sorted_.end(), hi);
+  return last - first;
+}
+
+double FrequencyDistribution::min() const {
+  STREAMHIST_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double FrequencyDistribution::max() const {
+  STREAMHIST_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+ValueHistogram BuildEquiWidthValueHistogram(std::span<const double> data,
+                                            int64_t num_buckets) {
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  STREAMHIST_CHECK(!data.empty());
+  const auto [min_it, max_it] = std::minmax_element(data.begin(), data.end());
+  const double lo = *min_it;
+  // Half-open buckets: nudge the top edge so the max value is included.
+  const double hi = std::nextafter(*max_it, *max_it + 1.0);
+  const double width = (hi - lo) / static_cast<double>(num_buckets);
+
+  std::vector<ValueBucket> buckets(static_cast<size_t>(num_buckets));
+  for (int64_t k = 0; k < num_buckets; ++k) {
+    buckets[static_cast<size_t>(k)].lo = lo + width * static_cast<double>(k);
+    buckets[static_cast<size_t>(k)].hi =
+        k + 1 == num_buckets ? hi : lo + width * static_cast<double>(k + 1);
+  }
+  for (double v : data) {
+    int64_t k = width > 0
+                    ? static_cast<int64_t>((v - lo) / width)
+                    : 0;
+    k = std::clamp<int64_t>(k, 0, num_buckets - 1);
+    buckets[static_cast<size_t>(k)].count += 1.0;
+  }
+  return ValueHistogram::Make(std::move(buckets)).value();
+}
+
+ValueHistogram BuildEquiDepthValueHistogram(std::span<const double> data,
+                                            int64_t num_buckets) {
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  STREAMHIST_CHECK(!data.empty());
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  const int64_t depth = (n + num_buckets - 1) / num_buckets;
+
+  // Values whose multiplicity reaches a full bucket depth get a singleton
+  // bucket of their own (compressed-histogram behavior): the
+  // uniform-in-bucket assumption would otherwise smear a heavy value across
+  // a wide range. Every bucket holds >= depth points except possibly the
+  // last, so at most num_buckets + 1 buckets are produced.
+  std::vector<ValueBucket> buckets;
+  int64_t i = 0;
+  double cursor = sorted.front();  // low edge of the next bucket
+  while (i < n) {
+    const double v = sorted[static_cast<size_t>(i)];
+    const int64_t run_end =
+        std::upper_bound(sorted.begin() + static_cast<ptrdiff_t>(i),
+                         sorted.end(), v) -
+        sorted.begin();
+    if (run_end - i >= depth) {
+      // Heavy value: close any gap up to v, then a singleton bucket.
+      const double v_top = std::nextafter(v, v + 1.0);
+      if (cursor < v) {
+        buckets.push_back(ValueBucket{cursor, v, 0.0});
+      }
+      buckets.push_back(
+          ValueBucket{v, v_top, static_cast<double>(run_end - i)});
+      cursor = v_top;
+      i = run_end;
+      continue;
+    }
+    // Normal bucket: take ~depth points, extended to a value-run boundary so
+    // equal values never straddle buckets.
+    int64_t j = std::min(n, i + depth);
+    j = std::upper_bound(sorted.begin() + static_cast<ptrdiff_t>(j - 1),
+                         sorted.end(), sorted[static_cast<size_t>(j - 1)]) -
+        sorted.begin();
+    const double end_value =
+        j == n ? std::nextafter(sorted.back(), sorted.back() + 1.0)
+               : sorted[static_cast<size_t>(j)];
+    buckets.push_back(
+        ValueBucket{cursor, end_value, static_cast<double>(j - i)});
+    cursor = end_value;
+    i = j;
+  }
+  return ValueHistogram::Make(std::move(buckets)).value();
+}
+
+ValueHistogram BuildStreamingEquiDepthHistogram(const GKSummary& summary,
+                                                int64_t num_buckets) {
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  STREAMHIST_CHECK_GT(summary.size(), 0);
+  const double n = static_cast<double>(summary.size());
+  const double lo = summary.Quantile(0.0);
+  const double top_value = summary.Quantile(1.0);
+  const double top = std::nextafter(top_value, top_value + 1.0);
+
+  std::vector<ValueBucket> buckets;
+  double start_value = lo;
+  for (int64_t k = 1; k <= num_buckets; ++k) {
+    const double phi = static_cast<double>(k) / static_cast<double>(num_buckets);
+    double end_value = k == num_buckets ? top : summary.Quantile(phi);
+    if (end_value <= start_value) continue;  // duplicate-heavy region
+    buckets.push_back(ValueBucket{start_value, end_value, n /
+                                  static_cast<double>(num_buckets)});
+    start_value = end_value;
+  }
+  if (buckets.empty()) {
+    buckets.push_back(ValueBucket{lo, top, n});
+  } else {
+    buckets.back().hi = std::max(buckets.back().hi, top);
+  }
+  // Redistribute so counts total exactly n even after merged boundaries.
+  const double scale = n / [&] {
+    double t = 0.0;
+    for (const ValueBucket& b : buckets) t += b.count;
+    return t;
+  }();
+  for (ValueBucket& b : buckets) b.count *= scale;
+  return ValueHistogram::Make(std::move(buckets)).value();
+}
+
+ValueHistogram BuildVOptimalValueHistogram(std::span<const double> data,
+                                           int64_t num_buckets,
+                                           int64_t domain_bins) {
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  STREAMHIST_CHECK_GT(domain_bins, 0);
+  STREAMHIST_CHECK(!data.empty());
+  const auto [min_it, max_it] = std::minmax_element(data.begin(), data.end());
+  const double lo = *min_it;
+  const double hi = std::nextafter(*max_it, *max_it + 1.0);
+  const double cell = (hi - lo) / static_cast<double>(domain_bins);
+
+  // Frequency vector over the discretized value domain.
+  std::vector<double> freq(static_cast<size_t>(domain_bins), 0.0);
+  for (double v : data) {
+    int64_t c = cell > 0 ? static_cast<int64_t>((v - lo) / cell) : 0;
+    c = std::clamp<int64_t>(c, 0, domain_bins - 1);
+    freq[static_cast<size_t>(c)] += 1.0;
+  }
+
+  // The paper's optimal DP on the frequency sequence.
+  const OptimalHistogramResult result =
+      BuildVOptimalHistogram(freq, num_buckets);
+
+  std::vector<ValueBucket> buckets;
+  buckets.reserve(static_cast<size_t>(result.histogram.num_buckets()));
+  for (const Bucket& b : result.histogram.buckets()) {
+    double count = 0.0;
+    for (int64_t c = b.begin; c < b.end; ++c) {
+      count += freq[static_cast<size_t>(c)];
+    }
+    const double bucket_lo = lo + cell * static_cast<double>(b.begin);
+    const double bucket_hi =
+        b.end == domain_bins ? hi : lo + cell * static_cast<double>(b.end);
+    buckets.push_back(ValueBucket{bucket_lo, bucket_hi, count});
+  }
+  return ValueHistogram::Make(std::move(buckets)).value();
+}
+
+}  // namespace streamhist

@@ -1,0 +1,106 @@
+#ifndef STREAMHIST_SELECTIVITY_VALUE_HISTOGRAM_H_
+#define STREAMHIST_SELECTIVITY_VALUE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/quantile/gk_summary.h"
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Value-domain (selectivity-estimation) histograms — the classic database
+/// application the paper's introduction cites ([IP95], [PI97]): buckets
+/// partition the *value* space and store how many points fall in each, so a
+/// predicate `lo <= v < hi` can be estimated without touching the data.
+/// These complement the paper's serial (index-domain) histograms: the same
+/// V-optimal machinery, applied to the value-frequency vector.
+
+/// One value-domain bucket: `count` points have values in [lo, hi).
+struct ValueBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  double count = 0.0;
+};
+
+/// A value-domain histogram with the continuous-values uniformity
+/// assumption inside each bucket.
+class ValueHistogram {
+ public:
+  ValueHistogram() = default;
+
+  /// Buckets must be non-empty ranges, contiguous and increasing.
+  static Result<ValueHistogram> Make(std::vector<ValueBucket> buckets);
+
+  int64_t num_buckets() const { return static_cast<int64_t>(buckets_.size()); }
+  const std::vector<ValueBucket>& buckets() const { return buckets_; }
+
+  /// Total point count across buckets.
+  double total_count() const;
+
+  /// Estimated number of points with value in [lo, hi) (uniform-in-bucket).
+  double EstimateCountInRange(double lo, double hi) const;
+
+  /// EstimateCountInRange / total_count (0 when empty).
+  double EstimateSelectivity(double lo, double hi) const;
+
+  /// "[0,10)=42 [10,50)=7" style rendering.
+  std::string ToString() const;
+
+ private:
+  explicit ValueHistogram(std::vector<ValueBucket> buckets)
+      : buckets_(std::move(buckets)) {}
+
+  std::vector<ValueBucket> buckets_;
+};
+
+/// Exact value-frequency ground truth over materialized data (for tests and
+/// benchmarks).
+class FrequencyDistribution {
+ public:
+  explicit FrequencyDistribution(std::span<const double> data);
+
+  int64_t total() const { return static_cast<int64_t>(sorted_.size()); }
+
+  /// Exact number of points with value in [lo, hi).
+  int64_t CountInRange(double lo, double hi) const;
+
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Equal-width value buckets over [min, max]. Requires B >= 1 and data
+/// non-empty.
+ValueHistogram BuildEquiWidthValueHistogram(std::span<const double> data,
+                                            int64_t num_buckets);
+
+/// Exact equi-depth buckets (offline, via sorting): each bucket holds
+/// ~N/B points.
+ValueHistogram BuildEquiDepthValueHistogram(std::span<const double> data,
+                                            int64_t num_buckets);
+
+/// One-pass streaming equi-depth: bucket boundaries read off a GK quantile
+/// summary — each boundary's rank is within epsilon * N of the ideal
+/// k*N/B, so every bucket count is within 2 * epsilon * N of N/B. This is
+/// the paper's related-work substrate ([GK01], [SRL98]) put to its classic
+/// use.
+ValueHistogram BuildStreamingEquiDepthHistogram(const GKSummary& summary,
+                                                int64_t num_buckets);
+
+/// V-optimal histogram over the value-frequency vector (the [IP95] serial
+/// V-optimal on the value domain): the value range is discretized into
+/// `domain_bins` cells, the per-cell frequencies form a sequence, and the
+/// paper's optimal DP chooses the B bucket boundaries minimizing the SSE of
+/// the frequency approximation.
+ValueHistogram BuildVOptimalValueHistogram(std::span<const double> data,
+                                           int64_t num_buckets,
+                                           int64_t domain_bins);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_SELECTIVITY_VALUE_HISTOGRAM_H_

@@ -1,0 +1,55 @@
+#ifndef STREAMHIST_SKETCH_FM_SKETCH_H_
+#define STREAMHIST_SKETCH_FM_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Flajolet-Martin probabilistic counting [FM83] with stochastic averaging
+/// (PCSA) — the paper's related-work substrate for counting distinct values
+/// on a stream in constant space. Each item is hashed; the low bits pick one
+/// of `num_bitmaps` bitmaps and the rank of the lowest set bit of the rest
+/// marks the bitmap. The distinct-count estimate is
+///
+///   (num_bitmaps / phi) * 2^(mean lowest-unset-rank),   phi ~= 0.77351
+///
+/// with standard error ~ 0.78 / sqrt(num_bitmaps).
+class FMSketch {
+ public:
+  /// num_bitmaps must be a power of two >= 1.
+  static Result<FMSketch> Create(int64_t num_bitmaps, uint64_t seed = 1);
+
+  /// Adds one item (any 64-bit key; hash doubles via bit_cast for values).
+  void Add(uint64_t key);
+
+  /// Convenience for double-valued stream points.
+  void AddValue(double value);
+
+  /// Estimated number of distinct keys added.
+  double EstimateDistinct() const;
+
+  /// Number of items added (not distinct).
+  int64_t items_added() const { return items_added_; }
+
+  int64_t num_bitmaps() const {
+    return static_cast<int64_t>(bitmaps_.size());
+  }
+
+  /// Merges another sketch built with the same shape and seed (union
+  /// semantics). Returns InvalidArgument on shape/seed mismatch.
+  Status Merge(const FMSketch& other);
+
+ private:
+  FMSketch(int64_t num_bitmaps, uint64_t seed);
+
+  uint64_t seed_;
+  int64_t items_added_ = 0;
+  std::vector<uint64_t> bitmaps_;  // bit r set: some key hit rank r
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_SKETCH_FM_SKETCH_H_

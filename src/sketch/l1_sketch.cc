@@ -1,0 +1,79 @@
+#include "src/sketch/l1_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+double MedianOfAbs(std::vector<double> values) {
+  const size_t mid = values.size() / 2;
+  for (double& v : values) v = std::fabs(v);
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(mid),
+                   values.end());
+  double median = values[mid];
+  if (values.size() % 2 == 0) {
+    const double lower = *std::max_element(
+        values.begin(), values.begin() + static_cast<ptrdiff_t>(mid));
+    median = (median + lower) / 2.0;
+  }
+  return median;
+}
+
+}  // namespace
+
+Result<L1Sketch> L1Sketch::Create(int64_t num_counters, uint64_t seed) {
+  if (num_counters < 1) {
+    return Status::InvalidArgument("num_counters must be >= 1");
+  }
+  return L1Sketch(num_counters, seed);
+}
+
+L1Sketch::L1Sketch(int64_t num_counters, uint64_t seed) : seed_(seed) {
+  counters_.assign(static_cast<size_t>(num_counters), 0.0);
+}
+
+double L1Sketch::CauchyAt(int64_t j, int64_t index) const {
+  // Deterministic uniform in (0, 1) from (seed, j, index), then the Cauchy
+  // inverse CDF tan(pi (u - 1/2)).
+  const uint64_t h =
+      Mix64(seed_ ^ Mix64(static_cast<uint64_t>(j) * 0x9e3779b97f4a7c15ULL ^
+                          static_cast<uint64_t>(index)));
+  const double u =
+      (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;  // (0, 1)
+  return std::tan(M_PI * (u - 0.5));
+}
+
+void L1Sketch::Update(int64_t index, double delta) {
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    counters_[j] += delta * CauchyAt(static_cast<int64_t>(j), index);
+  }
+}
+
+double L1Sketch::EstimateL1Norm() const {
+  return MedianOfAbs(counters_);
+}
+
+double L1Sketch::EstimateL1Distance(const L1Sketch& other) const {
+  STREAMHIST_CHECK_EQ(counters_.size(), other.counters_.size());
+  STREAMHIST_CHECK_EQ(seed_, other.seed_);
+  std::vector<double> diffs(counters_.size());
+  for (size_t j = 0; j < counters_.size(); ++j) {
+    diffs[j] = counters_[j] - other.counters_[j];
+  }
+  return MedianOfAbs(std::move(diffs));
+}
+
+}  // namespace streamhist

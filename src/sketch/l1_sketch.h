@@ -1,0 +1,58 @@
+#ifndef STREAMHIST_SKETCH_L1_SKETCH_H_
+#define STREAMHIST_SKETCH_L1_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Stable-distribution L1 sketch in the style of Indyk [Ind00] (the paper's
+/// related work also cites the L1-difference algorithm of Feigenbaum et al.
+/// [FKSV99]): maintains k counters c_j = sum_i x_i * s_j(i) where s_j(i) is
+/// a pseudorandom Cauchy variate derived deterministically from (j, i, seed).
+/// Because the Cauchy distribution is 1-stable, c_j(x) - c_j(y) is
+/// distributed as ||x - y||_1 times a standard Cauchy, so
+///
+///   L1(x, y)  ~=  median_j |c_j(x) - c_j(y)|
+///
+/// Streams are vectors indexed by position: Update(i, delta) adds delta to
+/// coordinate i. Two sketches built with the same (k, seed) are comparable
+/// and linear (sketch(x - y) = sketch(x) - sketch(y)).
+class L1Sketch {
+ public:
+  /// num_counters (k) must be >= 1; accuracy ~ O(1/sqrt(k)).
+  static Result<L1Sketch> Create(int64_t num_counters, uint64_t seed = 1);
+
+  /// Adds delta to coordinate `index` of the underlying vector.
+  void Update(int64_t index, double delta);
+
+  /// Convenience: appends a stream point as coordinate `next_index++`.
+  void Append(double value) { Update(next_index_++, value); }
+
+  /// Estimated L1 norm of the underlying vector.
+  double EstimateL1Norm() const;
+
+  /// Estimated L1 distance to another sketch (same k and seed required;
+  /// CHECK-fails otherwise).
+  double EstimateL1Distance(const L1Sketch& other) const;
+
+  int64_t num_counters() const {
+    return static_cast<int64_t>(counters_.size());
+  }
+
+ private:
+  L1Sketch(int64_t num_counters, uint64_t seed);
+
+  // Pseudorandom standard Cauchy variate for (counter j, coordinate i).
+  double CauchyAt(int64_t j, int64_t index) const;
+
+  uint64_t seed_;
+  int64_t next_index_ = 0;
+  std::vector<double> counters_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_SKETCH_L1_SKETCH_H_

@@ -1,0 +1,50 @@
+#ifndef STREAMHIST_STREAM_PREFIX_SUMS_H_
+#define STREAMHIST_STREAM_PREFIX_SUMS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamhist {
+
+/// Prefix sums and sums-of-squares over a finite sequence, supporting O(1)
+/// bucket statistics. This is the paper's SUM / SQSUM pair (equation 3):
+/// for a bucket the squared error under the mean representative is
+///
+///   SQERROR(i, j) = SQSUM(i, j) - SUM(i, j)^2 / (j - i)
+///
+/// (half-open [i, j) in this codebase). Accumulation uses long double over
+/// values *shifted by the sequence mean* — SQERROR is shift-invariant, and
+/// shifting keeps the catastrophic-cancellation term SUM^2/(j-i) small even
+/// when the data rides a large offset (e.g. values near 1e9 with tiny
+/// variance). Results are clamped at zero so rounding can never produce a
+/// negative bucket error.
+class PrefixSums {
+ public:
+  /// Builds prefix sums over `values` in O(n).
+  explicit PrefixSums(std::span<const double> values);
+
+  /// Number of underlying values.
+  int64_t size() const { return static_cast<int64_t>(sum_.size()) - 1; }
+
+  /// Sum of values[i..j). Requires 0 <= i <= j <= size().
+  double Sum(int64_t i, int64_t j) const;
+
+  /// Sum of squared values over [i, j). Requires 0 <= i <= j <= size().
+  double SumSquares(int64_t i, int64_t j) const;
+
+  /// Mean of values[i..j). Requires i < j.
+  double Mean(int64_t i, int64_t j) const;
+
+  /// SSE of representing values[i..j) by their mean; 0 for empty ranges.
+  double SqError(int64_t i, int64_t j) const;
+
+ private:
+  long double offset_ = 0.0L;       // sequence mean, subtracted before summing
+  std::vector<long double> sum_;    // sum_[k] = sum of shifted values[0..k)
+  std::vector<long double> sqsum_;  // sqsum_[k] = shifted sum of squares
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_STREAM_PREFIX_SUMS_H_

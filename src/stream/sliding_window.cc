@@ -1,0 +1,107 @@
+#include "src/stream/sliding_window.h"
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+SlidingWindow::SlidingWindow(int64_t capacity) : capacity_(capacity) {
+  STREAMHIST_CHECK_GT(capacity, 0);
+  values_.resize(static_cast<size_t>(capacity));
+  cum_sum_.resize(static_cast<size_t>(capacity));
+  cum_sqsum_.resize(static_cast<size_t>(capacity));
+}
+
+void SlidingWindow::EvictOldest() {
+  STREAMHIST_CHECK_GT(size_, 0);
+  // Fold the departing point's cumulative totals into the base.
+  const size_t old_slot = Slot(0);
+  base_sum_ = cum_sum_[old_slot];
+  base_sqsum_ = cum_sqsum_[old_slot];
+  head_ = (head_ + 1) % capacity_;
+  --size_;
+}
+
+void SlidingWindow::Append(double value) {
+  if (total_appended_ == 0) offset_ = value;  // seed the shift epoch
+  if (size_ == capacity_) EvictOldest();
+  const size_t slot = Slot(size_);
+  const long double d = value - offset_;
+  running_sum_ += d;
+  running_sqsum_ += d * d;
+  values_[slot] = value;
+  cum_sum_[slot] = running_sum_;
+  cum_sqsum_[slot] = running_sqsum_;
+  ++size_;
+  ++total_appended_;
+  if (++appends_since_rebase_ >= capacity_) Rebase();
+}
+
+void SlidingWindow::Rebase() {
+  // Rebuild the cumulative arrays with the window start as the new origin
+  // and the current window mean as the new shift offset.
+  if (size_ > 0) {
+    long double total = 0.0L;
+    for (int64_t i = 0; i < size_; ++i) total += values_[Slot(i)];
+    offset_ = total / static_cast<long double>(size_);
+  }
+  running_sum_ = 0.0L;
+  running_sqsum_ = 0.0L;
+  base_sum_ = 0.0L;
+  base_sqsum_ = 0.0L;
+  for (int64_t i = 0; i < size_; ++i) {
+    const size_t slot = Slot(i);
+    const long double d = values_[slot] - offset_;
+    running_sum_ += d;
+    running_sqsum_ += d * d;
+    cum_sum_[slot] = running_sum_;
+    cum_sqsum_[slot] = running_sqsum_;
+  }
+  appends_since_rebase_ = 0;
+  ++rebase_count_;
+}
+
+double SlidingWindow::operator[](int64_t i) const {
+  STREAMHIST_DCHECK(0 <= i && i < size_);
+  return values_[Slot(i)];
+}
+
+std::vector<double> SlidingWindow::ToVector() const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(size_));
+  for (int64_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+  return out;
+}
+
+double SlidingWindow::Sum(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(0 <= i && i <= j && j <= size_);
+  if (i == j) return 0.0;
+  const long double shifted = CumSum(j - 1) - CumSumBefore(i);
+  return static_cast<double>(shifted +
+                             offset_ * static_cast<long double>(j - i));
+}
+
+double SlidingWindow::SumSquares(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(0 <= i && i <= j && j <= size_);
+  if (i == j) return 0.0;
+  // sum v^2 = sum (d + o)^2 = sum d^2 + 2 o sum d + o^2 w.
+  const long double d2 = CumSqSum(j - 1) - CumSqSumBefore(i);
+  const long double d1 = CumSum(j - 1) - CumSumBefore(i);
+  const long double w = static_cast<long double>(j - i);
+  return static_cast<double>(d2 + 2.0L * offset_ * d1 + offset_ * offset_ * w);
+}
+
+double SlidingWindow::Mean(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(i < j);
+  return Sum(i, j) / static_cast<double>(j - i);
+}
+
+double SlidingWindow::SqError(int64_t i, int64_t j) const {
+  STREAMHIST_DCHECK(0 <= i && i <= j && j <= size_);
+  if (j - i <= 1) return 0.0;
+  const long double s = CumSum(j - 1) - CumSumBefore(i);
+  const long double q = CumSqSum(j - 1) - CumSqSumBefore(i);
+  const long double err = q - s * s / static_cast<long double>(j - i);
+  return err > 0.0L ? static_cast<double>(err) : 0.0;
+}
+
+}  // namespace streamhist

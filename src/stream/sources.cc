@@ -1,0 +1,15 @@
+#include "src/stream/sources.h"
+
+namespace streamhist {
+
+std::vector<double> Drain(StreamSource& source, int64_t max_points) {
+  std::vector<double> out;
+  for (int64_t i = 0; i < max_points; ++i) {
+    std::optional<double> v = source.Next();
+    if (!v.has_value()) break;
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace streamhist

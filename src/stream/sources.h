@@ -1,0 +1,77 @@
+#ifndef STREAMHIST_STREAM_SOURCES_H_
+#define STREAMHIST_STREAM_SOURCES_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace streamhist {
+
+/// A one-pass data stream: points are produced in arrival order and can be
+/// read exactly once, matching the paper's model. Next() returns nullopt when
+/// the stream is exhausted (infinite sources never are).
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Produces the next point, or nullopt at end of stream.
+  virtual std::optional<double> Next() = 0;
+};
+
+/// Replays a finite, materialized sequence as a stream.
+class VectorSource : public StreamSource {
+ public:
+  explicit VectorSource(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  std::optional<double> Next() override {
+    if (pos_ >= values_.size()) return std::nullopt;
+    return values_[pos_++];
+  }
+
+  /// Rewinds to the beginning (useful for multi-algorithm comparisons over
+  /// the same stream; each algorithm still sees a single pass).
+  void Reset() { pos_ = 0; }
+
+ private:
+  std::vector<double> values_;
+  size_t pos_ = 0;
+};
+
+/// Adapts a callable producing one point per call into a (possibly infinite)
+/// stream. The callable returns nullopt to end the stream.
+class GeneratorSource : public StreamSource {
+ public:
+  explicit GeneratorSource(std::function<std::optional<double>()> fn)
+      : fn_(std::move(fn)) {}
+
+  std::optional<double> Next() override { return fn_(); }
+
+ private:
+  std::function<std::optional<double>()> fn_;
+};
+
+/// Truncates another stream after `limit` points.
+class LimitSource : public StreamSource {
+ public:
+  LimitSource(StreamSource* inner, int64_t limit)
+      : inner_(inner), remaining_(limit) {}
+
+  std::optional<double> Next() override {
+    if (remaining_ <= 0) return std::nullopt;
+    --remaining_;
+    return inner_->Next();
+  }
+
+ private:
+  StreamSource* inner_;  // not owned
+  int64_t remaining_;
+};
+
+/// Drains a stream into a vector (at most `max_points` points).
+std::vector<double> Drain(StreamSource& source, int64_t max_points);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_STREAM_SOURCES_H_

@@ -1,0 +1,64 @@
+#include "src/timeseries/apca.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "src/stream/prefix_sums.h"
+#include "src/util/logging.h"
+#include "src/wavelet/haar.h"
+#include "src/wavelet/synopsis.h"
+
+namespace streamhist {
+
+PiecewiseConstant BuildApca(std::span<const double> data,
+                            int64_t num_segments) {
+  STREAMHIST_CHECK_GT(num_segments, 0);
+  const int64_t n = static_cast<int64_t>(data.size());
+  if (n == 0) return PiecewiseConstant();
+
+  // Steps 1-2: thresholded Haar reconstruction and its segment boundaries.
+  const WaveletSynopsis synopsis = WaveletSynopsis::Build(data, num_segments);
+  const std::vector<double> approx = synopsis.Reconstruct();
+
+  std::vector<int64_t> boundaries{0};
+  for (int64_t i = 1; i < n; ++i) {
+    if (approx[static_cast<size_t>(i)] != approx[static_cast<size_t>(i - 1)]) {
+      boundaries.push_back(i);
+    }
+  }
+  boundaries.push_back(n);
+
+  // Step 3: merge adjacent segments (smallest SSE increase first) down to
+  // num_segments. Segment count is O(num_segments), so a quadratic greedy
+  // loop is fine.
+  PrefixSums sums(data);
+  auto segment_sse = [&](int64_t b, int64_t e) { return sums.SqError(b, e); };
+  while (static_cast<int64_t>(boundaries.size()) - 1 > num_segments) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_k = 1;
+    for (size_t k = 1; k + 1 < boundaries.size(); ++k) {
+      const double penalty =
+          segment_sse(boundaries[k - 1], boundaries[k + 1]) -
+          segment_sse(boundaries[k - 1], boundaries[k]) -
+          segment_sse(boundaries[k], boundaries[k + 1]);
+      if (penalty < best) {
+        best = penalty;
+        best_k = k;
+      }
+    }
+    boundaries.erase(boundaries.begin() + static_cast<ptrdiff_t>(best_k));
+  }
+
+  // Step 4: exact means.
+  std::vector<Segment> segments;
+  segments.reserve(boundaries.size() - 1);
+  for (size_t k = 0; k + 1 < boundaries.size(); ++k) {
+    segments.push_back(Segment{boundaries[k], boundaries[k + 1],
+                               sums.Mean(boundaries[k], boundaries[k + 1])});
+  }
+  return PiecewiseConstant(std::move(segments));
+}
+
+}  // namespace streamhist

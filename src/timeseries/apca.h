@@ -1,0 +1,31 @@
+#ifndef STREAMHIST_TIMESERIES_APCA_H_
+#define STREAMHIST_TIMESERIES_APCA_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/timeseries/piecewise.h"
+
+namespace streamhist {
+
+/// Adaptive Piecewise Constant Approximation of Keogh, Chakrabarti, Mehrotra
+/// & Pazzani [KCMP01] — the comparison method in the paper's similarity
+/// experiments. The construction follows the original recipe:
+///
+///   1. Haar-decompose the (power-of-two padded) series and retain the
+///      `num_segments` largest coefficients under L2 normalization;
+///   2. reconstruct and read off the piecewise-constant segment boundaries
+///      (at most 3 * num_segments segments arise);
+///   3. greedily merge adjacent segments with the smallest SSE increase
+///      until `num_segments` remain;
+///   4. set each segment's value to the exact data mean over the segment
+///      (required for the lower-bounding distance).
+///
+/// O(n log n) per series. Fast but heuristic: no approximation guarantee
+/// relative to the optimal piecewise representation — the contrast the
+/// paper's experiments draw out.
+PiecewiseConstant BuildApca(std::span<const double> data, int64_t num_segments);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TIMESERIES_APCA_H_

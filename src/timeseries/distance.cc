@@ -1,0 +1,44 @@
+#include "src/timeseries/distance.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
+  STREAMHIST_CHECK_EQ(a.size(), b.size());
+  long double total = 0.0L;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const long double d = a[i] - b[i];
+    total += d * d;
+  }
+  return static_cast<double>(total);
+}
+
+double Euclidean(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+double SquaredLowerBound(std::span<const double> query,
+                         const PiecewiseConstant& repr) {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), repr.domain_size());
+  long double total = 0.0L;
+  for (const Segment& s : repr.segments()) {
+    long double qsum = 0.0L;
+    for (int64_t i = s.begin; i < s.end; ++i) {
+      qsum += query[static_cast<size_t>(i)];
+    }
+    const long double qmean = qsum / static_cast<long double>(s.width());
+    const long double d = qmean - s.value;
+    total += static_cast<long double>(s.width()) * d * d;
+  }
+  return static_cast<double>(total);
+}
+
+double LowerBound(std::span<const double> query,
+                  const PiecewiseConstant& repr) {
+  return std::sqrt(SquaredLowerBound(query, repr));
+}
+
+}  // namespace streamhist

@@ -1,0 +1,34 @@
+#ifndef STREAMHIST_TIMESERIES_DISTANCE_H_
+#define STREAMHIST_TIMESERIES_DISTANCE_H_
+
+#include <span>
+
+#include "src/timeseries/piecewise.h"
+
+namespace streamhist {
+
+/// Exact squared Euclidean distance between equal-length series.
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b);
+
+/// Exact Euclidean distance between equal-length series.
+double Euclidean(std::span<const double> a, std::span<const double> b);
+
+/// Lower bound on the squared Euclidean distance between the raw `query`
+/// and the *original* series summarized by `repr` (whose segment values must
+/// be exact segment means — guaranteed by BuildApca and by histogram bucket
+/// means):
+///
+///   LB^2 = sum_over_segments  width * (mean(query over segment) - value)^2
+///
+/// By Cauchy-Schwarz, sum_{i in seg} (q_i - s_i)^2 >= width * (qbar - sbar)^2
+/// whenever sbar is the true mean of s over the segment, so LB never exceeds
+/// the true distance: the GEMINI no-false-dismissal property [KCMP01].
+double SquaredLowerBound(std::span<const double> query,
+                         const PiecewiseConstant& repr);
+
+/// sqrt of SquaredLowerBound.
+double LowerBound(std::span<const double> query, const PiecewiseConstant& repr);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TIMESERIES_DISTANCE_H_

@@ -1,0 +1,89 @@
+#include "src/timeseries/indexed_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/timeseries/distance.h"
+#include "src/timeseries/paa.h"
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+IndexedSimilaritySearch::IndexedSimilaritySearch(
+    std::vector<std::vector<double>> series, int64_t dimensions)
+    : series_(std::move(series)), dimensions_(dimensions) {
+  STREAMHIST_CHECK(!series_.empty());
+  length_ = static_cast<int64_t>(series_.front().size());
+  std::vector<std::vector<double>> features;
+  features.reserve(series_.size());
+  for (const std::vector<double>& s : series_) {
+    STREAMHIST_CHECK_EQ(static_cast<int64_t>(s.size()), length_);
+    features.push_back(PaaFeatures(s, dimensions_));
+  }
+  tree_ = std::make_unique<RTree>(std::move(features));
+}
+
+std::vector<Match> IndexedSimilaritySearch::RangeSearch(
+    std::span<const double> query, double radius, SearchStats* stats,
+    RTree::SearchStats* tree_stats) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), length_);
+  const std::vector<double> query_features = PaaFeatures(query, dimensions_);
+
+  // Filter: feature distance lower-bounds the true distance, so a ball query
+  // at the same radius admits every true match.
+  RTree::SearchStats tstats;
+  const std::vector<int64_t> candidates =
+      tree_->BallQuery(query_features, radius, &tstats);
+
+  SearchStats local;
+  std::vector<Match> matches;
+  const double radius_sq = radius * radius;
+  for (int64_t id : candidates) {
+    ++local.candidates;
+    const double d_sq =
+        SquaredEuclidean(query, series_[static_cast<size_t>(id)]);
+    if (d_sq <= radius_sq) {
+      ++local.answers;
+      matches.push_back(Match{id, std::sqrt(d_sq)});
+    } else {
+      ++local.false_positives;
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) {
+              return a.distance < b.distance;
+            });
+  if (stats != nullptr) *stats = local;
+  if (tree_stats != nullptr) *tree_stats = tstats;
+  return matches;
+}
+
+std::vector<Match> IndexedSimilaritySearch::KnnSearch(
+    std::span<const double> query, int64_t k, SearchStats* stats,
+    RTree::SearchStats* tree_stats) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), length_);
+  const std::vector<double> query_features = PaaFeatures(query, dimensions_);
+
+  RTree::SearchStats tstats;
+  const auto refined = tree_->KnnRefined(
+      query_features, k,
+      [&](int64_t id) {
+        return SquaredEuclidean(query, series_[static_cast<size_t>(id)]);
+      },
+      &tstats);
+
+  SearchStats local;
+  local.candidates = tstats.points_compared;
+  local.answers = static_cast<int64_t>(refined.size());
+  local.false_positives = local.candidates - local.answers;
+  std::vector<Match> matches;
+  matches.reserve(refined.size());
+  for (const auto& [d_sq, id] : refined) {
+    matches.push_back(Match{id, std::sqrt(d_sq)});
+  }
+  if (stats != nullptr) *stats = local;
+  if (tree_stats != nullptr) *tree_stats = tstats;
+  return matches;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,42 @@
+#include "src/timeseries/paa.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+std::vector<double> PaaFeatures(std::span<const double> series,
+                                int64_t dimensions) {
+  STREAMHIST_CHECK_GT(dimensions, 0);
+  const int64_t n = static_cast<int64_t>(series.size());
+  STREAMHIST_CHECK_GE(n, dimensions);
+  std::vector<double> features;
+  features.reserve(static_cast<size_t>(dimensions));
+  for (int64_t d = 0; d < dimensions; ++d) {
+    const int64_t begin = d * n / dimensions;
+    const int64_t end = (d + 1) * n / dimensions;
+    double mean = 0.0;
+    for (int64_t i = begin; i < end; ++i) {
+      mean += series[static_cast<size_t>(i)];
+    }
+    mean /= static_cast<double>(end - begin);
+    // sqrt-width scaling bakes the per-segment weight into the coordinates,
+    // so the index space uses plain (unweighted) L2.
+    features.push_back(mean * std::sqrt(static_cast<double>(end - begin)));
+  }
+  return features;
+}
+
+double PaaSquaredDistance(std::span<const double> a,
+                          std::span<const double> b) {
+  STREAMHIST_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,30 @@
+#ifndef STREAMHIST_TIMESERIES_PAA_H_
+#define STREAMHIST_TIMESERIES_PAA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamhist {
+
+/// Piecewise Aggregate Approximation (Yi & Faloutsos [YF00], cited in the
+/// paper's introduction; also Keogh et al.): a length-n series is reduced to
+/// D equal-width segment means. Scaling each mean by sqrt(segment width)
+/// makes plain Euclidean distance in feature space a lower bound on the true
+/// Euclidean distance between series (Cauchy-Schwarz per segment), which is
+/// what lets an R-tree over the features answer similarity queries with no
+/// false dismissals (the GEMINI framework).
+///
+/// `dimensions` must divide decisions gracefully: the last segment absorbs
+/// the remainder when D does not divide n.
+std::vector<double> PaaFeatures(std::span<const double> series,
+                                int64_t dimensions);
+
+/// Squared Euclidean distance between two feature vectors (the index-space
+/// distance; a lower bound on the true squared distance when both come from
+/// PaaFeatures with the same shape).
+double PaaSquaredDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TIMESERIES_PAA_H_

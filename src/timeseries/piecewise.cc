@@ -1,0 +1,62 @@
+#include "src/timeseries/piecewise.h"
+
+#include "src/stream/prefix_sums.h"
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+PiecewiseConstant::PiecewiseConstant(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+#ifndef NDEBUG
+  int64_t expected = 0;
+  for (const Segment& s : segments_) {
+    STREAMHIST_DCHECK(s.begin == expected && s.end > s.begin);
+    expected = s.end;
+  }
+#endif
+}
+
+PiecewiseConstant PiecewiseConstant::FromHistogram(const Histogram& histogram) {
+  std::vector<Segment> segments;
+  segments.reserve(static_cast<size_t>(histogram.num_buckets()));
+  for (const Bucket& b : histogram.buckets()) {
+    segments.push_back(Segment{b.begin, b.end, b.value});
+  }
+  return PiecewiseConstant(std::move(segments));
+}
+
+double PiecewiseConstant::Estimate(int64_t i) const {
+  STREAMHIST_DCHECK(0 <= i && i < domain_size());
+  // Binary search over segment ends.
+  size_t lo = 0;
+  size_t hi = segments_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (segments_[mid].end <= i) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return segments_[lo].value;
+}
+
+std::vector<double> PiecewiseConstant::Reconstruct() const {
+  std::vector<double> out(static_cast<size_t>(domain_size()));
+  for (const Segment& s : segments_) {
+    for (int64_t i = s.begin; i < s.end; ++i) {
+      out[static_cast<size_t>(i)] = s.value;
+    }
+  }
+  return out;
+}
+
+void PiecewiseConstant::ResetValuesToMeans(std::span<const double> data) {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(data.size()), domain_size());
+  PrefixSums sums(data);
+  for (Segment& s : segments_) {
+    s.value = sums.Mean(s.begin, s.end);
+  }
+}
+
+}  // namespace streamhist

@@ -1,0 +1,60 @@
+#ifndef STREAMHIST_TIMESERIES_PIECEWISE_H_
+#define STREAMHIST_TIMESERIES_PIECEWISE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/histogram.h"
+
+namespace streamhist {
+
+/// One segment of an adaptive piecewise-constant representation:
+/// indices [begin, end) approximated by `value`.
+struct Segment {
+  int64_t begin = 0;
+  int64_t end = 0;
+  double value = 0.0;
+
+  int64_t width() const { return end - begin; }
+};
+
+/// Adaptive piecewise-constant representation of a time series — the common
+/// form shared by APCA [KCMP01] and the paper's histograms, which makes the
+/// similarity-search comparison an apples-to-apples one: both reduce a
+/// series to (boundary, mean) pairs and use the same lower-bounding distance.
+class PiecewiseConstant {
+ public:
+  PiecewiseConstant() = default;
+
+  /// Segments must be contiguous from 0 and non-empty; checked in debug.
+  explicit PiecewiseConstant(std::vector<Segment> segments);
+
+  /// Converts a histogram (bucket means) into this representation.
+  static PiecewiseConstant FromHistogram(const Histogram& histogram);
+
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+  int64_t domain_size() const {
+    return segments_.empty() ? 0 : segments_.back().end;
+  }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Value of the approximation at index i.
+  double Estimate(int64_t i) const;
+
+  /// Reconstructs the approximate series.
+  std::vector<double> Reconstruct() const;
+
+  /// Recomputes each segment's value as the exact mean of `data` over the
+  /// segment (needed for the lower-bounding property; see distance.h).
+  void ResetValuesToMeans(std::span<const double> data);
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TIMESERIES_PIECEWISE_H_

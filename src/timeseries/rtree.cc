@@ -1,0 +1,282 @@
+#include "src/timeseries/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+RTree::RTree(std::vector<std::vector<double>> points, int64_t leaf_capacity,
+             int64_t fanout)
+    : points_(std::move(points)),
+      leaf_capacity_(leaf_capacity),
+      fanout_(fanout) {
+  STREAMHIST_CHECK_GE(leaf_capacity_, 2);
+  STREAMHIST_CHECK_GE(fanout_, 2);
+  STREAMHIST_CHECK(!points_.empty());
+  dims_ = static_cast<int64_t>(points_.front().size());
+  for (const auto& p : points_) {
+    STREAMHIST_CHECK_EQ(static_cast<int64_t>(p.size()), dims_);
+  }
+  std::vector<int64_t> ids(points_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int64_t>(i);
+  root_ = Build(ids, 0);
+}
+
+void RTree::ComputeMbr(Node& node) const {
+  node.low.assign(static_cast<size_t>(dims_),
+                  std::numeric_limits<double>::infinity());
+  node.high.assign(static_cast<size_t>(dims_),
+                   -std::numeric_limits<double>::infinity());
+  auto expand_point = [&](const std::vector<double>& p) {
+    for (int64_t d = 0; d < dims_; ++d) {
+      node.low[static_cast<size_t>(d)] =
+          std::min(node.low[static_cast<size_t>(d)], p[static_cast<size_t>(d)]);
+      node.high[static_cast<size_t>(d)] = std::max(
+          node.high[static_cast<size_t>(d)], p[static_cast<size_t>(d)]);
+    }
+  };
+  if (node.is_leaf) {
+    for (int64_t id : node.children) {
+      expand_point(points_[static_cast<size_t>(id)]);
+    }
+  } else {
+    for (int64_t child : node.children) {
+      const Node& c = nodes_[static_cast<size_t>(child)];
+      for (int64_t d = 0; d < dims_; ++d) {
+        node.low[static_cast<size_t>(d)] = std::min(
+            node.low[static_cast<size_t>(d)], c.low[static_cast<size_t>(d)]);
+        node.high[static_cast<size_t>(d)] = std::max(
+            node.high[static_cast<size_t>(d)], c.high[static_cast<size_t>(d)]);
+      }
+    }
+  }
+}
+
+int64_t RTree::Build(std::vector<int64_t>& ids, int64_t level) {
+  height_ = std::max(height_, level + 1);
+  if (static_cast<int64_t>(ids.size()) <= leaf_capacity_) {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.children = ids;
+    ComputeMbr(leaf);
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int64_t>(nodes_.size()) - 1;
+  }
+  // Sort-tile along a dimension cycling with depth, then split into at most
+  // `fanout` contiguous groups.
+  const int64_t dim = level % dims_;
+  std::sort(ids.begin(), ids.end(), [&](int64_t a, int64_t b) {
+    return points_[static_cast<size_t>(a)][static_cast<size_t>(dim)] <
+           points_[static_cast<size_t>(b)][static_cast<size_t>(dim)];
+  });
+  const int64_t group_size =
+      std::max<int64_t>(leaf_capacity_,
+                        (static_cast<int64_t>(ids.size()) + fanout_ - 1) /
+                            fanout_);
+  Node internal;
+  internal.is_leaf = false;
+  for (size_t start = 0; start < ids.size();
+       start += static_cast<size_t>(group_size)) {
+    const size_t end =
+        std::min(ids.size(), start + static_cast<size_t>(group_size));
+    std::vector<int64_t> group(ids.begin() + static_cast<ptrdiff_t>(start),
+                               ids.begin() + static_cast<ptrdiff_t>(end));
+    internal.children.push_back(Build(group, level + 1));
+  }
+  ComputeMbr(internal);
+  nodes_.push_back(std::move(internal));
+  return static_cast<int64_t>(nodes_.size()) - 1;
+}
+
+double RTree::SquaredMinDist(std::span<const double> query,
+                             std::span<const double> low,
+                             std::span<const double> high) {
+  STREAMHIST_DCHECK(query.size() == low.size() && low.size() == high.size());
+  double total = 0.0;
+  for (size_t d = 0; d < query.size(); ++d) {
+    double gap = 0.0;
+    if (query[d] < low[d]) {
+      gap = low[d] - query[d];
+    } else if (query[d] > high[d]) {
+      gap = query[d] - high[d];
+    }
+    total += gap * gap;
+  }
+  return total;
+}
+
+std::vector<int64_t> RTree::BallQuery(std::span<const double> query,
+                                      double radius,
+                                      SearchStats* stats) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), dims_);
+  SearchStats local;
+  const double radius_sq = radius * radius;
+  std::vector<std::pair<double, int64_t>> hits;  // (dist^2, id)
+  std::vector<int64_t> stack{root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    ++local.nodes_visited;
+    if (SquaredMinDist(query, node.low, node.high) > radius_sq) continue;
+    if (node.is_leaf) {
+      ++local.leaves_visited;
+      for (int64_t id : node.children) {
+        ++local.points_compared;
+        double dist_sq = 0.0;
+        const auto& p = points_[static_cast<size_t>(id)];
+        for (int64_t d = 0; d < dims_; ++d) {
+          const double diff = query[static_cast<size_t>(d)] -
+                              p[static_cast<size_t>(d)];
+          dist_sq += diff * diff;
+        }
+        if (dist_sq <= radius_sq) hits.emplace_back(dist_sq, id);
+      }
+    } else {
+      for (int64_t child : node.children) stack.push_back(child);
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<int64_t> ids;
+  ids.reserve(hits.size());
+  for (const auto& [dist_sq, id] : hits) ids.push_back(id);
+  if (stats != nullptr) *stats = local;
+  return ids;
+}
+
+std::vector<int64_t> RTree::KnnQuery(std::span<const double> query, int64_t k,
+                                     SearchStats* stats) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), dims_);
+  STREAMHIST_CHECK_GT(k, 0);
+  SearchStats local;
+
+  // Best-first branch and bound: a min-heap over both nodes and points keyed
+  // by (squared) distance; the first k points popped are exactly the k
+  // nearest, because a point is popped only when no un-expanded subtree can
+  // contain anything closer.
+  struct Entry {
+    double dist_sq;
+    bool is_node;
+    int64_t id;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    return a.dist_sq > b.dist_sq;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  heap.push(Entry{0.0, true, root_});
+
+  std::vector<int64_t> result;
+  while (!heap.empty() && static_cast<int64_t>(result.size()) < k) {
+    const Entry e = heap.top();
+    heap.pop();
+    if (!e.is_node) {
+      result.push_back(e.id);
+      continue;
+    }
+    const Node& node = nodes_[static_cast<size_t>(e.id)];
+    ++local.nodes_visited;
+    if (node.is_leaf) {
+      ++local.leaves_visited;
+      for (int64_t id : node.children) {
+        ++local.points_compared;
+        double dist_sq = 0.0;
+        const auto& p = points_[static_cast<size_t>(id)];
+        for (int64_t d = 0; d < dims_; ++d) {
+          const double diff = query[static_cast<size_t>(d)] -
+                              p[static_cast<size_t>(d)];
+          dist_sq += diff * diff;
+        }
+        heap.push(Entry{dist_sq, false, id});
+      }
+    } else {
+      for (int64_t child : node.children) {
+        const Node& c = nodes_[static_cast<size_t>(child)];
+        heap.push(Entry{SquaredMinDist(query, c.low, c.high), true, child});
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+std::vector<std::pair<double, int64_t>> RTree::KnnRefined(
+    std::span<const double> query, int64_t k,
+    const std::function<double(int64_t)>& true_dist_sq,
+    SearchStats* stats) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), dims_);
+  STREAMHIST_CHECK_GT(k, 0);
+  SearchStats local;
+
+  struct Entry {
+    double dist_sq;  // index-space (lower-bound) distance
+    bool is_node;
+    int64_t id;
+  };
+  auto entry_cmp = [](const Entry& a, const Entry& b) {
+    return a.dist_sq > b.dist_sq;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(entry_cmp)> frontier(
+      entry_cmp);
+  frontier.push(Entry{0.0, true, root_});
+
+  // Current best k true distances, max on top.
+  std::priority_queue<std::pair<double, int64_t>> best;
+  const auto kth = [&] {
+    return static_cast<int64_t>(best.size()) == k
+               ? best.top().first
+               : std::numeric_limits<double>::infinity();
+  };
+
+  while (!frontier.empty()) {
+    const Entry e = frontier.top();
+    frontier.pop();
+    // Index distance lower-bounds every true distance in the subtree/point,
+    // so once it reaches the kth true distance nothing better remains.
+    if (e.dist_sq >= kth()) break;
+    if (!e.is_node) {
+      ++local.points_compared;
+      const double true_sq = true_dist_sq(e.id);
+      if (true_sq < kth()) {
+        best.emplace(true_sq, e.id);
+        if (static_cast<int64_t>(best.size()) > k) best.pop();
+      }
+      continue;
+    }
+    const Node& node = nodes_[static_cast<size_t>(e.id)];
+    ++local.nodes_visited;
+    if (node.is_leaf) {
+      ++local.leaves_visited;
+      for (int64_t id : node.children) {
+        double feature_sq = 0.0;
+        const auto& p = points_[static_cast<size_t>(id)];
+        for (int64_t d = 0; d < dims_; ++d) {
+          const double diff =
+              query[static_cast<size_t>(d)] - p[static_cast<size_t>(d)];
+          feature_sq += diff * diff;
+        }
+        if (feature_sq < kth()) frontier.push(Entry{feature_sq, false, id});
+      }
+    } else {
+      for (int64_t child : node.children) {
+        const Node& c = nodes_[static_cast<size_t>(child)];
+        const double mindist = SquaredMinDist(query, c.low, c.high);
+        if (mindist < kth()) frontier.push(Entry{mindist, true, child});
+      }
+    }
+  }
+
+  std::vector<std::pair<double, int64_t>> result;
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,88 @@
+#ifndef STREAMHIST_TIMESERIES_RTREE_H_
+#define STREAMHIST_TIMESERIES_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace streamhist {
+
+/// A static bulk-loaded R-tree over D-dimensional points — the disk-style
+/// index structure the GEMINI similarity framework assumes ([YF00],
+/// [KCMP01]; the paper's similarity experiments measure false positives
+/// produced by exactly this kind of index). Built once with Sort-Tile-
+/// Recursive packing; supports ball (range) queries and best-first k-NN via
+/// MINDIST on bounding rectangles, which never dismisses a point whose true
+/// distance qualifies.
+class RTree {
+ public:
+  /// Per-query work counters (the I/O proxy reported by index papers).
+  struct SearchStats {
+    int64_t nodes_visited = 0;
+    int64_t leaves_visited = 0;
+    int64_t points_compared = 0;
+  };
+
+  /// Bulk-loads the tree over `points` (all must share one dimensionality;
+  /// ids are their indices). `leaf_capacity`/`fanout` >= 2.
+  RTree(std::vector<std::vector<double>> points, int64_t leaf_capacity = 16,
+        int64_t fanout = 8);
+
+  int64_t num_points() const { return static_cast<int64_t>(points_.size()); }
+  int64_t dimensions() const { return dims_; }
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t height() const { return height_; }
+
+  /// Ids of all points within Euclidean `radius` of `query` (in the index
+  /// space), ascending by distance.
+  std::vector<int64_t> BallQuery(std::span<const double> query, double radius,
+                                 SearchStats* stats = nullptr) const;
+
+  /// Ids of the k nearest points to `query`, ascending by distance
+  /// (best-first branch-and-bound).
+  std::vector<int64_t> KnnQuery(std::span<const double> query, int64_t k,
+                                SearchStats* stats = nullptr) const;
+
+  /// GEMINI-style exact k-NN under a *true* distance for which the index
+  /// space is a lower bound: traverses best-first by index distance,
+  /// refining popped points through `true_dist_sq(id)`, and stops once no
+  /// remaining subtree or point can beat the current kth true distance.
+  /// Returns (true squared distance, id) pairs ascending. `stats->
+  /// points_compared` counts refinements (the false-positive proxy).
+  std::vector<std::pair<double, int64_t>> KnnRefined(
+      std::span<const double> query, int64_t k,
+      const std::function<double(int64_t)>& true_dist_sq,
+      SearchStats* stats = nullptr) const;
+
+  /// Squared MINDIST from a point to an axis-aligned rectangle given as
+  /// (low, high) coordinate vectors — exposed for tests.
+  static double SquaredMinDist(std::span<const double> query,
+                               std::span<const double> low,
+                               std::span<const double> high);
+
+ private:
+  struct Node {
+    std::vector<double> low;    // MBR lower corner
+    std::vector<double> high;   // MBR upper corner
+    std::vector<int64_t> children;  // node ids (internal) or point ids (leaf)
+    bool is_leaf = false;
+  };
+
+  /// Recursively packs `ids` into a subtree; returns the subtree root id.
+  int64_t Build(std::vector<int64_t>& ids, int64_t level);
+  void ComputeMbr(Node& node) const;
+
+  std::vector<std::vector<double>> points_;
+  std::vector<Node> nodes_;
+  int64_t root_ = -1;
+  int64_t dims_ = 0;
+  int64_t leaf_capacity_;
+  int64_t fanout_;
+  int64_t height_ = 0;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TIMESERIES_RTREE_H_

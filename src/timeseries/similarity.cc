@@ -1,0 +1,183 @@
+#include "src/timeseries/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/agglomerative.h"
+#include "src/core/fixed_window.h"
+#include "src/core/vopt_dp.h"
+#include "src/timeseries/apca.h"
+#include "src/timeseries/distance.h"
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+ReprBuilder MakeApcaBuilder() {
+  return [](std::span<const double> data, int64_t segments) {
+    return BuildApca(data, segments);
+  };
+}
+
+ReprBuilder MakeVOptimalBuilder() {
+  return [](std::span<const double> data, int64_t segments) {
+    return PiecewiseConstant::FromHistogram(
+        BuildVOptimalHistogram(data, segments).histogram);
+  };
+}
+
+ReprBuilder MakeAgglomerativeBuilder(double epsilon) {
+  return [epsilon](std::span<const double> data, int64_t segments) {
+    ApproxHistogramOptions options;
+    options.num_buckets = segments;
+    options.epsilon = epsilon;
+    AgglomerativeHistogram builder =
+        AgglomerativeHistogram::Create(options).value();
+    for (double v : data) builder.Append(v);
+    PiecewiseConstant repr =
+        PiecewiseConstant::FromHistogram(builder.Extract());
+    // Snapshot-derived means can differ from exact segment means only by
+    // floating-point noise, but the lower-bound property requires exact
+    // means; reset defensively.
+    repr.ResetValuesToMeans(data);
+    return repr;
+  };
+}
+
+ReprBuilder MakeFixedWindowBuilder(double epsilon) {
+  return [epsilon](std::span<const double> data, int64_t segments) {
+    FixedWindowOptions options;
+    options.window_size = static_cast<int64_t>(data.size());
+    options.num_buckets = segments;
+    options.epsilon = epsilon;
+    options.rebuild_on_append = false;
+    FixedWindowHistogram builder =
+        FixedWindowHistogram::Create(options).value();
+    for (double v : data) builder.Append(v);
+    return PiecewiseConstant::FromHistogram(builder.Extract());
+  };
+}
+
+SimilarityIndex::SimilarityIndex(std::vector<std::vector<double>> series,
+                                 int64_t num_segments,
+                                 const ReprBuilder& builder)
+    : series_(std::move(series)) {
+  STREAMHIST_CHECK(!series_.empty());
+  length_ = static_cast<int64_t>(series_.front().size());
+  reprs_.reserve(series_.size());
+  for (const std::vector<double>& s : series_) {
+    STREAMHIST_CHECK_EQ(static_cast<int64_t>(s.size()), length_);
+    reprs_.push_back(builder(s, num_segments));
+  }
+}
+
+std::vector<Match> SimilarityIndex::RangeSearch(std::span<const double> query,
+                                                double radius,
+                                                SearchStats* stats) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), length_);
+  SearchStats local;
+  std::vector<Match> matches;
+  const double radius_sq = radius * radius;
+  for (size_t id = 0; id < series_.size(); ++id) {
+    const double lb_sq = SquaredLowerBound(query, reprs_[id]);
+    if (lb_sq > radius_sq) continue;  // safe dismissal
+    ++local.candidates;
+    const double d_sq = SquaredEuclidean(query, series_[id]);
+    if (d_sq <= radius_sq) {
+      ++local.answers;
+      matches.push_back(Match{static_cast<int64_t>(id), std::sqrt(d_sq)});
+    } else {
+      ++local.false_positives;
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) {
+              return a.distance < b.distance;
+            });
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+std::vector<Match> SimilarityIndex::KnnSearch(std::span<const double> query,
+                                              int64_t k,
+                                              SearchStats* stats) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(query.size()), length_);
+  STREAMHIST_CHECK_GT(k, 0);
+  SearchStats local;
+
+  // Candidates in increasing lower-bound order.
+  std::vector<std::pair<double, int64_t>> order;
+  order.reserve(series_.size());
+  for (size_t id = 0; id < series_.size(); ++id) {
+    order.emplace_back(SquaredLowerBound(query, reprs_[id]),
+                       static_cast<int64_t>(id));
+  }
+  std::sort(order.begin(), order.end());
+
+  std::vector<Match> best;  // kept sorted by distance, size <= k
+  double kth_sq = std::numeric_limits<double>::infinity();
+  for (const auto& [lb_sq, id] : order) {
+    if (static_cast<int64_t>(best.size()) == k && lb_sq > kth_sq) {
+      break;  // no remaining series can enter the top-k
+    }
+    ++local.candidates;
+    const double d_sq =
+        SquaredEuclidean(query, series_[static_cast<size_t>(id)]);
+    if (static_cast<int64_t>(best.size()) < k || d_sq < kth_sq) {
+      best.push_back(Match{id, std::sqrt(d_sq)});
+      std::sort(best.begin(), best.end(), [](const Match& a, const Match& b) {
+        return a.distance < b.distance;
+      });
+      if (static_cast<int64_t>(best.size()) > k) best.pop_back();
+      if (static_cast<int64_t>(best.size()) == k) {
+        kth_sq = best.back().distance * best.back().distance;
+      }
+    } else {
+      ++local.false_positives;
+    }
+  }
+  local.answers = static_cast<int64_t>(best.size());
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+std::vector<PiecewiseConstant> BuildSubsequenceRepresentationsStreaming(
+    std::span<const double> series, int64_t window, int64_t step,
+    int64_t num_segments, double epsilon) {
+  STREAMHIST_CHECK_GT(window, 0);
+  STREAMHIST_CHECK_GT(step, 0);
+  FixedWindowOptions options;
+  options.window_size = window;
+  options.num_buckets = num_segments;
+  options.epsilon = epsilon;
+  options.rebuild_on_append = false;
+  FixedWindowHistogram sketch = FixedWindowHistogram::Create(options).value();
+
+  std::vector<PiecewiseConstant> reprs;
+  const int64_t n = static_cast<int64_t>(series.size());
+  for (int64_t i = 0; i < n; ++i) {
+    sketch.Append(series[static_cast<size_t>(i)]);
+    // Snapshot whenever the window exactly covers [start, start + window)
+    // for a stride-aligned start.
+    const int64_t start = i + 1 - window;
+    if (start >= 0 && start % step == 0) {
+      reprs.push_back(PiecewiseConstant::FromHistogram(sketch.Extract()));
+    }
+  }
+  return reprs;
+}
+
+std::vector<std::vector<double>> ExtractSubsequences(
+    std::span<const double> series, int64_t window, int64_t step) {
+  STREAMHIST_CHECK_GT(window, 0);
+  STREAMHIST_CHECK_GT(step, 0);
+  std::vector<std::vector<double>> out;
+  const int64_t n = static_cast<int64_t>(series.size());
+  for (int64_t start = 0; start + window <= n; start += step) {
+    out.emplace_back(series.begin() + static_cast<ptrdiff_t>(start),
+                     series.begin() + static_cast<ptrdiff_t>(start + window));
+  }
+  return out;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,105 @@
+#ifndef STREAMHIST_TIMESERIES_SIMILARITY_H_
+#define STREAMHIST_TIMESERIES_SIMILARITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/timeseries/piecewise.h"
+
+namespace streamhist {
+
+/// Builds a B-segment piecewise-constant representation of one series.
+/// Provided builders: MakeApcaBuilder, MakeVOptimalBuilder,
+/// MakeAgglomerativeBuilder (see below).
+using ReprBuilder =
+    std::function<PiecewiseConstant(std::span<const double>, int64_t)>;
+
+/// APCA of Keogh et al. (timeseries/apca.h).
+ReprBuilder MakeApcaBuilder();
+
+/// Optimal V-optimal histogram as a representation (exact DP; offline).
+ReprBuilder MakeVOptimalBuilder();
+
+/// One-pass (1+eps)-approximate histogram as a representation — the paper's
+/// proposal for whole-series matching.
+ReprBuilder MakeAgglomerativeBuilder(double epsilon);
+
+/// One-pass fixed-window histogram representation: the series is streamed
+/// through a FixedWindowHistogram whose window equals the series length —
+/// the paper's proposal for subsequence-matching pipelines where windows
+/// slide over a long stream.
+ReprBuilder MakeFixedWindowBuilder(double epsilon);
+
+/// Filter-and-refine statistics for one query.
+struct SearchStats {
+  int64_t candidates = 0;       ///< series whose lower bound passed the filter
+  int64_t false_positives = 0;  ///< candidates rejected by the exact distance
+  int64_t answers = 0;          ///< true matches returned
+};
+
+/// One search hit.
+struct Match {
+  int64_t series_id = 0;
+  double distance = 0.0;  ///< exact Euclidean distance
+};
+
+/// GEMINI-style filter-and-refine similarity search over a collection of
+/// equal-length series, each reduced to a B-segment piecewise-constant
+/// representation. Because the lower-bounding distance never exceeds the
+/// true distance (distance.h), the filter admits no false dismissals; the
+/// experiments compare representations by how many *false positives* (wasted
+/// exact-distance computations) each admits — the paper's quality metric in
+/// its similarity experiments.
+class SimilarityIndex {
+ public:
+  /// Builds representations for every series. All series must share one
+  /// length. `num_segments` is the per-series space budget B.
+  SimilarityIndex(std::vector<std::vector<double>> series,
+                  int64_t num_segments, const ReprBuilder& builder);
+
+  int64_t num_series() const { return static_cast<int64_t>(series_.size()); }
+  int64_t series_length() const { return length_; }
+  const PiecewiseConstant& representation(int64_t id) const {
+    return reprs_[static_cast<size_t>(id)];
+  }
+
+  /// All series within Euclidean `radius` of `query`, with filter stats.
+  std::vector<Match> RangeSearch(std::span<const double> query, double radius,
+                                 SearchStats* stats) const;
+
+  /// The k nearest series to `query` (exact distances), refining candidates
+  /// in increasing lower-bound order with best-so-far pruning. `stats`
+  /// counts exact distance computations as candidates and those that did not
+  /// enter the final top-k as false positives.
+  std::vector<Match> KnnSearch(std::span<const double> query, int64_t k,
+                               SearchStats* stats) const;
+
+ private:
+  std::vector<std::vector<double>> series_;
+  std::vector<PiecewiseConstant> reprs_;
+  int64_t length_ = 0;
+};
+
+/// Extracts the sliding windows of `window` points (advancing by `step`)
+/// from a long series — the reduction from subsequence matching to whole
+/// matching used by the paper's subsequence experiments.
+std::vector<std::vector<double>> ExtractSubsequences(
+    std::span<const double> series, int64_t window, int64_t step);
+
+/// The paper's actual subsequence pipeline: stream the long series through
+/// ONE FixedWindowHistogram and snapshot the (1+eps)-approximate
+/// representation every `step` arrivals once the window fills — instead of
+/// rebuilding a fresh representation per extracted window. Returns one
+/// PiecewiseConstant per snapshot position (matching
+/// ExtractSubsequences(series, window, step) order). The histogram's
+/// incremental maintenance is exactly what makes dense strides affordable.
+std::vector<PiecewiseConstant> BuildSubsequenceRepresentationsStreaming(
+    std::span<const double> series, int64_t window, int64_t step,
+    int64_t num_segments, double epsilon);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TIMESERIES_SIMILARITY_H_

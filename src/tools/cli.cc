@@ -1,0 +1,226 @@
+#include "src/tools/cli.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/core/agglomerative.h"
+#include "src/core/heuristics.h"
+#include "src/core/histogram_io.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/data/io.h"
+
+namespace streamhist {
+
+namespace {
+
+/// Splits "--key value" pairs from args[start..); positional tokens land in
+/// `positional`.
+std::map<std::string, std::string> ParseFlags(
+    const std::vector<std::string>& args, size_t start,
+    std::vector<std::string>& positional) {
+  std::map<std::string, std::string> flags;
+  for (size_t i = start; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0 && i + 1 < args.size()) {
+      flags[args[i].substr(2)] = args[i + 1];
+      ++i;
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  return flags;
+}
+
+int Usage(std::ostream& err) {
+  err << "usage: streamhist_tool <generate|build|query|inspect> [flags]\n"
+         "  generate --kind K --n N [--seed S] --out series.csv\n"
+         "  build --input series.csv --buckets B [--epsilon E]\n"
+         "        [--algorithm vopt|agglomerative|greedy|equiwidth|maxdiff]\n"
+         "        --out hist.bin\n"
+         "  query --histogram hist.bin SUM <lo> <hi> | AVG <lo> <hi> |"
+         " POINT <i>\n"
+         "  inspect --histogram hist.bin\n";
+  return 2;
+}
+
+Result<Histogram> LoadHistogram(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open histogram file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeHistogram(buffer.str());
+}
+
+int Generate(const std::map<std::string, std::string>& flags,
+             std::ostream& out, std::ostream& err) {
+  if (!flags.contains("n") || !flags.contains("out")) {
+    err << "generate: --n and --out are required\n";
+    return 2;
+  }
+  const int64_t n = std::atoll(flags.at("n").c_str());
+  if (n <= 0) {
+    err << "generate: --n must be positive\n";
+    return 2;
+  }
+  const DatasetKind kind = ParseDatasetKind(
+      flags.contains("kind") ? flags.at("kind") : "utilization");
+  const uint64_t seed = flags.contains("seed")
+                            ? std::strtoull(flags.at("seed").c_str(), nullptr, 10)
+                            : 1;
+  const std::vector<double> series = GenerateDataset(kind, n, seed);
+  if (Status s = WriteSeriesCsv(flags.at("out"), series); !s.ok()) {
+    err << "generate: " << s << "\n";
+    return 1;
+  }
+  out << "wrote " << n << " " << DatasetKindName(kind) << " points to "
+      << flags.at("out") << "\n";
+  return 0;
+}
+
+int Build(const std::map<std::string, std::string>& flags, std::ostream& out,
+          std::ostream& err) {
+  if (!flags.contains("input") || !flags.contains("buckets") ||
+      !flags.contains("out")) {
+    err << "build: --input, --buckets and --out are required\n";
+    return 2;
+  }
+  auto series = ReadSeriesCsv(flags.at("input"));
+  if (!series.ok()) {
+    err << "build: " << series.status() << "\n";
+    return 1;
+  }
+  if (series.value().empty()) {
+    err << "build: input series is empty\n";
+    return 1;
+  }
+  const int64_t buckets = std::atoll(flags.at("buckets").c_str());
+  if (buckets <= 0) {
+    err << "build: --buckets must be positive\n";
+    return 2;
+  }
+  const double epsilon =
+      flags.contains("epsilon") ? std::atof(flags.at("epsilon").c_str()) : 0.1;
+  const std::string algorithm =
+      flags.contains("algorithm") ? flags.at("algorithm") : "vopt";
+
+  Histogram histogram;
+  if (algorithm == "vopt") {
+    histogram = BuildVOptimalHistogram(series.value(), buckets).histogram;
+  } else if (algorithm == "agglomerative") {
+    ApproxHistogramOptions options;
+    options.num_buckets = buckets;
+    options.epsilon = epsilon;
+    auto builder = AgglomerativeHistogram::Create(options);
+    if (!builder.ok()) {
+      err << "build: " << builder.status() << "\n";
+      return 1;
+    }
+    for (double v : series.value()) builder.value().Append(v);
+    histogram = builder.value().Extract();
+  } else if (algorithm == "greedy") {
+    histogram = BuildGreedyMergeHistogram(series.value(), buckets);
+  } else if (algorithm == "equiwidth") {
+    histogram = BuildEquiWidthHistogram(series.value(), buckets);
+  } else if (algorithm == "maxdiff") {
+    histogram = BuildMaxDiffHistogram(series.value(), buckets);
+  } else {
+    err << "build: unknown algorithm '" << algorithm << "'\n";
+    return 2;
+  }
+
+  std::ofstream file(flags.at("out"), std::ios::binary);
+  if (!file.is_open()) {
+    err << "build: cannot write " << flags.at("out") << "\n";
+    return 1;
+  }
+  const std::string bytes = SerializeHistogram(histogram);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file.good()) {
+    err << "build: write failed\n";
+    return 1;
+  }
+  out << "built " << algorithm << " histogram: " << histogram.num_buckets()
+      << " buckets over " << histogram.domain_size() << " points, SSE "
+      << histogram.SseAgainst(series.value()) << ", " << bytes.size()
+      << " bytes\n";
+  return 0;
+}
+
+int Query(const std::map<std::string, std::string>& flags,
+          const std::vector<std::string>& positional, std::ostream& out,
+          std::ostream& err) {
+  if (!flags.contains("histogram") || positional.empty()) {
+    err << "query: --histogram and a query are required\n";
+    return 2;
+  }
+  auto histogram = LoadHistogram(flags.at("histogram"));
+  if (!histogram.ok()) {
+    err << "query: " << histogram.status() << "\n";
+    return 1;
+  }
+  const int64_t n = histogram.value().domain_size();
+  const std::string& verb = positional[0];
+  out.precision(15);  // answers must round-trip through text
+  if ((verb == "SUM" || verb == "AVG") && positional.size() == 3) {
+    const int64_t lo = std::atoll(positional[1].c_str());
+    const int64_t hi = std::atoll(positional[2].c_str());
+    if (!(0 <= lo && lo < hi && hi <= n)) {
+      err << "query: range [" << lo << "," << hi << ") outside domain of size "
+          << n << "\n";
+      return 1;
+    }
+    const double sum = histogram.value().RangeSum(lo, hi);
+    out << (verb == "SUM" ? sum : sum / static_cast<double>(hi - lo)) << "\n";
+    return 0;
+  }
+  if (verb == "POINT" && positional.size() == 2) {
+    const int64_t i = std::atoll(positional[1].c_str());
+    if (i < 0 || i >= n) {
+      err << "query: index " << i << " outside domain of size " << n << "\n";
+      return 1;
+    }
+    out << histogram.value().Estimate(i) << "\n";
+    return 0;
+  }
+  err << "query: expected SUM <lo> <hi> | AVG <lo> <hi> | POINT <i>\n";
+  return 2;
+}
+
+int Inspect(const std::map<std::string, std::string>& flags, std::ostream& out,
+            std::ostream& err) {
+  if (!flags.contains("histogram")) {
+    err << "inspect: --histogram is required\n";
+    return 2;
+  }
+  auto histogram = LoadHistogram(flags.at("histogram"));
+  if (!histogram.ok()) {
+    err << "inspect: " << histogram.status() << "\n";
+    return 1;
+  }
+  out << histogram.value().num_buckets() << " buckets over domain [0, "
+      << histogram.value().domain_size() << ")\n"
+      << histogram.value().ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) return Usage(err);
+  std::vector<std::string> positional;
+  const std::map<std::string, std::string> flags =
+      ParseFlags(args, 1, positional);
+  if (args[0] == "generate") return Generate(flags, out, err);
+  if (args[0] == "build") return Build(flags, out, err);
+  if (args[0] == "query") return Query(flags, positional, out, err);
+  if (args[0] == "inspect") return Inspect(flags, out, err);
+  return Usage(err);
+}
+
+}  // namespace streamhist

@@ -1,0 +1,35 @@
+#ifndef STREAMHIST_TOOLS_CLI_H_
+#define STREAMHIST_TOOLS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace streamhist {
+
+/// Implements the `streamhist_tool` command-line utility (exposed as a
+/// library function so the test suite can drive it without spawning
+/// processes). Subcommands:
+///
+///   generate --kind <utilization|walk|piecewise|zipf|sines> --n <N>
+///            [--seed <S>] --out <csv>
+///       writes a synthetic series (the DESIGN.md §4 substitutions).
+///
+///   build --input <csv> --buckets <B> [--epsilon <E>] [--algorithm
+///         <vopt|agglomerative|greedy|equiwidth|maxdiff>] --out <hist.bin>
+///       builds a histogram of the series and serializes it.
+///
+///   query --histogram <hist.bin> <SUM|AVG|POINT> <args...>
+///       answers a query from a serialized histogram (no data needed).
+///
+///   inspect --histogram <hist.bin>
+///       prints the buckets.
+///
+/// Returns a process exit code; human-readable output/errors go to `out` /
+/// `err`.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TOOLS_CLI_H_

@@ -1,0 +1,77 @@
+#ifndef STREAMHIST_UTIL_LOGGING_H_
+#define STREAMHIST_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace streamhist {
+namespace internal_logging {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+/// Used only via the STREAMHIST_CHECK* macros below.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed message in the disabled branch of DCHECK.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace streamhist
+
+/// Aborts with a message when `condition` is false. For programming errors
+/// (contract violations), not for data-dependent failures — those return
+/// Status. Supports streaming extra context:
+///   STREAMHIST_CHECK(i < n) << "index " << i;
+#define STREAMHIST_CHECK(condition)                                            \
+  switch (0)                                                                   \
+  case 0:                                                                      \
+  default:                                                                     \
+    if (condition)                                                             \
+      ;                                                                        \
+    else                                                                       \
+      ::streamhist::internal_logging::FatalMessage(__FILE__, __LINE__,         \
+                                                   #condition)
+
+#define STREAMHIST_CHECK_EQ(a, b) STREAMHIST_CHECK((a) == (b))
+#define STREAMHIST_CHECK_NE(a, b) STREAMHIST_CHECK((a) != (b))
+#define STREAMHIST_CHECK_LT(a, b) STREAMHIST_CHECK((a) < (b))
+#define STREAMHIST_CHECK_LE(a, b) STREAMHIST_CHECK((a) <= (b))
+#define STREAMHIST_CHECK_GT(a, b) STREAMHIST_CHECK((a) > (b))
+#define STREAMHIST_CHECK_GE(a, b) STREAMHIST_CHECK((a) >= (b))
+
+/// Debug-only CHECK; compiled out (condition not evaluated) in NDEBUG builds.
+#ifndef NDEBUG
+#define STREAMHIST_DCHECK(condition) STREAMHIST_CHECK(condition)
+#else
+#define STREAMHIST_DCHECK(condition) \
+  while (false) ::streamhist::internal_logging::NullStream()
+#endif
+
+#endif  // STREAMHIST_UTIL_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef STREAMHIST_UTIL_RANDOM_H_
+#define STREAMHIST_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace streamhist {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**) with the
+/// variate helpers the data generators and workloads need. Not
+/// cryptographically secure; chosen for speed and reproducibility across
+/// platforms (unlike std::mt19937 distributions, whose output is
+/// implementation-defined for std::*_distribution).
+class Random {
+ public:
+  /// Seeds the state from `seed` via SplitMix64 so that nearby seeds give
+  /// unrelated streams.
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform on [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform on [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer on [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real on [0, 1).
+  double UniformDouble();
+
+  /// Uniform real on [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with the given rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank on [1, n] with skew parameter s >= 0 (s == 0 is
+  /// uniform). Uses inverse-CDF over precomputed weights when n is small and
+  /// rejection-inversion otherwise; this implementation precomputes, so
+  /// repeated calls with the same (n, s) are cheap after the first.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformUint64(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+
+  // Cached Zipf CDF for the last (n, s) pair used.
+  int64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_RANDOM_H_

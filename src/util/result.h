@@ -1,0 +1,74 @@
+#ifndef STREAMHIST_UTIL_RESULT_H_
+#define STREAMHIST_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/util/status.h"
+
+namespace streamhist {
+
+/// Either a value of type T or an error Status — the return type of fallible
+/// factories (e.g. FixedWindowHistogram::Create). Accessing the value of an
+/// errored Result is a checked fatal error, never undefined behavior.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return some_t;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit from an error status: allows `return Status::InvalidArgument(...)`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    STREAMHIST_CHECK(!status_.ok())
+        << "Result constructed from an OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; fatal if this Result holds an error.
+  const T& value() const& {
+    STREAMHIST_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    STREAMHIST_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    STREAMHIST_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // ok() iff value_ holds a value.
+};
+
+/// Unwraps a Result into `lhs`, propagating the error out of the enclosing
+/// function.
+#define STREAMHIST_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto STREAMHIST_CONCAT_(_res_, __LINE__) = (expr);       \
+  if (!STREAMHIST_CONCAT_(_res_, __LINE__).ok())           \
+    return STREAMHIST_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(STREAMHIST_CONCAT_(_res_, __LINE__)).value()
+
+#define STREAMHIST_CONCAT_IMPL_(a, b) a##b
+#define STREAMHIST_CONCAT_(a, b) STREAMHIST_CONCAT_IMPL_(a, b)
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_RESULT_H_

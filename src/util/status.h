@@ -1,0 +1,93 @@
+#ifndef STREAMHIST_UTIL_STATUS_H_
+#define STREAMHIST_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace streamhist {
+
+/// Coarse error taxonomy for fallible operations. The library does not use
+/// exceptions; fallible construction and I/O return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic success/error indicator, modeled on absl::Status /
+/// arrow::Status. An ok status carries no message; error statuses carry a
+/// code and a free-form message.
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code with a
+  /// message is normalized to a plain ok status.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    if (code_ == StatusCode::kOk) message_.clear();
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates an error Status out of the enclosing function.
+#define STREAMHIST_RETURN_NOT_OK(expr)                   \
+  do {                                                   \
+    ::streamhist::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                           \
+  } while (false)
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_STATUS_H_

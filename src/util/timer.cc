@@ -1,0 +1,4 @@
+#include "src/util/timer.h"
+
+// Timer is header-only today; this translation unit exists so the build
+// fails loudly if the header stops being self-contained.

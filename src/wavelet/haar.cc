@@ -1,0 +1,76 @@
+#include "src/wavelet/haar.h"
+
+#include <bit>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+int64_t NextPowerOfTwo(int64_t n) {
+  STREAMHIST_CHECK_GE(n, 1);
+  return static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n)));
+}
+
+std::vector<double> HaarDecompose(std::span<const double> values) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  STREAMHIST_CHECK(n >= 1 && std::has_single_bit(static_cast<uint64_t>(n)))
+      << "HaarDecompose requires a power-of-two length, got " << n;
+  // Averages pyramid: level 0 = leaves; repeatedly halve.
+  std::vector<double> coeffs(static_cast<size_t>(n));
+  std::vector<double> avg(values.begin(), values.end());
+  int64_t len = n;
+  while (len > 1) {
+    const int64_t half = len / 2;
+    // Detail coefficients for the nodes at this level occupy indices
+    // [half, len) in error-tree numbering.
+    for (int64_t j = 0; j < half; ++j) {
+      const double left = avg[static_cast<size_t>(2 * j)];
+      const double right = avg[static_cast<size_t>(2 * j + 1)];
+      coeffs[static_cast<size_t>(half + j)] = (left - right) / 2.0;
+      avg[static_cast<size_t>(j)] = (left + right) / 2.0;
+    }
+    len = half;
+  }
+  coeffs[0] = avg[0];
+  return coeffs;
+}
+
+std::vector<double> HaarReconstruct(std::span<const double> coeffs) {
+  const int64_t n = static_cast<int64_t>(coeffs.size());
+  STREAMHIST_CHECK(n >= 1 && std::has_single_bit(static_cast<uint64_t>(n)));
+  std::vector<double> values(static_cast<size_t>(n));
+  values[0] = coeffs[0];
+  int64_t len = 1;
+  while (len < n) {
+    // Expand the averages at [0, len) into [0, 2*len) using the details at
+    // error-tree indices [len, 2*len).
+    for (int64_t j = len - 1; j >= 0; --j) {
+      const double a = values[static_cast<size_t>(j)];
+      const double d = coeffs[static_cast<size_t>(len + j)];
+      values[static_cast<size_t>(2 * j)] = a + d;
+      values[static_cast<size_t>(2 * j + 1)] = a - d;
+    }
+    len *= 2;
+  }
+  return values;
+}
+
+HaarSupport HaarSupportOf(int64_t i, int64_t size) {
+  STREAMHIST_DCHECK(std::has_single_bit(static_cast<uint64_t>(size)));
+  STREAMHIST_DCHECK(0 <= i && i < size);
+  if (i == 0) return HaarSupport{0, size, size};
+  const int level = std::bit_width(static_cast<uint64_t>(i)) - 1;
+  const int64_t nodes_at_level = int64_t{1} << level;
+  const int64_t support = size / nodes_at_level;
+  const int64_t j = i - nodes_at_level;
+  const int64_t begin = j * support;
+  return HaarSupport{begin, begin + support / 2, begin + support};
+}
+
+double HaarL2Weight(int64_t i, double value, int64_t size) {
+  const HaarSupport s = HaarSupportOf(i, size);
+  return std::fabs(value) * std::sqrt(static_cast<double>(s.end - s.begin));
+}
+
+}  // namespace streamhist

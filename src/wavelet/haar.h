@@ -1,0 +1,42 @@
+#ifndef STREAMHIST_WAVELET_HAAR_H_
+#define STREAMHIST_WAVELET_HAAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamhist {
+
+/// Smallest power of two >= n (n >= 1).
+int64_t NextPowerOfTwo(int64_t n);
+
+/// Haar wavelet decomposition in error-tree form over a power-of-two-length
+/// input. coeffs[0] is the overall average; coeffs[i] for i >= 1 is the
+/// detail coefficient of error-tree node i, defined as
+/// (avg(left half) - avg(right half)) / 2 over the node's support.
+/// Reconstruction: each leaf value is coeffs[0] plus the signed sum of the
+/// details on its root-to-leaf path (+ for left subtree, - for right).
+std::vector<double> HaarDecompose(std::span<const double> values);
+
+/// Exact inverse of HaarDecompose.
+std::vector<double> HaarReconstruct(std::span<const double> coeffs);
+
+/// Support of error-tree node i over a domain of `size` (a power of two):
+/// the coefficient contributes +value on [begin, mid) and -value on
+/// [mid, end). For the average coefficient (i == 0), mid == end == size and
+/// the contribution is +value everywhere.
+struct HaarSupport {
+  int64_t begin;
+  int64_t mid;
+  int64_t end;
+};
+HaarSupport HaarSupportOf(int64_t i, int64_t size);
+
+/// L2 importance of a coefficient: its squared contribution to the signal
+/// energy is value^2 * support_width (details) or value^2 * size (average).
+/// Thresholding by this weight minimizes the SSE of the retained subset.
+double HaarL2Weight(int64_t i, double value, int64_t size);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_WAVELET_HAAR_H_

@@ -1,0 +1,167 @@
+#include "src/wavelet/sliding_wavelet.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/wavelet/haar.h"
+
+namespace streamhist {
+
+Result<SlidingWavelet> SlidingWavelet::Create(int64_t window_size) {
+  if (window_size < 1 ||
+      !std::has_single_bit(static_cast<uint64_t>(window_size))) {
+    return Status::InvalidArgument("window_size must be a power of two >= 1");
+  }
+  return SlidingWavelet(window_size);
+}
+
+SlidingWavelet::SlidingWavelet(int64_t window_size)
+    : capacity_(window_size),
+      leaves_(static_cast<size_t>(window_size), 0.0),
+      coeffs_(static_cast<size_t>(window_size), 0.0) {}
+
+void SlidingWavelet::ApplyLeafDelta(int64_t leaf, double delta) {
+  if (delta == 0.0) return;
+  // Overall average.
+  coeffs_[0] += delta / static_cast<double>(capacity_);
+  ++coefficient_updates_;
+  // Detail nodes on the root-to-leaf path: at the level with 2^l nodes the
+  // leaf's node has support s = capacity / 2^l; a delta in the left half
+  // raises the detail by delta/s, in the right half lowers it.
+  for (int64_t nodes = 1; nodes < capacity_; nodes *= 2) {
+    const int64_t support = capacity_ / nodes;
+    const int64_t node = nodes + leaf / support;
+    const bool left_half = (leaf % support) < support / 2;
+    coeffs_[static_cast<size_t>(node)] +=
+        (left_half ? delta : -delta) / static_cast<double>(support);
+    ++coefficient_updates_;
+  }
+}
+
+void SlidingWavelet::Append(double value) {
+  int64_t pos = 0;
+  if (size_ < capacity_) {
+    pos = size_;
+    ++size_;
+  } else {
+    pos = head_;
+    head_ = (head_ + 1) & (capacity_ - 1);
+  }
+  const double delta = value - leaves_[static_cast<size_t>(pos)];
+  leaves_[static_cast<size_t>(pos)] = value;
+  ApplyLeafDelta(pos, delta);
+  top_set_valid_ = false;
+}
+
+double SlidingWavelet::Estimate(int64_t i) const {
+  STREAMHIST_DCHECK(0 <= i && i < size_);
+  return leaves_[static_cast<size_t>(Physical(i))];
+}
+
+namespace {
+
+int64_t Overlap(int64_t lo, int64_t hi, int64_t a, int64_t b) {
+  const int64_t left = std::max(lo, a);
+  const int64_t right = std::min(hi, b);
+  return right > left ? right - left : 0;
+}
+
+}  // namespace
+
+double SlidingWavelet::PhysicalRangeSum(int64_t lo, int64_t hi) const {
+  if (lo >= hi) return 0.0;
+  // Recursive descent: a node knows its average; its children's averages are
+  // avg +- detail. Only the two boundary paths are expanded: O(log n).
+  struct Frame {
+    int64_t node;  // error-tree index; 1 is the root detail node
+    int64_t begin;
+    int64_t end;
+    double avg;
+  };
+  double total = 0.0;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{1, 0, capacity_, coeffs_[0]});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (lo <= f.begin && f.end <= hi) {
+      total += f.avg * static_cast<double>(f.end - f.begin);
+      continue;
+    }
+    if (Overlap(lo, hi, f.begin, f.end) == 0) continue;
+    if (f.end - f.begin == 1) {
+      continue;  // unreachable: width-1 nodes are fully covered or disjoint
+    }
+    const double detail = coeffs_[static_cast<size_t>(f.node)];
+    const int64_t mid = (f.begin + f.end) / 2;
+    stack.push_back(Frame{2 * f.node, f.begin, mid, f.avg + detail});
+    stack.push_back(Frame{2 * f.node + 1, mid, f.end, f.avg - detail});
+  }
+  return total;
+}
+
+double SlidingWavelet::ExactRangeSum(int64_t lo, int64_t hi) const {
+  STREAMHIST_DCHECK(0 <= lo && lo <= hi && hi <= size_);
+  if (lo == hi) return 0.0;
+  const int64_t p_lo = Physical(lo);
+  const int64_t len = hi - lo;
+  if (p_lo + len <= capacity_) {
+    return PhysicalRangeSum(p_lo, p_lo + len);
+  }
+  return PhysicalRangeSum(p_lo, capacity_) +
+         PhysicalRangeSum(0, p_lo + len - capacity_);
+}
+
+void SlidingWavelet::RefreshTopSet(int64_t num_coefficients) {
+  std::vector<int64_t> order(coeffs_.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t keep =
+      std::min(static_cast<size_t>(num_coefficients), coeffs_.size());
+  std::partial_sort(
+      order.begin(), order.begin() + static_cast<ptrdiff_t>(keep), order.end(),
+      [&](int64_t a, int64_t b) {
+        return HaarL2Weight(a, coeffs_[static_cast<size_t>(a)], capacity_) >
+               HaarL2Weight(b, coeffs_[static_cast<size_t>(b)], capacity_);
+      });
+  top_set_.clear();
+  for (size_t t = 0; t < keep; ++t) {
+    const int64_t i = order[t];
+    const double value = coeffs_[static_cast<size_t>(i)];
+    if (value == 0.0) continue;
+    const HaarSupport s = HaarSupportOf(i, capacity_);
+    top_set_.push_back(TopCoefficient{s.begin, s.mid, s.end, value});
+  }
+  top_set_budget_ = num_coefficients;
+  top_set_valid_ = true;
+}
+
+double SlidingWavelet::PhysicalApproxRangeSum(int64_t lo, int64_t hi) const {
+  double total = 0.0;
+  for (const TopCoefficient& c : top_set_) {
+    const int64_t plus = Overlap(lo, hi, c.begin, c.mid);
+    const int64_t minus = Overlap(lo, hi, c.mid, c.end);
+    total += c.value * static_cast<double>(plus - minus);
+  }
+  return total;
+}
+
+double SlidingWavelet::ApproxRangeSum(int64_t lo, int64_t hi,
+                                      int64_t num_coefficients) {
+  STREAMHIST_DCHECK(0 <= lo && lo <= hi && hi <= size_);
+  STREAMHIST_CHECK_GT(num_coefficients, 0);
+  if (!top_set_valid_ || top_set_budget_ != num_coefficients) {
+    RefreshTopSet(num_coefficients);
+  }
+  const int64_t p_lo = Physical(lo);
+  const int64_t len = hi - lo;
+  if (p_lo + len <= capacity_) {
+    return PhysicalApproxRangeSum(p_lo, p_lo + len);
+  }
+  return PhysicalApproxRangeSum(p_lo, capacity_) +
+         PhysicalApproxRangeSum(0, p_lo + len - capacity_);
+}
+
+}  // namespace streamhist

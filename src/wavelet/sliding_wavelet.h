@@ -1,0 +1,90 @@
+#ifndef STREAMHIST_WAVELET_SLIDING_WAVELET_H_
+#define STREAMHIST_WAVELET_SLIDING_WAVELET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Incrementally-maintained Haar coefficient tree over a sliding window —
+/// the engineering alternative to the paper's recompute-from-scratch wavelet
+/// baseline, in the spirit of Matias, Vitter & Wang's dynamic wavelet
+/// maintenance [MVW00] (adapted from value-domain updates to window slides).
+///
+/// The window occupies a power-of-two circular buffer; each arrival
+/// overwrites the oldest leaf and refreshes the O(log n) coefficients on its
+/// root path, instead of an O(n) transform per arrival. The full tree is
+/// retained, so exact window range sums cost O(log n); a thresholded top-B
+/// snapshot (the lossy synopsis the paper benchmarks against) costs O(n)
+/// but is cached between arrivals.
+///
+/// Window-relative index 0 is the oldest point in the window.
+class SlidingWavelet {
+ public:
+  /// window_size must be a power of two >= 1.
+  static Result<SlidingWavelet> Create(int64_t window_size);
+
+  /// Appends a point, evicting the oldest once the window is full;
+  /// O(log n) coefficient updates.
+  void Append(double value);
+
+  /// Number of points currently in the window.
+  int64_t size() const { return size_; }
+
+  int64_t window_size() const { return capacity_; }
+
+  /// Exact sum of window values over window-relative [lo, hi); O(log n).
+  double ExactRangeSum(int64_t lo, int64_t hi) const;
+
+  /// Approximate sum over [lo, hi) using only the top `num_coefficients`
+  /// coefficients by L2 weight (cached until the next Append); O(B) per
+  /// query after an O(n) selection per window change.
+  double ApproxRangeSum(int64_t lo, int64_t hi, int64_t num_coefficients);
+
+  /// Exact value of window point i (O(log n) path evaluation).
+  double Estimate(int64_t i) const;
+
+  /// Total number of leaf-path coefficient updates performed (diagnostic).
+  int64_t coefficient_updates() const { return coefficient_updates_; }
+
+ private:
+  explicit SlidingWavelet(int64_t window_size);
+
+  /// Applies `delta` at physical leaf position `leaf`: O(log n).
+  void ApplyLeafDelta(int64_t leaf, double delta);
+
+  /// Physical leaf position of window-relative index i.
+  int64_t Physical(int64_t i) const { return (head_ + i) & (capacity_ - 1); }
+
+  /// Exact sum over the *physical* range [lo, hi) from the coefficient tree.
+  double PhysicalRangeSum(int64_t lo, int64_t hi) const;
+
+  /// Approximate sum over the physical range using the cached top set.
+  double PhysicalApproxRangeSum(int64_t lo, int64_t hi) const;
+
+  void RefreshTopSet(int64_t num_coefficients);
+
+  int64_t capacity_;
+  int64_t size_ = 0;
+  int64_t head_ = 0;  // physical position of window-relative index 0
+  int64_t coefficient_updates_ = 0;
+  std::vector<double> leaves_;  // physical order
+  std::vector<double> coeffs_;  // error-tree layout over physical leaves
+
+  // Cached top-B selection (physical supports), invalidated by Append.
+  struct TopCoefficient {
+    int64_t begin;
+    int64_t mid;
+    int64_t end;
+    double value;
+  };
+  std::vector<TopCoefficient> top_set_;
+  int64_t top_set_budget_ = 0;
+  bool top_set_valid_ = false;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_WAVELET_SLIDING_WAVELET_H_

@@ -1,0 +1,116 @@
+#include "src/wavelet/synopsis.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/wavelet/haar.h"
+
+namespace streamhist {
+
+WaveletSynopsis WaveletSynopsis::Build(std::span<const double> data,
+                                       int64_t num_coefficients) {
+  STREAMHIST_CHECK_GT(num_coefficients, 0);
+  WaveletSynopsis synopsis;
+  const int64_t n = static_cast<int64_t>(data.size());
+  synopsis.n_ = n;
+  if (n == 0) return synopsis;
+
+  const int64_t padded = NextPowerOfTwo(n);
+  synopsis.padded_ = padded;
+  std::vector<double> padded_data(data.begin(), data.end());
+  if (padded > n) {
+    const double mean =
+        std::accumulate(data.begin(), data.end(), 0.0) /
+        static_cast<double>(n);
+    padded_data.resize(static_cast<size_t>(padded), mean);
+  }
+
+  const std::vector<double> coeffs = HaarDecompose(padded_data);
+
+  // Rank coefficient indices by L2 weight, descending, and keep the top B
+  // nonzero ones.
+  std::vector<int64_t> order(coeffs.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t keep = std::min(static_cast<size_t>(num_coefficients),
+                               coeffs.size());
+  std::partial_sort(
+      order.begin(), order.begin() + static_cast<ptrdiff_t>(keep), order.end(),
+      [&](int64_t a, int64_t b) {
+        return HaarL2Weight(a, coeffs[static_cast<size_t>(a)], padded) >
+               HaarL2Weight(b, coeffs[static_cast<size_t>(b)], padded);
+      });
+
+  synopsis.coefficients_.reserve(keep);
+  for (size_t t = 0; t < keep; ++t) {
+    const int64_t i = order[t];
+    const double value = coeffs[static_cast<size_t>(i)];
+    if (value == 0.0) continue;
+    const HaarSupport s = HaarSupportOf(i, padded);
+    synopsis.coefficients_.push_back(Coefficient{s.begin, s.mid, s.end, value});
+  }
+  return synopsis;
+}
+
+double WaveletSynopsis::Estimate(int64_t i) const {
+  STREAMHIST_DCHECK(0 <= i && i < n_);
+  double v = 0.0;
+  for (const Coefficient& c : coefficients_) {
+    if (i >= c.begin && i < c.mid) {
+      v += c.value;
+    } else if (i >= c.mid && i < c.end) {
+      v -= c.value;
+    }
+  }
+  return v;
+}
+
+namespace {
+
+// Width of the intersection of [lo, hi) with [a, b).
+int64_t Overlap(int64_t lo, int64_t hi, int64_t a, int64_t b) {
+  const int64_t left = std::max(lo, a);
+  const int64_t right = std::min(hi, b);
+  return right > left ? right - left : 0;
+}
+
+}  // namespace
+
+double WaveletSynopsis::RangeSum(int64_t lo, int64_t hi) const {
+  STREAMHIST_DCHECK(0 <= lo && lo <= hi && hi <= n_);
+  double total = 0.0;
+  for (const Coefficient& c : coefficients_) {
+    const int64_t plus = Overlap(lo, hi, c.begin, c.mid);
+    const int64_t minus = Overlap(lo, hi, c.mid, c.end);
+    total += c.value * static_cast<double>(plus - minus);
+  }
+  return total;
+}
+
+std::vector<double> WaveletSynopsis::Reconstruct() const {
+  std::vector<double> out(static_cast<size_t>(n_), 0.0);
+  for (const Coefficient& c : coefficients_) {
+    const int64_t plus_end = std::min(c.mid, n_);
+    for (int64_t i = c.begin; i < plus_end; ++i) {
+      out[static_cast<size_t>(i)] += c.value;
+    }
+    const int64_t minus_end = std::min(c.end, n_);
+    for (int64_t i = c.mid; i < minus_end; ++i) {
+      out[static_cast<size_t>(i)] -= c.value;
+    }
+  }
+  return out;
+}
+
+double WaveletSynopsis::SseAgainst(std::span<const double> data) const {
+  STREAMHIST_CHECK_EQ(static_cast<int64_t>(data.size()), n_);
+  const std::vector<double> approx = Reconstruct();
+  long double total = 0.0L;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    const long double d = data[i] - approx[i];
+    total += d * d;
+  }
+  return static_cast<double>(total);
+}
+
+}  // namespace streamhist

@@ -1,0 +1,67 @@
+#ifndef STREAMHIST_WAVELET_SYNOPSIS_H_
+#define STREAMHIST_WAVELET_SYNOPSIS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamhist {
+
+/// Wavelet-based synopsis in the style of Matias, Vitter & Wang [MVW]:
+/// the B largest Haar coefficients under L2 normalization, supporting O(B)
+/// point estimates and O(B) range sums. This is the comparison baseline of
+/// the paper's Figure 6; there (and in bench_fig6_*) it is recomputed from
+/// scratch each time the sliding window moves, as the paper describes.
+///
+/// Non-power-of-two inputs are padded to the next power of two with the
+/// series mean (gentler than zero padding on utilization-style data whose
+/// level is far from zero); estimates are only defined on the original
+/// domain [0, n).
+class WaveletSynopsis {
+ public:
+  /// An empty synopsis over the empty domain.
+  WaveletSynopsis() = default;
+
+  /// Builds the top-`num_coefficients` synopsis of `data`.
+  static WaveletSynopsis Build(std::span<const double> data,
+                               int64_t num_coefficients);
+
+  /// Original domain size n.
+  int64_t domain_size() const { return n_; }
+
+  /// Number of retained coefficients (<= requested; small inputs may have
+  /// fewer nonzero coefficients).
+  int64_t num_coefficients() const {
+    return static_cast<int64_t>(coefficients_.size());
+  }
+
+  /// Estimated value of point i in [0, n).
+  double Estimate(int64_t i) const;
+
+  /// Estimated sum over [lo, hi), 0 <= lo <= hi <= n.
+  double RangeSum(int64_t lo, int64_t hi) const;
+
+  /// Reconstructs the approximate sequence over [0, n).
+  std::vector<double> Reconstruct() const;
+
+  /// SSE of the approximation against `data` (size n).
+  double SseAgainst(std::span<const double> data) const;
+
+ private:
+  /// A retained coefficient with its precomputed support: contributes
+  /// +value on [begin, mid) and -value on [mid, end).
+  struct Coefficient {
+    int64_t begin;
+    int64_t mid;
+    int64_t end;
+    double value;
+  };
+
+  int64_t n_ = 0;       // original length
+  int64_t padded_ = 0;  // power-of-two transform length
+  std::vector<Coefficient> coefficients_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_WAVELET_SYNOPSIS_H_

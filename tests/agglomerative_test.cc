@@ -1,0 +1,158 @@
+#include "src/core/agglomerative.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+AgglomerativeHistogram MakeAgglom(int64_t buckets, double epsilon) {
+  ApproxHistogramOptions options;
+  options.num_buckets = buckets;
+  options.epsilon = epsilon;
+  return AgglomerativeHistogram::Create(options).value();
+}
+
+TEST(AgglomerativeTest, CreateValidatesOptions) {
+  ApproxHistogramOptions bad;
+  bad.num_buckets = 0;
+  EXPECT_FALSE(AgglomerativeHistogram::Create(bad).ok());
+  bad.num_buckets = 4;
+  bad.epsilon = -1.0;
+  EXPECT_FALSE(AgglomerativeHistogram::Create(bad).ok());
+  bad.epsilon = 0.25;
+  auto ok = AgglomerativeHistogram::Create(bad);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.value().delta(), 0.25 / 8.0);
+}
+
+TEST(AgglomerativeTest, EmptyExtract) {
+  AgglomerativeHistogram a = MakeAgglom(3, 0.1);
+  EXPECT_EQ(a.Extract().num_buckets(), 0);
+  EXPECT_DOUBLE_EQ(a.ApproxError(), 0.0);
+}
+
+TEST(AgglomerativeTest, SinglePoint) {
+  AgglomerativeHistogram a = MakeAgglom(3, 0.1);
+  a.Append(7.0);
+  EXPECT_DOUBLE_EQ(a.ApproxError(), 0.0);
+  Histogram h = a.Extract();
+  ASSERT_EQ(h.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].value, 7.0);
+}
+
+TEST(AgglomerativeTest, ConstantStreamHasZeroError) {
+  AgglomerativeHistogram a = MakeAgglom(2, 0.1);
+  for (int i = 0; i < 1000; ++i) a.Append(5.0);
+  EXPECT_DOUBLE_EQ(a.ApproxError(), 0.0);
+  Histogram h = a.Extract();
+  EXPECT_EQ(h.domain_size(), 1000);
+  EXPECT_DOUBLE_EQ(h.SseAgainst(std::vector<double>(1000, 5.0)), 0.0);
+}
+
+TEST(AgglomerativeTest, PiecewiseConstantRecoveredExactly) {
+  AgglomerativeHistogram a = MakeAgglom(3, 0.5);
+  std::vector<double> data;
+  for (int i = 0; i < 20; ++i) data.push_back(4.0);
+  for (int i = 0; i < 30; ++i) data.push_back(-2.0);
+  for (int i = 0; i < 10; ++i) data.push_back(11.0);
+  for (double v : data) a.Append(v);
+  EXPECT_NEAR(a.ApproxError(), 0.0, 1e-9);
+  Histogram h = a.Extract();
+  EXPECT_NEAR(h.SseAgainst(data), 0.0, 1e-9);
+}
+
+TEST(AgglomerativeTest, ExtractedHistogramIsValidAtEveryPrefix) {
+  AgglomerativeHistogram a = MakeAgglom(4, 0.3);
+  Random rng(5);
+  for (int i = 1; i <= 120; ++i) {
+    a.Append(rng.UniformInt(0, 30));
+    Histogram h = a.Extract();
+    EXPECT_TRUE(h.Validate().ok()) << "prefix " << i;
+    EXPECT_EQ(h.domain_size(), i);
+    EXPECT_LE(h.num_buckets(), 4);
+  }
+}
+
+TEST(AgglomerativeTest, ExtractErrorConsistentWithApproxError) {
+  AgglomerativeHistogram a = MakeAgglom(5, 0.2);
+  Random rng(8);
+  std::vector<double> data;
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.UniformInt(0, 100);
+    data.push_back(v);
+    a.Append(v);
+  }
+  // The extraction DP may find a *better* partition than the streamed value
+  // (it minimizes jointly over all levels), never a worse one beyond noise.
+  const double extracted = a.Extract().SseAgainst(data);
+  EXPECT_LE(extracted, a.ApproxError() * (1.0 + 1e-9) + 1e-6);
+}
+
+TEST(AgglomerativeTest, SpaceGrowsLogarithmically) {
+  AgglomerativeHistogram a = MakeAgglom(4, 0.5);
+  Random rng(13);
+  int64_t entries_at_1k = 0;
+  for (int i = 1; i <= 16000; ++i) {
+    a.Append(rng.UniformInt(0, 256));
+    if (i == 1000) entries_at_1k = a.total_stored_entries();
+  }
+  const int64_t entries_at_16k = a.total_stored_entries();
+  ASSERT_GT(entries_at_1k, 0);
+  // A 16x longer stream should grow storage by far less than 16x (the bound
+  // is logarithmic in stream length for bounded values).
+  EXPECT_LT(entries_at_16k, 4 * entries_at_1k);
+}
+
+// Property sweep: the extracted histogram's SSE is within (1+eps) of the
+// optimal B-bucket histogram of the full prefix.
+struct GuaranteeCase {
+  const char* dataset;
+  int64_t length;
+  int64_t buckets;
+  double epsilon;
+  uint64_t seed;
+};
+
+void PrintTo(const GuaranteeCase& c, std::ostream* os) {
+  *os << c.dataset << "/n" << c.length << "/B" << c.buckets << "/eps"
+      << c.epsilon << "/s" << c.seed;
+}
+
+class AgglomerativeGuaranteeTest
+    : public ::testing::TestWithParam<GuaranteeCase> {};
+
+TEST_P(AgglomerativeGuaranteeTest, WithinOnePlusEpsilonOfOptimal) {
+  const GuaranteeCase c = GetParam();
+  const std::vector<double> data =
+      GenerateDataset(ParseDatasetKind(c.dataset), c.length, c.seed);
+  AgglomerativeHistogram a = MakeAgglom(c.buckets, c.epsilon);
+  for (double v : data) a.Append(v);
+  const double opt = OptimalSse(data, c.buckets);
+  const double approx = a.Extract().SseAgainst(data);
+  EXPECT_LE(approx, (1.0 + c.epsilon) * opt + 1e-6)
+      << "approx=" << approx << " opt=" << opt;
+  EXPECT_GE(approx, opt - 1e-6);  // can never beat the optimum
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AgglomerativeGuaranteeTest,
+    ::testing::Values(GuaranteeCase{"walk", 200, 4, 0.5, 1},
+                      GuaranteeCase{"walk", 200, 4, 0.1, 2},
+                      GuaranteeCase{"walk", 400, 8, 0.2, 3},
+                      GuaranteeCase{"piecewise", 300, 6, 0.1, 4},
+                      GuaranteeCase{"piecewise", 300, 6, 1.0, 5},
+                      GuaranteeCase{"zipf", 200, 4, 0.3, 6},
+                      GuaranteeCase{"zipf", 300, 8, 0.05, 7},
+                      GuaranteeCase{"sines", 400, 8, 0.2, 8},
+                      GuaranteeCase{"utilization", 400, 6, 0.5, 9},
+                      GuaranteeCase{"utilization", 200, 2, 0.05, 10}));
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,105 @@
+#include "src/core/bucket_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+std::vector<double> RandomData(int64_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<double> v;
+  for (int64_t i = 0; i < n; ++i) v.push_back(rng.UniformDouble(-20, 20));
+  return v;
+}
+
+TEST(SseBucketCostTest, ZeroForWidthOneBuckets) {
+  const std::vector<double> data{3, 1, 4};
+  SseBucketCost cost(data);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(cost.Cost(i, i + 1), 0.0);
+}
+
+TEST(SseBucketCostTest, RepresentativeIsMean) {
+  const std::vector<double> data{2, 4, 9};
+  SseBucketCost cost(data);
+  EXPECT_DOUBLE_EQ(cost.Representative(0, 3), 5.0);
+  EXPECT_DOUBLE_EQ(cost.Representative(0, 2), 3.0);
+}
+
+TEST(SaeBucketCostTest, CostIsSumOfAbsoluteDeviations) {
+  const std::vector<double> data{1, 2, 3, 10};
+  SaeBucketCost cost(data);
+  // Median of {1,2,3,10} = 2.5; SAE = 1.5 + 0.5 + 0.5 + 7.5 = 10.
+  EXPECT_DOUBLE_EQ(cost.Cost(0, 4), 10.0);
+  // Odd width: median of {1,2,3} = 2; SAE = 1 + 0 + 1 = 2.
+  EXPECT_DOUBLE_EQ(cost.Cost(0, 3), 2.0);
+}
+
+TEST(SaeBucketCostTest, MedianMinimizesSae) {
+  const std::vector<double> data = RandomData(40, 17);
+  SaeBucketCost cost(data);
+  const double at_median = cost.Cost(5, 30);
+  const double median = cost.Representative(5, 30);
+  // Perturbing the representative can only increase the cost.
+  for (double shift : {-3.0, -0.5, 0.5, 3.0}) {
+    double perturbed = 0.0;
+    for (int64_t i = 5; i < 30; ++i) {
+      perturbed += std::fabs(data[static_cast<size_t>(i)] - (median + shift));
+    }
+    EXPECT_GE(perturbed + 1e-9, at_median);
+  }
+}
+
+TEST(MaxAbsBucketCostTest, MatchesBruteForce) {
+  const std::vector<double> data = RandomData(100, 23);
+  MaxAbsBucketCost cost(data);
+  Random rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const int64_t i = rng.UniformInt(0, 99);
+    const int64_t j = rng.UniformInt(i + 1, 100);
+    const double mn = *std::min_element(
+        data.begin() + static_cast<ptrdiff_t>(i),
+        data.begin() + static_cast<ptrdiff_t>(j));
+    const double mx = *std::max_element(
+        data.begin() + static_cast<ptrdiff_t>(i),
+        data.begin() + static_cast<ptrdiff_t>(j));
+    EXPECT_DOUBLE_EQ(cost.Cost(i, j), j - i > 1 ? (mx - mn) / 2.0 : 0.0);
+    EXPECT_DOUBLE_EQ(cost.Representative(i, j), (mx + mn) / 2.0);
+  }
+}
+
+TEST(MaxAbsBucketCostTest, MidrangeMinimizesMaxDeviation) {
+  const std::vector<double> data = RandomData(30, 31);
+  MaxAbsBucketCost cost(data);
+  const double rep = cost.Representative(0, 30);
+  const double c = cost.Cost(0, 30);
+  for (double v : data) EXPECT_LE(std::fabs(v - rep), c + 1e-12);
+}
+
+TEST(BucketCostTest, AllCostsAreMonotoneInRangeInclusion) {
+  // Widening a bucket never decreases its cost, for every cost family —
+  // the monotonicity property the paper's search-space reduction needs.
+  const std::vector<double> data = RandomData(60, 41);
+  SseBucketCost sse(data);
+  SaeBucketCost sae(data);
+  MaxAbsBucketCost maxabs(data);
+  for (const BucketCost* cost :
+       std::initializer_list<const BucketCost*>{&sse, &sae, &maxabs}) {
+    for (int64_t i = 0; i < 50; i += 7) {
+      double prev = 0.0;
+      for (int64_t j = i + 1; j <= 60; ++j) {
+        const double c = cost->Cost(i, j);
+        EXPECT_GE(c + 1e-9, prev);
+        prev = c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

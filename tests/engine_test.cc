@@ -1,0 +1,213 @@
+#include "src/engine/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/query/estimator.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+StreamConfig SmallConfig() {
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  config.epsilon = 0.2;
+  return config;
+}
+
+TEST(ManagedStreamTest, MaintainsAllSynopses) {
+  ManagedStream stream = ManagedStream::Create(SmallConfig()).value();
+  Random rng(1);
+  for (int i = 0; i < 500; ++i) stream.Append(rng.UniformInt(0, 100));
+  EXPECT_EQ(stream.total_points(), 500);
+  EXPECT_EQ(stream.window_histogram().window().size(), 64);
+  ASSERT_NE(stream.lifetime_histogram(), nullptr);
+  EXPECT_EQ(stream.lifetime_histogram()->size(), 500);
+  ASSERT_NE(stream.quantiles(), nullptr);
+  EXPECT_EQ(stream.quantiles()->size(), 500);
+  ASSERT_NE(stream.distinct(), nullptr);
+  EXPECT_NEAR(stream.distinct()->EstimateDistinct(), 101.0, 60.0);
+  EXPECT_FALSE(stream.Describe().empty());
+}
+
+TEST(ManagedStreamTest, OptionalSynopsesCanBeDisabled) {
+  StreamConfig config = SmallConfig();
+  config.keep_lifetime_histogram = false;
+  config.keep_quantiles = false;
+  config.keep_distinct = false;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  stream.Append(1.0);
+  EXPECT_EQ(stream.lifetime_histogram(), nullptr);
+  EXPECT_EQ(stream.quantiles(), nullptr);
+  EXPECT_EQ(stream.distinct(), nullptr);
+}
+
+TEST(ManagedStreamTest, CreateValidatesConfig) {
+  StreamConfig bad = SmallConfig();
+  bad.window_size = 0;
+  EXPECT_FALSE(ManagedStream::Create(bad).ok());
+  bad = SmallConfig();
+  bad.quantile_epsilon = 2.0;
+  EXPECT_FALSE(ManagedStream::Create(bad).ok());
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.CreateStream("eth0", SmallConfig()).ok());
+    // Deterministic contents: window ends holding 436..499.
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(engine_.Append("eth0", static_cast<double>(i)).ok());
+    }
+  }
+
+  QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, StreamLifecycle) {
+  EXPECT_FALSE(engine_.CreateStream("eth0", SmallConfig()).ok());  // dup
+  EXPECT_TRUE(engine_.CreateStream("eth1", SmallConfig()).ok());
+  EXPECT_EQ(engine_.ListStreams(),
+            (std::vector<std::string>{"eth0", "eth1"}));
+  EXPECT_TRUE(engine_.DropStream("eth1").ok());
+  EXPECT_FALSE(engine_.DropStream("eth1").ok());
+  EXPECT_FALSE(engine_.Append("missing", 1.0).ok());
+}
+
+TEST_F(QueryEngineTest, CountAndList) {
+  EXPECT_EQ(engine_.Execute("COUNT eth0").value(), "500");
+  EXPECT_EQ(engine_.Execute("LIST").value(), "eth0");
+}
+
+TEST_F(QueryEngineTest, SumOverWindowIsNearExact) {
+  // Window holds 436..499: sum = (436+499)*64/2 = 29920.
+  const double sum = std::stod(engine_.Execute("SUM eth0 0 64").value());
+  EXPECT_NEAR(sum, 29920.0, 0.02 * 29920.0);
+}
+
+TEST_F(QueryEngineTest, SumLastKEqualsTailRange) {
+  const double last = std::stod(engine_.Execute("SUM eth0 LAST 10").value());
+  const double tail = std::stod(engine_.Execute("SUM eth0 54 64").value());
+  EXPECT_DOUBLE_EQ(last, tail);
+}
+
+TEST_F(QueryEngineTest, AvgIsSumOverWidth) {
+  const double sum = std::stod(engine_.Execute("SUM eth0 0 32").value());
+  const double avg = std::stod(engine_.Execute("AVG eth0 0 32").value());
+  EXPECT_NEAR(avg, sum / 32.0, 1e-9);
+}
+
+TEST_F(QueryEngineTest, PointEstimateTracksData) {
+  const double p = std::stod(engine_.Execute("POINT eth0 63").value());
+  EXPECT_NEAR(p, 499.0, 10.0);  // bucket mean near the newest value
+}
+
+TEST_F(QueryEngineTest, QuantileAnswersFromGK) {
+  // Values 0..499 uniform: median ~250.
+  const double median =
+      std::stod(engine_.Execute("QUANTILE eth0 0.5").value());
+  EXPECT_NEAR(median, 250.0, 15.0);
+}
+
+TEST_F(QueryEngineTest, DistinctEstimate) {
+  const double d = std::stod(engine_.Execute("DISTINCT eth0").value());
+  EXPECT_NEAR(d, 500.0, 200.0);
+}
+
+TEST_F(QueryEngineTest, ErrorDescribeShow) {
+  EXPECT_GE(std::stod(engine_.Execute("ERROR eth0").value()), 0.0);
+  EXPECT_NE(engine_.Execute("DESCRIBE eth0").value().find("points seen"),
+            std::string::npos);
+  EXPECT_NE(engine_.Execute("SHOW eth0").value().find("[0,"),
+            std::string::npos);
+}
+
+TEST_F(QueryEngineTest, ParserErrors) {
+  EXPECT_FALSE(engine_.Execute("").ok());
+  EXPECT_FALSE(engine_.Execute("FROBNICATE eth0").ok());
+  EXPECT_FALSE(engine_.Execute("SUM").ok());
+  EXPECT_FALSE(engine_.Execute("SUM nosuch 0 10").ok());
+  EXPECT_FALSE(engine_.Execute("SUM eth0 0").ok());
+  EXPECT_FALSE(engine_.Execute("SUM eth0 ten twenty").ok());
+  EXPECT_FALSE(engine_.Execute("SUM eth0 10 5").ok());
+  EXPECT_FALSE(engine_.Execute("SUM eth0 0 9999").ok());
+  EXPECT_FALSE(engine_.Execute("SUM eth0 LAST 0").ok());
+  EXPECT_FALSE(engine_.Execute("POINT eth0 64").ok());
+  EXPECT_FALSE(engine_.Execute("QUANTILE eth0 1.5").ok());
+  EXPECT_FALSE(engine_.Execute("AVG eth0 5 5").ok());
+}
+
+TEST_F(QueryEngineTest, SumBoundReturnsCertifiedInterval) {
+  const auto result = engine_.Execute("SUMBOUND eth0 10 50");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // "estimate +- bound"
+  const std::string text = result.value();
+  const size_t sep = text.find(" +- ");
+  ASSERT_NE(sep, std::string::npos) << text;
+  const double estimate = std::stod(text.substr(0, sep));
+  const double bound = std::stod(text.substr(sep + 4));
+  EXPECT_GE(bound, 0.0);
+  // Ground truth: window holds 436..499, so sum[10,50) = sum 446..485.
+  double truth = 0.0;
+  for (int v = 446; v < 486; ++v) truth += v;
+  EXPECT_LE(std::fabs(estimate - truth), bound + 1e-6);
+
+  // AVGBOUND is the scaled version.
+  const auto avg = engine_.Execute("AVGBOUND eth0 10 50");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_FALSE(engine_.Execute("SUMBOUND eth0 5 5").ok());
+}
+
+TEST_F(QueryEngineTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(engine_.Execute("sum eth0 last 5").ok());
+  EXPECT_TRUE(engine_.Execute("Describe eth0").ok());
+}
+
+TEST_F(QueryEngineTest, DisabledSynopsesReportFailedPrecondition) {
+  StreamConfig config = SmallConfig();
+  config.keep_quantiles = false;
+  config.keep_distinct = false;
+  ASSERT_TRUE(engine_.CreateStream("bare", config).ok());
+  ASSERT_TRUE(engine_.Append("bare", 1.0).ok());
+  EXPECT_EQ(engine_.Execute("QUANTILE bare 0.5").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine_.Execute("DISTINCT bare").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryEngineAccuracyTest, WindowSumsTrackExactAnswers) {
+  QueryEngine engine;
+  StreamConfig config;
+  config.window_size = 256;
+  config.num_buckets = 16;
+  config.epsilon = 0.1;
+  ASSERT_TRUE(engine.CreateStream("s", config).ok());
+
+  const std::vector<double> stream =
+      GenerateDataset(DatasetKind::kUtilization, 4000, 3);
+  ASSERT_TRUE(engine.AppendBatch("s", stream).ok());
+
+  const std::vector<double> window(stream.end() - 256, stream.end());
+  ExactEstimator exact(window);
+  Random rng(9);
+  for (int q = 0; q < 50; ++q) {
+    const int64_t lo = rng.UniformInt(0, 255);
+    const int64_t hi = rng.UniformInt(lo + 1, 256);
+    std::ostringstream stmt;
+    stmt << "SUM s " << lo << " " << hi;
+    const double approx = std::stod(engine.Execute(stmt.str()).value());
+    const double truth = exact.RangeSum(lo, hi);
+    EXPECT_NEAR(approx, truth, std::max(50.0, 0.1 * std::fabs(truth)));
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,175 @@
+#include "src/core/error_bounds.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/agglomerative.h"
+#include "src/core/fixed_window.h"
+#include "src/core/heuristics.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/query/workload.h"
+#include "src/stream/prefix_sums.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(ErrorBoundsTest, PerBucketSseSumsToTotalSse) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kRandomWalk, 300, 3);
+  const Histogram h = BuildVOptimalHistogram(data, 12).histogram;
+  const std::vector<double> sse = PerBucketSse(h, data);
+  double total = 0.0;
+  for (double s : sse) total += s;
+  EXPECT_NEAR(total, h.SseAgainst(data), 1e-6);
+}
+
+TEST(ErrorBoundsTest, BucketAlignedQueriesHaveZeroBound) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, 200, 5);
+  const Histogram h = BuildVOptimalHistogram(data, 8).histogram;
+  const std::vector<double> sse = PerBucketSse(h, data);
+  PrefixSums sums(data);
+  for (const Bucket& b : h.buckets()) {
+    const BoundedValue r = RangeSumWithBound(h, sse, b.begin, b.end);
+    EXPECT_DOUBLE_EQ(r.error_bound, 0.0);
+    // And the estimate is exact for bucket-aligned ranges (exact means).
+    EXPECT_NEAR(r.estimate, sums.Sum(b.begin, b.end), 1e-6);
+  }
+  const BoundedValue whole = RangeSumWithBound(h, sse, 0, 200);
+  EXPECT_DOUBLE_EQ(whole.error_bound, 0.0);
+}
+
+// The headline property: the certified bound always contains the truth,
+// across datasets, builders, and random queries.
+struct BoundCase {
+  const char* dataset;
+  int64_t n;
+  int64_t buckets;
+  uint64_t seed;
+};
+
+void PrintTo(const BoundCase& c, std::ostream* os) {
+  *os << c.dataset << "/n" << c.n << "/B" << c.buckets << "/s" << c.seed;
+}
+
+class CertifiedBoundTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(CertifiedBoundTest, BoundAlwaysContainsTruth) {
+  const BoundCase c = GetParam();
+  const std::vector<double> data =
+      GenerateDataset(ParseDatasetKind(c.dataset), c.n, c.seed);
+  PrefixSums sums(data);
+  Random rng(c.seed * 31);
+
+  // Every builder whose bucket values are exact means qualifies.
+  std::vector<Histogram> histograms;
+  histograms.push_back(BuildVOptimalHistogram(data, c.buckets).histogram);
+  histograms.push_back(BuildEquiWidthHistogram(data, c.buckets));
+  histograms.push_back(BuildMaxDiffHistogram(data, c.buckets));
+  ApproxHistogramOptions options;
+  options.num_buckets = c.buckets;
+  options.epsilon = 0.2;
+  AgglomerativeHistogram agg = AgglomerativeHistogram::Create(options).value();
+  for (double v : data) agg.Append(v);
+  histograms.push_back(agg.Extract());
+
+  for (const Histogram& h : histograms) {
+    const std::vector<double> sse = PerBucketSse(h, data);
+    const auto queries = GenerateUniformRangeQueries(c.n, 200, rng);
+    for (const RangeQuery& q : queries) {
+      const BoundedValue r = RangeSumWithBound(h, sse, q.lo, q.hi);
+      const double truth = sums.Sum(q.lo, q.hi);
+      EXPECT_LE(std::fabs(r.estimate - truth), r.error_bound + 1e-6)
+          << "range [" << q.lo << "," << q.hi << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CertifiedBoundTest,
+    ::testing::Values(BoundCase{"walk", 256, 8, 1},
+                      BoundCase{"utilization", 512, 16, 2},
+                      BoundCase{"piecewise", 300, 6, 3},
+                      BoundCase{"zipf", 256, 10, 4},
+                      BoundCase{"sines", 400, 12, 5}));
+
+TEST(ErrorBoundsTest, StreamingBucketErrorsCertifyWindowQueries) {
+  FixedWindowOptions options;
+  options.window_size = 128;
+  options.num_buckets = 8;
+  options.epsilon = 0.2;
+  options.rebuild_on_append = false;
+  FixedWindowHistogram fw = FixedWindowHistogram::Create(options).value();
+  const std::vector<double> stream =
+      GenerateDataset(DatasetKind::kUtilization, 1000, 7);
+  for (double v : stream) fw.Append(v);
+
+  const Histogram& h = fw.Extract();
+  const std::vector<double> errors = fw.BucketErrors();
+  ASSERT_EQ(static_cast<int64_t>(errors.size()), h.num_buckets());
+  // Streaming per-bucket SSEs must match the offline computation exactly.
+  const std::vector<double> window = fw.window().ToVector();
+  const std::vector<double> offline = PerBucketSse(h, window);
+  for (size_t k = 0; k < errors.size(); ++k) {
+    EXPECT_NEAR(errors[k], offline[k], 1e-6 * (1 + offline[k]));
+  }
+
+  // And the certified bounds hold on the live window.
+  PrefixSums sums(window);
+  Random rng(11);
+  for (int t = 0; t < 100; ++t) {
+    const int64_t lo = rng.UniformInt(0, 127);
+    const int64_t hi = rng.UniformInt(lo, 128);
+    const BoundedValue r = RangeSumWithBound(h, errors, lo, hi);
+    EXPECT_LE(std::fabs(r.estimate - sums.Sum(lo, hi)), r.error_bound + 1e-6);
+  }
+}
+
+TEST(ErrorBoundsTest, BoundIsUsefullyTight) {
+  // The boundary-bucket bound should be far below the naive bound derived
+  // from the total SSE (sqrt(span * total_sse)) on typical queries.
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, 512, 13);
+  const Histogram h = BuildVOptimalHistogram(data, 16).histogram;
+  const std::vector<double> sse = PerBucketSse(h, data);
+  const double total_sse = h.SseAgainst(data);
+  Random rng(17);
+  double certified = 0.0, naive = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const int64_t lo = rng.UniformInt(0, 511);
+    const int64_t hi = rng.UniformInt(lo + 1, 512);
+    certified += RangeSumWithBound(h, sse, lo, hi).error_bound;
+    naive += std::sqrt(static_cast<double>(hi - lo) * total_sse);
+  }
+  EXPECT_LT(certified, 0.25 * naive);
+}
+
+TEST(ErrorBoundsTest, PointAndAverageBoundsHold) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kRandomWalk, 256, 19);
+  const Histogram h = BuildVOptimalHistogram(data, 10).histogram;
+  const std::vector<double> sse = PerBucketSse(h, data);
+  PrefixSums sums(data);
+
+  for (int64_t i = 0; i < 256; ++i) {
+    const BoundedValue p = PointEstimateWithBound(h, sse, i);
+    EXPECT_LE(std::fabs(p.estimate - data[static_cast<size_t>(i)]),
+              p.error_bound + 1e-9)
+        << "point " << i;
+  }
+  Random rng(21);
+  for (int t = 0; t < 100; ++t) {
+    const int64_t lo = rng.UniformInt(0, 255);
+    const int64_t hi = rng.UniformInt(lo + 1, 256);
+    const BoundedValue a = RangeAverageWithBound(h, sse, lo, hi);
+    const double truth = sums.Mean(lo, hi);
+    EXPECT_LE(std::fabs(a.estimate - truth), a.error_bound + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,159 @@
+// Tests for the extension features: reservoir sampling [SRL99], histogram
+// serialization, and batched arrivals (paper footnote 2).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/agglomerative.h"
+#include "src/core/fixed_window.h"
+#include "src/core/histogram_io.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/quantile/reservoir.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(ReservoirTest, CreateValidatesCapacity) {
+  EXPECT_FALSE(ReservoirSample::Create(0).ok());
+  EXPECT_TRUE(ReservoirSample::Create(1).ok());
+}
+
+TEST(ReservoirTest, HoldsEverythingBelowCapacity) {
+  ReservoirSample r = ReservoirSample::Create(10).value();
+  for (double v : {1.0, 2.0, 3.0}) r.Append(v);
+  EXPECT_EQ(r.size(), 3);
+  EXPECT_EQ(r.sample_size(), 3);
+  EXPECT_DOUBLE_EQ(r.EstimateTotalSum(), 6.0);
+  EXPECT_DOUBLE_EQ(r.EstimateMean(), 2.0);
+}
+
+TEST(ReservoirTest, SampleSizeIsCapped) {
+  ReservoirSample r = ReservoirSample::Create(50).value();
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) r.Append(rng.UniformDouble(0, 1));
+  EXPECT_EQ(r.sample_size(), 50);
+  EXPECT_EQ(r.size(), 10000);
+}
+
+TEST(ReservoirTest, EstimatesAreUnbiasedIsh) {
+  // Mean estimate over repeated seeds should land near the true mean.
+  double total_mean = 0.0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    ReservoirSample r = ReservoirSample::Create(100, seed).value();
+    Random rng(seed + 1000);
+    for (int i = 0; i < 5000; ++i) r.Append(rng.UniformDouble(0, 100));
+    total_mean += r.EstimateMean();
+  }
+  EXPECT_NEAR(total_mean / 30.0, 50.0, 3.0);
+}
+
+TEST(ReservoirTest, CountInRangeScales) {
+  ReservoirSample r = ReservoirSample::Create(500, 3).value();
+  Random rng(7);
+  for (int i = 0; i < 20000; ++i) r.Append(rng.UniformDouble(0, 100));
+  // ~25% of points in [0, 25).
+  EXPECT_NEAR(r.EstimateCountInRange(0, 25), 5000.0, 1000.0);
+}
+
+TEST(SerializationTest, RoundTripPreservesHistogram) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, 300, 1);
+  const Histogram original = BuildVOptimalHistogram(data, 12).histogram;
+  const std::string bytes = SerializeHistogram(original);
+  auto back = DeserializeHistogram(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value(), original);
+}
+
+TEST(SerializationTest, EmptyHistogramRoundTrips) {
+  auto back = DeserializeHistogram(SerializeHistogram(Histogram()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_buckets(), 0);
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeHistogram("not a histogram").ok());
+  EXPECT_FALSE(DeserializeHistogram("").ok());
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  const Histogram h = Histogram::FromBucketsUnchecked(
+      {Bucket{0, 2, 1.0}, Bucket{2, 4, 2.0}});
+  std::string bytes = SerializeHistogram(h);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
+TEST(SerializationTest, RejectsTrailingBytes) {
+  std::string bytes = SerializeHistogram(Histogram());
+  bytes.push_back('x');
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
+TEST(SerializationTest, RejectsStructurallyInvalidBuckets) {
+  // Hand-craft a payload with a gap between buckets: deserialization must
+  // run the same validation as Histogram::Make.
+  const Histogram h = Histogram::FromBucketsUnchecked({Bucket{0, 2, 1.0}});
+  std::string bytes = SerializeHistogram(h);
+  // Patch the begin field (offset 16) from 0 to 1.
+  bytes[16] = 1;
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
+TEST(BatchArrivalsTest, FixedWindowBatchMatchesPointwise) {
+  const std::vector<double> stream =
+      GenerateDataset(DatasetKind::kRandomWalk, 300, 5);
+  FixedWindowOptions options;
+  options.window_size = 64;
+  options.num_buckets = 6;
+  options.epsilon = 0.2;
+  options.rebuild_on_append = true;
+
+  FixedWindowHistogram pointwise =
+      FixedWindowHistogram::Create(options).value();
+  for (double v : stream) pointwise.Append(v);
+
+  FixedWindowHistogram batched = FixedWindowHistogram::Create(options).value();
+  for (size_t i = 0; i < stream.size(); i += 50) {
+    const size_t end = std::min(stream.size(), i + 50);
+    batched.AppendBatch(std::span<const double>(stream.data() + i, end - i));
+  }
+  EXPECT_EQ(pointwise.Extract(), batched.Extract());
+  EXPECT_DOUBLE_EQ(pointwise.ApproxError(), batched.ApproxError());
+}
+
+TEST(BatchArrivalsTest, AgglomerativeBatchMatchesPointwise) {
+  const std::vector<double> stream =
+      GenerateDataset(DatasetKind::kZipf, 400, 7);
+  ApproxHistogramOptions options;
+  options.num_buckets = 5;
+  options.epsilon = 0.2;
+
+  AgglomerativeHistogram pointwise =
+      AgglomerativeHistogram::Create(options).value();
+  for (double v : stream) pointwise.Append(v);
+
+  AgglomerativeHistogram batched =
+      AgglomerativeHistogram::Create(options).value();
+  batched.AppendBatch(stream);
+
+  EXPECT_EQ(pointwise.Extract(), batched.Extract());
+  EXPECT_DOUBLE_EQ(pointwise.ApproxError(), batched.ApproxError());
+}
+
+TEST(BatchArrivalsTest, EmptyBatchIsNoOp) {
+  FixedWindowOptions options;
+  options.window_size = 8;
+  options.num_buckets = 2;
+  FixedWindowHistogram fw = FixedWindowHistogram::Create(options).value();
+  fw.Append(1.0);
+  const Histogram before = fw.Extract();
+  fw.AppendBatch({});
+  EXPECT_EQ(fw.Extract(), before);
+}
+
+}  // namespace
+}  // namespace streamhist

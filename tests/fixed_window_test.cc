@@ -1,0 +1,274 @@
+#include "src/core/fixed_window.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/bucket_cost.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+FixedWindowHistogram MakeFw(int64_t window, int64_t buckets, double epsilon,
+                            bool rebuild_on_append = true) {
+  FixedWindowOptions options;
+  options.window_size = window;
+  options.num_buckets = buckets;
+  options.epsilon = epsilon;
+  options.rebuild_on_append = rebuild_on_append;
+  return FixedWindowHistogram::Create(options).value();
+}
+
+TEST(FixedWindowTest, CreateValidatesOptions) {
+  FixedWindowOptions bad;
+  bad.window_size = 0;
+  EXPECT_FALSE(FixedWindowHistogram::Create(bad).ok());
+  bad.window_size = 8;
+  bad.num_buckets = 0;
+  EXPECT_FALSE(FixedWindowHistogram::Create(bad).ok());
+  bad.num_buckets = 2;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(FixedWindowHistogram::Create(bad).ok());
+  bad.epsilon = 0.5;
+  EXPECT_TRUE(FixedWindowHistogram::Create(bad).ok());
+}
+
+TEST(FixedWindowTest, EmptyWindowExtractsEmptyHistogram) {
+  FixedWindowHistogram fw = MakeFw(8, 2, 1.0);
+  EXPECT_EQ(fw.Extract().num_buckets(), 0);
+  EXPECT_DOUBLE_EQ(fw.ApproxError(), 0.0);
+}
+
+// The paper's Example 1, first phase: stream 100,0,0,0,1,1,1,1 with eps such
+// that delta = 1 and B = 2. The level-1 interval list should be
+// (1,1),(2,8) in the paper's 1-based notation — i.e. endpoints {1, 8} in
+// prefix lengths — because HERROR[1,1] = 0 and all of [2..8] stays within a
+// factor (1+1) of HERROR[2,1].
+TEST(FixedWindowTest, PaperExampleOneInitialWindow) {
+  // delta = eps/(2B) = 1  =>  eps = 4 with B = 2.
+  FixedWindowHistogram fw = MakeFw(8, 2, 4.0);
+  for (double v : {100.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0}) fw.Append(v);
+
+  // Optimal split: {100} | {0,0,0,1,1,1,1}; SSE = 12/7.
+  const double opt = 3 * (4.0 / 7) * (4.0 / 7) + 4 * (3.0 / 7) * (3.0 / 7);
+  EXPECT_LE(fw.ApproxError(), (1 + 4.0) * opt + 1e-9);
+  // With HERROR[1,1]=0 the first interval is exactly the prefix {100}, so the
+  // approximate solution actually equals the optimum here.
+  EXPECT_NEAR(fw.ApproxError(), opt, 1e-9);
+  const Histogram& h = fw.Extract();
+  ASSERT_EQ(h.num_buckets(), 2);
+  EXPECT_EQ(h.buckets()[0].end, 1);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].value, 100.0);
+}
+
+// The paper's Example 1, after the slide: 100 is evicted and another 1
+// appended, giving window 0,0,0,1,1,1,1,1. The level-1 endpoints become
+// {3, 6, 8} (prefix lengths) and the optimal solution (1,3),(4,8) in the
+// paper's notation — buckets [0,3) and [3,8) here — is found with zero error.
+TEST(FixedWindowTest, PaperExampleOneAfterSlide) {
+  FixedWindowHistogram fw = MakeFw(8, 2, 4.0);
+  for (double v : {100.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0}) fw.Append(v);
+  fw.Append(1.0);  // evicts 100
+
+  EXPECT_NEAR(fw.ApproxError(), 0.0, 1e-9);
+  const Histogram& h = fw.Extract();
+  ASSERT_EQ(h.num_buckets(), 2);
+  EXPECT_EQ(h.buckets()[0].begin, 0);
+  EXPECT_EQ(h.buckets()[0].end, 3);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].value, 0.0);
+  EXPECT_EQ(h.buckets()[1].end, 8);
+  EXPECT_DOUBLE_EQ(h.buckets()[1].value, 1.0);
+}
+
+TEST(FixedWindowTest, ExtractCoversWindowAndValidates) {
+  FixedWindowHistogram fw = MakeFw(16, 4, 0.5);
+  Random rng(3);
+  for (int i = 0; i < 40; ++i) {
+    fw.Append(rng.UniformInt(0, 100));
+    const Histogram& h = fw.Extract();
+    EXPECT_TRUE(h.Validate().ok());
+    EXPECT_EQ(h.domain_size(), fw.window().size());
+    EXPECT_LE(h.num_buckets(), 4);
+  }
+}
+
+TEST(FixedWindowTest, LazyRebuildMatchesEagerRebuild) {
+  FixedWindowHistogram eager = MakeFw(32, 3, 0.2, /*rebuild_on_append=*/true);
+  FixedWindowHistogram lazy = MakeFw(32, 3, 0.2, /*rebuild_on_append=*/false);
+  Random rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Gaussian(10, 5);
+    eager.Append(v);
+    lazy.Append(v);
+  }
+  EXPECT_DOUBLE_EQ(eager.ApproxError(), lazy.ApproxError());
+  EXPECT_EQ(eager.Extract(), lazy.Extract());
+}
+
+TEST(FixedWindowTest, ApproxErrorMatchesExtractedHistogramSse) {
+  FixedWindowHistogram fw = MakeFw(64, 5, 0.3);
+  Random rng(17);
+  for (int i = 0; i < 200; ++i) fw.Append(rng.UniformInt(0, 50));
+  const std::vector<double> window = fw.window().ToVector();
+  // The streamed error must match the SSE of the extracted histogram (same
+  // boundaries, mean representatives).
+  EXPECT_NEAR(fw.ApproxError(), fw.Extract().SseAgainst(window),
+              1e-6 * (1.0 + fw.ApproxError()));
+}
+
+TEST(FixedWindowTest, SingleBucketMatchesPrefixError) {
+  FixedWindowHistogram fw = MakeFw(16, 1, 0.1);
+  Random rng(23);
+  std::vector<double> tail;
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng.UniformDouble(0, 10);
+    fw.Append(v);
+    tail.push_back(v);
+  }
+  const std::vector<double> window = fw.window().ToVector();
+  EXPECT_NEAR(fw.ApproxError(), OptimalSse(window, 1), 1e-6);
+}
+
+TEST(FixedWindowTest, RangeSumUsesExtractedHistogram) {
+  FixedWindowHistogram fw = MakeFw(8, 2, 4.0);
+  for (double v : {100.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0}) fw.Append(v);
+  // Bucket [0,1)=100, [1,8)=4/7.
+  EXPECT_NEAR(fw.RangeSum(0, 8), 104.0, 1e-9);
+  EXPECT_NEAR(fw.RangeSum(1, 8), 4.0, 1e-9);
+}
+
+TEST(FixedWindowTest, IntervalCountStaysModest) {
+  // Bounded integer inputs: interval count per level is O((1/delta) log n).
+  FixedWindowHistogram fw = MakeFw(256, 4, 0.4);
+  Random rng(31);
+  for (int i = 0; i < 512; ++i) fw.Append(rng.UniformInt(0, 1024));
+  const double delta = fw.delta();
+  const double bound =
+      3.0 * (1.0 / delta) * std::log(1024.0 * 1024.0 * 256.0) *
+      static_cast<double>(4 - 1);
+  EXPECT_GT(fw.last_total_intervals(), 0);
+  EXPECT_LT(static_cast<double>(fw.last_total_intervals()), bound);
+}
+
+// Property sweep: the maintained histogram's error is within (1+eps) of the
+// optimal B-bucket histogram of the *current window*, at every step of a
+// sliding stream, across datasets, window sizes, B and eps.
+struct GuaranteeCase {
+  const char* dataset;
+  int64_t window;
+  int64_t buckets;
+  double epsilon;
+  uint64_t seed;
+};
+
+void PrintTo(const GuaranteeCase& c, std::ostream* os) {
+  *os << c.dataset << "/n" << c.window << "/B" << c.buckets << "/eps"
+      << c.epsilon << "/s" << c.seed;
+}
+
+class FixedWindowGuaranteeTest
+    : public ::testing::TestWithParam<GuaranteeCase> {};
+
+TEST_P(FixedWindowGuaranteeTest, WithinOnePlusEpsilonOfOptimal) {
+  const GuaranteeCase c = GetParam();
+  const std::vector<double> stream =
+      GenerateDataset(ParseDatasetKind(c.dataset), 3 * c.window, c.seed);
+  FixedWindowHistogram fw = MakeFw(c.window, c.buckets, c.epsilon);
+  int64_t checked = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    fw.Append(stream[i]);
+    // Checking every step is O(n^2 B) per step; sample a handful of steps.
+    if (!fw.window().full() || i % 37 != 0) continue;
+    const std::vector<double> window = fw.window().ToVector();
+    const double opt = OptimalSse(window, c.buckets);
+    EXPECT_LE(fw.ApproxError(), (1.0 + c.epsilon) * opt + 1e-6)
+        << "at stream position " << i << " (opt=" << opt << ")";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FixedWindowGuaranteeTest,
+    ::testing::Values(GuaranteeCase{"walk", 64, 4, 0.5, 1},
+                      GuaranteeCase{"walk", 64, 4, 0.1, 2},
+                      GuaranteeCase{"walk", 128, 8, 0.2, 3},
+                      GuaranteeCase{"piecewise", 64, 4, 0.5, 4},
+                      GuaranteeCase{"piecewise", 128, 6, 0.1, 5},
+                      GuaranteeCase{"zipf", 64, 4, 0.3, 6},
+                      GuaranteeCase{"zipf", 96, 8, 1.0, 7},
+                      GuaranteeCase{"sines", 128, 8, 0.2, 8},
+                      GuaranteeCase{"utilization", 128, 6, 0.5, 9},
+                      GuaranteeCase{"utilization", 64, 2, 0.05, 10}));
+
+// --- Max-abs error metric (the paper's footnote-3 generalization) ---
+
+FixedWindowHistogram MakeMaxAbsFw(int64_t window, int64_t buckets,
+                                  double epsilon) {
+  FixedWindowOptions options;
+  options.window_size = window;
+  options.num_buckets = buckets;
+  options.epsilon = epsilon;
+  options.rebuild_on_append = false;
+  options.metric = WindowErrorMetric::kMaxAbs;
+  return FixedWindowHistogram::Create(options).value();
+}
+
+TEST(FixedWindowMaxAbsTest, PiecewiseConstantIsExact) {
+  FixedWindowHistogram fw = MakeMaxAbsFw(12, 3, 0.5);
+  for (double v : {4.0, 4.0, 4.0, -1.0, -1.0, -1.0, -1.0, 9.0, 9.0, 9.0, 9.0,
+                   9.0}) {
+    fw.Append(v);
+  }
+  EXPECT_NEAR(fw.ApproxError(), 0.0, 1e-12);
+  const Histogram& h = fw.Extract();
+  ASSERT_EQ(h.num_buckets(), 3);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].value, 4.0);   // midrange of a constant run
+  EXPECT_DOUBLE_EQ(h.buckets()[1].value, -1.0);
+  EXPECT_DOUBLE_EQ(h.buckets()[2].value, 9.0);
+}
+
+TEST(FixedWindowMaxAbsTest, RepresentativeIsMidrange) {
+  FixedWindowHistogram fw = MakeMaxAbsFw(4, 1, 0.5);
+  for (double v : {0.0, 10.0, 2.0, 4.0}) fw.Append(v);
+  const Histogram& h = fw.Extract();
+  ASSERT_EQ(h.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].value, 5.0);  // (min+max)/2
+  EXPECT_DOUBLE_EQ(fw.ApproxError(), 5.0);      // (max-min)/2
+}
+
+class FixedWindowMaxAbsGuaranteeTest
+    : public ::testing::TestWithParam<GuaranteeCase> {};
+
+TEST_P(FixedWindowMaxAbsGuaranteeTest, WithinOnePlusEpsilonOfOptimal) {
+  const GuaranteeCase c = GetParam();
+  const std::vector<double> stream =
+      GenerateDataset(ParseDatasetKind(c.dataset), 2 * c.window, c.seed);
+  FixedWindowHistogram fw = MakeMaxAbsFw(c.window, c.buckets, c.epsilon);
+  int64_t checked = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    fw.Append(stream[i]);
+    if (!fw.window().full() || i % 41 != 0) continue;
+    const std::vector<double> window = fw.window().ToVector();
+    const MaxAbsBucketCost cost(window);
+    const double opt = BuildOptimalHistogram(cost, c.buckets).error;
+    EXPECT_LE(fw.ApproxError(), (1.0 + c.epsilon) * opt + 1e-9)
+        << "at stream position " << i << " (opt=" << opt << ")";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FixedWindowMaxAbsGuaranteeTest,
+    ::testing::Values(GuaranteeCase{"walk", 64, 4, 0.5, 21},
+                      GuaranteeCase{"piecewise", 96, 6, 0.2, 22},
+                      GuaranteeCase{"zipf", 64, 4, 1.0, 23},
+                      GuaranteeCase{"utilization", 128, 8, 0.5, 24}));
+
+}  // namespace
+}  // namespace streamhist

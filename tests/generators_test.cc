@@ -1,0 +1,115 @@
+#include "src/data/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamhist {
+namespace {
+
+TEST(GeneratorsTest, UtilizationSeriesRespectsBoundsAndQuantization) {
+  UtilizationOptions options;
+  const std::vector<double> v = GenerateUtilizationSeries(5000, options, 1);
+  ASSERT_EQ(v.size(), 5000u);
+  for (double x : v) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, options.max_value);
+    EXPECT_DOUBLE_EQ(x, std::round(x)) << "quantized to integers";
+  }
+}
+
+TEST(GeneratorsTest, UtilizationSeriesIsDeterministicPerSeed) {
+  UtilizationOptions options;
+  EXPECT_EQ(GenerateUtilizationSeries(500, options, 42),
+            GenerateUtilizationSeries(500, options, 42));
+  EXPECT_NE(GenerateUtilizationSeries(500, options, 42),
+            GenerateUtilizationSeries(500, options, 43));
+}
+
+TEST(GeneratorsTest, UtilizationSeriesHasDiurnalStructure) {
+  UtilizationOptions options;
+  options.noise_stddev = 1.0;
+  options.burst_probability = 0.0;
+  options.shift_probability = 0.0;
+  options.diurnal_period = 100;
+  const std::vector<double> v = GenerateUtilizationSeries(400, options, 7);
+  // Peak of the sinusoid (t=25) should exceed the trough (t=75) clearly.
+  EXPECT_GT(v[25], v[75] + options.diurnal_amplitude);
+}
+
+TEST(GeneratorsTest, RandomWalkStaysInRange) {
+  const std::vector<double> v = GenerateRandomWalk(10000, 100.0, 1000.0, 3);
+  for (double x : v) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(GeneratorsTest, PiecewiseConstantHasRequestedShape) {
+  const std::vector<double> v =
+      GeneratePiecewiseConstant(1000, 5, 100.0, 0.0, 9);
+  ASSERT_EQ(v.size(), 1000u);
+  // Noise-free: count distinct adjacent transitions; at most num_segments-1.
+  int transitions = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] != v[i - 1]) ++transitions;
+  }
+  EXPECT_LE(transitions, 4);
+  EXPECT_GE(transitions, 1);
+}
+
+TEST(GeneratorsTest, ZipfValuesAreSkewed) {
+  const std::vector<double> v = GenerateZipfValues(20000, 1000, 1.2, 5);
+  int64_t ones = 0;
+  for (double x : v) {
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 1000.0);
+    if (x == 1.0) ++ones;
+  }
+  // Rank 1 should dominate: far more than the uniform share (20).
+  EXPECT_GT(ones, 1000);
+}
+
+TEST(GeneratorsTest, DatasetKindRoundTrip) {
+  for (DatasetKind kind :
+       {DatasetKind::kUtilization, DatasetKind::kRandomWalk,
+        DatasetKind::kPiecewiseConstant, DatasetKind::kZipf,
+        DatasetKind::kSineMix}) {
+    EXPECT_EQ(ParseDatasetKind(DatasetKindName(kind)), kind);
+    EXPECT_EQ(GenerateDataset(kind, 64, 1).size(), 64u);
+  }
+}
+
+TEST(GeneratorsTest, SeriesCollectionShapesAndCloseness) {
+  const auto tight = GenerateSeriesCollection(10, 128, 0.95, 77);
+  const auto loose = GenerateSeriesCollection(10, 128, 0.05, 77);
+  ASSERT_EQ(tight.size(), 10u);
+  for (const auto& s : tight) EXPECT_EQ(s.size(), 128u);
+
+  auto mean_pairwise = [](const std::vector<std::vector<double>>& c) {
+    double total = 0.0;
+    int64_t pairs = 0;
+    for (size_t i = 0; i < c.size(); ++i) {
+      for (size_t j = i + 1; j < c.size(); ++j) {
+        double d = 0.0;
+        for (size_t t = 0; t < c[i].size(); ++t) {
+          d += (c[i][t] - c[j][t]) * (c[i][t] - c[j][t]);
+        }
+        total += std::sqrt(d);
+        ++pairs;
+      }
+    }
+    return total / static_cast<double>(pairs);
+  };
+  EXPECT_LT(mean_pairwise(tight), mean_pairwise(loose));
+}
+
+TEST(GeneratorsTest, ZeroLengthSeriesAreEmpty) {
+  EXPECT_TRUE(GenerateUtilizationSeries(0, UtilizationOptions{}, 1).empty());
+  EXPECT_TRUE(GenerateRandomWalk(0, 1.0, 10.0, 1).empty());
+  EXPECT_TRUE(GenerateZipfValues(0, 10, 1.0, 1).empty());
+}
+
+}  // namespace
+}  // namespace streamhist

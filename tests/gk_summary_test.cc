@@ -1,0 +1,111 @@
+#include "src/quantile/gk_summary.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+void CheckRankError(const std::vector<double>& inserted, const GKSummary& gk,
+                    double epsilon) {
+  std::vector<double> sorted = inserted;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (double phi : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double q = gk.Quantile(phi);
+    // With duplicates the returned value occupies a rank *interval*
+    // [first occurrence, last occurrence]; the GK guarantee is that this
+    // interval intersects [phi n - eps n, phi n + eps n].
+    const double rank_lo = static_cast<double>(
+        std::lower_bound(sorted.begin(), sorted.end(), q) - sorted.begin() +
+        1);
+    const double rank_hi = static_cast<double>(
+        std::upper_bound(sorted.begin(), sorted.end(), q) - sorted.begin());
+    const double target_lo = phi * n - epsilon * n - 1.5;
+    const double target_hi = phi * n + epsilon * n + 1.5;
+    EXPECT_TRUE(rank_lo <= target_hi && rank_hi >= target_lo)
+        << "phi=" << phi << " q=" << q << " rank=[" << rank_lo << ","
+        << rank_hi << "] target=[" << target_lo << "," << target_hi
+        << "] n=" << n;
+  }
+}
+
+TEST(GKSummaryTest, CreateValidatesEpsilon) {
+  EXPECT_FALSE(GKSummary::Create(0.0).ok());
+  EXPECT_FALSE(GKSummary::Create(1.0).ok());
+  EXPECT_TRUE(GKSummary::Create(0.01).ok());
+}
+
+TEST(GKSummaryTest, SmallInputIsExactIsh) {
+  GKSummary gk = GKSummary::Create(0.1).value();
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) gk.Insert(v);
+  EXPECT_EQ(gk.size(), 5);
+  EXPECT_DOUBLE_EQ(gk.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(gk.Quantile(1.0), 5.0);
+}
+
+class GKRankErrorTest
+    : public ::testing::TestWithParam<std::tuple<double, int64_t, int>> {};
+
+TEST_P(GKRankErrorTest, RankErrorWithinEpsilonN) {
+  const auto [epsilon, n, order] = GetParam();
+  GKSummary gk = GKSummary::Create(epsilon).value();
+  Random rng(static_cast<uint64_t>(n) * 31 + static_cast<uint64_t>(order));
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    switch (order) {
+      case 0:  // random
+        v = rng.UniformDouble(0, 1000);
+        break;
+      case 1:  // sorted ascending (adversarial for some summaries)
+        v = static_cast<double>(i);
+        break;
+      case 2:  // sorted descending
+        v = static_cast<double>(n - i);
+        break;
+      default:  // heavy duplicates
+        v = static_cast<double>(rng.UniformInt(0, 10));
+        break;
+    }
+    values.push_back(v);
+    gk.Insert(v);
+  }
+  CheckRankError(values, gk, epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GKRankErrorTest,
+    ::testing::Combine(::testing::Values(0.2, 0.05, 0.01),
+                       ::testing::Values(int64_t{100}, int64_t{2000},
+                                         int64_t{20000}),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(GKSummaryTest, SpaceStaysSublinear) {
+  GKSummary gk = GKSummary::Create(0.01).value();
+  Random rng(99);
+  for (int i = 0; i < 100000; ++i) gk.Insert(rng.UniformDouble(0, 1));
+  // 1/(2 eps) * log(eps n) ~ 50 * ~7: generous cap at a few thousand tuples,
+  // far below the 100k inserted values.
+  EXPECT_LT(gk.num_tuples(), 5000);
+}
+
+TEST(GKSummaryTest, QuantilesAreMonotoneInPhi) {
+  GKSummary gk = GKSummary::Create(0.05).value();
+  Random rng(123);
+  for (int i = 0; i < 5000; ++i) gk.Insert(rng.Gaussian(0, 100));
+  double prev = gk.Quantile(0.0);
+  for (double phi = 0.05; phi <= 1.0; phi += 0.05) {
+    const double q = gk.Quantile(phi);
+    EXPECT_GE(q, prev - 1e-9);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

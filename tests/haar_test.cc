@@ -1,0 +1,96 @@
+#include "src/wavelet/haar.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(HaarTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024);
+}
+
+TEST(HaarTest, DecomposeConstantSignal) {
+  const std::vector<double> v(8, 5.0);
+  const std::vector<double> c = HaarDecompose(v);
+  EXPECT_DOUBLE_EQ(c[0], 5.0);
+  for (size_t i = 1; i < 8; ++i) EXPECT_DOUBLE_EQ(c[i], 0.0);
+}
+
+TEST(HaarTest, KnownSmallDecomposition) {
+  // Classic example: [2, 2, 0, 2, 3, 5, 4, 4].
+  const std::vector<double> v{2, 2, 0, 2, 3, 5, 4, 4};
+  const std::vector<double> c = HaarDecompose(v);
+  EXPECT_DOUBLE_EQ(c[0], 2.75);              // overall average
+  EXPECT_DOUBLE_EQ(c[1], (1.5 - 4.0) / 2);   // top detail: -1.25
+  EXPECT_DOUBLE_EQ(c[2], (2.0 - 1.0) / 2);   // level-1 left: 0.5
+  EXPECT_DOUBLE_EQ(c[3], (4.0 - 4.0) / 2);   // level-1 right: 0
+  EXPECT_DOUBLE_EQ(c[4], 0.0);
+  EXPECT_DOUBLE_EQ(c[5], -1.0);
+  EXPECT_DOUBLE_EQ(c[6], -1.0);
+  EXPECT_DOUBLE_EQ(c[7], 0.0);
+}
+
+class HaarRoundTripTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HaarRoundTripTest, ReconstructInvertsDecompose) {
+  const int64_t n = GetParam();
+  Random rng(static_cast<uint64_t>(n));
+  std::vector<double> v;
+  for (int64_t i = 0; i < n; ++i) v.push_back(rng.UniformDouble(-100, 100));
+  const std::vector<double> back = HaarReconstruct(HaarDecompose(v));
+  ASSERT_EQ(back.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(back[i], v[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, HaarRoundTripTest,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 1024));
+
+TEST(HaarTest, SupportsPartitionTheDomainPerLevel) {
+  const int64_t size = 16;
+  // Nodes 2^l .. 2^{l+1}-1 partition [0, size) at each level l.
+  for (int64_t first = 1; first < size; first *= 2) {
+    int64_t expected_begin = 0;
+    for (int64_t i = first; i < 2 * first; ++i) {
+      const HaarSupport s = HaarSupportOf(i, size);
+      EXPECT_EQ(s.begin, expected_begin);
+      EXPECT_EQ(s.mid - s.begin, s.end - s.mid);  // halves are equal
+      expected_begin = s.end;
+    }
+    EXPECT_EQ(expected_begin, size);
+  }
+}
+
+TEST(HaarTest, AverageSupportCoversEverything) {
+  const HaarSupport s = HaarSupportOf(0, 32);
+  EXPECT_EQ(s.begin, 0);
+  EXPECT_EQ(s.mid, 32);
+  EXPECT_EQ(s.end, 32);
+}
+
+TEST(HaarTest, ParsevalEnergyIdentity) {
+  // Sum of squared values equals the sum of squared L2 weights.
+  Random rng(77);
+  std::vector<double> v;
+  for (int i = 0; i < 64; ++i) v.push_back(rng.Gaussian(0, 3));
+  const std::vector<double> c = HaarDecompose(v);
+  double signal_energy = 0.0;
+  for (double x : v) signal_energy += x * x;
+  double coeff_energy = 0.0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    const double w = HaarL2Weight(static_cast<int64_t>(i), c[i], 64);
+    coeff_energy += w * w;
+  }
+  EXPECT_NEAR(signal_energy, coeff_energy, 1e-6);
+}
+
+}  // namespace
+}  // namespace streamhist

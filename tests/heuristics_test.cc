@@ -1,0 +1,121 @@
+#include "src/core/heuristics.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(EquiWidthTest, EqualBucketsOnDivisibleDomain) {
+  const std::vector<double> data(12, 1.0);
+  Histogram h = BuildEquiWidthHistogram(data, 4);
+  ASSERT_EQ(h.num_buckets(), 4);
+  for (const Bucket& b : h.buckets()) EXPECT_EQ(b.width(), 3);
+}
+
+TEST(EquiWidthTest, RemainderGoesSomewhere) {
+  const std::vector<double> data(10, 1.0);
+  Histogram h = BuildEquiWidthHistogram(data, 3);
+  ASSERT_EQ(h.num_buckets(), 3);
+  EXPECT_EQ(h.domain_size(), 10);
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+TEST(EquiWidthTest, MoreBucketsThanPoints) {
+  const std::vector<double> data{1, 2};
+  Histogram h = BuildEquiWidthHistogram(data, 5);
+  EXPECT_EQ(h.num_buckets(), 2);
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 0.0);
+}
+
+TEST(MaxDiffTest, BoundariesAtLargestJumps) {
+  const std::vector<double> data{0, 0, 0, 100, 100, 100, 50, 50};
+  Histogram h = BuildMaxDiffHistogram(data, 3);
+  ASSERT_EQ(h.num_buckets(), 3);
+  EXPECT_EQ(h.buckets()[0].end, 3);
+  EXPECT_EQ(h.buckets()[1].end, 6);
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 0.0);
+}
+
+TEST(MaxDiffTest, ConstantDataGivesSingleEffectiveValue) {
+  const std::vector<double> data(20, 7.0);
+  Histogram h = BuildMaxDiffHistogram(data, 4);
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 0.0);
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+TEST(GreedyMergeTest, RecoversPiecewiseConstantExactly) {
+  std::vector<double> data;
+  for (int i = 0; i < 10; ++i) data.push_back(3);
+  for (int i = 0; i < 5; ++i) data.push_back(-4);
+  for (int i = 0; i < 7; ++i) data.push_back(9);
+  Histogram h = BuildGreedyMergeHistogram(data, 3);
+  ASSERT_EQ(h.num_buckets(), 3);
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 0.0);
+}
+
+TEST(GreedyMergeTest, NeverBeatsOptimal) {
+  Random rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> data;
+    for (int i = 0; i < 60; ++i) data.push_back(rng.UniformInt(0, 40));
+    const double opt = OptimalSse(data, 5);
+    Histogram h = BuildGreedyMergeHistogram(data, 5);
+    EXPECT_GE(h.SseAgainst(data) + 1e-9, opt);
+    EXPECT_LE(h.num_buckets(), 5);
+  }
+}
+
+TEST(StreamingMergeTest, SmallStreamIsExact) {
+  StreamingMergeHistogram s(4);
+  for (double v : {1.0, 2.0, 3.0}) s.Append(v);
+  Histogram h = s.Extract();
+  EXPECT_DOUBLE_EQ(h.SseAgainst(std::vector<double>{1, 2, 3}), 0.0);
+}
+
+TEST(StreamingMergeTest, DomainTracksStreamLength) {
+  StreamingMergeHistogram s(4);
+  Random rng(9);
+  for (int i = 1; i <= 500; ++i) {
+    s.Append(rng.UniformInt(0, 100));
+    if (i % 97 == 0) {
+      Histogram h = s.Extract();
+      EXPECT_EQ(h.domain_size(), i);
+      EXPECT_LE(h.num_buckets(), 4);
+      EXPECT_TRUE(h.Validate().ok());
+    }
+  }
+}
+
+TEST(StreamingMergeTest, PiecewiseConstantNearExact) {
+  StreamingMergeHistogram s(4);
+  std::vector<double> data;
+  for (int seg = 0; seg < 4; ++seg) {
+    for (int i = 0; i < 50; ++i) data.push_back(seg * 10.0);
+  }
+  for (double v : data) s.Append(v);
+  Histogram h = s.Extract();
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 0.0);
+}
+
+TEST(HeuristicsComparisonTest, VOptimalDominatesAllHeuristicsInSse) {
+  // The reason the paper targets V-optimal: on shift-heavy data the optimal
+  // boundaries beat fixed grids. Sanity-check the ordering OPT <= each
+  // heuristic on several datasets.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const std::vector<double> data =
+        GenerateDataset(DatasetKind::kPiecewiseConstant, 256, seed);
+    const double opt = OptimalSse(data, 8);
+    EXPECT_LE(opt, BuildEquiWidthHistogram(data, 8).SseAgainst(data) + 1e-6);
+    EXPECT_LE(opt, BuildMaxDiffHistogram(data, 8).SseAgainst(data) + 1e-6);
+    EXPECT_LE(opt, BuildGreedyMergeHistogram(data, 8).SseAgainst(data) + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,126 @@
+#include "src/core/histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+Histogram MakeSimple() {
+  // [0,3)=2.0 [3,5)=10.0 [5,10)=-1.0
+  return Histogram::FromBucketsUnchecked(
+      {Bucket{0, 3, 2.0}, Bucket{3, 5, 10.0}, Bucket{5, 10, -1.0}});
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.num_buckets(), 0);
+  EXPECT_EQ(h.domain_size(), 0);
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+TEST(HistogramTest, MakeRejectsGap) {
+  auto r = Histogram::Make({Bucket{0, 3, 1.0}, Bucket{4, 6, 2.0}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, MakeRejectsEmptyBucket) {
+  auto r = Histogram::Make({Bucket{0, 0, 1.0}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(HistogramTest, MakeRejectsNonZeroStart) {
+  auto r = Histogram::Make({Bucket{1, 3, 1.0}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(HistogramTest, MakeAcceptsContiguous) {
+  auto r = Histogram::Make({Bucket{0, 2, 1.0}, Bucket{2, 5, 2.0}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_buckets(), 2);
+  EXPECT_EQ(r.value().domain_size(), 5);
+}
+
+TEST(HistogramTest, PointEstimates) {
+  Histogram h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.Estimate(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(3), 10.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(5), -1.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(9), -1.0);
+}
+
+TEST(HistogramTest, RangeSumWholeDomain) {
+  Histogram h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.RangeSum(0, 10), 3 * 2.0 + 2 * 10.0 + 5 * -1.0);
+}
+
+TEST(HistogramTest, RangeSumPartialBuckets) {
+  Histogram h = MakeSimple();
+  // [2, 4): one point of bucket 0 plus one point of bucket 1.
+  EXPECT_DOUBLE_EQ(h.RangeSum(2, 4), 2.0 + 10.0);
+  // [1, 1): empty.
+  EXPECT_DOUBLE_EQ(h.RangeSum(1, 1), 0.0);
+  // [6, 9): interior of the last bucket.
+  EXPECT_DOUBLE_EQ(h.RangeSum(6, 9), -3.0);
+}
+
+TEST(HistogramTest, RangeSumMatchesReconstruction) {
+  Histogram h = MakeSimple();
+  const std::vector<double> approx = h.Reconstruct();
+  Random rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const int64_t lo = rng.UniformInt(0, 10);
+    const int64_t hi = rng.UniformInt(lo, 10);
+    double expected = 0.0;
+    for (int64_t i = lo; i < hi; ++i) expected += approx[static_cast<size_t>(i)];
+    EXPECT_NEAR(h.RangeSum(lo, hi), expected, 1e-9);
+  }
+}
+
+TEST(HistogramTest, RangeAverage) {
+  Histogram h = MakeSimple();
+  EXPECT_DOUBLE_EQ(h.RangeAverage(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(h.RangeAverage(2, 4), 6.0);
+}
+
+TEST(HistogramTest, SseAgainstExactOnConstantData) {
+  const std::vector<double> data(10, 4.0);
+  Histogram h = Histogram::FromBucketsUnchecked({Bucket{0, 10, 4.0}});
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 0.0);
+}
+
+TEST(HistogramTest, SseAgainstKnownValue) {
+  const std::vector<double> data{1.0, 3.0};  // mean 2, SSE 2
+  Histogram h = Histogram::FromBucketsUnchecked({Bucket{0, 2, 2.0}});
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 2.0);
+}
+
+TEST(HistogramTest, FromBoundariesComputesMeans) {
+  const std::vector<double> data{1, 1, 5, 5, 5, 9};
+  Histogram h = HistogramFromBoundaries(data, {0, 2, 5, 6});
+  ASSERT_EQ(h.num_buckets(), 3);
+  EXPECT_DOUBLE_EQ(h.buckets()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(h.buckets()[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(h.buckets()[2].value, 9.0);
+  EXPECT_DOUBLE_EQ(h.SseAgainst(data), 0.0);
+}
+
+TEST(HistogramTest, ToStringRendersBuckets) {
+  Histogram h = Histogram::FromBucketsUnchecked({Bucket{0, 2, 1.5}});
+  EXPECT_EQ(h.ToString(), "[0,2)=1.5");
+}
+
+TEST(HistogramTest, EqualityOperator) {
+  EXPECT_EQ(MakeSimple(), MakeSimple());
+  EXPECT_FALSE(MakeSimple() ==
+               Histogram::FromBucketsUnchecked({Bucket{0, 10, 0.0}}));
+}
+
+}  // namespace
+}  // namespace streamhist

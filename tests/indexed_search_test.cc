@@ -1,0 +1,232 @@
+#include "src/timeseries/indexed_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/timeseries/distance.h"
+#include "src/timeseries/paa.h"
+#include "src/timeseries/rtree.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+std::vector<std::vector<double>> RandomPoints(int64_t n, int64_t dims,
+                                              uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::vector<double>> points;
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> p;
+    for (int64_t d = 0; d < dims; ++d) p.push_back(rng.UniformDouble(-50, 50));
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+double PointDist(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) s += (a[d] - b[d]) * (a[d] - b[d]);
+  return std::sqrt(s);
+}
+
+TEST(PaaTest, ConstantSeriesFeature) {
+  const std::vector<double> series(16, 3.0);
+  const std::vector<double> f = PaaFeatures(series, 4);
+  ASSERT_EQ(f.size(), 4u);
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 3.0 * 2.0);  // mean * sqrt(4)
+}
+
+TEST(PaaTest, UnevenSegmentsCoverEverything) {
+  std::vector<double> series(10);
+  for (int i = 0; i < 10; ++i) series[static_cast<size_t>(i)] = i;
+  const std::vector<double> f = PaaFeatures(series, 3);
+  ASSERT_EQ(f.size(), 3u);
+  // Segments: [0,3), [3,6), [6,10).
+  EXPECT_NEAR(f[0], 1.0 * std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(f[1], 4.0 * std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(f[2], 7.5 * std::sqrt(4.0), 1e-12);
+}
+
+TEST(PaaTest, FeatureDistanceLowerBoundsTrueDistance) {
+  Random rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 64; ++i) {
+      a.push_back(rng.UniformDouble(0, 100));
+      b.push_back(rng.UniformDouble(0, 100));
+    }
+    for (int64_t dims : {1, 4, 16, 64}) {
+      const auto fa = PaaFeatures(a, dims);
+      const auto fb = PaaFeatures(b, dims);
+      EXPECT_LE(PaaSquaredDistance(fa, fb), SquaredEuclidean(a, b) + 1e-6);
+    }
+  }
+}
+
+TEST(PaaTest, FullDimensionalityIsExact) {
+  Random rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 32; ++i) {
+    a.push_back(rng.Gaussian(0, 10));
+    b.push_back(rng.Gaussian(0, 10));
+  }
+  const auto fa = PaaFeatures(a, 32);
+  const auto fb = PaaFeatures(b, 32);
+  EXPECT_NEAR(PaaSquaredDistance(fa, fb), SquaredEuclidean(a, b), 1e-9);
+}
+
+TEST(RTreeTest, MinDistBasics) {
+  const std::vector<double> low{0, 0};
+  const std::vector<double> high{2, 2};
+  EXPECT_DOUBLE_EQ(RTree::SquaredMinDist(std::vector<double>{1, 1}, low, high),
+                   0.0);  // inside
+  EXPECT_DOUBLE_EQ(RTree::SquaredMinDist(std::vector<double>{3, 1}, low, high),
+                   1.0);  // right of the box
+  EXPECT_DOUBLE_EQ(RTree::SquaredMinDist(std::vector<double>{4, 5}, low, high),
+                   4.0 + 9.0);  // corner
+}
+
+TEST(RTreeTest, BallQueryMatchesBruteForce) {
+  const auto points = RandomPoints(500, 6, 7);
+  RTree tree(points);
+  Random rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q;
+    for (int d = 0; d < 6; ++d) q.push_back(rng.UniformDouble(-60, 60));
+    const double radius = rng.UniformDouble(10, 80);
+
+    std::vector<int64_t> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (PointDist(q, points[i]) <= radius) {
+        expected.push_back(static_cast<int64_t>(i));
+      }
+    }
+    RTree::SearchStats stats;
+    std::vector<int64_t> got = tree.BallQuery(q, radius, &stats);
+    std::vector<int64_t> got_sorted = got;
+    std::sort(got_sorted.begin(), got_sorted.end());
+    EXPECT_EQ(got_sorted, expected);
+    EXPECT_GT(stats.nodes_visited, 0);
+  }
+}
+
+TEST(RTreeTest, BallQueryPrunes) {
+  const auto points = RandomPoints(2000, 4, 11);
+  RTree tree(points);
+  RTree::SearchStats stats;
+  // A tiny ball: most of the tree must be pruned.
+  tree.BallQuery(points[0], 1.0, &stats);
+  EXPECT_LT(stats.points_compared, 600);
+  EXPECT_GT(tree.height(), 1);
+}
+
+TEST(RTreeTest, KnnMatchesBruteForce) {
+  const auto points = RandomPoints(300, 5, 13);
+  RTree tree(points);
+  Random rng(15);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> q;
+    for (int d = 0; d < 5; ++d) q.push_back(rng.UniformDouble(-60, 60));
+    for (int64_t k : {1, 5, 20}) {
+      std::vector<std::pair<double, int64_t>> all;
+      for (size_t i = 0; i < points.size(); ++i) {
+        all.emplace_back(PointDist(q, points[i]), static_cast<int64_t>(i));
+      }
+      std::sort(all.begin(), all.end());
+      const std::vector<int64_t> got = tree.KnnQuery(q, k);
+      ASSERT_EQ(got.size(), static_cast<size_t>(k));
+      for (int64_t i = 0; i < k; ++i) {
+        EXPECT_NEAR(PointDist(q, points[static_cast<size_t>(got[i])]),
+                    all[static_cast<size_t>(i)].first, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RTreeTest, SinglePointTree) {
+  RTree tree({{1.0, 2.0}});
+  EXPECT_EQ(tree.BallQuery(std::vector<double>{1, 2}, 0.5),
+            (std::vector<int64_t>{0}));
+  EXPECT_EQ(tree.KnnQuery(std::vector<double>{9, 9}, 1),
+            (std::vector<int64_t>{0}));
+}
+
+class IndexedSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 150; ++i) {
+      collection_.push_back(GeneratePiecewiseConstant(
+          128, 10, 50000, 400, 3000 + static_cast<uint64_t>(i)));
+    }
+    query_ = GeneratePiecewiseConstant(128, 10, 50000, 400, 9999);
+  }
+
+  std::vector<std::vector<double>> collection_;
+  std::vector<double> query_;
+};
+
+TEST_F(IndexedSearchTest, RangeSearchEqualsBruteForce) {
+  IndexedSimilaritySearch index(collection_, /*dimensions=*/8);
+  std::vector<double> dists;
+  for (const auto& s : collection_) dists.push_back(Euclidean(query_, s));
+  std::vector<double> sorted = dists;
+  std::sort(sorted.begin(), sorted.end());
+  for (double radius : {sorted[5] + 1e-6, sorted[30] + 1e-6}) {
+    SearchStats stats;
+    RTree::SearchStats tstats;
+    const auto matches = index.RangeSearch(query_, radius, &stats, &tstats);
+    int64_t expected = 0;
+    for (double d : dists) {
+      if (d <= radius) ++expected;
+    }
+    EXPECT_EQ(static_cast<int64_t>(matches.size()), expected);
+    EXPECT_EQ(stats.answers, expected);
+    EXPECT_EQ(stats.candidates, stats.answers + stats.false_positives);
+    // The index must refine fewer series than a full scan would.
+    EXPECT_LT(stats.candidates, static_cast<int64_t>(collection_.size()));
+  }
+}
+
+TEST_F(IndexedSearchTest, KnnEqualsBruteForce) {
+  IndexedSimilaritySearch index(collection_, 8);
+  std::vector<std::pair<double, int64_t>> all;
+  for (size_t i = 0; i < collection_.size(); ++i) {
+    all.emplace_back(Euclidean(query_, collection_[i]),
+                     static_cast<int64_t>(i));
+  }
+  std::sort(all.begin(), all.end());
+  for (int64_t k : {1, 5, 15}) {
+    SearchStats stats;
+    const auto knn = index.KnnSearch(query_, k, &stats);
+    ASSERT_EQ(knn.size(), static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(knn[static_cast<size_t>(i)].distance,
+                  all[static_cast<size_t>(i)].first, 1e-9);
+    }
+    EXPECT_LE(stats.candidates, static_cast<int64_t>(collection_.size()));
+  }
+}
+
+TEST_F(IndexedSearchTest, MoreDimensionsTightenTheFilter) {
+  std::vector<double> dists;
+  for (const auto& s : collection_) dists.push_back(Euclidean(query_, s));
+  std::sort(dists.begin(), dists.end());
+  const double radius = dists[15] + 1e-6;
+
+  int64_t prev_candidates = static_cast<int64_t>(collection_.size()) + 1;
+  for (int64_t dims : {2, 8, 32}) {
+    IndexedSimilaritySearch index(collection_, dims);
+    SearchStats stats;
+    index.RangeSearch(query_, radius, &stats);
+    EXPECT_LE(stats.candidates, prev_candidates)
+        << "dims=" << dims;  // finer features prune at least as well
+    prev_candidates = stats.candidates;
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,54 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace streamhist {
+namespace {
+
+TEST(LoggingTest, CheckPassesSilently) {
+  STREAMHIST_CHECK(true) << "never evaluated";
+  STREAMHIST_CHECK_EQ(1, 1);
+  STREAMHIST_CHECK_LE(1, 2);
+  SUCCEED();
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH({ STREAMHIST_CHECK(1 == 2) << "context " << 42; },
+               "CHECK failed: 1 == 2 context 42");
+}
+
+TEST(LoggingDeathTest, ComparisonMacrosAbort) {
+  EXPECT_DEATH({ STREAMHIST_CHECK_EQ(3, 4); }, "CHECK failed");
+  EXPECT_DEATH({ STREAMHIST_CHECK_LT(5, 5); }, "CHECK failed");
+  EXPECT_DEATH({ STREAMHIST_CHECK_GE(1, 2); }, "CHECK failed");
+}
+
+TEST(LoggingTest, CheckBindsTighterThanDanglingElse) {
+  // The macro must compose with unbraced if/else without grammar surprises.
+  bool reached_else = false;
+  if (false)
+    STREAMHIST_CHECK(true);
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+TEST(LoggingTest, DcheckDisabledInReleaseDoesNotEvaluate) {
+#ifdef NDEBUG
+  int evaluations = 0;
+  const auto costly = [&]() {
+    ++evaluations;
+    return true;
+  };
+  STREAMHIST_DCHECK(costly());
+  (void)costly;
+  EXPECT_EQ(evaluations, 0);
+#else
+  GTEST_SKIP() << "debug build: DCHECK is active";
+#endif
+}
+
+}  // namespace
+}  // namespace streamhist

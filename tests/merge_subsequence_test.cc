@@ -1,0 +1,125 @@
+// Tests for MergeAdjacentHistograms (distributed-collector fusion) and the
+// streaming subsequence-representation pipeline.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/heuristics.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/timeseries/distance.h"
+#include "src/timeseries/similarity.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(MergeHistogramsTest, ConcatenationPreservesDomainAndSums) {
+  const std::vector<double> a_data{1, 1, 5, 5};
+  const std::vector<double> b_data{9, 9, 9, 2, 2};
+  const Histogram a = BuildVOptimalHistogram(a_data, 2).histogram;
+  const Histogram b = BuildVOptimalHistogram(b_data, 2).histogram;
+  const Histogram merged = MergeAdjacentHistograms(a, b, 4);
+  EXPECT_EQ(merged.domain_size(), 9);
+  EXPECT_TRUE(merged.Validate().ok());
+  EXPECT_LE(merged.num_buckets(), 4);
+  // Total estimated sum is preserved exactly (mean-weighted fusion).
+  EXPECT_NEAR(merged.RangeSum(0, 9), a.RangeSum(0, 4) + b.RangeSum(0, 5),
+              1e-9);
+}
+
+TEST(MergeHistogramsTest, NoFusionNeededKeepsBucketsExactly) {
+  const Histogram a = Histogram::FromBucketsUnchecked({Bucket{0, 2, 1.0}});
+  const Histogram b = Histogram::FromBucketsUnchecked({Bucket{0, 3, 7.0}});
+  const Histogram merged = MergeAdjacentHistograms(a, b, 4);
+  ASSERT_EQ(merged.num_buckets(), 2);
+  EXPECT_EQ(merged.buckets()[0], (Bucket{0, 2, 1.0}));
+  EXPECT_EQ(merged.buckets()[1], (Bucket{2, 5, 7.0}));
+}
+
+TEST(MergeHistogramsTest, PrefersFusingSimilarNeighbors) {
+  // Three pieces: two nearly equal at the ends of `left`/start of `right`.
+  const Histogram a = Histogram::FromBucketsUnchecked(
+      {Bucket{0, 4, 0.0}, Bucket{4, 8, 10.0}});
+  const Histogram b = Histogram::FromBucketsUnchecked(
+      {Bucket{0, 4, 10.1}, Bucket{4, 8, 50.0}});
+  const Histogram merged = MergeAdjacentHistograms(a, b, 3);
+  ASSERT_EQ(merged.num_buckets(), 3);
+  // The 10.0 / 10.1 neighbors should have fused.
+  EXPECT_EQ(merged.buckets()[1].begin, 4);
+  EXPECT_EQ(merged.buckets()[1].end, 12);
+  EXPECT_NEAR(merged.buckets()[1].value, 10.05, 1e-9);
+}
+
+TEST(MergeHistogramsTest, MergedSseIsReasonableVsDirectBuild) {
+  // Fusing two half-window sketches should land in the same error class as
+  // a histogram built directly over the concatenation (no guarantee — the
+  // greedy fusion is a heuristic — but it must not be wildly worse).
+  Random rng(5);
+  std::vector<double> all;
+  for (int i = 0; i < 400; ++i) all.push_back(rng.UniformInt(0, 100));
+  const std::vector<double> first(all.begin(), all.begin() + 200);
+  const std::vector<double> second(all.begin() + 200, all.end());
+  const int64_t b = 12;
+  const Histogram merged = MergeAdjacentHistograms(
+      BuildVOptimalHistogram(first, b).histogram,
+      BuildVOptimalHistogram(second, b).histogram, b);
+  const double direct = BuildVOptimalHistogram(all, b).error;
+  EXPECT_LE(merged.SseAgainst(all), 3.0 * direct + 1e-6);
+}
+
+TEST(StreamingSubsequenceTest, MatchesExtractedWindowsShape) {
+  const std::vector<double> series =
+      GenerateDataset(DatasetKind::kUtilization, 400, 7);
+  const auto reprs =
+      BuildSubsequenceRepresentationsStreaming(series, 64, 16, 6, 0.2);
+  const auto windows = ExtractSubsequences(series, 64, 16);
+  ASSERT_EQ(reprs.size(), windows.size());
+  for (size_t i = 0; i < reprs.size(); ++i) {
+    EXPECT_EQ(reprs[i].domain_size(), 64);
+    EXPECT_LE(reprs[i].num_segments(), 6);
+  }
+}
+
+TEST(StreamingSubsequenceTest, RepresentationsLowerBoundTheirWindows) {
+  const std::vector<double> series =
+      GenerateDataset(DatasetKind::kSineMix, 500, 9);
+  const int64_t window = 64;
+  const int64_t step = 32;
+  const auto reprs = BuildSubsequenceRepresentationsStreaming(
+      series, window, step, 8, 0.1);
+  const auto windows = ExtractSubsequences(series, window, step);
+  const std::vector<double> query =
+      GenerateDataset(DatasetKind::kRandomWalk, window, 11);
+  ASSERT_EQ(reprs.size(), windows.size());
+  for (size_t i = 0; i < reprs.size(); ++i) {
+    // Window means are exact (sliding prefix sums), so the GEMINI bound
+    // holds for every snapshot.
+    EXPECT_LE(SquaredLowerBound(query, reprs[i]),
+              SquaredEuclidean(query, windows[i]) + 1e-6)
+        << "snapshot " << i;
+  }
+}
+
+TEST(StreamingSubsequenceTest, SnapshotQualityWithinGuarantee) {
+  const std::vector<double> series =
+      GenerateDataset(DatasetKind::kPiecewiseConstant, 300, 13);
+  const int64_t window = 50;
+  const auto reprs = BuildSubsequenceRepresentationsStreaming(
+      series, window, 25, 5, 0.3);
+  const auto windows = ExtractSubsequences(series, window, 25);
+  ASSERT_EQ(reprs.size(), windows.size());
+  for (size_t i = 0; i < reprs.size(); ++i) {
+    const double opt = OptimalSse(windows[i], 5);
+    double sse = 0.0;
+    const std::vector<double> approx = reprs[i].Reconstruct();
+    for (size_t t = 0; t < approx.size(); ++t) {
+      sse += (windows[i][t] - approx[t]) * (windows[i][t] - approx[t]);
+    }
+    EXPECT_LE(sse, 1.3 * opt + 1e-6) << "snapshot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

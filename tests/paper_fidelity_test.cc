@@ -1,0 +1,157 @@
+// Tests that pin down specific claims made in the paper's text, beyond the
+// algorithms themselves.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/vopt_dp.h"
+#include "src/stream/prefix_sums.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+// Section 4.2, observation 1: SQERROR[i+1, j] is non-increasing as i
+// increases with j fixed (shrinking bucket), and observation 2:
+// HERROR[i, k-1] is non-decreasing as i increases.
+TEST(PaperFidelityTest, Section42MonotonicityObservations) {
+  Random rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 80; ++i) data.push_back(rng.UniformInt(0, 50));
+  PrefixSums sums(data);
+
+  // Observation 1: bucket [i, 80) shrinks as i grows.
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < 80; ++i) {
+    const double err = sums.SqError(i, 80);
+    EXPECT_LE(err, prev + 1e-9) << "i=" << i;
+    prev = err;
+  }
+
+  // Observation 2: HERROR over growing prefixes with fixed bucket count.
+  for (int64_t k : {1, 3, 5}) {
+    double prev_h = 0.0;
+    for (int64_t i = 1; i <= 80; i += 7) {
+      const std::vector<double> prefix(data.begin(),
+                                       data.begin() + static_cast<ptrdiff_t>(i));
+      const double h = OptimalSse(prefix, k);
+      EXPECT_GE(h + 1e-9, prev_h) << "k=" << k << " i=" << i;
+      prev_h = h;
+    }
+  }
+}
+
+// Section 4.2's negative result, made concrete with the paper's own
+// sequence: any sequence is the sum of a non-increasing and a non-decreasing
+// function (F(i) = sum_{j>=i} x_j, G(i) = sum_{j<=i} x_j), so monotonicity
+// alone cannot speed up *exact* minimization. The paper's example:
+// 3,7,5,8,2,6,4 -> F = 35,32,25,20,12,10,4 and G = 3,10,15,23,25,31,35,
+// summing to the original shifted by 35.
+TEST(PaperFidelityTest, Section42DecompositionExample) {
+  const std::vector<double> x{3, 7, 5, 8, 2, 6, 4};
+  const double total = 35.0;
+  std::vector<double> f(x.size()), g(x.size());
+  double suffix = total;
+  double prefix = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    f[i] = suffix;
+    suffix -= x[i];
+    prefix += x[i];
+    g[i] = prefix;
+  }
+  EXPECT_EQ(f, (std::vector<double>{35, 32, 25, 20, 12, 10, 4}));
+  EXPECT_EQ(g, (std::vector<double>{3, 10, 15, 23, 25, 31, 35}));
+  for (size_t i = 0; i < x.size(); ++i) {
+    // x_i + total = F(i) + G(i): the shifted sequence of the paper.
+    EXPECT_DOUBLE_EQ(f[i] + g[i], x[i] + total);
+    EXPECT_TRUE(i == 0 || f[i] <= f[i - 1]);
+    EXPECT_TRUE(i == 0 || g[i] >= g[i - 1]);
+  }
+  // And, as the paper notes, the shift destroys *ratio* approximation:
+  // 38 is within 3% of 37 while the underlying 3 vs 2 differ by 50%.
+  EXPECT_LT((38.0 - 37.0) / 37.0, 0.03);
+  EXPECT_GT((3.0 - 2.0) / 2.0, 0.49);
+}
+
+// Section 4.4 / Figure 4: a (1+delta) interval covering of HERROR computed
+// for one window is NOT a valid covering after the window slides (the
+// function shifts down when a large leading value is evicted), which is why
+// the agglomerative lists cannot be reused and CreateList rebuilds them.
+TEST(PaperFidelityTest, Section44ShiftBreaksIntervalCovering) {
+  // Example 1's stream: a huge leading value, then small ones.
+  const std::vector<double> before{100, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<double> after{0, 0, 0, 1, 1, 1, 1, 1};
+  const double delta = 1.0;
+
+  auto herror1 = [](const std::vector<double>& w, int64_t p) {
+    const std::vector<double> prefix(w.begin(),
+                                     w.begin() + static_cast<ptrdiff_t>(p));
+    return OptimalSse(prefix, 1);
+  };
+
+  // Build the greedy (1+delta) covering of HERROR[ . , 1] for `before`:
+  // intervals [a, b] with HERROR[b] <= (1+delta) * HERROR[a].
+  std::vector<std::pair<int64_t, int64_t>> intervals;
+  int64_t a = 1;
+  for (int64_t p = 2; p <= 8; ++p) {
+    if (herror1(before, p) > (1 + delta) * herror1(before, a)) {
+      intervals.emplace_back(a, p - 1);
+      a = p;
+    }
+  }
+  intervals.emplace_back(a, 8);
+  // The paper: (1,1),(2,8) — HERROR jumps from 0 to ~huge at p=2, then stays
+  // within a factor 2 through p=8 (the 100 dominates).
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (std::pair<int64_t, int64_t>(1, 1)));
+  EXPECT_EQ(intervals[1], (std::pair<int64_t, int64_t>(2, 8)));
+
+  // After the slide the same intervals are NOT a valid covering: within the
+  // old interval (2,8), HERROR now spans from 0 to a positive value — an
+  // unbounded ratio, far beyond (1+delta).
+  EXPECT_DOUBLE_EQ(herror1(after, 2), 0.0);
+  EXPECT_GT(herror1(after, 8), 0.0);
+  // A valid covering of the shifted function needs the paper's new
+  // endpoints {3, 6, 8}: HERROR is 0 through p=3, then grows.
+  EXPECT_DOUBLE_EQ(herror1(after, 3), 0.0);
+  EXPECT_GT(herror1(after, 4), 0.0);
+  EXPECT_LE(herror1(after, 6), (1 + delta) * herror1(after, 4) + 1e-12);
+  EXPECT_GT(herror1(after, 7), (1 + delta) * herror1(after, 4));
+}
+
+// Footnote 7 / section 4.5: the number of intervals per level is bounded by
+// 1 + log_{1+delta}(HERROR[n, B]) for bounded integer inputs.
+TEST(PaperFidelityTest, IntervalCountBoundHolds) {
+  Random rng(9);
+  std::vector<double> data;
+  for (int i = 0; i < 200; ++i) data.push_back(rng.UniformInt(0, 255));
+  const double delta = 0.25;
+
+  auto herror1 = [&](int64_t p) {
+    const std::vector<double> prefix(data.begin(),
+                                     data.begin() + static_cast<ptrdiff_t>(p));
+    return OptimalSse(prefix, 1);
+  };
+  int64_t count = 1;
+  int64_t a = 1;
+  double first_nonzero = 0.0;
+  for (int64_t p = 2; p <= 200; ++p) {
+    if (herror1(p) > (1 + delta) * herror1(a)) {
+      ++count;
+      a = p;
+      if (first_nonzero == 0.0) first_nonzero = herror1(p);
+    }
+  }
+  // Bound: zero-error prefix forms one interval; after that HERROR >= the
+  // first nonzero value (>= 1/2 for integers) and grows by (1+delta) per
+  // interval.
+  const double bound =
+      2.0 + std::log(herror1(200) / std::max(first_nonzero, 0.5)) /
+                std::log(1 + delta);
+  EXPECT_LE(static_cast<double>(count), bound + 1.0);
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,94 @@
+#include "src/stream/prefix_sums.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+// Brute-force SSE of representing values[i..j) by their mean.
+double BruteSse(const std::vector<double>& values, int64_t i, int64_t j) {
+  if (j - i <= 1) return 0.0;
+  double mean = 0.0;
+  for (int64_t k = i; k < j; ++k) mean += values[static_cast<size_t>(k)];
+  mean /= static_cast<double>(j - i);
+  double sse = 0.0;
+  for (int64_t k = i; k < j; ++k) {
+    const double d = values[static_cast<size_t>(k)] - mean;
+    sse += d * d;
+  }
+  return sse;
+}
+
+TEST(PrefixSumsTest, EmptySequence) {
+  PrefixSums sums(std::vector<double>{});
+  EXPECT_EQ(sums.size(), 0);
+  EXPECT_DOUBLE_EQ(sums.Sum(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(sums.SqError(0, 0), 0.0);
+}
+
+TEST(PrefixSumsTest, SingleValue) {
+  PrefixSums sums(std::vector<double>{42.0});
+  EXPECT_EQ(sums.size(), 1);
+  EXPECT_DOUBLE_EQ(sums.Sum(0, 1), 42.0);
+  EXPECT_DOUBLE_EQ(sums.SumSquares(0, 1), 42.0 * 42.0);
+  EXPECT_DOUBLE_EQ(sums.Mean(0, 1), 42.0);
+  EXPECT_DOUBLE_EQ(sums.SqError(0, 1), 0.0);
+}
+
+TEST(PrefixSumsTest, KnownSequence) {
+  // The paper's Example 1 stream: 100, 0, 0, 0, 1, 1, 1, 1.
+  const std::vector<double> v{100, 0, 0, 0, 1, 1, 1, 1};
+  PrefixSums sums(v);
+  EXPECT_DOUBLE_EQ(sums.Sum(0, 8), 104.0);
+  EXPECT_DOUBLE_EQ(sums.Sum(1, 4), 0.0);
+  EXPECT_DOUBLE_EQ(sums.SqError(1, 4), 0.0);   // constant zeros
+  EXPECT_DOUBLE_EQ(sums.SqError(4, 8), 0.0);   // constant ones
+  // HERROR[4..6) bucket {0, 1}: mean 0.5, SSE 0.5.
+  EXPECT_DOUBLE_EQ(sums.SqError(3, 5), 0.5);
+}
+
+TEST(PrefixSumsTest, MatchesBruteForceOnRandomData) {
+  Random rng(7);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.UniformDouble(-100, 100));
+  PrefixSums sums(v);
+  for (int64_t i = 0; i <= 200; i += 7) {
+    for (int64_t j = i; j <= 200; j += 13) {
+      EXPECT_NEAR(sums.SqError(i, j), BruteSse(v, i, j), 1e-6)
+          << "range [" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(PrefixSumsTest, SqErrorNeverNegative) {
+  // Large offset stresses floating-point cancellation.
+  Random rng(11);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) {
+    v.push_back(1e9 + rng.UniformDouble(0.0, 1e-3));
+  }
+  PrefixSums sums(v);
+  for (int64_t i = 0; i < 500; i += 11) {
+    for (int64_t j = i; j <= 500; j += 17) {
+      EXPECT_GE(sums.SqError(i, j), 0.0);
+    }
+  }
+}
+
+TEST(PrefixSumsTest, AdditivityOfSums) {
+  Random rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.Gaussian(0, 10));
+  PrefixSums sums(v);
+  EXPECT_NEAR(sums.Sum(0, 50) + sums.Sum(50, 100), sums.Sum(0, 100), 1e-9);
+  EXPECT_NEAR(sums.SumSquares(0, 30) + sums.SumSquares(30, 100),
+              sums.SumSquares(0, 100), 1e-9);
+}
+
+}  // namespace
+}  // namespace streamhist

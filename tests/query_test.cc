@@ -1,0 +1,128 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/query/estimator.h"
+#include "src/query/metrics.h"
+#include "src/query/workload.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(WorkloadTest, UniformQueriesAreInBounds) {
+  Random rng(1);
+  const auto queries = GenerateUniformRangeQueries(1000, 500, rng);
+  ASSERT_EQ(queries.size(), 500u);
+  for (const RangeQuery& q : queries) {
+    EXPECT_GE(q.lo, 0);
+    EXPECT_LT(q.lo, 1000);
+    EXPECT_GT(q.span(), 0);
+    EXPECT_LE(q.hi, 1000);
+  }
+}
+
+TEST(WorkloadTest, SpanBoundedQueriesRespectBounds) {
+  Random rng(2);
+  const auto queries = GenerateSpanBoundedQueries(1000, 300, 10, 50, rng);
+  for (const RangeQuery& q : queries) {
+    EXPECT_GE(q.span(), 10);
+    EXPECT_LE(q.span(), 50);
+    EXPECT_GE(q.lo, 0);
+    EXPECT_LE(q.hi, 1000);
+  }
+}
+
+TEST(WorkloadTest, DeterministicGivenRngSeed) {
+  Random rng_a(7);
+  Random rng_b(7);
+  const auto a = GenerateUniformRangeQueries(100, 50, rng_a);
+  const auto b = GenerateUniformRangeQueries(100, 50, rng_b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lo, b[i].lo);
+    EXPECT_EQ(a[i].hi, b[i].hi);
+  }
+}
+
+TEST(EstimatorTest, ExactEstimatorAnswersExactly) {
+  const std::vector<double> data{1, 2, 3, 4, 5};
+  ExactEstimator exact(data);
+  EXPECT_EQ(exact.domain_size(), 5);
+  EXPECT_DOUBLE_EQ(exact.RangeSum(0, 5), 15.0);
+  EXPECT_DOUBLE_EQ(exact.RangeSum(1, 3), 5.0);
+  EXPECT_DOUBLE_EQ(exact.Estimate(2), 3.0);
+  EXPECT_EQ(exact.name(), "exact");
+}
+
+TEST(EstimatorTest, HistogramEstimatorDelegates) {
+  const std::vector<double> data{1, 1, 9, 9};
+  const Histogram h = BuildVOptimalHistogram(data, 2).histogram;
+  HistogramEstimator est(&h, "vopt");
+  EXPECT_DOUBLE_EQ(est.RangeSum(0, 4), 20.0);
+  EXPECT_DOUBLE_EQ(est.Estimate(0), 1.0);
+  EXPECT_EQ(est.name(), "vopt");
+}
+
+TEST(EstimatorTest, WaveletEstimatorDelegates) {
+  const std::vector<double> data(16, 2.0);
+  const WaveletSynopsis s = WaveletSynopsis::Build(data, 1);
+  WaveletEstimator est(&s);
+  EXPECT_NEAR(est.RangeSum(0, 16), 32.0, 1e-9);
+  EXPECT_NEAR(est.Estimate(3), 2.0, 1e-9);
+}
+
+TEST(MetricsTest, PerfectEstimatorHasZeroError) {
+  const std::vector<double> data{5, 6, 7, 8};
+  ExactEstimator exact(data);
+  Random rng(3);
+  const auto queries = GenerateUniformRangeQueries(4, 100, rng);
+  const AccuracyReport report = EvaluateRangeSums(exact, exact, queries);
+  EXPECT_EQ(report.num_queries, 100);
+  EXPECT_DOUBLE_EQ(report.mean_absolute_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.max_absolute_error, 0.0);
+}
+
+TEST(MetricsTest, KnownErrorsAreAveraged) {
+  const std::vector<double> truth{0, 0};
+  const std::vector<double> approx_data{1, 3};
+  ExactEstimator exact(truth);
+  ExactEstimator approx(approx_data);
+  // Two single-point queries with errors 1 and 3.
+  const std::vector<RangeQuery> queries{{0, 1}, {1, 2}};
+  const AccuracyReport report = EvaluateRangeSums(exact, approx, queries);
+  EXPECT_DOUBLE_EQ(report.mean_absolute_error, 2.0);
+  EXPECT_DOUBLE_EQ(report.max_absolute_error, 3.0);
+  EXPECT_NEAR(report.root_mean_squared_error, std::sqrt(5.0), 1e-12);
+}
+
+TEST(MetricsTest, PointEvaluationCoversDomain) {
+  const std::vector<double> data{1, 2, 3, 4, 5, 6};
+  const Histogram h = BuildVOptimalHistogram(data, 6).histogram;
+  ExactEstimator exact(data);
+  HistogramEstimator approx(&h);
+  const AccuracyReport report = EvaluateAllPoints(exact, approx);
+  EXPECT_EQ(report.num_queries, 6);
+  EXPECT_NEAR(report.mean_absolute_error, 0.0, 1e-9);
+}
+
+TEST(MetricsTest, BetterSynopsisScoresBetter) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kPiecewiseConstant, 512, 13);
+  ExactEstimator exact(data);
+  Random rng(5);
+  const auto queries = GenerateUniformRangeQueries(512, 400, rng);
+
+  const Histogram h4 = BuildVOptimalHistogram(data, 4).histogram;
+  const Histogram h32 = BuildVOptimalHistogram(data, 32).histogram;
+  HistogramEstimator e4(&h4);
+  HistogramEstimator e32(&h32);
+  EXPECT_LE(EvaluateRangeSums(exact, e32, queries).mean_absolute_error,
+            EvaluateRangeSums(exact, e4, queries).mean_absolute_error + 1e-9);
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,136 @@
+#include "src/selectivity/value_histogram.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+std::vector<double> SkewedData(int64_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<double> data;
+  for (int64_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<double>(rng.Zipf(1000, 1.1)));
+  }
+  return data;
+}
+
+TEST(ValueHistogramTest, MakeValidatesStructure) {
+  EXPECT_FALSE(ValueHistogram::Make({{5, 5, 1}}).ok());      // empty range
+  EXPECT_FALSE(ValueHistogram::Make({{0, 5, -1}}).ok());     // negative count
+  EXPECT_FALSE(
+      ValueHistogram::Make({{0, 5, 1}, {6, 8, 1}}).ok());    // gap
+  EXPECT_TRUE(ValueHistogram::Make({{0, 5, 1}, {5, 8, 1}}).ok());
+}
+
+TEST(ValueHistogramTest, UniformAssumptionInterpolates) {
+  ValueHistogram h =
+      ValueHistogram::Make({ValueBucket{0, 10, 100}}).value();
+  EXPECT_DOUBLE_EQ(h.EstimateCountInRange(0, 10), 100.0);
+  EXPECT_DOUBLE_EQ(h.EstimateCountInRange(0, 5), 50.0);
+  EXPECT_DOUBLE_EQ(h.EstimateCountInRange(2.5, 7.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.EstimateCountInRange(-5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateSelectivity(0, 2), 0.2);
+}
+
+TEST(FrequencyDistributionTest, ExactCounts) {
+  const std::vector<double> data{1, 2, 2, 3, 10};
+  FrequencyDistribution freq(data);
+  EXPECT_EQ(freq.total(), 5);
+  EXPECT_EQ(freq.CountInRange(2, 3), 2);
+  EXPECT_EQ(freq.CountInRange(0, 100), 5);
+  EXPECT_EQ(freq.CountInRange(4, 10), 0);
+  EXPECT_DOUBLE_EQ(freq.min(), 1.0);
+  EXPECT_DOUBLE_EQ(freq.max(), 10.0);
+}
+
+TEST(EquiWidthValueTest, CountsPartitionTheData) {
+  const std::vector<double> data = SkewedData(5000, 3);
+  ValueHistogram h = BuildEquiWidthValueHistogram(data, 20);
+  EXPECT_DOUBLE_EQ(h.total_count(), 5000.0);
+  // Whole-domain query returns everything.
+  EXPECT_NEAR(h.EstimateCountInRange(0, 2000), 5000.0, 1e-6);
+}
+
+TEST(EquiDepthValueTest, BucketsHoldEqualCounts) {
+  Random rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 10000; ++i) data.push_back(rng.UniformDouble(0, 1000));
+  ValueHistogram h = BuildEquiDepthValueHistogram(data, 10);
+  ASSERT_EQ(h.num_buckets(), 10);
+  for (const ValueBucket& b : h.buckets()) {
+    EXPECT_NEAR(b.count, 1000.0, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(h.total_count(), 10000.0);
+}
+
+TEST(EquiDepthValueTest, HandlesHeavyDuplicates) {
+  std::vector<double> data(900, 7.0);
+  for (int i = 0; i < 100; ++i) data.push_back(100.0 + i);
+  ValueHistogram h = BuildEquiDepthValueHistogram(data, 10);
+  EXPECT_TRUE(h.num_buckets() >= 1);
+  EXPECT_DOUBLE_EQ(h.total_count(), 1000.0);
+  // All the mass at value 7 must be recoverable.
+  EXPECT_GT(h.EstimateCountInRange(6.9, 7.1), 800.0);
+}
+
+TEST(StreamingEquiDepthTest, MatchesOfflineWithinEpsilon) {
+  Random rng(9);
+  GKSummary gk = GKSummary::Create(0.01).value();
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Gaussian(500, 100);
+    data.push_back(v);
+    gk.Insert(v);
+  }
+  ValueHistogram streaming = BuildStreamingEquiDepthHistogram(gk, 10);
+  FrequencyDistribution truth(data);
+
+  EXPECT_NEAR(streaming.total_count(), 20000.0, 1.0);
+  // Every bucket's true count should be near N/B, within the GK rank slack
+  // on each boundary (2 boundaries, eps*N each) plus uniformity noise.
+  for (const ValueBucket& b : streaming.buckets()) {
+    const double true_count =
+        static_cast<double>(truth.CountInRange(b.lo, b.hi));
+    EXPECT_NEAR(true_count, 2000.0, 2 * 0.01 * 20000 + 50)
+        << "bucket [" << b.lo << "," << b.hi << ")";
+  }
+}
+
+TEST(VOptimalValueTest, SelectivityBeatsEquiWidthOnSkewedData) {
+  const std::vector<double> data = SkewedData(20000, 11);
+  FrequencyDistribution truth(data);
+  ValueHistogram vopt = BuildVOptimalValueHistogram(data, 16, 1000);
+  ValueHistogram equi = BuildEquiWidthValueHistogram(data, 16);
+
+  Random rng(13);
+  double vopt_err = 0.0, equi_err = 0.0;
+  for (int q = 0; q < 300; ++q) {
+    const double lo = rng.UniformDouble(0, 900);
+    const double hi = lo + rng.UniformDouble(1, 100);
+    const double t = static_cast<double>(truth.CountInRange(lo, hi));
+    vopt_err += std::abs(vopt.EstimateCountInRange(lo, hi) - t);
+    equi_err += std::abs(equi.EstimateCountInRange(lo, hi) - t);
+  }
+  EXPECT_LT(vopt_err, equi_err);
+}
+
+TEST(VOptimalValueTest, TotalCountPreserved) {
+  const std::vector<double> data = SkewedData(5000, 17);
+  ValueHistogram h = BuildVOptimalValueHistogram(data, 8, 500);
+  EXPECT_DOUBLE_EQ(h.total_count(), 5000.0);
+  EXPECT_LE(h.num_buckets(), 8);
+}
+
+TEST(ValueHistogramTest, ToStringRenders) {
+  ValueHistogram h = ValueHistogram::Make({ValueBucket{0, 2, 5}}).value();
+  EXPECT_EQ(h.ToString(), "[0,2)=5");
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,135 @@
+#include "src/timeseries/similarity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/timeseries/distance.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+std::vector<Match> BruteRange(const std::vector<std::vector<double>>& series,
+                              const std::vector<double>& query,
+                              double radius) {
+  std::vector<Match> out;
+  for (size_t id = 0; id < series.size(); ++id) {
+    const double d = Euclidean(query, series[id]);
+    if (d <= radius) out.push_back(Match{static_cast<int64_t>(id), d});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Match& a, const Match& b) { return a.distance < b.distance; });
+  return out;
+}
+
+class SimilaritySearchTest : public ::testing::TestWithParam<int> {
+ protected:
+  ReprBuilder BuilderUnderTest() const {
+    switch (GetParam()) {
+      case 0:
+        return MakeApcaBuilder();
+      case 1:
+        return MakeVOptimalBuilder();
+      case 2:
+        return MakeAgglomerativeBuilder(0.2);
+      default:
+        return MakeFixedWindowBuilder(0.2);
+    }
+  }
+};
+
+TEST_P(SimilaritySearchTest, RangeSearchHasNoFalseDismissals) {
+  const auto collection = GenerateSeriesCollection(40, 64, 0.7, 11);
+  SimilarityIndex index(collection, 6, BuilderUnderTest());
+  const std::vector<double> query =
+      GenerateSeriesCollection(1, 64, 0.7, 12)[0];
+
+  for (double radius_scale : {0.5, 1.0, 2.0}) {
+    // Calibrate the radius off the median distance so matches exist.
+    std::vector<double> dists;
+    for (const auto& s : collection) dists.push_back(Euclidean(query, s));
+    std::nth_element(dists.begin(), dists.begin() + 20, dists.end());
+    // Nudge off the exact distance of the 20th series so the test is not
+    // sensitive to sqrt-vs-squared rounding at the boundary.
+    const double radius = dists[20] * radius_scale + 1e-6;
+
+    SearchStats stats;
+    const std::vector<Match> got = index.RangeSearch(query, radius, &stats);
+    const std::vector<Match> expected = BruteRange(collection, query, radius);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].series_id, expected[i].series_id);
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+    }
+    EXPECT_EQ(stats.answers, static_cast<int64_t>(expected.size()));
+    EXPECT_EQ(stats.candidates, stats.answers + stats.false_positives);
+  }
+}
+
+TEST_P(SimilaritySearchTest, KnnMatchesBruteForce) {
+  const auto collection = GenerateSeriesCollection(30, 64, 0.6, 21);
+  SimilarityIndex index(collection, 6, BuilderUnderTest());
+  const std::vector<double> query =
+      GenerateSeriesCollection(1, 64, 0.6, 22)[0];
+
+  for (int64_t k : {1, 3, 10}) {
+    SearchStats stats;
+    const std::vector<Match> got = index.KnnSearch(query, k, &stats);
+
+    std::vector<Match> expected;
+    for (size_t id = 0; id < collection.size(); ++id) {
+      expected.push_back(
+          Match{static_cast<int64_t>(id), Euclidean(query, collection[id])});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const Match& a, const Match& b) {
+                return a.distance < b.distance;
+              });
+    expected.resize(static_cast<size_t>(k));
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9) << "k=" << k;
+    }
+    EXPECT_LE(stats.candidates, static_cast<int64_t>(collection.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilders, SimilaritySearchTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(SubsequenceTest, ExtractSubsequencesShapes) {
+  std::vector<double> series(10);
+  for (int i = 0; i < 10; ++i) series[static_cast<size_t>(i)] = i;
+  const auto subs = ExtractSubsequences(series, 4, 2);
+  ASSERT_EQ(subs.size(), 4u);  // starts 0, 2, 4, 6
+  EXPECT_EQ(subs[0], (std::vector<double>{0, 1, 2, 3}));
+  EXPECT_EQ(subs[3], (std::vector<double>{6, 7, 8, 9}));
+}
+
+TEST(SubsequenceTest, StepOneProducesAllWindows) {
+  std::vector<double> series(100, 1.0);
+  EXPECT_EQ(ExtractSubsequences(series, 10, 1).size(), 91u);
+}
+
+TEST(SubsequenceTest, WindowLargerThanSeriesYieldsNothing) {
+  std::vector<double> series(5, 1.0);
+  EXPECT_TRUE(ExtractSubsequences(series, 6, 1).empty());
+}
+
+TEST(SimilarityIndexTest, RepresentationAccessor) {
+  const auto collection = GenerateSeriesCollection(3, 32, 0.9, 31);
+  SimilarityIndex index(collection, 4, MakeApcaBuilder());
+  EXPECT_EQ(index.num_series(), 3);
+  EXPECT_EQ(index.series_length(), 32);
+  for (int64_t id = 0; id < 3; ++id) {
+    EXPECT_LE(index.representation(id).num_segments(), 4);
+    EXPECT_EQ(index.representation(id).domain_size(), 32);
+  }
+}
+
+}  // namespace
+}  // namespace streamhist

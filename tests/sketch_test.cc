@@ -1,0 +1,144 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sketch/fm_sketch.h"
+#include "src/sketch/l1_sketch.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(FMSketchTest, CreateValidatesShape) {
+  EXPECT_FALSE(FMSketch::Create(0).ok());
+  EXPECT_FALSE(FMSketch::Create(3).ok());  // not a power of two
+  EXPECT_TRUE(FMSketch::Create(64).ok());
+}
+
+TEST(FMSketchTest, EmptySketchEstimatesNearZero) {
+  FMSketch s = FMSketch::Create(64).value();
+  EXPECT_LT(s.EstimateDistinct(), 100.0);
+  EXPECT_EQ(s.items_added(), 0);
+}
+
+TEST(FMSketchTest, DuplicatesDoNotGrowTheEstimate) {
+  FMSketch s = FMSketch::Create(64).value();
+  for (int i = 0; i < 10000; ++i) s.Add(42);
+  EXPECT_EQ(s.items_added(), 10000);
+  EXPECT_LT(s.EstimateDistinct(), 200.0);  // one distinct key
+}
+
+class FMSketchAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(FMSketchAccuracyTest, EstimateWithinExpectedError) {
+  const auto [distinct, bitmaps] = GetParam();
+  // Average over several seeds: FM standard error is ~0.78/sqrt(m) per
+  // sketch; the mean over 5 seeds should land well within 35%.
+  double total = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FMSketch s = FMSketch::Create(bitmaps, seed).value();
+    for (int64_t k = 0; k < distinct; ++k) {
+      s.Add(static_cast<uint64_t>(k) * 2654435761ULL + seed);
+      s.Add(static_cast<uint64_t>(k) * 2654435761ULL + seed);  // duplicate
+    }
+    total += s.EstimateDistinct();
+  }
+  const double mean = total / 5.0;
+  EXPECT_NEAR(mean, static_cast<double>(distinct),
+              0.35 * static_cast<double>(distinct))
+      << "m=" << bitmaps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FMSketchAccuracyTest,
+    ::testing::Combine(::testing::Values(int64_t{1000}, int64_t{20000},
+                                         int64_t{100000}),
+                       ::testing::Values(int64_t{64}, int64_t{256})));
+
+TEST(FMSketchTest, MergeActsAsUnion) {
+  FMSketch a = FMSketch::Create(128, 7).value();
+  FMSketch b = FMSketch::Create(128, 7).value();
+  for (uint64_t k = 0; k < 5000; ++k) a.Add(k);
+  for (uint64_t k = 2500; k < 7500; ++k) b.Add(k);
+  ASSERT_TRUE(a.Merge(b).ok());
+  // Union has 7500 distinct keys.
+  EXPECT_NEAR(a.EstimateDistinct(), 7500.0, 0.35 * 7500.0);
+}
+
+TEST(FMSketchTest, MergeRejectsMismatchedShape) {
+  FMSketch a = FMSketch::Create(64, 1).value();
+  FMSketch b = FMSketch::Create(128, 1).value();
+  FMSketch c = FMSketch::Create(64, 2).value();
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_FALSE(a.Merge(c).ok());
+}
+
+TEST(L1SketchTest, CreateValidates) {
+  EXPECT_FALSE(L1Sketch::Create(0).ok());
+  EXPECT_TRUE(L1Sketch::Create(10).ok());
+}
+
+TEST(L1SketchTest, IdenticalStreamsHaveZeroDistance) {
+  L1Sketch a = L1Sketch::Create(50).value();
+  L1Sketch b = L1Sketch::Create(50).value();
+  Random rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.UniformDouble(-10, 10);
+    a.Append(v);
+    b.Append(v);
+  }
+  EXPECT_NEAR(a.EstimateL1Distance(b), 0.0, 1e-9);
+}
+
+TEST(L1SketchTest, NormOfSingleCoordinate) {
+  L1Sketch s = L1Sketch::Create(401).value();
+  s.Update(7, 5.0);
+  // ||x||_1 = 5; the median estimator concentrates around it.
+  EXPECT_NEAR(s.EstimateL1Norm(), 5.0, 1.5);
+}
+
+class L1SketchAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(L1SketchAccuracyTest, DistanceTracksTrueL1) {
+  const uint64_t seed = GetParam();
+  Random rng(seed);
+  const int64_t n = 300;
+  std::vector<double> x(n), y(n);
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.UniformDouble(0, 100);
+    y[static_cast<size_t>(i)] = rng.UniformDouble(0, 100);
+  }
+  double true_l1 = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    true_l1 += std::fabs(x[static_cast<size_t>(i)] - y[static_cast<size_t>(i)]);
+  }
+
+  L1Sketch sx = L1Sketch::Create(301, seed).value();
+  L1Sketch sy = L1Sketch::Create(301, seed).value();
+  for (int64_t i = 0; i < n; ++i) {
+    sx.Update(i, x[static_cast<size_t>(i)]);
+    sy.Update(i, y[static_cast<size_t>(i)]);
+  }
+  const double est = sx.EstimateL1Distance(sy);
+  EXPECT_NEAR(est, true_l1, 0.3 * true_l1) << "true=" << true_l1;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, L1SketchAccuracyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(L1SketchTest, LinearityUnderUpdates) {
+  // sketch(x) - sketch(y) equals sketch(x - y) coordinate-wise, so distance
+  // estimation commutes with moving mass between the sketches.
+  L1Sketch a = L1Sketch::Create(101, 9).value();
+  L1Sketch b = L1Sketch::Create(101, 9).value();
+  a.Update(0, 3.0);
+  a.Update(1, -2.0);
+  b.Update(0, 1.0);
+  // x - y = (2, -2): L1 = 4.
+  EXPECT_NEAR(a.EstimateL1Distance(b), 4.0, 2.0);
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,130 @@
+#include "src/core/time_window.h"
+
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/vopt_dp.h"
+#include "src/stream/sliding_window.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TimeWindowHistogram MakeTw(double horizon, int64_t max_points = 256,
+                           int64_t buckets = 4, double epsilon = 0.5) {
+  TimeWindowOptions options;
+  options.horizon = horizon;
+  options.max_points = max_points;
+  options.num_buckets = buckets;
+  options.epsilon = epsilon;
+  return TimeWindowHistogram::Create(options).value();
+}
+
+TEST(SlidingWindowEvictTest, EvictOldestShrinksAndPreservesSums) {
+  SlidingWindow w(4);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) w.Append(v);
+  w.EvictOldest();
+  EXPECT_EQ(w.size(), 3);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w.Sum(0, 3), 9.0);
+  EXPECT_DOUBLE_EQ(w.SqError(0, 3), 2.0);  // {2,3,4}: mean 3, SSE 2
+  w.EvictOldest();
+  w.EvictOldest();
+  EXPECT_EQ(w.size(), 1);
+  EXPECT_DOUBLE_EQ(w.Sum(0, 1), 4.0);
+  // Refilling after eviction behaves normally.
+  w.Append(7.0);
+  EXPECT_EQ(w.size(), 2);
+  EXPECT_DOUBLE_EQ(w.Sum(0, 2), 11.0);
+}
+
+TEST(TimeWindowTest, CreateValidatesOptions) {
+  TimeWindowOptions bad;
+  bad.horizon = 0.0;
+  EXPECT_FALSE(TimeWindowHistogram::Create(bad).ok());
+  bad.horizon = 10.0;
+  bad.max_points = 0;
+  EXPECT_FALSE(TimeWindowHistogram::Create(bad).ok());
+}
+
+TEST(TimeWindowTest, RejectsRegressingTimestamps) {
+  TimeWindowHistogram tw = MakeTw(10.0);
+  ASSERT_TRUE(tw.Append(5.0, 1.0).ok());
+  EXPECT_FALSE(tw.Append(4.0, 1.0).ok());
+  EXPECT_TRUE(tw.Append(5.0, 2.0).ok());  // equal timestamps allowed
+}
+
+TEST(TimeWindowTest, HorizonEvictsOldPoints) {
+  TimeWindowHistogram tw = MakeTw(10.0);
+  for (int t = 0; t < 30; ++t) {
+    ASSERT_TRUE(tw.Append(static_cast<double>(t), static_cast<double>(t)).ok());
+  }
+  // At t=29 the horizon keeps timestamps in (19, 29]: 20..29.
+  EXPECT_EQ(tw.size(), 10);
+  EXPECT_DOUBLE_EQ(tw.oldest_timestamp(), 20.0);
+}
+
+TEST(TimeWindowTest, AdvanceToEvictsWithoutData) {
+  TimeWindowHistogram tw = MakeTw(10.0);
+  for (int t = 0; t < 5; ++t) {
+    ASSERT_TRUE(tw.Append(static_cast<double>(t), 1.0).ok());
+  }
+  tw.AdvanceTo(100.0);
+  EXPECT_EQ(tw.size(), 0);
+  EXPECT_EQ(tw.Extract().num_buckets(), 0);
+}
+
+TEST(TimeWindowTest, MaxPointsCapsTheBuffer) {
+  TimeWindowHistogram tw = MakeTw(/*horizon=*/1e9, /*max_points=*/8);
+  for (int t = 0; t < 100; ++t) {
+    ASSERT_TRUE(tw.Append(static_cast<double>(t), static_cast<double>(t)).ok());
+  }
+  EXPECT_EQ(tw.size(), 8);
+  EXPECT_DOUBLE_EQ(tw.oldest_timestamp(), 92.0);
+}
+
+TEST(TimeWindowTest, HistogramTracksCurrentWindowWithinGuarantee) {
+  TimeWindowHistogram tw = MakeTw(/*horizon=*/50.0, /*max_points=*/128,
+                                  /*buckets=*/6, /*epsilon=*/0.2);
+  Random rng(3);
+  std::deque<std::pair<double, double>> mirror;
+  double now = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    now += rng.Exponential(1.0);  // irregular arrivals
+    const double v = rng.UniformInt(0, 100);
+    ASSERT_TRUE(tw.Append(now, v).ok());
+    mirror.emplace_back(now, v);
+    while (!mirror.empty() && mirror.front().first <= now - 50.0) {
+      mirror.pop_front();
+    }
+    while (static_cast<int64_t>(mirror.size()) > 128) mirror.pop_front();
+
+    ASSERT_EQ(tw.size(), static_cast<int64_t>(mirror.size()));
+    if (step % 53 != 0) continue;
+    std::vector<double> window;
+    for (const auto& [ts, value] : mirror) window.push_back(value);
+    const double opt = OptimalSse(window, 6);
+    EXPECT_LE(tw.ApproxError(), 1.2 * opt + 1e-6) << "step " << step;
+  }
+}
+
+TEST(TimeWindowTest, RangeSumByTimeMatchesMirror) {
+  TimeWindowHistogram tw = MakeTw(/*horizon=*/1000.0, /*max_points=*/512,
+                                  /*buckets=*/64, /*epsilon=*/0.1);
+  // With B as large as the point count, sums are exact.
+  for (int t = 0; t < 50; ++t) {
+    ASSERT_TRUE(tw.Append(static_cast<double>(t), static_cast<double>(t)).ok());
+  }
+  // Sum of values with timestamps in [10, 20): values 10..19.
+  EXPECT_NEAR(tw.RangeSumByTime(10.0, 20.0), 145.0, 1e-9);
+  // Clipped to the retained window.
+  EXPECT_NEAR(tw.RangeSumByTime(-100.0, 5.0), 0 + 1 + 2 + 3 + 4, 1e-9);
+  // Empty or inverted intervals.
+  EXPECT_DOUBLE_EQ(tw.RangeSumByTime(20.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(tw.RangeSumByTime(200.0, 300.0), 0.0);
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,159 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/timeseries/apca.h"
+#include "src/timeseries/distance.h"
+#include "src/timeseries/piecewise.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(PiecewiseConstantTest, FromHistogramPreservesStructure) {
+  Histogram h = Histogram::FromBucketsUnchecked(
+      {Bucket{0, 4, 2.0}, Bucket{4, 6, -1.0}});
+  PiecewiseConstant p = PiecewiseConstant::FromHistogram(h);
+  EXPECT_EQ(p.num_segments(), 2);
+  EXPECT_EQ(p.domain_size(), 6);
+  EXPECT_DOUBLE_EQ(p.Estimate(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.Estimate(3), 2.0);
+  EXPECT_DOUBLE_EQ(p.Estimate(4), -1.0);
+  EXPECT_DOUBLE_EQ(p.Estimate(5), -1.0);
+}
+
+TEST(PiecewiseConstantTest, ReconstructAndEstimateAgree) {
+  PiecewiseConstant p(
+      {Segment{0, 3, 1.5}, Segment{3, 5, 0.0}, Segment{5, 9, -2.5}});
+  const std::vector<double> r = p.Reconstruct();
+  ASSERT_EQ(r.size(), 9u);
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_DOUBLE_EQ(r[static_cast<size_t>(i)], p.Estimate(i));
+  }
+}
+
+TEST(PiecewiseConstantTest, ResetValuesToMeans) {
+  const std::vector<double> data{1, 3, 10, 20};
+  PiecewiseConstant p({Segment{0, 2, 0.0}, Segment{2, 4, 0.0}});
+  p.ResetValuesToMeans(data);
+  EXPECT_DOUBLE_EQ(p.segments()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(p.segments()[1].value, 15.0);
+}
+
+TEST(ApcaTest, SegmentBudgetIsRespected) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kRandomWalk, 300, 7);
+  for (int64_t b : {1, 4, 16}) {
+    PiecewiseConstant p = BuildApca(data, b);
+    EXPECT_LE(p.num_segments(), b);
+    EXPECT_EQ(p.domain_size(), 300);
+  }
+}
+
+TEST(ApcaTest, SegmentValuesAreExactMeans) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kSineMix, 128, 9);
+  PiecewiseConstant p = BuildApca(data, 8);
+  for (const Segment& s : p.segments()) {
+    double mean = 0.0;
+    for (int64_t i = s.begin; i < s.end; ++i) {
+      mean += data[static_cast<size_t>(i)];
+    }
+    mean /= static_cast<double>(s.width());
+    EXPECT_NEAR(s.value, mean, 1e-9);
+  }
+}
+
+TEST(ApcaTest, PiecewiseConstantInputIsRecovered) {
+  std::vector<double> data;
+  for (int i = 0; i < 32; ++i) data.push_back(5.0);
+  for (int i = 0; i < 32; ++i) data.push_back(-5.0);
+  PiecewiseConstant p = BuildApca(data, 2);
+  ASSERT_EQ(p.num_segments(), 2);
+  EXPECT_EQ(p.segments()[0].end, 32);
+  EXPECT_DOUBLE_EQ(p.segments()[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(p.segments()[1].value, -5.0);
+}
+
+TEST(ApcaTest, VOptimalNeverWorseThanApcaInSse) {
+  // The paper's motivating gap: histograms with provable quality vs the APCA
+  // heuristic, at the same segment budget.
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const std::vector<double> data =
+        GenerateDataset(DatasetKind::kPiecewiseConstant, 256, seed);
+    const int64_t b = 8;
+    const double vopt = BuildVOptimalHistogram(data, b).error;
+    std::vector<double> apca_approx = BuildApca(data, b).Reconstruct();
+    double apca_sse = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      apca_sse += (data[i] - apca_approx[i]) * (data[i] - apca_approx[i]);
+    }
+    EXPECT_LE(vopt, apca_sse + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(DistanceTest, EuclideanBasics) {
+  const std::vector<double> a{0, 0, 0};
+  const std::vector<double> b{1, 2, 2};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a, a), 0.0);
+}
+
+TEST(DistanceTest, LowerBoundIsZeroForSelfRepresentation) {
+  // Query equal to the segment means everywhere -> LB 0.
+  PiecewiseConstant p({Segment{0, 2, 3.0}, Segment{2, 4, 7.0}});
+  const std::vector<double> q{3, 3, 7, 7};
+  EXPECT_DOUBLE_EQ(SquaredLowerBound(q, p), 0.0);
+}
+
+// Core GEMINI property: LB(query, repr(series)) <= Euclidean(query, series)
+// whenever the representation stores exact segment means.
+class LowerBoundPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LowerBoundPropertyTest, NeverExceedsTrueDistance) {
+  const uint64_t seed = GetParam();
+  Random rng(seed);
+  const int64_t n = 128;
+  const std::vector<double> series =
+      GenerateDataset(DatasetKind::kSineMix, n, seed);
+  const std::vector<double> query =
+      GenerateDataset(DatasetKind::kRandomWalk, n, seed + 1000);
+
+  for (int64_t b : {2, 5, 13}) {
+    // APCA representation.
+    const PiecewiseConstant apca = BuildApca(series, b);
+    EXPECT_LE(SquaredLowerBound(query, apca),
+              SquaredEuclidean(query, series) + 1e-6);
+    // Histogram representation.
+    const PiecewiseConstant hist = PiecewiseConstant::FromHistogram(
+        BuildVOptimalHistogram(series, b).histogram);
+    EXPECT_LE(SquaredLowerBound(query, hist),
+              SquaredEuclidean(query, series) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DistanceTest, TighterRepresentationGivesTighterBound) {
+  // More segments -> reconstruction closer to the series -> larger LB
+  // (not guaranteed pointwise, but holds overwhelmingly; check a fixed case).
+  const std::vector<double> series =
+      GenerateDataset(DatasetKind::kPiecewiseConstant, 128, 3);
+  const std::vector<double> query =
+      GenerateDataset(DatasetKind::kPiecewiseConstant, 128, 4);
+  const auto lb_at = [&](int64_t b) {
+    return SquaredLowerBound(query, PiecewiseConstant::FromHistogram(
+                                        BuildVOptimalHistogram(series, b)
+                                            .histogram));
+  };
+  EXPECT_LE(lb_at(2), lb_at(32) + 1e-6);
+  EXPECT_LE(lb_at(32), SquaredEuclidean(query, series) + 1e-6);
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,163 @@
+#include "src/core/vopt_dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/bucket_cost.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+// Exhaustive minimum over all partitions of [0, n) into at most B buckets.
+double ExhaustiveOptimal(const BucketCost& cost, int64_t n, int64_t b,
+                         int64_t start = 0) {
+  if (start == n) return 0.0;
+  if (b == 1) return cost.Cost(start, n);
+  double best = std::numeric_limits<double>::infinity();
+  for (int64_t mid = start + 1; mid <= n; ++mid) {
+    best = std::min(best, cost.Cost(start, mid) +
+                              ExhaustiveOptimal(cost, n, b - 1, mid));
+  }
+  return best;
+}
+
+TEST(VOptDpTest, SingleBucketIsPrefixError) {
+  const std::vector<double> data{1, 2, 3, 4};
+  SseBucketCost cost(data);
+  auto result = BuildVOptimalHistogram(data, 1);
+  EXPECT_EQ(result.histogram.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(result.error, cost.Cost(0, 4));
+}
+
+TEST(VOptDpTest, EnoughBucketsIsExact) {
+  const std::vector<double> data{5, -1, 3, 8};
+  auto result = BuildVOptimalHistogram(data, 4);
+  EXPECT_DOUBLE_EQ(result.error, 0.0);
+  EXPECT_DOUBLE_EQ(result.histogram.SseAgainst(data), 0.0);
+}
+
+TEST(VOptDpTest, MoreBucketsThanPointsIsExact) {
+  const std::vector<double> data{5, -1};
+  auto result = BuildVOptimalHistogram(data, 10);
+  EXPECT_DOUBLE_EQ(result.error, 0.0);
+  EXPECT_LE(result.histogram.num_buckets(), 2);
+}
+
+TEST(VOptDpTest, PiecewiseConstantIsRecoveredExactly) {
+  // Three constant runs; 3 buckets must achieve zero error with the exact
+  // boundaries.
+  const std::vector<double> data{7, 7, 7, 2, 2, 9, 9, 9, 9};
+  auto result = BuildVOptimalHistogram(data, 3);
+  EXPECT_NEAR(result.error, 0.0, 1e-12);
+  ASSERT_EQ(result.histogram.num_buckets(), 3);
+  EXPECT_EQ(result.histogram.buckets()[0].end, 3);
+  EXPECT_EQ(result.histogram.buckets()[1].end, 5);
+}
+
+TEST(VOptDpTest, PaperExampleTwoBuckets) {
+  // From the paper's Example 1: data 100,0,0,0,1,1,1,1 with B=2 should split
+  // as {100} | {0,0,0,1,1,1,1}.
+  const std::vector<double> data{100, 0, 0, 0, 1, 1, 1, 1};
+  auto result = BuildVOptimalHistogram(data, 2);
+  ASSERT_EQ(result.histogram.num_buckets(), 2);
+  EXPECT_EQ(result.histogram.buckets()[0].end, 1);
+  EXPECT_DOUBLE_EQ(result.histogram.buckets()[0].value, 100.0);
+  // SSE of {0,0,0,1,1,1,1}: mean 4/7.
+  EXPECT_NEAR(result.error, 3 * (4.0 / 7) * (4.0 / 7) +
+                                4 * (3.0 / 7) * (3.0 / 7),
+              1e-9);
+}
+
+TEST(VOptDpTest, HistogramErrorMatchesSseAgainst) {
+  Random rng(21);
+  std::vector<double> data;
+  for (int i = 0; i < 60; ++i) data.push_back(rng.UniformDouble(0, 100));
+  for (int64_t b : {1, 2, 5, 10}) {
+    auto result = BuildVOptimalHistogram(data, b);
+    EXPECT_NEAR(result.error, result.histogram.SseAgainst(data), 1e-6)
+        << "B=" << b;
+  }
+}
+
+TEST(VOptDpTest, ErrorIsNonIncreasingInBuckets) {
+  Random rng(33);
+  std::vector<double> data;
+  for (int i = 0; i < 80; ++i) data.push_back(rng.Gaussian(50, 20));
+  double prev = std::numeric_limits<double>::infinity();
+  for (int64_t b = 1; b <= 20; ++b) {
+    const double err = OptimalSse(data, b);
+    EXPECT_LE(err, prev + 1e-9) << "B=" << b;
+    prev = err;
+  }
+}
+
+TEST(VOptDpTest, OptimalSseAgreesWithFullBuild) {
+  Random rng(44);
+  std::vector<double> data;
+  for (int i = 0; i < 50; ++i) data.push_back(rng.UniformDouble(-5, 5));
+  for (int64_t b : {1, 3, 7}) {
+    EXPECT_NEAR(OptimalSse(data, b), BuildVOptimalHistogram(data, b).error,
+                1e-9)
+        << "B=" << b;
+  }
+}
+
+struct ExhaustiveCase {
+  int64_t n;
+  int64_t b;
+  uint64_t seed;
+};
+
+class VOptExhaustiveTest : public ::testing::TestWithParam<ExhaustiveCase> {};
+
+TEST_P(VOptExhaustiveTest, MatchesExhaustiveSearch) {
+  const ExhaustiveCase c = GetParam();
+  Random rng(c.seed);
+  std::vector<double> data;
+  for (int64_t i = 0; i < c.n; ++i) data.push_back(rng.UniformInt(0, 20));
+  SseBucketCost cost(data);
+  const double expected = ExhaustiveOptimal(cost, c.n, c.b);
+  auto result = BuildOptimalHistogram(cost, c.b);
+  EXPECT_NEAR(result.error, expected, 1e-9);
+  EXPECT_NEAR(result.histogram.SseAgainst(data), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, VOptExhaustiveTest,
+    ::testing::Values(ExhaustiveCase{4, 2, 1}, ExhaustiveCase{6, 2, 2},
+                      ExhaustiveCase{6, 3, 3}, ExhaustiveCase{8, 3, 4},
+                      ExhaustiveCase{9, 4, 5}, ExhaustiveCase{10, 2, 6},
+                      ExhaustiveCase{10, 5, 7}, ExhaustiveCase{12, 3, 8},
+                      ExhaustiveCase{12, 4, 9}, ExhaustiveCase{7, 7, 10}));
+
+class VOptCostFnTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, uint64_t>> {
+};
+
+TEST_P(VOptCostFnTest, GenericCostsMatchExhaustive) {
+  const auto [n, b, seed] = GetParam();
+  Random rng(seed);
+  std::vector<double> data;
+  for (int64_t i = 0; i < n; ++i) data.push_back(rng.UniformInt(-10, 10));
+
+  const SaeBucketCost sae(data);
+  EXPECT_NEAR(BuildOptimalHistogram(sae, b).error,
+              ExhaustiveOptimal(sae, n, b), 1e-9);
+
+  const MaxAbsBucketCost maxabs(data);
+  EXPECT_NEAR(BuildOptimalHistogram(maxabs, b).error,
+              ExhaustiveOptimal(maxabs, n, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, VOptCostFnTest,
+    ::testing::Values(std::make_tuple(int64_t{6}, int64_t{2}, uint64_t{11}),
+                      std::make_tuple(int64_t{8}, int64_t{3}, uint64_t{12}),
+                      std::make_tuple(int64_t{10}, int64_t{4}, uint64_t{13})));
+
+}  // namespace
+}  // namespace streamhist

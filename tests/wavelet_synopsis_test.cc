@@ -1,0 +1,103 @@
+#include "src/wavelet/synopsis.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/data/generators.h"
+#include "src/util/random.h"
+
+namespace streamhist {
+namespace {
+
+TEST(WaveletSynopsisTest, FullCoefficientBudgetIsExact) {
+  Random rng(4);
+  std::vector<double> data;
+  for (int i = 0; i < 32; ++i) data.push_back(rng.UniformInt(-50, 50));
+  const WaveletSynopsis s = WaveletSynopsis::Build(data, 32);
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(s.Estimate(i), data[static_cast<size_t>(i)], 1e-9);
+  }
+  EXPECT_NEAR(s.SseAgainst(data), 0.0, 1e-9);
+}
+
+TEST(WaveletSynopsisTest, ConstantSignalNeedsOneCoefficient) {
+  const std::vector<double> data(64, 9.0);
+  const WaveletSynopsis s = WaveletSynopsis::Build(data, 1);
+  EXPECT_NEAR(s.SseAgainst(data), 0.0, 1e-9);
+  EXPECT_NEAR(s.RangeSum(0, 64), 64 * 9.0, 1e-9);
+}
+
+TEST(WaveletSynopsisTest, RangeSumMatchesReconstruction) {
+  Random rng(8);
+  std::vector<double> data;
+  for (int i = 0; i < 100; ++i) data.push_back(rng.UniformDouble(0, 20));
+  const WaveletSynopsis s = WaveletSynopsis::Build(data, 10);
+  const std::vector<double> approx = s.Reconstruct();
+  for (int t = 0; t < 100; ++t) {
+    const int64_t lo = rng.UniformInt(0, 99);
+    const int64_t hi = rng.UniformInt(lo, 100);
+    double expected = 0.0;
+    for (int64_t i = lo; i < hi; ++i) expected += approx[static_cast<size_t>(i)];
+    EXPECT_NEAR(s.RangeSum(lo, hi), expected, 1e-8);
+  }
+}
+
+TEST(WaveletSynopsisTest, PointEstimateMatchesReconstruction) {
+  Random rng(15);
+  std::vector<double> data;
+  for (int i = 0; i < 77; ++i) data.push_back(rng.Gaussian(10, 4));
+  const WaveletSynopsis s = WaveletSynopsis::Build(data, 12);
+  const std::vector<double> approx = s.Reconstruct();
+  for (int64_t i = 0; i < 77; ++i) {
+    EXPECT_NEAR(s.Estimate(i), approx[static_cast<size_t>(i)], 1e-9);
+  }
+}
+
+TEST(WaveletSynopsisTest, SseNonIncreasingInBudget) {
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, 256, 5);
+  double prev = 1e300;
+  for (int64_t b : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    const double sse = WaveletSynopsis::Build(data, b).SseAgainst(data);
+    EXPECT_LE(sse, prev + 1e-6) << "B=" << b;
+    prev = sse;
+  }
+}
+
+TEST(WaveletSynopsisTest, L2ThresholdingIsOptimalForTheBasis) {
+  // Keeping the top-B normalized coefficients minimizes SSE among all
+  // B-subsets of Haar coefficients; in particular it beats keeping the
+  // *smallest* B coefficients on any non-trivial signal.
+  Random rng(21);
+  std::vector<double> data;
+  for (int i = 0; i < 64; ++i) data.push_back(rng.UniformInt(0, 100));
+  const double top = WaveletSynopsis::Build(data, 8).SseAgainst(data);
+  const double all = WaveletSynopsis::Build(data, 64).SseAgainst(data);
+  EXPECT_LE(all, 1e-9);
+  EXPECT_GT(top, all);  // lossy but...
+  const double total_energy = [&] {
+    double e = 0.0;
+    for (double v : data) e += v * v;
+    return e;
+  }();
+  EXPECT_LT(top, total_energy);  // ...far better than keeping nothing
+}
+
+TEST(WaveletSynopsisTest, NonPowerOfTwoDomainIsHandled) {
+  const std::vector<double> data(100, 3.0);
+  const WaveletSynopsis s = WaveletSynopsis::Build(data, 4);
+  EXPECT_EQ(s.domain_size(), 100);
+  // Mean padding keeps a constant signal exactly representable.
+  EXPECT_NEAR(s.SseAgainst(data), 0.0, 1e-9);
+  EXPECT_NEAR(s.RangeSum(0, 100), 300.0, 1e-9);
+}
+
+TEST(WaveletSynopsisTest, EmptyDomain) {
+  const WaveletSynopsis s = WaveletSynopsis::Build(std::vector<double>{}, 4);
+  EXPECT_EQ(s.domain_size(), 0);
+  EXPECT_EQ(s.num_coefficients(), 0);
+}
+
+}  // namespace
+}  // namespace streamhist

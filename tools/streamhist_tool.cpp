@@ -1,0 +1,13 @@
+// Thin entry point for the streamhist_tool CLI; all logic lives in
+// src/tools/cli.{h,cc} so the test suite can drive it in-process.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return streamhist::RunCli(args, std::cout, std::cerr);
+}
