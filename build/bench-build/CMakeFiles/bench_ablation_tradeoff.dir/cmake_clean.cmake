@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tradeoff"
+  "../bench/bench_ablation_tradeoff.pdb"
+  "CMakeFiles/bench_ablation_tradeoff.dir/bench_ablation_tradeoff.cc.o"
+  "CMakeFiles/bench_ablation_tradeoff.dir/bench_ablation_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

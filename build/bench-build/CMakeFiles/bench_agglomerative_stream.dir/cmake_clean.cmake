@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_agglomerative_stream"
+  "../bench/bench_agglomerative_stream.pdb"
+  "CMakeFiles/bench_agglomerative_stream.dir/bench_agglomerative_stream.cc.o"
+  "CMakeFiles/bench_agglomerative_stream.dir/bench_agglomerative_stream.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agglomerative_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

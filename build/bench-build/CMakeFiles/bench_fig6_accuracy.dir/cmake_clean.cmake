@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_accuracy"
+  "../bench/bench_fig6_accuracy.pdb"
+  "CMakeFiles/bench_fig6_accuracy.dir/bench_fig6_accuracy.cc.o"
+  "CMakeFiles/bench_fig6_accuracy.dir/bench_fig6_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_construction"
+  "../bench/bench_fig6_construction.pdb"
+  "CMakeFiles/bench_fig6_construction.dir/bench_fig6_construction.cc.o"
+  "CMakeFiles/bench_fig6_construction.dir/bench_fig6_construction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

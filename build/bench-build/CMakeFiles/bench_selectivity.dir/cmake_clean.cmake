@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_selectivity"
+  "../bench/bench_selectivity.pdb"
+  "CMakeFiles/bench_selectivity.dir/bench_selectivity.cc.o"
+  "CMakeFiles/bench_selectivity.dir/bench_selectivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_selectivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_warehouse"
+  "../bench/bench_warehouse.pdb"
+  "CMakeFiles/bench_warehouse.dir/bench_warehouse.cc.o"
+  "CMakeFiles/bench_warehouse.dir/bench_warehouse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_collectors.dir/distributed_collectors.cpp.o"
+  "CMakeFiles/distributed_collectors.dir/distributed_collectors.cpp.o.d"
+  "distributed_collectors"
+  "distributed_collectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_collectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_console.dir/stream_console.cpp.o"
+  "CMakeFiles/stream_console.dir/stream_console.cpp.o.d"
+  "stream_console"
+  "stream_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

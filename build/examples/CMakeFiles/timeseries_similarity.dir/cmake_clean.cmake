@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_similarity.dir/timeseries_similarity.cpp.o"
+  "CMakeFiles/timeseries_similarity.dir/timeseries_similarity.cpp.o.d"
+  "timeseries_similarity"
+  "timeseries_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_approx.dir/warehouse_approx.cpp.o"
+  "CMakeFiles/warehouse_approx.dir/warehouse_approx.cpp.o.d"
+  "warehouse_approx"
+  "warehouse_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for warehouse_approx.
+# This may be replaced when dependencies are built.

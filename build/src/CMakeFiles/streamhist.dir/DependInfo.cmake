@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agglomerative.cc" "src/CMakeFiles/streamhist.dir/core/agglomerative.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/agglomerative.cc.o.d"
+  "/root/repo/src/core/bucket_cost.cc" "src/CMakeFiles/streamhist.dir/core/bucket_cost.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/bucket_cost.cc.o.d"
+  "/root/repo/src/core/error_bounds.cc" "src/CMakeFiles/streamhist.dir/core/error_bounds.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/error_bounds.cc.o.d"
+  "/root/repo/src/core/fixed_window.cc" "src/CMakeFiles/streamhist.dir/core/fixed_window.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/fixed_window.cc.o.d"
+  "/root/repo/src/core/heuristics.cc" "src/CMakeFiles/streamhist.dir/core/heuristics.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/heuristics.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/CMakeFiles/streamhist.dir/core/histogram.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/histogram.cc.o.d"
+  "/root/repo/src/core/histogram_io.cc" "src/CMakeFiles/streamhist.dir/core/histogram_io.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/histogram_io.cc.o.d"
+  "/root/repo/src/core/time_window.cc" "src/CMakeFiles/streamhist.dir/core/time_window.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/time_window.cc.o.d"
+  "/root/repo/src/core/vopt_dp.cc" "src/CMakeFiles/streamhist.dir/core/vopt_dp.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/core/vopt_dp.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/streamhist.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/streamhist.dir/data/io.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/data/io.cc.o.d"
+  "/root/repo/src/engine/managed_stream.cc" "src/CMakeFiles/streamhist.dir/engine/managed_stream.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/engine/managed_stream.cc.o.d"
+  "/root/repo/src/engine/query_engine.cc" "src/CMakeFiles/streamhist.dir/engine/query_engine.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/engine/query_engine.cc.o.d"
+  "/root/repo/src/quantile/gk_summary.cc" "src/CMakeFiles/streamhist.dir/quantile/gk_summary.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/quantile/gk_summary.cc.o.d"
+  "/root/repo/src/quantile/reservoir.cc" "src/CMakeFiles/streamhist.dir/quantile/reservoir.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/quantile/reservoir.cc.o.d"
+  "/root/repo/src/query/estimator.cc" "src/CMakeFiles/streamhist.dir/query/estimator.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/query/estimator.cc.o.d"
+  "/root/repo/src/query/metrics.cc" "src/CMakeFiles/streamhist.dir/query/metrics.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/query/metrics.cc.o.d"
+  "/root/repo/src/query/workload.cc" "src/CMakeFiles/streamhist.dir/query/workload.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/query/workload.cc.o.d"
+  "/root/repo/src/selectivity/value_histogram.cc" "src/CMakeFiles/streamhist.dir/selectivity/value_histogram.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/selectivity/value_histogram.cc.o.d"
+  "/root/repo/src/sketch/fm_sketch.cc" "src/CMakeFiles/streamhist.dir/sketch/fm_sketch.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/sketch/fm_sketch.cc.o.d"
+  "/root/repo/src/sketch/l1_sketch.cc" "src/CMakeFiles/streamhist.dir/sketch/l1_sketch.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/sketch/l1_sketch.cc.o.d"
+  "/root/repo/src/stream/prefix_sums.cc" "src/CMakeFiles/streamhist.dir/stream/prefix_sums.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/stream/prefix_sums.cc.o.d"
+  "/root/repo/src/stream/sliding_window.cc" "src/CMakeFiles/streamhist.dir/stream/sliding_window.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/stream/sliding_window.cc.o.d"
+  "/root/repo/src/stream/sources.cc" "src/CMakeFiles/streamhist.dir/stream/sources.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/stream/sources.cc.o.d"
+  "/root/repo/src/timeseries/apca.cc" "src/CMakeFiles/streamhist.dir/timeseries/apca.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/timeseries/apca.cc.o.d"
+  "/root/repo/src/timeseries/distance.cc" "src/CMakeFiles/streamhist.dir/timeseries/distance.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/timeseries/distance.cc.o.d"
+  "/root/repo/src/timeseries/indexed_search.cc" "src/CMakeFiles/streamhist.dir/timeseries/indexed_search.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/timeseries/indexed_search.cc.o.d"
+  "/root/repo/src/timeseries/paa.cc" "src/CMakeFiles/streamhist.dir/timeseries/paa.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/timeseries/paa.cc.o.d"
+  "/root/repo/src/timeseries/piecewise.cc" "src/CMakeFiles/streamhist.dir/timeseries/piecewise.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/timeseries/piecewise.cc.o.d"
+  "/root/repo/src/timeseries/rtree.cc" "src/CMakeFiles/streamhist.dir/timeseries/rtree.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/timeseries/rtree.cc.o.d"
+  "/root/repo/src/timeseries/similarity.cc" "src/CMakeFiles/streamhist.dir/timeseries/similarity.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/timeseries/similarity.cc.o.d"
+  "/root/repo/src/tools/cli.cc" "src/CMakeFiles/streamhist.dir/tools/cli.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/tools/cli.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/streamhist.dir/util/random.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/streamhist.dir/util/status.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/util/status.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/CMakeFiles/streamhist.dir/util/timer.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/util/timer.cc.o.d"
+  "/root/repo/src/wavelet/haar.cc" "src/CMakeFiles/streamhist.dir/wavelet/haar.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/wavelet/haar.cc.o.d"
+  "/root/repo/src/wavelet/sliding_wavelet.cc" "src/CMakeFiles/streamhist.dir/wavelet/sliding_wavelet.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/wavelet/sliding_wavelet.cc.o.d"
+  "/root/repo/src/wavelet/synopsis.cc" "src/CMakeFiles/streamhist.dir/wavelet/synopsis.cc.o" "gcc" "src/CMakeFiles/streamhist.dir/wavelet/synopsis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agglomerative_test.dir/agglomerative_test.cc.o"
+  "CMakeFiles/agglomerative_test.dir/agglomerative_test.cc.o.d"
+  "agglomerative_test"
+  "agglomerative_test.pdb"
+  "agglomerative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agglomerative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_bounds_test.dir/error_bounds_test.cc.o"
+  "CMakeFiles/error_bounds_test.dir/error_bounds_test.cc.o.d"
+  "error_bounds_test"
+  "error_bounds_test.pdb"
+  "error_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

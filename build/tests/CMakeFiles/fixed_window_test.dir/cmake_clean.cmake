@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_window_test.dir/fixed_window_test.cc.o"
+  "CMakeFiles/fixed_window_test.dir/fixed_window_test.cc.o.d"
+  "fixed_window_test"
+  "fixed_window_test.pdb"
+  "fixed_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

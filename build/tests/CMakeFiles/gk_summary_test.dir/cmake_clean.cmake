@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gk_summary_test.dir/gk_summary_test.cc.o"
+  "CMakeFiles/gk_summary_test.dir/gk_summary_test.cc.o.d"
+  "gk_summary_test"
+  "gk_summary_test.pdb"
+  "gk_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gk_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexed_search_test.dir/indexed_search_test.cc.o"
+  "CMakeFiles/indexed_search_test.dir/indexed_search_test.cc.o.d"
+  "indexed_search_test"
+  "indexed_search_test.pdb"
+  "indexed_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexed_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

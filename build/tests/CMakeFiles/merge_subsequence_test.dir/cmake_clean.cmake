@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_subsequence_test.dir/merge_subsequence_test.cc.o"
+  "CMakeFiles/merge_subsequence_test.dir/merge_subsequence_test.cc.o.d"
+  "merge_subsequence_test"
+  "merge_subsequence_test.pdb"
+  "merge_subsequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_subsequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

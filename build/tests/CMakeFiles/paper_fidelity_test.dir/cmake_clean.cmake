@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_fidelity_test.dir/paper_fidelity_test.cc.o"
+  "CMakeFiles/paper_fidelity_test.dir/paper_fidelity_test.cc.o.d"
+  "paper_fidelity_test"
+  "paper_fidelity_test.pdb"
+  "paper_fidelity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

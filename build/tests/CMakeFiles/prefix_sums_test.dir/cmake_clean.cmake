@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_sums_test.dir/prefix_sums_test.cc.o"
+  "CMakeFiles/prefix_sums_test.dir/prefix_sums_test.cc.o.d"
+  "prefix_sums_test"
+  "prefix_sums_test.pdb"
+  "prefix_sums_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_sums_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_test.dir/selectivity_test.cc.o"
+  "CMakeFiles/selectivity_test.dir/selectivity_test.cc.o.d"
+  "selectivity_test"
+  "selectivity_test.pdb"
+  "selectivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_wavelet_test.dir/sliding_wavelet_test.cc.o"
+  "CMakeFiles/sliding_wavelet_test.dir/sliding_wavelet_test.cc.o.d"
+  "sliding_wavelet_test"
+  "sliding_wavelet_test.pdb"
+  "sliding_wavelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_wavelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

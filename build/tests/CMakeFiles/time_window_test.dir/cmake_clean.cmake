@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_window_test.dir/time_window_test.cc.o"
+  "CMakeFiles/time_window_test.dir/time_window_test.cc.o.d"
+  "time_window_test"
+  "time_window_test.pdb"
+  "time_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vopt_dp_test.dir/vopt_dp_test.cc.o"
+  "CMakeFiles/vopt_dp_test.dir/vopt_dp_test.cc.o.d"
+  "vopt_dp_test"
+  "vopt_dp_test.pdb"
+  "vopt_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vopt_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_synopsis_test.dir/wavelet_synopsis_test.cc.o"
+  "CMakeFiles/wavelet_synopsis_test.dir/wavelet_synopsis_test.cc.o.d"
+  "wavelet_synopsis_test"
+  "wavelet_synopsis_test.pdb"
+  "wavelet_synopsis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_synopsis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wavelet_synopsis_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamhist_tool.dir/streamhist_tool.cpp.o"
+  "CMakeFiles/streamhist_tool.dir/streamhist_tool.cpp.o.d"
+  "streamhist_tool"
+  "streamhist_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamhist_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

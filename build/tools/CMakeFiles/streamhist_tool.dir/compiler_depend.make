@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for streamhist_tool.
+# This may be replaced when dependencies are built.
