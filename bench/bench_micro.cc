@@ -1,10 +1,21 @@
 // E10 — google-benchmark micro-benchmarks: per-operation costs of every
 // builder and of the supporting data structures.
+//
+// PR1 mode: `bench_micro --pr1_json=BENCH_PR1.json` skips google-benchmark
+// and instead times serial-vs-threaded construction (V-optimal DP layers and
+// engine batch construction across streams), writing a machine-readable JSON
+// artifact so later PRs have a perf trajectory. See EXPERIMENTS.md for the
+// schema and flags (--pr1_threads, --pr1_streams, --pr1_smoke, --pr1_dp_full).
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "src/core/agglomerative.h"
 #include "src/core/fixed_window.h"
 #include "src/core/heuristics.h"
@@ -18,6 +29,8 @@
 #include "src/timeseries/paa.h"
 #include "src/timeseries/rtree.h"
 #include "src/util/random.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
 #include "src/wavelet/sliding_wavelet.h"
 #include "src/wavelet/synopsis.h"
 
@@ -124,6 +137,22 @@ void BM_VOptimalDp(benchmark::State& state) {
 }
 BENCHMARK(BM_VOptimalDp)->Arg(256)->Arg(1024)->Arg(4096);
 
+void BM_VOptimalDpThreads(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  const int64_t n = state.range(0);
+  const std::vector<double> data(stream.begin(),
+                                 stream.begin() + static_cast<ptrdiff_t>(n));
+  SetThreadCount(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildVOptimalHistogram(data, 32));
+  }
+  SetThreadCount(DefaultThreadCount());
+}
+BENCHMARK(BM_VOptimalDpThreads)
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4});
+
 void BM_QueryEngineAppend(benchmark::State& state) {
   const auto& stream = SharedStream();
   QueryEngine engine;
@@ -225,7 +254,211 @@ void BM_HistogramRangeSum(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRangeSum)->Arg(16)->Arg(256);
 
+// --- PR1: serial vs threaded construction, machine-readable artifact ---
+
+struct Pr1Row {
+  int64_t n = 0;
+  int64_t num_buckets = 0;
+  int64_t streams = 0;  // 0 for single-structure (DP) rows
+  double serial_seconds = 0.0;
+  double threaded_seconds = 0.0;
+  bool identical = false;  // threaded output bit-identical to serial
+};
+
+// Times one exact-DP build; fingerprints the result for the determinism
+// cross-check (exact error value + every bucket boundary/value).
+double TimeVOptDp(const std::vector<double>& data, int64_t num_buckets,
+                  std::string* fingerprint) {
+  Timer timer;
+  const OptimalHistogramResult result =
+      BuildVOptimalHistogram(data, num_buckets);
+  const double elapsed = timer.ElapsedSeconds();
+  std::ostringstream os;
+  os.precision(17);
+  os << result.error;
+  for (const Bucket& b : result.histogram.buckets()) {
+    os << '|' << b.begin << ',' << b.end << ',' << b.value;
+  }
+  *fingerprint = os.str();
+  return elapsed;
+}
+
+// Times engine batch construction: `streams` independent streams each fed an
+// n-point batch, then every synopsis refreshed. Parallelism comes from
+// AppendBatches/RefreshAll fanning per-stream jobs onto the pool.
+double TimeBatchConstruction(const std::vector<std::vector<double>>& data,
+                             int64_t num_buckets, std::string* fingerprint) {
+  QueryEngine engine;
+  StreamConfig config;
+  config.window_size = 1024;
+  config.num_buckets = num_buckets;
+  config.epsilon = 0.1;
+  std::vector<StreamBatch> batches;
+  for (size_t s = 0; s < data.size(); ++s) {
+    const std::string name = "s" + std::to_string(s);
+    if (!engine.CreateStream(name, config).ok()) std::abort();
+    batches.push_back(StreamBatch{name, data[s]});
+  }
+  Timer timer;
+  if (!engine.AppendBatches(batches).ok()) std::abort();
+  engine.RefreshAll();
+  const double elapsed = timer.ElapsedSeconds();
+  std::ostringstream os;
+  for (const StreamBatch& batch : batches) {
+    os << engine.Execute("DESCRIBE " + batch.name).value() << '\n'
+       << engine.Execute("SHOW " + batch.name).value() << '\n';
+  }
+  *fingerprint = os.str();
+  return elapsed;
+}
+
 }  // namespace
+
+int RunBenchPr1(int argc, char** argv) {
+  using bench::FlagInt;
+  using bench::FlagStr;
+  const std::string out_path = FlagStr(argc, argv, "pr1_json", "");
+  const int threads = static_cast<int>(
+      FlagInt(argc, argv, "pr1_threads", DefaultThreadCount()));
+  if (threads < 1) {
+    std::fprintf(stderr, "bench_micro: --pr1_threads must be >= 1 (got %d)\n",
+                 threads);
+    return 1;
+  }
+  const int64_t num_streams = FlagInt(argc, argv, "pr1_streams", 8);
+  if (num_streams < 1) {
+    std::fprintf(stderr,
+                 "bench_micro: --pr1_streams must be >= 1 (got %lld)\n",
+                 static_cast<long long>(num_streams));
+    return 1;
+  }
+  const bool smoke = FlagInt(argc, argv, "pr1_smoke", 0) != 0;
+  const bool dp_full = FlagInt(argc, argv, "pr1_dp_full", 0) != 0;
+  const std::vector<int64_t> bucket_grid{32, 128};
+
+  // The engine batch grid is the headline (n = points per stream). The exact
+  // DP is O(n^2 B), so its default grid is capped; --pr1_dp_full=1 runs the
+  // full batch grid through the DP as well (minutes to hours of work).
+  std::vector<int64_t> batch_grid{16384, 65536, 262144};
+  std::vector<int64_t> dp_grid{4096, 8192};
+  if (dp_full) dp_grid = batch_grid;
+  if (smoke) {
+    batch_grid = {2048, 4096};
+    dp_grid = {512, 1024};
+  }
+
+  bench::Banner("BENCH_PR1: serial vs threaded construction (threads=" +
+                std::to_string(threads) + ")");
+  std::vector<Pr1Row> dp_rows;
+  for (const int64_t n : dp_grid) {
+    const std::vector<double> data =
+        GenerateDataset(DatasetKind::kUtilization, n, /*seed=*/7);
+    for (const int64_t num_buckets : bucket_grid) {
+      Pr1Row row;
+      row.n = n;
+      row.num_buckets = num_buckets;
+      std::string serial_fp;
+      std::string threaded_fp;
+      SetThreadCount(1);
+      row.serial_seconds = TimeVOptDp(data, num_buckets, &serial_fp);
+      SetThreadCount(threads);
+      row.threaded_seconds = TimeVOptDp(data, num_buckets, &threaded_fp);
+      row.identical = serial_fp == threaded_fp;
+      dp_rows.push_back(row);
+      std::printf("  vopt_dp n=%lld B=%lld serial=%.3fs threaded=%.3fs %s\n",
+                  static_cast<long long>(n),
+                  static_cast<long long>(num_buckets), row.serial_seconds,
+                  row.threaded_seconds,
+                  row.identical ? "bit-identical" : "MISMATCH");
+    }
+  }
+
+  std::vector<Pr1Row> batch_rows;
+  for (const int64_t n : batch_grid) {
+    std::vector<std::vector<double>> data;
+    for (int64_t s = 0; s < num_streams; ++s) {
+      data.push_back(GenerateDataset(DatasetKind::kUtilization, n,
+                                     /*seed=*/100 + static_cast<uint64_t>(s)));
+    }
+    for (const int64_t num_buckets : bucket_grid) {
+      Pr1Row row;
+      row.n = n;
+      row.num_buckets = num_buckets;
+      row.streams = num_streams;
+      std::string serial_fp;
+      std::string threaded_fp;
+      SetThreadCount(1);
+      row.serial_seconds = TimeBatchConstruction(data, num_buckets, &serial_fp);
+      SetThreadCount(threads);
+      row.threaded_seconds =
+          TimeBatchConstruction(data, num_buckets, &threaded_fp);
+      row.identical = serial_fp == threaded_fp;
+      batch_rows.push_back(row);
+      std::printf(
+          "  batch n=%lld B=%lld streams=%lld serial=%.3fs threaded=%.3fs "
+          "%s\n",
+          static_cast<long long>(n), static_cast<long long>(num_buckets),
+          static_cast<long long>(num_streams), row.serial_seconds,
+          row.threaded_seconds, row.identical ? "bit-identical" : "MISMATCH");
+    }
+  }
+  SetThreadCount(DefaultThreadCount());
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(std::string("BENCH_PR1"))
+      .Key("schema_version").Value(int64_t{1})
+      .Key("serial_threads").Value(int64_t{1})
+      .Key("threaded_threads").Value(static_cast<int64_t>(threads))
+      .Key("hardware_threads").Value(static_cast<int64_t>(DefaultThreadCount()))
+      .Key("smoke").Value(smoke)
+      .Key("dp_full").Value(dp_full);
+  const auto emit_rows = [&json](const std::string& key,
+                                 const std::vector<Pr1Row>& rows) {
+    json.Key(key).BeginArray();
+    for (const Pr1Row& row : rows) {
+      json.BeginObject()
+          .Key("n").Value(row.n)
+          .Key("B").Value(row.num_buckets);
+      if (row.streams > 0) json.Key("streams").Value(row.streams);
+      json.Key("serial_seconds").Value(row.serial_seconds)
+          .Key("threaded_seconds").Value(row.threaded_seconds)
+          .Key("speedup")
+          .Value(row.threaded_seconds > 0.0
+                     ? row.serial_seconds / row.threaded_seconds
+                     : 0.0)
+          .Key("identical").Value(row.identical)
+          .EndObject();
+    }
+    json.EndArray();
+  };
+  emit_rows("vopt_dp", dp_rows);
+  emit_rows("batch_construction", batch_rows);
+  json.EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  bool all_identical = true;
+  for (const Pr1Row& row : dp_rows) all_identical &= row.identical;
+  for (const Pr1Row& row : batch_rows) all_identical &= row.identical;
+  return all_identical ? 0 : 2;
+}
+
 }  // namespace streamhist
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!streamhist::bench::FlagStr(argc, argv, "pr1_json", "").empty()) {
+    return streamhist::RunBenchPr1(argc, argv);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace streamhist {
 
@@ -150,25 +151,33 @@ Histogram AgglomerativeHistogram::Extract() const {
     }
   }
 
+  // Levels stay sequential (level k reads level k-1's finished f values);
+  // within a level each candidate minimizes over the previous level
+  // independently and writes only its own slot, so the merge sweep is
+  // data-parallel and bit-identical to the serial order.
   for (int64_t k = 1; k < num_buckets_; ++k) {
     auto& lvl = cands[static_cast<size_t>(k)];
     const auto& prev = cands[static_cast<size_t>(k - 1)];
-    for (size_t ci = 1; ci < lvl.size(); ++ci) {  // skip the origin sentinel
-      Cand& c = lvl[ci];
-      for (size_t di = 0; di < prev.size(); ++di) {
-        const Cand& d = prev[di];
-        // d.p == c.p is allowed: a zero-width (unused) bucket, needed when
-        // the optimum uses fewer than B buckets (e.g. tiny prefixes).
-        if (d.p > c.p) break;  // candidates are sorted by p
-        if (d.f == kInf) continue;
-        const double candidate =
-            d.f + SpanError(d.p, d.sum, d.sqsum, c.p, c.sum, c.sqsum);
-        if (candidate < c.f) {
-          c.f = candidate;
-          c.back = static_cast<int32_t>(di);
+    // skip the origin sentinel at ci == 0
+    ParallelFor(1, static_cast<int64_t>(lvl.size()), /*grain=*/64,
+                [&](int64_t ci_begin, int64_t ci_end) {
+      for (int64_t ci = ci_begin; ci < ci_end; ++ci) {
+        Cand& c = lvl[static_cast<size_t>(ci)];
+        for (size_t di = 0; di < prev.size(); ++di) {
+          const Cand& d = prev[di];
+          // d.p == c.p is allowed: a zero-width (unused) bucket, needed when
+          // the optimum uses fewer than B buckets (e.g. tiny prefixes).
+          if (d.p > c.p) break;  // candidates are sorted by p
+          if (d.f == kInf) continue;
+          const double candidate =
+              d.f + SpanError(d.p, d.sum, d.sqsum, c.p, c.sum, c.sqsum);
+          if (candidate < c.f) {
+            c.f = candidate;
+            c.back = static_cast<int32_t>(di);
+          }
         }
       }
-    }
+    });
   }
 
   // Final bucket ends at n with the total sums.

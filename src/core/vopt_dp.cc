@@ -5,12 +5,17 @@
 #include <vector>
 
 #include "src/util/logging.h"
+#include "src/util/thread_pool.h"
 
 namespace streamhist {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Minimum j-endpoints per ParallelFor chunk: below this the O(j) inner scans
+// are too cheap to amortize a task dispatch.
+constexpr int64_t kDpGrain = 256;
 
 }  // namespace
 
@@ -37,30 +42,36 @@ OptimalHistogramResult BuildOptimalHistogram(const BucketCost& cost,
     back[1][static_cast<size_t>(j)] = 0;
   }
 
+  // Layers k stay sequential (layer k reads layer k-1); within a layer every
+  // j-endpoint is independent and writes disjoint herror/back slots, so the
+  // sweep is data-parallel and bit-identical to the serial order.
   for (int64_t k = 2; k <= b_max; ++k) {
     herror[0] = 0.0;
-    for (int64_t j = 1; j <= n; ++j) {
-      // With k buckets a length-j prefix is exact when j <= k.
-      double best = kInf;
-      int32_t best_i = static_cast<int32_t>(j - 1);
-      // The last bucket is [i, j) for some i in [k-1, j-1]; i == j-1 is a
-      // singleton bucket. (Using fewer than k buckets is dominated: i ranges
-      // down to k-1 where every bucket is a singleton.)
-      for (int64_t i = j - 1; i >= k - 1; --i) {
-        const double candidate =
-            herror_prev[static_cast<size_t>(i)] + cost.Cost(i, j);
-        if (candidate < best) {
-          best = candidate;
-          best_i = static_cast<int32_t>(i);
+    std::vector<int32_t>& back_k = back[static_cast<size_t>(k)];
+    ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+      for (int64_t j = j_begin; j < j_end; ++j) {
+        // With k buckets a length-j prefix is exact when j <= k.
+        double best = kInf;
+        int32_t best_i = static_cast<int32_t>(j - 1);
+        // The last bucket is [i, j) for some i in [k-1, j-1]; i == j-1 is a
+        // singleton bucket. (Using fewer than k buckets is dominated: i
+        // ranges down to k-1 where every bucket is a singleton.)
+        for (int64_t i = j - 1; i >= k - 1; --i) {
+          const double candidate =
+              herror_prev[static_cast<size_t>(i)] + cost.Cost(i, j);
+          if (candidate < best) {
+            best = candidate;
+            best_i = static_cast<int32_t>(i);
+          }
         }
+        if (j < k) {  // fewer points than buckets: exact with j singletons
+          best = 0.0;
+          best_i = static_cast<int32_t>(j - 1);
+        }
+        herror[static_cast<size_t>(j)] = best;
+        back_k[static_cast<size_t>(j)] = best_i;
       }
-      if (j < k) {  // fewer points than buckets: exact with j singletons
-        best = 0.0;
-        best_i = static_cast<int32_t>(j - 1);
-      }
-      herror[static_cast<size_t>(j)] = best;
-      back[static_cast<size_t>(k)][static_cast<size_t>(j)] = best_i;
-    }
+    });
     std::swap(herror, herror_prev);
   }
 
@@ -112,19 +123,21 @@ double OptimalSse(std::span<const double> data, int64_t num_buckets) {
   }
   for (int64_t k = 2; k <= b_max; ++k) {
     herror[0] = 0.0;
-    for (int64_t j = 1; j <= n; ++j) {
-      if (j <= k) {
-        herror[static_cast<size_t>(j)] = 0.0;
-        continue;
+    ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+      for (int64_t j = j_begin; j < j_end; ++j) {
+        if (j <= k) {
+          herror[static_cast<size_t>(j)] = 0.0;
+          continue;
+        }
+        double best = kInf;
+        for (int64_t i = j - 1; i >= k - 1; --i) {
+          const double candidate =
+              herror_prev[static_cast<size_t>(i)] + cost.Cost(i, j);
+          best = std::min(best, candidate);
+        }
+        herror[static_cast<size_t>(j)] = best;
       }
-      double best = kInf;
-      for (int64_t i = j - 1; i >= k - 1; --i) {
-        const double candidate =
-            herror_prev[static_cast<size_t>(i)] + cost.Cost(i, j);
-        best = std::min(best, candidate);
-      }
-      herror[static_cast<size_t>(j)] = best;
-    }
+    });
     std::swap(herror, herror_prev);
   }
   return herror_prev[static_cast<size_t>(n)];

@@ -23,6 +23,11 @@ struct OptimalHistogramResult {
 /// generic over the bucket-cost function. O(n^2 B) cost evaluations,
 /// O(n B) space for the backtracking table. At most `num_buckets` buckets
 /// are used; fewer are returned when the sequence has fewer points.
+///
+/// Each bucket layer's j-endpoint sweep runs data-parallel on the global
+/// thread pool (util/thread_pool.h, STREAMHIST_THREADS) and is bit-identical
+/// to the serial order; `cost.Cost` must therefore tolerate concurrent const
+/// calls (all BucketCost implementations in bucket_cost.h do).
 OptimalHistogramResult BuildOptimalHistogram(const BucketCost& cost,
                                              int64_t num_buckets);
 

@@ -52,6 +52,11 @@ void ManagedStream::AppendBatch(std::span<const double> values) {
   for (double v : values) Append(v);
 }
 
+void ManagedStream::Refresh() {
+  window_->ApproxError();   // rebuilds the interval structure when stale
+  (void)window_->Extract();  // materializes (and caches) the histogram
+}
+
 int64_t ManagedStream::total_points() const {
   return window_->window().total_appended();
 }

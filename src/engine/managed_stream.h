@@ -47,6 +47,13 @@ class ManagedStream {
   /// Feeds a batch (synopses rebuild lazily, so batches are cheap).
   void AppendBatch(std::span<const double> values);
 
+  /// Forces the lazily-maintained window histogram current: rebuilds the
+  /// interval structure and materializes the extracted histogram, so
+  /// subsequent queries are lookup-only. Touches only this stream's state —
+  /// safe to run concurrently across *different* streams, which is what
+  /// QueryEngine::RefreshAll exploits.
+  void Refresh();
+
   /// Total points seen over the stream's lifetime.
   int64_t total_points() const;
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <set>
 #include <sstream>
 
 #include "src/core/error_bounds.h"
+#include "src/util/thread_pool.h"
 
 namespace streamhist {
 
@@ -108,6 +110,43 @@ Status QueryEngine::AppendBatch(const std::string& name,
   STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(name));
   stream->AppendBatch(values);
   return Status::OK();
+}
+
+Status QueryEngine::AppendBatches(std::span<const StreamBatch> batches) {
+  // Resolve and validate everything up front so the parallel phase cannot
+  // fail and no points are appended on error.
+  std::vector<ManagedStream*> targets;
+  targets.reserve(batches.size());
+  std::set<std::string> seen;
+  for (const StreamBatch& batch : batches) {
+    if (!seen.insert(batch.name).second) {
+      return Status::InvalidArgument("duplicate batch for stream '" +
+                                     batch.name + "'");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream,
+                                GetStream(batch.name));
+    targets.push_back(stream);
+  }
+  ParallelFor(0, static_cast<int64_t>(batches.size()), /*grain=*/1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  targets[static_cast<size_t>(i)]->AppendBatch(
+                      batches[static_cast<size_t>(i)].values);
+                }
+              });
+  return Status::OK();
+}
+
+void QueryEngine::RefreshAll() {
+  std::vector<ManagedStream*> targets;
+  targets.reserve(streams_.size());
+  for (auto& [name, stream] : streams_) targets.push_back(&stream);
+  ParallelFor(0, static_cast<int64_t>(targets.size()), /*grain=*/1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  targets[static_cast<size_t>(i)]->Refresh();
+                }
+              });
 }
 
 Result<ManagedStream*> QueryEngine::GetStream(const std::string& name) {

@@ -2,6 +2,7 @@
 #define STREAMHIST_ENGINE_QUERY_ENGINE_H_
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,12 @@
 #include "src/util/result.h"
 
 namespace streamhist {
+
+/// One stream's worth of arrivals for QueryEngine::AppendBatches.
+struct StreamBatch {
+  std::string name;
+  std::vector<double> values;
+};
 
 /// A registry of named managed streams plus a tiny textual query language —
 /// the "operators commonly pose queries" interface of the paper's
@@ -54,6 +61,19 @@ class QueryEngine {
 
   /// Appends a batch to a named stream.
   Status AppendBatch(const std::string& name, std::span<const double> values);
+
+  /// Appends every batch, one job per stream on the global thread pool
+  /// (util/thread_pool.h): streams hold disjoint synopsis state, so the
+  /// per-stream work is independent and the result is identical to feeding
+  /// the batches serially. Validates every name — and rejects duplicate
+  /// names, which would race — before any point is appended.
+  Status AppendBatches(std::span<const StreamBatch> batches);
+
+  /// Rebuilds the lazily-maintained window histogram of every registered
+  /// stream, one refresh job per stream on the global thread pool. After
+  /// this, queries on any stream are lookup-only. Deterministic: each job
+  /// touches only its own stream.
+  void RefreshAll();
 
   /// The registered stream, or NotFound.
   Result<ManagedStream*> GetStream(const std::string& name);

@@ -1,0 +1,179 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace streamhist {
+
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+// Guarded by GlobalPoolMutex(). The pool pointer stays reachable so workers
+// blocked in their condition wait at process exit are never torn down from a
+// static destructor (and LSan sees the allocation as reachable).
+int g_thread_count = 0;  // 0 = not yet resolved
+ThreadPool* g_pool = nullptr;
+
+// Pool (if any) to run a ParallelFor on, under the current thread count.
+ThreadPool* GlobalPoolLocked(int num_threads) {
+  if (num_threads <= 1) return nullptr;
+  if (g_pool == nullptr || g_pool->num_threads() != num_threads) {
+    delete g_pool;
+    g_pool = new ThreadPool(num_threads);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  STREAMHIST_CHECK_GE(num_threads, 1);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STREAMHIST_CHECK(!stop_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() { return tls_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+int DefaultThreadCount() {
+  const char* env = std::getenv("STREAMHIST_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ThreadCount() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  if (g_thread_count == 0) g_thread_count = DefaultThreadCount();
+  return g_thread_count;
+}
+
+void SetThreadCount(int n) {
+  STREAMHIST_CHECK_GE(n, 1);
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  g_thread_count = n;
+  if (g_pool != nullptr && g_pool->num_threads() != n) {
+    delete g_pool;
+    g_pool = nullptr;  // rebuilt lazily at the right size
+  }
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  STREAMHIST_CHECK_GE(grain, 1);
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+
+  // The partition must not depend on the thread count, so that bodies which
+  // (incorrectly but harmlessly) carry per-chunk state still reproduce: chunk
+  // size is max(grain, range/kMaxChunks) always.
+  constexpr int64_t kMaxChunks = 64;
+  const int64_t chunk =
+      std::max(grain, (range + kMaxChunks - 1) / kMaxChunks);
+  const int64_t num_chunks = (range + chunk - 1) / chunk;
+
+  const int num_threads = ThreadCount();
+  if (num_threads <= 1 || num_chunks <= 1 || ThreadPool::InWorkerThread()) {
+    body(begin, end);
+    return;
+  }
+
+  ThreadPool* pool;
+  {
+    std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+    if (g_thread_count == 0) g_thread_count = DefaultThreadCount();
+    pool = GlobalPoolLocked(g_thread_count);
+  }
+  if (pool == nullptr) {
+    body(begin, end);
+    return;
+  }
+
+  struct SharedState {
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->remaining = num_chunks;
+  state->errors.resize(static_cast<size_t>(num_chunks));
+
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t chunk_begin = begin + c * chunk;
+    const int64_t chunk_end = std::min(end, chunk_begin + chunk);
+    pool->Submit([state, &body, c, chunk_begin, chunk_end] {
+      try {
+        body(chunk_begin, chunk_end);
+      } catch (...) {
+        state->errors[static_cast<size_t>(c)] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->remaining == 0) state->done.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&state] { return state->remaining == 0; });
+  }
+  // Deterministic propagation: the lowest-chunk failure wins regardless of
+  // which worker hit it first.
+  for (const std::exception_ptr& e : state->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace streamhist

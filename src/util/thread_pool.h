@@ -1,0 +1,79 @@
+#ifndef STREAMHIST_UTIL_THREAD_POOL_H_
+#define STREAMHIST_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace streamhist {
+
+/// A fixed-size, work-stealing-free thread pool. Tasks run in FIFO order of
+/// submission; there is no per-worker queue and no stealing, so the set of
+/// tasks a call executes — and therefore every result computed from disjoint
+/// per-task state — is independent of scheduling. Used via ParallelFor below;
+/// exposed directly for lifecycle tests and custom batch jobs.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` (>= 1) workers immediately.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: outstanding tasks still run, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues one task. Tasks must not block on other tasks submitted to the
+  /// same pool (no nested waiting) — ParallelFor enforces this by running
+  /// nested loops inline on the worker thread.
+  void Submit(std::function<void()> task);
+
+  /// True when called from one of this process's pool worker threads (any
+  /// pool). The inline-execution guard for nested parallelism.
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// The process-wide degree of parallelism used by ParallelFor. Resolution
+/// order: the last SetThreadCount() call, else the STREAMHIST_THREADS
+/// environment variable, else std::thread::hardware_concurrency().
+int ThreadCount();
+
+/// Overrides the degree of parallelism (n >= 1; 1 disables threading). Not
+/// safe to call concurrently with a running ParallelFor: the previous global
+/// pool is torn down.
+void SetThreadCount(int n);
+
+/// The default ThreadCount() before any SetThreadCount() override: the value
+/// of STREAMHIST_THREADS when set to a valid positive integer, otherwise
+/// hardware_concurrency() (>= 1). Re-reads the environment on every call.
+int DefaultThreadCount();
+
+/// Deterministic data-parallel loop: invokes `body(chunk_begin, chunk_end)`
+/// over a fixed partition of [begin, end) whose chunk boundaries depend only
+/// on the range and `grain` — never on thread scheduling — so any body that
+/// writes disjoint per-index state produces bit-identical results for every
+/// ThreadCount(), including 1. Blocks until all chunks finish; rethrows the
+/// first (lowest-chunk) exception. Ranges shorter than `grain`, ThreadCount()
+/// == 1, and calls from inside a pool worker all run inline on the caller's
+/// thread (the nested-submit deadlock guard).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_THREAD_POOL_H_

@@ -1,0 +1,186 @@
+// The determinism contract of the parallel construction engine: every
+// threaded path (V-optimal DP layers, agglomerative extract, engine batch
+// refresh) must produce BIT-identical output for every thread count,
+// because the library's guarantees are deterministic (1+eps bounds, not
+// probabilistic ones).
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/agglomerative.h"
+#include "src/core/vopt_dp.h"
+#include "src/data/generators.h"
+#include "src/engine/query_engine.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+
+namespace streamhist {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+// Exact bit pattern of every bucket: EXPECT_EQ on doubles would also pass
+// for -0.0 vs 0.0; the contract is stronger.
+std::vector<uint64_t> BucketBits(const Histogram& h) {
+  std::vector<uint64_t> bits;
+  for (const Bucket& b : h.buckets()) {
+    bits.push_back(static_cast<uint64_t>(b.begin));
+    bits.push_back(static_cast<uint64_t>(b.end));
+    bits.push_back(std::bit_cast<uint64_t>(b.value));
+  }
+  return bits;
+}
+
+class ThreadCountRestorer {
+ public:
+  ~ThreadCountRestorer() { SetThreadCount(DefaultThreadCount()); }
+};
+
+TEST(ParallelDeterminismTest, VOptDpIsBitIdenticalAcrossThreadCounts) {
+  ThreadCountRestorer restore;
+// The DP is O(n^2 B); the unoptimized build keeps the same coverage at a
+// size that finishes in seconds.
+#ifdef NDEBUG
+  const int64_t n = 10000;
+#else
+  const int64_t n = 2500;
+#endif
+  const int64_t num_buckets = 64;
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, n, /*seed=*/42);
+
+  // One build per thread count in {1, 2, 8}; the threads=1 run is the serial
+  // baseline the others must match bit-for-bit.
+  std::vector<uint64_t> serial_bits;
+  uint64_t serial_error = 0;
+  for (const int threads : kThreadCounts) {
+    SetThreadCount(threads);
+    const OptimalHistogramResult result =
+        BuildVOptimalHistogram(data, num_buckets);
+    if (threads == 1) {
+      serial_bits = BucketBits(result.histogram);
+      serial_error = std::bit_cast<uint64_t>(result.error);
+      ASSERT_FALSE(serial_bits.empty());
+      continue;
+    }
+    EXPECT_EQ(BucketBits(result.histogram), serial_bits)
+        << "threads=" << threads;
+    EXPECT_EQ(std::bit_cast<uint64_t>(result.error), serial_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, VOptDpTestSeedsAreBitIdentical) {
+  ThreadCountRestorer restore;
+  // The seed sweep mirrors vopt_dp_test's generator usage at sizes where the
+  // parallel j-sweep actually splits into multiple chunks.
+  for (const uint64_t seed : {1u, 21u, 33u, 44u}) {
+    Random rng(seed);
+    std::vector<double> data;
+    for (int i = 0; i < 2000; ++i) data.push_back(rng.UniformDouble(0, 100));
+
+    SetThreadCount(1);
+    const OptimalHistogramResult serial = BuildVOptimalHistogram(data, 16);
+    const double serial_sse = OptimalSse(data, 16);
+    for (const int threads : kThreadCounts) {
+      SetThreadCount(threads);
+      const OptimalHistogramResult result = BuildVOptimalHistogram(data, 16);
+      EXPECT_EQ(BucketBits(result.histogram), BucketBits(serial.histogram))
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(std::bit_cast<uint64_t>(OptimalSse(data, 16)),
+                std::bit_cast<uint64_t>(serial_sse))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, AgglomerativeExtractIsBitIdentical) {
+  ThreadCountRestorer restore;
+  // 6k points at B=64 closes hundreds of intervals per level — enough that
+  // every Extract level fans out to multiple ParallelFor chunks — while
+  // staying fast under the Debug+ASan CI job.
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kRandomWalk, 6000, /*seed=*/5);
+  ApproxHistogramOptions options;
+  options.num_buckets = 64;
+  options.epsilon = 0.1;
+  AgglomerativeHistogram agg = AgglomerativeHistogram::Create(options).value();
+  agg.AppendBatch(data);
+
+  SetThreadCount(1);
+  const std::vector<uint64_t> serial_bits = BucketBits(agg.Extract());
+  for (const int threads : kThreadCounts) {
+    SetThreadCount(threads);
+    EXPECT_EQ(BucketBits(agg.Extract()), serial_bits) << "threads=" << threads;
+  }
+}
+
+// One full engine pass under a given thread count: multi-stream batch
+// append, parallel refresh, then the queryable surfaces.
+struct EngineFingerprint {
+  std::vector<std::vector<uint64_t>> window_buckets;
+  std::vector<std::string> describes;
+
+  bool operator==(const EngineFingerprint&) const = default;
+};
+
+EngineFingerprint RunEngineBatch(int threads) {
+  SetThreadCount(threads);
+  QueryEngine engine;
+  StreamConfig config;
+  config.window_size = 512;
+  config.num_buckets = 16;
+  config.epsilon = 0.1;
+
+  std::vector<StreamBatch> batches;
+  for (int s = 0; s < 6; ++s) {
+    const std::string name = "stream" + std::to_string(s);
+    EXPECT_TRUE(engine.CreateStream(name, config).ok());
+    batches.push_back(StreamBatch{
+        name, GenerateDataset(DatasetKind::kUtilization, 4096,
+                              /*seed=*/200 + static_cast<uint64_t>(s))});
+  }
+  EXPECT_TRUE(engine.AppendBatches(batches).ok());
+  engine.RefreshAll();
+
+  EngineFingerprint fp;
+  for (const StreamBatch& batch : batches) {
+    ManagedStream* stream = engine.GetStream(batch.name).value();
+    fp.window_buckets.push_back(
+        BucketBits(stream->window_histogram().Extract()));
+    fp.describes.push_back(engine.Execute("DESCRIBE " + batch.name).value());
+  }
+  return fp;
+}
+
+TEST(ParallelDeterminismTest, EngineBatchRefreshIsBitIdentical) {
+  ThreadCountRestorer restore;
+  const EngineFingerprint serial = RunEngineBatch(1);
+  ASSERT_EQ(serial.window_buckets.size(), 6u);
+  for (const int threads : kThreadCounts) {
+    EXPECT_TRUE(RunEngineBatch(threads) == serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, AppendBatchesRejectsDuplicatesAndUnknowns) {
+  ThreadCountRestorer restore;
+  SetThreadCount(2);
+  QueryEngine engine;
+  StreamConfig config;
+  config.window_size = 64;
+  ASSERT_TRUE(engine.CreateStream("a", config).ok());
+
+  const std::vector<StreamBatch> dup{{"a", {1.0}}, {"a", {2.0}}};
+  EXPECT_FALSE(engine.AppendBatches(dup).ok());
+  const std::vector<StreamBatch> unknown{{"a", {1.0}}, {"missing", {2.0}}};
+  EXPECT_FALSE(engine.AppendBatches(unknown).ok());
+  // Validation failed before any append: stream "a" saw no points.
+  EXPECT_EQ(engine.GetStream("a").value()->total_points(), 0);
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,116 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamhist {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdownIsClean) {
+  for (int n : {1, 2, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+    // Destructor joins idle workers without deadlock.
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerThreadsAreMarked) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  std::atomic<bool> marked{false};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&marked] { marked = ThreadPool::InWorkerThread(); });
+  }
+  EXPECT_TRUE(marked.load());
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  SetThreadCount(4);
+  std::vector<int> hits(10000, 0);
+  ParallelFor(0, 10000, /*grain=*/16, [&hits](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, EmptyAndTinyRanges) {
+  SetThreadCount(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&calls](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(3, 4, 64, [&calls](int64_t begin, int64_t end) {
+    EXPECT_EQ(begin, 3);
+    EXPECT_EQ(end, 4);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // below grain: runs inline as one chunk
+}
+
+TEST(ParallelForTest, PropagatesTheLowestChunkException) {
+  SetThreadCount(4);
+  try {
+    // Every chunk throws; the rethrown one must always be the lowest chunk,
+    // no matter which worker finished first.
+    ParallelFor(0, 1000, /*grain=*/10, [](int64_t begin, int64_t) {
+      throw std::runtime_error("chunk@" + std::to_string(begin));
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk@0");
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  SetThreadCount(2);
+  std::atomic<int64_t> total{0};
+  // Outer chunks occupy pool workers; the nested loop must not wait on the
+  // same (fully busy) pool or the test hangs.
+  ParallelFor(0, 8, /*grain=*/1, [&total](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      EXPECT_TRUE(ThreadPool::InWorkerThread() || ThreadCount() == 1);
+      ParallelFor(0, 100, /*grain=*/1, [&total](int64_t b, int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadCountTest, SetThreadCountOverrides) {
+  SetThreadCount(3);
+  EXPECT_EQ(ThreadCount(), 3);
+  SetThreadCount(1);
+  EXPECT_EQ(ThreadCount(), 1);
+}
+
+TEST(ThreadCountTest, EnvKnobParsesValidValues) {
+  ASSERT_EQ(setenv("STREAMHIST_THREADS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 5);
+  ASSERT_EQ(setenv("STREAMHIST_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);  // falls back to hardware_concurrency
+  ASSERT_EQ(setenv("STREAMHIST_THREADS", "0", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);
+  ASSERT_EQ(unsetenv("STREAMHIST_THREADS"), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace streamhist
