@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: repeatedly SIGKILL streamhist_tool while it is
+# checkpointing in a tight loop, then assert that whatever checkpoint file
+# survived on disk loads back completely. Because SaveCheckpoint writes to a
+# temp file and renames, a kill at ANY instant must leave either no
+# checkpoint or a complete one — a partial load here is a crash-safety bug.
+#
+# usage: crash_recovery_smoke.sh <path-to-streamhist_tool> [iterations]
+set -u
+
+TOOL="${1:?usage: crash_recovery_smoke.sh <path-to-streamhist_tool> [iterations]}"
+ITERATIONS="${2:-20}"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+CKPT="$WORK/engine.ckpt"
+
+# Writer session: build two streams, then append + checkpoint in a loop so a
+# random kill lands mid-save with high probability.
+{
+  echo "CREATE eth0 64 8"
+  echo "CREATE eth1 128 16"
+  for i in $(seq 1 300); do
+    echo "APPEND eth0 $i $((i + 1)) $((i + 2)) $((i * 3 % 97))"
+    echo "APPEND eth1 $((i * 7 % 101)) $((i * 13 % 89))"
+    echo "SAVE $CKPT"
+  done
+} > "$WORK/writer.shq"
+
+# Reader session: a complete checkpoint must load both streams and answer.
+{
+  echo "LOAD $CKPT"
+  echo "COUNT eth0"
+  echo "COUNT eth1"
+} > "$WORK/reader.shq"
+
+failures=0
+loads=0
+for iter in $(seq 1 "$ITERATIONS"); do
+  "$TOOL" console --script "$WORK/writer.shq" > /dev/null 2>&1 &
+  pid=$!
+  # Kill after a random sub-second delay so deaths sample the whole
+  # write/fsync/rename window across iterations.
+  sleep "0.0$((RANDOM % 10))$((RANDOM % 10))"
+  kill -9 "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+
+  if [ ! -f "$CKPT" ]; then
+    continue  # killed before the first save completed: a legal outcome
+  fi
+  loads=$((loads + 1))
+  out=$("$TOOL" console --script "$WORK/reader.shq" 2>&1)
+  status=$?
+  if [ "$status" -ne 0 ] || ! echo "$out" | grep -q "loaded 2 stream(s)"; then
+    echo "FAIL iteration $iter: checkpoint did not reload cleanly (exit $status)"
+    echo "$out"
+    failures=$((failures + 1))
+  fi
+  rm -f "$CKPT" "$CKPT.tmp"
+done
+
+echo "crash_recovery_smoke: $ITERATIONS kills, $loads checkpoints verified, $failures failures"
+if [ "$failures" -ne 0 ]; then
+  exit 1
+fi
+if [ "$loads" -eq 0 ]; then
+  echo "WARNING: no iteration survived to a first checkpoint; nothing verified"
+fi
+exit 0

@@ -1,8 +1,10 @@
 #include "src/core/agglomerative.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "src/util/framing.h"
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
 
@@ -224,6 +226,122 @@ Histogram AgglomerativeHistogram::Extract() const {
     buckets.push_back(Bucket{begin, end, mean});
   }
   return Histogram::FromBucketsUnchecked(std::move(buckets));
+}
+
+namespace {
+constexpr uint32_t kAgglomerativeMagic = 0x53484147;  // "SHAG"
+constexpr uint32_t kAgglomerativeVersion = 1;
+// Entry payload: p i64 + sum/sqsum long-double pairs + herror f64.
+constexpr size_t kBytesPerEntry = 8 + 16 + 16 + 8;
+
+bool FiniteLd(long double v) { return std::isfinite(static_cast<double>(v)); }
+}  // namespace
+
+std::string AgglomerativeHistogram::Serialize() const {
+  ByteWriter payload;
+  payload.PutI64(num_buckets_);
+  payload.PutF64(epsilon_);
+  payload.PutI64(count_);
+  payload.PutLongDouble(total_sum_);
+  payload.PutLongDouble(total_sqsum_);
+  payload.PutLongDouble(prev_sum_);
+  payload.PutLongDouble(prev_sqsum_);
+  for (double h : herr_cur_) payload.PutF64(h);
+  for (double h : herr_prev_) payload.PutF64(h);
+  for (size_t ki = 0; ki < queues_.size(); ++ki) {
+    payload.PutF64(open_start_herror_[ki]);
+    payload.PutBool(has_open_[ki]);
+    payload.PutU64(queues_[ki].size());
+    for (const Entry& e : queues_[ki]) {
+      payload.PutI64(e.p);
+      payload.PutLongDouble(e.sum);
+      payload.PutLongDouble(e.sqsum);
+      payload.PutF64(e.herror);
+    }
+  }
+  return WrapFrame(kAgglomerativeMagic, kAgglomerativeVersion,
+                   payload.bytes());
+}
+
+Result<AgglomerativeHistogram> AgglomerativeHistogram::Deserialize(
+    std::string_view bytes) {
+  STREAMHIST_ASSIGN_OR_RETURN(
+      FrameView frame,
+      UnwrapFrame(bytes, kAgglomerativeMagic, "agglomerative histogram"));
+  if (frame.version != kAgglomerativeVersion) {
+    return Status::InvalidArgument("unsupported agglomerative version");
+  }
+  ByteReader reader(frame.payload);
+  ApproxHistogramOptions options;
+  int64_t count = 0;
+  long double total_sum = 0.0L, total_sqsum = 0.0L, prev_sum = 0.0L,
+              prev_sqsum = 0.0L;
+  if (!reader.ReadI64(&options.num_buckets) ||
+      !reader.ReadF64(&options.epsilon) || !reader.ReadI64(&count) ||
+      !reader.ReadLongDouble(&total_sum) ||
+      !reader.ReadLongDouble(&total_sqsum) ||
+      !reader.ReadLongDouble(&prev_sum) ||
+      !reader.ReadLongDouble(&prev_sqsum)) {
+    return Status::InvalidArgument("truncated agglomerative header");
+  }
+  if (!std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument("agglomerative epsilon is not finite");
+  }
+  // Beyond any plausible bucket budget; also bounds the herr vector reads.
+  if (options.num_buckets > (int64_t{1} << 20)) {
+    return Status::InvalidArgument("agglomerative bucket budget too large");
+  }
+  STREAMHIST_ASSIGN_OR_RETURN(AgglomerativeHistogram hist, Create(options));
+  if (count < 0 || !FiniteLd(total_sum) || !FiniteLd(total_sqsum) ||
+      !FiniteLd(prev_sum) || !FiniteLd(prev_sqsum)) {
+    return Status::InvalidArgument("agglomerative totals violate invariants");
+  }
+  hist.count_ = count;
+  hist.total_sum_ = total_sum;
+  hist.total_sqsum_ = total_sqsum;
+  hist.prev_sum_ = prev_sum;
+  hist.prev_sqsum_ = prev_sqsum;
+  for (std::vector<double>* herr : {&hist.herr_cur_, &hist.herr_prev_}) {
+    for (double& h : *herr) {
+      if (!reader.ReadF64(&h) || !std::isfinite(h)) {
+        return Status::InvalidArgument("malformed agglomerative error table");
+      }
+    }
+  }
+  for (size_t ki = 0; ki < hist.queues_.size(); ++ki) {
+    uint64_t entries = 0;
+    bool has_open = false;
+    if (!reader.ReadF64(&hist.open_start_herror_[ki]) ||
+        !reader.ReadBool(&has_open) || !reader.ReadU64(&entries)) {
+      return Status::InvalidArgument("truncated agglomerative level");
+    }
+    hist.has_open_[ki] = has_open;
+    if (entries > reader.remaining() / kBytesPerEntry) {
+      return Status::InvalidArgument(
+          "agglomerative entry count exceeds payload");
+    }
+    auto& queue = hist.queues_[ki];
+    queue.reserve(entries);
+    int64_t last_p = 0;
+    for (uint64_t j = 0; j < entries; ++j) {
+      Entry e{};
+      if (!reader.ReadI64(&e.p) || !reader.ReadLongDouble(&e.sum) ||
+          !reader.ReadLongDouble(&e.sqsum) || !reader.ReadF64(&e.herror)) {
+        return Status::InvalidArgument("truncated agglomerative entries");
+      }
+      if (e.p <= last_p || e.p >= count || !FiniteLd(e.sum) ||
+          !FiniteLd(e.sqsum) || !std::isfinite(e.herror)) {
+        return Status::InvalidArgument(
+            "agglomerative entries violate invariants");
+      }
+      last_p = e.p;
+      queue.push_back(e);
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after agglomerative state");
+  }
+  return hist;
 }
 
 }  // namespace streamhist

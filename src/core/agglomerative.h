@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/histogram.h"
@@ -64,6 +66,16 @@ class AgglomerativeHistogram {
 
   /// The per-level slack delta = epsilon / (2B).
   double delta() const { return delta_; }
+
+  /// Serializes the complete streaming state — interval-endpoint snapshots,
+  /// open-interval thresholds, running totals — as a framed, CRC-protected
+  /// blob. A round-trip restores a bit-identical builder: Extract() and all
+  /// future Append()s behave exactly as on the original.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize; validates structure and invariants and never
+  /// aborts on hostile bytes.
+  static Result<AgglomerativeHistogram> Deserialize(std::string_view bytes);
 
   int64_t num_buckets() const { return num_buckets_; }
   double epsilon() const { return epsilon_; }

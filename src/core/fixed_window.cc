@@ -1,8 +1,10 @@
 #include "src/core/fixed_window.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "src/util/framing.h"
 #include "src/util/logging.h"
 
 namespace streamhist {
@@ -240,6 +242,61 @@ int64_t FixedWindowHistogram::last_total_intervals() const {
   int64_t total = 0;
   for (const auto& q : queues_) total += static_cast<int64_t>(q.size());
   return total;
+}
+
+namespace {
+constexpr uint32_t kFixedWindowMagic = 0x53484657;  // "SHFW"
+constexpr uint32_t kFixedWindowVersion = 1;
+}  // namespace
+
+std::string FixedWindowHistogram::Serialize() const {
+  ByteWriter payload;
+  payload.PutI64(options_.window_size);
+  payload.PutI64(options_.num_buckets);
+  payload.PutF64(options_.epsilon);
+  payload.PutBool(options_.rebuild_on_append);
+  payload.PutU32(static_cast<uint32_t>(options_.metric));
+  payload.PutLengthPrefixed(window_.Serialize());
+  return WrapFrame(kFixedWindowMagic, kFixedWindowVersion, payload.bytes());
+}
+
+Result<FixedWindowHistogram> FixedWindowHistogram::Deserialize(
+    std::string_view bytes) {
+  STREAMHIST_ASSIGN_OR_RETURN(
+      FrameView frame,
+      UnwrapFrame(bytes, kFixedWindowMagic, "fixed-window histogram"));
+  if (frame.version != kFixedWindowVersion) {
+    return Status::InvalidArgument("unsupported fixed-window version");
+  }
+  ByteReader reader(frame.payload);
+  FixedWindowOptions options;
+  uint32_t metric = 0;
+  std::string_view window_bytes;
+  if (!reader.ReadI64(&options.window_size) ||
+      !reader.ReadI64(&options.num_buckets) ||
+      !reader.ReadF64(&options.epsilon) ||
+      !reader.ReadBool(&options.rebuild_on_append) ||
+      !reader.ReadU32(&metric) ||
+      !reader.ReadLengthPrefixed(&window_bytes) || !reader.AtEnd()) {
+    return Status::InvalidArgument("malformed fixed-window payload");
+  }
+  if (metric > static_cast<uint32_t>(WindowErrorMetric::kMaxAbs)) {
+    return Status::InvalidArgument("unknown fixed-window error metric");
+  }
+  options.metric = static_cast<WindowErrorMetric>(metric);
+  if (!std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument("fixed-window epsilon is not finite");
+  }
+  STREAMHIST_ASSIGN_OR_RETURN(FixedWindowHistogram fw, Create(options));
+  STREAMHIST_ASSIGN_OR_RETURN(SlidingWindow window,
+                              SlidingWindow::Deserialize(window_bytes));
+  if (window.capacity() != options.window_size) {
+    return Status::InvalidArgument(
+        "window capacity disagrees with fixed-window options");
+  }
+  fw.window_ = std::move(window);
+  fw.dirty_ = true;  // interval lists rebuild lazily from the window
+  return fw;
 }
 
 }  // namespace streamhist

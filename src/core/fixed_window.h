@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/bucket_cost.h"
@@ -94,6 +96,18 @@ class FixedWindowHistogram {
   /// RangeSumWithBound (core/error_bounds.h) for certified query error
   /// bars. Requires the SSE metric (mean representatives).
   std::vector<double> BucketErrors();
+
+  /// Serializes options plus the complete sliding-window state as a framed,
+  /// CRC-protected blob. The interval lists and memo table are *not*
+  /// serialized: they are a deterministic function of the window contents
+  /// and are rebuilt lazily on the first query after Deserialize, so a
+  /// round-trip reproduces identical query answers at a fraction of the
+  /// checkpoint size.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize; validates structure and never aborts on hostile
+  /// bytes.
+  static Result<FixedWindowHistogram> Deserialize(std::string_view bytes);
 
   /// --- diagnostics for tests and benchmarks ---
   /// Number of HERROR evaluations during the most recent rebuild.

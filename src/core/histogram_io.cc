@@ -1,99 +1,61 @@
 #include "src/core/histogram_io.h"
 
+#include <cmath>
 #include <cstdint>
-#include <cstring>
+
+#include "src/util/framing.h"
 
 namespace streamhist {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x53484947;  // "SHIG"
-constexpr uint32_t kVersion = 1;
-
-void PutU32(std::string& out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out.append(buf, 4);
-}
-
-void PutU64(std::string& out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out.append(buf, 8);
-}
-
-void PutF64(std::string& out, double v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out.append(buf, 8);
-}
-
-class Reader {
- public:
-  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
-
-  bool ReadU32(uint32_t* v) { return Read(v, 4); }
-  bool ReadU64(uint64_t* v) { return Read(v, 8); }
-  bool ReadF64(double* v) { return Read(v, 8); }
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-
- private:
-  bool Read(void* out, size_t n) {
-    if (pos_ + n > bytes_.size()) return false;
-    std::memcpy(out, bytes_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-
-  const std::string& bytes_;
-  size_t pos_ = 0;
-};
+// v1 was an unchecksummed ad-hoc layout; v2 is the shared framed format
+// (magic + version + length + payload + CRC32C, util/framing.h).
+constexpr uint32_t kVersion = 2;
+constexpr size_t kBytesPerBucket = 24;  // begin u64 + end u64 + value f64
 
 }  // namespace
 
 std::string SerializeHistogram(const Histogram& histogram) {
-  std::string out;
-  out.reserve(16 + static_cast<size_t>(histogram.num_buckets()) * 24);
-  PutU32(out, kMagic);
-  PutU32(out, kVersion);
-  PutU64(out, static_cast<uint64_t>(histogram.num_buckets()));
+  ByteWriter payload;
+  payload.PutU64(static_cast<uint64_t>(histogram.num_buckets()));
   for (const Bucket& b : histogram.buckets()) {
-    PutU64(out, static_cast<uint64_t>(b.begin));
-    PutU64(out, static_cast<uint64_t>(b.end));
-    PutF64(out, b.value);
+    payload.PutI64(b.begin);
+    payload.PutI64(b.end);
+    payload.PutF64(b.value);
   }
-  return out;
+  return WrapFrame(kMagic, kVersion, payload.bytes());
 }
 
 Result<Histogram> DeserializeHistogram(const std::string& bytes) {
-  Reader reader(bytes);
-  uint32_t magic = 0, version = 0;
-  uint64_t count = 0;
-  if (!reader.ReadU32(&magic) || magic != kMagic) {
-    return Status::InvalidArgument("bad histogram magic");
-  }
-  if (!reader.ReadU32(&version) || version != kVersion) {
+  STREAMHIST_ASSIGN_OR_RETURN(FrameView frame,
+                              UnwrapFrame(bytes, kMagic, "histogram"));
+  if (frame.version != kVersion) {
     return Status::InvalidArgument("unsupported histogram version");
   }
+  ByteReader reader(frame.payload);
+  uint64_t count = 0;
   if (!reader.ReadU64(&count)) {
     return Status::InvalidArgument("truncated histogram header");
   }
-  // Guard the allocation against a corrupted count: each bucket occupies
-  // exactly 24 payload bytes.
-  if (count > (bytes.size() - 16) / 24) {
+  // Guard the allocation against a corrupted count.
+  if (count > reader.remaining() / kBytesPerBucket) {
     return Status::InvalidArgument("histogram bucket count exceeds payload");
   }
   std::vector<Bucket> buckets;
   buckets.reserve(count);
   for (uint64_t k = 0; k < count; ++k) {
-    uint64_t begin = 0, end = 0;
+    int64_t begin = 0, end = 0;
     double value = 0.0;
-    if (!reader.ReadU64(&begin) || !reader.ReadU64(&end) ||
+    if (!reader.ReadI64(&begin) || !reader.ReadI64(&end) ||
         !reader.ReadF64(&value)) {
       return Status::InvalidArgument("truncated histogram buckets");
     }
-    buckets.push_back(Bucket{static_cast<int64_t>(begin),
-                             static_cast<int64_t>(end), value});
+    if (!std::isfinite(value)) {
+      return Status::InvalidArgument("histogram bucket value is not finite");
+    }
+    buckets.push_back(Bucket{begin, end, value});
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after histogram");

@@ -8,10 +8,11 @@
 
 namespace streamhist {
 
-/// Compact binary serialization of a histogram (little-endian; magic +
-/// version + bucket triples), so sketches can be shipped off-box — e.g. a
-/// router exporting its window histogram to a collector, the deployment the
-/// paper's introduction motivates.
+/// Compact binary serialization of a histogram in the shared framed format
+/// (util/framing.h: magic + version + length + bucket triples + CRC32C), so
+/// sketches can be shipped off-box — e.g. a router exporting its window
+/// histogram to a collector, the deployment the paper's introduction
+/// motivates — and survive storage corruption detectably.
 std::string SerializeHistogram(const Histogram& histogram);
 
 /// Inverse of SerializeHistogram; validates structure and returns

@@ -1,5 +1,6 @@
 #include "src/data/io.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -38,6 +39,13 @@ Result<std::vector<double>> ReadSeriesCsv(const std::string& path) {
     if (end == field.c_str()) {
       std::ostringstream msg;
       msg << path << ":" << lineno << ": not a number: '" << field << "'";
+      return Status::InvalidArgument(msg.str());
+    }
+    // strtod happily parses "nan" and "inf"; a single such value would
+    // poison every prefix sum downstream, so reject it at the boundary.
+    if (!std::isfinite(v)) {
+      std::ostringstream msg;
+      msg << path << ":" << lineno << ": non-finite value: '" << field << "'";
       return Status::InvalidArgument(msg.str());
     }
     values.push_back(v);

@@ -1,7 +1,10 @@
 #include "src/engine/managed_stream.h"
 
+#include <cmath>
 #include <sstream>
 #include <utility>
+
+#include "src/util/framing.h"
 
 namespace streamhist {
 
@@ -42,6 +45,10 @@ ManagedStream::ManagedStream(const StreamConfig& config,
       window_(std::make_unique<FixedWindowHistogram>(std::move(window))) {}
 
 void ManagedStream::Append(double value) {
+  if (!std::isfinite(value)) {
+    ++dropped_nonfinite_;
+    return;
+  }
   window_->Append(value);
   if (lifetime_ != nullptr) lifetime_->Append(value);
   if (quantiles_ != nullptr) quantiles_->Insert(value);
@@ -77,7 +84,101 @@ std::string ManagedStream::Describe() {
     os << "; ~" << static_cast<int64_t>(distinct_->EstimateDistinct())
        << " distinct values";
   }
+  os << "; " << dropped_nonfinite_ << " non-finite dropped";
   return os.str();
+}
+
+namespace {
+constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
+constexpr uint32_t kStreamVersion = 1;
+}  // namespace
+
+std::string ManagedStream::Snapshot() const {
+  ByteWriter payload;
+  payload.PutI64(config_.window_size);
+  payload.PutI64(config_.num_buckets);
+  payload.PutF64(config_.epsilon);
+  payload.PutBool(config_.keep_lifetime_histogram);
+  payload.PutBool(config_.keep_quantiles);
+  payload.PutF64(config_.quantile_epsilon);
+  payload.PutBool(config_.keep_distinct);
+  payload.PutI64(dropped_nonfinite_);
+  payload.PutLengthPrefixed(window_->Serialize());
+  if (lifetime_ != nullptr) payload.PutLengthPrefixed(lifetime_->Serialize());
+  if (quantiles_ != nullptr) {
+    payload.PutLengthPrefixed(quantiles_->Serialize());
+  }
+  if (distinct_ != nullptr) payload.PutLengthPrefixed(distinct_->Serialize());
+  return WrapFrame(kStreamMagic, kStreamVersion, payload.bytes());
+}
+
+Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
+  STREAMHIST_ASSIGN_OR_RETURN(FrameView frame,
+                              UnwrapFrame(bytes, kStreamMagic, "stream"));
+  if (frame.version != kStreamVersion) {
+    return Status::InvalidArgument("unsupported stream snapshot version");
+  }
+  ByteReader reader(frame.payload);
+  StreamConfig config;
+  int64_t dropped = 0;
+  std::string_view window_bytes;
+  if (!reader.ReadI64(&config.window_size) ||
+      !reader.ReadI64(&config.num_buckets) ||
+      !reader.ReadF64(&config.epsilon) ||
+      !reader.ReadBool(&config.keep_lifetime_histogram) ||
+      !reader.ReadBool(&config.keep_quantiles) ||
+      !reader.ReadF64(&config.quantile_epsilon) ||
+      !reader.ReadBool(&config.keep_distinct) || !reader.ReadI64(&dropped) ||
+      !reader.ReadLengthPrefixed(&window_bytes)) {
+    return Status::InvalidArgument("truncated stream snapshot");
+  }
+  if (dropped < 0) {
+    return Status::InvalidArgument("stream drop counter violates invariants");
+  }
+  // Create() re-validates the config through every synopsis factory; the
+  // freshly built synopses are then replaced by the deserialized ones.
+  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream, Create(config));
+  stream.dropped_nonfinite_ = dropped;
+
+  STREAMHIST_ASSIGN_OR_RETURN(FixedWindowHistogram window,
+                              FixedWindowHistogram::Deserialize(window_bytes));
+  if (window.options().window_size != config.window_size ||
+      window.options().num_buckets != config.num_buckets) {
+    return Status::InvalidArgument(
+        "window synopsis disagrees with stream config");
+  }
+  *stream.window_ = std::move(window);
+
+  if (config.keep_lifetime_histogram) {
+    std::string_view sub;
+    if (!reader.ReadLengthPrefixed(&sub)) {
+      return Status::InvalidArgument("truncated lifetime histogram snapshot");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(AgglomerativeHistogram lifetime,
+                                AgglomerativeHistogram::Deserialize(sub));
+    *stream.lifetime_ = std::move(lifetime);
+  }
+  if (config.keep_quantiles) {
+    std::string_view sub;
+    if (!reader.ReadLengthPrefixed(&sub)) {
+      return Status::InvalidArgument("truncated quantile snapshot");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(GKSummary quantiles,
+                                GKSummary::Deserialize(sub));
+    *stream.quantiles_ = std::move(quantiles);
+  }
+  if (config.keep_distinct) {
+    std::string_view sub;
+    if (!reader.ReadLengthPrefixed(&sub)) {
+      return Status::InvalidArgument("truncated distinct-sketch snapshot");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(FMSketch distinct, FMSketch::Deserialize(sub));
+    *stream.distinct_ = std::move(distinct);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after stream snapshot");
+  }
+  return stream;
 }
 
 }  // namespace streamhist

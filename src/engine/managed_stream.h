@@ -5,6 +5,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "src/core/agglomerative.h"
 #include "src/core/fixed_window.h"
@@ -41,7 +42,10 @@ class ManagedStream {
   /// Validates the config (delegates to the synopsis factories).
   static Result<ManagedStream> Create(const StreamConfig& config);
 
-  /// Feeds one point to every maintained synopsis.
+  /// Feeds one point to every maintained synopsis. Non-finite values
+  /// (NaN/Inf) are quarantined — counted in dropped_nonfinite() and fed to
+  /// nothing — because a single NaN would irreversibly poison every
+  /// prefix-sum and SSE downstream.
   void Append(double value);
 
   /// Feeds a batch (synopses rebuild lazily, so batches are cheap).
@@ -71,13 +75,26 @@ class ManagedStream {
   /// Distinct-values sketch; null when disabled.
   const FMSketch* distinct() const { return distinct_.get(); }
 
+  /// Points rejected by Append because they were NaN or infinite.
+  int64_t dropped_nonfinite() const { return dropped_nonfinite_; }
+
   /// One-line status ("n=1024 window, 16 buckets, 120000 points seen, ...").
   std::string Describe();
+
+  /// Serializes the config plus every maintained synopsis as one framed,
+  /// CRC-protected blob — the unit of engine checkpoints. A restored stream
+  /// answers every query identically and ingests future points identically.
+  std::string Snapshot() const;
+
+  /// Inverse of Snapshot; validates structure and never aborts on hostile
+  /// bytes.
+  static Result<ManagedStream> Restore(std::string_view bytes);
 
  private:
   ManagedStream(const StreamConfig& config, FixedWindowHistogram window);
 
   StreamConfig config_;
+  int64_t dropped_nonfinite_ = 0;
   // unique_ptr keeps the type movable despite the large synopsis states.
   std::unique_ptr<FixedWindowHistogram> window_;
   std::unique_ptr<AgglomerativeHistogram> lifetime_;

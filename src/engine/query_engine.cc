@@ -5,8 +5,11 @@
 #include <charconv>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "src/core/error_bounds.h"
+#include "src/util/fileio.h"
+#include "src/util/framing.h"
 #include "src/util/thread_pool.h"
 
 namespace streamhist {
@@ -77,6 +80,20 @@ Result<std::pair<int64_t, int64_t>> ParseRange(
   }
   return Status::InvalidArgument("expected '<lo> <hi>' or 'LAST <k>'");
 }
+
+// Checkpoint container: one SHCP header frame carrying the stream count,
+// then one SHST frame per stream (length-prefixed name + snapshot blob).
+// Each frame carries its own CRC32C, so corruption is localized to one
+// section and the remaining streams still load.
+constexpr uint32_t kCheckpointMagic = 0x53484350;  // "SHCP"
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kSectionMagic = 0x53485354;  // "SHST"
+constexpr uint32_t kSectionVersion = 1;
+
+// The smallest possible whole frame (16-byte header + CRC trailer). ReadFrame
+// advances at least this far only when it consumed a complete frame — the
+// signal that resynchronizing on the next section is possible.
+constexpr size_t kMinFrameSize = 20;
 
 }  // namespace
 
@@ -164,6 +181,119 @@ std::vector<std::string> QueryEngine::ListStreams() const {
   return names;
 }
 
+std::string QueryEngine::CheckpointReport::ToString() const {
+  std::ostringstream os;
+  os << "loaded " << loaded.size() << " stream(s)";
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    os << (i == 0 ? ": " : " ") << loaded[i];
+  }
+  if (!dropped.empty()) {
+    os << "; dropped " << dropped.size() << ":";
+    for (const DroppedStream& d : dropped) {
+      os << " " << d.name << " [" << d.reason.ToString() << "]";
+    }
+  }
+  return os.str();
+}
+
+Status QueryEngine::SaveCheckpoint(const std::string& path) const {
+  ByteWriter header;
+  header.PutU64(streams_.size());
+  std::string file = WrapFrame(kCheckpointMagic, kCheckpointVersion,
+                               header.bytes());
+  for (const auto& [name, stream] : streams_) {
+    ByteWriter section;
+    section.PutLengthPrefixed(name);
+    section.PutLengthPrefixed(stream.Snapshot());
+    file += WrapFrame(kSectionMagic, kSectionVersion, section.bytes());
+  }
+  return AtomicWriteFile(path, file);
+}
+
+Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpoint(
+    const std::string& path) {
+  STREAMHIST_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+  ByteReader reader(file);
+  STREAMHIST_ASSIGN_OR_RETURN(
+      FrameView header, ReadFrame(reader, kCheckpointMagic, "checkpoint"));
+  if (header.version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  ByteReader header_reader(header.payload);
+  uint64_t declared = 0;
+  if (!header_reader.ReadU64(&declared) || !header_reader.AtEnd()) {
+    return Status::InvalidArgument("malformed checkpoint header payload");
+  }
+
+  // Everything below is partial recovery: the engine is only touched once
+  // parsing is complete, and a bad section costs that one stream.
+  CheckpointReport report;
+  std::map<std::string, ManagedStream> restored;
+  auto drop = [&report](std::string name, Status reason) {
+    report.dropped.push_back({std::move(name), std::move(reason)});
+  };
+  bool structural_loss = false;
+  for (uint64_t i = 0; i < declared; ++i) {
+    std::string label = "section " + std::to_string(i);
+    if (reader.AtEnd()) {
+      drop(std::move(label),
+           Status::InvalidArgument("checkpoint truncated before this section"));
+      continue;
+    }
+    const size_t before = reader.position();
+    Result<FrameView> section = ReadFrame(reader, kSectionMagic, "section");
+    if (!section.ok()) {
+      drop(std::move(label), section.status());
+      // A whole frame was consumed (CRC mismatch): the next section starts
+      // right here, so keep going. Anything shorter is structural damage —
+      // the next frame boundary is unknowable, so the tail is lost.
+      if (reader.position() - before >= kMinFrameSize) continue;
+      structural_loss = true;
+      for (uint64_t j = i + 1; j < declared; ++j) {
+        drop("section " + std::to_string(j),
+             Status::InvalidArgument("unreachable after structural damage"));
+      }
+      break;
+    }
+    if (section->version != kSectionVersion) {
+      drop(std::move(label),
+           Status::InvalidArgument("unsupported section version"));
+      continue;
+    }
+    ByteReader section_reader(section->payload);
+    std::string_view name_bytes, snapshot_bytes;
+    if (!section_reader.ReadLengthPrefixed(&name_bytes) ||
+        !section_reader.ReadLengthPrefixed(&snapshot_bytes) ||
+        !section_reader.AtEnd()) {
+      drop(std::move(label),
+           Status::InvalidArgument("malformed stream section payload"));
+      continue;
+    }
+    std::string name(name_bytes);
+    if (name.empty()) {
+      drop(std::move(label), Status::InvalidArgument("empty stream name"));
+      continue;
+    }
+    Result<ManagedStream> stream = ManagedStream::Restore(snapshot_bytes);
+    if (!stream.ok()) {
+      drop(std::move(name), stream.status());
+      continue;
+    }
+    if (!restored.emplace(name, std::move(*stream)).second) {
+      drop(std::move(name),
+           Status::InvalidArgument("duplicate stream name in checkpoint"));
+      continue;
+    }
+    report.loaded.push_back(std::move(name));
+  }
+  if (!structural_loss && !reader.AtEnd()) {
+    drop("(container)",
+         Status::InvalidArgument("trailing bytes after final section"));
+  }
+  streams_ = std::move(restored);
+  return report;
+}
+
 Result<std::string> QueryEngine::Execute(const std::string& statement) {
   const std::vector<std::string> tokens = Tokenize(statement);
   if (tokens.empty()) return Status::InvalidArgument("empty statement");
@@ -180,8 +310,45 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
   }
 
   if (tokens.size() < 2) {
-    return Status::InvalidArgument(verb + " requires a stream name");
+    return Status::InvalidArgument(verb + " requires an argument");
   }
+
+  if (verb == "CREATE") {
+    if (tokens.size() > 4) {
+      return Status::InvalidArgument("CREATE <stream> [<window> [<buckets>]]");
+    }
+    StreamConfig config;
+    if (tokens.size() >= 3) {
+      STREAMHIST_ASSIGN_OR_RETURN(config.window_size, ParseInt(tokens[2]));
+    }
+    if (tokens.size() == 4) {
+      STREAMHIST_ASSIGN_OR_RETURN(config.num_buckets, ParseInt(tokens[3]));
+    }
+    const Status status = CreateStream(tokens[1], config);
+    if (!status.ok()) return status;
+    return "created stream '" + tokens[1] + "'";
+  }
+  if (verb == "DROP") {
+    if (tokens.size() != 2) return Status::InvalidArgument("DROP <stream>");
+    const Status status = DropStream(tokens[1]);
+    if (!status.ok()) return status;
+    return "dropped stream '" + tokens[1] + "'";
+  }
+  if (verb == "SAVE") {
+    if (tokens.size() != 2) return Status::InvalidArgument("SAVE <path>");
+    const Status status = SaveCheckpoint(tokens[1]);
+    if (!status.ok()) return status;
+    std::ostringstream os;
+    os << "checkpointed " << streams_.size() << " stream(s) to " << tokens[1];
+    return os.str();
+  }
+  if (verb == "LOAD") {
+    if (tokens.size() != 2) return Status::InvalidArgument("LOAD <path>");
+    STREAMHIST_ASSIGN_OR_RETURN(CheckpointReport report,
+                                LoadCheckpoint(tokens[1]));
+    return report.ToString();
+  }
+
   STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(tokens[1]));
   const int64_t window_size = stream->window_histogram().window().size();
 
@@ -250,6 +417,25 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
   }
   if (verb == "ERROR") {
     return FormatNumber(stream->window_histogram().ApproxError());
+  }
+  if (verb == "APPEND") {
+    if (tokens.size() < 3) {
+      return Status::InvalidArgument("APPEND <stream> <v1> [v2 ...]");
+    }
+    std::vector<double> values;
+    values.reserve(tokens.size() - 2);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      STREAMHIST_ASSIGN_OR_RETURN(double v, ParseDouble(tokens[i]));
+      values.push_back(v);
+    }
+    const int64_t dropped_before = stream->dropped_nonfinite();
+    stream->AppendBatch(values);
+    const int64_t quarantined = stream->dropped_nonfinite() - dropped_before;
+    std::ostringstream os;
+    os << "appended " << (static_cast<int64_t>(values.size()) - quarantined)
+       << " point(s)";
+    if (quarantined > 0) os << ", quarantined " << quarantined << " non-finite";
+    return os.str();
   }
   if (verb == "DESCRIBE") {
     return stream->Describe();

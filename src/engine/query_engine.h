@@ -40,6 +40,11 @@ struct StreamBatch {
 ///   DESCRIBE <stream>             synopsis status line
 ///   SHOW <stream>                 the window histogram's buckets
 ///   LIST                          names of registered streams
+///   CREATE <stream> [<window> [<buckets>]]   register a stream
+///   APPEND <stream> <v1> [v2 ...] feed points (NaN/Inf quarantined)
+///   DROP <stream>                 unregister a stream
+///   SAVE <path>                   checkpoint every stream to a file
+///   LOAD <path>                   restore streams from a checkpoint
 class QueryEngine {
  public:
   QueryEngine() = default;
@@ -84,6 +89,34 @@ class QueryEngine {
   /// Parses and executes one query statement; the result is rendered as a
   /// human-readable string (numeric answers use shortest-round-trip format).
   Result<std::string> Execute(const std::string& statement);
+
+  /// What LoadCheckpoint managed to recover: sections it restored and
+  /// sections it had to discard (with the reason each was unusable).
+  struct CheckpointReport {
+    struct DroppedStream {
+      std::string name;  // section label when the name itself was corrupted
+      Status reason;
+    };
+    std::vector<std::string> loaded;
+    std::vector<DroppedStream> dropped;
+
+    bool fully_loaded() const { return dropped.empty(); }
+    /// One-line human-readable summary for console/tool output.
+    std::string ToString() const;
+  };
+
+  /// Atomically checkpoints every registered stream to `path` (write to a
+  /// temp file, fsync, rename): a crash mid-save leaves any previous
+  /// checkpoint at `path` intact. The file is a framed container with a
+  /// CRC32C per section, so corruption is detected per stream on load.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Replaces the registry with the checkpoint's streams. Recovery is
+  /// partial: a section whose CRC or contents are bad is dropped (reported
+  /// in the result) while every intact section still loads. Only when the
+  /// file itself is unreadable or its header frame is damaged does the call
+  /// fail outright — and then the engine is left unchanged.
+  Result<CheckpointReport> LoadCheckpoint(const std::string& path);
 
  private:
   std::map<std::string, ManagedStream> streams_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "src/util/framing.h"
 #include "src/util/logging.h"
 
 namespace streamhist {
@@ -82,6 +84,83 @@ double GKSummary::Quantile(double phi) const {
     prev_value = t.value;
   }
   return tuples_.back().value;
+}
+
+namespace {
+constexpr uint32_t kGkMagic = 0x5348474B;  // "SHGK"
+constexpr uint32_t kGkVersion = 1;
+constexpr size_t kBytesPerTuple = 8 + 8 + 8;  // value f64 + g i64 + delta i64
+}  // namespace
+
+std::string GKSummary::Serialize() const {
+  ByteWriter payload;
+  payload.PutF64(epsilon_);
+  payload.PutI64(count_);
+  payload.PutI64(inserts_since_compress_);
+  payload.PutU64(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    payload.PutF64(t.value);
+    payload.PutI64(t.g);
+    payload.PutI64(t.delta);
+  }
+  return WrapFrame(kGkMagic, kGkVersion, payload.bytes());
+}
+
+Result<GKSummary> GKSummary::Deserialize(std::string_view bytes) {
+  STREAMHIST_ASSIGN_OR_RETURN(FrameView frame,
+                              UnwrapFrame(bytes, kGkMagic, "GK summary"));
+  if (frame.version != kGkVersion) {
+    return Status::InvalidArgument("unsupported GK summary version");
+  }
+  ByteReader reader(frame.payload);
+  double epsilon = 0.0;
+  int64_t count = 0, inserts_since_compress = 0;
+  uint64_t num_tuples = 0;
+  if (!reader.ReadF64(&epsilon) || !reader.ReadI64(&count) ||
+      !reader.ReadI64(&inserts_since_compress) ||
+      !reader.ReadU64(&num_tuples)) {
+    return Status::InvalidArgument("truncated GK summary header");
+  }
+  if (!std::isfinite(epsilon)) {
+    return Status::InvalidArgument("GK epsilon is not finite");
+  }
+  STREAMHIST_ASSIGN_OR_RETURN(GKSummary summary, Create(epsilon));
+  if (count < 0 || inserts_since_compress < 0 ||
+      (count > 0) != (num_tuples > 0)) {
+    return Status::InvalidArgument("GK counters violate invariants");
+  }
+  if (num_tuples > reader.remaining() / kBytesPerTuple ||
+      num_tuples > static_cast<uint64_t>(count)) {
+    return Status::InvalidArgument("GK tuple count exceeds payload");
+  }
+  summary.count_ = count;
+  summary.inserts_since_compress_ = inserts_since_compress;
+  summary.tuples_.reserve(num_tuples);
+  int64_t rank_total = 0;
+  double last_value = -std::numeric_limits<double>::infinity();
+  for (uint64_t j = 0; j < num_tuples; ++j) {
+    Tuple t{};
+    if (!reader.ReadF64(&t.value) || !reader.ReadI64(&t.g) ||
+        !reader.ReadI64(&t.delta)) {
+      return Status::InvalidArgument("truncated GK tuples");
+    }
+    // Sorted by value, positive g, non-negative delta: the invariants
+    // Quantile's rank walk relies on.
+    if (!std::isfinite(t.value) || t.value < last_value || t.g < 1 ||
+        t.delta < 0) {
+      return Status::InvalidArgument("GK tuples violate invariants");
+    }
+    last_value = t.value;
+    rank_total += t.g;
+    summary.tuples_.push_back(t);
+  }
+  if (rank_total > count) {
+    return Status::InvalidArgument("GK ranks exceed insertion count");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after GK summary");
+  }
+  return summary;
 }
 
 }  // namespace streamhist

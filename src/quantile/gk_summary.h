@@ -2,6 +2,8 @@
 #define STREAMHIST_QUANTILE_GK_SUMMARY_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/result.h"
@@ -35,6 +37,15 @@ class GKSummary {
   int64_t num_tuples() const { return static_cast<int64_t>(tuples_.size()); }
 
   double epsilon() const { return epsilon_; }
+
+  /// Serializes the summary (tuples + counters) as a framed, CRC-protected
+  /// blob; a round-trip restores identical quantile answers and identical
+  /// future insert behavior.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize; validates the GK tuple invariants and never
+  /// aborts on hostile bytes.
+  static Result<GKSummary> Deserialize(std::string_view bytes);
 
  private:
   explicit GKSummary(double epsilon) : epsilon_(epsilon) {}

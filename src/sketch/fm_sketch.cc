@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/util/framing.h"
+
 namespace streamhist {
 
 namespace {
@@ -78,6 +80,53 @@ Status FMSketch::Merge(const FMSketch& other) {
   }
   items_added_ += other.items_added_;
   return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kFmMagic = 0x5348464D;  // "SHFM"
+constexpr uint32_t kFmVersion = 1;
+}  // namespace
+
+std::string FMSketch::Serialize() const {
+  ByteWriter payload;
+  payload.PutU64(seed_);
+  payload.PutI64(items_added_);
+  payload.PutU64(bitmaps_.size());
+  for (uint64_t bitmap : bitmaps_) payload.PutU64(bitmap);
+  return WrapFrame(kFmMagic, kFmVersion, payload.bytes());
+}
+
+Result<FMSketch> FMSketch::Deserialize(std::string_view bytes) {
+  STREAMHIST_ASSIGN_OR_RETURN(FrameView frame,
+                              UnwrapFrame(bytes, kFmMagic, "FM sketch"));
+  if (frame.version != kFmVersion) {
+    return Status::InvalidArgument("unsupported FM sketch version");
+  }
+  ByteReader reader(frame.payload);
+  uint64_t seed = 0, num_bitmaps = 0;
+  int64_t items_added = 0;
+  if (!reader.ReadU64(&seed) || !reader.ReadI64(&items_added) ||
+      !reader.ReadU64(&num_bitmaps)) {
+    return Status::InvalidArgument("truncated FM sketch header");
+  }
+  if (items_added < 0) {
+    return Status::InvalidArgument("FM item count violates invariants");
+  }
+  if (num_bitmaps != reader.remaining() / 8 ||
+      num_bitmaps > (uint64_t{1} << 31)) {
+    return Status::InvalidArgument("FM bitmap count exceeds payload");
+  }
+  STREAMHIST_ASSIGN_OR_RETURN(
+      FMSketch sketch,
+      Create(static_cast<int64_t>(num_bitmaps), seed));
+  sketch.items_added_ = items_added;
+  for (uint64_t& bitmap : sketch.bitmaps_) {
+    reader.ReadU64(&bitmap);  // size pre-validated above
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after FM sketch");
+  }
+  return sketch;
 }
 
 }  // namespace streamhist

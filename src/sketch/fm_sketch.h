@@ -2,6 +2,8 @@
 #define STREAMHIST_SKETCH_FM_SKETCH_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/util/result.h"
@@ -41,6 +43,13 @@ class FMSketch {
   /// Merges another sketch built with the same shape and seed (union
   /// semantics). Returns InvalidArgument on shape/seed mismatch.
   Status Merge(const FMSketch& other);
+
+  /// Serializes seed, counters, and bitmaps as a framed, CRC-protected
+  /// blob; a round-trip restores identical estimates and merge behavior.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize; never aborts on hostile bytes.
+  static Result<FMSketch> Deserialize(std::string_view bytes);
 
  private:
   FMSketch(int64_t num_bitmaps, uint64_t seed);

@@ -1,8 +1,23 @@
 #include "src/stream/sliding_window.h"
 
+#include <cmath>
+
+#include "src/util/framing.h"
 #include "src/util/logging.h"
 
 namespace streamhist {
+
+namespace {
+
+constexpr uint32_t kWindowMagic = 0x53485357;  // "SHSW"
+constexpr uint32_t kWindowVersion = 1;
+// Guards the capacity-sized allocations against a corrupted header; a
+// 128M-point window is far beyond any supported configuration.
+constexpr int64_t kMaxWindowCapacity = int64_t{1} << 27;
+// Per-point payload: value f64 + two long doubles as (hi, lo) pairs.
+constexpr size_t kBytesPerPoint = 8 + 16 + 16;
+
+}  // namespace
 
 SlidingWindow::SlidingWindow(int64_t capacity) : capacity_(capacity) {
   STREAMHIST_CHECK_GT(capacity, 0);
@@ -102,6 +117,92 @@ double SlidingWindow::SqError(int64_t i, int64_t j) const {
   const long double q = CumSqSum(j - 1) - CumSqSumBefore(i);
   const long double err = q - s * s / static_cast<long double>(j - i);
   return err > 0.0L ? static_cast<double>(err) : 0.0;
+}
+
+std::string SlidingWindow::Serialize() const {
+  ByteWriter payload;
+  payload.PutI64(capacity_);
+  payload.PutI64(size_);
+  payload.PutI64(total_appended_);
+  payload.PutI64(appends_since_rebase_);
+  payload.PutI64(rebase_count_);
+  payload.PutLongDouble(offset_);
+  payload.PutLongDouble(running_sum_);
+  payload.PutLongDouble(running_sqsum_);
+  payload.PutLongDouble(base_sum_);
+  payload.PutLongDouble(base_sqsum_);
+  // Live entries in logical (oldest-first) order; the restored window packs
+  // them from slot 0, which preserves every logical-index query.
+  for (int64_t i = 0; i < size_; ++i) {
+    const size_t slot = Slot(i);
+    payload.PutF64(values_[slot]);
+    payload.PutLongDouble(cum_sum_[slot]);
+    payload.PutLongDouble(cum_sqsum_[slot]);
+  }
+  return WrapFrame(kWindowMagic, kWindowVersion, payload.bytes());
+}
+
+Result<SlidingWindow> SlidingWindow::Deserialize(std::string_view bytes) {
+  STREAMHIST_ASSIGN_OR_RETURN(FrameView frame,
+                              UnwrapFrame(bytes, kWindowMagic, "window"));
+  if (frame.version != kWindowVersion) {
+    return Status::InvalidArgument("unsupported window version");
+  }
+  ByteReader reader(frame.payload);
+  int64_t capacity = 0, size = 0, total_appended = 0, appends_since_rebase = 0,
+          rebase_count = 0;
+  long double offset = 0.0L, running_sum = 0.0L, running_sqsum = 0.0L,
+              base_sum = 0.0L, base_sqsum = 0.0L;
+  if (!reader.ReadI64(&capacity) || !reader.ReadI64(&size) ||
+      !reader.ReadI64(&total_appended) ||
+      !reader.ReadI64(&appends_since_rebase) ||
+      !reader.ReadI64(&rebase_count) || !reader.ReadLongDouble(&offset) ||
+      !reader.ReadLongDouble(&running_sum) ||
+      !reader.ReadLongDouble(&running_sqsum) ||
+      !reader.ReadLongDouble(&base_sum) ||
+      !reader.ReadLongDouble(&base_sqsum)) {
+    return Status::InvalidArgument("truncated window header");
+  }
+  if (capacity < 1 || capacity > kMaxWindowCapacity) {
+    return Status::InvalidArgument("window capacity out of range");
+  }
+  if (size < 0 || size > capacity || total_appended < size ||
+      appends_since_rebase < 0 || appends_since_rebase >= capacity + 1 ||
+      rebase_count < 0) {
+    return Status::InvalidArgument("window counters violate invariants");
+  }
+  if (reader.remaining() != static_cast<size_t>(size) * kBytesPerPoint) {
+    return Status::InvalidArgument("window payload size mismatch");
+  }
+  if (!std::isfinite(static_cast<double>(offset))) {
+    return Status::InvalidArgument("window offset is not finite");
+  }
+  SlidingWindow window(capacity);
+  window.size_ = size;
+  window.total_appended_ = total_appended;
+  window.appends_since_rebase_ = appends_since_rebase;
+  window.rebase_count_ = rebase_count;
+  window.offset_ = offset;
+  window.running_sum_ = running_sum;
+  window.running_sqsum_ = running_sqsum;
+  window.base_sum_ = base_sum;
+  window.base_sqsum_ = base_sqsum;
+  for (int64_t i = 0; i < size; ++i) {
+    double value = 0.0;
+    long double cum = 0.0L, cumsq = 0.0L;
+    reader.ReadF64(&value);  // sizes pre-validated above
+    reader.ReadLongDouble(&cum);
+    reader.ReadLongDouble(&cumsq);
+    if (!std::isfinite(value) || !std::isfinite(static_cast<double>(cum)) ||
+        !std::isfinite(static_cast<double>(cumsq))) {
+      return Status::InvalidArgument("window contains non-finite values");
+    }
+    const size_t slot = static_cast<size_t>(i);  // restored head_ is 0
+    window.values_[slot] = value;
+    window.cum_sum_[slot] = cum;
+    window.cum_sqsum_[slot] = cumsq;
+  }
+  return window;
 }
 
 }  // namespace streamhist

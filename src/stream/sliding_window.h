@@ -3,7 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
+
+#include "src/util/result.h"
 
 namespace streamhist {
 
@@ -67,6 +71,16 @@ class SlidingWindow {
 
   /// Number of O(n) rebases performed so far (exposed for tests/benches).
   int64_t rebase_count() const { return rebase_count_; }
+
+  /// Serializes the complete window state — values, cumulative sums, shift
+  /// epoch, counters — as a framed, CRC-protected blob (util/framing.h).
+  /// Deserialize restores a bit-identical window, so every query answer and
+  /// every future append behaves exactly as on the original.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize; validates structure, bounds, and finiteness, and
+  /// returns InvalidArgument (never aborts) on hostile bytes.
+  static Result<SlidingWindow> Deserialize(std::string_view bytes);
 
  private:
   // Physical slot of logical index i.

@@ -1,7 +1,10 @@
 #include "src/tools/cli.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 
@@ -11,6 +14,7 @@
 #include "src/core/vopt_dp.h"
 #include "src/data/generators.h"
 #include "src/data/io.h"
+#include "src/engine/query_engine.h"
 
 namespace streamhist {
 
@@ -34,14 +38,17 @@ std::map<std::string, std::string> ParseFlags(
 }
 
 int Usage(std::ostream& err) {
-  err << "usage: streamhist_tool <generate|build|query|inspect> [flags]\n"
+  err << "usage: streamhist_tool <generate|build|query|inspect|console>"
+         " [flags]\n"
          "  generate --kind K --n N [--seed S] --out series.csv\n"
          "  build --input series.csv --buckets B [--epsilon E]\n"
          "        [--algorithm vopt|agglomerative|greedy|equiwidth|maxdiff]\n"
          "        --out hist.bin\n"
          "  query --histogram hist.bin SUM <lo> <hi> | AVG <lo> <hi> |"
          " POINT <i>\n"
-         "  inspect --histogram hist.bin\n";
+         "  inspect --histogram hist.bin\n"
+         "  console [--script file]   engine statements from stdin or file\n"
+         "          (CREATE/APPEND/SUM/.../SAVE <path>/LOAD <path>)\n";
   return 2;
 }
 
@@ -100,6 +107,11 @@ int Build(const std::map<std::string, std::string>& flags, std::ostream& out,
   const int64_t buckets = std::atoll(flags.at("buckets").c_str());
   if (buckets <= 0) {
     err << "build: --buckets must be positive\n";
+    return 2;
+  }
+  if (buckets > static_cast<int64_t>(series.value().size())) {
+    err << "build: --buckets (" << buckets << ") exceeds series length ("
+        << series.value().size() << ")\n";
     return 2;
   }
   const double epsilon =
@@ -208,6 +220,42 @@ int Inspect(const std::map<std::string, std::string>& flags, std::ostream& out,
   return 0;
 }
 
+/// Line-at-a-time QueryEngine session: statements from stdin (interactive)
+/// or a script file. Failed statements print an error and the session keeps
+/// going — one bad query should not kill a long-running console. EXIT/QUIT
+/// ends the session.
+int Console(const std::map<std::string, std::string>& flags, std::ostream& out,
+            std::ostream& err) {
+  std::ifstream script;
+  std::istream* in = &std::cin;
+  if (flags.contains("script")) {
+    script.open(flags.at("script"));
+    if (!script.is_open()) {
+      err << "console: cannot open script: " << flags.at("script") << "\n";
+      return 1;
+    }
+    in = &script;
+  }
+  QueryEngine engine;
+  std::string line;
+  while (std::getline(*in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string statement = line.substr(first);
+    std::string head = statement.substr(0, statement.find_first_of(" \t\r"));
+    std::transform(head.begin(), head.end(), head.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (head == "EXIT" || head == "QUIT") break;
+    const Result<std::string> result = engine.Execute(statement);
+    if (result.ok()) {
+      out << result.value() << "\n";
+    } else {
+      err << "error: " << result.status() << "\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -220,6 +268,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (args[0] == "build") return Build(flags, out, err);
   if (args[0] == "query") return Query(flags, positional, out, err);
   if (args[0] == "inspect") return Inspect(flags, out, err);
+  if (args[0] == "console") return Console(flags, out, err);
   return Usage(err);
 }
 

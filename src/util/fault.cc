@@ -1,0 +1,108 @@
+#include "src/util/fault.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace streamhist {
+namespace fault {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // point name -> times it fired while armed
+  std::map<std::string, int64_t> armed;
+  std::map<std::string, int64_t> fired;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+// Parse STREAMHIST_FAULTS once, before main touches any fault point.
+const bool g_env_parsed = [] {
+  if (const char* spec = std::getenv("STREAMHIST_FAULTS")) {
+    ArmFromSpec(spec);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace internal {
+
+bool TriggeredSlow(const char* point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.armed.find(point);
+  if (it == registry.armed.end()) return false;
+  ++it->second;
+  ++registry.fired[point];
+  return true;
+}
+
+}  // namespace internal
+
+void Arm(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.armed.emplace(point, 0).second) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ArmFromSpec(const std::string& spec) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    // Trim surrounding whitespace.
+    size_t lo = begin, hi = end;
+    while (lo < hi && std::isspace(static_cast<unsigned char>(spec[lo]))) ++lo;
+    while (hi > lo && std::isspace(static_cast<unsigned char>(spec[hi - 1]))) {
+      --hi;
+    }
+    if (hi > lo) Arm(spec.substr(lo, hi - lo));
+    begin = end + 1;
+  }
+}
+
+void Disarm(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.armed.erase(point) > 0) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  internal::g_armed_count.fetch_sub(
+      static_cast<int64_t>(registry.armed.size()), std::memory_order_relaxed);
+  registry.armed.clear();
+  registry.fired.clear();
+}
+
+int64_t TriggerCount(const std::string& point) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.fired.find(point);
+  return it == registry.fired.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Armed() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.armed.size());
+  for (const auto& [name, count] : registry.armed) names.push_back(name);
+  return names;
+}
+
+}  // namespace fault
+}  // namespace streamhist

@@ -1,0 +1,80 @@
+#ifndef STREAMHIST_UTIL_FAULT_H_
+#define STREAMHIST_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamhist {
+namespace fault {
+
+/// Injectable failure-point registry for crash-safety testing. Production
+/// code guards a simulated failure with Triggered("point.name"); tests (or
+/// the STREAMHIST_FAULTS environment variable, a comma-separated list of
+/// point names parsed at process start) arm points to force the failure.
+///
+/// Disabled cost: one relaxed atomic load — no string work, no locks — so
+/// the hooks can stay compiled into release binaries.
+///
+/// Points currently wired (see util/fileio.cc):
+///   fileio.short_write   AtomicWriteFile persists only half the bytes, then
+///                        fails before renaming (torn-write / ENOSPC crash)
+///   fileio.fsync         fsync of the temp file reports failure
+///   fileio.rename        the atomic rename reports failure
+///   fileio.read.bitflip  ReadFileToString flips one bit of the middle byte
+///   fileio.read.truncate ReadFileToString drops the trailing half
+
+namespace internal {
+// Number of currently armed points; the fast path for the disabled case.
+inline std::atomic<int64_t> g_armed_count{0};
+bool TriggeredSlow(const char* point);
+}  // namespace internal
+
+/// True when `point` is armed: the caller must simulate the failure. Also
+/// increments the point's trigger counter (see TriggerCount).
+inline bool Triggered(const char* point) {
+  if (internal::g_armed_count.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return internal::TriggeredSlow(point);
+}
+
+/// Arms a failure point. Idempotent.
+void Arm(const std::string& point);
+
+/// Arms every point in a comma-separated spec ("a.b,c.d"); empty names are
+/// skipped. This is the STREAMHIST_FAULTS parser, exposed for tests.
+void ArmFromSpec(const std::string& spec);
+
+/// Disarms one point (no-op when not armed).
+void Disarm(const std::string& point);
+
+/// Disarms everything and resets trigger counters.
+void DisarmAll();
+
+/// How many times `point` fired while armed (for test assertions that a
+/// fault path was actually exercised).
+int64_t TriggerCount(const std::string& point);
+
+/// Currently armed point names, sorted.
+std::vector<std::string> Armed();
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string point) : point_(std::move(point)) {
+    Arm(point_);
+  }
+  ~ScopedFault() { Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace fault
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_FAULT_H_

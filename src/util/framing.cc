@@ -1,0 +1,186 @@
+#include "src/util/framing.h"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+namespace streamhist {
+
+namespace {
+
+// CRC32C lookup table (reflected polynomial 0x82F63B78), built once.
+std::array<uint32_t, 256> BuildCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> table = BuildCrc32cTable();
+  return table;
+}
+
+Status FrameError(const char* what, const char* detail) {
+  std::ostringstream msg;
+  msg << "malformed " << what << " frame: " << detail;
+  return Status::InvalidArgument(msg.str());
+}
+
+// Frame layout: magic u32 + version u32 + payload_len u64 header, then the
+// payload, then a crc32c u32 trailer covering header + payload.
+constexpr size_t kFrameHeaderSize = 16;
+constexpr size_t kFrameTrailerSize = 4;
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view bytes, uint32_t crc) {
+  const std::array<uint32_t, 256>& table = Crc32cTable();
+  crc = ~crc;
+  for (unsigned char byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out_.append(buf, 4);
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out_.append(buf, 8);
+}
+
+void ByteWriter::PutF64(double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out_.append(buf, 8);
+}
+
+void ByteWriter::PutLongDouble(long double v) {
+  const double hi = static_cast<double>(v);
+  const double lo = static_cast<double>(v - static_cast<long double>(hi));
+  PutF64(hi);
+  PutF64(lo);
+}
+
+void ByteWriter::PutBool(bool v) { out_.push_back(v ? '\1' : '\0'); }
+
+void ByteWriter::PutLengthPrefixed(std::string_view bytes) {
+  PutU64(bytes.size());
+  out_.append(bytes);
+}
+
+bool ByteReader::Read(void* out, size_t n) {
+  if (remaining() < n) return false;
+  std::memcpy(out, bytes_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* v) { return Read(v, 4); }
+bool ByteReader::ReadU64(uint64_t* v) { return Read(v, 8); }
+
+bool ByteReader::ReadI64(int64_t* v) {
+  uint64_t u = 0;
+  if (!ReadU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool ByteReader::ReadF64(double* v) { return Read(v, 8); }
+
+bool ByteReader::ReadLongDouble(long double* v) {
+  double hi = 0.0, lo = 0.0;
+  if (!ReadF64(&hi) || !ReadF64(&lo)) return false;
+  *v = static_cast<long double>(hi) + static_cast<long double>(lo);
+  return true;
+}
+
+bool ByteReader::ReadBool(bool* v) {
+  char c = 0;
+  if (!Read(&c, 1)) return false;
+  *v = c != '\0';
+  return true;
+}
+
+bool ByteReader::ReadLengthPrefixed(std::string_view* out) {
+  uint64_t len = 0;
+  if (!ReadU64(&len)) return false;
+  if (len > remaining()) return false;
+  *out = bytes_.substr(pos_, static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return true;
+}
+
+bool ByteReader::Skip(size_t n) {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+std::string_view ByteReader::Window(size_t begin, size_t end) const {
+  return bytes_.substr(begin, end - begin);
+}
+
+std::string WrapFrame(uint32_t magic, uint32_t version,
+                      std::string_view payload) {
+  ByteWriter w;
+  w.PutU32(magic);
+  w.PutU32(version);
+  w.PutU64(payload.size());
+  w.Append(payload);
+  const uint32_t crc = Crc32c(w.bytes());
+  w.PutU32(crc);
+  return w.TakeBytes();
+}
+
+Result<FrameView> UnwrapFrame(std::string_view bytes, uint32_t magic,
+                              const char* what) {
+  ByteReader reader(bytes);
+  STREAMHIST_ASSIGN_OR_RETURN(FrameView frame, ReadFrame(reader, magic, what));
+  if (!reader.AtEnd()) return FrameError(what, "trailing bytes after frame");
+  return frame;
+}
+
+Result<FrameView> ReadFrame(ByteReader& reader, uint32_t magic,
+                            const char* what) {
+  const size_t frame_start = reader.position();
+  uint32_t got_magic = 0, version = 0;
+  uint64_t payload_len = 0;
+  if (!reader.ReadU32(&got_magic)) return FrameError(what, "truncated magic");
+  if (got_magic != magic) return FrameError(what, "bad magic");
+  if (!reader.ReadU32(&version)) return FrameError(what, "truncated version");
+  if (!reader.ReadU64(&payload_len)) {
+    return FrameError(what, "truncated length");
+  }
+  if (payload_len > reader.remaining() ||
+      reader.remaining() - static_cast<size_t>(payload_len) <
+          kFrameTrailerSize) {
+    return FrameError(what, "declared payload exceeds available bytes");
+  }
+  const size_t payload_start = reader.position();
+  reader.Skip(static_cast<size_t>(payload_len));
+  uint32_t stored_crc = 0;
+  reader.ReadU32(&stored_crc);  // in bounds per the check above
+  // The reader is now past the whole frame, so on a CRC mismatch a container
+  // parser can still resynchronize on the next section.
+  const std::string_view covered = reader.Window(
+      frame_start, payload_start + static_cast<size_t>(payload_len));
+  if (Crc32c(covered) != stored_crc) return FrameError(what, "crc mismatch");
+  return FrameView{
+      version,
+      reader.Window(payload_start,
+                    payload_start + static_cast<size_t>(payload_len))};
+}
+
+}  // namespace streamhist

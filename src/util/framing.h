@@ -1,0 +1,109 @@
+#ifndef STREAMHIST_UTIL_FRAMING_H_
+#define STREAMHIST_UTIL_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// CRC32C (Castagnoli) over `bytes`, chained through `crc` (pass the previous
+/// return value to extend a running checksum). The same polynomial iSCSI and
+/// ext4 use; chosen over CRC32 for its better burst-error detection.
+uint32_t Crc32c(std::string_view bytes, uint32_t crc = 0);
+
+/// Little-endian byte-string builder for the framed serialization format
+/// shared by every synopsis (the generalization of histogram_io's original
+/// ad-hoc writer). All integers are fixed-width little-endian; doubles are
+/// IEEE-754 bit patterns.
+class ByteWriter {
+ public:
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF64(double v);
+  /// Exact long-double round-trip as a (hi, lo) double pair: hi carries the
+  /// leading 53 mantissa bits, lo the residual. Portable across libcs that
+  /// differ in long-double width, unlike a raw memcpy of the 16-byte slot
+  /// (whose padding bytes are also indeterminate).
+  void PutLongDouble(long double v);
+  void PutBool(bool v);
+  /// u64 length followed by the raw bytes — for nested sub-blobs.
+  void PutLengthPrefixed(std::string_view bytes);
+  void Append(std::string_view bytes) { out_.append(bytes); }
+
+  size_t size() const { return out_.size(); }
+  const std::string& bytes() const& { return out_; }
+  std::string TakeBytes() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a byte view. Every Read returns
+/// false on underrun instead of touching out-of-range memory, so hostile
+/// bytes can never fault the parser.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI64(int64_t* v);
+  bool ReadF64(double* v);
+  bool ReadLongDouble(long double* v);
+  bool ReadBool(bool* v);
+  /// Reads a u64 length then a view of that many bytes (no copy).
+  bool ReadLengthPrefixed(std::string_view* out);
+  /// Advances past `n` bytes; false (without moving) on underrun.
+  bool Skip(size_t n);
+  /// A view of absolute byte range [begin, end) of the underlying buffer.
+  std::string_view Window(size_t begin, size_t end) const;
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  /// The unread tail (does not advance).
+  std::string_view Rest() const { return bytes_.substr(pos_); }
+
+ private:
+  bool Read(void* out, size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// A self-delimiting frame, the unit of every serialized synopsis and of
+/// checkpoint-file sections:
+///
+///   magic u32 | version u32 | payload_len u64 | payload | crc32c u32
+///
+/// The CRC covers magic..payload, so any single-bit flip anywhere in the
+/// frame (header included) is detected.
+std::string WrapFrame(uint32_t magic, uint32_t version,
+                      std::string_view payload);
+
+struct FrameView {
+  uint32_t version = 0;
+  std::string_view payload;
+};
+
+/// Parses and validates a frame that must span `bytes` exactly (trailing
+/// bytes are an error). Checks magic, structural bounds, and the CRC; the
+/// version is returned for the caller to dispatch on. `what` names the
+/// expected content in error messages ("histogram", "checkpoint", ...).
+Result<FrameView> UnwrapFrame(std::string_view bytes, uint32_t magic,
+                              const char* what);
+
+/// Streamed variant for container files: reads one frame at the reader's
+/// position and advances past it. On a CRC mismatch the reader is still
+/// advanced past the frame when the declared length is in bounds, so the
+/// caller can skip a corrupted section and resynchronize on the next one.
+Result<FrameView> ReadFrame(ByteReader& reader, uint32_t magic,
+                            const char* what);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_FRAMING_H_

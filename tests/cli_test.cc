@@ -1,5 +1,6 @@
 #include "src/tools/cli.h"
 
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -107,6 +108,67 @@ TEST_F(CliTest, ErrorPaths) {
   EXPECT_EQ(RunTool({"query", "--histogram", hist_, "MEDIAN", "1"}).code, 2);
 }
 
+TEST_F(CliTest, BuildRejectsNonFiniteCsv) {
+  std::ofstream f(csv_);
+  f << "1.0\nnan\n2.0\n";
+  f.close();
+  const CliResult r =
+      RunTool({"build", "--input", csv_, "--buckets", "2", "--out", hist_});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("non-finite"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find(":2:"), std::string::npos) << r.err;  // line number
+}
+
+TEST_F(CliTest, BuildRejectsBucketsBeyondSeriesLength) {
+  ASSERT_EQ(RunTool({"generate", "--n", "50", "--out", csv_}).code, 0);
+  const CliResult r =
+      RunTool({"build", "--input", csv_, "--buckets", "51", "--out", hist_});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("exceeds series length"), std::string::npos) << r.err;
+}
+
+TEST_F(CliTest, ConsoleRunsScriptAndCheckpoints) {
+  const std::string script = dir_ + "/session.shq";
+  const std::string ckpt = dir_ + "/console.ckpt";
+  {
+    std::ofstream f(script);
+    f << "# build a stream, checkpoint it, survive one bad statement\n"
+      << "CREATE eth0 64 8\n"
+      << "APPEND eth0 1 2 3 4 5\n"
+      << "SAVE " << ckpt << "\n"
+      << "FROBNICATE eth0\n"
+      << "COUNT eth0\n"
+      << "exit\n"
+      << "DESCRIBE eth0\n";  // after EXIT: must not run
+  }
+  const CliResult r = RunTool({"console", "--script", script});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("created stream 'eth0'"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("appended 5 point(s)"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("checkpointed 1 stream(s)"), std::string::npos);
+  EXPECT_NE(r.err.find("error:"), std::string::npos) << r.err;
+  EXPECT_NE(r.out.find("5\n"), std::string::npos);
+  EXPECT_EQ(r.out.find("points seen"), std::string::npos);  // EXIT honored
+
+  // A fresh console session recovers the checkpointed stream.
+  const std::string script2 = dir_ + "/recover.shq";
+  {
+    std::ofstream f(script2);
+    f << "LOAD " << ckpt << "\nCOUNT eth0\n";
+  }
+  const CliResult recovered = RunTool({"console", "--script", script2});
+  EXPECT_EQ(recovered.code, 0);
+  EXPECT_NE(recovered.out.find("loaded 1 stream(s): eth0"), std::string::npos)
+      << recovered.out;
+  EXPECT_NE(recovered.out.find("5\n"), std::string::npos) << recovered.out;
+}
+
+TEST_F(CliTest, ConsoleMissingScriptFileFails) {
+  const CliResult r = RunTool({"console", "--script", dir_ + "/nope.shq"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open script"), std::string::npos);
+}
+
 // Engine parser fuzz: arbitrary statements must never crash, only return
 // errors or answers.
 TEST(EngineFuzzTest, RandomStatementsNeverCrash) {
@@ -124,7 +186,8 @@ TEST(EngineFuzzTest, RandomStatementsNeverCrash) {
       "SUM",  "AVG",   "POINT", "QUANTILE", "DISTINCT", "COUNT", "ERROR",
       "SHOW", "LIST",  "s",     "missing",  "LAST",     "0",     "10",
       "32",   "-5",    "1e308", "abc",      "0.5",      "--",    "",
-      "9999999999999999999",    "SUMBOUND", "AVGBOUND"};
+      "9999999999999999999",    "SUMBOUND", "AVGBOUND",
+      "CREATE", "APPEND", "DROP", "nan",    "inf"};
   for (int trial = 0; trial < 2000; ++trial) {
     std::string statement;
     const int64_t tokens = rng.UniformInt(0, 5);

@@ -11,6 +11,7 @@
 #include "src/core/vopt_dp.h"
 #include "src/data/generators.h"
 #include "src/quantile/reservoir.h"
+#include "src/util/framing.h"
 #include "src/util/random.h"
 
 namespace streamhist {
@@ -94,12 +95,19 @@ TEST(SerializationTest, RejectsTrailingBytes) {
 }
 
 TEST(SerializationTest, RejectsStructurallyInvalidBuckets) {
-  // Hand-craft a payload with a gap between buckets: deserialization must
-  // run the same validation as Histogram::Make.
-  const Histogram h = Histogram::FromBucketsUnchecked({Bucket{0, 2, 1.0}});
-  std::string bytes = SerializeHistogram(h);
-  // Patch the begin field (offset 16) from 0 to 1.
-  bytes[16] = 1;
+  // Hand-craft a frame (valid magic, version, and CRC) whose buckets have a
+  // gap: deserialization must run the same validation as Histogram::Make,
+  // not just the checksum.
+  ByteWriter payload;
+  payload.PutU64(2);  // bucket count
+  payload.PutI64(0);
+  payload.PutI64(2);
+  payload.PutF64(1.0);
+  payload.PutI64(3);  // gap: previous bucket ended at 2
+  payload.PutI64(5);
+  payload.PutF64(2.0);
+  const std::string bytes =
+      WrapFrame(/*magic=*/0x53484947, /*version=*/2, payload.bytes());
   EXPECT_FALSE(DeserializeHistogram(bytes).ok());
 }
 
