@@ -6,6 +6,12 @@
 // engine batch construction across streams), writing a machine-readable JSON
 // artifact so later PRs have a perf trajectory. See EXPERIMENTS.md for the
 // schema and flags (--pr1_threads, --pr1_streams, --pr1_smoke, --pr1_dp_full).
+//
+// PR3 mode: `bench_micro --pr3_json=BENCH_PR3.json` times the exact O(n^2 B)
+// V-optimal DP against the (1+delta)-approximate interval-cover DP across an
+// (n, B, delta) grid and records realized approximation ratios against the
+// certified (1+delta)^(B-1) bound. Flags: --pr3_threads, --pr3_smoke. See
+// EXPERIMENTS.md for the schema and the exact-DP feasibility policy.
 
 #include <cstdio>
 #include <fstream>
@@ -17,6 +23,8 @@
 
 #include "bench/common.h"
 #include "src/core/agglomerative.h"
+#include "src/core/approx_dp.h"
+#include "src/core/error_bounds.h"
 #include "src/core/fixed_window.h"
 #include "src/core/heuristics.h"
 #include "src/core/vopt_dp.h"
@@ -450,11 +458,214 @@ int RunBenchPr1(int argc, char** argv) {
   return all_identical ? 0 : 2;
 }
 
+// --- PR3: exact vs (1+delta)-approximate V-optimal DP ---
+
+namespace {
+
+struct Pr3Row {
+  int64_t n = 0;
+  int64_t num_buckets = 0;
+  double delta = 0.0;
+  double approx_seconds = 0.0;
+  double approx_sse = 0.0;
+  double dp_error = 0.0;
+  double bound_factor = 1.0;
+  int64_t cost_evals = 0;
+  int64_t max_cover_size = 0;
+  // The exact DP is only timed where O(n^2 B) is feasible on one machine;
+  // rows with exact_measured == false omit the exact/ratio fields.
+  bool exact_measured = false;
+  double exact_seconds = 0.0;
+  double exact_sse = 0.0;
+  double speedup = 0.0;        // exact_seconds / approx_seconds
+  double realized_ratio = 0.0; // approx_sse / exact_sse (1.0 when exact == 0)
+  bool within_bound = true;
+};
+
+// Certified-bound check with the same float slack the property tests use:
+// two independently-accumulated long-double sums compared through doubles.
+bool RatioWithinBound(double approx_sse, double exact_sse, double bound) {
+  return approx_sse <= bound * exact_sse * (1.0 + 1e-9) + 1e-6;
+}
+
+}  // namespace
+
+int RunBenchPr3(int argc, char** argv) {
+  using bench::FlagInt;
+  using bench::FlagStr;
+  const std::string out_path = FlagStr(argc, argv, "pr3_json", "");
+  const int threads = static_cast<int>(
+      FlagInt(argc, argv, "pr3_threads", DefaultThreadCount()));
+  if (threads < 1) {
+    std::fprintf(stderr, "bench_micro: --pr3_threads must be >= 1 (got %d)\n",
+                 threads);
+    return 1;
+  }
+  const bool smoke = FlagInt(argc, argv, "pr3_smoke", 0) != 0;
+
+  // Full grid per EXPERIMENTS.md. The exact DP at n=1e5 B=64 already takes
+  // tens of minutes serial; n=1e6 (and n=1e5 B=256) exact runs are days of
+  // work, so the feasibility policy below skips them and those rows carry
+  // only approximate-side numbers.
+  std::vector<int64_t> n_grid{10000, 100000, 1000000};
+  std::vector<int64_t> bucket_grid{16, 64, 256};
+  std::vector<double> delta_grid{0.5, 0.1, 0.01};
+  if (smoke) {
+    // CI perf-smoke grid: small enough that the exact DP is measured on
+    // every row, and it includes the (n=5e4, B=64, delta=0.1) gate cell.
+    n_grid = {20000, 50000};
+    bucket_grid = {16, 64};
+    delta_grid = {0.5, 0.1};
+  }
+  const auto exact_feasible = [&](int64_t n, int64_t num_buckets) {
+    if (smoke) return true;
+    return n <= 10000 || (n <= 100000 && num_buckets <= 64);
+  };
+
+  bench::Banner("BENCH_PR3: exact vs (1+delta)-approximate V-optimal DP "
+                "(threads=" + std::to_string(threads) + ")");
+  SetThreadCount(threads);
+  std::vector<Pr3Row> rows;
+  bool all_within_bound = true;
+  bool gate_speedup_ok = true;  // smoke gate: approx faster at 5e4/64/0.1
+  for (const int64_t n : n_grid) {
+    const std::vector<double> data =
+        GenerateDataset(DatasetKind::kUtilization, n, /*seed=*/7);
+    for (const int64_t num_buckets : bucket_grid) {
+      // Exact DP once per (n, B); it does not depend on delta.
+      const bool run_exact = exact_feasible(n, num_buckets);
+      double exact_seconds = 0.0;
+      double exact_sse = 0.0;
+      if (run_exact) {
+        Timer timer;
+        exact_sse = OptimalSse(data, num_buckets);
+        exact_seconds = timer.ElapsedSeconds();
+        std::printf("  exact  n=%lld B=%lld sse=%.6g %.3fs\n",
+                    static_cast<long long>(n),
+                    static_cast<long long>(num_buckets), exact_sse,
+                    exact_seconds);
+        std::fflush(stdout);
+      }
+      for (const double delta : delta_grid) {
+        Pr3Row row;
+        row.n = n;
+        row.num_buckets = num_buckets;
+        row.delta = delta;
+        Timer timer;
+        const ApproxHistogramResult approx =
+            BuildApproxVOptimalHistogram(data, num_buckets, delta);
+        row.approx_seconds = timer.ElapsedSeconds();
+        row.approx_sse = approx.sse;
+        row.dp_error = approx.dp_error;
+        row.bound_factor = approx.bound_factor;
+        row.cost_evals = approx.cost_evals;
+        row.max_cover_size = approx.max_cover_size;
+        row.exact_measured = run_exact;
+        if (run_exact) {
+          row.exact_seconds = exact_seconds;
+          row.exact_sse = exact_sse;
+          row.speedup =
+              row.approx_seconds > 0.0 ? exact_seconds / row.approx_seconds
+                                       : 0.0;
+          row.realized_ratio =
+              exact_sse > 0.0 ? approx.sse / exact_sse : 1.0;
+          row.within_bound =
+              RatioWithinBound(approx.sse, exact_sse, row.bound_factor);
+          if (smoke && n == 50000 && num_buckets == 64 && delta == 0.1 &&
+              row.speedup <= 1.0) {
+            gate_speedup_ok = false;
+          }
+        } else {
+          // No exact reference: the internal DP objective still certifies
+          // realized_sse <= dp_error <= bound * OPT.
+          row.within_bound = approx.sse <= row.dp_error * (1.0 + 1e-9) + 1e-9;
+        }
+        all_within_bound &= row.within_bound;
+        rows.push_back(row);
+        if (run_exact) {
+          std::printf("  approx n=%lld B=%lld delta=%.3g %.3fs speedup=%.1fx "
+                      "ratio=%.6f bound=%.3g %s\n",
+                      static_cast<long long>(n),
+                      static_cast<long long>(num_buckets), delta,
+                      row.approx_seconds, row.speedup, row.realized_ratio,
+                      row.bound_factor,
+                      row.within_bound ? "ok" : "BOUND VIOLATED");
+        } else {
+          std::printf("  approx n=%lld B=%lld delta=%.3g %.3fs sse=%.6g "
+                      "(exact skipped) %s\n",
+                      static_cast<long long>(n),
+                      static_cast<long long>(num_buckets), delta,
+                      row.approx_seconds, row.approx_sse,
+                      row.within_bound ? "ok" : "DP INCONSISTENT");
+        }
+        std::fflush(stdout);
+      }
+    }
+  }
+  SetThreadCount(DefaultThreadCount());
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(std::string("BENCH_PR3"))
+      .Key("schema_version").Value(int64_t{1})
+      .Key("threads").Value(static_cast<int64_t>(threads))
+      .Key("hardware_threads").Value(static_cast<int64_t>(DefaultThreadCount()))
+      .Key("smoke").Value(smoke)
+      .Key("dataset").Value(std::string("utilization"))
+      .Key("exact_policy")
+      .Value(std::string(
+          smoke ? "smoke grid: exact DP measured on every row"
+                : "exact DP measured only at n<=1e4 (all B) and n=1e5 "
+                  "(B<=64); larger cells are infeasible at O(n^2 B)"))
+      .Key("rows").BeginArray();
+  for (const Pr3Row& row : rows) {
+    json.BeginObject()
+        .Key("n").Value(row.n)
+        .Key("B").Value(row.num_buckets)
+        .Key("delta").Value(row.delta)
+        .Key("approx_seconds").Value(row.approx_seconds)
+        .Key("approx_sse").Value(row.approx_sse)
+        .Key("dp_error").Value(row.dp_error)
+        .Key("bound_factor").Value(row.bound_factor)
+        .Key("cost_evals").Value(row.cost_evals)
+        .Key("max_cover_size").Value(row.max_cover_size)
+        .Key("exact_measured").Value(row.exact_measured);
+    if (row.exact_measured) {
+      json.Key("exact_seconds").Value(row.exact_seconds)
+          .Key("exact_sse").Value(row.exact_sse)
+          .Key("speedup").Value(row.speedup)
+          .Key("realized_ratio").Value(row.realized_ratio);
+    }
+    json.Key("within_bound").Value(row.within_bound).EndObject();
+  }
+  json.EndArray().EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!all_within_bound) return 2;
+  if (!gate_speedup_ok) {
+    std::fprintf(stderr,
+                 "bench_micro: approx DP not faster than exact at the "
+                 "n=50000 B=64 delta=0.1 smoke gate\n");
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace streamhist
 
 int main(int argc, char** argv) {
   if (!streamhist::bench::FlagStr(argc, argv, "pr1_json", "").empty()) {
     return streamhist::RunBenchPr1(argc, argv);
+  }
+  if (!streamhist::bench::FlagStr(argc, argv, "pr3_json", "").empty()) {
+    return streamhist::RunBenchPr3(argc, argv);
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

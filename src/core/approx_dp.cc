@@ -1,0 +1,183 @@
+#include "src/core/approx_dp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/error_bounds.h"
+#include "src/core/vopt_kernel.h"
+#include "src/stream/prefix_sums.h"
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+
+namespace streamhist {
+
+namespace {
+
+using vopt_internal::kDpGrain;
+
+// Right-endpoints of the maximal (1+delta)-growth intervals covering the
+// non-decreasing `prev` over [lo, hi]: starting at a = lo, each interval
+// extends to the furthest c with prev[c] <= (1+delta) * prev[a] (binary
+// search — this is where monotonicity pays), then the next interval starts
+// at c+1. Ascending, all within [lo, hi], and always containing hi (the last
+// interval ends there). For values spanning [m, M] the cover has
+// O(delta^-1 * log(M/m)) intervals, the paper's O(delta^-1 log n) under
+// polynomially bounded input.
+std::vector<int32_t> GeometricCover(const double* prev, int64_t lo, int64_t hi,
+                                    double delta) {
+  std::vector<int32_t> endpoints;
+  const double growth = 1.0 + delta;
+  int64_t a = lo;
+  while (a <= hi) {
+    const double limit = growth * prev[a];
+    int64_t left = a;
+    int64_t right = hi;
+    while (left < right) {  // max c in [a, hi] with prev[c] <= limit
+      const int64_t mid = left + (right - left + 1) / 2;
+      if (prev[mid] <= limit) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    endpoints.push_back(static_cast<int32_t>(left));
+    a = left + 1;
+  }
+  return endpoints;
+}
+
+template <typename CostT>
+ApproxHistogramResult BuildApproxImpl(const CostT& cost, int64_t num_buckets,
+                                      double delta) {
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  STREAMHIST_CHECK(std::isfinite(delta) && delta >= 0.0);
+  const int64_t n = cost.size();
+  if (n == 0) return ApproxHistogramResult{};
+  const int64_t b_max = std::min(num_buckets, n);
+
+  // Same layer/backtrack layout as the exact kernel (vopt_kernel.h).
+  std::vector<double> herror_prev(static_cast<size_t>(n) + 1);
+  std::vector<double> herror(static_cast<size_t>(n) + 1);
+  std::vector<std::vector<int32_t>> back(
+      static_cast<size_t>(b_max) + 1,
+      std::vector<int32_t>(static_cast<size_t>(n) + 1, 0));
+
+  vopt_internal::FillFirstLayer(cost, n, herror_prev.data(), back[1].data());
+  int64_t cost_evals = n;
+  int64_t max_cover = 0;
+  // HERROR[., 1] is mathematically non-decreasing (cost of a widening prefix
+  // bucket); the clamp only irons out float rounding so the binary-searched
+  // cover below stays sound.
+  for (int64_t j = 1; j <= n; ++j) {
+    herror_prev[j] = std::max(herror_prev[j], herror_prev[j - 1]);
+  }
+
+  for (int64_t k = 2; k <= b_max; ++k) {
+    const std::vector<int32_t> cover =
+        GeometricCover(herror_prev.data(), k - 1, n - 1, delta);
+    max_cover = std::max(max_cover, static_cast<int64_t>(cover.size()));
+
+    herror[0] = 0.0;
+    const double* prev = herror_prev.data();
+    double* cur = herror.data();
+    int32_t* back_k = back[static_cast<size_t>(k)].data();
+    const int32_t* ep = cover.data();
+    const int64_t ep_n = static_cast<int64_t>(cover.size());
+    ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+      for (int64_t j = j_begin; j < j_end; ++j) {
+        if (j <= k) {  // exact: j singleton buckets
+          cur[j] = 0.0;
+          back_k[j] = static_cast<int32_t>(j - 1);
+          continue;
+        }
+        // Candidate i = j-1 first: a width-1 last bucket costs 0 by the
+        // BucketCost contract, no evaluation needed. It also completes the
+        // cover argument — an i whose interval reaches past j-2 is
+        // dominated by j-1 (prev[j-1] <= (1+delta) * prev[i] within one
+        // interval of the monotone curve).
+        double best = prev[j - 1];
+        int64_t best_i = j - 1;
+        // Interval endpoints <= j-2, scanned descending: ties keep the
+        // largest i (and j-1 beats an equal-valued endpoint), the
+        // deterministic analogue of the exact kernel's descending scan.
+        int64_t t =
+            std::upper_bound(ep, ep + ep_n, static_cast<int32_t>(j - 2)) - ep;
+        for (--t; t >= 0; --t) {
+          const int64_t i = ep[t];
+          const double candidate = prev[i] + cost.Cost(i, j);
+          if (candidate < best) {
+            best = candidate;
+            best_i = i;
+          }
+        }
+        cur[j] = best;
+        back_k[j] = static_cast<int32_t>(best_i);
+      }
+    });
+
+    // Deterministic account of the pruned work (Cost calls this layer).
+    {
+      int64_t t = 0;
+      for (int64_t j = k + 1; j <= n; ++j) {
+        while (t < ep_n && ep[t] <= j - 2) ++t;
+        cost_evals += t;
+      }
+    }
+
+    // Monotone clamp. The raw approximate layer is only quasi-monotone
+    // (adjacent values can dip within the (1+delta) slack), which would
+    // break the next layer's binary-searched cover. Raising each value to
+    // the running max (a) restores exact monotonicity, (b) keeps
+    // AHERROR >= HERROR — values only go up — and (c) preserves
+    // AHERROR[j, k] <= (1+delta)^(k-1) * HERROR[j, k]: the clamp replaces a
+    // value with AHERROR[j', k] for some j' < j, and the exact curve is
+    // itself non-decreasing, so the inductive bound transfers from j'.
+    for (int64_t j = 1; j <= n; ++j) {
+      cur[j] = std::max(cur[j], cur[j - 1]);
+    }
+    std::swap(herror, herror_prev);
+  }
+
+  const double dp_error = herror_prev[static_cast<size_t>(n)];
+  const std::vector<int64_t> boundaries =
+      vopt_internal::BacktrackBoundaries(back, n, b_max);
+
+  // Realized SSE of the backtracked histogram. It never exceeds dp_error:
+  // backpointers were recorded pre-clamp, and the clamp only raises DP
+  // values above the true cost of the partition they describe.
+  long double realized = 0.0L;
+  for (size_t t = 0; t + 1 < boundaries.size(); ++t) {
+    realized += cost.Cost(boundaries[t], boundaries[t + 1]);
+  }
+
+  ApproxHistogramResult result;
+  result.histogram = Histogram::FromBucketsUnchecked(
+      vopt_internal::BucketsFromBoundaries(cost, boundaries));
+  result.sse = static_cast<double>(realized);
+  result.dp_error = dp_error;
+  result.bound_factor = ApproxDpBoundFactor(b_max, delta);
+  result.cost_evals = cost_evals;
+  result.max_cover_size = max_cover;
+  return result;
+}
+
+}  // namespace
+
+ApproxHistogramResult BuildApproxHistogram(const BucketCost& cost,
+                                           int64_t num_buckets, double delta) {
+  if (const auto* sse = dynamic_cast<const SseBucketCost*>(&cost)) {
+    return BuildApproxImpl(vopt_internal::SseFlatCost(sse->sums()),
+                           num_buckets, delta);
+  }
+  return BuildApproxImpl(cost, num_buckets, delta);
+}
+
+ApproxHistogramResult BuildApproxVOptimalHistogram(std::span<const double> data,
+                                                   int64_t num_buckets,
+                                                   double delta) {
+  const PrefixSums sums(data);
+  return BuildApproxImpl(vopt_internal::SseFlatCost(sums), num_buckets, delta);
+}
+
+}  // namespace streamhist

@@ -1,0 +1,73 @@
+#ifndef STREAMHIST_CORE_APPROX_DP_H_
+#define STREAMHIST_CORE_APPROX_DP_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/bucket_cost.h"
+#include "src/core/histogram.h"
+
+namespace streamhist {
+
+/// Result of the (1+delta)-approximate histogram DP.
+struct ApproxHistogramResult {
+  Histogram histogram;
+
+  /// Realized SSE (total bucket cost) of `histogram` — recomputed from the
+  /// cost function over the backtracked boundaries, not the DP value.
+  double sse = 0.0;
+
+  /// The DP's internal objective AHERROR[n, B]; sse <= dp_error always.
+  double dp_error = 0.0;
+
+  /// The certified factor: sse <= bound_factor * OPT, where OPT is the exact
+  /// optimum with the same bucket budget. Equals (1+delta)^(B'-1) with B' the
+  /// effective number of layers min(num_buckets, n)
+  /// (error_bounds.h, ApproxDpBoundFactor).
+  double bound_factor = 1.0;
+
+  /// Inner-loop cost evaluations performed (deterministic; diagnostic for
+  /// the O(n * delta^-1 * log n) vs O(n^2) per-layer claim).
+  int64_t cost_evals = 0;
+
+  /// Largest per-layer interval-cover size encountered (diagnostic).
+  int64_t max_cover_size = 0;
+};
+
+/// The paper's approximate offline DP (section 3): per layer k, the exact
+/// recurrence
+///
+///   HERROR[j, k] = min_{i} HERROR[i, k-1] + SQERROR(i, j)
+///
+/// is relaxed by covering the non-decreasing HERROR[., k-1] curve with
+/// geometric intervals — maximal runs over which the value grows by at most
+/// a (1+delta) factor, found by binary search — and evaluating candidates
+/// only at interval right-endpoints (plus i = j-1). Each layer loses at most
+/// (1+delta), compounding to the certified (1+delta)^(B-1) bound reported in
+/// the result. Runtime per layer is O(n * (cover size + log n)) with cover
+/// size O(delta^-1 log(n * value-range)) instead of the exact DP's O(n^2).
+///
+/// delta == 0 degenerates the cover to one endpoint per distinct value run;
+/// the result then matches the exact DP value (and its boundaries, up to
+/// cost ties). Requires num_buckets > 0 and finite delta >= 0, plus the
+/// interval-domination property Cost(i', j) <= Cost(i, j) for i' >= i —
+/// i.e. shrinking a bucket never raises its cost, true of every point-wise
+/// additive (or max-based) cost in bucket_cost.h (the paper's footnote 3
+/// class).
+///
+/// Deterministic and thread-count-invariant like the exact DP: the j-sweep
+/// of each layer is data-parallel with fixed chunking, the interval cover is
+/// built serially from the finished previous layer, and `cost.Cost` must
+/// tolerate concurrent const calls (all BucketCost implementations do).
+ApproxHistogramResult BuildApproxHistogram(const BucketCost& cost,
+                                           int64_t num_buckets, double delta);
+
+/// Convenience wrapper: approximate SSE (V-optimal) histogram of `data`,
+/// routed through the devirtualized prefix-sum inner loop.
+ApproxHistogramResult BuildApproxVOptimalHistogram(std::span<const double> data,
+                                                   int64_t num_buckets,
+                                                   double delta);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_CORE_APPROX_DP_H_

@@ -24,11 +24,21 @@ SaeBucketCost::SaeBucketCost(std::span<const double> data)
 double SaeBucketCost::Cost(int64_t i, int64_t j) const {
   STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
   if (j - i <= 1) return 0.0;
-  const double median = Representative(i, j);
+  // The absolute-deviation sum is the same for every value between the lower
+  // and upper median, so the upper median alone suffices here (even though
+  // Representative() reports the pair midpoint for even widths): one
+  // nth_element selects it in O(w) expected time and a single pass over the
+  // scratch copy accumulates the sum. thread_local scratch because the DP
+  // sweeps call Cost concurrently from ParallelFor workers.
+  thread_local std::vector<double> scratch;
+  scratch.assign(data_.begin() + static_cast<ptrdiff_t>(i),
+                 data_.begin() + static_cast<ptrdiff_t>(j));
+  const size_t mid = scratch.size() / 2;
+  std::nth_element(scratch.begin(), scratch.begin() + static_cast<ptrdiff_t>(mid),
+                   scratch.end());
+  const double median = scratch[mid];
   long double total = 0.0L;
-  for (int64_t k = i; k < j; ++k) {
-    total += std::fabs(data_[static_cast<size_t>(k)] - median);
-  }
+  for (const double v : scratch) total += std::fabs(v - median);
   return static_cast<double>(total);
 }
 

@@ -39,13 +39,18 @@ class SseBucketCost : public BucketCost {
   double Representative(int64_t i, int64_t j) const override;
   int64_t size() const override { return sums_.size(); }
 
+  /// The underlying prefix sums — lets the DPs (vopt_dp.cc, approx_dp.cc)
+  /// route this cost to their devirtualized SseFlatCost inner loop.
+  const PrefixSums& sums() const { return sums_; }
+
  private:
   PrefixSums sums_;
 };
 
-/// Sum of absolute deviations from the bucket median. O((j-i) log(j-i)) per
-/// query (sorts a copy); intended for the exact DP at modest n, not for
-/// streaming.
+/// Sum of absolute deviations from the bucket median. O(j-i) expected per
+/// query (std::nth_element selection into a thread-local scratch copy plus
+/// one accumulation pass); intended for the exact DP at modest n, not for
+/// streaming. Safe for concurrent const calls from the parallel DP sweeps.
 class SaeBucketCost : public BucketCost {
  public:
   explicit SaeBucketCost(std::span<const double> data);

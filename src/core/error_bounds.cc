@@ -73,4 +73,10 @@ BoundedValue PointEstimateWithBound(const Histogram& histogram,
   return BoundedValue{};  // unreachable: buckets cover the domain
 }
 
+double ApproxDpBoundFactor(int64_t num_buckets, double delta) {
+  STREAMHIST_CHECK_GE(num_buckets, 1);
+  STREAMHIST_CHECK(delta >= 0.0);
+  return std::pow(1.0 + delta, static_cast<double>(num_buckets - 1));
+}
+
 }  // namespace streamhist

@@ -48,6 +48,14 @@ BoundedValue PointEstimateWithBound(const Histogram& histogram,
                                     std::span<const double> bucket_sse,
                                     int64_t i);
 
+/// Compounded slack of the interval-pruned approximate DP (approx_dp.h):
+/// each of the B-1 composed layers loses at most a (1+delta) factor against
+/// the exact recurrence (layer 1 is exact), so the realized SSE is certified
+/// to satisfy sse <= ApproxDpBoundFactor(B, delta) * OPT = (1+delta)^(B-1)
+/// * OPT. Requires num_buckets >= 1 and delta >= 0; may overflow to +inf for
+/// extreme (B, delta), which is still a valid (vacuous) bound.
+double ApproxDpBoundFactor(int64_t num_buckets, double delta);
+
 }  // namespace streamhist
 
 #endif  // STREAMHIST_CORE_ERROR_BOUNDS_H_

@@ -1,146 +1,39 @@
 #include "src/core/vopt_dp.h"
 
-#include <algorithm>
-#include <limits>
-#include <vector>
+#include <span>
 
-#include "src/util/logging.h"
-#include "src/util/thread_pool.h"
+#include "src/core/vopt_kernel.h"
+#include "src/stream/prefix_sums.h"
 
 namespace streamhist {
 
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Minimum j-endpoints per ParallelFor chunk: below this the O(j) inner scans
-// are too cheap to amortize a task dispatch.
-constexpr int64_t kDpGrain = 256;
-
-}  // namespace
+// A virtual cost still goes through the templated kernel — instantiated with
+// the abstract base, it compiles to the historical per-candidate virtual
+// dispatch — but the ubiquitous SSE cost is routed to the devirtualized
+// SseFlatCost instantiation, whose inner loop is flat prefix-sum arithmetic.
+// Both instantiations are bit-identical (same scan order, same expressions;
+// enforced by tests/parallel_determinism_test.cc).
 
 OptimalHistogramResult BuildOptimalHistogram(const BucketCost& cost,
                                              int64_t num_buckets) {
-  const int64_t n = cost.size();
-  STREAMHIST_CHECK_GT(num_buckets, 0);
-  if (n == 0) return OptimalHistogramResult{Histogram(), 0.0};
-  const int64_t b_max = std::min(num_buckets, n);
-
-  // herror[j] for the current k; herror_prev[j] for k-1. j in [0, n] is the
-  // prefix length.
-  std::vector<double> herror_prev(static_cast<size_t>(n) + 1);
-  std::vector<double> herror(static_cast<size_t>(n) + 1);
-  // back[k][j]: start index of the last bucket of the optimal k-histogram of
-  // the length-j prefix.
-  std::vector<std::vector<int32_t>> back(
-      static_cast<size_t>(b_max) + 1,
-      std::vector<int32_t>(static_cast<size_t>(n) + 1, 0));
-
-  herror_prev[0] = 0.0;
-  for (int64_t j = 1; j <= n; ++j) {
-    herror_prev[static_cast<size_t>(j)] = cost.Cost(0, j);
-    back[1][static_cast<size_t>(j)] = 0;
+  if (const auto* sse = dynamic_cast<const SseBucketCost*>(&cost)) {
+    return vopt_internal::BuildOptimalHistogramImpl(
+        vopt_internal::SseFlatCost(sse->sums()), num_buckets);
   }
-
-  // Layers k stay sequential (layer k reads layer k-1); within a layer every
-  // j-endpoint is independent and writes disjoint herror/back slots, so the
-  // sweep is data-parallel and bit-identical to the serial order.
-  for (int64_t k = 2; k <= b_max; ++k) {
-    herror[0] = 0.0;
-    std::vector<int32_t>& back_k = back[static_cast<size_t>(k)];
-    ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
-      for (int64_t j = j_begin; j < j_end; ++j) {
-        // With k buckets a length-j prefix is exact when j <= k.
-        double best = kInf;
-        int32_t best_i = static_cast<int32_t>(j - 1);
-        // The last bucket is [i, j) for some i in [k-1, j-1]; i == j-1 is a
-        // singleton bucket. (Using fewer than k buckets is dominated: i
-        // ranges down to k-1 where every bucket is a singleton.)
-        for (int64_t i = j - 1; i >= k - 1; --i) {
-          const double candidate =
-              herror_prev[static_cast<size_t>(i)] + cost.Cost(i, j);
-          if (candidate < best) {
-            best = candidate;
-            best_i = static_cast<int32_t>(i);
-          }
-        }
-        if (j < k) {  // fewer points than buckets: exact with j singletons
-          best = 0.0;
-          best_i = static_cast<int32_t>(j - 1);
-        }
-        herror[static_cast<size_t>(j)] = best;
-        back_k[static_cast<size_t>(j)] = best_i;
-      }
-    });
-    std::swap(herror, herror_prev);
-  }
-
-  // Backtrack the boundaries from (n, b_max).
-  std::vector<int64_t> boundaries;
-  boundaries.push_back(n);
-  int64_t j = n;
-  for (int64_t k = b_max; k >= 1 && j > 0; --k) {
-    const int64_t i = back[static_cast<size_t>(k)][static_cast<size_t>(j)];
-    boundaries.push_back(i);
-    j = i;
-  }
-  STREAMHIST_CHECK_EQ(j, 0);
-  std::reverse(boundaries.begin(), boundaries.end());
-  // Collapse duplicate boundaries (possible when j < k paths emit 0-width).
-  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
-                   boundaries.end());
-
-  std::vector<Bucket> buckets;
-  buckets.reserve(boundaries.size() - 1);
-  for (size_t t = 0; t + 1 < boundaries.size(); ++t) {
-    buckets.push_back(Bucket{boundaries[t], boundaries[t + 1],
-                             cost.Representative(boundaries[t],
-                                                 boundaries[t + 1])});
-  }
-  OptimalHistogramResult result{Histogram::FromBucketsUnchecked(std::move(buckets)),
-                                herror_prev[static_cast<size_t>(n)]};
-  return result;
+  return vopt_internal::BuildOptimalHistogramImpl(cost, num_buckets);
 }
 
 OptimalHistogramResult BuildVOptimalHistogram(std::span<const double> data,
                                               int64_t num_buckets) {
-  SseBucketCost cost(data);
-  return BuildOptimalHistogram(cost, num_buckets);
+  const PrefixSums sums(data);
+  return vopt_internal::BuildOptimalHistogramImpl(
+      vopt_internal::SseFlatCost(sums), num_buckets);
 }
 
 double OptimalSse(std::span<const double> data, int64_t num_buckets) {
-  const int64_t n = static_cast<int64_t>(data.size());
-  STREAMHIST_CHECK_GT(num_buckets, 0);
-  if (n == 0) return 0.0;
-  SseBucketCost cost(data);
-  const int64_t b_max = std::min(num_buckets, n);
-
-  std::vector<double> herror_prev(static_cast<size_t>(n) + 1);
-  std::vector<double> herror(static_cast<size_t>(n) + 1);
-  herror_prev[0] = 0.0;
-  for (int64_t j = 1; j <= n; ++j) {
-    herror_prev[static_cast<size_t>(j)] = cost.Cost(0, j);
-  }
-  for (int64_t k = 2; k <= b_max; ++k) {
-    herror[0] = 0.0;
-    ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
-      for (int64_t j = j_begin; j < j_end; ++j) {
-        if (j <= k) {
-          herror[static_cast<size_t>(j)] = 0.0;
-          continue;
-        }
-        double best = kInf;
-        for (int64_t i = j - 1; i >= k - 1; --i) {
-          const double candidate =
-              herror_prev[static_cast<size_t>(i)] + cost.Cost(i, j);
-          best = std::min(best, candidate);
-        }
-        herror[static_cast<size_t>(j)] = best;
-      }
-    });
-    std::swap(herror, herror_prev);
-  }
-  return herror_prev[static_cast<size_t>(n)];
+  const PrefixSums sums(data);
+  return vopt_internal::OptimalSseImpl(vopt_internal::SseFlatCost(sums),
+                                       num_buckets);
 }
 
 }  // namespace streamhist

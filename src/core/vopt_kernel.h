@@ -1,0 +1,207 @@
+#ifndef STREAMHIST_CORE_VOPT_KERNEL_H_
+#define STREAMHIST_CORE_VOPT_KERNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/histogram.h"
+#include "src/core/vopt_dp.h"
+#include "src/stream/prefix_sums.h"
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+
+/// Shared layer-sweep kernel for the offline histogram DPs (exact in
+/// vopt_dp.cc, (1+delta)-approximate in approx_dp.cc).
+///
+/// The kernel is templated on the cost type so that a *concrete* cost —
+/// SseFlatCost below, a non-virtual wrapper over PrefixSums — compiles to
+/// flat prefix-array arithmetic with no per-candidate virtual dispatch: the
+/// inner loop of `ExactDpLayer` becomes loads of `herror_prev[i]` /
+/// `sum_[i]` / `sqsum_[i]`, an FMA-able polynomial, and a compare. The same
+/// template instantiated with `const BucketCost&` reproduces the historical
+/// virtual-dispatch path bit-for-bit (tests/parallel_determinism_test.cc
+/// compares the two instantiations), so generic cost functions keep working
+/// through the identical code shape.
+namespace streamhist::vopt_internal {
+
+/// Minimum j-endpoints per ParallelFor chunk: below this the O(j) inner
+/// scans are too cheap to amortize a task dispatch.
+inline constexpr int64_t kDpGrain = 256;
+
+/// Candidate block for the inner i-scan. Each block touches a contiguous
+/// ~3*kDpBlock*16-byte run of herror_prev plus the cost's prefix arrays
+/// (L1/L2-resident), and gives the compiler a bounded trip count to
+/// unroll/vectorize. Purely a traversal-order grouping: the scan visits the
+/// same indices in the same descending order as the historical flat loop.
+inline constexpr int64_t kDpBlock = 2048;
+
+/// Non-virtual SSE bucket cost over borrowed prefix sums. Same arithmetic as
+/// SseBucketCost (bucket_cost.h) — SqError/Mean are inline in
+/// prefix_sums.h — but devirtualized so the DP inner loop can inline it.
+class SseFlatCost {
+ public:
+  explicit SseFlatCost(const PrefixSums& sums) : sums_(&sums) {}
+
+  double Cost(int64_t i, int64_t j) const { return sums_->SqError(i, j); }
+  double Representative(int64_t i, int64_t j) const {
+    return sums_->Mean(i, j);
+  }
+  int64_t size() const { return sums_->size(); }
+
+ private:
+  const PrefixSums* sums_;
+};
+
+/// Fills layer 1: herror[j] = cost of the single bucket [0, j).
+template <typename CostT>
+void FillFirstLayer(const CostT& cost, int64_t n, double* herror,
+                    int32_t* back_1) {
+  herror[0] = 0.0;
+  ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+    for (int64_t j = j_begin; j < j_end; ++j) {
+      herror[j] = cost.Cost(0, j);
+      if (back_1 != nullptr) back_1[j] = 0;
+    }
+  });
+}
+
+/// One exact DP layer k >= 2 over prefix endpoints j in [1, n]:
+///
+///   herror[j] = min_{i in [k-1, j-1]} herror_prev[i] + cost.Cost(i, j)
+///
+/// Semantics are pinned to the historical serial loop: candidates are
+/// scanned with descending i and strict `<`, so ties keep the largest i.
+/// For j <= k a length-j prefix is exact with j singleton buckets; the
+/// general scan would find exactly that (i = j-1, herror_prev[j-1] == 0,
+/// width-1 bucket costs 0), so the fast path is value- and
+/// backpointer-identical to running it.
+///
+/// The j-sweep runs data-parallel (deterministic fixed chunking); each j
+/// writes disjoint herror/back slots, so results are bit-identical for every
+/// thread count.
+template <typename CostT, bool kKeepBack>
+void ExactDpLayer(const CostT& cost, int64_t k, int64_t n,
+                  const double* herror_prev, double* herror, int32_t* back_k) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+    for (int64_t j = j_begin; j < j_end; ++j) {
+      if (j <= k) {
+        herror[j] = 0.0;
+        if constexpr (kKeepBack) back_k[j] = static_cast<int32_t>(j - 1);
+        continue;
+      }
+      double best = kInf;
+      int64_t best_i = j - 1;
+      for (int64_t hi = j; hi > k - 1; hi -= kDpBlock) {
+        const int64_t lo = std::max<int64_t>(k - 1, hi - kDpBlock);
+        for (int64_t i = hi - 1; i >= lo; --i) {
+          const double candidate = herror_prev[i] + cost.Cost(i, j);
+          if (candidate < best) {
+            best = candidate;
+            best_i = i;
+          }
+        }
+      }
+      herror[j] = best;
+      if constexpr (kKeepBack) back_k[j] = static_cast<int32_t>(best_i);
+    }
+  });
+}
+
+/// Walks the back tables from (n, b_max) to the boundary list
+/// {0 = b_0 < b_1 < ... = n}, collapsing the zero-width buckets that j < k
+/// paths emit.
+inline std::vector<int64_t> BacktrackBoundaries(
+    const std::vector<std::vector<int32_t>>& back, int64_t n, int64_t b_max) {
+  std::vector<int64_t> boundaries;
+  boundaries.push_back(n);
+  int64_t j = n;
+  for (int64_t k = b_max; k >= 1 && j > 0; --k) {
+    const int64_t i = back[static_cast<size_t>(k)][static_cast<size_t>(j)];
+    boundaries.push_back(i);
+    j = i;
+  }
+  STREAMHIST_CHECK_EQ(j, 0);
+  std::reverse(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
+/// Materializes buckets for consecutive boundary pairs with the cost's
+/// optimal representative.
+template <typename CostT>
+std::vector<Bucket> BucketsFromBoundaries(
+    const CostT& cost, const std::vector<int64_t>& boundaries) {
+  std::vector<Bucket> buckets;
+  buckets.reserve(boundaries.size() - 1);
+  for (size_t t = 0; t + 1 < boundaries.size(); ++t) {
+    buckets.push_back(Bucket{
+        boundaries[t], boundaries[t + 1],
+        cost.Representative(boundaries[t], boundaries[t + 1])});
+  }
+  return buckets;
+}
+
+/// The full exact DP (histogram + error), generic over the concrete cost
+/// type. This is the single implementation behind BuildOptimalHistogram,
+/// BuildVOptimalHistogram and OptimalSse (vopt_dp.cc).
+template <typename CostT>
+OptimalHistogramResult BuildOptimalHistogramImpl(const CostT& cost,
+                                                 int64_t num_buckets) {
+  const int64_t n = cost.size();
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  if (n == 0) return OptimalHistogramResult{Histogram(), 0.0};
+  const int64_t b_max = std::min(num_buckets, n);
+
+  // herror[j] for the current k; herror_prev[j] for k-1. j in [0, n] is the
+  // prefix length. back[k][j]: start index of the last bucket of the optimal
+  // k-histogram of the length-j prefix.
+  std::vector<double> herror_prev(static_cast<size_t>(n) + 1);
+  std::vector<double> herror(static_cast<size_t>(n) + 1);
+  std::vector<std::vector<int32_t>> back(
+      static_cast<size_t>(b_max) + 1,
+      std::vector<int32_t>(static_cast<size_t>(n) + 1, 0));
+
+  FillFirstLayer(cost, n, herror_prev.data(), back[1].data());
+
+  // Layers stay sequential (layer k reads layer k-1).
+  for (int64_t k = 2; k <= b_max; ++k) {
+    herror[0] = 0.0;
+    ExactDpLayer<CostT, /*kKeepBack=*/true>(
+        cost, k, n, herror_prev.data(), herror.data(),
+        back[static_cast<size_t>(k)].data());
+    std::swap(herror, herror_prev);
+  }
+
+  const std::vector<int64_t> boundaries = BacktrackBoundaries(back, n, b_max);
+  return OptimalHistogramResult{
+      Histogram::FromBucketsUnchecked(BucketsFromBoundaries(cost, boundaries)),
+      herror_prev[static_cast<size_t>(n)]};
+}
+
+/// Value-only variant: O(n) space, no backtracking tables.
+template <typename CostT>
+double OptimalSseImpl(const CostT& cost, int64_t num_buckets) {
+  const int64_t n = cost.size();
+  STREAMHIST_CHECK_GT(num_buckets, 0);
+  if (n == 0) return 0.0;
+  const int64_t b_max = std::min(num_buckets, n);
+
+  std::vector<double> herror_prev(static_cast<size_t>(n) + 1);
+  std::vector<double> herror(static_cast<size_t>(n) + 1);
+  FillFirstLayer(cost, n, herror_prev.data(), /*back_1=*/nullptr);
+  for (int64_t k = 2; k <= b_max; ++k) {
+    herror[0] = 0.0;
+    ExactDpLayer<CostT, /*kKeepBack=*/false>(cost, k, n, herror_prev.data(),
+                                             herror.data(), /*back_k=*/nullptr);
+    std::swap(herror, herror_prev);
+  }
+  return herror_prev[static_cast<size_t>(n)];
+}
+
+}  // namespace streamhist::vopt_internal
+
+#endif  // STREAMHIST_CORE_VOPT_KERNEL_H_

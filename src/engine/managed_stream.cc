@@ -3,12 +3,18 @@
 #include <cmath>
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "src/core/approx_dp.h"
+#include "src/core/vopt_dp.h"
 #include "src/util/framing.h"
 
 namespace streamhist {
 
 Result<ManagedStream> ManagedStream::Create(const StreamConfig& config) {
+  if (!std::isfinite(config.build_delta) || config.build_delta < 0.0) {
+    return Status::InvalidArgument("build_delta must be finite and >= 0");
+  }
   FixedWindowOptions window_options;
   window_options.window_size = config.window_size;
   window_options.num_buckets = config.num_buckets;
@@ -68,12 +74,49 @@ int64_t ManagedStream::total_points() const {
   return window_->window().total_appended();
 }
 
+Status ManagedStream::SetBuildMode(WindowBuildMode mode, double delta) {
+  if (mode == WindowBuildMode::kApprox &&
+      (!std::isfinite(delta) || delta < 0.0)) {
+    return Status::InvalidArgument("build delta must be finite and >= 0");
+  }
+  config_.build_mode = mode;
+  if (mode == WindowBuildMode::kApprox) config_.build_delta = delta;
+  return Status::OK();
+}
+
+WindowBuildReport ManagedStream::BuildWindowHistogram() const {
+  const std::vector<double> contents = window_->window().ToVector();
+  WindowBuildReport report;
+  report.mode = config_.build_mode;
+  report.points = static_cast<int64_t>(contents.size());
+  if (config_.build_mode == WindowBuildMode::kApprox) {
+    report.delta = config_.build_delta;
+    ApproxHistogramResult approx = BuildApproxVOptimalHistogram(
+        contents, config_.num_buckets, config_.build_delta);
+    report.histogram = std::move(approx.histogram);
+    report.sse = approx.sse;
+    report.bound_factor = approx.bound_factor;
+  } else {
+    OptimalHistogramResult exact =
+        BuildVOptimalHistogram(contents, config_.num_buckets);
+    report.histogram = std::move(exact.histogram);
+    report.sse = exact.error;
+    report.bound_factor = 1.0;
+  }
+  return report;
+}
+
 std::string ManagedStream::Describe() {
   std::ostringstream os;
   os << total_points() << " points seen; window " << window_->window().size()
      << "/" << config_.window_size << ", B=" << config_.num_buckets
      << ", eps=" << config_.epsilon
      << ", window error=" << window_->ApproxError();
+  if (config_.build_mode == WindowBuildMode::kApprox) {
+    os << "; build=approx(delta=" << config_.build_delta << ")";
+  } else {
+    os << "; build=exact";
+  }
   if (lifetime_ != nullptr) {
     os << "; lifetime error=" << lifetime_->ApproxError();
   }
@@ -90,7 +133,9 @@ std::string ManagedStream::Describe() {
 
 namespace {
 constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
-constexpr uint32_t kStreamVersion = 1;
+// v1: config through keep_distinct + dropped + synopsis blobs.
+// v2: adds build_mode (bool: approx?) + build_delta after keep_distinct.
+constexpr uint32_t kStreamVersion = 2;
 }  // namespace
 
 std::string ManagedStream::Snapshot() const {
@@ -102,6 +147,8 @@ std::string ManagedStream::Snapshot() const {
   payload.PutBool(config_.keep_quantiles);
   payload.PutF64(config_.quantile_epsilon);
   payload.PutBool(config_.keep_distinct);
+  payload.PutBool(config_.build_mode == WindowBuildMode::kApprox);
+  payload.PutF64(config_.build_delta);
   payload.PutI64(dropped_nonfinite_);
   payload.PutLengthPrefixed(window_->Serialize());
   if (lifetime_ != nullptr) payload.PutLengthPrefixed(lifetime_->Serialize());
@@ -115,7 +162,9 @@ std::string ManagedStream::Snapshot() const {
 Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
   STREAMHIST_ASSIGN_OR_RETURN(FrameView frame,
                               UnwrapFrame(bytes, kStreamMagic, "stream"));
-  if (frame.version != kStreamVersion) {
+  // v1 snapshots (pre-BUILD-mode) stay loadable per the EXPERIMENTS.md
+  // version policy; they get the config defaults for the new fields.
+  if (frame.version != 1 && frame.version != kStreamVersion) {
     return Status::InvalidArgument("unsupported stream snapshot version");
   }
   ByteReader reader(frame.payload);
@@ -128,7 +177,18 @@ Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
       !reader.ReadBool(&config.keep_lifetime_histogram) ||
       !reader.ReadBool(&config.keep_quantiles) ||
       !reader.ReadF64(&config.quantile_epsilon) ||
-      !reader.ReadBool(&config.keep_distinct) || !reader.ReadI64(&dropped) ||
+      !reader.ReadBool(&config.keep_distinct)) {
+    return Status::InvalidArgument("truncated stream snapshot");
+  }
+  if (frame.version >= 2) {
+    bool approx = false;
+    if (!reader.ReadBool(&approx) || !reader.ReadF64(&config.build_delta)) {
+      return Status::InvalidArgument("truncated stream snapshot");
+    }
+    config.build_mode =
+        approx ? WindowBuildMode::kApprox : WindowBuildMode::kExact;
+  }
+  if (!reader.ReadI64(&dropped) ||
       !reader.ReadLengthPrefixed(&window_bytes)) {
     return Status::InvalidArgument("truncated stream snapshot");
   }

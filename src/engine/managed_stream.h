@@ -9,11 +9,17 @@
 
 #include "src/core/agglomerative.h"
 #include "src/core/fixed_window.h"
+#include "src/core/histogram.h"
 #include "src/quantile/gk_summary.h"
 #include "src/sketch/fm_sketch.h"
 #include "src/util/result.h"
 
 namespace streamhist {
+
+/// How offline window construction (BUILD queries) runs for a stream: the
+/// exact O(n^2 B) V-optimal DP, or the paper's (1+delta)-approximate
+/// interval-pruned DP (core/approx_dp.h).
+enum class WindowBuildMode : uint8_t { kExact = 0, kApprox = 1 };
 
 /// Which synopses a managed stream maintains; the fixed-window histogram is
 /// always on (it is the primary query surface).
@@ -32,6 +38,22 @@ struct StreamConfig {
   double quantile_epsilon = 0.01;
   /// Maintain an FM distinct-values sketch.
   bool keep_distinct = true;
+  /// Construction mode for BUILD queries over the window contents.
+  WindowBuildMode build_mode = WindowBuildMode::kExact;
+  /// Per-layer slack of the approximate offline DP when build_mode is
+  /// kApprox: the realized SSE is certified <= (1+build_delta)^(B-1) * OPT.
+  /// Must be finite and >= 0.
+  double build_delta = 0.1;
+};
+
+/// Result of one offline BUILD over a stream's current window contents.
+struct WindowBuildReport {
+  WindowBuildMode mode = WindowBuildMode::kExact;
+  double delta = 0.0;  // the slack used (meaningful under kApprox)
+  int64_t points = 0;  // window length at build time
+  Histogram histogram;
+  double sse = 0.0;           // realized SSE of `histogram`
+  double bound_factor = 1.0;  // certified sse <= bound_factor * OPT
 };
 
 /// One named data stream with its continuously-maintained synopses — the
@@ -77,6 +99,19 @@ class ManagedStream {
 
   /// Points rejected by Append because they were NaN or infinite.
   int64_t dropped_nonfinite() const { return dropped_nonfinite_; }
+
+  /// Changes the offline construction mode for subsequent BUILD queries
+  /// (serialized into snapshots). `delta` is ignored under kExact; under
+  /// kApprox it must be finite and >= 0.
+  Status SetBuildMode(WindowBuildMode mode, double delta);
+
+  /// Offline V-optimal construction over the current window contents using
+  /// the configured mode: the exact DP (core/vopt_dp.h) or the
+  /// (1+delta)-approximate interval-pruned DP (core/approx_dp.h). Unlike the
+  /// continuously-maintained window histogram, this touches every window
+  /// point — it is the "rebuild from scratch" comparison surface of the
+  /// paper's evaluation, made queryable.
+  WindowBuildReport BuildWindowHistogram() const;
 
   /// One-line status ("n=1024 window, 16 buckets, 120000 points seen, ...").
   std::string Describe();

@@ -437,6 +437,38 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
     if (quarantined > 0) os << ", quarantined " << quarantined << " non-finite";
     return os.str();
   }
+  if (verb == "BUILD") {
+    // Offline V-optimal construction over the current window contents.
+    // An optional mode argument is sticky: it updates the stream's
+    // configured build mode (DESCRIBE shows it; checkpoints carry it).
+    if (tokens.size() == 3 && ToUpper(tokens[2]) == "EXACT") {
+      const Status status =
+          stream->SetBuildMode(WindowBuildMode::kExact, 0.0);
+      if (!status.ok()) return status;
+    } else if (tokens.size() == 4 && ToUpper(tokens[2]) == "ERROR") {
+      STREAMHIST_ASSIGN_OR_RETURN(double delta, ParseDouble(tokens[3]));
+      const Status status =
+          stream->SetBuildMode(WindowBuildMode::kApprox, delta);
+      if (!status.ok()) return status;
+    } else if (tokens.size() != 2) {
+      return Status::InvalidArgument("BUILD <stream> [EXACT | ERROR <delta>]");
+    }
+    const WindowBuildReport report = stream->BuildWindowHistogram();
+    std::ostringstream os;
+    if (report.mode == WindowBuildMode::kApprox) {
+      os << "built approx(delta=" << FormatNumber(report.delta) << ")";
+    } else {
+      os << "built exact";
+    }
+    os << ": n=" << report.points
+       << ", buckets=" << report.histogram.num_buckets()
+       << ", sse=" << FormatNumber(report.sse);
+    if (report.mode == WindowBuildMode::kApprox) {
+      os << ", certified sse <= " << FormatNumber(report.bound_factor)
+         << " * OPT";
+    }
+    return os.str();
+  }
   if (verb == "DESCRIBE") {
     return stream->Describe();
   }

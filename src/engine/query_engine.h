@@ -37,6 +37,13 @@ struct StreamBatch {
 ///   DISTINCT <stream>             estimated distinct values seen
 ///   COUNT <stream>                total points seen
 ///   ERROR <stream>                window histogram SSE bound
+///   BUILD <stream>                offline V-optimal build of the current
+///                                 window contents (configured mode)
+///   BUILD <stream> EXACT          switch the stream to the exact DP, build
+///   BUILD <stream> ERROR <delta>  switch to the (1+delta)-approximate
+///                                 interval-pruned DP, build; the reply
+///                                 carries the certified (1+delta)^(B-1)
+///                                 factor (mode persists into checkpoints)
 ///   DESCRIBE <stream>             synopsis status line
 ///   SHOW <stream>                 the window histogram's buckets
 ///   LIST                          names of registered streams

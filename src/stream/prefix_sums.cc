@@ -1,7 +1,5 @@
 #include "src/stream/prefix_sums.h"
 
-#include "src/util/logging.h"
-
 namespace streamhist {
 
 PrefixSums::PrefixSums(std::span<const double> values) {
@@ -20,41 +18,6 @@ PrefixSums::PrefixSums(std::span<const double> values) {
     sum_[k + 1] = sum_[k] + d;
     sqsum_[k + 1] = sqsum_[k] + d * d;
   }
-}
-
-double PrefixSums::Sum(int64_t i, int64_t j) const {
-  STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
-  const long double shifted =
-      sum_[static_cast<size_t>(j)] - sum_[static_cast<size_t>(i)];
-  return static_cast<double>(shifted + offset_ * static_cast<long double>(j - i));
-}
-
-double PrefixSums::SumSquares(int64_t i, int64_t j) const {
-  STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
-  // sum v^2 = sum (d + o)^2 = sum d^2 + 2 o sum d + o^2 w.
-  const long double d2 =
-      sqsum_[static_cast<size_t>(j)] - sqsum_[static_cast<size_t>(i)];
-  const long double d1 =
-      sum_[static_cast<size_t>(j)] - sum_[static_cast<size_t>(i)];
-  const long double w = static_cast<long double>(j - i);
-  return static_cast<double>(d2 + 2.0L * offset_ * d1 + offset_ * offset_ * w);
-}
-
-double PrefixSums::Mean(int64_t i, int64_t j) const {
-  STREAMHIST_DCHECK(i < j);
-  return Sum(i, j) / static_cast<double>(j - i);
-}
-
-double PrefixSums::SqError(int64_t i, int64_t j) const {
-  STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
-  if (j - i <= 1) return 0.0;
-  // Shift-invariant: evaluate on the shifted values directly.
-  const long double s =
-      sum_[static_cast<size_t>(j)] - sum_[static_cast<size_t>(i)];
-  const long double q =
-      sqsum_[static_cast<size_t>(j)] - sqsum_[static_cast<size_t>(i)];
-  const long double err = q - s * s / static_cast<long double>(j - i);
-  return err > 0.0L ? static_cast<double>(err) : 0.0;
 }
 
 }  // namespace streamhist

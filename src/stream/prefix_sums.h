@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "src/util/logging.h"
+
 namespace streamhist {
 
 /// Prefix sums and sums-of-squares over a finite sequence, supporting O(1)
@@ -19,6 +21,10 @@ namespace streamhist {
 /// when the data rides a large offset (e.g. values near 1e9 with tiny
 /// variance). Results are clamped at zero so rounding can never produce a
 /// negative bucket error.
+///
+/// The query methods are defined inline: they sit in the inner loop of the
+/// V-optimal DP kernels (core/vopt_kernel.h), where a cross-TU call per
+/// candidate would dominate the sweep.
 class PrefixSums {
  public:
   /// Builds prefix sums over `values` in O(n).
@@ -28,16 +34,44 @@ class PrefixSums {
   int64_t size() const { return static_cast<int64_t>(sum_.size()) - 1; }
 
   /// Sum of values[i..j). Requires 0 <= i <= j <= size().
-  double Sum(int64_t i, int64_t j) const;
+  double Sum(int64_t i, int64_t j) const {
+    STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
+    const long double shifted =
+        sum_[static_cast<size_t>(j)] - sum_[static_cast<size_t>(i)];
+    return static_cast<double>(shifted +
+                               offset_ * static_cast<long double>(j - i));
+  }
 
   /// Sum of squared values over [i, j). Requires 0 <= i <= j <= size().
-  double SumSquares(int64_t i, int64_t j) const;
+  double SumSquares(int64_t i, int64_t j) const {
+    STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
+    // sum v^2 = sum (d + o)^2 = sum d^2 + 2 o sum d + o^2 w.
+    const long double d2 =
+        sqsum_[static_cast<size_t>(j)] - sqsum_[static_cast<size_t>(i)];
+    const long double d1 =
+        sum_[static_cast<size_t>(j)] - sum_[static_cast<size_t>(i)];
+    const long double w = static_cast<long double>(j - i);
+    return static_cast<double>(d2 + 2.0L * offset_ * d1 + offset_ * offset_ * w);
+  }
 
   /// Mean of values[i..j). Requires i < j.
-  double Mean(int64_t i, int64_t j) const;
+  double Mean(int64_t i, int64_t j) const {
+    STREAMHIST_DCHECK(i < j);
+    return Sum(i, j) / static_cast<double>(j - i);
+  }
 
   /// SSE of representing values[i..j) by their mean; 0 for empty ranges.
-  double SqError(int64_t i, int64_t j) const;
+  double SqError(int64_t i, int64_t j) const {
+    STREAMHIST_DCHECK(0 <= i && i <= j && j <= size());
+    if (j - i <= 1) return 0.0;
+    // Shift-invariant: evaluate on the shifted values directly.
+    const long double s =
+        sum_[static_cast<size_t>(j)] - sum_[static_cast<size_t>(i)];
+    const long double q =
+        sqsum_[static_cast<size_t>(j)] - sqsum_[static_cast<size_t>(i)];
+    const long double err = q - s * s / static_cast<long double>(j - i);
+    return err > 0.0L ? static_cast<double>(err) : 0.0;
+  }
 
  private:
   long double offset_ = 0.0L;       // sequence mean, subtracted before summing

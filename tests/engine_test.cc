@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/core/vopt_dp.h"
 #include "src/data/generators.h"
 #include "src/query/estimator.h"
 #include "src/util/random.h"
@@ -57,6 +59,93 @@ TEST(ManagedStreamTest, CreateValidatesConfig) {
   bad = SmallConfig();
   bad.quantile_epsilon = 2.0;
   EXPECT_FALSE(ManagedStream::Create(bad).ok());
+  bad = SmallConfig();
+  bad.build_delta = -0.5;
+  EXPECT_FALSE(ManagedStream::Create(bad).ok());
+  bad = SmallConfig();
+  bad.build_delta = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ManagedStream::Create(bad).ok());
+}
+
+TEST(ManagedStreamTest, BuildWindowHistogramExactAndApprox) {
+  ManagedStream stream = ManagedStream::Create(SmallConfig()).value();
+  Random rng(9);
+  for (int i = 0; i < 300; ++i) stream.Append(rng.UniformDouble(0, 100));
+  const std::vector<double> window =
+      stream.window_histogram().window().ToVector();
+  ASSERT_EQ(window.size(), 64u);
+
+  // Default mode: the exact DP over the current window contents.
+  const WindowBuildReport exact = stream.BuildWindowHistogram();
+  EXPECT_EQ(exact.mode, WindowBuildMode::kExact);
+  EXPECT_EQ(exact.points, 64);
+  EXPECT_EQ(exact.bound_factor, 1.0);
+  const OptimalHistogramResult reference = BuildVOptimalHistogram(window, 8);
+  EXPECT_EQ(exact.sse, reference.error);
+  EXPECT_EQ(exact.histogram.ToString(), reference.histogram.ToString());
+
+  // Approximate mode: sandwiched between OPT and the certified factor.
+  ASSERT_TRUE(stream.SetBuildMode(WindowBuildMode::kApprox, 0.1).ok());
+  const WindowBuildReport approx = stream.BuildWindowHistogram();
+  EXPECT_EQ(approx.mode, WindowBuildMode::kApprox);
+  EXPECT_EQ(approx.delta, 0.1);
+  EXPECT_GE(approx.sse, reference.error * (1.0 - 1e-9));
+  EXPECT_LE(approx.sse,
+            approx.bound_factor * reference.error * (1.0 + 1e-9) + 1e-9);
+
+  // Invalid deltas are rejected without changing the mode.
+  EXPECT_FALSE(stream.SetBuildMode(WindowBuildMode::kApprox, -1.0).ok());
+  EXPECT_FALSE(
+      stream
+          .SetBuildMode(WindowBuildMode::kApprox,
+                        std::numeric_limits<double>::quiet_NaN())
+          .ok());
+  EXPECT_EQ(stream.config().build_mode, WindowBuildMode::kApprox);
+  EXPECT_EQ(stream.config().build_delta, 0.1);
+}
+
+// Own engine (no fixture): the verb test drives its own stream contents.
+TEST(QueryEngineBuildTest, BuildVerb) {
+  QueryEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE s 64 8").ok());
+  Random rng(4);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine.Append("s", rng.UniformDouble(0, 50)).ok());
+  }
+
+  // Default build is exact.
+  auto built = engine.Execute("BUILD s");
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(built->starts_with("built exact:")) << *built;
+  EXPECT_NE(built->find("n=64"), std::string::npos) << *built;
+
+  // ERROR <delta> switches the stream to the approximate DP — sticky, so
+  // DESCRIBE and a later plain BUILD reflect it.
+  built = engine.Execute("BUILD s ERROR 0.2");
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(built->starts_with("built approx(delta=0.2)")) << *built;
+  EXPECT_NE(built->find("certified sse <="), std::string::npos) << *built;
+  EXPECT_NE(engine.Execute("DESCRIBE s").value().find("build=approx"),
+            std::string::npos);
+  EXPECT_TRUE(engine.Execute("BUILD s").value().starts_with("built approx"));
+
+  // EXACT switches back.
+  EXPECT_TRUE(engine.Execute("BUILD s EXACT").value().starts_with("built exact"));
+  EXPECT_NE(engine.Execute("DESCRIBE s").value().find("build=exact"),
+            std::string::npos);
+
+  // Malformed forms are rejected.
+  EXPECT_FALSE(engine.Execute("BUILD s ERROR").ok());
+  EXPECT_FALSE(engine.Execute("BUILD s ERROR -0.5").ok());
+  EXPECT_FALSE(engine.Execute("BUILD s ERROR nope").ok());
+  EXPECT_FALSE(engine.Execute("BUILD s APPROX 0.1").ok());
+  EXPECT_FALSE(engine.Execute("BUILD missing").ok());
+
+  // An empty stream builds an empty histogram rather than failing.
+  ASSERT_TRUE(engine.Execute("CREATE empty 16 4").ok());
+  built = engine.Execute("BUILD empty");
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_NE(built->find("n=0"), std::string::npos) << *built;
 }
 
 class QueryEngineTest : public ::testing::Test {

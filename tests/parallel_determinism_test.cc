@@ -12,9 +12,12 @@
 #include <gtest/gtest.h>
 
 #include "src/core/agglomerative.h"
+#include "src/core/approx_dp.h"
+#include "src/core/bucket_cost.h"
 #include "src/core/vopt_dp.h"
 #include "src/data/generators.h"
 #include "src/engine/query_engine.h"
+#include "src/stream/prefix_sums.h"
 #include "src/util/random.h"
 #include "src/util/thread_pool.h"
 
@@ -94,6 +97,104 @@ TEST(ParallelDeterminismTest, VOptDpTestSeedsAreBitIdentical) {
       EXPECT_EQ(std::bit_cast<uint64_t>(OptimalSse(data, 16)),
                 std::bit_cast<uint64_t>(serial_sse))
           << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+// A BucketCost that computes exactly what SseBucketCost computes but is not
+// an SseBucketCost — so BuildOptimalHistogram cannot route it to the
+// devirtualized fast path and must run the templated kernel with virtual
+// per-candidate dispatch, i.e. the historical code shape. Comparing it
+// bit-for-bit against the devirtualized SseFlatCost instantiation proves the
+// exact-DP restructuring (vopt_kernel.h) changed nothing observable.
+class OpaqueSseCost : public BucketCost {
+ public:
+  explicit OpaqueSseCost(std::span<const double> data) : sums_(data) {}
+  double Cost(int64_t i, int64_t j) const override {
+    return sums_.SqError(i, j);
+  }
+  double Representative(int64_t i, int64_t j) const override {
+    return sums_.Mean(i, j);
+  }
+  int64_t size() const override { return sums_.size(); }
+
+ private:
+  PrefixSums sums_;
+};
+
+TEST(ParallelDeterminismTest, VirtualKernelIsBitIdenticalToDevirtualized) {
+  ThreadCountRestorer restore;
+  for (const uint64_t seed : {3u, 11u}) {
+    const std::vector<double> data =
+        GenerateDataset(DatasetKind::kRandomWalk, 3000, seed);
+    const OpaqueSseCost opaque(data);
+    for (const int threads : kThreadCounts) {
+      SetThreadCount(threads);
+      const OptimalHistogramResult generic =
+          BuildOptimalHistogram(opaque, 32);
+      const OptimalHistogramResult devirtualized =
+          BuildVOptimalHistogram(data, 32);
+      EXPECT_EQ(BucketBits(generic.histogram),
+                BucketBits(devirtualized.histogram))
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(std::bit_cast<uint64_t>(generic.error),
+                std::bit_cast<uint64_t>(devirtualized.error))
+          << "seed=" << seed << " threads=" << threads;
+      // OptimalSse shares the same kernel: it must reproduce the build's
+      // DP value exactly.
+      EXPECT_EQ(std::bit_cast<uint64_t>(OptimalSse(data, 32)),
+                std::bit_cast<uint64_t>(devirtualized.error))
+          << "seed=" << seed << " threads=" << threads;
+
+      // Same equivalence for the approximate DP's two entry points.
+      const ApproxHistogramResult approx_generic =
+          BuildApproxHistogram(opaque, 32, 0.1);
+      const ApproxHistogramResult approx_devirt =
+          BuildApproxVOptimalHistogram(data, 32, 0.1);
+      EXPECT_EQ(BucketBits(approx_generic.histogram),
+                BucketBits(approx_devirt.histogram))
+          << "seed=" << seed << " threads=" << threads;
+      EXPECT_EQ(std::bit_cast<uint64_t>(approx_generic.sse),
+                std::bit_cast<uint64_t>(approx_devirt.sse))
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ApproxDpIsBitIdenticalAcrossThreadCounts) {
+  ThreadCountRestorer restore;
+#ifdef NDEBUG
+  const int64_t n = 20000;
+#else
+  const int64_t n = 5000;
+#endif
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, n, /*seed=*/77);
+  for (const double delta : {0.01, 0.1, 0.5}) {
+    std::vector<uint64_t> serial_bits;
+    uint64_t serial_sse = 0;
+    uint64_t serial_dp = 0;
+    int64_t serial_evals = 0;
+    for (const int threads : kThreadCounts) {
+      SetThreadCount(threads);
+      const ApproxHistogramResult result =
+          BuildApproxVOptimalHistogram(data, 64, delta);
+      if (threads == 1) {
+        serial_bits = BucketBits(result.histogram);
+        serial_sse = std::bit_cast<uint64_t>(result.sse);
+        serial_dp = std::bit_cast<uint64_t>(result.dp_error);
+        serial_evals = result.cost_evals;
+        ASSERT_FALSE(serial_bits.empty());
+        continue;
+      }
+      EXPECT_EQ(BucketBits(result.histogram), serial_bits)
+          << "delta=" << delta << " threads=" << threads;
+      EXPECT_EQ(std::bit_cast<uint64_t>(result.sse), serial_sse)
+          << "delta=" << delta << " threads=" << threads;
+      EXPECT_EQ(std::bit_cast<uint64_t>(result.dp_error), serial_dp)
+          << "delta=" << delta << " threads=" << threads;
+      EXPECT_EQ(result.cost_evals, serial_evals)
+          << "delta=" << delta << " threads=" << threads;
     }
   }
 }

@@ -238,6 +238,61 @@ TEST(ManagedStreamSerializationTest, SnapshotRestoreAnswersIdentically) {
             stream.lifetime_histogram()->Extract().ToString());
 }
 
+TEST(ManagedStreamSerializationTest, SnapshotCarriesBuildMode) {
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  config.build_mode = WindowBuildMode::kApprox;
+  config.build_delta = 0.25;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(100)) stream.Append(v);
+
+  auto restored = ManagedStream::Restore(stream.Snapshot());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->config().build_mode, WindowBuildMode::kApprox);
+  EXPECT_EQ(restored->config().build_delta, 0.25);
+  // The restored stream's offline BUILD answers identically.
+  const WindowBuildReport a = stream.BuildWindowHistogram();
+  const WindowBuildReport b = restored->BuildWindowHistogram();
+  EXPECT_EQ(a.sse, b.sse);
+  EXPECT_EQ(a.bound_factor, b.bound_factor);
+  EXPECT_EQ(a.histogram.ToString(), b.histogram.ToString());
+}
+
+TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
+  // EXPERIMENTS.md version policy: the previous blob version must stay
+  // readable for a release cycle. A v1 stream payload is the v2 payload
+  // minus the build-mode fields (1-byte bool + 8-byte f64) that v2 inserted
+  // after the keep_distinct flag at byte offset 8+8+8+1+1+8+1 = 35.
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  config.build_mode = WindowBuildMode::kApprox;  // must NOT survive via v1
+  config.build_delta = 0.75;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(200)) stream.Append(v);
+
+  constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->version, 2u);
+  std::string v1_payload(frame->payload);
+  ASSERT_GT(v1_payload.size(), 44u);
+  v1_payload.erase(35, 9);
+  const std::string v1_snapshot = WrapFrame(kStreamMagic, 1, v1_payload);
+
+  auto restored = ManagedStream::Restore(v1_snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // v1 had no build mode: the restored stream gets the config defaults.
+  EXPECT_EQ(restored->config().build_mode, WindowBuildMode::kExact);
+  EXPECT_EQ(restored->config().build_delta, 0.1);
+  // Everything else restored as usual.
+  EXPECT_EQ(restored->total_points(), stream.total_points());
+  EXPECT_EQ(restored->window_histogram().RangeSum(0, 64),
+            stream.window_histogram().RangeSum(0, 64));
+}
+
 // ---------------------------------------------------------------------------
 // Adversarial bytes. The driver for these invariants is the checkpoint path:
 // whatever the disk hands back, Deserialize must return a clean error.
