@@ -12,11 +12,20 @@
 // (n, B, delta) grid and records realized approximation ratios against the
 // certified (1+delta)^(B-1) bound. Flags: --pr3_threads, --pr3_smoke. See
 // EXPERIMENTS.md for the schema and the exact-DP feasibility policy.
+//
+// PR4 mode: `bench_micro --pr4_json=BENCH_PR4.json` measures the resource
+// governor: BUILD latency percentiles through the degradation ladder vs the
+// raw kernels (the no-deadline overhead gate), and the rung distribution
+// when deadlines of {1, 5, 50} ms are imposed. Flags: --pr4_threads,
+// --pr4_smoke. See EXPERIMENTS.md for the schema.
 
+#include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -29,8 +38,10 @@
 #include "src/core/heuristics.h"
 #include "src/core/vopt_dp.h"
 #include "src/data/generators.h"
-#include "src/quantile/gk_summary.h"
+#include "src/engine/managed_stream.h"
 #include "src/engine/query_engine.h"
+#include "src/quantile/gk_summary.h"
+#include "src/util/deadline.h"
 #include "src/sketch/fm_sketch.h"
 #include "src/sketch/l1_sketch.h"
 #include "src/stream/sliding_window.h"
@@ -658,6 +669,237 @@ int RunBenchPr3(int argc, char** argv) {
   return 0;
 }
 
+// --- PR4: degradation-ladder latency, rung distribution, governor overhead ---
+
+namespace {
+
+double PercentileMs(std::vector<double> ms, double p) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(ms.size() - 1) + 0.5);
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+struct Pr4Cell {
+  WindowBuildMode mode = WindowBuildMode::kExact;
+  int64_t n = 0;
+  int64_t num_buckets = 0;
+  double delta = 0.0;  // kApprox only
+};
+
+std::string RungLabel(const WindowBuildReport& report) {
+  if (report.rung == BuildRung::kApprox) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "approx(%g)", report.delta);
+    return buf;
+  }
+  return BuildRungName(report.rung);
+}
+
+}  // namespace
+
+int RunBenchPr4(int argc, char** argv) {
+  using bench::FlagInt;
+  using bench::FlagStr;
+  const std::string out_path = FlagStr(argc, argv, "pr4_json", "");
+  const int threads = static_cast<int>(
+      FlagInt(argc, argv, "pr4_threads", DefaultThreadCount()));
+  if (threads < 1) {
+    std::fprintf(stderr, "bench_micro: --pr4_threads must be >= 1 (got %d)\n",
+                 threads);
+    return 1;
+  }
+  const bool smoke = FlagInt(argc, argv, "pr4_smoke", 0) != 0;
+
+  // Exact cells keep n where O(n^2 B) is interactive; approx cells stretch n
+  // to sizes only the pruned DP reaches. The largest exact cell doubles as
+  // the overhead gate: ladder-vs-direct on the no-deadline path. Debug/ASan
+  // CI runs the smoke grid with a looser gate (sanitizer timing is noisy).
+  std::vector<Pr4Cell> cells;
+  if (smoke) {
+    cells = {{WindowBuildMode::kExact, 512, 8, 0.0},
+             {WindowBuildMode::kExact, 1024, 8, 0.0},
+             {WindowBuildMode::kApprox, 4096, 16, 0.1}};
+  } else {
+    cells = {{WindowBuildMode::kExact, 2048, 8, 0.0},
+             {WindowBuildMode::kExact, 2048, 32, 0.0},
+             {WindowBuildMode::kExact, 8192, 8, 0.0},
+             {WindowBuildMode::kExact, 8192, 32, 0.0},
+             {WindowBuildMode::kApprox, 16384, 32, 0.1},
+             {WindowBuildMode::kApprox, 65536, 32, 0.1}};
+  }
+  const int reps = smoke ? 5 : 9;
+  const int deadline_reps = smoke ? 4 : 12;
+  const std::vector<int64_t> within_grid{1, 5, 50};
+  const double overhead_limit = smoke ? 0.15 : 0.02;
+
+  bench::Banner("BENCH_PR4: degradation ladder + governor (threads=" +
+                std::to_string(threads) + ")");
+  SetThreadCount(threads);
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(std::string("BENCH_PR4"))
+      .Key("schema_version").Value(int64_t{1})
+      .Key("threads").Value(static_cast<int64_t>(threads))
+      .Key("hardware_threads").Value(static_cast<int64_t>(DefaultThreadCount()))
+      .Key("smoke").Value(smoke)
+      .Key("reps").Value(static_cast<int64_t>(reps))
+      .Key("deadline_reps").Value(static_cast<int64_t>(deadline_reps))
+      .Key("overhead_limit").Value(overhead_limit)
+      .Key("dataset").Value(std::string("utilization"))
+      .Key("cells").BeginArray();
+
+  bool all_identical = true;
+  bool all_certified = true;
+  double gate_overhead = 0.0;  // overhead of the last exact cell (largest)
+  for (const Pr4Cell& cell : cells) {
+    const bool exact = cell.mode == WindowBuildMode::kExact;
+    const std::vector<double> data = GenerateDataset(
+        DatasetKind::kUtilization, cell.n, /*seed=*/7);
+    StreamConfig config;
+    config.window_size = cell.n;
+    config.num_buckets = cell.num_buckets;
+    config.epsilon = 0.1;
+    config.build_mode = cell.mode;
+    if (!exact) config.build_delta = cell.delta;
+    ManagedStream stream = ManagedStream::Create(config).value();
+    stream.AppendBatch(data);
+
+    // Interleave direct-kernel and ladder builds so clock drift hits both
+    // sides equally; compare results bit-for-bit (no deadline => rung 0 must
+    // be byte-identical to calling the kernel directly).
+    std::vector<double> direct_ms, ladder_ms;
+    bool identical = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer direct_timer;
+      uint64_t direct_bits = 0;
+      if (exact) {
+        const OptimalHistogramResult r =
+            BuildVOptimalHistogram(data, cell.num_buckets);
+        direct_bits = std::bit_cast<uint64_t>(r.error);
+      } else {
+        const ApproxHistogramResult r =
+            BuildApproxVOptimalHistogram(data, cell.num_buckets, cell.delta);
+        direct_bits = std::bit_cast<uint64_t>(r.sse);
+      }
+      direct_ms.push_back(direct_timer.ElapsedSeconds() * 1e3);
+
+      Timer ladder_timer;
+      const WindowBuildReport report = stream.BuildWindowHistogram();
+      ladder_ms.push_back(ladder_timer.ElapsedSeconds() * 1e3);
+      identical &= !report.degradation.degraded &&
+                   std::bit_cast<uint64_t>(report.sse) == direct_bits;
+    }
+    const double direct_p50 = PercentileMs(direct_ms, 0.5);
+    const double ladder_p50 = PercentileMs(ladder_ms, 0.5);
+    const double overhead =
+        direct_p50 > 0.0 ? ladder_p50 / direct_p50 - 1.0 : 0.0;
+    if (exact) gate_overhead = overhead;
+    all_identical &= identical;
+    std::printf("  %s n=%lld B=%lld direct_p50=%.3fms ladder_p50=%.3fms "
+                "overhead=%+.2f%% %s\n",
+                exact ? "exact " : "approx", static_cast<long long>(cell.n),
+                static_cast<long long>(cell.num_buckets), direct_p50,
+                ladder_p50, overhead * 100.0,
+                identical ? "bit-identical" : "MISMATCH");
+    std::fflush(stdout);
+
+    json.BeginObject()
+        .Key("mode").Value(std::string(exact ? "exact" : "approx"));
+    if (!exact) json.Key("delta").Value(cell.delta);
+    json.Key("n").Value(cell.n)
+        .Key("B").Value(cell.num_buckets)
+        .Key("direct_p50_ms").Value(direct_p50)
+        .Key("direct_p99_ms").Value(PercentileMs(direct_ms, 0.99))
+        .Key("ladder_p50_ms").Value(ladder_p50)
+        .Key("ladder_p99_ms").Value(PercentileMs(ladder_ms, 0.99))
+        .Key("overhead_ratio").Value(overhead)
+        .Key("identical").Value(identical)
+        .Key("deadlines").BeginArray();
+
+    // Rung distribution under real wall-clock deadlines. Every build must
+    // terminate with a histogram and a certified bound no matter which rung
+    // the deadline leaves standing.
+    for (const int64_t within : within_grid) {
+      std::vector<std::pair<std::string, int64_t>> rungs;
+      std::vector<double> build_ms;
+      int64_t degraded = 0;
+      for (int rep = 0; rep < deadline_reps; ++rep) {
+        Timer timer;
+        const WindowBuildReport report =
+            stream.BuildWindowHistogram(Deadline::AfterMillis(within));
+        build_ms.push_back(timer.ElapsedSeconds() * 1e3);
+        degraded += report.degradation.degraded ? 1 : 0;
+        all_certified &= report.bound_factor >= 1.0 &&
+                         !report.degradation.attempts.empty() &&
+                         report.degradation.attempts.back().completed &&
+                         (report.points == 0 ||
+                          !report.histogram.buckets().empty());
+        const std::string label = RungLabel(report);
+        bool found = false;
+        for (auto& [name, count] : rungs) {
+          if (name == label) { count++; found = true; break; }
+        }
+        if (!found) rungs.emplace_back(label, 1);
+      }
+      json.BeginObject()
+          .Key("within_ms").Value(within)
+          .Key("build_p50_ms").Value(PercentileMs(build_ms, 0.5))
+          .Key("build_p99_ms").Value(PercentileMs(build_ms, 0.99))
+          .Key("degraded_builds").Value(degraded)
+          .Key("rungs").BeginObject();
+      std::printf("    within=%lldms p50=%.3fms rungs:",
+                  static_cast<long long>(within),
+                  PercentileMs(build_ms, 0.5));
+      for (const auto& [name, count] : rungs) {
+        json.Key(name).Value(count);
+        std::printf(" %s=%lld", name.c_str(),
+                    static_cast<long long>(count));
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+      json.EndObject().EndObject();
+    }
+    json.EndArray().EndObject();
+  }
+  SetThreadCount(DefaultThreadCount());
+
+  const bool gate_ok = gate_overhead <= overhead_limit;
+  json.EndArray()
+      .Key("gate").BeginObject()
+      .Key("cell").Value(std::string("largest exact cell"))
+      .Key("overhead_ratio").Value(gate_overhead)
+      .Key("limit").Value(overhead_limit)
+      .Key("ok").Value(gate_ok)
+      .EndObject().EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!all_identical || !all_certified) {
+    std::fprintf(stderr, "bench_micro: %s\n",
+                 !all_identical
+                     ? "no-deadline ladder output diverged from direct kernel"
+                     : "a degraded build lacked a certified result");
+    return 2;
+  }
+  if (!gate_ok) {
+    std::fprintf(stderr,
+                 "bench_micro: ladder overhead %.2f%% exceeds the %.0f%% "
+                 "no-deadline gate\n",
+                 gate_overhead * 100.0, overhead_limit * 100.0);
+    return 4;
+  }
+  return 0;
+}
+
 }  // namespace streamhist
 
 int main(int argc, char** argv) {
@@ -666,6 +908,9 @@ int main(int argc, char** argv) {
   }
   if (!streamhist::bench::FlagStr(argc, argv, "pr3_json", "").empty()) {
     return streamhist::RunBenchPr3(argc, argv);
+  }
+  if (!streamhist::bench::FlagStr(argc, argv, "pr4_json", "").empty()) {
+    return streamhist::RunBenchPr4(argc, argv);
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -66,4 +66,64 @@ fi
 if [ "$loads" -eq 0 ]; then
   echo "WARNING: no iteration survived to a first checkpoint; nothing verified"
 fi
+
+# ---------------------------------------------------------------------------
+# Phase 2: transient-fault retry. With fileio.fsync.transient:2 armed through
+# the environment, the first SAVE's fsync fails twice and must self-heal on
+# the third attempt (bounded retry with backoff) — no kill involved.
+{
+  echo "CREATE eth0 64 8"
+  echo "CREATE eth1 128 16"
+  echo "APPEND eth0 1 2 3"
+  echo "APPEND eth1 4 5"
+  echo "SAVE $CKPT"
+} > "$WORK/retry.shq"
+rm -f "$CKPT" "$CKPT.tmp"
+out=$(STREAMHIST_FAULTS="fileio.fsync.transient:2" \
+        "$TOOL" console --script "$WORK/retry.shq" 2>&1)
+if [ $? -ne 0 ] || ! echo "$out" | grep -q "after 3 attempts"; then
+  echo "FAIL: transient fsync faults did not self-heal via retry"
+  echo "$out"
+  exit 1
+fi
+out=$("$TOOL" console --script "$WORK/reader.shq" 2>&1)
+if [ $? -ne 0 ] || ! echo "$out" | grep -q "loaded 2 stream(s)"; then
+  echo "FAIL: checkpoint written through the retry path did not reload"
+  echo "$out"
+  exit 1
+fi
+rm -f "$CKPT" "$CKPT.tmp"
+echo "crash_recovery_smoke: transient-retry save self-healed and reloaded"
+
+# Phase 3: SIGKILL while transient faults hold the saver inside its
+# retry/backoff loop. The temp-file-then-rename discipline applies to every
+# attempt, so any checkpoint that survives must still load completely.
+retry_iters=$(( (ITERATIONS + 4) / 5 ))
+failures=0
+loads=0
+for iter in $(seq 1 "$retry_iters"); do
+  STREAMHIST_FAULTS="fileio.fsync.transient:2" \
+    "$TOOL" console --script "$WORK/writer.shq" > /dev/null 2>&1 &
+  pid=$!
+  sleep "0.0$((RANDOM % 10))$((RANDOM % 10))"
+  kill -9 "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+
+  if [ ! -f "$CKPT" ]; then
+    continue
+  fi
+  loads=$((loads + 1))
+  out=$("$TOOL" console --script "$WORK/reader.shq" 2>&1)
+  status=$?
+  if [ "$status" -ne 0 ] || ! echo "$out" | grep -q "loaded 2 stream(s)"; then
+    echo "FAIL retry-phase iteration $iter: checkpoint did not reload cleanly (exit $status)"
+    echo "$out"
+    failures=$((failures + 1))
+  fi
+  rm -f "$CKPT" "$CKPT.tmp"
+done
+echo "crash_recovery_smoke: $retry_iters kills mid-retry, $loads checkpoints verified, $failures failures"
+if [ "$failures" -ne 0 ]; then
+  exit 1
+fi
 exit 0

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "src/util/framing.h"
 #include "src/util/logging.h"
@@ -119,7 +120,30 @@ int64_t AgglomerativeHistogram::total_stored_entries() const {
   return total;
 }
 
+int64_t AgglomerativeHistogram::MemoryBytes() const {
+  size_t bytes = herr_cur_.capacity() * sizeof(double) +
+                 herr_prev_.capacity() * sizeof(double) +
+                 open_start_herror_.capacity() * sizeof(double) +
+                 queues_.capacity() * sizeof(std::vector<Entry>);
+  for (const auto& q : queues_) bytes += q.capacity() * sizeof(Entry);
+  return static_cast<int64_t>(bytes);
+}
+
 Histogram AgglomerativeHistogram::Extract() const {
+  // Null context: ExtractImpl cannot cancel, the Result always holds a value.
+  return ExtractImpl(nullptr).value();
+}
+
+Result<Histogram> AgglomerativeHistogram::ExtractCancellable(
+    const ExecContext& ctx) const {
+  return ExtractImpl(&ctx);
+}
+
+Result<Histogram> AgglomerativeHistogram::ExtractImpl(
+    const ExecContext* ctx) const {
+  const auto stop_requested = [ctx] {
+    return ctx != nullptr && ctx->ShouldStop();
+  };
   if (count_ == 0) return Histogram();
   const int64_t n = count_;
   if (num_buckets_ == 1) {
@@ -163,6 +187,7 @@ Histogram AgglomerativeHistogram::Extract() const {
     // skip the origin sentinel at ci == 0
     ParallelFor(1, static_cast<int64_t>(lvl.size()), /*grain=*/64,
                 [&](int64_t ci_begin, int64_t ci_end) {
+      if (stop_requested()) return;
       for (int64_t ci = ci_begin; ci < ci_end; ++ci) {
         Cand& c = lvl[static_cast<size_t>(ci)];
         for (size_t di = 0; di < prev.size(); ++di) {
@@ -180,6 +205,10 @@ Histogram AgglomerativeHistogram::Extract() const {
         }
       }
     });
+    if (stop_requested()) {
+      return Status::Cancelled("agglomerative extraction cancelled at level " +
+                               std::to_string(k));
+    }
   }
 
   // Final bucket ends at n with the total sums.

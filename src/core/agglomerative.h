@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/core/histogram.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 namespace streamhist {
@@ -61,8 +62,17 @@ class AgglomerativeHistogram {
   /// over the snapshotted interval endpoints.
   Histogram Extract() const;
 
+  /// Cancellable variant: consults `ctx` (util/deadline.h) at grain
+  /// boundaries of the sparse-DP merge sweep and between levels; a stop
+  /// request abandons the extraction with Status::Cancelled. With a context
+  /// that never fires the result is bit-identical to Extract().
+  Result<Histogram> ExtractCancellable(const ExecContext& ctx) const;
+
   /// Total snapshotted endpoints across all queues (space diagnostic).
   int64_t total_stored_entries() const;
+
+  /// Approximate heap footprint in bytes (for the memory governor).
+  int64_t MemoryBytes() const;
 
   /// The per-level slack delta = epsilon / (2B).
   double delta() const { return delta_; }
@@ -96,6 +106,9 @@ class AgglomerativeHistogram {
   static double SpanError(int64_t from_p, long double from_sum,
                           long double from_sqsum, int64_t to_p,
                           long double to_sum, long double to_sqsum);
+
+  // Shared sparse-DP extraction; ctx may be null (never cancels).
+  Result<Histogram> ExtractImpl(const ExecContext* ctx) const;
 
   int64_t num_buckets_;
   double epsilon_;

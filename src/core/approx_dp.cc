@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "src/core/error_bounds.h"
@@ -47,9 +48,13 @@ std::vector<int32_t> GeometricCover(const double* prev, int64_t lo, int64_t hi,
   return endpoints;
 }
 
+using vopt_internal::StopRequested;
+
 template <typename CostT>
-ApproxHistogramResult BuildApproxImpl(const CostT& cost, int64_t num_buckets,
-                                      double delta) {
+Result<ApproxHistogramResult> BuildApproxImpl(const CostT& cost,
+                                              int64_t num_buckets,
+                                              double delta,
+                                              const ExecContext* ctx = nullptr) {
   STREAMHIST_CHECK_GT(num_buckets, 0);
   STREAMHIST_CHECK(std::isfinite(delta) && delta >= 0.0);
   const int64_t n = cost.size();
@@ -63,7 +68,11 @@ ApproxHistogramResult BuildApproxImpl(const CostT& cost, int64_t num_buckets,
       static_cast<size_t>(b_max) + 1,
       std::vector<int32_t>(static_cast<size_t>(n) + 1, 0));
 
-  vopt_internal::FillFirstLayer(cost, n, herror_prev.data(), back[1].data());
+  vopt_internal::FillFirstLayer(cost, n, herror_prev.data(), back[1].data(),
+                                ctx);
+  if (StopRequested(ctx)) {
+    return Status::Cancelled("approx DP cancelled in layer 1");
+  }
   int64_t cost_evals = n;
   int64_t max_cover = 0;
   // HERROR[., 1] is mathematically non-decreasing (cost of a widening prefix
@@ -85,6 +94,7 @@ ApproxHistogramResult BuildApproxImpl(const CostT& cost, int64_t num_buckets,
     const int32_t* ep = cover.data();
     const int64_t ep_n = static_cast<int64_t>(cover.size());
     ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+      if (StopRequested(ctx)) return;
       for (int64_t j = j_begin; j < j_end; ++j) {
         if (j <= k) {  // exact: j singleton buckets
           cur[j] = 0.0;
@@ -115,6 +125,10 @@ ApproxHistogramResult BuildApproxImpl(const CostT& cost, int64_t num_buckets,
         back_k[j] = static_cast<int32_t>(best_i);
       }
     });
+    if (StopRequested(ctx)) {
+      return Status::Cancelled("approx DP cancelled in layer " +
+                               std::to_string(k));
+    }
 
     // Deterministic account of the pruned work (Cost calls this layer).
     {
@@ -166,18 +180,29 @@ ApproxHistogramResult BuildApproxImpl(const CostT& cost, int64_t num_buckets,
 
 ApproxHistogramResult BuildApproxHistogram(const BucketCost& cost,
                                            int64_t num_buckets, double delta) {
+  // Null context: the impl cannot cancel, so the Result always holds a value.
   if (const auto* sse = dynamic_cast<const SseBucketCost*>(&cost)) {
     return BuildApproxImpl(vopt_internal::SseFlatCost(sse->sums()),
-                           num_buckets, delta);
+                           num_buckets, delta)
+        .value();
   }
-  return BuildApproxImpl(cost, num_buckets, delta);
+  return BuildApproxImpl(cost, num_buckets, delta).value();
 }
 
 ApproxHistogramResult BuildApproxVOptimalHistogram(std::span<const double> data,
                                                    int64_t num_buckets,
                                                    double delta) {
   const PrefixSums sums(data);
-  return BuildApproxImpl(vopt_internal::SseFlatCost(sums), num_buckets, delta);
+  return BuildApproxImpl(vopt_internal::SseFlatCost(sums), num_buckets, delta)
+      .value();
+}
+
+Result<ApproxHistogramResult> BuildApproxVOptimalHistogramCancellable(
+    std::span<const double> data, int64_t num_buckets, double delta,
+    const ExecContext& ctx) {
+  const PrefixSums sums(data);
+  return BuildApproxImpl(vopt_internal::SseFlatCost(sums), num_buckets, delta,
+                         &ctx);
 }
 
 }  // namespace streamhist

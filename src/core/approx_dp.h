@@ -6,6 +6,8 @@
 
 #include "src/core/bucket_cost.h"
 #include "src/core/histogram.h"
+#include "src/util/deadline.h"
+#include "src/util/result.h"
 
 namespace streamhist {
 
@@ -67,6 +69,15 @@ ApproxHistogramResult BuildApproxHistogram(const BucketCost& cost,
 ApproxHistogramResult BuildApproxVOptimalHistogram(std::span<const double> data,
                                                    int64_t num_buckets,
                                                    double delta);
+
+/// Cancellable variant: consults `ctx` (util/deadline.h) at grain boundaries
+/// and between layers; an expired deadline or explicit Cancel() abandons the
+/// build with Status::Cancelled. With a context that never fires, the result
+/// is bit-identical to BuildApproxVOptimalHistogram for every thread count —
+/// the degradation ladder's approx rungs run through here.
+Result<ApproxHistogramResult> BuildApproxVOptimalHistogramCancellable(
+    std::span<const double> data, int64_t num_buckets, double delta,
+    const ExecContext& ctx);
 
 }  // namespace streamhist
 

@@ -244,6 +244,19 @@ int64_t FixedWindowHistogram::last_total_intervals() const {
   return total;
 }
 
+int64_t FixedWindowHistogram::MemoryBytes() const {
+  size_t bytes = window_.MemoryBytes();
+  bytes += memo_.capacity() * sizeof(Eval);
+  bytes += memo_epoch_.capacity() * sizeof(uint32_t);
+  bytes += queues_.capacity() * sizeof(std::vector<QueueEntry>);
+  for (const auto& q : queues_) bytes += q.capacity() * sizeof(QueueEntry);
+  if (cached_histogram_.has_value()) {
+    bytes += static_cast<size_t>(cached_histogram_->num_buckets()) *
+             sizeof(Bucket);
+  }
+  return static_cast<int64_t>(bytes);
+}
+
 namespace {
 constexpr uint32_t kFixedWindowMagic = 0x53484657;  // "SHFW"
 constexpr uint32_t kFixedWindowVersion = 1;

@@ -117,6 +117,10 @@ class FixedWindowHistogram {
   double delta() const { return delta_; }
   const FixedWindowOptions& options() const { return options_; }
 
+  /// Approximate heap footprint in bytes — the window buffers plus the
+  /// interval lists and memo table (for the memory governor).
+  int64_t MemoryBytes() const;
+
  private:
   explicit FixedWindowHistogram(const FixedWindowOptions& options);
 

@@ -16,24 +16,36 @@ namespace streamhist {
 
 OptimalHistogramResult BuildOptimalHistogram(const BucketCost& cost,
                                              int64_t num_buckets) {
+  // Null context: the impl cannot cancel, so the Result always holds a value.
   if (const auto* sse = dynamic_cast<const SseBucketCost*>(&cost)) {
     return vopt_internal::BuildOptimalHistogramImpl(
-        vopt_internal::SseFlatCost(sse->sums()), num_buckets);
+               vopt_internal::SseFlatCost(sse->sums()), num_buckets)
+        .value();
   }
-  return vopt_internal::BuildOptimalHistogramImpl(cost, num_buckets);
+  return vopt_internal::BuildOptimalHistogramImpl(cost, num_buckets).value();
 }
 
 OptimalHistogramResult BuildVOptimalHistogram(std::span<const double> data,
                                               int64_t num_buckets) {
   const PrefixSums sums(data);
   return vopt_internal::BuildOptimalHistogramImpl(
-      vopt_internal::SseFlatCost(sums), num_buckets);
+             vopt_internal::SseFlatCost(sums), num_buckets)
+      .value();
 }
 
 double OptimalSse(std::span<const double> data, int64_t num_buckets) {
   const PrefixSums sums(data);
   return vopt_internal::OptimalSseImpl(vopt_internal::SseFlatCost(sums),
-                                       num_buckets);
+                                       num_buckets)
+      .value();
+}
+
+Result<OptimalHistogramResult> BuildVOptimalHistogramCancellable(
+    std::span<const double> data, int64_t num_buckets,
+    const ExecContext& ctx) {
+  const PrefixSums sums(data);
+  return vopt_internal::BuildOptimalHistogramImpl(
+      vopt_internal::SseFlatCost(sums), num_buckets, &ctx);
 }
 
 }  // namespace streamhist

@@ -6,6 +6,8 @@
 
 #include "src/core/bucket_cost.h"
 #include "src/core/histogram.h"
+#include "src/util/deadline.h"
+#include "src/util/result.h"
 
 namespace streamhist {
 
@@ -38,6 +40,15 @@ OptimalHistogramResult BuildVOptimalHistogram(std::span<const double> data,
 
 /// Only the optimal SSE value, O(n) space (no backtracking table kept).
 double OptimalSse(std::span<const double> data, int64_t num_buckets);
+
+/// Cancellable variant of BuildVOptimalHistogram: the DP consults `ctx`
+/// (util/deadline.h) at grain boundaries and between layers; an expired
+/// deadline or explicit Cancel() abandons the build with Status::Cancelled.
+/// With a context that never fires, the result is bit-identical to
+/// BuildVOptimalHistogram for every thread count — the degradation ladder's
+/// exact rung runs through here.
+Result<OptimalHistogramResult> BuildVOptimalHistogramCancellable(
+    std::span<const double> data, int64_t num_buckets, const ExecContext& ctx);
 
 }  // namespace streamhist
 

@@ -4,12 +4,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "src/core/histogram.h"
 #include "src/core/vopt_dp.h"
 #include "src/stream/prefix_sums.h"
+#include "src/util/deadline.h"
 #include "src/util/logging.h"
+#include "src/util/result.h"
 #include "src/util/thread_pool.h"
 
 /// Shared layer-sweep kernel for the offline histogram DPs (exact in
@@ -54,12 +57,24 @@ class SseFlatCost {
   const PrefixSums* sums_;
 };
 
+/// Cooperative-cancellation probe for DP sweeps, checked once per ParallelFor
+/// chunk (one relaxed load when no deadline is armed — see util/deadline.h).
+/// A stopped chunk skips its work; the values it would have written are never
+/// read, because the caller abandons the whole build once the layer returns.
+/// With ctx == nullptr (or a never-firing context) every chunk computes the
+/// identical values in the identical order — the no-deadline path stays
+/// bit-identical to the pre-cancellation kernel.
+inline bool StopRequested(const ExecContext* ctx) {
+  return ctx != nullptr && ctx->ShouldStop();
+}
+
 /// Fills layer 1: herror[j] = cost of the single bucket [0, j).
 template <typename CostT>
 void FillFirstLayer(const CostT& cost, int64_t n, double* herror,
-                    int32_t* back_1) {
+                    int32_t* back_1, const ExecContext* ctx = nullptr) {
   herror[0] = 0.0;
   ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+    if (StopRequested(ctx)) return;
     for (int64_t j = j_begin; j < j_end; ++j) {
       herror[j] = cost.Cost(0, j);
       if (back_1 != nullptr) back_1[j] = 0;
@@ -83,9 +98,11 @@ void FillFirstLayer(const CostT& cost, int64_t n, double* herror,
 /// thread count.
 template <typename CostT, bool kKeepBack>
 void ExactDpLayer(const CostT& cost, int64_t k, int64_t n,
-                  const double* herror_prev, double* herror, int32_t* back_k) {
+                  const double* herror_prev, double* herror, int32_t* back_k,
+                  const ExecContext* ctx = nullptr) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   ParallelFor(1, n + 1, kDpGrain, [&](int64_t j_begin, int64_t j_end) {
+    if (StopRequested(ctx)) return;
     for (int64_t j = j_begin; j < j_end; ++j) {
       if (j <= k) {
         herror[j] = 0.0;
@@ -147,10 +164,12 @@ std::vector<Bucket> BucketsFromBoundaries(
 
 /// The full exact DP (histogram + error), generic over the concrete cost
 /// type. This is the single implementation behind BuildOptimalHistogram,
-/// BuildVOptimalHistogram and OptimalSse (vopt_dp.cc).
+/// BuildVOptimalHistogram and OptimalSse (vopt_dp.cc). A non-null ctx is
+/// consulted at grain boundaries and between layers; a stop request abandons
+/// the build and returns Status::Cancelled (partial tables are discarded).
 template <typename CostT>
-OptimalHistogramResult BuildOptimalHistogramImpl(const CostT& cost,
-                                                 int64_t num_buckets) {
+Result<OptimalHistogramResult> BuildOptimalHistogramImpl(
+    const CostT& cost, int64_t num_buckets, const ExecContext* ctx = nullptr) {
   const int64_t n = cost.size();
   STREAMHIST_CHECK_GT(num_buckets, 0);
   if (n == 0) return OptimalHistogramResult{Histogram(), 0.0};
@@ -165,14 +184,21 @@ OptimalHistogramResult BuildOptimalHistogramImpl(const CostT& cost,
       static_cast<size_t>(b_max) + 1,
       std::vector<int32_t>(static_cast<size_t>(n) + 1, 0));
 
-  FillFirstLayer(cost, n, herror_prev.data(), back[1].data());
+  FillFirstLayer(cost, n, herror_prev.data(), back[1].data(), ctx);
+  if (StopRequested(ctx)) {
+    return Status::Cancelled("exact DP cancelled in layer 1");
+  }
 
   // Layers stay sequential (layer k reads layer k-1).
   for (int64_t k = 2; k <= b_max; ++k) {
     herror[0] = 0.0;
     ExactDpLayer<CostT, /*kKeepBack=*/true>(
         cost, k, n, herror_prev.data(), herror.data(),
-        back[static_cast<size_t>(k)].data());
+        back[static_cast<size_t>(k)].data(), ctx);
+    if (StopRequested(ctx)) {
+      return Status::Cancelled("exact DP cancelled in layer " +
+                               std::to_string(k));
+    }
     std::swap(herror, herror_prev);
   }
 
@@ -184,7 +210,8 @@ OptimalHistogramResult BuildOptimalHistogramImpl(const CostT& cost,
 
 /// Value-only variant: O(n) space, no backtracking tables.
 template <typename CostT>
-double OptimalSseImpl(const CostT& cost, int64_t num_buckets) {
+Result<double> OptimalSseImpl(const CostT& cost, int64_t num_buckets,
+                              const ExecContext* ctx = nullptr) {
   const int64_t n = cost.size();
   STREAMHIST_CHECK_GT(num_buckets, 0);
   if (n == 0) return 0.0;
@@ -192,14 +219,35 @@ double OptimalSseImpl(const CostT& cost, int64_t num_buckets) {
 
   std::vector<double> herror_prev(static_cast<size_t>(n) + 1);
   std::vector<double> herror(static_cast<size_t>(n) + 1);
-  FillFirstLayer(cost, n, herror_prev.data(), /*back_1=*/nullptr);
+  FillFirstLayer(cost, n, herror_prev.data(), /*back_1=*/nullptr, ctx);
+  if (StopRequested(ctx)) {
+    return Status::Cancelled("exact DP cancelled in layer 1");
+  }
   for (int64_t k = 2; k <= b_max; ++k) {
     herror[0] = 0.0;
     ExactDpLayer<CostT, /*kKeepBack=*/false>(cost, k, n, herror_prev.data(),
-                                             herror.data(), /*back_k=*/nullptr);
+                                             herror.data(), /*back_k=*/nullptr,
+                                             ctx);
+    if (StopRequested(ctx)) {
+      return Status::Cancelled("exact DP cancelled in layer " +
+                               std::to_string(k));
+    }
     std::swap(herror, herror_prev);
   }
   return herror_prev[static_cast<size_t>(n)];
+}
+
+/// Scratch footprint of one exact/approx DP build over n points with at most
+/// `num_buckets` buckets: the two rolling HERROR rows plus the full
+/// backtracking table (the dominant term), the working copy of the window
+/// contents, and the prefix-sum arrays. The degradation ladder asks the
+/// memory governor to admit this much before running a DP rung.
+inline int64_t DpScratchBytes(int64_t n, int64_t num_buckets) {
+  const int64_t b_max = std::min(num_buckets, n);
+  const int64_t herror_rows = 2 * (n + 1) * 8;
+  const int64_t back_table = (b_max + 1) * (n + 1) * 4;
+  const int64_t contents_and_sums = n * 8 + 3 * (n + 1) * 16;
+  return herror_rows + back_table + contents_and_sums;
 }
 
 }  // namespace streamhist::vopt_internal

@@ -1,5 +1,7 @@
 #include "src/engine/managed_stream.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <utility>
@@ -7,9 +9,40 @@
 
 #include "src/core/approx_dp.h"
 #include "src/core/vopt_dp.h"
+#include "src/core/vopt_kernel.h"
 #include "src/util/framing.h"
+#include "src/util/governor.h"
+#include "src/util/logging.h"
 
 namespace streamhist {
+
+const char* BuildRungName(BuildRung rung) {
+  switch (rung) {
+    case BuildRung::kExact:
+      return "exact";
+    case BuildRung::kApprox:
+      return "approx";
+    case BuildRung::kSnapshot:
+      return "snapshot";
+  }
+  return "unknown";
+}
+
+std::string DegradationReport::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    if (i > 0) os << " -> ";
+    const Attempt& a = attempts[i];
+    os << BuildRungName(a.rung);
+    if (a.rung == BuildRung::kApprox) {
+      os << "(delta=" << a.delta << ")";
+    } else if (a.rung == BuildRung::kSnapshot) {
+      os << "(eps=" << a.delta << ")";
+    }
+    if (!a.completed) os << "[" << a.reason << "]";
+  }
+  return os.str();
+}
 
 Result<ManagedStream> ManagedStream::Create(const StreamConfig& config) {
   if (!std::isfinite(config.build_delta) || config.build_delta < 0.0) {
@@ -42,6 +75,7 @@ Result<ManagedStream> ManagedStream::Create(const StreamConfig& config) {
     STREAMHIST_ASSIGN_OR_RETURN(FMSketch sketch, FMSketch::Create(256));
     stream.distinct_ = std::make_unique<FMSketch>(std::move(sketch));
   }
+  stream.ReconcileGovernorCharge();
   return stream;
 }
 
@@ -50,7 +84,35 @@ ManagedStream::ManagedStream(const StreamConfig& config,
     : config_(config),
       window_(std::make_unique<FixedWindowHistogram>(std::move(window))) {}
 
-void ManagedStream::Append(double value) {
+ManagedStream::ManagedStream(ManagedStream&& other) noexcept
+    : config_(other.config_),
+      dropped_nonfinite_(other.dropped_nonfinite_),
+      degraded_builds_(other.degraded_builds_),
+      charged_bytes_(std::exchange(other.charged_bytes_, 0)),
+      last_degradation_(std::move(other.last_degradation_)),
+      window_(std::move(other.window_)),
+      lifetime_(std::move(other.lifetime_)),
+      quantiles_(std::move(other.quantiles_)),
+      distinct_(std::move(other.distinct_)) {}
+
+ManagedStream& ManagedStream::operator=(ManagedStream&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseGovernorCharge();
+  config_ = other.config_;
+  dropped_nonfinite_ = other.dropped_nonfinite_;
+  degraded_builds_ = other.degraded_builds_;
+  charged_bytes_ = std::exchange(other.charged_bytes_, 0);
+  last_degradation_ = std::move(other.last_degradation_);
+  window_ = std::move(other.window_);
+  lifetime_ = std::move(other.lifetime_);
+  quantiles_ = std::move(other.quantiles_);
+  distinct_ = std::move(other.distinct_);
+  return *this;
+}
+
+ManagedStream::~ManagedStream() { ReleaseGovernorCharge(); }
+
+void ManagedStream::AppendValue(double value) {
   if (!std::isfinite(value)) {
     ++dropped_nonfinite_;
     return;
@@ -61,17 +123,59 @@ void ManagedStream::Append(double value) {
   if (distinct_ != nullptr) distinct_->AddValue(value);
 }
 
+void ManagedStream::Append(double value) {
+  AppendValue(value);
+  ReconcileGovernorCharge();
+}
+
 void ManagedStream::AppendBatch(std::span<const double> values) {
-  for (double v : values) Append(v);
+  for (double v : values) AppendValue(v);
+  ReconcileGovernorCharge();
 }
 
 void ManagedStream::Refresh() {
   window_->ApproxError();   // rebuilds the interval structure when stale
   (void)window_->Extract();  // materializes (and caches) the histogram
+  ReconcileGovernorCharge();
 }
 
 int64_t ManagedStream::total_points() const {
   return window_->window().total_appended();
+}
+
+int64_t ManagedStream::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(sizeof(ManagedStream));
+  if (window_ != nullptr) bytes += window_->MemoryBytes();
+  if (lifetime_ != nullptr) bytes += lifetime_->MemoryBytes();
+  if (quantiles_ != nullptr) bytes += quantiles_->MemoryBytes();
+  if (distinct_ != nullptr) bytes += distinct_->MemoryBytes();
+  return bytes;
+}
+
+int64_t ManagedStream::EstimateFootprintBytes(const StreamConfig& config) {
+  const int64_t n = std::max<int64_t>(config.window_size, 1);
+  const int64_t b = std::max<int64_t>(config.num_buckets, 1);
+  // Sliding window: the value ring plus two long-double cumulative arrays.
+  int64_t bytes = n * 8 + 2 * (n + 1) * 16;
+  // Fixed-window memo table and epoch stamps: (B+1) * (n+1) slots.
+  bytes += (b + 1) * (n + 1) * (16 + 4);
+  // Interval lists, GK summary, FM sketch, lifetime queues: these are the
+  // logarithmic-size synopses; a flat allowance covers their steady state.
+  bytes += 64 * 1024;
+  return bytes;
+}
+
+void ManagedStream::ReconcileGovernorCharge() {
+  const int64_t now = MemoryBytes();
+  governor::AdjustCharge(now - charged_bytes_);
+  charged_bytes_ = now;
+}
+
+void ManagedStream::ReleaseGovernorCharge() {
+  if (charged_bytes_ != 0) {
+    governor::Release(charged_bytes_);
+    charged_bytes_ = 0;
+  }
 }
 
 Status ManagedStream::SetBuildMode(WindowBuildMode mode, double delta) {
@@ -84,25 +188,134 @@ Status ManagedStream::SetBuildMode(WindowBuildMode mode, double delta) {
   return Status::OK();
 }
 
-WindowBuildReport ManagedStream::BuildWindowHistogram() const {
+namespace {
+
+// Scratch footprint of the approximate DP: the prefix-sum arrays plus the
+// contents copy dominate; the sparse endpoint queues are O((B^2/delta) log n)
+// and negligible next to them.
+int64_t ApproxDpScratchBytes(int64_t n) {
+  return 3 * (n + 1) * static_cast<int64_t>(sizeof(long double)) + n * 8;
+}
+
+double ElapsedMillis(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+WindowBuildReport ManagedStream::BuildWindowHistogram(
+    const Deadline& deadline) {
   const std::vector<double> contents = window_->window().ToVector();
+  const int64_t n = static_cast<int64_t>(contents.size());
+
   WindowBuildReport report;
   report.mode = config_.build_mode;
-  report.points = static_cast<int64_t>(contents.size());
-  if (config_.build_mode == WindowBuildMode::kApprox) {
-    report.delta = config_.build_delta;
-    ApproxHistogramResult approx = BuildApproxVOptimalHistogram(
-        contents, config_.num_buckets, config_.build_delta);
-    report.histogram = std::move(approx.histogram);
-    report.sse = approx.sse;
-    report.bound_factor = approx.bound_factor;
+  report.points = n;
+
+  // Rung plan: the configured mode's rung first, then the approximate DP at
+  // escalating standard slacks (only those strictly looser than the
+  // configured one), then the maintained snapshot, which cannot fail.
+  struct PlannedRung {
+    BuildRung rung;
+    double delta;
+  };
+  std::vector<PlannedRung> plan;
+  if (config_.build_mode == WindowBuildMode::kExact) {
+    plan.push_back({BuildRung::kExact, 0.0});
   } else {
-    OptimalHistogramResult exact =
-        BuildVOptimalHistogram(contents, config_.num_buckets);
-    report.histogram = std::move(exact.histogram);
-    report.sse = exact.error;
-    report.bound_factor = 1.0;
+    plan.push_back({BuildRung::kApprox, config_.build_delta});
   }
+  for (double d : {0.01, 0.1, 0.5}) {
+    if (config_.build_mode == WindowBuildMode::kApprox &&
+        d <= config_.build_delta) {
+      continue;
+    }
+    plan.push_back({BuildRung::kApprox, d});
+  }
+  plan.push_back({BuildRung::kSnapshot, config_.epsilon});
+
+  bool completed = false;
+  for (const PlannedRung& rung : plan) {
+    DegradationReport::Attempt attempt;
+    attempt.rung = rung.rung;
+    attempt.delta = rung.delta;
+    const auto start = std::chrono::steady_clock::now();
+    auto finish = [&](bool ok, std::string reason) {
+      attempt.elapsed_ms = ElapsedMillis(start);
+      attempt.completed = ok;
+      attempt.reason = std::move(reason);
+      report.degradation.attempts.push_back(std::move(attempt));
+    };
+
+    if (rung.rung == BuildRung::kSnapshot) {
+      // The continuously-maintained window histogram: no scratch tables, no
+      // rebuild from raw points, no deadline consultation — this rung always
+      // terminates, which is what makes the ladder total. Its (1+epsilon)
+      // certificate is the fixed-window maintenance guarantee.
+      report.histogram = window_->Extract();
+      double sse = 0.0;
+      for (double e : window_->BucketErrors()) sse += e;
+      report.sse = sse;
+      report.bound_factor = 1.0 + config_.epsilon;
+      report.rung = rung.rung;
+      report.delta = rung.delta;
+      finish(true, "");
+      completed = true;
+      break;
+    }
+
+    const int64_t scratch = rung.rung == BuildRung::kExact
+                                ? vopt_internal::DpScratchBytes(
+                                      n, config_.num_buckets)
+                                : ApproxDpScratchBytes(n);
+    governor::ScopedCharge charge(scratch);
+    if (!charge.ok()) {
+      finish(false, "memory governor refused " + std::to_string(scratch) +
+                        " bytes of DP scratch");
+      continue;
+    }
+    ExecContext ctx(deadline);
+    if (ctx.ShouldStop()) {
+      finish(false, "deadline expired before start");
+      continue;
+    }
+    if (rung.rung == BuildRung::kExact) {
+      Result<OptimalHistogramResult> exact = BuildVOptimalHistogramCancellable(
+          contents, config_.num_buckets, ctx);
+      if (!exact.ok()) {
+        finish(false, exact.status().message());
+        continue;
+      }
+      OptimalHistogramResult r = std::move(exact).value();
+      report.histogram = std::move(r.histogram);
+      report.sse = r.error;
+      report.bound_factor = 1.0;
+    } else {
+      Result<ApproxHistogramResult> approx =
+          BuildApproxVOptimalHistogramCancellable(contents, config_.num_buckets,
+                                                  rung.delta, ctx);
+      if (!approx.ok()) {
+        finish(false, approx.status().message());
+        continue;
+      }
+      ApproxHistogramResult r = std::move(approx).value();
+      report.histogram = std::move(r.histogram);
+      report.sse = r.sse;
+      report.bound_factor = r.bound_factor;
+    }
+    report.rung = rung.rung;
+    report.delta = rung.delta;
+    finish(true, "");
+    completed = true;
+    break;
+  }
+  STREAMHIST_CHECK(completed) << "degradation ladder fell through";
+
+  report.degradation.degraded = report.degradation.attempts.size() > 1;
+  if (report.degradation.degraded) ++degraded_builds_;
+  last_degradation_ = report.degradation;
   return report;
 }
 
@@ -128,6 +341,12 @@ std::string ManagedStream::Describe() {
        << " distinct values";
   }
   os << "; " << dropped_nonfinite_ << " non-finite dropped";
+  if (degraded_builds_ > 0) {
+    os << "; degraded builds=" << degraded_builds_;
+    if (last_degradation_.degraded) {
+      os << "; last build: " << last_degradation_.ToString();
+    }
+  }
   return os.str();
 }
 
@@ -135,7 +354,8 @@ namespace {
 constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
 // v1: config through keep_distinct + dropped + synopsis blobs.
 // v2: adds build_mode (bool: approx?) + build_delta after keep_distinct.
-constexpr uint32_t kStreamVersion = 2;
+// v3: adds degraded_builds after dropped_nonfinite.
+constexpr uint32_t kStreamVersion = 3;
 }  // namespace
 
 std::string ManagedStream::Snapshot() const {
@@ -150,6 +370,7 @@ std::string ManagedStream::Snapshot() const {
   payload.PutBool(config_.build_mode == WindowBuildMode::kApprox);
   payload.PutF64(config_.build_delta);
   payload.PutI64(dropped_nonfinite_);
+  payload.PutI64(degraded_builds_);
   payload.PutLengthPrefixed(window_->Serialize());
   if (lifetime_ != nullptr) payload.PutLengthPrefixed(lifetime_->Serialize());
   if (quantiles_ != nullptr) {
@@ -162,14 +383,15 @@ std::string ManagedStream::Snapshot() const {
 Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
   STREAMHIST_ASSIGN_OR_RETURN(FrameView frame,
                               UnwrapFrame(bytes, kStreamMagic, "stream"));
-  // v1 snapshots (pre-BUILD-mode) stay loadable per the EXPERIMENTS.md
-  // version policy; they get the config defaults for the new fields.
-  if (frame.version != 1 && frame.version != kStreamVersion) {
+  // Older snapshots stay loadable per the EXPERIMENTS.md version policy;
+  // fields they predate get zero / config defaults.
+  if (frame.version < 1 || frame.version > kStreamVersion) {
     return Status::InvalidArgument("unsupported stream snapshot version");
   }
   ByteReader reader(frame.payload);
   StreamConfig config;
   int64_t dropped = 0;
+  int64_t degraded_builds = 0;
   std::string_view window_bytes;
   if (!reader.ReadI64(&config.window_size) ||
       !reader.ReadI64(&config.num_buckets) ||
@@ -188,17 +410,23 @@ Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
     config.build_mode =
         approx ? WindowBuildMode::kApprox : WindowBuildMode::kExact;
   }
-  if (!reader.ReadI64(&dropped) ||
-      !reader.ReadLengthPrefixed(&window_bytes)) {
+  if (!reader.ReadI64(&dropped)) {
     return Status::InvalidArgument("truncated stream snapshot");
   }
-  if (dropped < 0) {
-    return Status::InvalidArgument("stream drop counter violates invariants");
+  if (frame.version >= 3 && !reader.ReadI64(&degraded_builds)) {
+    return Status::InvalidArgument("truncated stream snapshot");
+  }
+  if (!reader.ReadLengthPrefixed(&window_bytes)) {
+    return Status::InvalidArgument("truncated stream snapshot");
+  }
+  if (dropped < 0 || degraded_builds < 0) {
+    return Status::InvalidArgument("stream counters violate invariants");
   }
   // Create() re-validates the config through every synopsis factory; the
   // freshly built synopses are then replaced by the deserialized ones.
   STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream, Create(config));
   stream.dropped_nonfinite_ = dropped;
+  stream.degraded_builds_ = degraded_builds;
 
   STREAMHIST_ASSIGN_OR_RETURN(FixedWindowHistogram window,
                               FixedWindowHistogram::Deserialize(window_bytes));
@@ -238,6 +466,7 @@ Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after stream snapshot");
   }
+  stream.ReconcileGovernorCharge();
   return stream;
 }
 

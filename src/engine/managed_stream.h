@@ -6,12 +6,14 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/core/agglomerative.h"
 #include "src/core/fixed_window.h"
 #include "src/core/histogram.h"
 #include "src/quantile/gk_summary.h"
 #include "src/sketch/fm_sketch.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 namespace streamhist {
@@ -20,6 +22,16 @@ namespace streamhist {
 /// exact O(n^2 B) V-optimal DP, or the paper's (1+delta)-approximate
 /// interval-pruned DP (core/approx_dp.h).
 enum class WindowBuildMode : uint8_t { kExact = 0, kApprox = 1 };
+
+/// One rung of the degradation ladder BuildWindowHistogram descends when a
+/// deadline expires or the memory governor refuses DP scratch: the exact DP,
+/// the approximate DP (with escalating delta), and finally the continuously
+/// maintained fixed-window snapshot, which needs no scratch and no rebuild
+/// and therefore always terminates.
+enum class BuildRung : uint8_t { kExact = 0, kApprox = 1, kSnapshot = 2 };
+
+/// Stable lowercase name ("exact", "approx", "snapshot").
+const char* BuildRungName(BuildRung rung);
 
 /// Which synopses a managed stream maintains; the fixed-window histogram is
 /// always on (it is the primary query surface).
@@ -46,23 +58,55 @@ struct StreamConfig {
   double build_delta = 0.1;
 };
 
+/// How one BUILD descended (or did not descend) the degradation ladder: one
+/// attempt per rung tried, in order, each with its wall-clock share and —
+/// when it did not complete — the reason it was abandoned. The final attempt
+/// always completed; the ladder's last rung cannot fail.
+struct DegradationReport {
+  struct Attempt {
+    BuildRung rung = BuildRung::kExact;
+    /// Approx slack for kApprox; snapshot epsilon for kSnapshot; 0 for exact.
+    double delta = 0.0;
+    double elapsed_ms = 0.0;
+    bool completed = false;
+    std::string reason;  // empty when completed
+  };
+  std::vector<Attempt> attempts;
+  /// True when the first planned rung was not the one that completed.
+  bool degraded = false;
+
+  /// "exact[deadline expired] -> approx(delta=0.01)" style one-liner.
+  std::string ToString() const;
+};
+
 /// Result of one offline BUILD over a stream's current window contents.
 struct WindowBuildReport {
   WindowBuildMode mode = WindowBuildMode::kExact;
-  double delta = 0.0;  // the slack used (meaningful under kApprox)
+  /// The rung that produced `histogram` (matches `mode` unless degraded).
+  BuildRung rung = BuildRung::kExact;
+  double delta = 0.0;  // slack of the producing rung (see DegradationReport)
   int64_t points = 0;  // window length at build time
   Histogram histogram;
   double sse = 0.0;           // realized SSE of `histogram`
   double bound_factor = 1.0;  // certified sse <= bound_factor * OPT
+  DegradationReport degradation;
 };
 
 /// One named data stream with its continuously-maintained synopses — the
 /// paper's deployment picture (section 1): a network element's measurement
 /// stream that must stay queryable without being stored.
+///
+/// Every stream keeps its synopsis footprint charged with the process-wide
+/// memory governor (util/governor.h); the charge follows the synopses as
+/// they grow and is released on destruction.
 class ManagedStream {
  public:
   /// Validates the config (delegates to the synopsis factories).
   static Result<ManagedStream> Create(const StreamConfig& config);
+
+  ManagedStream(ManagedStream&& other) noexcept;
+  ManagedStream& operator=(ManagedStream&& other) noexcept;
+  ~ManagedStream();
 
   /// Feeds one point to every maintained synopsis. Non-finite values
   /// (NaN/Inf) are quarantined — counted in dropped_nonfinite() and fed to
@@ -100,18 +144,41 @@ class ManagedStream {
   /// Points rejected by Append because they were NaN or infinite.
   int64_t dropped_nonfinite() const { return dropped_nonfinite_; }
 
+  /// BUILDs (over the stream's lifetime, surviving checkpoints) that had to
+  /// descend below their first planned ladder rung.
+  int64_t degraded_builds() const { return degraded_builds_; }
+
+  /// Approximate bytes held by this stream's synopses (what the stream has
+  /// charged with the memory governor).
+  int64_t MemoryBytes() const;
+
+  /// Steady-state footprint estimate for a stream with this config — the
+  /// admission check CREATE runs against the memory budget before any
+  /// allocation happens.
+  static int64_t EstimateFootprintBytes(const StreamConfig& config);
+
   /// Changes the offline construction mode for subsequent BUILD queries
   /// (serialized into snapshots). `delta` is ignored under kExact; under
   /// kApprox it must be finite and >= 0.
   Status SetBuildMode(WindowBuildMode mode, double delta);
 
-  /// Offline V-optimal construction over the current window contents using
-  /// the configured mode: the exact DP (core/vopt_dp.h) or the
-  /// (1+delta)-approximate interval-pruned DP (core/approx_dp.h). Unlike the
-  /// continuously-maintained window histogram, this touches every window
-  /// point — it is the "rebuild from scratch" comparison surface of the
-  /// paper's evaluation, made queryable.
-  WindowBuildReport BuildWindowHistogram() const;
+  /// Offline V-optimal construction over the current window contents,
+  /// bounded in time and memory by the degradation ladder:
+  ///
+  ///   exact DP  ->  approx DP (delta escalating 0.01 -> 0.1 -> 0.5)
+  ///             ->  maintained fixed-window snapshot
+  ///
+  /// starting at the configured mode's rung. A rung is skipped when the
+  /// deadline has expired (cancelling it mid-sweep at the next grain
+  /// boundary) or the memory governor refuses its scratch tables; the
+  /// snapshot rung needs neither and always completes, so the call always
+  /// terminates with a histogram plus a certified error bound — exact: 1x
+  /// OPT, approx: (1+delta)^(B-1) x OPT, snapshot: (1+epsilon) x OPT — and a
+  /// truthful DegradationReport. With no deadline and an unconstrained
+  /// governor the first rung runs to completion and its result is
+  /// bit-identical to the pre-ladder builds across thread counts.
+  WindowBuildReport BuildWindowHistogram(
+      const Deadline& deadline = Deadline::Infinite());
 
   /// One-line status ("n=1024 window, 16 buckets, 120000 points seen, ...").
   std::string Describe();
@@ -128,8 +195,17 @@ class ManagedStream {
  private:
   ManagedStream(const StreamConfig& config, FixedWindowHistogram window);
 
+  // Append without the governor reconcile (batched by AppendBatch).
+  void AppendValue(double value);
+  // Brings the governor charge in line with MemoryBytes().
+  void ReconcileGovernorCharge();
+  void ReleaseGovernorCharge();
+
   StreamConfig config_;
   int64_t dropped_nonfinite_ = 0;
+  int64_t degraded_builds_ = 0;
+  int64_t charged_bytes_ = 0;  // currently charged with the governor
+  DegradationReport last_degradation_;
   // unique_ptr keeps the type movable despite the large synopsis states.
   std::unique_ptr<FixedWindowHistogram> window_;
   std::unique_ptr<AgglomerativeHistogram> lifetime_;

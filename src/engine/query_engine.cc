@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "src/core/error_bounds.h"
+#include "src/util/deadline.h"
 #include "src/util/fileio.h"
 #include "src/util/framing.h"
+#include "src/util/governor.h"
 #include "src/util/thread_pool.h"
 
 namespace streamhist {
@@ -103,6 +107,19 @@ Status QueryEngine::CreateStream(const std::string& name,
   if (streams_.contains(name)) {
     return Status::InvalidArgument("stream '" + name + "' already exists");
   }
+  // Admission control: refuse up front when the stream's steady-state
+  // footprint would bust the memory budget, before anything is allocated.
+  // The probe charge is released immediately — the stream itself keeps its
+  // *actual* footprint charged as it grows (ManagedStream's reconcile).
+  const int64_t estimate = ManagedStream::EstimateFootprintBytes(config);
+  if (!governor::TryCharge(estimate)) {
+    return Status::ResourceExhausted(
+        "memory budget refused stream '" + name + "': estimated " +
+        std::to_string(estimate) + " bytes, used " +
+        std::to_string(governor::Used()) + ", budget " +
+        governor::FormatBytes(governor::Budget()));
+  }
+  governor::Release(estimate);
   STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream,
                               ManagedStream::Create(config));
   streams_.emplace(name, std::move(stream));
@@ -196,7 +213,17 @@ std::string QueryEngine::CheckpointReport::ToString() const {
   return os.str();
 }
 
-Status QueryEngine::SaveCheckpoint(const std::string& path) const {
+namespace {
+// Test seam for the save-retry backoff; null means real sleep.
+void (*g_backoff_sleeper)(int64_t) = nullptr;
+}  // namespace
+
+void QueryEngine::SetBackoffSleeperForTest(void (*sleeper)(int64_t millis)) {
+  g_backoff_sleeper = sleeper;
+}
+
+Status QueryEngine::SaveCheckpoint(const std::string& path,
+                                   SaveReport* report) const {
   ByteWriter header;
   header.PutU64(streams_.size());
   std::string file = WrapFrame(kCheckpointMagic, kCheckpointVersion,
@@ -207,7 +234,25 @@ Status QueryEngine::SaveCheckpoint(const std::string& path) const {
     section.PutLengthPrefixed(stream.Snapshot());
     file += WrapFrame(kSectionMagic, kSectionVersion, section.bytes());
   }
-  return AtomicWriteFile(path, file);
+  // The image is immutable from here, so a retry rewrites identical bytes —
+  // safe against transient I/O failures (AtomicWriteFile's temp-file
+  // discipline means a failed attempt leaves no partial state behind).
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= kSaveAttempts; ++attempt) {
+    if (report != nullptr) report->attempts = attempt;
+    last = AtomicWriteFile(path, file);
+    if (last.ok()) return last;
+    if (last.code() != StatusCode::kIOError) return last;  // not transient
+    if (attempt < kSaveAttempts) {
+      const int64_t backoff_ms = int64_t{1} << (attempt - 1);
+      if (g_backoff_sleeper != nullptr) {
+        g_backoff_sleeper(backoff_ms);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+    }
+  }
+  return last;
 }
 
 Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpoint(
@@ -309,6 +354,19 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
     return os.str();
   }
 
+  if (verb == "MEMORY") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("MEMORY takes no arguments");
+    }
+    std::ostringstream os;
+    os << "budget=" << governor::FormatBytes(governor::Budget())
+       << "; used=" << governor::Used() << "; peak=" << governor::Peak();
+    for (const auto& [name, stream] : streams_) {
+      os << "; " << name << "=" << stream.MemoryBytes();
+    }
+    return os.str();
+  }
+
   if (tokens.size() < 2) {
     return Status::InvalidArgument(verb + " requires an argument");
   }
@@ -336,10 +394,14 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
   }
   if (verb == "SAVE") {
     if (tokens.size() != 2) return Status::InvalidArgument("SAVE <path>");
-    const Status status = SaveCheckpoint(tokens[1]);
+    SaveReport save_report;
+    const Status status = SaveCheckpoint(tokens[1], &save_report);
     if (!status.ok()) return status;
     std::ostringstream os;
     os << "checkpointed " << streams_.size() << " stream(s) to " << tokens[1];
+    if (save_report.attempts > 1) {
+      os << " (after " << save_report.attempts << " attempts)";
+    }
     return os.str();
   }
   if (verb == "LOAD") {
@@ -440,32 +502,53 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
   if (verb == "BUILD") {
     // Offline V-optimal construction over the current window contents.
     // An optional mode argument is sticky: it updates the stream's
-    // configured build mode (DESCRIBE shows it; checkpoints carry it).
-    if (tokens.size() == 3 && ToUpper(tokens[2]) == "EXACT") {
+    // configured build mode (DESCRIBE shows it; checkpoints carry it). An
+    // optional trailing WITHIN <ms> clause (not sticky) sets the wall-clock
+    // budget for this one build; with none, STREAMHIST_BUILD_DEADLINE_MS
+    // supplies a process-wide default.
+    size_t end = tokens.size();
+    int64_t within_ms = DefaultBuildDeadlineMillis();
+    if (end >= 4 && ToUpper(tokens[end - 2]) == "WITHIN") {
+      STREAMHIST_ASSIGN_OR_RETURN(within_ms, ParseInt(tokens[end - 1]));
+      if (within_ms <= 0) {
+        return Status::InvalidArgument(
+            "WITHIN requires a positive millisecond budget");
+      }
+      end -= 2;
+    }
+    if (end == 3 && ToUpper(tokens[2]) == "EXACT") {
       const Status status =
           stream->SetBuildMode(WindowBuildMode::kExact, 0.0);
       if (!status.ok()) return status;
-    } else if (tokens.size() == 4 && ToUpper(tokens[2]) == "ERROR") {
+    } else if (end == 4 && ToUpper(tokens[2]) == "ERROR") {
       STREAMHIST_ASSIGN_OR_RETURN(double delta, ParseDouble(tokens[3]));
       const Status status =
           stream->SetBuildMode(WindowBuildMode::kApprox, delta);
       if (!status.ok()) return status;
-    } else if (tokens.size() != 2) {
-      return Status::InvalidArgument("BUILD <stream> [EXACT | ERROR <delta>]");
+    } else if (end != 2) {
+      return Status::InvalidArgument(
+          "BUILD <stream> [EXACT | ERROR <delta>] [WITHIN <ms>]");
     }
-    const WindowBuildReport report = stream->BuildWindowHistogram();
+    const Deadline deadline = within_ms > 0 ? Deadline::AfterMillis(within_ms)
+                                            : Deadline::Infinite();
+    const WindowBuildReport report = stream->BuildWindowHistogram(deadline);
     std::ostringstream os;
-    if (report.mode == WindowBuildMode::kApprox) {
+    if (report.rung == BuildRung::kApprox) {
       os << "built approx(delta=" << FormatNumber(report.delta) << ")";
+    } else if (report.rung == BuildRung::kSnapshot) {
+      os << "built snapshot(eps=" << FormatNumber(report.delta) << ")";
     } else {
       os << "built exact";
     }
     os << ": n=" << report.points
        << ", buckets=" << report.histogram.num_buckets()
        << ", sse=" << FormatNumber(report.sse);
-    if (report.mode == WindowBuildMode::kApprox) {
+    if (report.rung != BuildRung::kExact) {
       os << ", certified sse <= " << FormatNumber(report.bound_factor)
          << " * OPT";
+    }
+    if (report.degradation.degraded) {
+      os << "; degraded: " << report.degradation.ToString();
     }
     return os.str();
   }

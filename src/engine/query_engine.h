@@ -44,13 +44,26 @@ struct StreamBatch {
 ///                                 interval-pruned DP, build; the reply
 ///                                 carries the certified (1+delta)^(B-1)
 ///                                 factor (mode persists into checkpoints)
+///   BUILD ... WITHIN <ms>         any BUILD form with a wall-clock budget:
+///                                 when it expires the build degrades down
+///                                 the ladder (exact -> approx -> snapshot),
+///                                 always terminating with a histogram, a
+///                                 certified bound, and the ladder trace.
+///                                 With no WITHIN clause the default comes
+///                                 from STREAMHIST_BUILD_DEADLINE_MS.
 ///   DESCRIBE <stream>             synopsis status line
 ///   SHOW <stream>                 the window histogram's buckets
+///   MEMORY                        governor budget / used / peak plus the
+///                                 per-stream synopsis footprints; budget
+///                                 comes from STREAMHIST_MEM_BUDGET
 ///   LIST                          names of registered streams
-///   CREATE <stream> [<window> [<buckets>]]   register a stream
+///   CREATE <stream> [<window> [<buckets>]]   register a stream (refused
+///                                 when its estimated footprint would
+///                                 exceed the memory budget)
 ///   APPEND <stream> <v1> [v2 ...] feed points (NaN/Inf quarantined)
 ///   DROP <stream>                 unregister a stream
 ///   SAVE <path>                   checkpoint every stream to a file
+///                                 (transient I/O failures are retried)
 ///   LOAD <path>                   restore streams from a checkpoint
 class QueryEngine {
  public:
@@ -112,11 +125,33 @@ class QueryEngine {
     std::string ToString() const;
   };
 
+  /// How a SaveCheckpoint call went: how many write attempts it took (1 on
+  /// the happy path; up to the retry limit when transient I/O faults healed
+  /// mid-save).
+  struct SaveReport {
+    int attempts = 0;
+  };
+
   /// Atomically checkpoints every registered stream to `path` (write to a
   /// temp file, fsync, rename): a crash mid-save leaves any previous
   /// checkpoint at `path` intact. The file is a framed container with a
   /// CRC32C per section, so corruption is detected per stream on load.
-  Status SaveCheckpoint(const std::string& path) const;
+  ///
+  /// I/O failures are retried with exponential backoff (kSaveAttempts total
+  /// attempts): the serialized image is built once, so every attempt writes
+  /// identical bytes and a transient fault — a busy disk, an injected
+  /// `fileio.fsync.transient` — self-heals without caller involvement.
+  /// Non-I/O errors are not retried. `report`, when non-null, receives the
+  /// attempt count either way.
+  Status SaveCheckpoint(const std::string& path,
+                        SaveReport* report = nullptr) const;
+
+  /// Total write attempts SaveCheckpoint makes before giving up.
+  static constexpr int kSaveAttempts = 3;
+
+  /// Replaces the between-attempt backoff sleep (test seam: deterministic
+  /// retry tests must not wall-clock sleep). Null restores the real sleep.
+  static void SetBackoffSleeperForTest(void (*sleeper)(int64_t millis));
 
   /// Replaces the registry with the checkpoint's streams. Recovery is
   /// partial: a section whose CRC or contents are bad is dropped (reported

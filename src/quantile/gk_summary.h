@@ -38,6 +38,11 @@ class GKSummary {
 
   double epsilon() const { return epsilon_; }
 
+  /// Approximate heap footprint in bytes (for the memory governor).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(tuples_.capacity() * sizeof(Tuple));
+  }
+
   /// Serializes the summary (tuples + counters) as a framed, CRC-protected
   /// blob; a round-trip restores identical quantile answers and identical
   /// future insert behavior.

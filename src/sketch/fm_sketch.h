@@ -40,6 +40,11 @@ class FMSketch {
     return static_cast<int64_t>(bitmaps_.size());
   }
 
+  /// Approximate heap footprint in bytes (for the memory governor).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(bitmaps_.capacity() * sizeof(uint64_t));
+  }
+
   /// Merges another sketch built with the same shape and seed (union
   /// semantics). Returns InvalidArgument on shape/seed mismatch.
   Status Merge(const FMSketch& other);

@@ -72,6 +72,15 @@ class SlidingWindow {
   /// Number of O(n) rebases performed so far (exposed for tests/benches).
   int64_t rebase_count() const { return rebase_count_; }
 
+  /// Approximate heap footprint in bytes (values plus the two cyclic
+  /// prefix-sum arrays) — the input to the memory governor's accounting
+  /// (util/governor.h).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(values_.capacity() * sizeof(double) +
+                                cum_sum_.capacity() * sizeof(long double) +
+                                cum_sqsum_.capacity() * sizeof(long double));
+  }
+
   /// Serializes the complete window state — values, cumulative sums, shift
   /// epoch, counters — as a framed, CRC-protected blob (util/framing.h).
   /// Deserialize restores a bit-identical window, so every query answer and

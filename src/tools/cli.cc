@@ -48,7 +48,10 @@ int Usage(std::ostream& err) {
          " POINT <i>\n"
          "  inspect --histogram hist.bin\n"
          "  console [--script file]   engine statements from stdin or file\n"
-         "          (CREATE/APPEND/SUM/.../SAVE <path>/LOAD <path>)\n";
+         "          (CREATE/APPEND/SUM/.../SAVE <path>/LOAD <path>;\n"
+         "           BUILD <s> [EXACT|ERROR <d>] [WITHIN <ms>] degrades\n"
+         "           gracefully on deadline expiry; MEMORY shows the\n"
+         "           governor budget from STREAMHIST_MEM_BUDGET)\n";
   return 2;
 }
 

@@ -1,0 +1,41 @@
+#include "src/util/deadline.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "src/util/fault.h"
+
+namespace streamhist {
+
+int64_t Deadline::RemainingMillis() const {
+  if (infinite_) return std::numeric_limits<int64_t>::max();
+  const auto left = at_ - std::chrono::steady_clock::now();
+  const int64_t ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+  return ms > 0 ? ms : 0;
+}
+
+bool ExecContext::CheckExpiredSlow() const {
+  // The injected expiry fires regardless of the configured deadline so a
+  // chaos run can degrade builds that carry no WITHIN clause; a count-limited
+  // arming (deadline.expire:1) cancels exactly one ladder rung.
+  if (fault::Triggered("deadline.expire") || deadline_.Expired()) {
+    cancel_.Cancel();
+    return true;
+  }
+  return false;
+}
+
+int64_t DefaultBuildDeadlineMillis() {
+  static const int64_t ms = [] {
+    const char* env = std::getenv("STREAMHIST_BUILD_DEADLINE_MS");
+    if (env == nullptr || *env == '\0') return int64_t{0};
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || parsed <= 0) return int64_t{0};
+    return static_cast<int64_t>(parsed);
+  }();
+  return ms;
+}
+
+}  // namespace streamhist

@@ -1,0 +1,115 @@
+#ifndef STREAMHIST_UTIL_DEADLINE_H_
+#define STREAMHIST_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace streamhist {
+
+/// Cooperative-cancellation flag shared between a requester and the worker
+/// loops it wants to be able to stop. The check is one relaxed atomic load
+/// (the same disabled-cost discipline as fault::Triggered), so kernels can
+/// afford to consult it at every grain boundary.
+///
+/// Relaxed ordering is sufficient: cancellation is a hint that only ever
+/// turns work *off*, the worker never reads data published by Cancel(), and
+/// a check that misses a concurrent Cancel() by one grain is still correct —
+/// it just stops one chunk later.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A wall-clock budget on steady_clock. Infinite() never expires and costs
+/// nothing to check (one bool); AfterMillis(ms) expires `ms` milliseconds
+/// after construction.
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. ms <= 0 is already expired.
+  static Deadline AfterMillis(int64_t ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+
+  /// True once the wall clock passed the deadline (always false for
+  /// Infinite()). Reads the clock — call from grain boundaries, not inner
+  /// loops.
+  bool Expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry, clamped to >= 0. Meaningless (large) for
+  /// infinite deadlines.
+  int64_t RemainingMillis() const;
+
+ private:
+  Deadline() = default;
+
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// The cancellation context threaded through the offline DP kernels
+/// (core/vopt_kernel.h, core/approx_dp.cc, core/agglomerative.cc): one
+/// deadline plus one latch. Kernels call ShouldStop() at grain boundaries;
+/// once it returns true it stays true (deadline expiry is latched into the
+/// token), so every chunk of a cancelled sweep observes the same answer.
+///
+/// Fault point `deadline.expire` (util/fault.h) makes ShouldStop() report
+/// expiry deterministically, independent of the wall clock — that is how
+/// tests drive a specific degradation-ladder rung without timing games.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(Deadline deadline) : deadline_(deadline) {}
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Fast path: one relaxed load when not yet cancelled and the deadline is
+  /// infinite (plus the fault registry's own one-load fast path).
+  bool ShouldStop() const {
+    if (cancel_.cancelled()) return true;
+    return CheckExpiredSlow();
+  }
+
+  /// Requests cancellation explicitly (idempotent).
+  void Cancel() { cancel_.Cancel(); }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  // Clock / fault check; latches a positive answer into the token so
+  // subsequent checks are one load.
+  bool CheckExpiredSlow() const;
+
+  Deadline deadline_ = Deadline::Infinite();
+  mutable CancelToken cancel_;
+};
+
+/// The process-default BUILD deadline from STREAMHIST_BUILD_DEADLINE_MS
+/// (parsed once at first use): milliseconds per BUILD statement when the
+/// query carries no WITHIN clause. Unset, empty, or non-positive means no
+/// default deadline. Returns 0 when unset.
+int64_t DefaultBuildDeadlineMillis();
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_DEADLINE_H_

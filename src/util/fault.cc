@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -11,10 +12,14 @@ namespace fault {
 
 namespace {
 
+struct ArmState {
+  int64_t remaining = kUnlimitedFires;  // fires left; kUnlimitedFires: no cap
+};
+
 struct Registry {
   std::mutex mu;
-  // point name -> times it fired while armed
-  std::map<std::string, int64_t> armed;
+  std::map<std::string, ArmState> armed;
+  // point name -> times it fired while armed (kept across self-disarm)
   std::map<std::string, int64_t> fired;
 };
 
@@ -40,22 +45,31 @@ bool TriggeredSlow(const char* point) {
   std::lock_guard<std::mutex> lock(registry.mu);
   auto it = registry.armed.find(point);
   if (it == registry.armed.end()) return false;
-  ++it->second;
   ++registry.fired[point];
+  if (it->second.remaining != kUnlimitedFires &&
+      --it->second.remaining == 0) {
+    registry.armed.erase(it);
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
 }  // namespace internal
 
-void Arm(const std::string& point) {
+void Arm(const std::string& point, int64_t max_fires) {
+  if (max_fires != kUnlimitedFires && max_fires < 1) return;
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mu);
-  if (registry.armed.emplace(point, 0).second) {
+  auto [it, inserted] = registry.armed.try_emplace(point);
+  it->second.remaining = max_fires;
+  if (inserted) {
     internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void ArmFromSpec(const std::string& spec) {
+  const std::vector<std::string> known = KnownPoints();
+  std::string unknown;
   size_t begin = 0;
   while (begin <= spec.size()) {
     size_t end = spec.find(',', begin);
@@ -66,8 +80,42 @@ void ArmFromSpec(const std::string& spec) {
     while (hi > lo && std::isspace(static_cast<unsigned char>(spec[hi - 1]))) {
       --hi;
     }
-    if (hi > lo) Arm(spec.substr(lo, hi - lo));
+    if (hi > lo) {
+      std::string entry = spec.substr(lo, hi - lo);
+      // Optional ":N" fire budget — split on the last colon when everything
+      // after it is digits (point names themselves contain no colons).
+      int64_t max_fires = kUnlimitedFires;
+      const size_t colon = entry.rfind(':');
+      if (colon != std::string::npos && colon + 1 < entry.size()) {
+        bool digits = true;
+        int64_t parsed = 0;
+        for (size_t i = colon + 1; i < entry.size(); ++i) {
+          if (!std::isdigit(static_cast<unsigned char>(entry[i]))) {
+            digits = false;
+            break;
+          }
+          parsed = parsed * 10 + (entry[i] - '0');
+        }
+        if (digits && parsed >= 1) {
+          max_fires = parsed;
+          entry.resize(colon);
+        }
+      }
+      if (!entry.empty()) {
+        if (!std::binary_search(known.begin(), known.end(), entry)) {
+          unknown += unknown.empty() ? "" : ", ";
+          unknown += entry;
+        }
+        Arm(entry, max_fires);
+      }
+    }
     begin = end + 1;
+  }
+  if (!unknown.empty()) {
+    std::fprintf(stderr,
+                 "warning: STREAMHIST_FAULTS names unknown fault point(s): "
+                 "%s (see fault::KnownPoints)\n",
+                 unknown.c_str());
   }
 }
 
@@ -100,8 +148,19 @@ std::vector<std::string> Armed() {
   std::lock_guard<std::mutex> lock(registry.mu);
   std::vector<std::string> names;
   names.reserve(registry.armed.size());
-  for (const auto& [name, count] : registry.armed) names.push_back(name);
+  for (const auto& [name, state] : registry.armed) names.push_back(name);
   return names;
+}
+
+std::vector<std::string> KnownPoints() {
+  // Sorted. Every name here must have a Triggered() call site in production
+  // code; fault_injection_test cross-checks the list.
+  return {
+      "deadline.expire",     "fileio.fsync",
+      "fileio.fsync.transient", "fileio.read.bitflip",
+      "fileio.read.truncate", "fileio.rename",
+      "fileio.short_write",  "governor.oom",
+  };
 }
 
 }  // namespace fault

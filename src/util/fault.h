@@ -14,16 +14,31 @@ namespace fault {
 /// the STREAMHIST_FAULTS environment variable, a comma-separated list of
 /// point names parsed at process start) arm points to force the failure.
 ///
+/// A spec entry may carry a fire budget — "fileio.fsync.transient:2" fires
+/// on the first two checks and then self-disarms — which is how transient
+/// (self-healing) failures are modeled: a retry loop outlasts the budget.
+///
 /// Disabled cost: one relaxed atomic load — no string work, no locks — so
 /// the hooks can stay compiled into release binaries.
 ///
-/// Points currently wired (see util/fileio.cc):
-///   fileio.short_write   AtomicWriteFile persists only half the bytes, then
-///                        fails before renaming (torn-write / ENOSPC crash)
-///   fileio.fsync         fsync of the temp file reports failure
-///   fileio.rename        the atomic rename reports failure
-///   fileio.read.bitflip  ReadFileToString flips one bit of the middle byte
-///   fileio.read.truncate ReadFileToString drops the trailing half
+/// Wired points are listed by KnownPoints(); ArmFromSpec warns on stderr
+/// about names outside that registry (a typo would otherwise silently disarm
+/// a chaos run) but still arms them, so tests can use scratch names.
+///
+/// Points currently wired:
+///   fileio.short_write      AtomicWriteFile persists only half the bytes,
+///                           then fails before renaming (torn write / ENOSPC)
+///   fileio.fsync            fsync of the temp file reports failure
+///   fileio.fsync.transient  like fileio.fsync; by convention armed with a
+///                           fire budget so a bounded retry loop self-heals
+///   fileio.rename           the atomic rename reports failure
+///   fileio.read.bitflip     ReadFileToString flips one bit of the middle byte
+///   fileio.read.truncate    ReadFileToString drops the trailing half
+///   deadline.expire         ExecContext::ShouldStop reports expiry
+///                           (util/deadline.h) — cancels DP ladder rungs
+///   governor.oom            governor::TryCharge refuses the charge
+///                           (util/governor.h) — sheds DP scratch to the
+///                           ladder's cheaper rungs
 
 namespace internal {
 // Number of currently armed points; the fast path for the disabled case.
@@ -31,8 +46,12 @@ inline std::atomic<int64_t> g_armed_count{0};
 bool TriggeredSlow(const char* point);
 }  // namespace internal
 
+/// Unlimited fire budget for Arm().
+inline constexpr int64_t kUnlimitedFires = -1;
+
 /// True when `point` is armed: the caller must simulate the failure. Also
-/// increments the point's trigger counter (see TriggerCount).
+/// increments the point's trigger counter (see TriggerCount) and consumes
+/// one unit of a finite fire budget (self-disarming at zero).
 inline bool Triggered(const char* point) {
   if (internal::g_armed_count.load(std::memory_order_relaxed) == 0) {
     return false;
@@ -40,11 +59,14 @@ inline bool Triggered(const char* point) {
   return internal::TriggeredSlow(point);
 }
 
-/// Arms a failure point. Idempotent.
-void Arm(const std::string& point);
+/// Arms a failure point for `max_fires` triggers (kUnlimitedFires: forever).
+/// Re-arming an armed point resets its budget.
+void Arm(const std::string& point, int64_t max_fires = kUnlimitedFires);
 
-/// Arms every point in a comma-separated spec ("a.b,c.d"); empty names are
-/// skipped. This is the STREAMHIST_FAULTS parser, exposed for tests.
+/// Arms every point in a comma-separated spec ("a.b,c.d:2"); empty names
+/// are skipped and a ":N" suffix (N >= 1) sets the fire budget. This is the
+/// STREAMHIST_FAULTS parser, exposed for tests. Unknown point names warn on
+/// stderr but still arm.
 void ArmFromSpec(const std::string& spec);
 
 /// Disarms one point (no-op when not armed).
@@ -54,17 +76,23 @@ void Disarm(const std::string& point);
 void DisarmAll();
 
 /// How many times `point` fired while armed (for test assertions that a
-/// fault path was actually exercised).
+/// fault path was actually exercised). Survives self-disarming.
 int64_t TriggerCount(const std::string& point);
 
 /// Currently armed point names, sorted.
 std::vector<std::string> Armed();
 
+/// The registry of point names wired into production code, sorted. Specs
+/// naming anything else draw the ArmFromSpec warning.
+std::vector<std::string> KnownPoints();
+
 /// RAII arming for tests: arms on construction, disarms on destruction.
 class ScopedFault {
  public:
-  explicit ScopedFault(std::string point) : point_(std::move(point)) {
-    Arm(point_);
+  explicit ScopedFault(std::string point,
+                       int64_t max_fires = kUnlimitedFires)
+      : point_(std::move(point)) {
+    Arm(point_, max_fires);
   }
   ~ScopedFault() { Disarm(point_); }
   ScopedFault(const ScopedFault&) = delete;

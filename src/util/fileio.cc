@@ -79,6 +79,14 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
     ::unlink(tmp.c_str());
     return InjectedFault("fileio.fsync");
   }
+  // Same failure as fileio.fsync, separately named so a finite fire budget
+  // ("fileio.fsync.transient:2") can model a fault that heals while a retry
+  // loop (QueryEngine::SaveCheckpoint) is still willing to try again.
+  if (fault::Triggered("fileio.fsync.transient")) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return InjectedFault("fileio.fsync.transient");
+  }
   if (::fsync(fd) != 0) {
     const Status status = Errno("fsync", tmp);
     ::close(fd);

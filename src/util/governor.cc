@@ -1,0 +1,113 @@
+#include "src/util/governor.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/fault.h"
+
+namespace streamhist {
+namespace governor {
+
+namespace {
+
+std::atomic<int64_t> g_budget{-1};  // -1: not yet read from the environment
+std::atomic<int64_t> g_used{0};
+std::atomic<int64_t> g_peak{0};
+
+int64_t BudgetFromEnv() {
+  const char* env = std::getenv("STREAMHIST_MEM_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  const int64_t parsed = ParseByteSize(env);
+  return parsed > 0 ? parsed : 0;
+}
+
+void NotePeak(int64_t used_now) {
+  int64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (used_now > peak &&
+         !g_peak.compare_exchange_weak(peak, used_now,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int64_t Budget() {
+  int64_t budget = g_budget.load(std::memory_order_relaxed);
+  if (budget >= 0) return budget;
+  budget = BudgetFromEnv();
+  // First caller wins; a raced SetBudgetForTest would have stored >= 0.
+  int64_t expected = -1;
+  g_budget.compare_exchange_strong(expected, budget,
+                                   std::memory_order_relaxed);
+  return g_budget.load(std::memory_order_relaxed);
+}
+
+void SetBudgetForTest(int64_t bytes) {
+  g_budget.store(bytes >= 0 ? bytes : 0, std::memory_order_relaxed);
+}
+
+int64_t Used() { return g_used.load(std::memory_order_relaxed); }
+
+int64_t Peak() { return g_peak.load(std::memory_order_relaxed); }
+
+bool TryCharge(int64_t bytes) {
+  if (bytes < 0) return false;
+  if (fault::Triggered("governor.oom")) return false;
+  const int64_t budget = Budget();
+  int64_t used = g_used.load(std::memory_order_relaxed);
+  while (true) {
+    if (budget > 0 && used + bytes > budget) return false;
+    if (g_used.compare_exchange_weak(used, used + bytes,
+                                     std::memory_order_relaxed)) {
+      NotePeak(used + bytes);
+      return true;
+    }
+  }
+}
+
+void AdjustCharge(int64_t delta) {
+  const int64_t now = g_used.fetch_add(delta, std::memory_order_relaxed) +
+                      delta;
+  NotePeak(now);
+}
+
+void Release(int64_t bytes) {
+  g_used.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+int64_t ParseByteSize(const std::string& spec) {
+  if (spec.empty()) return -1;
+  size_t end = spec.size();
+  int64_t multiplier = 1;
+  const char suffix =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(spec.back())));
+  if (suffix == 'K' || suffix == 'M' || suffix == 'G') {
+    multiplier = suffix == 'K'   ? int64_t{1} << 10
+                 : suffix == 'M' ? int64_t{1} << 20
+                                 : int64_t{1} << 30;
+    --end;
+  }
+  if (end == 0) return -1;
+  int64_t value = 0;
+  for (size_t i = 0; i < end; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(spec[i]))) return -1;
+    value = value * 10 + (spec[i] - '0');
+    if (value > (int64_t{1} << 53)) return -1;  // absurd; also overflow guard
+  }
+  return value * multiplier;
+}
+
+std::string FormatBytes(int64_t bytes) {
+  if (bytes <= 0) return "unlimited";
+  std::ostringstream os;
+  os << bytes;
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  os.precision(1);
+  os << " (" << std::fixed << mib << " MiB)";
+  return os.str();
+}
+
+}  // namespace governor
+}  // namespace streamhist

@@ -1,0 +1,79 @@
+#ifndef STREAMHIST_UTIL_GOVERNOR_H_
+#define STREAMHIST_UTIL_GOVERNOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace streamhist {
+namespace governor {
+
+/// Process-wide synopsis-memory accounting. Synopses (through
+/// ManagedStream) charge what they hold and release it on destruction; new
+/// work — a CREATE, a DP scratch allocation — asks TryCharge first and is
+/// refused when it would push usage past the budget. Existing state is never
+/// evicted: the budget gates admission, not residency, so a refusal always
+/// has a cheaper fallback (the degradation ladder's next rung).
+///
+/// The budget comes from STREAMHIST_MEM_BUDGET (bytes, optional K/M/G
+/// suffix, parsed once at first use); 0 / unset means unlimited. Tests
+/// override it with SetBudgetForTest.
+///
+/// Fault point `governor.oom` (util/fault.h) makes TryCharge refuse
+/// deterministically, which is how tests drive the out-of-memory path of
+/// every ladder rung without a real allocation storm.
+
+/// Configured budget in bytes; 0 means unlimited.
+int64_t Budget();
+
+/// Overrides the budget (0 = unlimited). Test-only; not thread-safe against
+/// concurrent TryCharge races on the boundary, which tests don't do.
+void SetBudgetForTest(int64_t bytes);
+
+/// Bytes currently charged.
+int64_t Used();
+
+/// High-water mark of Used() since process start (or the last reset).
+int64_t Peak();
+
+/// Attempts to charge `bytes` (>= 0) against the budget. Refuses — charging
+/// nothing — when the fault point `governor.oom` is armed or when
+/// Used() + bytes would exceed a nonzero budget.
+bool TryCharge(int64_t bytes);
+
+/// Adjusts the charge unconditionally (delta may be negative). Used for
+/// state that already exists and must stay accounted even past the budget —
+/// admission control happens earlier, at TryCharge time.
+void AdjustCharge(int64_t delta);
+
+/// Releases a prior charge.
+void Release(int64_t bytes);
+
+/// RAII for fallible scratch charges (DP tables): charges on construction,
+/// releases on destruction; ok() says whether the charge was admitted.
+class ScopedCharge {
+ public:
+  explicit ScopedCharge(int64_t bytes)
+      : bytes_(bytes), ok_(TryCharge(bytes)) {}
+  ~ScopedCharge() {
+    if (ok_) Release(bytes_);
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  bool ok() const { return ok_; }
+
+ private:
+  int64_t bytes_;
+  bool ok_;
+};
+
+/// "512", "64K", "16M", "2G" -> bytes; negative on parse failure.
+int64_t ParseByteSize(const std::string& spec);
+
+/// Human-oriented rendering ("unlimited", "1048576 (1.0 MiB)").
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace governor
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_GOVERNOR_H_

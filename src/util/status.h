@@ -17,6 +17,8 @@ enum class StatusCode {
   kNotFound,
   kIOError,
   kInternal,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("Ok",
@@ -61,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

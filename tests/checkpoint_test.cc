@@ -86,6 +86,18 @@ TEST(CheckpointTest, SaveLoadRoundTripAnswersIdentically) {
   }
 }
 
+TEST(CheckpointTest, HappyPathSaveTakesOneAttempt) {
+  TempPath path("one_attempt.ckpt");
+  QueryEngine engine = PopulatedEngine();
+  QueryEngine::SaveReport report;
+  ASSERT_TRUE(engine.SaveCheckpoint(path.str(), &report).ok());
+  EXPECT_EQ(report.attempts, 1);
+  // The SAVE verb omits the attempt suffix when no retry happened.
+  const auto saved = engine.Execute("SAVE " + path.str());
+  ASSERT_TRUE(saved.ok()) << saved.status();
+  EXPECT_EQ(saved.value().find("attempts"), std::string::npos);
+}
+
 TEST(CheckpointTest, RestoredEngineIngestsIdentically) {
   TempPath path("ingest.ckpt");
   QueryEngine engine = PopulatedEngine();

@@ -163,6 +163,27 @@ TEST_F(CliTest, ConsoleRunsScriptAndCheckpoints) {
   EXPECT_NE(recovered.out.find("5\n"), std::string::npos) << recovered.out;
 }
 
+TEST_F(CliTest, ConsoleBuildWithinAndMemoryVerbs) {
+  const std::string script = dir_ + "/governor.shq";
+  {
+    std::ofstream f(script);
+    f << "CREATE eth0 64 8\n"
+      << "APPEND eth0 1 2 3 4 5 6 7 8 9 10\n"
+      << "BUILD eth0 WITHIN 60000\n"   // generous deadline: no degradation
+      << "BUILD eth0 WITHIN 0\n"       // invalid: must error, session continues
+      << "MEMORY\n"
+      << "exit\n";
+  }
+  const CliResult r = RunTool({"console", "--script", script});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("built exact:"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("degraded"), std::string::npos) << r.out;
+  EXPECT_NE(r.err.find("error:"), std::string::npos) << r.err;  // WITHIN 0
+  EXPECT_NE(r.out.find("budget="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("used="), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("eth0="), std::string::npos) << r.out;
+}
+
 TEST_F(CliTest, ConsoleMissingScriptFileFails) {
   const CliResult r = RunTool({"console", "--script", dir_ + "/nope.shq"});
   EXPECT_EQ(r.code, 1);

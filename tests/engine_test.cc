@@ -12,6 +12,8 @@
 #include "src/core/vopt_dp.h"
 #include "src/data/generators.h"
 #include "src/query/estimator.h"
+#include "src/util/fault.h"
+#include "src/util/governor.h"
 #include "src/util/random.h"
 
 namespace streamhist {
@@ -146,6 +148,101 @@ TEST(QueryEngineBuildTest, BuildVerb) {
   built = engine.Execute("BUILD empty");
   ASSERT_TRUE(built.ok()) << built.status();
   EXPECT_NE(built->find("n=0"), std::string::npos) << *built;
+}
+
+// Error paths around the WITHIN clause and the streams a BUILD can target:
+// every malformed form returns a Status — never a crash — and valid forms
+// compose with the sticky mode arguments.
+TEST(QueryEngineBuildTest, BuildWithinAndErrorPaths) {
+  QueryEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE s 64 8").ok());
+  Random rng(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Append("s", rng.UniformDouble(0, 50)).ok());
+  }
+
+  // A generous WITHIN budget behaves exactly like no deadline.
+  auto built = engine.Execute("BUILD s WITHIN 60000");
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(built->starts_with("built exact:")) << *built;
+  EXPECT_EQ(built->find("degraded"), std::string::npos) << *built;
+
+  // WITHIN composes with the sticky mode forms.
+  built = engine.Execute("BUILD s ERROR 0.2 WITHIN 60000");
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(built->starts_with("built approx(delta=0.2)")) << *built;
+  built = engine.Execute("BUILD s EXACT WITHIN 60000");
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(built->starts_with("built exact:")) << *built;
+
+  // Zero, negative, and non-numeric budgets are rejected cleanly.
+  EXPECT_FALSE(engine.Execute("BUILD s WITHIN 0").ok());
+  EXPECT_FALSE(engine.Execute("BUILD s WITHIN -5").ok());
+  EXPECT_FALSE(engine.Execute("BUILD s WITHIN soon").ok());
+  EXPECT_FALSE(engine.Execute("BUILD s EXACT WITHIN 0").ok());
+  EXPECT_FALSE(engine.Execute("BUILD s ERROR 0.1 WITHIN -1").ok());
+  // WITHIN with no budget token falls through to the usage error.
+  EXPECT_FALSE(engine.Execute("BUILD s WITHIN").ok());
+
+  // BUILD on a dropped stream is NotFound, not a crash.
+  ASSERT_TRUE(engine.Execute("DROP s").ok());
+  const auto gone = engine.Execute("BUILD s");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(engine.Execute("BUILD s WITHIN 100").ok());
+
+  // An expired deadline on a real build still succeeds via the ladder.
+  ASSERT_TRUE(engine.Execute("CREATE t 64 8").ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Append("t", rng.UniformDouble(0, 50)).ok());
+  }
+  fault::ScopedFault expire("deadline.expire");
+  built = engine.Execute("BUILD t WITHIN 60000");
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_TRUE(built->starts_with("built snapshot(eps=")) << *built;
+  EXPECT_NE(built->find("certified sse <="), std::string::npos) << *built;
+  EXPECT_NE(built->find("degraded:"), std::string::npos) << *built;
+}
+
+TEST(QueryEngineMemoryTest, MemoryVerbReportsGovernorAndStreams) {
+  QueryEngine engine;
+  auto memory = engine.Execute("MEMORY");
+  ASSERT_TRUE(memory.ok()) << memory.status();
+  EXPECT_NE(memory->find("budget="), std::string::npos) << *memory;
+  EXPECT_NE(memory->find("used="), std::string::npos) << *memory;
+  EXPECT_NE(memory->find("peak="), std::string::npos) << *memory;
+
+  ASSERT_TRUE(engine.Execute("CREATE m 64 8").ok());
+  memory = engine.Execute("MEMORY");
+  ASSERT_TRUE(memory.ok()) << memory.status();
+  EXPECT_NE(memory->find("; m="), std::string::npos) << *memory;
+
+  EXPECT_FALSE(engine.Execute("MEMORY now").ok());
+}
+
+TEST(QueryEngineMemoryTest, CreateIsRefusedOverBudget) {
+  governor::SetBudgetForTest(governor::Used() + 1024);  // far below any stream
+  QueryEngine engine;
+  const Status refused = engine.CreateStream("big", SmallConfig());
+  governor::SetBudgetForTest(0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.message().find("memory budget"), std::string::npos);
+  EXPECT_TRUE(engine.ListStreams().empty());
+
+  // With the budget lifted the same CREATE succeeds.
+  EXPECT_TRUE(engine.CreateStream("big", SmallConfig()).ok());
+}
+
+TEST(QueryEngineMemoryTest, OomFaultRefusesCreateVerb) {
+  QueryEngine engine;
+  {
+    fault::ScopedFault oom("governor.oom");
+    const auto refused = engine.Execute("CREATE s 64 8");
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_TRUE(engine.Execute("CREATE s 64 8").ok());
 }
 
 class QueryEngineTest : public ::testing::Test {

@@ -4,6 +4,8 @@
 // checkpoint loadable. These tests run under ASan/UBSan in CI with every
 // point armed one at a time.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -177,6 +179,92 @@ TEST_F(FaultInjectionTest, TruncatedCheckpointLoadsCleanlyOrPartially) {
   if (report.ok()) {
     EXPECT_FALSE(report->fully_loaded());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Save retry: transient faults that heal within the retry budget are
+// invisible to the caller (beyond the attempt count); persistent faults
+// still fail after exactly kSaveAttempts tries.
+
+int64_t g_backoff_calls = 0;  // reset per test; bumped by the fake sleeper
+
+TEST_F(FaultInjectionTest, TransientFsyncFaultSelfHealsViaRetry) {
+  g_backoff_calls = 0;
+  QueryEngine::SetBackoffSleeperForTest(+[](int64_t) { ++g_backoff_calls; });
+  const std::string path = TempFile("transient.ckpt");
+  QueryEngine engine = PopulatedEngine(300, 5);
+
+  // Two fires < three attempts: the third write goes through.
+  fault::Arm("fileio.fsync.transient", 2);
+  QueryEngine::SaveReport report;
+  const Status status = engine.SaveCheckpoint(path, &report);
+  QueryEngine::SetBackoffSleeperForTest(nullptr);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(report.attempts, 3);
+  EXPECT_EQ(g_backoff_calls, 2);  // slept between attempts 1-2 and 2-3
+  EXPECT_EQ(fault::TriggerCount("fileio.fsync.transient"), 2);
+  EXPECT_TRUE(fault::Armed().empty());  // budget spent, self-disarmed
+
+  // The checkpoint on disk is complete and loadable.
+  QueryEngine recovered;
+  const auto loaded = recovered.LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->fully_loaded());
+}
+
+TEST_F(FaultInjectionTest, PersistentFaultExhaustsRetriesAndFails) {
+  g_backoff_calls = 0;
+  QueryEngine::SetBackoffSleeperForTest(+[](int64_t) { ++g_backoff_calls; });
+  const std::string path = TempFile("persistent.ckpt");
+  QueryEngine engine = PopulatedEngine(300, 5);
+  ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
+  const std::string old_sum = engine.Execute("SUM eth0 0 64").value();
+
+  ASSERT_TRUE(engine.AppendBatch("eth0", std::vector<double>(50, 4.0)).ok());
+  QueryEngine::SaveReport report;
+  {
+    // A fire budget >= the retry limit behaves like a persistent fault.
+    fault::ScopedFault armed("fileio.fsync.transient",
+                             QueryEngine::kSaveAttempts);
+    const Status status = engine.SaveCheckpoint(path, &report);
+    EXPECT_FALSE(status.ok());
+  }
+  QueryEngine::SetBackoffSleeperForTest(nullptr);
+  EXPECT_EQ(report.attempts, QueryEngine::kSaveAttempts);
+  EXPECT_EQ(g_backoff_calls, QueryEngine::kSaveAttempts - 1);
+
+  // Every attempt used the temp-file discipline: the old checkpoint is whole.
+  QueryEngine recovered;
+  const auto loaded = recovered.LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(recovered.Execute("SUM eth0 0 64").value(), old_sum);
+}
+
+TEST_F(FaultInjectionTest, SaveVerbReportsRetriedAttempts) {
+  QueryEngine::SetBackoffSleeperForTest(+[](int64_t) {});
+  const std::string path = TempFile("verb_retry.ckpt");
+  QueryEngine engine = PopulatedEngine(100, 9);
+  fault::Arm("fileio.fsync.transient", 1);
+  const auto saved = engine.Execute("SAVE " + path);
+  QueryEngine::SetBackoffSleeperForTest(nullptr);
+  ASSERT_TRUE(saved.ok()) << saved.status();
+  EXPECT_NE(saved->find("checkpointed 1 stream(s)"), std::string::npos)
+      << *saved;
+  EXPECT_NE(saved->find("after 2 attempts"), std::string::npos) << *saved;
+}
+
+TEST_F(FaultInjectionTest, KnownPointsMatchesHeaderRegistry) {
+  // Every point the header documents as wired must be in the registry, and
+  // the registry must be sorted (ArmFromSpec binary-searches it).
+  const std::vector<std::string> known = fault::KnownPoints();
+  EXPECT_TRUE(std::is_sorted(known.begin(), known.end()));
+  const std::vector<std::string> expected = {
+      "deadline.expire",        "fileio.fsync",
+      "fileio.fsync.transient", "fileio.read.bitflip",
+      "fileio.read.truncate",   "fileio.rename",
+      "fileio.short_write",     "governor.oom",
+  };
+  EXPECT_EQ(known, expected);
 }
 
 TEST_F(FaultInjectionTest, EveryFaultArmedTogetherStillFailsCleanly) {

@@ -199,6 +199,43 @@ TEST(ParallelDeterminismTest, ApproxDpIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The degradation ladder's no-deadline path must stay on rung 0 and inherit
+// the kernel's bit-determinism: cooperative cancellation checks sit at grain
+// boundaries and never perturb arithmetic when no deadline fires.
+TEST(ParallelDeterminismTest, LadderBuildIsBitIdenticalAcrossThreadCounts) {
+  ThreadCountRestorer restore;
+  const std::vector<double> data =
+      GenerateDataset(DatasetKind::kUtilization, 3000, /*seed=*/13);
+  for (const WindowBuildMode mode :
+       {WindowBuildMode::kExact, WindowBuildMode::kApprox}) {
+    std::vector<uint64_t> serial_bits;
+    uint64_t serial_sse = 0;
+    for (const int threads : kThreadCounts) {
+      SetThreadCount(threads);
+      StreamConfig config;
+      config.window_size = 1024;
+      config.num_buckets = 24;
+      config.epsilon = 0.1;
+      config.build_mode = mode;
+      config.build_delta = 0.1;
+      ManagedStream stream = ManagedStream::Create(config).value();
+      stream.AppendBatch(data);
+      const WindowBuildReport report = stream.BuildWindowHistogram();
+      EXPECT_FALSE(report.degradation.degraded);
+      if (threads == 1) {
+        serial_bits = BucketBits(report.histogram);
+        serial_sse = std::bit_cast<uint64_t>(report.sse);
+        ASSERT_FALSE(serial_bits.empty());
+        continue;
+      }
+      EXPECT_EQ(BucketBits(report.histogram), serial_bits)
+          << "mode=" << static_cast<int>(mode) << " threads=" << threads;
+      EXPECT_EQ(std::bit_cast<uint64_t>(report.sse), serial_sse)
+          << "mode=" << static_cast<int>(mode) << " threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, AgglomerativeExtractIsBitIdentical) {
   ThreadCountRestorer restore;
   // 6k points at B=64 closes hundreds of intervals per level — enough that

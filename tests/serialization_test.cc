@@ -259,11 +259,39 @@ TEST(ManagedStreamSerializationTest, SnapshotCarriesBuildMode) {
   EXPECT_EQ(a.histogram.ToString(), b.histogram.ToString());
 }
 
+TEST(ManagedStreamSerializationTest, DroppedNonfiniteSurvivesRoundTrip) {
+  // The quarantine counter is part of the stream's observable state (APPEND
+  // replies and DESCRIBE report it); a checkpoint cycle must not reset it.
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(50)) stream.Append(v);
+  stream.Append(std::numeric_limits<double>::quiet_NaN());
+  stream.Append(std::numeric_limits<double>::infinity());
+  stream.Append(-std::numeric_limits<double>::infinity());
+  ASSERT_EQ(stream.dropped_nonfinite(), 3);
+
+  auto once = ManagedStream::Restore(stream.Snapshot());
+  ASSERT_TRUE(once.ok()) << once.status();
+  EXPECT_EQ(once->dropped_nonfinite(), 3);
+  // And through a second generation, to catch a save-side reset.
+  auto twice = ManagedStream::Restore(once->Snapshot());
+  ASSERT_TRUE(twice.ok()) << twice.status();
+  EXPECT_EQ(twice->dropped_nonfinite(), 3);
+}
+
+// v3 stream payload layout (bytes before the window blob):
+//   0..34   config through keep_distinct (8+8+8+1+1+8+1)
+//   35..43  v2 build-mode fields (bool + f64)
+//   44..51  dropped_nonfinite (i64)
+//   52..59  degraded_builds (i64, new in v3)
+// Older payloads are fabricated below by erasing the fields their version
+// predates, per the EXPERIMENTS.md version policy: the previous blob
+// versions must stay readable for a release cycle.
+constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
+
 TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
-  // EXPERIMENTS.md version policy: the previous blob version must stay
-  // readable for a release cycle. A v1 stream payload is the v2 payload
-  // minus the build-mode fields (1-byte bool + 8-byte f64) that v2 inserted
-  // after the keep_distinct flag at byte offset 8+8+8+1+1+8+1 = 35.
   StreamConfig config;
   config.window_size = 64;
   config.num_buckets = 8;
@@ -272,25 +300,74 @@ TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
   ManagedStream stream = ManagedStream::Create(config).value();
   for (double v : TestSeries(200)) stream.Append(v);
 
-  constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  EXPECT_EQ(frame->version, 2u);
+  EXPECT_EQ(frame->version, 3u);
   std::string v1_payload(frame->payload);
-  ASSERT_GT(v1_payload.size(), 44u);
-  v1_payload.erase(35, 9);
+  ASSERT_GT(v1_payload.size(), 60u);
+  v1_payload.erase(52, 8);  // degraded_builds (v3)
+  v1_payload.erase(35, 9);  // build-mode fields (v2)
   const std::string v1_snapshot = WrapFrame(kStreamMagic, 1, v1_payload);
 
   auto restored = ManagedStream::Restore(v1_snapshot);
   ASSERT_TRUE(restored.ok()) << restored.status();
-  // v1 had no build mode: the restored stream gets the config defaults.
+  // v1 predates both: the restored stream gets the config defaults / zero.
   EXPECT_EQ(restored->config().build_mode, WindowBuildMode::kExact);
   EXPECT_EQ(restored->config().build_delta, 0.1);
+  EXPECT_EQ(restored->degraded_builds(), 0);
   // Everything else restored as usual.
   EXPECT_EQ(restored->total_points(), stream.total_points());
   EXPECT_EQ(restored->window_histogram().RangeSum(0, 64),
             stream.window_histogram().RangeSum(0, 64));
+}
+
+TEST(ManagedStreamSerializationTest, V2SnapshotsStillLoadWithDefaults) {
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  config.build_mode = WindowBuildMode::kApprox;  // v2 DOES carry this
+  config.build_delta = 0.75;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(200)) stream.Append(v);
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->version, 3u);
+  std::string v2_payload(frame->payload);
+  ASSERT_GT(v2_payload.size(), 60u);
+  v2_payload.erase(52, 8);  // degraded_builds (v3)
+  const std::string v2_snapshot = WrapFrame(kStreamMagic, 2, v2_payload);
+
+  auto restored = ManagedStream::Restore(v2_snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->config().build_mode, WindowBuildMode::kApprox);
+  EXPECT_EQ(restored->config().build_delta, 0.75);
+  EXPECT_EQ(restored->degraded_builds(), 0);  // v2 predates the counter
+  EXPECT_EQ(restored->total_points(), stream.total_points());
+  EXPECT_EQ(restored->window_histogram().RangeSum(0, 64),
+            stream.window_histogram().RangeSum(0, 64));
+}
+
+TEST(ManagedStreamSerializationTest, NegativeCountersAreRejected) {
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(40)) stream.Append(v);
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  for (const size_t offset : {44u, 52u}) {  // dropped / degraded_builds
+    std::string payload(frame->payload);
+    for (size_t i = 0; i < 8; ++i) payload[offset + i] = '\xff';  // -1
+    const auto restored =
+        ManagedStream::Restore(WrapFrame(kStreamMagic, 3, payload));
+    EXPECT_FALSE(restored.ok()) << "offset " << offset;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 // ---------------------------------------------------------------------------
