@@ -76,24 +76,30 @@ Result<ManagedStream> ManagedStream::Create(const StreamConfig& config) {
     stream.distinct_ = std::make_unique<FMSketch>(std::move(sketch));
   }
   stream.ReconcileGovernorCharge();
+  stream.PublishSnapshot();
   return stream;
 }
 
 ManagedStream::ManagedStream(const StreamConfig& config,
                              FixedWindowHistogram window)
     : config_(config),
-      window_(std::make_unique<FixedWindowHistogram>(std::move(window))) {}
+      window_(std::make_unique<FixedWindowHistogram>(std::move(window))),
+      snapshot_cell_(std::make_shared<SnapshotCell<QuerySnapshot>>()),
+      stats_(std::make_unique<QueryStats>()) {}
 
 ManagedStream::ManagedStream(ManagedStream&& other) noexcept
     : config_(other.config_),
       dropped_nonfinite_(other.dropped_nonfinite_),
       degraded_builds_(other.degraded_builds_),
       charged_bytes_(std::exchange(other.charged_bytes_, 0)),
+      publish_version_(other.publish_version_),
       last_degradation_(std::move(other.last_degradation_)),
       window_(std::move(other.window_)),
       lifetime_(std::move(other.lifetime_)),
       quantiles_(std::move(other.quantiles_)),
-      distinct_(std::move(other.distinct_)) {}
+      distinct_(std::move(other.distinct_)),
+      snapshot_cell_(std::move(other.snapshot_cell_)),
+      stats_(std::move(other.stats_)) {}
 
 ManagedStream& ManagedStream::operator=(ManagedStream&& other) noexcept {
   if (this == &other) return *this;
@@ -102,11 +108,14 @@ ManagedStream& ManagedStream::operator=(ManagedStream&& other) noexcept {
   dropped_nonfinite_ = other.dropped_nonfinite_;
   degraded_builds_ = other.degraded_builds_;
   charged_bytes_ = std::exchange(other.charged_bytes_, 0);
+  publish_version_ = other.publish_version_;
   last_degradation_ = std::move(other.last_degradation_);
   window_ = std::move(other.window_);
   lifetime_ = std::move(other.lifetime_);
   quantiles_ = std::move(other.quantiles_);
   distinct_ = std::move(other.distinct_);
+  snapshot_cell_ = std::move(other.snapshot_cell_);
+  stats_ = std::move(other.stats_);
   return *this;
 }
 
@@ -350,12 +359,40 @@ std::string ManagedStream::Describe() {
   return os.str();
 }
 
+void ManagedStream::PublishSnapshot() {
+  auto snap = std::make_shared<QuerySnapshot>();
+  snap->version = ++publish_version_;
+  snap->total_points = total_points();
+  snap->window_size = window_->window().size();
+  snap->dropped_nonfinite = dropped_nonfinite_;
+  snap->approx_error = window_->ApproxError();  // rebuilds when stale
+  snap->histogram = window_->Extract();
+  snap->bucket_errors = window_->BucketErrors();
+  if (quantiles_ != nullptr) {
+    snap->quantiles = std::make_shared<const GKSummary>(*quantiles_);
+  }
+  if (distinct_ != nullptr) {
+    snap->has_distinct = true;
+    snap->distinct_estimate = distinct_->EstimateDistinct();
+  }
+  snap->describe = Describe();
+  snapshot_cell_->Publish(std::move(snap));
+  ReconcileGovernorCharge();
+}
+
+std::shared_ptr<const QuerySnapshot> ManagedStream::AcquireSnapshot() const {
+  return snapshot_cell_->Acquire();
+}
+
 namespace {
 constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
 // v1: config through keep_distinct + dropped + synopsis blobs.
 // v2: adds build_mode (bool: approx?) + build_delta after keep_distinct.
 // v3: adds degraded_builds after dropped_nonfinite.
-constexpr uint32_t kStreamVersion = 3;
+// v4: appends a length-prefixed per-verb stats block (stream_stats.h) after
+//     the synopsis blobs — strictly at the tail, so every v1-v3 field keeps
+//     its byte offset.
+constexpr uint32_t kStreamVersion = 4;
 }  // namespace
 
 std::string ManagedStream::Snapshot() const {
@@ -377,6 +414,7 @@ std::string ManagedStream::Snapshot() const {
     payload.PutLengthPrefixed(quantiles_->Serialize());
   }
   if (distinct_ != nullptr) payload.PutLengthPrefixed(distinct_->Serialize());
+  payload.PutLengthPrefixed(stats_->Serialize());
   return WrapFrame(kStreamMagic, kStreamVersion, payload.bytes());
 }
 
@@ -463,10 +501,20 @@ Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
     STREAMHIST_ASSIGN_OR_RETURN(FMSketch distinct, FMSketch::Deserialize(sub));
     *stream.distinct_ = std::move(distinct);
   }
+  if (frame.version >= 4) {
+    std::string_view sub;
+    if (!reader.ReadLengthPrefixed(&sub)) {
+      return Status::InvalidArgument("truncated stats snapshot");
+    }
+    if (Status s = stream.stats_->Deserialize(sub); !s.ok()) return s;
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after stream snapshot");
   }
   stream.ReconcileGovernorCharge();
+  // The synopses just changed under the snapshot Create() published —
+  // republish so readers see the restored state, not the empty one.
+  stream.PublishSnapshot();
   return stream;
 }
 

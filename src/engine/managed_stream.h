@@ -11,10 +11,12 @@
 #include "src/core/agglomerative.h"
 #include "src/core/fixed_window.h"
 #include "src/core/histogram.h"
+#include "src/engine/stream_stats.h"
 #include "src/quantile/gk_summary.h"
 #include "src/sketch/fm_sketch.h"
 #include "src/util/deadline.h"
 #include "src/util/result.h"
+#include "src/util/snapshot.h"
 
 namespace streamhist {
 
@@ -90,6 +92,35 @@ struct WindowBuildReport {
   double sse = 0.0;           // realized SSE of `histogram`
   double bound_factor = 1.0;  // certified sse <= bound_factor * OPT
   DegradationReport degradation;
+};
+
+/// Immutable, atomically-published view of one stream's queryable state —
+/// what every estimation verb reads instead of the live (mutating) synopses.
+/// A writer builds a fresh QuerySnapshot after each mutation and publishes
+/// it through the stream's SnapshotCell; a reader that acquired a version
+/// keeps answering from it coherently no matter how many republishes (or a
+/// DROP) happen meanwhile. All fields are plain values or pointers to
+/// const, precomputed at publish time, so reads are lock-free lookups.
+struct QuerySnapshot {
+  /// Publish sequence number (1 for the snapshot Create publishes).
+  uint64_t version = 0;
+  int64_t total_points = 0;
+  /// Live points in the window (= capacity once the window has filled).
+  int64_t window_size = 0;
+  int64_t dropped_nonfinite = 0;
+  /// The window histogram's SSE bound (the ERROR verb's answer).
+  double approx_error = 0.0;
+  /// The extracted (1+eps)-approximate window histogram; answers
+  /// SUM/AVG/POINT and, with `bucket_errors`, the *BOUND verbs.
+  Histogram histogram;
+  std::vector<double> bucket_errors;
+  /// Copy of the GK quantile summary at publish time; null when disabled.
+  std::shared_ptr<const GKSummary> quantiles;
+  /// FM distinct estimate, precomputed; meaningless when !has_distinct.
+  bool has_distinct = false;
+  double distinct_estimate = 0.0;
+  /// The DESCRIBE line at publish time.
+  std::string describe;
 };
 
 /// One named data stream with its continuously-maintained synopses — the
@@ -183,6 +214,22 @@ class ManagedStream {
   /// One-line status ("n=1024 window, 16 buckets, 120000 points seen, ...").
   std::string Describe();
 
+  /// Rebuilds the lazily-maintained window state and publishes a fresh
+  /// QuerySnapshot of everything queryable. The concurrent engine calls this
+  /// (under the stream's writer mutex) after every mutating verb; between
+  /// publishes, readers keep answering from the previous version. Also
+  /// reconciles the governor charge (the rebuild can grow the synopses).
+  void PublishSnapshot();
+
+  /// The latest published QuerySnapshot — never null (Create and Restore
+  /// both publish an initial version). Lock-free; callable from any thread.
+  std::shared_ptr<const QuerySnapshot> AcquireSnapshot() const;
+
+  /// Per-verb execution counters for this stream (thread-safe to record
+  /// into; carried through SHMS v4 checkpoints).
+  QueryStats& stats() { return *stats_; }
+  const QueryStats& stats() const { return *stats_; }
+
   /// Serializes the config plus every maintained synopsis as one framed,
   /// CRC-protected blob — the unit of engine checkpoints. A restored stream
   /// answers every query identically and ingests future points identically.
@@ -205,12 +252,19 @@ class ManagedStream {
   int64_t dropped_nonfinite_ = 0;
   int64_t degraded_builds_ = 0;
   int64_t charged_bytes_ = 0;  // currently charged with the governor
+  uint64_t publish_version_ = 0;
   DegradationReport last_degradation_;
   // unique_ptr keeps the type movable despite the large synopsis states.
   std::unique_ptr<FixedWindowHistogram> window_;
   std::unique_ptr<AgglomerativeHistogram> lifetime_;
   std::unique_ptr<GKSummary> quantiles_;
   std::unique_ptr<FMSketch> distinct_;
+  // shared_ptr (not unique_ptr): readers may still hold the cell's address
+  // via a StreamHandle while the owning registry entry is being destroyed,
+  // and the indirection keeps the cell's address stable across moves.
+  std::shared_ptr<SnapshotCell<QuerySnapshot>> snapshot_cell_;
+  // Atomics inside; the indirection keeps the stream movable.
+  std::unique_ptr<QueryStats> stats_;
 };
 
 }  // namespace streamhist

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <chrono>
+#include <map>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -21,10 +22,24 @@ namespace streamhist {
 namespace {
 
 std::vector<std::string> Tokenize(const std::string& statement) {
+  // Manual whitespace split, byte-for-byte equivalent to `istringstream >>`
+  // but several times cheaper — this is the hottest line of Execute, and a
+  // stringstream here costs more than the registry lookup, snapshot
+  // acquisition, and stats recording of the concurrent core combined.
   std::vector<std::string> tokens;
-  std::istringstream in(statement);
-  std::string token;
-  while (in >> token) tokens.push_back(token);
+  tokens.reserve(4);
+  const size_t n = statement.size();
+  size_t i = 0;
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(statement[i]))) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(statement[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(statement, start, i - start);
+  }
   return tokens;
 }
 
@@ -104,7 +119,7 @@ constexpr size_t kMinFrameSize = 20;
 Status QueryEngine::CreateStream(const std::string& name,
                                  const StreamConfig& config) {
   if (name.empty()) return Status::InvalidArgument("stream name is empty");
-  if (streams_.contains(name)) {
+  if (registry_->Get(name).ok()) {
     return Status::InvalidArgument("stream '" + name + "' already exists");
   }
   // Admission control: refuse up front when the stream's steady-state
@@ -122,34 +137,37 @@ Status QueryEngine::CreateStream(const std::string& name,
   governor::Release(estimate);
   STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream,
                               ManagedStream::Create(config));
-  streams_.emplace(name, std::move(stream));
-  return Status::OK();
+  // Two racing CREATEs of one name both pass the pre-check above; Insert's
+  // internal check-and-emplace decides the winner, and the loser's stream
+  // destructs (releasing its governor charge) without ever being visible.
+  return registry_->Insert(name, std::move(stream));
 }
 
 Status QueryEngine::DropStream(const std::string& name) {
-  if (streams_.erase(name) == 0) {
-    return Status::NotFound("no stream named '" + name + "'");
-  }
-  return Status::OK();
+  return registry_->Erase(name);
 }
 
 Status QueryEngine::Append(const std::string& name, double value) {
-  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(name));
-  stream->Append(value);
+  STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(name));
+  const auto lock = handle.LockWriter();
+  handle.stream().Append(value);
+  handle.stream().PublishSnapshot();
   return Status::OK();
 }
 
 Status QueryEngine::AppendBatch(const std::string& name,
                                 std::span<const double> values) {
-  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(name));
-  stream->AppendBatch(values);
+  STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(name));
+  const auto lock = handle.LockWriter();
+  handle.stream().AppendBatch(values);
+  handle.stream().PublishSnapshot();
   return Status::OK();
 }
 
 Status QueryEngine::AppendBatches(std::span<const StreamBatch> batches) {
   // Resolve and validate everything up front so the parallel phase cannot
   // fail and no points are appended on error.
-  std::vector<ManagedStream*> targets;
+  std::vector<StreamHandle> targets;
   targets.reserve(batches.size());
   std::set<std::string> seen;
   for (const StreamBatch& batch : batches) {
@@ -157,45 +175,48 @@ Status QueryEngine::AppendBatches(std::span<const StreamBatch> batches) {
       return Status::InvalidArgument("duplicate batch for stream '" +
                                      batch.name + "'");
     }
-    STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream,
-                                GetStream(batch.name));
-    targets.push_back(stream);
+    STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(batch.name));
+    targets.push_back(std::move(handle));
   }
   ParallelFor(0, static_cast<int64_t>(batches.size()), /*grain=*/1,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
-                  targets[static_cast<size_t>(i)]->AppendBatch(
+                  const StreamHandle& handle = targets[static_cast<size_t>(i)];
+                  const auto lock = handle.LockWriter();
+                  handle.stream().AppendBatch(
                       batches[static_cast<size_t>(i)].values);
+                  handle.stream().PublishSnapshot();
                 }
               });
   return Status::OK();
 }
 
 void QueryEngine::RefreshAll() {
-  std::vector<ManagedStream*> targets;
-  targets.reserve(streams_.size());
-  for (auto& [name, stream] : streams_) targets.push_back(&stream);
+  const std::vector<StreamHandle> targets = registry_->Handles();
   ParallelFor(0, static_cast<int64_t>(targets.size()), /*grain=*/1,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
-                  targets[static_cast<size_t>(i)]->Refresh();
+                  const StreamHandle& handle = targets[static_cast<size_t>(i)];
+                  const auto lock = handle.LockWriter();
+                  handle.stream().Refresh();
+                  handle.stream().PublishSnapshot();
                 }
               });
 }
 
+Result<StreamHandle> QueryEngine::Stream(const std::string& name) const {
+  return registry_->Get(name);
+}
+
 Result<ManagedStream*> QueryEngine::GetStream(const std::string& name) {
-  auto it = streams_.find(name);
-  if (it == streams_.end()) {
-    return Status::NotFound("no stream named '" + name + "'");
-  }
-  return &it->second;
+  STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(name));
+  // The pointer is only guaranteed while the stream stays registered — the
+  // hazard that earned this accessor its deprecation.
+  return &handle.stream();
 }
 
 std::vector<std::string> QueryEngine::ListStreams() const {
-  std::vector<std::string> names;
-  names.reserve(streams_.size());
-  for (const auto& [name, stream] : streams_) names.push_back(name);
-  return names;
+  return registry_->List();
 }
 
 std::string QueryEngine::CheckpointReport::ToString() const {
@@ -224,14 +245,18 @@ void QueryEngine::SetBackoffSleeperForTest(void (*sleeper)(int64_t millis)) {
 
 Status QueryEngine::SaveCheckpoint(const std::string& path,
                                    SaveReport* report) const {
+  const std::vector<StreamHandle> handles = registry_->Handles();
   ByteWriter header;
-  header.PutU64(streams_.size());
+  header.PutU64(handles.size());
   std::string file = WrapFrame(kCheckpointMagic, kCheckpointVersion,
                                header.bytes());
-  for (const auto& [name, stream] : streams_) {
+  for (const StreamHandle& handle : handles) {
+    // The writer mutex keeps a concurrent APPEND/BUILD from mutating the
+    // synopses mid-serialization; each stream is frozen one at a time.
+    const auto lock = handle.LockWriter();
     ByteWriter section;
-    section.PutLengthPrefixed(name);
-    section.PutLengthPrefixed(stream.Snapshot());
+    section.PutLengthPrefixed(handle.name());
+    section.PutLengthPrefixed(handle.stream().Snapshot());
     file += WrapFrame(kSectionMagic, kSectionVersion, section.bytes());
   }
   // The image is immutable from here, so a retry rewrites identical bytes —
@@ -335,7 +360,7 @@ Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpoint(
     drop("(container)",
          Status::InvalidArgument("trailing bytes after final section"));
   }
-  streams_ = std::move(restored);
+  registry_->ReplaceAll(std::move(restored));
   return report;
 }
 
@@ -343,7 +368,52 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
   const std::vector<std::string> tokens = Tokenize(statement);
   if (tokens.empty()) return Status::InvalidArgument("empty statement");
   const std::string verb = ToUpper(tokens[0]);
+  QueryVerb verb_id = QueryVerb::kNumVerbs;
+  const bool known = ParseQueryVerb(verb, &verb_id);
+  const auto start = std::chrono::steady_clock::now();
+  StreamHandle touched;
+  Result<std::string> result = ExecuteParsed(tokens, verb, nullptr, &touched);
+  if (known) {
+    const int64_t nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    (touched ? touched.stats() : *engine_stats_)
+        .Record(verb_id, result.ok(), nanos);
+  }
+  return result;
+}
 
+Result<std::string> QueryEngine::Execute(const std::string& statement,
+                                         ExecContext& ctx) {
+  // Session cancellation / deadline is a statement-boundary check: a verb
+  // that already started runs to completion (BUILD aside, which inherits
+  // the session deadline into its degradation ladder).
+  if (ctx.ShouldStop()) {
+    return Status::Cancelled("session cancelled");
+  }
+  const std::vector<std::string> tokens = Tokenize(statement);
+  if (tokens.empty()) return Status::InvalidArgument("empty statement");
+  const std::string verb = ToUpper(tokens[0]);
+  QueryVerb verb_id = QueryVerb::kNumVerbs;
+  const bool known = ParseQueryVerb(verb, &verb_id);
+  const auto start = std::chrono::steady_clock::now();
+  StreamHandle touched;
+  Result<std::string> result = ExecuteParsed(tokens, verb, &ctx, &touched);
+  if (known) {
+    const int64_t nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    (touched ? touched.stats() : *engine_stats_)
+        .Record(verb_id, result.ok(), nanos);
+  }
+  return result;
+}
+
+Result<std::string> QueryEngine::ExecuteParsed(
+    const std::vector<std::string>& tokens, const std::string& verb,
+    ExecContext* ctx, StreamHandle* touched) {
   if (verb == "LIST") {
     std::ostringstream os;
     const auto names = ListStreams();
@@ -361,8 +431,22 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
     std::ostringstream os;
     os << "budget=" << governor::FormatBytes(governor::Budget())
        << "; used=" << governor::Used() << "; peak=" << governor::Peak();
-    for (const auto& [name, stream] : streams_) {
-      os << "; " << name << "=" << stream.MemoryBytes();
+    for (const StreamHandle& handle : registry_->Handles()) {
+      const auto lock = handle.LockWriter();
+      os << "; " << handle.name() << "=" << handle.stream().MemoryBytes();
+    }
+    return os.str();
+  }
+
+  if (verb == "STATS" && tokens.size() == 1) {
+    std::ostringstream os;
+    os << "engine:";
+    const std::string engine_lines = engine_stats_->Render();
+    if (!engine_lines.empty()) os << '\n' << engine_lines;
+    for (const StreamHandle& handle : registry_->Handles()) {
+      os << "\nstream " << handle.name() << ':';
+      const std::string lines = handle.stats().Render();
+      if (!lines.empty()) os << '\n' << lines;
     }
     return os.str();
   }
@@ -398,7 +482,8 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
     const Status status = SaveCheckpoint(tokens[1], &save_report);
     if (!status.ok()) return status;
     std::ostringstream os;
-    os << "checkpointed " << streams_.size() << " stream(s) to " << tokens[1];
+    os << "checkpointed " << registry_->size() << " stream(s) to "
+       << tokens[1];
     if (save_report.attempts > 1) {
       os << " (after " << save_report.attempts << " attempts)";
     }
@@ -411,75 +496,12 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
     return report.ToString();
   }
 
-  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream * stream, GetStream(tokens[1]));
-  const int64_t window_size = stream->window_histogram().window().size();
+  STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(tokens[1]));
+  *touched = handle;
 
-  if (verb == "SUM" || verb == "AVG") {
-    STREAMHIST_ASSIGN_OR_RETURN(auto range,
-                                ParseRange(tokens, 2, window_size));
-    const auto [lo, hi] = range;
-    if (verb == "AVG" && lo == hi) {
-      return Status::InvalidArgument("AVG over an empty range");
-    }
-    const double sum = stream->window_histogram().RangeSum(lo, hi);
-    return FormatNumber(verb == "SUM"
-                            ? sum
-                            : sum / static_cast<double>(hi - lo));
-  }
-  if (verb == "SUMBOUND" || verb == "AVGBOUND") {
-    STREAMHIST_ASSIGN_OR_RETURN(auto range,
-                                ParseRange(tokens, 2, window_size));
-    const auto [lo, hi] = range;
-    if (lo == hi) {
-      return Status::InvalidArgument(verb + " over an empty range");
-    }
-    FixedWindowHistogram& fw = stream->window_histogram();
-    const std::vector<double> errors = fw.BucketErrors();
-    const BoundedValue r =
-        verb == "SUMBOUND"
-            ? RangeSumWithBound(fw.Extract(), errors, lo, hi)
-            : RangeAverageWithBound(fw.Extract(), errors, lo, hi);
-    return FormatNumber(r.estimate) + " +- " + FormatNumber(r.error_bound);
-  }
-  if (verb == "POINT") {
-    if (tokens.size() != 3) {
-      return Status::InvalidArgument("POINT <stream> <i>");
-    }
-    STREAMHIST_ASSIGN_OR_RETURN(int64_t i, ParseInt(tokens[2]));
-    if (i < 0 || i >= window_size) {
-      return Status::OutOfRange("point index outside the window");
-    }
-    return FormatNumber(stream->window_histogram().Extract().Estimate(i));
-  }
-  if (verb == "QUANTILE") {
-    if (tokens.size() != 3) {
-      return Status::InvalidArgument("QUANTILE <stream> <phi>");
-    }
-    if (stream->quantiles() == nullptr) {
-      return Status::FailedPrecondition("quantiles disabled for this stream");
-    }
-    if (stream->quantiles()->size() == 0) {
-      return Status::FailedPrecondition("stream is empty");
-    }
-    STREAMHIST_ASSIGN_OR_RETURN(double phi, ParseDouble(tokens[2]));
-    if (phi < 0.0 || phi > 1.0) {
-      return Status::OutOfRange("phi must be in [0, 1]");
-    }
-    return FormatNumber(stream->quantiles()->Quantile(phi));
-  }
-  if (verb == "DISTINCT") {
-    if (stream->distinct() == nullptr) {
-      return Status::FailedPrecondition(
-          "distinct counting disabled for this stream");
-    }
-    return FormatNumber(stream->distinct()->EstimateDistinct());
-  }
-  if (verb == "COUNT") {
-    return FormatNumber(static_cast<double>(stream->total_points()));
-  }
-  if (verb == "ERROR") {
-    return FormatNumber(stream->window_histogram().ApproxError());
-  }
+  // Mutating verbs: the per-stream writer mutex serializes them against
+  // each other and against SAVE; the republish at the end is what makes the
+  // mutation visible to (lock-free) readers.
   if (verb == "APPEND") {
     if (tokens.size() < 3) {
       return Status::InvalidArgument("APPEND <stream> <v1> [v2 ...]");
@@ -490,9 +512,12 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
       STREAMHIST_ASSIGN_OR_RETURN(double v, ParseDouble(tokens[i]));
       values.push_back(v);
     }
-    const int64_t dropped_before = stream->dropped_nonfinite();
-    stream->AppendBatch(values);
-    const int64_t quarantined = stream->dropped_nonfinite() - dropped_before;
+    const auto lock = handle.LockWriter();
+    ManagedStream& stream = handle.stream();
+    const int64_t dropped_before = stream.dropped_nonfinite();
+    stream.AppendBatch(values);
+    const int64_t quarantined = stream.dropped_nonfinite() - dropped_before;
+    stream.PublishSnapshot();
     std::ostringstream os;
     os << "appended " << (static_cast<int64_t>(values.size()) - quarantined)
        << " point(s)";
@@ -504,9 +529,11 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
     // An optional mode argument is sticky: it updates the stream's
     // configured build mode (DESCRIBE shows it; checkpoints carry it). An
     // optional trailing WITHIN <ms> clause (not sticky) sets the wall-clock
-    // budget for this one build; with none, STREAMHIST_BUILD_DEADLINE_MS
-    // supplies a process-wide default.
+    // budget for this one build; with none, the session deadline (when the
+    // caller passed an ExecContext with one) or STREAMHIST_BUILD_DEADLINE_MS
+    // supplies the default.
     size_t end = tokens.size();
+    bool explicit_within = false;
     int64_t within_ms = DefaultBuildDeadlineMillis();
     if (end >= 4 && ToUpper(tokens[end - 2]) == "WITHIN") {
       STREAMHIST_ASSIGN_OR_RETURN(within_ms, ParseInt(tokens[end - 1]));
@@ -514,24 +541,30 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
         return Status::InvalidArgument(
             "WITHIN requires a positive millisecond budget");
       }
+      explicit_within = true;
       end -= 2;
     }
+    Deadline deadline = within_ms > 0 ? Deadline::AfterMillis(within_ms)
+                                      : Deadline::Infinite();
+    if (!explicit_within && ctx != nullptr && !ctx->deadline().infinite()) {
+      deadline = ctx->deadline();
+    }
+    const auto lock = handle.LockWriter();
+    ManagedStream& stream = handle.stream();
     if (end == 3 && ToUpper(tokens[2]) == "EXACT") {
-      const Status status =
-          stream->SetBuildMode(WindowBuildMode::kExact, 0.0);
+      const Status status = stream.SetBuildMode(WindowBuildMode::kExact, 0.0);
       if (!status.ok()) return status;
     } else if (end == 4 && ToUpper(tokens[2]) == "ERROR") {
       STREAMHIST_ASSIGN_OR_RETURN(double delta, ParseDouble(tokens[3]));
       const Status status =
-          stream->SetBuildMode(WindowBuildMode::kApprox, delta);
+          stream.SetBuildMode(WindowBuildMode::kApprox, delta);
       if (!status.ok()) return status;
     } else if (end != 2) {
       return Status::InvalidArgument(
           "BUILD <stream> [EXACT | ERROR <delta>] [WITHIN <ms>]");
     }
-    const Deadline deadline = within_ms > 0 ? Deadline::AfterMillis(within_ms)
-                                            : Deadline::Infinite();
-    const WindowBuildReport report = stream->BuildWindowHistogram(deadline);
+    const WindowBuildReport report = stream.BuildWindowHistogram(deadline);
+    stream.PublishSnapshot();
     std::ostringstream os;
     if (report.rung == BuildRung::kApprox) {
       os << "built approx(delta=" << FormatNumber(report.delta) << ")";
@@ -552,11 +585,108 @@ Result<std::string> QueryEngine::Execute(const std::string& statement) {
     }
     return os.str();
   }
+
+  if (verb == "STATS") {
+    // STATS <stream> [<verb>] — counters, or one verb's latency histogram.
+    if (tokens.size() == 2) {
+      const std::string lines = handle.stats().Render();
+      if (lines.empty()) {
+        return "no statistics recorded for '" + tokens[1] + "'";
+      }
+      return lines;
+    }
+    if (tokens.size() == 3) {
+      QueryVerb which = QueryVerb::kNumVerbs;
+      if (!ParseQueryVerb(ToUpper(tokens[2]), &which)) {
+        return Status::InvalidArgument("unknown verb '" + tokens[2] + "'");
+      }
+      const Histogram latency = handle.stats().LatencyHistogram(which);
+      if (latency.num_buckets() == 0) {
+        return "no statistics recorded for '" + tokens[1] + "' " +
+               QueryVerbName(which);
+      }
+      // Rendered through core/histogram: domain index i is log2 latency
+      // bucket i (bucket i >= 1 spans [256 << i, 256 << (i+1)) ns).
+      return latency.ToString();
+    }
+    return Status::InvalidArgument("STATS [<stream> [<verb>]]");
+  }
+
+  // Estimation verbs: answer from the latest published snapshot, lock-free.
+  // A concurrent APPEND/BUILD/DROP cannot tear or invalidate `snap`.
+  const std::shared_ptr<const QuerySnapshot> snap = handle.snapshot();
+  const int64_t window_size = snap->window_size;
+
+  if (verb == "SUM" || verb == "AVG") {
+    STREAMHIST_ASSIGN_OR_RETURN(auto range,
+                                ParseRange(tokens, 2, window_size));
+    const auto [lo, hi] = range;
+    if (verb == "AVG" && lo == hi) {
+      return Status::InvalidArgument("AVG over an empty range");
+    }
+    const double sum = snap->histogram.RangeSum(lo, hi);
+    return FormatNumber(verb == "SUM"
+                            ? sum
+                            : sum / static_cast<double>(hi - lo));
+  }
+  if (verb == "SUMBOUND" || verb == "AVGBOUND") {
+    STREAMHIST_ASSIGN_OR_RETURN(auto range,
+                                ParseRange(tokens, 2, window_size));
+    const auto [lo, hi] = range;
+    if (lo == hi) {
+      return Status::InvalidArgument(verb + " over an empty range");
+    }
+    const BoundedValue r =
+        verb == "SUMBOUND"
+            ? RangeSumWithBound(snap->histogram, snap->bucket_errors, lo, hi)
+            : RangeAverageWithBound(snap->histogram, snap->bucket_errors, lo,
+                                    hi);
+    return FormatNumber(r.estimate) + " +- " + FormatNumber(r.error_bound);
+  }
+  if (verb == "POINT") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("POINT <stream> <i>");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(int64_t i, ParseInt(tokens[2]));
+    if (i < 0 || i >= window_size) {
+      return Status::OutOfRange("point index outside the window");
+    }
+    return FormatNumber(snap->histogram.Estimate(i));
+  }
+  if (verb == "QUANTILE") {
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument("QUANTILE <stream> <phi>");
+    }
+    if (snap->quantiles == nullptr) {
+      return Status::FailedPrecondition("quantiles disabled for this stream");
+    }
+    if (snap->quantiles->size() == 0) {
+      return Status::FailedPrecondition("stream is empty");
+    }
+    STREAMHIST_ASSIGN_OR_RETURN(double phi, ParseDouble(tokens[2]));
+    if (phi < 0.0 || phi > 1.0) {
+      return Status::OutOfRange("phi must be in [0, 1]");
+    }
+    return FormatNumber(snap->quantiles->Quantile(phi));
+  }
+  if (verb == "DISTINCT") {
+    if (!snap->has_distinct) {
+      return Status::FailedPrecondition(
+          "distinct counting disabled for this stream");
+    }
+    return FormatNumber(snap->distinct_estimate);
+  }
+  if (verb == "COUNT") {
+    return FormatNumber(static_cast<double>(snap->total_points));
+  }
+  if (verb == "ERROR") {
+    return FormatNumber(snap->approx_error);
+  }
   if (verb == "DESCRIBE") {
-    return stream->Describe();
+    return snap->describe;
   }
   if (verb == "SHOW") {
-    return stream->window_histogram().Extract().ToString();
+    return snap->histogram.ToString();
   }
   return Status::InvalidArgument("unknown verb '" + verb + "'");
 }

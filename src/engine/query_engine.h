@@ -1,12 +1,15 @@
 #ifndef STREAMHIST_ENGINE_QUERY_ENGINE_H_
 #define STREAMHIST_ENGINE_QUERY_ENGINE_H_
 
-#include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "src/engine/managed_stream.h"
+#include "src/engine/stream_registry.h"
+#include "src/engine/stream_stats.h"
+#include "src/util/deadline.h"
 #include "src/util/result.h"
 
 namespace streamhist {
@@ -53,6 +56,12 @@ struct StreamBatch {
 ///                                 from STREAMHIST_BUILD_DEADLINE_MS.
 ///   DESCRIBE <stream>             synopsis status line
 ///   SHOW <stream>                 the window histogram's buckets
+///   STATS                         per-verb execution counters and latency
+///                                 quantiles: engine-scoped verbs plus one
+///                                 block per stream
+///   STATS <stream>                one stream's per-verb counters
+///   STATS <stream> <verb>         that verb's latency histogram (log2
+///                                 nanosecond buckets)
 ///   MEMORY                        governor budget / used / peak plus the
 ///                                 per-stream synopsis footprints; budget
 ///                                 comes from STREAMHIST_MEM_BUDGET
@@ -65,6 +74,16 @@ struct StreamBatch {
 ///   SAVE <path>                   checkpoint every stream to a file
 ///                                 (transient I/O failures are retried)
 ///   LOAD <path>                   restore streams from a checkpoint
+///
+/// Concurrency model (DESIGN.md §10): Execute is safe to call from any
+/// number of threads against one engine. Estimation verbs answer lock-free
+/// from each stream's atomically-published QuerySnapshot; APPEND/BUILD
+/// mutate under that stream's writer mutex and republish; CREATE/DROP touch
+/// one registry shard exclusively; SAVE/LOAD serialize against writers per
+/// stream / per shard. A query that acquired a snapshot before a concurrent
+/// republish (or DROP) answers from the old version in full — no torn
+/// reads, no dangling pointers. Single-threaded use behaves exactly as it
+/// did before the registry existed, statement for statement.
 class QueryEngine {
  public:
   QueryEngine() = default;
@@ -100,7 +119,15 @@ class QueryEngine {
   /// touches only its own stream.
   void RefreshAll();
 
+  /// The registered stream as a ref-counted handle, or NotFound. The handle
+  /// keeps the stream's storage (and any snapshot acquired through it)
+  /// alive across a concurrent DROP — the safe accessor.
+  Result<StreamHandle> Stream(const std::string& name) const;
+
   /// The registered stream, or NotFound.
+  [[deprecated(
+      "dangles under a concurrent DROP; use Stream() and hold the "
+      "StreamHandle")]]
   Result<ManagedStream*> GetStream(const std::string& name);
 
   /// Registered stream names, sorted.
@@ -108,7 +135,19 @@ class QueryEngine {
 
   /// Parses and executes one query statement; the result is rendered as a
   /// human-readable string (numeric answers use shortest-round-trip format).
+  /// Thread-safe (see the concurrency model above).
   Result<std::string> Execute(const std::string& statement);
+
+  /// Execute with a per-session context: a cancelled context (or an expired
+  /// session deadline) fails the statement with kCancelled before it runs,
+  /// and a BUILD with no WITHIN clause inherits the session deadline.
+  /// Cancellation is checked at statement boundaries, not mid-verb.
+  Result<std::string> Execute(const std::string& statement, ExecContext& ctx);
+
+  /// Counters for engine-scoped verbs (CREATE/DROP/LIST/MEMORY/SAVE/LOAD,
+  /// plus statements whose stream could not be resolved). Process-lifetime;
+  /// not checkpointed.
+  const QueryStats& engine_stats() const { return *engine_stats_; }
 
   /// What LoadCheckpoint managed to recover: sections it restored and
   /// sections it had to discard (with the reason each was unusable).
@@ -161,7 +200,19 @@ class QueryEngine {
   Result<CheckpointReport> LoadCheckpoint(const std::string& path);
 
  private:
-  std::map<std::string, ManagedStream> streams_;
+  /// The parsed-statement dispatcher behind both Execute overloads. Sets
+  /// `*touched` to the resolved stream handle for stream-scoped verbs (the
+  /// stats target); leaves it empty for engine-scoped verbs and failed
+  /// lookups.
+  Result<std::string> ExecuteParsed(const std::vector<std::string>& tokens,
+                                    const std::string& verb, ExecContext* ctx,
+                                    StreamHandle* touched);
+
+  // unique_ptr: the registry's mutexes (and the stats' atomics) are not
+  // movable, the engine is.
+  std::unique_ptr<StreamRegistry> registry_ =
+      std::make_unique<StreamRegistry>();
+  std::unique_ptr<QueryStats> engine_stats_ = std::make_unique<QueryStats>();
 };
 
 }  // namespace streamhist

@@ -1,0 +1,118 @@
+#include "src/engine/stream_registry.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace streamhist {
+
+StreamRegistry::Shard& StreamRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+const StreamRegistry::Shard& StreamRegistry::ShardFor(
+    const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kNumShards];
+}
+
+Result<StreamHandle> StreamRegistry::Get(const std::string& name) const {
+  const Shard& shard = ShardFor(name);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const auto it = shard.entries.find(name);
+  if (it == shard.entries.end()) {
+    return Status::NotFound("no stream named '" + name + "'");
+  }
+  return StreamHandle(it->second);
+}
+
+Status StreamRegistry::Insert(const std::string& name, ManagedStream stream) {
+  auto entry =
+      std::make_shared<StreamHandle::Entry>(name, std::move(stream));
+  Shard& shard = ShardFor(name);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (!shard.entries.emplace(name, std::move(entry)).second) {
+    return Status::InvalidArgument("stream '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status StreamRegistry::Erase(const std::string& name) {
+  std::shared_ptr<StreamHandle::Entry> victim;
+  {
+    Shard& shard = ShardFor(name);
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.entries.find(name);
+    if (it == shard.entries.end()) {
+      return Status::NotFound("no stream named '" + name + "'");
+    }
+    victim = std::move(it->second);
+    shard.entries.erase(it);
+  }
+  // `victim` (and with it, possibly, a whole ManagedStream destructor and
+  // its governor release) dies here, outside the shard lock — or later, in
+  // whichever reader thread drops the last in-flight handle.
+  return Status::OK();
+}
+
+std::vector<std::string> StreamRegistry::List() const {
+  std::vector<std::string> names;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [name, entry] : shard.entries) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<StreamHandle> StreamRegistry::Handles() const {
+  std::vector<StreamHandle> handles;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [name, entry] : shard.entries) {
+      handles.push_back(StreamHandle(entry));
+    }
+  }
+  std::sort(handles.begin(), handles.end(),
+            [](const StreamHandle& a, const StreamHandle& b) {
+              return a.name() < b.name();
+            });
+  return handles;
+}
+
+void StreamRegistry::ReplaceAll(std::map<std::string, ManagedStream> streams) {
+  // Build the new entries before taking any lock.
+  std::array<std::map<std::string, std::shared_ptr<StreamHandle::Entry>>,
+             kNumShards>
+      incoming;
+  for (auto& [name, stream] : streams) {
+    incoming[std::hash<std::string>{}(name) % kNumShards].emplace(
+        name,
+        std::make_shared<StreamHandle::Entry>(name, std::move(stream)));
+  }
+  // Lock every shard in index order (the only multi-shard lock site, so the
+  // fixed order is deadlock-free by construction), swap, then release.
+  std::array<std::unique_lock<std::shared_mutex>, kNumShards> locks;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    locks[i] = std::unique_lock<std::shared_mutex>(shards_[i].mu);
+  }
+  std::array<std::map<std::string, std::shared_ptr<StreamHandle::Entry>>,
+             kNumShards>
+      outgoing;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    outgoing[i] = std::move(shards_[i].entries);
+    shards_[i].entries = std::move(incoming[i]);
+  }
+  for (auto& lock : locks) lock.unlock();
+  // Old entries destruct here, after all locks are released (any still
+  // referenced by in-flight handles survive until those drain).
+}
+
+size_t StreamRegistry::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace streamhist

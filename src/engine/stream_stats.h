@@ -1,0 +1,144 @@
+#ifndef STREAMHIST_ENGINE_STREAM_STATS_H_
+#define STREAMHIST_ENGINE_STREAM_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/histogram.h"
+#include "src/util/result.h"
+
+namespace streamhist {
+
+/// Every verb of the engine's query language, stream-scoped and
+/// engine-scoped alike. The enumerator order is the SHMS v4 serialization
+/// order — append new verbs at the end (before kNumVerbs) and bump the
+/// snapshot version, never reorder.
+enum class QueryVerb : uint8_t {
+  kSum = 0,
+  kAvg,
+  kSumBound,
+  kAvgBound,
+  kPoint,
+  kQuantile,
+  kDistinct,
+  kCount,
+  kError,
+  kBuild,
+  kAppend,
+  kDescribe,
+  kShow,
+  kStats,
+  kCreate,
+  kDrop,
+  kList,
+  kMemory,
+  kSave,
+  kLoad,
+  kNumVerbs  // sentinel, not a verb
+};
+
+inline constexpr size_t kNumQueryVerbs =
+    static_cast<size_t>(QueryVerb::kNumVerbs);
+
+/// Stable upper-case name ("SUM", "BUILD", ...).
+const char* QueryVerbName(QueryVerb verb);
+
+/// Parses an upper-case verb token; false when it names no known verb.
+bool ParseQueryVerb(std::string_view token, QueryVerb* verb);
+
+/// Number of logarithmic latency buckets QueryStats keeps per verb.
+inline constexpr size_t kVerbLatencyBuckets = 24;
+
+/// Point-in-time copy of one verb's counters (plain values, no atomics).
+struct VerbCounters {
+  int64_t count = 0;
+  int64_t errors = 0;
+  int64_t total_nanos = 0;
+  std::array<int64_t, kVerbLatencyBuckets> latency = {};
+};
+
+/// Per-verb execution counters and latency histograms, safe to record into
+/// from any number of threads concurrently (relaxed atomics: counters are
+/// diagnostics, not synchronization). One instance lives in every
+/// ManagedStream (stream-scoped verbs, carried through SHMS v4 checkpoints)
+/// and one in the QueryEngine (engine-scoped verbs, process-lifetime only).
+///
+/// Latencies land in logarithmic buckets: bucket 0 is [0, 512ns) and bucket
+/// i >= 1 covers [256 << i, 256 << (i+1)) ns, the last bucket open-ended —
+/// 24 buckets span half a microsecond to ~2 seconds, plenty for verbs that
+/// range from a lock-free snapshot lookup to an exact DP build.
+class QueryStats {
+ public:
+  static constexpr size_t kLatencyBuckets = kVerbLatencyBuckets;
+
+  QueryStats() = default;
+  QueryStats(const QueryStats&) = delete;
+  QueryStats& operator=(const QueryStats&) = delete;
+
+  /// Which latency bucket `nanos` lands in.
+  static size_t LatencyBucketIndex(int64_t nanos);
+
+  /// Inclusive lower edge of bucket `index` in nanoseconds (0 for bucket 0).
+  static int64_t LatencyBucketLowerNanos(size_t index);
+
+  /// Exclusive upper edge of bucket `index` in nanoseconds.
+  static int64_t LatencyBucketUpperNanos(size_t index);
+
+  /// Records one execution of `verb`: outcome and wall-clock cost.
+  void Record(QueryVerb verb, bool ok, int64_t nanos);
+
+  /// A coherent-enough copy of one verb's counters (each field read
+  /// atomically; fields may straddle a concurrent Record).
+  VerbCounters Read(QueryVerb verb) const;
+
+  /// True when any verb has a nonzero count.
+  bool Any() const;
+
+  /// The verb's latency distribution rendered as a core/histogram Histogram:
+  /// domain index i is latency bucket i, the bucket value its hit count. An
+  /// empty histogram when the verb was never recorded.
+  Histogram LatencyHistogram(QueryVerb verb) const;
+
+  /// One "VERB count=N errors=E mean=X p50<=Y p99<=Z" line per verb with a
+  /// nonzero count, joined with '\n'; empty string when nothing was
+  /// recorded. The quantiles are bucket upper bounds, hence the "<=".
+  std::string Render() const;
+
+  /// Fixed-size byte image (SerializedBytes() long) of every counter — the
+  /// SHMS v4 stats block.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize into *this (expects a fresh instance). Rejects
+  /// wrong sizes, mismatched layout constants, and negative counters.
+  Status Deserialize(std::string_view bytes);
+
+  /// Byte length of Serialize()'s output — a layout constant.
+  static constexpr size_t SerializedBytes() {
+    // Two u32 layout constants, then per verb: count, errors, total_nanos
+    // and the latency buckets, all i64.
+    return 8 + kNumQueryVerbs * 8 * (3 + kLatencyBuckets);
+  }
+
+  /// Adds every counter of `other` into *this (LOAD-time merge of restored
+  /// stream stats is not needed today, but STATS aggregates engine views).
+  void MergeFrom(const QueryStats& other);
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> errors{0};
+    std::atomic<int64_t> total_nanos{0};
+    std::array<std::atomic<int64_t>, kLatencyBuckets> latency{};
+  };
+  std::array<Slot, kNumQueryVerbs> slots_;
+};
+
+/// "1.2us" / "3.4ms" style rendering of a nanosecond count.
+std::string FormatNanos(double nanos);
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_ENGINE_STREAM_STATS_H_

@@ -1,12 +1,14 @@
 #include "src/tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "src/core/agglomerative.h"
 #include "src/core/heuristics.h"
@@ -38,8 +40,8 @@ std::map<std::string, std::string> ParseFlags(
 }
 
 int Usage(std::ostream& err) {
-  err << "usage: streamhist_tool <generate|build|query|inspect|console>"
-         " [flags]\n"
+  err << "usage: streamhist_tool"
+         " <generate|build|query|inspect|console|serve> [flags]\n"
          "  generate --kind K --n N [--seed S] --out series.csv\n"
          "  build --input series.csv --buckets B [--epsilon E]\n"
          "        [--algorithm vopt|agglomerative|greedy|equiwidth|maxdiff]\n"
@@ -51,7 +53,14 @@ int Usage(std::ostream& err) {
          "          (CREATE/APPEND/SUM/.../SAVE <path>/LOAD <path>;\n"
          "           BUILD <s> [EXACT|ERROR <d>] [WITHIN <ms>] degrades\n"
          "           gracefully on deadline expiry; MEMORY shows the\n"
-         "           governor budget from STREAMHIST_MEM_BUDGET)\n";
+         "           governor budget from STREAMHIST_MEM_BUDGET;\n"
+         "           STATS [<s> [<verb>]] shows execution counters)\n"
+         "  serve --threads N [--script file] [--deadline-ms D]\n"
+         "        one shared engine, N concurrent sessions: statement i runs\n"
+         "        on session i%N with its own ExecContext (optional session\n"
+         "        deadline D); answers print in input order plus a summary.\n"
+         "        Statements race across sessions — scripts should make\n"
+         "        cross-session statements independent, or use --threads 1.\n";
   return 2;
 }
 
@@ -259,6 +268,91 @@ int Console(const std::map<std::string, std::string>& flags, std::ostream& out,
   return 0;
 }
 
+/// Concurrent QueryEngine sessions against one shared engine: the
+/// operational shape the snapshot-isolated core exists for. Statements are
+/// dealt round-robin to N session threads (statement i -> session i % N);
+/// each session executes its hand in order under its own ExecContext. The
+/// engine's concurrency model guarantees every interleaving is safe; the
+/// script decides whether it is meaningful. Answers are buffered and printed
+/// in input order so output is reproducible even though execution is not
+/// serialized.
+int Serve(const std::map<std::string, std::string>& flags, std::ostream& out,
+          std::ostream& err) {
+  const int threads =
+      flags.contains("threads") ? std::atoi(flags.at("threads").c_str()) : 1;
+  if (threads < 1 || threads > 64) {
+    err << "serve: --threads must be in [1, 64]\n";
+    return 2;
+  }
+  const bool has_deadline = flags.contains("deadline-ms");
+  const int64_t deadline_ms =
+      has_deadline ? std::max<int64_t>(
+                         0, std::atoll(flags.at("deadline-ms").c_str()))
+                   : 0;
+
+  std::ifstream script;
+  std::istream* in = &std::cin;
+  if (flags.contains("script")) {
+    script.open(flags.at("script"));
+    if (!script.is_open()) {
+      err << "serve: cannot open script: " << flags.at("script") << "\n";
+      return 1;
+    }
+    in = &script;
+  }
+  std::vector<std::string> statements;
+  std::string line;
+  while (std::getline(*in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string statement = line.substr(first);
+    std::string head = statement.substr(0, statement.find_first_of(" \t\r"));
+    std::transform(head.begin(), head.end(), head.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (head == "EXIT" || head == "QUIT") break;
+    statements.push_back(std::move(statement));
+  }
+
+  QueryEngine engine;
+  std::vector<std::string> answers(statements.size());
+  std::vector<uint8_t> succeeded(statements.size(), 0);
+  std::vector<std::thread> sessions;
+  sessions.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    sessions.emplace_back([&, t] {
+      ExecContext ctx(has_deadline ? Deadline::AfterMillis(deadline_ms)
+                                   : Deadline::Infinite());
+      for (size_t i = static_cast<size_t>(t); i < statements.size();
+           i += static_cast<size_t>(threads)) {
+        const Result<std::string> result = engine.Execute(statements[i], ctx);
+        if (result.ok()) {
+          answers[i] = result.value();
+          succeeded[i] = 1;
+        } else {
+          std::ostringstream os;
+          os << result.status();
+          answers[i] = os.str();
+        }
+      }
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+
+  size_t ok = 0;
+  for (size_t i = 0; i < statements.size(); ++i) {
+    if (succeeded[i]) {
+      out << answers[i] << "\n";
+      ++ok;
+    } else {
+      err << "error: " << answers[i] << "\n";
+    }
+  }
+  out << "serve: " << statements.size() << " statements on " << threads
+      << (threads == 1 ? " session: " : " sessions: ") << ok << " ok, "
+      << (statements.size() - ok) << " errors\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -272,6 +366,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (args[0] == "query") return Query(flags, positional, out, err);
   if (args[0] == "inspect") return Inspect(flags, out, err);
   if (args[0] == "console") return Console(flags, out, err);
+  if (args[0] == "serve") return Serve(flags, out, err);
   return Usage(err);
 }
 

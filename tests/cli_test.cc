@@ -184,6 +184,94 @@ TEST_F(CliTest, ConsoleBuildWithinAndMemoryVerbs) {
   EXPECT_NE(r.out.find("eth0="), std::string::npos) << r.out;
 }
 
+TEST_F(CliTest, ServeSingleSessionMatchesConsoleSemantics) {
+  const std::string script = dir_ + "/serve1.shq";
+  {
+    std::ofstream f(script);
+    f << "CREATE eth0 64 8\n"
+      << "APPEND eth0 1 2 3 4 5\n"
+      << "COUNT eth0\n"
+      << "FROBNICATE eth0\n"  // errors are per-statement, session continues
+      << "STATS eth0\n"
+      << "exit\n"
+      << "DESCRIBE eth0\n";  // after EXIT: must not run
+  }
+  const CliResult r = RunTool({"serve", "--threads", "1", "--script", script});
+  EXPECT_EQ(r.code, 0);
+  // Answers print in input order.
+  const size_t created = r.out.find("created stream 'eth0'");
+  const size_t appended = r.out.find("appended 5 point(s)");
+  const size_t counted = r.out.find("5\n");
+  ASSERT_NE(created, std::string::npos) << r.out;
+  ASSERT_NE(appended, std::string::npos) << r.out;
+  ASSERT_NE(counted, std::string::npos) << r.out;
+  EXPECT_LT(created, appended);
+  EXPECT_LT(appended, counted);
+  EXPECT_NE(r.err.find("error:"), std::string::npos) << r.err;
+  EXPECT_NE(r.out.find("COUNT count=1"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("points seen"), std::string::npos);  // EXIT honored
+  EXPECT_NE(r.out.find("serve: 5 statements on 1 session: 4 ok, 1 errors"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(CliTest, ServeRunsIndependentSessionsConcurrently) {
+  const std::string script = dir_ + "/serve4.shq";
+  {
+    // Statement i runs on session i % 4: each session gets "CREATE sK"
+    // then "APPEND sK ..." for its own K, so the racing sessions never
+    // touch each other's streams and every statement succeeds.
+    std::ofstream f(script);
+    for (int k = 0; k < 4; ++k) f << "CREATE s" << k << " 32 4\n";
+    for (int k = 0; k < 4; ++k) f << "APPEND s" << k << " 1 2 3\n";
+    for (int k = 0; k < 4; ++k) f << "COUNT s" << k << "\n";
+  }
+  const CliResult r = RunTool({"serve", "--threads", "4", "--script", script});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("serve: 12 statements on 4 sessions: 12 ok, 0 errors"),
+            std::string::npos)
+      << r.out << r.err;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NE(r.out.find("created stream 's" + std::to_string(k) + "'"),
+              std::string::npos)
+        << r.out;
+  }
+}
+
+TEST_F(CliTest, ServeSessionDeadlineCancelsStatements) {
+  const std::string script = dir_ + "/serve_deadline.shq";
+  {
+    std::ofstream f(script);
+    f << "CREATE eth0 64 8\nCOUNT eth0\n";
+  }
+  // A generous session deadline leaves every statement running normally.
+  const CliResult r = RunTool({"serve", "--threads", "1", "--deadline-ms",
+                               "60000", "--script", script});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("serve: 2 statements on 1 session: 2 ok"),
+            std::string::npos)
+      << r.out;
+
+  // --deadline-ms 0: the session context is born expired, so every
+  // statement is refused with a cancellation error.
+  const CliResult expired = RunTool({"serve", "--threads", "1",
+                                     "--deadline-ms", "0", "--script",
+                                     script});
+  EXPECT_EQ(expired.code, 0);
+  EXPECT_NE(expired.out.find("0 ok, 2 errors"), std::string::npos)
+      << expired.out;
+  EXPECT_NE(expired.err.find("error:"), std::string::npos) << expired.err;
+}
+
+TEST_F(CliTest, ServeRejectsBadThreadCounts) {
+  EXPECT_EQ(RunTool({"serve", "--threads", "0"}).code, 2);
+  EXPECT_EQ(RunTool({"serve", "--threads", "65"}).code, 2);
+  const CliResult r = RunTool({"serve", "--threads", "4", "--script",
+                               dir_ + "/nope.shq"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open script"), std::string::npos);
+}
+
 TEST_F(CliTest, ConsoleMissingScriptFileFails) {
   const CliResult r = RunTool({"console", "--script", dir_ + "/nope.shq"});
   EXPECT_EQ(r.code, 1);

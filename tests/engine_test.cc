@@ -316,6 +316,47 @@ TEST_F(QueryEngineTest, ErrorDescribeShow) {
             std::string::npos);
 }
 
+TEST_F(QueryEngineTest, StatsVerbCountsPerStreamExecutions) {
+  ASSERT_TRUE(engine_.Execute("SUM eth0 0 10").ok());
+  ASSERT_TRUE(engine_.Execute("SUM eth0 0 20").ok());
+  ASSERT_TRUE(engine_.Execute("COUNT eth0").ok());
+  EXPECT_FALSE(engine_.Execute("SUM eth0 10 5").ok());  // counted as an error
+
+  const std::string stats = engine_.Execute("STATS eth0").value();
+  EXPECT_NE(stats.find("SUM count=3 errors=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("COUNT count=1 errors=0"), std::string::npos) << stats;
+  // Verbs never executed are not listed.
+  EXPECT_EQ(stats.find("QUANTILE"), std::string::npos) << stats;
+}
+
+TEST_F(QueryEngineTest, StatsNoArgCoversEngineAndEveryStream) {
+  ASSERT_TRUE(engine_.Execute("LIST").ok());
+  ASSERT_TRUE(engine_.Execute("COUNT eth0").ok());
+  const std::string stats = engine_.Execute("STATS").value();
+  EXPECT_NE(stats.find("engine:"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("LIST count=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("stream eth0:"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("COUNT count=1"), std::string::npos) << stats;
+  // The C++ API records engine-scoped counters too.
+  EXPECT_EQ(engine_.engine_stats().Read(QueryVerb::kList).count, 1);
+}
+
+TEST_F(QueryEngineTest, StatsVerbLatencyHistogramAndErrors) {
+  ASSERT_TRUE(engine_.Execute("SUM eth0 0 10").ok());
+  // A latency histogram rendered through core/histogram.
+  const std::string histogram = engine_.Execute("STATS eth0 SUM").value();
+  EXPECT_NE(histogram.find("[0,"), std::string::npos) << histogram;
+  // Unused verb: explicit fallback, not an error.
+  EXPECT_EQ(engine_.Execute("STATS eth0 QUANTILE").value(),
+            "no statistics recorded for 'eth0' QUANTILE");
+  EXPECT_EQ(engine_.Execute("STATS eth0").value().find("no statistics"),
+            std::string::npos);
+  // Bad arguments are errors.
+  EXPECT_FALSE(engine_.Execute("STATS eth0 FROBNICATE").ok());
+  EXPECT_FALSE(engine_.Execute("STATS nosuch").ok());
+  EXPECT_FALSE(engine_.Execute("STATS eth0 SUM extra").ok());
+}
+
 TEST_F(QueryEngineTest, ParserErrors) {
   EXPECT_FALSE(engine_.Execute("").ok());
   EXPECT_FALSE(engine_.Execute("FROBNICATE eth0").ok());

@@ -287,9 +287,9 @@ EngineFingerprint RunEngineBatch(int threads) {
 
   EngineFingerprint fp;
   for (const StreamBatch& batch : batches) {
-    ManagedStream* stream = engine.GetStream(batch.name).value();
+    const StreamHandle stream = engine.Stream(batch.name).value();
     fp.window_buckets.push_back(
-        BucketBits(stream->window_histogram().Extract()));
+        BucketBits(stream.stream().window_histogram().Extract()));
     fp.describes.push_back(engine.Execute("DESCRIBE " + batch.name).value());
   }
   return fp;
@@ -302,6 +302,76 @@ TEST(ParallelDeterminismTest, EngineBatchRefreshIsBitIdentical) {
   for (const int threads : kThreadCounts) {
     EXPECT_TRUE(RunEngineBatch(threads) == serial) << "threads=" << threads;
   }
+}
+
+// Snapshot publication is part of the deterministic surface: the snapshot a
+// handle serves after AppendBatches + RefreshAll is bit-identical across
+// thread counts, and a snapshot acquired before a republish keeps answering
+// from the old version in full.
+TEST(ParallelDeterminismTest, PublishedSnapshotsAreBitIdenticalAcrossThreads) {
+  ThreadCountRestorer restore;
+
+  auto snapshot_bits = [](int threads) {
+    SetThreadCount(threads);
+    QueryEngine engine;
+    StreamConfig config;
+    config.window_size = 256;
+    config.num_buckets = 16;
+    config.epsilon = 0.1;
+    std::vector<StreamBatch> batches;
+    for (int s = 0; s < 4; ++s) {
+      const std::string name = "stream" + std::to_string(s);
+      EXPECT_TRUE(engine.CreateStream(name, config).ok());
+      batches.push_back(StreamBatch{
+          name, GenerateDataset(DatasetKind::kRandomWalk, 2048,
+                                /*seed=*/300 + static_cast<uint64_t>(s))});
+    }
+    EXPECT_TRUE(engine.AppendBatches(batches).ok());
+    engine.RefreshAll();
+    std::vector<std::vector<uint64_t>> bits;
+    for (const StreamBatch& batch : batches) {
+      const StreamHandle handle = engine.Stream(batch.name).value();
+      bits.push_back(BucketBits(handle.snapshot()->histogram));
+    }
+    return bits;
+  };
+
+  const auto serial = snapshot_bits(1);
+  for (const int threads : kThreadCounts) {
+    EXPECT_EQ(snapshot_bits(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, HeldSnapshotIsImmuneToRepublish) {
+  ThreadCountRestorer restore;
+  SetThreadCount(2);
+  QueryEngine engine;
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  ASSERT_TRUE(engine.CreateStream("a", config).ok());
+  ASSERT_TRUE(
+      engine.AppendBatch("a", GenerateDataset(DatasetKind::kUtilization, 128,
+                                              /*seed=*/11))
+          .ok());
+
+  const StreamHandle handle = engine.Stream("a").value();
+  const std::shared_ptr<const QuerySnapshot> held = handle.snapshot();
+  const std::vector<uint64_t> held_bits = BucketBits(held->histogram);
+  const int64_t held_points = held->total_points;
+
+  // Republish via batch append + parallel refresh: the held snapshot keeps
+  // its entire pre-republish state, the fresh one moves on.
+  const std::vector<StreamBatch> more{
+      {"a", GenerateDataset(DatasetKind::kRandomWalk, 128, /*seed=*/12)}};
+  ASSERT_TRUE(engine.AppendBatches(more).ok());
+  engine.RefreshAll();
+
+  EXPECT_EQ(BucketBits(held->histogram), held_bits);
+  EXPECT_EQ(held->total_points, held_points);
+  const std::shared_ptr<const QuerySnapshot> fresh = handle.snapshot();
+  EXPECT_GT(fresh->version, held->version);
+  EXPECT_EQ(fresh->total_points, held_points + 128);
 }
 
 TEST(ParallelDeterminismTest, AppendBatchesRejectsDuplicatesAndUnknowns) {
@@ -317,7 +387,7 @@ TEST(ParallelDeterminismTest, AppendBatchesRejectsDuplicatesAndUnknowns) {
   const std::vector<StreamBatch> unknown{{"a", {1.0}}, {"missing", {2.0}}};
   EXPECT_FALSE(engine.AppendBatches(unknown).ok());
   // Validation failed before any append: stream "a" saw no points.
-  EXPECT_EQ(engine.GetStream("a").value()->total_points(), 0);
+  EXPECT_EQ(engine.Stream("a").value().stream().total_points(), 0);
 }
 
 }  // namespace

@@ -281,15 +281,21 @@ TEST(ManagedStreamSerializationTest, DroppedNonfiniteSurvivesRoundTrip) {
   EXPECT_EQ(twice->dropped_nonfinite(), 3);
 }
 
-// v3 stream payload layout (bytes before the window blob):
+// v4 stream payload layout (bytes before the window blob):
 //   0..34   config through keep_distinct (8+8+8+1+1+8+1)
 //   35..43  v2 build-mode fields (bool + f64)
 //   44..51  dropped_nonfinite (i64)
 //   52..59  degraded_builds (i64, new in v3)
+//   ...     synopsis blobs (window / quantiles / distinct)
+//   tail    length-prefixed query-stats block (new in v4): a u64 length
+//           followed by QueryStats::SerializedBytes() bytes
 // Older payloads are fabricated below by erasing the fields their version
 // predates, per the EXPERIMENTS.md version policy: the previous blob
 // versions must stay readable for a release cycle.
 constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
+
+// Bytes the v4 stats tail adds to the end of the payload.
+constexpr size_t kStatsTailBytes = 8 + QueryStats::SerializedBytes();
 
 TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
   StreamConfig config;
@@ -303,9 +309,10 @@ TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  EXPECT_EQ(frame->version, 3u);
+  EXPECT_EQ(frame->version, 4u);
   std::string v1_payload(frame->payload);
-  ASSERT_GT(v1_payload.size(), 60u);
+  ASSERT_GT(v1_payload.size(), 60u + kStatsTailBytes);
+  v1_payload.erase(v1_payload.size() - kStatsTailBytes);  // stats tail (v4)
   v1_payload.erase(52, 8);  // degraded_builds (v3)
   v1_payload.erase(35, 9);  // build-mode fields (v2)
   const std::string v1_snapshot = WrapFrame(kStreamMagic, 1, v1_payload);
@@ -334,9 +341,10 @@ TEST(ManagedStreamSerializationTest, V2SnapshotsStillLoadWithDefaults) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  ASSERT_EQ(frame->version, 3u);
+  ASSERT_EQ(frame->version, 4u);
   std::string v2_payload(frame->payload);
-  ASSERT_GT(v2_payload.size(), 60u);
+  ASSERT_GT(v2_payload.size(), 60u + kStatsTailBytes);
+  v2_payload.erase(v2_payload.size() - kStatsTailBytes);  // stats tail (v4)
   v2_payload.erase(52, 8);  // degraded_builds (v3)
   const std::string v2_snapshot = WrapFrame(kStreamMagic, 2, v2_payload);
 
@@ -348,6 +356,76 @@ TEST(ManagedStreamSerializationTest, V2SnapshotsStillLoadWithDefaults) {
   EXPECT_EQ(restored->total_points(), stream.total_points());
   EXPECT_EQ(restored->window_histogram().RangeSum(0, 64),
             stream.window_histogram().RangeSum(0, 64));
+}
+
+TEST(ManagedStreamSerializationTest, V3SnapshotsStillLoadWithEmptyStats) {
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(200)) stream.Append(v);
+  stream.stats().Record(QueryVerb::kSum, /*ok=*/true, /*nanos=*/1000);
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->version, 4u);
+  std::string v3_payload(frame->payload);
+  ASSERT_GT(v3_payload.size(), kStatsTailBytes);
+  v3_payload.erase(v3_payload.size() - kStatsTailBytes);  // stats tail (v4)
+  const std::string v3_snapshot = WrapFrame(kStreamMagic, 3, v3_payload);
+
+  auto restored = ManagedStream::Restore(v3_snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // v3 predates per-verb stats: the restored stream starts with none.
+  EXPECT_FALSE(restored->stats().Any());
+  EXPECT_EQ(restored->total_points(), stream.total_points());
+  EXPECT_EQ(restored->window_histogram().RangeSum(0, 64),
+            stream.window_histogram().RangeSum(0, 64));
+}
+
+TEST(ManagedStreamSerializationTest, StatsSurviveSnapshotRoundTrip) {
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(40)) stream.Append(v);
+  stream.stats().Record(QueryVerb::kSum, /*ok=*/true, /*nanos=*/700);
+  stream.stats().Record(QueryVerb::kSum, /*ok=*/true, /*nanos=*/90000);
+  stream.stats().Record(QueryVerb::kQuantile, /*ok=*/false, /*nanos=*/50);
+
+  auto restored = ManagedStream::Restore(stream.Snapshot());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const VerbCounters sums = restored->stats().Read(QueryVerb::kSum);
+  EXPECT_EQ(sums.count, 2);
+  EXPECT_EQ(sums.errors, 0);
+  EXPECT_EQ(sums.total_nanos, 90700);
+  const VerbCounters quantiles = restored->stats().Read(QueryVerb::kQuantile);
+  EXPECT_EQ(quantiles.count, 1);
+  EXPECT_EQ(quantiles.errors, 1);
+}
+
+TEST(ManagedStreamSerializationTest, NegativeStatsTailIsRejected) {
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(40)) stream.Append(v);
+  stream.stats().Record(QueryVerb::kSum, /*ok=*/true, /*nanos=*/1000);
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  std::string payload(frame->payload);
+  ASSERT_GT(payload.size(), kStatsTailBytes);
+  // Force the first counter in the stats block (SUM's count, right after the
+  // u64 length and the two u32 layout constants) to -1.
+  const size_t counter_at = payload.size() - kStatsTailBytes + 8 + 4 + 4;
+  for (size_t i = 0; i < 8; ++i) payload[counter_at + i] = '\xff';
+  const auto restored =
+      ManagedStream::Restore(WrapFrame(kStreamMagic, 4, payload));
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ManagedStreamSerializationTest, NegativeCountersAreRejected) {
