@@ -1,0 +1,616 @@
+// BENCH_PR6: closed-loop load harness for the TCP front-end (src/server,
+// DESIGN.md §11). Starts an in-process TcpServer on an ephemeral loopback
+// port and drives it with real sockets:
+//
+//   1. Latency vs offered load — N closed-loop clients (N swept over the
+//      level list) cycling the text estimation verbs; reports throughput
+//      and p50/p99/p999 reply latency per level.
+//   2. Write path — a bounded number of text APPENDs and binary
+//      batch-APPEND frames, reported separately so the frame's
+//      per-value amortization is visible. Bounded, because every append
+//      ends in the engine republishing a snapshot: an open-ended append
+//      loop would measure the engine, not the front-end.
+//   3. Degradation under deadline pressure — BUILD statements with a sweep
+//      of WITHIN budgets over a window large enough that the exact DP
+//      cannot always finish; reports the ladder-rung distribution
+//      (exact/approx/snapshot) parsed from the replies.
+//
+// `bench_load --pr6_json=BENCH_PR6.json` writes the artifact;
+// `--pr6_smoke=1` shrinks durations and applies the CI gate (>= 1k
+// statements/s against localhost at the top load level, zero protocol
+// errors). See EXPERIMENTS.md for the schema.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/data/generators.h"
+#include "src/engine/query_engine.h"
+#include "src/server/tcp_server.h"
+#include "src/server/wire.h"
+
+namespace streamhist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// A minimal blocking protocol client (the bench-side twin of the test
+// helper): send one request, read one "OK <k>" / "ERR ..." reply.
+
+class LoadClient {
+ public:
+  explicit LoadClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return;
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~LoadClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LoadClient(const LoadClient&) = delete;
+  LoadClient& operator=(const LoadClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one reply. Returns: 1 = OK, 0 = typed ERR, -1 = protocol
+  /// breakdown (EOF, timeout, or an unparseable head). The first payload
+  /// line of an OK reply lands in `*first_line` when requested.
+  int ReadReply(std::string* first_line = nullptr) {
+    std::string head;
+    if (!ReadLine(&head)) return -1;
+    if (head.rfind("OK ", 0) == 0) {
+      const long k = std::strtol(head.c_str() + 3, nullptr, 10);
+      std::string line;
+      for (long i = 0; i < k; ++i) {
+        if (!ReadLine(&line)) return -1;
+        if (i == 0 && first_line != nullptr) *first_line = line;
+      }
+      return 1;
+    }
+    return head.rfind("ERR ", 0) == 0 ? 0 : -1;
+  }
+
+ private:
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+double PercentileUs(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_us.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_us.size())));
+  return sorted_us[index];
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: latency vs offered load.
+
+struct LoadLevel {
+  int clients = 0;
+  int64_t requests = 0;
+  int64_t typed_errors = 0;     // ERR replies (none expected here)
+  int64_t protocol_errors = 0;  // unparseable replies / dead connections
+  double seconds = 0.0;
+  double throughput = 0.0;  // requests / second
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+/// One closed-loop reader: request -> reply -> next, cycling the estimation
+/// verbs. `index` desynchronizes the cycles across clients. Reads answer
+/// from the published snapshot, so this measures the front-end itself; the
+/// write path (whose cost is the engine's snapshot republish, not the
+/// server) is measured separately with a bounded request count.
+void ClientLoop(uint16_t port, int index, const std::atomic<bool>& stop,
+                std::vector<double>* latencies, int64_t* typed_errors,
+                int64_t* protocol_errors) {
+  LoadClient client(port);
+  if (!client.connected()) {
+    ++*protocol_errors;
+    return;
+  }
+  const std::string text[] = {
+      "COUNT s\n",
+      "SUM s 0 256\n",
+      "POINT s 17\n",
+      "AVG s 0 128\n",
+  };
+  latencies->reserve(1 << 16);
+  for (int64_t i = index; !stop.load(std::memory_order_relaxed); ++i) {
+    const std::string& request = text[static_cast<size_t>(i % 4)];
+    const auto start = Clock::now();
+    if (!client.Send(request)) {
+      ++*protocol_errors;
+      return;
+    }
+    const int verdict = client.ReadReply();
+    if (verdict < 0) {
+      ++*protocol_errors;
+      return;
+    }
+    if (verdict == 0) ++*typed_errors;
+    latencies->push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count() /
+        1e3);
+  }
+}
+
+LoadLevel MeasureLevel(uint16_t port, int clients, int duration_ms) {
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::vector<int64_t> typed(static_cast<size_t>(clients), 0);
+  std::vector<int64_t> protocol(static_cast<size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back(ClientLoop, port, i, std::cref(stop),
+                         &latencies[static_cast<size_t>(i)],
+                         &typed[static_cast<size_t>(i)],
+                         &protocol[static_cast<size_t>(i)]);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count() /
+      1e9;
+
+  LoadLevel level;
+  level.clients = clients;
+  level.seconds = seconds;
+  std::vector<double> merged;
+  for (int i = 0; i < clients; ++i) {
+    const auto& lat = latencies[static_cast<size_t>(i)];
+    merged.insert(merged.end(), lat.begin(), lat.end());
+    level.typed_errors += typed[static_cast<size_t>(i)];
+    level.protocol_errors += protocol[static_cast<size_t>(i)];
+  }
+  level.requests = static_cast<int64_t>(merged.size());
+  level.throughput = seconds > 0.0 ? merged.size() / seconds : 0.0;
+  std::sort(merged.begin(), merged.end());
+  level.p50_us = PercentileUs(merged, 0.50);
+  level.p99_us = PercentileUs(merged, 0.99);
+  level.p999_us = PercentileUs(merged, 0.999);
+  return level;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: the write path, bounded. The request count is fixed (not
+// duration-driven) and sized so the target window never fills: appends into
+// a full sliding window pay the engine's per-append eviction cost, which is
+// an engine property, not a front-end one.
+
+struct AppendStats {
+  int64_t requests = 0;
+  int64_t values = 0;
+  int64_t typed_errors = 0;
+  int64_t protocol_errors = 0;
+  double seconds = 0.0;
+  double values_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+AppendStats MeasureAppends(uint16_t port, bool batch, int requests,
+                           int values_per_batch) {
+  AppendStats stats;
+  LoadClient client(port);
+  if (!client.connected()) {
+    stats.protocol_errors = requests;
+    return stats;
+  }
+  std::string request;
+  if (batch) {
+    std::vector<double> values(static_cast<size_t>(values_per_batch));
+    for (int i = 0; i < values_per_batch; ++i) {
+      values[static_cast<size_t>(i)] = 0.25 * i;
+    }
+    request = net::EncodeBatchAppend("w", values);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(requests));
+  const auto begin = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    if (!batch) {
+      request = "APPEND w ";
+      request += std::to_string(0.5 + i);
+      request += '\n';
+    }
+    const auto start = Clock::now();
+    if (!client.Send(request)) {
+      ++stats.protocol_errors;
+      break;
+    }
+    const int verdict = client.ReadReply();
+    if (verdict < 0) {
+      ++stats.protocol_errors;
+      break;
+    }
+    if (verdict == 0) ++stats.typed_errors;
+    latencies.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count() /
+        1e3);
+    ++stats.requests;
+    stats.values += batch ? values_per_batch : 1;
+  }
+  stats.seconds =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           begin)
+          .count() /
+      1e9;
+  stats.values_per_sec =
+      stats.seconds > 0.0 ? static_cast<double>(stats.values) / stats.seconds
+                          : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_us = PercentileUs(latencies, 0.50);
+  stats.p99_us = PercentileUs(latencies, 0.99);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: degradation-ladder rung distribution under deadline pressure.
+
+struct RungCounts {
+  int64_t within_ms = 0;
+  int64_t builds = 0;
+  int64_t exact = 0;
+  int64_t approx = 0;
+  int64_t snapshot = 0;
+  int64_t degraded = 0;
+  int64_t errors = 0;
+};
+
+RungCounts MeasureRungs(uint16_t port, int64_t within_ms, int builds) {
+  RungCounts counts;
+  counts.within_ms = within_ms;
+  LoadClient client(port);
+  if (!client.connected()) {
+    counts.errors = builds;
+    return counts;
+  }
+  const std::string request =
+      "BUILD big WITHIN " + std::to_string(within_ms) + "\n";
+  for (int i = 0; i < builds; ++i) {
+    std::string reply;
+    if (!client.Send(request) || client.ReadReply(&reply) != 1) {
+      ++counts.errors;
+      continue;
+    }
+    ++counts.builds;
+    if (reply.rfind("built exact", 0) == 0) {
+      ++counts.exact;
+    } else if (reply.rfind("built approx", 0) == 0) {
+      ++counts.approx;
+    } else if (reply.rfind("built snapshot", 0) == 0) {
+      ++counts.snapshot;
+    }
+    if (reply.find("degraded:") != std::string::npos) ++counts.degraded;
+  }
+  return counts;
+}
+
+}  // namespace
+
+int RunBenchPr6(int argc, char** argv) {
+  using bench::FlagInt;
+  using bench::FlagStr;
+  const std::string out_path = FlagStr(argc, argv, "pr6_json", "");
+  const bool smoke = FlagInt(argc, argv, "pr6_smoke", 0) != 0;
+  const int server_threads =
+      static_cast<int>(FlagInt(argc, argv, "pr6_threads", 2));
+  const int duration_ms =
+      static_cast<int>(FlagInt(argc, argv, "pr6_duration_ms",
+                               smoke ? 200 : 1000));
+  const std::vector<int> levels =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  const int builds_per_budget = smoke ? 5 : 20;
+  const double throughput_gate = 1000.0;  // statements/s at the top level
+
+  bench::Banner("BENCH_PR6: TCP front-end load (threads=" +
+                std::to_string(server_threads) + ")");
+
+  // One engine behind the server. "s" serves the read workload of
+  // section 1 (reads answer from the published snapshot, so its window
+  // just has to hold the seeded points); "w" takes section 2's appends and
+  // is sized so they never fill it (a full sliding window adds per-append
+  // eviction cost); "big" has a window large enough that the exact
+  // V-optimal DP overruns millisecond budgets for section 3.
+  QueryEngine engine;
+  StreamConfig config;
+  config.window_size = 8192;
+  config.num_buckets = 16;
+  config.epsilon = 0.1;
+  if (!engine.CreateStream("s", config).ok()) return 1;
+  StreamConfig write;
+  write.window_size = 8192;
+  write.num_buckets = 16;
+  write.epsilon = 0.1;
+  if (!engine.CreateStream("w", write).ok()) return 1;
+  StreamConfig big;
+  big.window_size = smoke ? 1024 : 2048;
+  big.num_buckets = 32;
+  big.epsilon = 0.1;
+  if (!engine.CreateStream("big", big).ok()) return 1;
+  if (!engine
+           .AppendBatch("s", GenerateDataset(DatasetKind::kUtilization, 4096,
+                                             /*seed=*/17))
+           .ok()) {
+    return 1;
+  }
+  if (!engine
+           .AppendBatch("w", GenerateDataset(DatasetKind::kUtilization, 1024,
+                                             /*seed=*/19))
+           .ok()) {
+    return 1;
+  }
+  if (!engine
+           .AppendBatch("big",
+                        GenerateDataset(DatasetKind::kRandomWalk,
+                                        big.window_size,
+                                        /*seed=*/18))
+           .ok()) {
+    return 1;
+  }
+
+  net::ServerOptions options;
+  options.threads = server_threads;
+  auto server = net::TcpServer::Start(engine, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "bench_load: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = server.value()->port();
+  std::printf("  serving on 127.0.0.1:%u\n", port);
+  std::fflush(stdout);
+
+  // Section 1: closed-loop latency vs offered load.
+  std::vector<LoadLevel> measured;
+  bench::TablePrinter table(
+      {"clients", "stmts/s", "p50 us", "p99 us", "p99.9 us", "errors"});
+  for (const int clients : levels) {
+    measured.push_back(MeasureLevel(port, clients, duration_ms));
+    const LoadLevel& level = measured.back();
+    table.AddRow({std::to_string(level.clients),
+                  bench::FmtInt(static_cast<int64_t>(level.throughput)),
+                  bench::Fmt(level.p50_us), bench::Fmt(level.p99_us),
+                  bench::Fmt(level.p999_us),
+                  std::to_string(level.typed_errors + level.protocol_errors)});
+  }
+  table.Print();
+
+  // Section 2: bounded write path, text singles vs binary frames.
+  const int single_appends = smoke ? 32 : 64;
+  const int batch_appends = smoke ? 16 : 32;
+  const int values_per_batch = 32;
+  const AppendStats singles =
+      MeasureAppends(port, /*batch=*/false, single_appends, 0);
+  const AppendStats batches =
+      MeasureAppends(port, /*batch=*/true, batch_appends, values_per_batch);
+  bench::TablePrinter writes(
+      {"append path", "requests", "values", "values/s", "p50 us", "p99 us"});
+  writes.AddRow({"text single", std::to_string(singles.requests),
+                 std::to_string(singles.values),
+                 bench::FmtInt(static_cast<int64_t>(singles.values_per_sec)),
+                 bench::Fmt(singles.p50_us), bench::Fmt(singles.p99_us)});
+  writes.AddRow({"binary batch", std::to_string(batches.requests),
+                 std::to_string(batches.values),
+                 bench::FmtInt(static_cast<int64_t>(batches.values_per_sec)),
+                 bench::Fmt(batches.p50_us), bench::Fmt(batches.p99_us)});
+  writes.Print();
+
+  // Section 3: BUILD rung distribution across WITHIN budgets. Tight budgets
+  // push builds down the ladder; generous ones let the exact DP finish.
+  const std::vector<int64_t> budgets =
+      smoke ? std::vector<int64_t>{1, 50}
+            : std::vector<int64_t>{1, 10, 100, 2000};
+  std::vector<RungCounts> rungs;
+  bench::TablePrinter ladder(
+      {"WITHIN ms", "builds", "exact", "approx", "snapshot", "degraded"});
+  for (const int64_t within : budgets) {
+    rungs.push_back(MeasureRungs(port, within, builds_per_budget));
+    const RungCounts& counts = rungs.back();
+    ladder.AddRow({std::to_string(counts.within_ms),
+                   std::to_string(counts.builds), std::to_string(counts.exact),
+                   std::to_string(counts.approx),
+                   std::to_string(counts.snapshot),
+                   std::to_string(counts.degraded)});
+  }
+  ladder.Print();
+
+  server.value()->Shutdown();
+  const net::ServerStatsSnapshot stats = server.value()->stats();
+  std::printf("  %s\n", server.value()->SummaryLine().c_str());
+  std::fflush(stdout);
+
+  int64_t protocol_errors = 0;
+  int64_t build_errors = 0;
+  for (const LoadLevel& level : measured) {
+    protocol_errors += level.protocol_errors;
+  }
+  protocol_errors += singles.protocol_errors + batches.protocol_errors;
+  for (const RungCounts& counts : rungs) build_errors += counts.errors;
+  const double top_throughput = measured.back().throughput;
+  const bool throughput_ok = !smoke || top_throughput >= throughput_gate;
+  const bool errors_ok = protocol_errors == 0 && build_errors == 0 &&
+                         stats.protocol_errors == 0;
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(std::string("BENCH_PR6"))
+      .Key("schema_version").Value(int64_t{1})
+      .Key("smoke").Value(smoke)
+      .Key("server_threads").Value(static_cast<int64_t>(server_threads))
+      .Key("duration_ms").Value(static_cast<int64_t>(duration_ms))
+      .Key("hardware_threads")
+      .Value(static_cast<int64_t>(std::thread::hardware_concurrency()))
+      .Key("latency_vs_load").BeginArray();
+  for (const LoadLevel& level : measured) {
+    json.BeginObject()
+        .Key("clients").Value(static_cast<int64_t>(level.clients))
+        .Key("requests").Value(level.requests)
+        .Key("seconds").Value(level.seconds)
+        .Key("throughput_per_sec").Value(level.throughput)
+        .Key("p50_us").Value(level.p50_us)
+        .Key("p99_us").Value(level.p99_us)
+        .Key("p999_us").Value(level.p999_us)
+        .Key("typed_errors").Value(level.typed_errors)
+        .Key("protocol_errors").Value(level.protocol_errors)
+        .EndObject();
+  }
+  json.EndArray().Key("append_path").BeginObject();
+  const std::pair<const char*, const AppendStats*> flavors[] = {
+      {"text_single", &singles}, {"binary_batch32", &batches}};
+  for (const auto& [name, stats_ptr] : flavors) {
+    json.Key(std::string(name)).BeginObject()
+        .Key("requests").Value(stats_ptr->requests)
+        .Key("values").Value(stats_ptr->values)
+        .Key("seconds").Value(stats_ptr->seconds)
+        .Key("values_per_sec").Value(stats_ptr->values_per_sec)
+        .Key("p50_us").Value(stats_ptr->p50_us)
+        .Key("p99_us").Value(stats_ptr->p99_us)
+        .Key("typed_errors").Value(stats_ptr->typed_errors)
+        .Key("protocol_errors").Value(stats_ptr->protocol_errors)
+        .EndObject();
+  }
+  json.EndObject().Key("degradation").BeginArray();
+  for (const RungCounts& counts : rungs) {
+    json.BeginObject()
+        .Key("within_ms").Value(counts.within_ms)
+        .Key("builds").Value(counts.builds)
+        .Key("exact").Value(counts.exact)
+        .Key("approx").Value(counts.approx)
+        .Key("snapshot").Value(counts.snapshot)
+        .Key("degraded").Value(counts.degraded)
+        .Key("errors").Value(counts.errors)
+        .EndObject();
+  }
+  json.EndArray()
+      .Key("server_stats").BeginObject()
+      .Key("statements").Value(stats.statements)
+      .Key("batch_frames").Value(stats.batch_frames)
+      .Key("batch_values").Value(stats.batch_values)
+      .Key("accepted").Value(stats.accepted)
+      .Key("protocol_errors").Value(stats.protocol_errors)
+      .Key("bytes_in").Value(stats.bytes_in)
+      .Key("bytes_out").Value(stats.bytes_out)
+      .EndObject()
+      .Key("gates").BeginObject()
+      .Key("throughput").BeginObject()
+      .Key("limit_per_sec").Value(throughput_gate)
+      .Key("top_level_per_sec").Value(top_throughput)
+      .Key("evaluated").Value(smoke)
+      .Key("ok").Value(throughput_ok)
+      .EndObject()
+      .Key("protocol_errors").BeginObject()
+      .Key("count").Value(protocol_errors + build_errors)
+      .Key("ok").Value(errors_ok)
+      .EndObject()
+      .EndObject().EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!errors_ok) {
+    std::fprintf(stderr, "bench_load: %lld protocol error(s) observed\n",
+                 static_cast<long long>(protocol_errors + build_errors +
+                                        stats.protocol_errors));
+    return 2;
+  }
+  if (!throughput_ok) {
+    std::fprintf(stderr,
+                 "bench_load: top-level throughput %.0f/s is below the "
+                 "%.0f/s smoke gate\n",
+                 top_throughput, throughput_gate);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace streamhist
+
+int main(int argc, char** argv) {
+  if (streamhist::bench::FlagStr(argc, argv, "pr6_json", "").empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_load --pr6_json=BENCH_PR6.json "
+                 "[--pr6_smoke=1] [--pr6_threads=N] [--pr6_duration_ms=M]\n");
+    return 1;
+  }
+  return streamhist::RunBenchPr6(argc, argv);
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Live-server smoke for the TCP front-end: start `streamhist_tool serve
+# --listen 0` (ephemeral port), drive it with the independent Python protocol
+# client (text + binary frames, one malformed frame, one oversized line),
+# then SIGTERM and assert a clean shutdown — exit 0, the summary line
+# printed, and exactly the two deliberate protocol errors counted.
+#
+# usage: tcp_smoke.sh <path-to-streamhist_tool>
+set -u
+
+TOOL="${1:?usage: tcp_smoke.sh <path-to-streamhist_tool>}"
+CLIENT="$(dirname "$0")/tcp_smoke_client.py"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+LOG="$WORK/serve.log"
+
+"$TOOL" serve --listen 0 --threads 2 > "$LOG" 2>&1 &
+SERVER=$!
+
+# The ephemeral port is announced on the first line; wait for it.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER" 2>/dev/null; then
+    echo "FAIL: server exited before listening"
+    cat "$LOG"
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: server never announced its port"
+  cat "$LOG"
+  kill -9 "$SERVER" 2>/dev/null
+  exit 1
+fi
+echo "server listening on port $PORT (pid $SERVER)"
+
+python3 "$CLIENT" "$PORT"
+CLIENT_STATUS=$?
+
+kill -TERM "$SERVER" 2>/dev/null
+wait "$SERVER"
+SERVER_STATUS=$?
+cat "$LOG"
+
+if [ "$CLIENT_STATUS" -ne 0 ]; then
+  echo "FAIL: protocol client reported failures (exit $CLIENT_STATUS)"
+  exit 1
+fi
+if [ "$SERVER_STATUS" -ne 0 ]; then
+  echo "FAIL: server did not shut down cleanly on SIGTERM (exit $SERVER_STATUS)"
+  exit 1
+fi
+if ! grep -q '^serve: ' "$LOG"; then
+  echo "FAIL: no shutdown summary line in server output"
+  exit 1
+fi
+# The client provokes exactly two protocol errors (corrupt frame + oversized
+# line); the counters must agree and nothing else may have gone wrong.
+if ! grep -q '2 protocol errors' "$LOG"; then
+  echo "FAIL: summary does not count exactly the 2 deliberate protocol errors"
+  exit 1
+fi
+echo "tcp_smoke: clean shutdown, counters as expected"
+exit 0

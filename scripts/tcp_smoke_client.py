@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Localhost smoke client for `streamhist_tool serve --listen` (DESIGN.md §11).
+
+An independent reimplementation of the wire protocol — text statements plus
+the CRC32C length-prefixed binary batch-APPEND frame — so the smoke test
+cross-checks the server against the spec, not against the C++ codec that the
+server itself links. Exercises, against a live server:
+
+  1. text statement round-trips and pipelining,
+  2. a binary batch-APPEND frame mixed into a text pipeline,
+  3. one malformed frame (corrupt CRC): typed ERR PROTOCOL, then close,
+  4. one oversized text line: typed ERR PROTOCOL, connection survives.
+
+Exits 0 iff every expectation holds. usage: tcp_smoke_client.py <port>
+"""
+
+import socket
+import struct
+import sys
+
+MAGIC = 0x484253F5  # first byte on the wire is 0xF5, which no text line starts with
+VERSION = 1
+
+_CRC_TABLE = []
+for _i in range(256):
+    _crc = _i
+    for _ in range(8):
+        _crc = (_crc >> 1) ^ 0x82F63B78 if _crc & 1 else _crc >> 1
+    _CRC_TABLE.append(_crc)
+
+
+def crc32c(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def batch_frame(name: str, values, corrupt_crc: bool = False) -> bytes:
+    encoded = name.encode()
+    payload = struct.pack("<Q", len(encoded)) + encoded
+    payload += struct.pack("<Q", len(values))
+    for value in values:
+        payload += struct.pack("<d", value)
+    header = struct.pack("<IIQ", MAGIC, VERSION, len(payload))
+    crc = crc32c(header + payload)
+    if corrupt_crc:
+        crc ^= 0xDEADBEEF
+    return header + payload + struct.pack("<I", crc)
+
+
+class Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def send(self, data: bytes):
+        self.sock.sendall(data)
+
+    def read_line(self):
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                return None  # EOF
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return line.decode()
+
+    def read_reply(self):
+        """Returns (ok: bool, lines: [str]) or None on EOF."""
+        head = self.read_line()
+        if head is None:
+            return None
+        if head.startswith("OK "):
+            count = int(head.split()[1])
+            return True, [self.read_line() for _ in range(count)]
+        if head.startswith("ERR "):
+            return False, [head]
+        raise AssertionError(f"unparseable reply head: {head!r}")
+
+    def at_eof(self) -> bool:
+        if self.buffer:
+            return False
+        try:
+            return self.sock.recv(4096) == b""
+        except socket.timeout:
+            return False
+
+
+FAILURES = []
+
+
+def expect(condition: bool, what: str):
+    tag = "ok" if condition else "FAIL"
+    print(f"  [{tag}] {what}")
+    if not condition:
+        FAILURES.append(what)
+
+
+def main() -> int:
+    port = int(sys.argv[1])
+
+    # 1. Text round-trips, one reply per statement, in order.
+    c = Client(port)
+    c.send(b"CREATE eth0 64 8\nAPPEND eth0 1 2 3\nCOUNT eth0\n")
+    ok, _ = c.read_reply()
+    expect(ok, "CREATE answered OK")
+    ok, _ = c.read_reply()
+    expect(ok, "APPEND answered OK")
+    ok, lines = c.read_reply()
+    expect(ok and lines == ["3"], f"COUNT eth0 == 3 (got {lines})")
+
+    # 2. A binary batch frame pipelined between text statements on the same
+    # connection; replies must come back in request order.
+    values = [0.5 * i for i in range(32)]
+    c.send(b"COUNT eth0\n" + batch_frame("eth0", values) + b"COUNT eth0\n")
+    ok, lines = c.read_reply()
+    expect(ok and lines == ["3"], "pre-frame COUNT == 3")
+    ok, lines = c.read_reply()
+    expect(ok and lines and "appended 32" in lines[0],
+           f"frame acked with appended 32 (got {lines})")
+    ok, lines = c.read_reply()
+    expect(ok and lines == ["35"], f"post-frame COUNT == 35 (got {lines})")
+
+    # 3. Corrupt-CRC frame: one typed ERR PROTOCOL, then the server closes
+    # (framing is lost, so resync is impossible by design).
+    bad = Client(port)
+    bad.send(batch_frame("eth0", [1.0, 2.0], corrupt_crc=True))
+    reply = bad.read_reply()
+    expect(reply is not None and not reply[0] and
+           reply[1][0].startswith("ERR PROTOCOL"),
+           f"corrupt frame drew ERR PROTOCOL (got {reply})")
+    expect(bad.at_eof(), "server closed after the corrupt frame")
+
+    # 4. Oversized text line (over the 64 KiB default): one typed ERR, and
+    # the connection stays usable for the next statement.
+    c.send(b"COUNT " + b"x" * (80 * 1024) + b"\n")
+    reply = c.read_reply()
+    expect(reply is not None and not reply[0] and
+           reply[1][0].startswith("ERR PROTOCOL"),
+           f"oversized line drew ERR PROTOCOL (got {reply})")
+    c.send(b"COUNT eth0\n")
+    ok, lines = c.read_reply()
+    expect(ok and lines == ["35"],
+           f"connection survived the oversized line (got {lines})")
+
+    if FAILURES:
+        print(f"tcp_smoke_client: {len(FAILURES)} failure(s)")
+        return 1
+    print("tcp_smoke_client: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,13 +208,6 @@ Result<StreamHandle> QueryEngine::Stream(const std::string& name) const {
   return registry_->Get(name);
 }
 
-Result<ManagedStream*> QueryEngine::GetStream(const std::string& name) {
-  STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(name));
-  // The pointer is only guaranteed while the stream stays registered — the
-  // hazard that earned this accessor its deprecation.
-  return &handle.stream();
-}
-
 std::vector<std::string> QueryEngine::ListStreams() const {
   return registry_->List();
 }
@@ -409,6 +402,44 @@ Result<std::string> QueryEngine::Execute(const std::string& statement,
         .Record(verb_id, result.ok(), nanos);
   }
   return result;
+}
+
+Result<std::string> QueryEngine::ExecuteBatchAppend(
+    const std::string& name, std::span<const double> values,
+    ExecContext* ctx) {
+  if (ctx != nullptr && ctx->ShouldStop()) {
+    return Status::Cancelled("session cancelled");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<StreamHandle> handle = Stream(name);
+  auto record = [&](bool ok) {
+    const int64_t nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    (handle.ok() ? handle->stats() : *engine_stats_)
+        .Record(QueryVerb::kAppend, ok, nanos);
+  };
+  if (!handle.ok()) {
+    record(false);
+    return handle.status();
+  }
+  std::ostringstream os;
+  {
+    const auto lock = handle->LockWriter();
+    ManagedStream& stream = handle->stream();
+    const int64_t dropped_before = stream.dropped_nonfinite();
+    stream.AppendBatch(values);
+    const int64_t quarantined = stream.dropped_nonfinite() - dropped_before;
+    stream.PublishSnapshot();
+    os << "appended "
+       << (static_cast<int64_t>(values.size()) - quarantined) << " point(s)";
+    if (quarantined > 0) {
+      os << ", quarantined " << quarantined << " non-finite";
+    }
+  }
+  record(true);
+  return os.str();
 }
 
 Result<std::string> QueryEngine::ExecuteParsed(

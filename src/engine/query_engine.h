@@ -124,12 +124,6 @@ class QueryEngine {
   /// alive across a concurrent DROP — the safe accessor.
   Result<StreamHandle> Stream(const std::string& name) const;
 
-  /// The registered stream, or NotFound.
-  [[deprecated(
-      "dangles under a concurrent DROP; use Stream() and hold the "
-      "StreamHandle")]]
-  Result<ManagedStream*> GetStream(const std::string& name);
-
   /// Registered stream names, sorted.
   std::vector<std::string> ListStreams() const;
 
@@ -143,6 +137,16 @@ class QueryEngine {
   /// and a BUILD with no WITHIN clause inherits the session deadline.
   /// Cancellation is checked at statement boundaries, not mid-verb.
   Result<std::string> Execute(const std::string& statement, ExecContext& ctx);
+
+  /// The binary wire form of `APPEND <name> <values...>` (the TCP front
+  /// end's batch frame): appends every value under the stream's writer mutex
+  /// and republishes the snapshot once — N values, one republish — then
+  /// returns the same "appended N point(s)" message the text verb renders.
+  /// Records APPEND stats on the stream exactly like Execute; `ctx` (may be
+  /// null) is checked at the statement boundary like the Execute overload.
+  Result<std::string> ExecuteBatchAppend(const std::string& name,
+                                         std::span<const double> values,
+                                         ExecContext* ctx = nullptr);
 
   /// Counters for engine-scoped verbs (CREATE/DROP/LIST/MEMORY/SAVE/LOAD,
   /// plus statements whose stream could not be resolved). Process-lifetime;

@@ -1,0 +1,68 @@
+#ifndef STREAMHIST_SERVER_SOCKET_H_
+#define STREAMHIST_SERVER_SOCKET_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+namespace net {
+
+/// Owning file descriptor: closes on destruction, move-only. The server's
+/// sockets, epoll instances, and eventfds all live in one of these so no
+/// early-return path can leak a descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A nonblocking loopback listener on `port` (0: kernel-assigned ephemeral
+/// port — read the chosen one back with LocalPort). Loopback-only is
+/// deliberate: the protocol carries no authentication, so the bind scope is
+/// the trust boundary (front it with a proxy to go wider).
+Result<UniqueFd> ListenLoopback(uint16_t port, int backlog);
+
+/// The port a bound socket ended up on (resolves port-0 binds).
+Result<uint16_t> LocalPort(int fd);
+
+/// Marks `fd` nonblocking.
+Status SetNonBlocking(int fd);
+
+/// read(2), EINTR-retried. Fault point `net.read.short` clamps the read to
+/// one byte per call, forcing every incremental-reparse path (split frame
+/// headers, statements arriving a byte at a time) without a pathological
+/// peer.
+ssize_t ReadFd(int fd, char* buf, size_t len);
+
+/// write(2), EINTR-retried. Fault point `net.write.eagain` simulates a full
+/// socket buffer (returns -1 with errno=EAGAIN, writing nothing), forcing
+/// the buffered-output + EPOLLOUT resumption path on demand.
+ssize_t WriteFd(int fd, const char* buf, size_t len);
+
+}  // namespace net
+}  // namespace streamhist
+
+#endif  // STREAMHIST_SERVER_SOCKET_H_

@@ -1,0 +1,114 @@
+#ifndef STREAMHIST_SERVER_TCP_SERVER_H_
+#define STREAMHIST_SERVER_TCP_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+
+class QueryEngine;
+
+namespace net {
+
+/// Tuning knobs for TcpServer. The defaults suit a localhost deployment;
+/// tests shrink the limits to drive the admission / backpressure paths
+/// deterministically.
+struct ServerOptions {
+  /// Loopback port to listen on; 0 asks the kernel for an ephemeral port
+  /// (read it back with TcpServer::port()).
+  uint16_t port = 0;
+  /// Event-loop worker threads; connections are dealt round-robin.
+  int threads = 1;
+  /// Per-request deadline in milliseconds (0: none). Statements run under an
+  /// ExecContext carrying this deadline, so a BUILD with no WITHIN clause
+  /// inherits it into the degradation ladder — the "heavy" request class —
+  /// while cheap estimation verbs are simply rejected kCancelled if they are
+  /// dequeued after it already passed. STREAMHIST_BUILD_DEADLINE_MS supplies
+  /// the BUILD-class default when this is 0.
+  int64_t deadline_ms = 0;
+  /// Admission cap on concurrently open connections; over it, accepts are
+  /// answered with "ERR OVERLOADED ..." and closed instead of queued.
+  int max_connections = 256;
+  /// Longest accepted text statement; longer lines draw one
+  /// "ERR PROTOCOL ..." and are discarded to the next newline.
+  size_t max_line_bytes = 64 * 1024;
+  /// Largest accepted batch-frame payload; a header declaring more is
+  /// hostile and closes the connection.
+  size_t max_frame_bytes = 4 * 1024 * 1024;
+  /// Backpressure high-water mark: once this many reply bytes are queued on
+  /// a connection, the server stops reading (and executing) for it until the
+  /// client drains — pipelining cannot queue unbounded output.
+  size_t max_output_buffer = 256 * 1024;
+  /// A connection holding queued output that makes no write progress for
+  /// this long is a slow reader: it is disconnected (with a best-effort
+  /// "ERR OVERLOADED ..." line) instead of pinning its buffers forever.
+  int64_t slow_reader_timeout_ms = 5000;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+/// Monotonic counters, readable at any time (and after Shutdown).
+struct ServerStatsSnapshot {
+  int64_t accepted = 0;
+  int64_t refused_over_cap = 0;     // connection cap admission refusals
+  int64_t refused_over_budget = 0;  // governor admission refusals
+  int64_t accept_faults = 0;        // net.accept fault point fires
+  int64_t active = 0;               // currently open connections
+  int64_t statements = 0;           // text statements executed OK
+  int64_t statement_errors = 0;     // text statements answered ERR
+  int64_t batch_frames = 0;         // binary frames applied
+  int64_t batch_values = 0;         // values appended through frames
+  int64_t protocol_errors = 0;      // malformed frames / oversized lines
+  int64_t slow_reader_disconnects = 0;
+  int64_t dropped_mid_request = 0;  // peer vanished with a partial request
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+};
+
+/// The epoll TCP front-end over one QueryEngine (DESIGN.md §11): pipelined
+/// newline-delimited statements plus the binary batch-APPEND frame, with
+/// per-connection output backpressure and governor-wired admission control.
+///
+/// Threading: Start spawns `options.threads` event-loop workers; worker 0
+/// also accepts. Each connection lives on exactly one worker, so connection
+/// state is single-threaded; all cross-connection concurrency happens inside
+/// QueryEngine, whose Execute is thread-safe by design (DESIGN.md §10).
+/// Statements execute on the worker loop itself — the deadline class keeps
+/// heavy BUILDs from starving a worker's other connections indefinitely.
+///
+/// The engine must outlive the server. Shutdown() (or the destructor) stops
+/// accepting, closes every connection, and joins the workers.
+class TcpServer {
+ public:
+  /// Binds, spawns the workers, and starts accepting.
+  static Result<std::unique_ptr<TcpServer>> Start(QueryEngine& engine,
+                                                  const ServerOptions& options);
+
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound loopback port (resolves an ephemeral-port request).
+  uint16_t port() const;
+
+  /// Stops accepting, disconnects everything, joins the workers. Idempotent.
+  void Shutdown();
+
+  ServerStatsSnapshot stats() const;
+
+  /// One-line human-readable counter summary ("served N statements ...").
+  std::string SummaryLine() const;
+
+ private:
+  struct Impl;
+  explicit TcpServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace net
+}  // namespace streamhist
+
+#endif  // STREAMHIST_SERVER_TCP_SERVER_H_

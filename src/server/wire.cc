@@ -1,0 +1,128 @@
+#include "src/server/wire.h"
+
+#include <cstring>
+
+#include "src/util/framing.h"
+
+namespace streamhist {
+namespace net {
+
+std::string EncodeBatchAppend(std::string_view name,
+                              std::span<const double> values) {
+  ByteWriter payload;
+  payload.PutLengthPrefixed(name);
+  payload.PutU64(values.size());
+  for (double v : values) payload.PutF64(v);
+  return WrapFrame(kBatchFrameMagic, kBatchFrameVersion, payload.bytes());
+}
+
+FrameScan ScanBatchFrame(std::string_view buffer, size_t max_frame_bytes) {
+  FrameScan scan;
+  if (buffer.size() < kFrameHeaderBytes) return scan;  // kNeedMore
+  uint32_t magic = 0;
+  uint64_t payload_len = 0;
+  std::memcpy(&magic, buffer.data(), sizeof(magic));
+  std::memcpy(&payload_len, buffer.data() + 8, sizeof(payload_len));
+  if (magic != kBatchFrameMagic) {
+    scan.state = FrameScan::State::kBad;
+    scan.error = "bad batch frame magic";
+    return scan;
+  }
+  if (payload_len > max_frame_bytes) {
+    scan.state = FrameScan::State::kBad;
+    scan.error = "batch frame payload of " + std::to_string(payload_len) +
+                 " bytes exceeds the " + std::to_string(max_frame_bytes) +
+                 "-byte limit";
+    return scan;
+  }
+  const size_t total = kFrameOverheadBytes + static_cast<size_t>(payload_len);
+  if (buffer.size() < total) return scan;  // kNeedMore
+  scan.state = FrameScan::State::kFrame;
+  scan.frame_bytes = total;
+  return scan;
+}
+
+Result<BatchAppend> DecodeBatchAppend(std::string_view frame) {
+  STREAMHIST_ASSIGN_OR_RETURN(
+      FrameView view, UnwrapFrame(frame, kBatchFrameMagic, "batch append"));
+  if (view.version != kBatchFrameVersion) {
+    return Status::InvalidArgument("unsupported batch frame version " +
+                                   std::to_string(view.version));
+  }
+  ByteReader reader(view.payload);
+  std::string_view name;
+  uint64_t count = 0;
+  if (!reader.ReadLengthPrefixed(&name) || !reader.ReadU64(&count)) {
+    return Status::InvalidArgument("malformed batch frame payload");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("batch frame names no stream");
+  }
+  if (reader.remaining() != count * sizeof(double)) {
+    return Status::InvalidArgument(
+        "batch frame declares " + std::to_string(count) + " value(s) but " +
+        std::to_string(reader.remaining() / sizeof(double)) + " follow");
+  }
+  BatchAppend batch;
+  batch.name.assign(name);
+  batch.values.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!reader.ReadF64(&batch.values[i])) {
+      return Status::InvalidArgument("batch frame value underrun");
+    }
+  }
+  return batch;
+}
+
+std::string OkResponse(std::string_view payload) {
+  size_t lines = 1;
+  for (char c : payload) {
+    if (c == '\n') ++lines;
+  }
+  // A payload that already ends in '\n' declared its last line there.
+  if (!payload.empty() && payload.back() == '\n') --lines;
+  std::string out = "OK " + std::to_string(lines) + "\n";
+  out.append(payload);
+  if (payload.empty() || payload.back() != '\n') out.push_back('\n');
+  return out;
+}
+
+std::string ErrResponse(std::string_view code, std::string_view message) {
+  std::string out = "ERR ";
+  out.append(code);
+  out.push_back(' ');
+  for (char c : message) out.push_back(c == '\n' ? ' ' : c);
+  out.push_back('\n');
+  return out;
+}
+
+const char* StatusCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kIOError:
+      return "IO_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+  }
+  return "INTERNAL";
+}
+
+std::string ErrResponse(const Status& status) {
+  return ErrResponse(StatusCodeToken(status.code()), status.message());
+}
+
+}  // namespace net
+}  // namespace streamhist

@@ -1,0 +1,97 @@
+#ifndef STREAMHIST_SERVER_WIRE_H_
+#define STREAMHIST_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+namespace net {
+
+/// The TCP statement protocol (DESIGN.md §11). Two request forms share one
+/// connection:
+///
+///   1. Text: one engine statement per '\n'-terminated line — exactly the
+///      console/script language. Blank lines and '#' comments get no reply.
+///   2. Binary batch-APPEND: a CRC32C-checked frame (util/framing layout)
+///      carrying N values for one stream; costs a single snapshot republish
+///      no matter how large N is. Its first wire byte is >= 0x80, so the
+///      parser can tell the two forms apart from one byte.
+///
+/// Every request gets exactly one reply:
+///
+///   OK <k>\n            then k payload lines (k >= 1)
+///   ERR <CODE> <text>\n one line; <CODE> is a stable upper-snake token
+///
+/// Replies arrive in request order (pipelining is encouraged — that is what
+/// amortizes round trips), and <text> never contains '\n'.
+
+/// Frame magic for the binary batch-APPEND form. Little-endian on the wire,
+/// so the first transmitted byte is 0xF5 — deliberately outside ASCII so no
+/// text statement can alias a frame header.
+inline constexpr uint32_t kBatchFrameMagic = 0x484253F5;  // "\xF5SBH"
+inline constexpr uint32_t kBatchFrameVersion = 1;
+inline constexpr unsigned char kBatchFrameFirstByte = 0xF5;
+
+/// Frame layout overhead: 16-byte header (magic u32, version u32,
+/// payload_len u64) plus the trailing crc32c u32 (util/framing's WrapFrame).
+inline constexpr size_t kFrameHeaderBytes = 16;
+inline constexpr size_t kFrameOverheadBytes = kFrameHeaderBytes + 4;
+
+/// A decoded batch-APPEND request.
+struct BatchAppend {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Encodes a batch-APPEND frame: WrapFrame around
+///   name (u64 length + bytes) | count u64 | count x f64.
+std::string EncodeBatchAppend(std::string_view name,
+                              std::span<const double> values);
+
+/// What an incremental scan of a partially-received frame concluded.
+struct FrameScan {
+  enum class State {
+    kNeedMore,  // buffer holds a valid prefix; read more bytes
+    kFrame,     // a whole frame is buffered: frame_bytes long
+    kBad,       // the header is hostile (bad magic / oversized declared
+                // length); `error` says why. Framing is lost — close.
+  };
+  State state = State::kNeedMore;
+  size_t frame_bytes = 0;
+  std::string error;
+};
+
+/// Scans `buffer` (which starts with kBatchFrameFirstByte) for one complete
+/// batch frame without copying. Rejects declared payloads larger than
+/// `max_frame_bytes` up front so a hostile length can never make the server
+/// buffer unbounded input.
+FrameScan ScanBatchFrame(std::string_view buffer, size_t max_frame_bytes);
+
+/// Validates (magic, version, CRC) and decodes one complete frame.
+Result<BatchAppend> DecodeBatchAppend(std::string_view frame);
+
+/// "OK <k>\n" + the payload's lines (k = line count; a trailing '\n' is
+/// added when missing). An empty payload is sent as one empty line.
+std::string OkResponse(std::string_view payload);
+
+/// "ERR <code> <message>\n" with any newlines in `message` flattened to
+/// spaces so the reply stays one line.
+std::string ErrResponse(std::string_view code, std::string_view message);
+
+/// Stable wire token for a StatusCode: kInvalidArgument -> "INVALID_ARGUMENT"
+/// and so on. Protocol-level failures use codes outside this enum
+/// ("PROTOCOL", "OVERLOADED").
+const char* StatusCodeToken(StatusCode code);
+
+/// Renders an error Status as its wire reply line.
+std::string ErrResponse(const Status& status);
+
+}  // namespace net
+}  // namespace streamhist
+
+#endif  // STREAMHIST_SERVER_WIRE_H_

@@ -1,5 +1,9 @@
 #include "src/tools/cli.h"
 
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cctype>
@@ -17,6 +21,7 @@
 #include "src/data/generators.h"
 #include "src/data/io.h"
 #include "src/engine/query_engine.h"
+#include "src/server/tcp_server.h"
 
 namespace streamhist {
 
@@ -60,7 +65,15 @@ int Usage(std::ostream& err) {
          "        on session i%N with its own ExecContext (optional session\n"
          "        deadline D); answers print in input order plus a summary.\n"
          "        Statements race across sessions — scripts should make\n"
-         "        cross-session statements independent, or use --threads 1.\n";
+         "        cross-session statements independent, or use --threads 1.\n"
+         "  serve --listen PORT [--threads N] [--deadline-ms D]\n"
+         "        [--max-conns C]\n"
+         "        TCP front-end on 127.0.0.1:PORT (PORT 0: ephemeral, the\n"
+         "        chosen port is printed): newline-delimited statements plus\n"
+         "        the binary batch-APPEND frame, pipelined, with output\n"
+         "        backpressure and governor admission control (DESIGN.md\n"
+         "        \xC2\xA7" "11). D is the per-request deadline class knob;\n"
+         "        SIGINT/SIGTERM shuts down cleanly with a summary line.\n";
   return 2;
 }
 
@@ -268,6 +281,75 @@ int Console(const std::map<std::string, std::string>& flags, std::ostream& out,
   return 0;
 }
 
+// Self-pipe for serve --listen: the signal handler writes one byte, the
+// foreground thread blocks on the read end until shutdown is requested.
+int g_shutdown_pipe[2] = {-1, -1};
+
+extern "C" void ServeShutdownHandler(int /*signum*/) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; the result is irrelevant (a full pipe
+  // means a shutdown byte is already queued).
+  [[maybe_unused]] const ssize_t n = write(g_shutdown_pipe[1], &byte, 1);
+}
+
+/// The TCP front-end (DESIGN.md §11): bind, print the port, serve until
+/// SIGINT/SIGTERM, shut down cleanly, print the summary line.
+int ServeTcp(const std::map<std::string, std::string>& flags,
+             int threads, int64_t deadline_ms, std::ostream& out,
+             std::ostream& err) {
+  net::ServerOptions options;
+  const int64_t port = std::atoll(flags.at("listen").c_str());
+  if (port < 0 || port > 65535) {
+    err << "serve: --listen must be a port in [0, 65535]\n";
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.threads = threads;
+  options.deadline_ms = deadline_ms;
+  if (flags.contains("max-conns")) {
+    const int64_t cap = std::atoll(flags.at("max-conns").c_str());
+    if (cap < 1) {
+      err << "serve: --max-conns must be >= 1\n";
+      return 2;
+    }
+    options.max_connections = static_cast<int>(cap);
+  }
+
+  QueryEngine engine;
+  auto server = net::TcpServer::Start(engine, options);
+  if (!server.ok()) {
+    err << "serve: " << server.status() << "\n";
+    return 1;
+  }
+  out << "listening on 127.0.0.1:" << server.value()->port() << " ("
+      << threads << (threads == 1 ? " thread" : " threads");
+  if (deadline_ms > 0) out << ", deadline " << deadline_ms << " ms";
+  out << ")" << std::endl;  // flushed: scripts parse the port from this line
+
+  if (pipe(g_shutdown_pipe) != 0) {
+    err << "serve: cannot create shutdown pipe\n";
+    return 1;
+  }
+  struct sigaction action = {};
+  action.sa_handler = ServeShutdownHandler;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  char byte = 0;
+  ssize_t n;
+  do {
+    n = read(g_shutdown_pipe[0], &byte, 1);
+  } while (n < 0 && errno == EINTR);
+
+  server.value()->Shutdown();
+  out << server.value()->SummaryLine() << "\n";
+  close(g_shutdown_pipe[0]);
+  close(g_shutdown_pipe[1]);
+  g_shutdown_pipe[0] = g_shutdown_pipe[1] = -1;
+  return 0;
+}
+
 /// Concurrent QueryEngine sessions against one shared engine: the
 /// operational shape the snapshot-isolated core exists for. Statements are
 /// dealt round-robin to N session threads (statement i -> session i % N);
@@ -289,6 +371,10 @@ int Serve(const std::map<std::string, std::string>& flags, std::ostream& out,
       has_deadline ? std::max<int64_t>(
                          0, std::atoll(flags.at("deadline-ms").c_str()))
                    : 0;
+
+  if (flags.contains("listen")) {
+    return ServeTcp(flags, threads, deadline_ms, out, err);
+  }
 
   std::ifstream script;
   std::istream* in = &std::cin;

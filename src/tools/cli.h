@@ -25,6 +25,12 @@ namespace streamhist {
 ///   inspect --histogram <hist.bin>
 ///       prints the buckets.
 ///
+///   console [--script file] / serve [--script file | --listen port]
+///       engine statement sessions: console is one in-process session;
+///       serve --script deals a script across N concurrent sessions; and
+///       serve --listen runs the TCP front-end (src/server/tcp_server.h)
+///       until SIGINT/SIGTERM.
+///
 /// Returns a process exit code; human-readable output/errors go to `out` /
 /// `err`.
 int RunCli(const std::vector<std::string>& args, std::ostream& out,

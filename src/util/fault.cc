@@ -160,6 +160,8 @@ std::vector<std::string> KnownPoints() {
       "fileio.fsync.transient", "fileio.read.bitflip",
       "fileio.read.truncate", "fileio.rename",
       "fileio.short_write",  "governor.oom",
+      "net.accept",          "net.read.short",
+      "net.write.eagain",
   };
 }
 

@@ -39,6 +39,14 @@ namespace fault {
 ///   governor.oom            governor::TryCharge refuses the charge
 ///                           (util/governor.h) — sheds DP scratch to the
 ///                           ladder's cheaper rungs
+///   net.accept              the TCP acceptor drops a just-accepted socket
+///                           (src/server) — simulates EMFILE-class accept
+///                           failures after the kernel handshake succeeded
+///   net.read.short          socket reads return at most one byte per call
+///                           — forces every incremental reparse path (split
+///                           frame headers, byte-at-a-time statements)
+///   net.write.eagain        socket writes report EAGAIN without writing —
+///                           forces the buffered-output / EPOLLOUT path
 
 namespace internal {
 // Number of currently armed points; the fast path for the disabled case.

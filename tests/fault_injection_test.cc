@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,8 +15,11 @@
 
 #include "src/data/generators.h"
 #include "src/engine/query_engine.h"
+#include "src/server/tcp_server.h"
 #include "src/util/fault.h"
 #include "src/util/fileio.h"
+#include "src/util/governor.h"
+#include "tcp_test_client.h"
 
 namespace streamhist {
 namespace {
@@ -263,8 +267,102 @@ TEST_F(FaultInjectionTest, KnownPointsMatchesHeaderRegistry) {
       "fileio.fsync.transient", "fileio.read.bitflip",
       "fileio.read.truncate",   "fileio.rename",
       "fileio.short_write",     "governor.oom",
+      "net.accept",             "net.read.short",
+      "net.write.eagain",
   };
   EXPECT_EQ(known, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Network fault points (src/server): accept-path failures, short reads, and
+// transient write refusals must degrade a single connection, never the
+// server — and a peer that vanishes mid-statement must leave no trace
+// beyond its counter.
+
+TEST_F(FaultInjectionTest, NetAcceptFaultDropsOnlyThatSocket) {
+  QueryEngine engine;
+  const auto server = net::TcpServer::Start(engine, net::ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  fault::Arm("net.accept", 1);
+  testing_net::TcpTestClient dropped(server.value()->port());
+  ASSERT_TRUE(dropped.connected());  // the handshake lands in the backlog
+  dropped.ReadUntilEof();
+  EXPECT_TRUE(dropped.eof());  // ...but the acceptor discarded the socket
+  ASSERT_TRUE(testing_net::WaitFor(
+      [&] { return server.value()->stats().accept_faults == 1; }));
+
+  // The budget fired once: the very next connection is served normally.
+  testing_net::TcpTestClient client(server.value()->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("LIST\n"));
+  EXPECT_TRUE(client.ReadReply().ok);
+  EXPECT_EQ(server.value()->stats().accepted, 1);
+}
+
+TEST_F(FaultInjectionTest, NetShortReadsStillAssembleRequests) {
+  QueryEngine engine;
+  const auto server = net::TcpServer::Start(engine, net::ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+  testing_net::TcpTestClient client(server.value()->port());
+  ASSERT_TRUE(client.connected());
+
+  // The first reads trickle in one byte at a time; the parser must simply
+  // wait for the newline like any other partial arrival.
+  fault::Arm("net.read.short", 8);
+  ASSERT_TRUE(client.Send("CREATE eth0 64 8\nCOUNT eth0\n"));
+  testing_net::Reply reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  EXPECT_EQ(reply.lines[0], "0");
+  EXPECT_GE(fault::TriggerCount("net.read.short"), 1);
+}
+
+TEST_F(FaultInjectionTest, NetWriteEagainRetriesViaWritability) {
+  QueryEngine engine;
+  const auto server = net::TcpServer::Start(engine, net::ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+  testing_net::TcpTestClient client(server.value()->port());
+  ASSERT_TRUE(client.connected());
+
+  // The first flush attempt reports EAGAIN; the reply must still arrive
+  // whole once the loop's EPOLLOUT retry writes it.
+  fault::Arm("net.write.eagain", 1);
+  ASSERT_TRUE(client.Send("LIST\n"));
+  const testing_net::Reply reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  EXPECT_EQ(fault::TriggerCount("net.write.eagain"), 1);
+}
+
+TEST_F(FaultInjectionTest, PeerVanishingMidStatementLeaksNothing) {
+  QueryEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+  const auto server = net::TcpServer::Start(engine, net::ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int64_t governor_before = governor::Used();
+
+  {
+    testing_net::TcpTestClient client(server.value()->port());
+    ASSERT_TRUE(client.connected());
+    // Half a statement, no newline — then the peer disappears.
+    ASSERT_TRUE(client.Send("APPEND eth0 1 2 3"));
+    ASSERT_TRUE(testing_net::WaitFor(
+        [&] { return server.value()->stats().bytes_in > 0; }));
+  }
+  ASSERT_TRUE(testing_net::WaitFor(
+      [&] { return server.value()->stats().dropped_mid_request == 1; }));
+  ASSERT_TRUE(testing_net::WaitFor(
+      [&] { return server.value()->stats().active == 0; }));
+
+  // Nothing executed, nothing charged, nothing recorded: the half-request
+  // evaporated with its connection.
+  ASSERT_TRUE(testing_net::WaitFor(
+      [&] { return governor::Used() == governor_before; }));
+  EXPECT_EQ(server.value()->stats().statements, 0);
+  EXPECT_EQ(engine.Execute("STATS eth0 APPEND").value(),
+            "no statistics recorded for 'eth0' APPEND");
+  EXPECT_EQ(engine.Execute("COUNT eth0").value(), "0");
 }
 
 TEST_F(FaultInjectionTest, EveryFaultArmedTogetherStillFailsCleanly) {

@@ -1,0 +1,512 @@
+// TCP front-end coverage (src/server, DESIGN.md §11): the wire codec, live
+// loopback round trips for both request forms, pipelining order, protocol
+// error recovery vs. teardown, admission control (connection cap and
+// governor budget), and the slow-reader / backpressure bound. Connections
+// are driven by the blocking tcp_test_client.h helper; everything runs on
+// ephemeral ports so tests parallelize.
+
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/server/tcp_server.h"
+#include "src/server/wire.h"
+#include "src/util/fault.h"
+#include "src/util/governor.h"
+#include "tcp_test_client.h"
+
+namespace streamhist {
+namespace {
+
+using testing_net::Reply;
+using testing_net::TcpTestClient;
+using testing_net::WaitFor;
+
+std::string Frame(std::string_view name, const std::vector<double>& values) {
+  return net::EncodeBatchAppend(name, values);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec (no sockets).
+
+TEST(WireTest, BatchFrameRoundTrips) {
+  const std::vector<double> values = {1.5, -2.25, 3.0, 1e300};
+  const std::string frame = net::EncodeBatchAppend("eth0", values);
+  ASSERT_GE(frame.size(), net::kFrameOverheadBytes);
+  EXPECT_EQ(static_cast<unsigned char>(frame[0]), net::kBatchFrameFirstByte);
+
+  const net::FrameScan scan = net::ScanBatchFrame(frame, 1 << 20);
+  ASSERT_EQ(scan.state, net::FrameScan::State::kFrame);
+  EXPECT_EQ(scan.frame_bytes, frame.size());
+
+  const auto batch = net::DecodeBatchAppend(frame);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->name, "eth0");
+  EXPECT_EQ(batch->values, values);
+}
+
+TEST(WireTest, ScanNeedsMoreOnEveryPrefix) {
+  const std::string frame = Frame("s", {1.0, 2.0});
+  for (size_t len = 1; len < frame.size(); ++len) {
+    const net::FrameScan scan =
+        net::ScanBatchFrame(frame.substr(0, len), 1 << 20);
+    EXPECT_EQ(scan.state, net::FrameScan::State::kNeedMore) << "len=" << len;
+  }
+}
+
+TEST(WireTest, ScanRejectsBadMagicAndHostileLength) {
+  std::string bad(net::kFrameHeaderBytes, '\0');
+  bad[0] = static_cast<char>(net::kBatchFrameFirstByte);  // looks binary...
+  EXPECT_EQ(net::ScanBatchFrame(bad, 1 << 20).state,
+            net::FrameScan::State::kBad);  // ...but the magic is wrong
+
+  // Valid magic declaring an absurd payload: rejected before buffering.
+  std::string hostile = Frame("s", {1.0});
+  const uint64_t huge = uint64_t{1} << 40;
+  std::memcpy(hostile.data() + 8, &huge, sizeof(huge));
+  const net::FrameScan scan = net::ScanBatchFrame(hostile, 1 << 20);
+  EXPECT_EQ(scan.state, net::FrameScan::State::kBad);
+  EXPECT_NE(scan.error.find("exceeds"), std::string::npos) << scan.error;
+}
+
+TEST(WireTest, DecodeRejectsCorruptionAndEmptyNames) {
+  std::string frame = Frame("s", {4.0, 5.0});
+  frame.back() = static_cast<char>(frame.back() ^ 0x01);  // break the CRC
+  EXPECT_FALSE(net::DecodeBatchAppend(frame).ok());
+
+  EXPECT_FALSE(net::DecodeBatchAppend(Frame("", {1.0})).ok());
+}
+
+TEST(WireTest, OkResponseCountsLines) {
+  EXPECT_EQ(net::OkResponse("one"), "OK 1\none\n");
+  EXPECT_EQ(net::OkResponse("a\nb"), "OK 2\na\nb\n");
+  EXPECT_EQ(net::OkResponse("a\nb\n"), "OK 2\na\nb\n");
+  EXPECT_EQ(net::OkResponse(""), "OK 1\n\n");
+}
+
+TEST(WireTest, ErrResponseStaysOneLine) {
+  EXPECT_EQ(net::ErrResponse("PROTOCOL", "two\nlines"),
+            "ERR PROTOCOL two lines\n");
+  EXPECT_EQ(net::ErrResponse(Status::NotFound("no stream x")),
+            "ERR NOT_FOUND no stream x\n");
+}
+
+// ---------------------------------------------------------------------------
+// Live server.
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::DisarmAll();
+    governor::SetBudgetForTest(0);
+  }
+
+  std::unique_ptr<net::TcpServer> StartServer(net::ServerOptions options = {}) {
+    auto server = net::TcpServer::Start(engine_, options);
+    EXPECT_TRUE(server.ok()) << server.status();
+    return server.ok() ? std::move(server.value()) : nullptr;
+  }
+
+  QueryEngine engine_;
+};
+
+TEST_F(TcpServerTest, RejectsInvalidOptions) {
+  net::ServerOptions options;
+  options.threads = 0;
+  EXPECT_FALSE(net::TcpServer::Start(engine_, options).ok());
+  options = {};
+  options.max_connections = 0;
+  EXPECT_FALSE(net::TcpServer::Start(engine_, options).ok());
+  options = {};
+  options.max_line_bytes = 1;
+  EXPECT_FALSE(net::TcpServer::Start(engine_, options).ok());
+}
+
+TEST_F(TcpServerTest, TextStatementsRoundTrip) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("CREATE eth0 64 8\n"));
+  Reply reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  ASSERT_EQ(reply.lines.size(), 1u);
+  EXPECT_NE(reply.lines[0].find("created"), std::string::npos);
+
+  ASSERT_TRUE(client.Send("APPEND eth0 1 2 3\nCOUNT eth0\n"));
+  reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  ASSERT_EQ(reply.lines.size(), 1u);
+  EXPECT_EQ(reply.lines[0], "3");
+
+  // Engine errors are typed, not fatal: the connection keeps serving.
+  ASSERT_TRUE(client.Send("NO_SUCH_VERB\nCOUNT eth0\n"));
+  reply = client.ReadReply();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "INVALID_ARGUMENT");
+  reply = client.ReadReply();
+  EXPECT_TRUE(reply.ok);
+
+  const net::ServerStatsSnapshot stats = server->stats();
+  EXPECT_EQ(stats.accepted, 1);
+  EXPECT_EQ(stats.statements, 4);
+  EXPECT_EQ(stats.statement_errors, 1);
+  EXPECT_GT(stats.bytes_in, 0);
+  EXPECT_GT(stats.bytes_out, 0);
+}
+
+TEST_F(TcpServerTest, PipelinedRepliesArriveInRequestOrder) {
+  net::ServerOptions options;
+  options.threads = 2;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  std::string burst = "CREATE s 256 8\n";
+  constexpr int kAppends = 50;
+  for (int i = 0; i < kAppends; ++i) {
+    burst += "APPEND s " + std::to_string(i) + "\nCOUNT s\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+
+  Reply reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  for (int i = 0; i < kAppends; ++i) {
+    reply = client.ReadReply();
+    ASSERT_TRUE(reply.ok) << "append " << i;
+    reply = client.ReadReply();
+    ASSERT_TRUE(reply.ok) << "count " << i;
+    ASSERT_EQ(reply.lines.size(), 1u);
+    // In-order execution makes each COUNT see exactly i+1 points.
+    EXPECT_EQ(reply.lines[0], std::to_string(i + 1)) << "count " << i;
+  }
+}
+
+TEST_F(TcpServerTest, BlankAndCommentLinesGetNoReply) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("\n   \n# a comment\nCREATE s\n\nCOUNT s\n"));
+  Reply reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  EXPECT_NE(reply.lines[0].find("created"), std::string::npos);
+  reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.lines[0], "0");  // the reply after CREATE's is COUNT's
+}
+
+TEST_F(TcpServerTest, BinaryBatchAppendRoundTrips) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send("CREATE s 4096 8\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+
+  std::vector<double> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  // Text statement pipelined after the frame: both forms share the stream.
+  ASSERT_TRUE(client.Send(Frame("s", values) + "COUNT s\n"));
+  Reply reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  EXPECT_EQ(reply.lines[0], "appended 1000 point(s)");
+  reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.lines[0], "1000");
+
+  const net::ServerStatsSnapshot stats = server->stats();
+  EXPECT_EQ(stats.batch_frames, 1);
+  EXPECT_EQ(stats.batch_values, 1000);
+  EXPECT_EQ(stats.protocol_errors, 0);
+}
+
+TEST_F(TcpServerTest, BatchFrameQuarantinesNonFinite) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ASSERT_TRUE(client.Send(Frame("s", {1.0, nan, 2.0})));
+  const Reply reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  EXPECT_EQ(reply.lines[0], "appended 2 point(s), quarantined 1 non-finite");
+}
+
+TEST_F(TcpServerTest, BatchFrameForUnknownStreamIsTypedNotFatal) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.Send(Frame("ghost", {1.0})));
+  Reply reply = client.ReadReply();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "NOT_FOUND");
+
+  // A well-framed engine error keeps the connection: framing is intact.
+  ASSERT_TRUE(client.Send("LIST\n"));
+  reply = client.ReadReply();
+  EXPECT_TRUE(reply.ok) << reply.code << " " << reply.message;
+}
+
+TEST_F(TcpServerTest, BadFrameMagicAnswersThenCloses) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  std::string junk(net::kFrameHeaderBytes, 'x');
+  junk[0] = static_cast<char>(net::kBatchFrameFirstByte);
+  ASSERT_TRUE(client.Send(junk));
+  const Reply reply = client.ReadReply();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "PROTOCOL");
+  client.ReadUntilEof();
+  EXPECT_TRUE(client.eof());
+  EXPECT_TRUE(WaitFor([&] { return server->stats().active == 0; }));
+  EXPECT_EQ(server->stats().protocol_errors, 1);
+}
+
+TEST_F(TcpServerTest, CorruptFrameCrcAnswersThenCloses) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+
+  std::string frame = Frame("s", {1.0, 2.0});
+  frame.back() = static_cast<char>(frame.back() ^ 0x01);
+  ASSERT_TRUE(client.Send(frame));
+  const Reply reply = client.ReadReply();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "PROTOCOL");
+  client.ReadUntilEof();
+  EXPECT_TRUE(client.eof());
+
+  // Nothing was appended through the damaged frame.
+  TcpTestClient verify(server->port());
+  ASSERT_TRUE(verify.connected());
+  ASSERT_TRUE(verify.Send("COUNT s\n"));
+  const Reply count = verify.ReadReply();
+  ASSERT_TRUE(count.ok);
+  EXPECT_EQ(count.lines[0], "0");
+}
+
+TEST_F(TcpServerTest, OversizedLineIsRecoverable) {
+  net::ServerOptions options;
+  options.max_line_bytes = 64;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+
+  // One oversized statement draws one ERR; the next line runs normally,
+  // whether the oversized bytes arrived whole or trickled in.
+  const std::string oversized(500, 'A');
+  ASSERT_TRUE(client.Send(oversized + "\nCOUNT s\n"));
+  Reply reply = client.ReadReply();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "PROTOCOL");
+  EXPECT_NE(reply.message.find("line limit"), std::string::npos);
+  reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok) << reply.code << " " << reply.message;
+  EXPECT_EQ(reply.lines[0], "0");
+  EXPECT_EQ(server->stats().protocol_errors, 1);
+}
+
+TEST_F(TcpServerTest, ConnectionCapRefusesWithTypedError) {
+  net::ServerOptions options;
+  options.max_connections = 1;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  TcpTestClient first(server->port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.Send("LIST\n"));
+  ASSERT_TRUE(first.ReadReply().ok);  // round trip: admission completed
+
+  TcpTestClient second(server->port());
+  ASSERT_TRUE(second.connected());
+  const Reply refusal = second.ReadReply();
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_EQ(refusal.code, "OVERLOADED");
+  second.ReadUntilEof();
+  EXPECT_TRUE(second.eof());
+  EXPECT_EQ(server->stats().refused_over_cap, 1);
+
+  // The admitted connection is unaffected, and closing it frees the slot.
+  ASSERT_TRUE(first.Send("LIST\n"));
+  EXPECT_TRUE(first.ReadReply().ok);
+  first.Close();
+  ASSERT_TRUE(WaitFor([&] { return server->stats().active == 0; }));
+  TcpTestClient third(server->port());
+  ASSERT_TRUE(third.connected());
+  ASSERT_TRUE(third.Send("LIST\n"));
+  EXPECT_TRUE(third.ReadReply().ok);
+}
+
+TEST_F(TcpServerTest, GovernorBudgetRefusesAdmission) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  // Smaller than the per-connection buffer charge, so admission must refuse.
+  governor::SetBudgetForTest(governor::Used() + 1024);
+
+  TcpTestClient refused(server->port());
+  ASSERT_TRUE(refused.connected());
+  const Reply refusal = refused.ReadReply();
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_EQ(refusal.code, "RESOURCE_EXHAUSTED");
+  refused.ReadUntilEof();
+  EXPECT_TRUE(refused.eof());
+  EXPECT_EQ(server->stats().refused_over_budget, 1);
+
+  governor::SetBudgetForTest(0);
+  TcpTestClient admitted(server->port());
+  ASSERT_TRUE(admitted.connected());
+  ASSERT_TRUE(admitted.Send("LIST\n"));
+  EXPECT_TRUE(admitted.ReadReply().ok);
+}
+
+TEST_F(TcpServerTest, AdmissionChargeIsReleasedOnDisconnect) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  const int64_t before = governor::Used();
+  {
+    TcpTestClient client(server->port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.Send("LIST\n"));
+    ASSERT_TRUE(client.ReadReply().ok);
+    EXPECT_GT(governor::Used(), before);  // buffers are accounted
+  }
+  ASSERT_TRUE(WaitFor([&] { return server->stats().active == 0; }));
+  ASSERT_TRUE(WaitFor([&] { return governor::Used() == before; }));
+}
+
+TEST_F(TcpServerTest, SlowReaderIsBoundedAndDisconnected) {
+  net::ServerOptions options;
+  options.max_line_bytes = 64;
+  options.max_frame_bytes = 64;
+  options.max_output_buffer = 256;      // tiny high-water mark
+  options.slow_reader_timeout_ms = 100;  // fast disconnect for the test
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+
+  // Every write the server attempts now fails EAGAIN, so replies queue on
+  // the connection — the deterministic stand-in for a reader that stopped.
+  fault::Arm("net.write.eagain");
+  constexpr int kPipelined = 1500;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) burst += "COUNT s\n";
+  ASSERT_TRUE(client.Send(burst));
+
+  ASSERT_TRUE(
+      WaitFor([&] { return server->stats().slow_reader_disconnects == 1; }));
+  fault::DisarmAll();
+  client.ReadUntilEof();
+  EXPECT_TRUE(client.eof());
+
+  const net::ServerStatsSnapshot stats = server->stats();
+  // Backpressure stopped execution at the output high-water mark: far fewer
+  // statements ran than were pipelined, so queued replies stayed bounded.
+  EXPECT_LT(stats.statements, 200) << "backpressure did not engage";
+  EXPECT_GT(stats.statements, 0);
+  ASSERT_TRUE(WaitFor([&] { return server->stats().active == 0; }));
+}
+
+TEST_F(TcpServerTest, SessionDeadlineCancelsStatements) {
+  net::ServerOptions options;
+  options.deadline_ms = 60000;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+
+  // The injected expiry makes every per-request deadline report expired
+  // at the statement boundary — the wire answer must be a typed CANCELLED.
+  fault::ScopedFault expired("deadline.expire");
+  ASSERT_TRUE(client.Send("LIST\n"));
+  const Reply reply = client.ReadReply();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.code, "CANCELLED");
+}
+
+TEST_F(TcpServerTest, ShutdownDisconnectsClientsAndKeepsStats) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s\nAPPEND s 1 2\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_TRUE(client.ReadReply().ok);
+
+  server->Shutdown();
+  client.ReadUntilEof();
+  EXPECT_TRUE(client.eof());
+
+  const net::ServerStatsSnapshot stats = server->stats();
+  EXPECT_EQ(stats.statements, 2);
+  EXPECT_EQ(stats.active, 0);
+  const std::string summary = server->SummaryLine();
+  EXPECT_NE(summary.find("2 statements"), std::string::npos) << summary;
+
+  server->Shutdown();  // idempotent
+}
+
+TEST_F(TcpServerTest, ManyConnectionsAcrossWorkers) {
+  net::ServerOptions options;
+  options.threads = 3;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  std::vector<std::unique_ptr<TcpTestClient>> clients;
+  for (int i = 0; i < 9; ++i) {
+    clients.push_back(std::make_unique<TcpTestClient>(server->port()));
+    ASSERT_TRUE(clients.back()->connected());
+  }
+  for (int i = 0; i < 9; ++i) {
+    std::string name = "s";
+    name += std::to_string(i);
+    std::string script;
+    script += "CREATE " + name + "\n";
+    script += "APPEND " + name + " 1 2 3\n";
+    script += "COUNT " + name + "\n";
+    ASSERT_TRUE(clients[static_cast<size_t>(i)]->Send(script));
+  }
+  for (int i = 0; i < 9; ++i) {
+    TcpTestClient& client = *clients[static_cast<size_t>(i)];
+    ASSERT_TRUE(client.ReadReply().ok) << i;
+    ASSERT_TRUE(client.ReadReply().ok) << i;
+    const Reply count = client.ReadReply();
+    ASSERT_TRUE(count.ok) << i;
+    EXPECT_EQ(count.lines[0], "3") << i;
+  }
+  EXPECT_EQ(server->stats().accepted, 9);
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,0 +1,183 @@
+#ifndef STREAMHIST_TESTS_TCP_TEST_CLIENT_H_
+#define STREAMHIST_TESTS_TCP_TEST_CLIENT_H_
+
+// A minimal blocking TCP client for exercising src/server over loopback in
+// tests (tcp_server_test, fault_injection_test). Reads are bounded by a
+// receive timeout so a server bug surfaces as a test failure, not a hang.
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace streamhist {
+namespace testing_net {
+
+/// One parsed protocol reply: "OK <k>" + k payload lines, or "ERR <CODE>
+/// <message>". `ok == false` with empty `code` means the connection ended
+/// (EOF / timeout) before a reply arrived.
+struct Reply {
+  bool ok = false;
+  std::string code;                 // ERR code token; empty for OK replies
+  std::string message;              // ERR message text
+  std::vector<std::string> lines;   // OK payload lines
+};
+
+class TcpTestClient {
+ public:
+  explicit TcpTestClient(uint16_t port, int recv_timeout_ms = 10000) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return;
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TcpTestClient() { Close(); }
+  TcpTestClient(const TcpTestClient&) = delete;
+  TcpTestClient& operator=(const TcpTestClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+  bool eof() const { return eof_; }
+
+  /// Sends all of `bytes`; false if the peer reset the connection.
+  bool Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Half-closes the send side so the server sees EOF while the receive side
+  /// stays readable.
+  void CloseSend() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Next '\n'-terminated line without the newline; "" with eof() set when
+  /// the connection ended first.
+  std::string ReadLine() {
+    for (;;) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      if (!FillBuffer()) return "";
+    }
+  }
+
+  /// Reads one protocol reply.
+  Reply ReadReply() {
+    Reply reply;
+    const std::string head = ReadLine();
+    if (head.empty() && eof_) return reply;
+    if (head.rfind("OK ", 0) == 0) {
+      reply.ok = true;
+      const long k = std::strtol(head.c_str() + 3, nullptr, 10);
+      for (long i = 0; i < k; ++i) {
+        reply.lines.push_back(ReadLine());
+        if (eof_) {
+          reply.ok = false;
+          return reply;
+        }
+      }
+      return reply;
+    }
+    if (head.rfind("ERR ", 0) == 0) {
+      const size_t space = head.find(' ', 4);
+      reply.code = head.substr(4, space == std::string::npos
+                                      ? std::string::npos
+                                      : space - 4);
+      if (space != std::string::npos) reply.message = head.substr(space + 1);
+      return reply;
+    }
+    reply.message = "unparseable reply head: " + head;
+    return reply;
+  }
+
+  /// Drains the connection to EOF (or timeout) and returns the raw tail.
+  std::string ReadUntilEof() {
+    while (FillBuffer()) {
+    }
+    std::string tail;
+    tail.swap(buffer_);
+    return tail;
+  }
+
+ private:
+  bool FillBuffer() {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<size_t>(n));
+        return true;
+      }
+      if (n == 0) {
+        eof_ = true;
+        return false;
+      }
+      if (errno == EINTR) continue;
+      eof_ = true;  // timeout or reset: treat as end of stream for tests
+      return false;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Polls `pred` (e.g. a server-stats condition) until true or ~5 s pass.
+inline bool WaitFor(const std::function<bool()>& pred) {
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+}  // namespace testing_net
+}  // namespace streamhist
+
+#endif  // STREAMHIST_TESTS_TCP_TEST_CLIENT_H_
