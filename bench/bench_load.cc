@@ -19,6 +19,16 @@
 // `--pr6_smoke=1` shrinks durations and applies the CI gate (>= 1k
 // statements/s against localhost at the top load level, zero protocol
 // errors). See EXPERIMENTS.md for the schema.
+//
+// BENCH_PR7 (same binary, `--pr7_json=BENCH_PR7.json [--pr7_smoke=1]`):
+// durable-ingest cost across WAL policies (DESIGN.md §12). Four appender
+// threads drive one engine, one stream each, and every append is timed from
+// call to ack — under policy "always" the ack waits for the group-commit
+// fsync, so the latency distribution IS the durability price. Measured
+// against a no-WAL baseline and the four policies (always, bytes, interval,
+// none); the smoke gate requires the best deferred policy to clear 10x the
+// per-append-fsync "always" throughput, which is what the group-commit /
+// deferred-durability machinery exists to buy.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -32,7 +42,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -360,6 +372,333 @@ RungCounts MeasureRungs(uint16_t port, int64_t within_ms, int builds) {
   return counts;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_PR7: durable ingest across WAL policies.
+
+struct Pr7Result {
+  std::string label;       // "baseline" or the policy spec
+  bool wal = false;
+  int64_t appends = 0;
+  double seconds = 0.0;
+  double appends_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  wal::StatsSnapshot stats;  // zeroed for the baseline
+};
+
+// Raw WAL-layer append cost: N threads sharing one log, a ~48-byte payload
+// per record (the size of a small APPEND record). This isolates the policy
+// itself — under "always" every Append carries a group-commit fsync wait,
+// under the deferred policies it is a buffered write — and is the layer
+// the 10x smoke gate runs against: no engine costs dilute the comparison.
+Result<Pr7Result> MeasurePr7WalLayer(const std::string& label, int threads,
+                                     int per_thread) {
+  Pr7Result result;
+  result.label = label;
+  result.wal = true;
+
+  char dir_template[] = "/tmp/streamhist_pr7_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    return Status::IOError("mkdtemp failed for the PR7 wal dir");
+  }
+  const std::string dir(dir_template);
+  STREAMHIST_ASSIGN_OR_RETURN(wal::Options options,
+                              wal::ParsePolicySpec(label));
+  STREAMHIST_ASSIGN_OR_RETURN(std::unique_ptr<wal::Wal> log,
+                              wal::Wal::Open(dir, options, nullptr));
+  const std::string payload(48, 'x');
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(threads));
+  std::atomic<int64_t> failures{0};
+  std::vector<std::thread> workers;
+  const auto begin = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& lat = latencies[static_cast<size_t>(t)];
+      lat.reserve(static_cast<size_t>(per_thread));
+      for (int i = 0; i < per_thread; ++i) {
+        const auto start = Clock::now();
+        if (!log->Append(payload).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        lat.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count() /
+            1e3);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           begin)
+          .count() /
+      1e9;
+  result.stats = log->stats();
+  log.reset();
+  std::filesystem::remove_all(dir);
+  if (failures.load() != 0) {
+    return Status::Internal(label + ": " + std::to_string(failures.load()) +
+                            " wal append(s) failed");
+  }
+
+  std::vector<double> merged;
+  for (auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  result.appends = static_cast<int64_t>(merged.size());
+  result.appends_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.appends) / result.seconds
+          : 0.0;
+  std::sort(merged.begin(), merged.end());
+  result.p50_us = PercentileUs(merged, 0.50);
+  result.p99_us = PercentileUs(merged, 0.99);
+  return result;
+}
+
+Result<Pr7Result> MeasurePr7Policy(const std::string& label, bool with_wal,
+                                   int threads, int per_thread) {
+  Pr7Result result;
+  result.label = label;
+  result.wal = with_wal;
+
+  char dir_template[] = "/tmp/streamhist_pr7_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    return Status::IOError("mkdtemp failed for the PR7 wal dir");
+  }
+  const std::string dir(dir_template);
+
+  QueryEngine engine;
+  if (with_wal) {
+    STREAMHIST_ASSIGN_OR_RETURN(wal::Options options,
+                                wal::ParsePolicySpec(label));
+    QueryEngine::WalConfig config;
+    config.options = options;
+    // No background checkpointer: this measures the append path alone.
+    config.checkpoint_interval_ms = 0;
+    STREAMHIST_RETURN_NOT_OK(engine.OpenWal(dir + "/wal", config).status());
+  }
+  // Small window: the engine republishes a snapshot on every append, and
+  // that cost scales with the window. Keeping it tiny keeps the durability
+  // policy — not histogram maintenance — as the dominant term, which is
+  // the comparison this bench exists for.
+  StreamConfig stream;
+  stream.window_size = 64;
+  stream.num_buckets = 8;
+  stream.epsilon = 0.1;
+  for (int t = 0; t < threads; ++t) {
+    STREAMHIST_RETURN_NOT_OK(
+        engine.CreateStream("w" + std::to_string(t), stream));
+  }
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(threads));
+  std::atomic<int64_t> failures{0};
+  std::vector<std::thread> workers;
+  const auto begin = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string name = "w" + std::to_string(t);
+      auto& lat = latencies[static_cast<size_t>(t)];
+      lat.reserve(static_cast<size_t>(per_thread));
+      for (int i = 0; i < per_thread; ++i) {
+        const auto start = Clock::now();
+        if (!engine.Append(name, 0.5 * i).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        lat.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count() /
+            1e3);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           begin)
+          .count() /
+      1e9;
+  if (with_wal) {
+    result.stats = engine.WalStats();
+    STREAMHIST_RETURN_NOT_OK(engine.CloseWal());
+  }
+  std::filesystem::remove_all(dir);
+  if (failures.load() != 0) {
+    return Status::Internal(label + ": " + std::to_string(failures.load()) +
+                            " append(s) failed");
+  }
+
+  std::vector<double> merged;
+  for (auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  result.appends = static_cast<int64_t>(merged.size());
+  result.appends_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.appends) / result.seconds
+          : 0.0;
+  std::sort(merged.begin(), merged.end());
+  result.p50_us = PercentileUs(merged, 0.50);
+  result.p99_us = PercentileUs(merged, 0.99);
+  return result;
+}
+
+int RunBenchPr7(int argc, char** argv) {
+  using bench::FlagInt;
+  using bench::FlagStr;
+  const std::string out_path = FlagStr(argc, argv, "pr7_json", "");
+  const bool smoke = FlagInt(argc, argv, "pr7_smoke", 0) != 0;
+  const int threads = static_cast<int>(FlagInt(argc, argv, "pr7_threads", 4));
+  const int per_thread = static_cast<int>(
+      FlagInt(argc, argv, "pr7_appends", smoke ? 1500 : 8000));
+  const double speedup_gate = 10.0;
+
+  bench::Banner("BENCH_PR7: durable ingest across WAL policies (threads=" +
+                std::to_string(threads) + ")");
+
+  const char* policies[] = {"always", "bytes:65536", "interval:5", "none"};
+
+  // Layer 1: the WAL itself. This is where the policy comparison is pure —
+  // and where the smoke gate runs: deferring the fsync off the append path
+  // must be worth at least 10x over paying it inside every ack.
+  std::vector<Pr7Result> wal_layer;
+  bench::TablePrinter wal_table({"wal policy", "appends", "appends/s",
+                                 "p50 us", "p99 us", "fsyncs",
+                                 "appends/fsync"});
+  for (const char* label : policies) {
+    Result<Pr7Result> measured =
+        MeasurePr7WalLayer(label, threads, per_thread);
+    if (!measured.ok()) {
+      std::fprintf(stderr, "bench_load: %s\n",
+                   measured.status().ToString().c_str());
+      return 1;
+    }
+    wal_layer.push_back(std::move(measured).value());
+    const Pr7Result& r = wal_layer.back();
+    wal_table.AddRow(
+        {r.label, std::to_string(r.appends),
+         bench::FmtInt(static_cast<int64_t>(r.appends_per_sec)),
+         bench::Fmt(r.p50_us), bench::Fmt(r.p99_us),
+         std::to_string(r.stats.fsyncs),
+         r.stats.fsyncs > 0
+             ? bench::Fmt(static_cast<double>(r.stats.records) /
+                          static_cast<double>(r.stats.fsyncs))
+             : "-"});
+  }
+  wal_table.Print();
+
+  double always_per_sec = 0.0;
+  double best_deferred = 0.0;
+  std::string best_label;
+  for (const Pr7Result& r : wal_layer) {
+    if (r.label == "always") always_per_sec = r.appends_per_sec;
+    if (r.label != "always" && r.appends_per_sec > best_deferred) {
+      best_deferred = r.appends_per_sec;
+      best_label = r.label;
+    }
+  }
+  const double ratio =
+      always_per_sec > 0.0 ? best_deferred / always_per_sec : 0.0;
+  const bool speedup_ok = !smoke || ratio >= speedup_gate;
+  std::printf("  group-commit speedup: %s at %.1fx over always%s\n",
+              best_label.c_str(), ratio,
+              smoke ? (speedup_ok ? " (gate >= 10x: ok)"
+                                  : " (gate >= 10x: FAIL)")
+                    : "");
+  std::fflush(stdout);
+
+  // Layer 2: end-to-end engine ingest — what a client's ack actually costs
+  // with histogram maintenance, snapshot republish, and the WAL all on the
+  // path. Reported, not gated: on small hosts the engine work itself
+  // bounds throughput and would mask the policy spread.
+  std::vector<Pr7Result> engine_layer;
+  bench::TablePrinter engine_table({"engine ingest", "appends", "appends/s",
+                                    "ack p50 us", "ack p99 us"});
+  for (int i = -1; i < static_cast<int>(std::size(policies)); ++i) {
+    const std::string label = i < 0 ? "baseline" : policies[i];
+    Result<Pr7Result> measured = MeasurePr7Policy(
+        label, /*with_wal=*/i >= 0, threads,
+        std::max(1, per_thread / 4));  // engine appends are ~10x dearer
+    if (!measured.ok()) {
+      std::fprintf(stderr, "bench_load: %s\n",
+                   measured.status().ToString().c_str());
+      return 1;
+    }
+    engine_layer.push_back(std::move(measured).value());
+    const Pr7Result& r = engine_layer.back();
+    engine_table.AddRow(
+        {r.label, std::to_string(r.appends),
+         bench::FmtInt(static_cast<int64_t>(r.appends_per_sec)),
+         bench::Fmt(r.p50_us), bench::Fmt(r.p99_us)});
+  }
+  engine_table.Print();
+  std::fflush(stdout);
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(std::string("BENCH_PR7"))
+      .Key("schema_version").Value(int64_t{1})
+      .Key("smoke").Value(smoke)
+      .Key("appender_threads").Value(static_cast<int64_t>(threads))
+      .Key("appends_per_thread").Value(static_cast<int64_t>(per_thread))
+      .Key("hardware_threads")
+      .Value(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  const std::pair<const char*, const std::vector<Pr7Result>*> layers[] = {
+      {"wal_layer", &wal_layer}, {"engine_ingest", &engine_layer}};
+  for (const auto& [layer_name, layer] : layers) {
+    json.Key(std::string(layer_name)).BeginArray();
+    for (const Pr7Result& r : *layer) {
+      json.BeginObject()
+          .Key("policy").Value(r.label)
+          .Key("wal").Value(r.wal)
+          .Key("appends").Value(r.appends)
+          .Key("seconds").Value(r.seconds)
+          .Key("appends_per_sec").Value(r.appends_per_sec)
+          .Key("ack_p50_us").Value(r.p50_us)
+          .Key("ack_p99_us").Value(r.p99_us)
+          .Key("wal_records").Value(r.stats.records)
+          .Key("wal_bytes").Value(r.stats.bytes)
+          .Key("wal_fsyncs").Value(r.stats.fsyncs)
+          .Key("wal_sync_waits").Value(r.stats.sync_waits)
+          .Key("wal_segments_created").Value(r.stats.segments_created)
+          .EndObject();
+    }
+    json.EndArray();
+  }
+  json.Key("gates").BeginObject()
+      .Key("group_commit_speedup").BeginObject()
+      .Key("limit").Value(speedup_gate)
+      .Key("always_appends_per_sec").Value(always_per_sec)
+      .Key("best_deferred_policy").Value(best_label)
+      .Key("best_deferred_appends_per_sec").Value(best_deferred)
+      .Key("ratio").Value(ratio)
+      .Key("evaluated").Value(smoke)
+      .Key("ok").Value(speedup_ok)
+      .EndObject().EndObject().EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "bench_load: deferred-policy speedup %.1fx is below the "
+                 "%.0fx smoke gate\n",
+                 ratio, speedup_gate);
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int RunBenchPr6(int argc, char** argv) {
@@ -606,11 +945,21 @@ int RunBenchPr6(int argc, char** argv) {
 }  // namespace streamhist
 
 int main(int argc, char** argv) {
-  if (streamhist::bench::FlagStr(argc, argv, "pr6_json", "").empty()) {
+  const bool pr6 =
+      !streamhist::bench::FlagStr(argc, argv, "pr6_json", "").empty();
+  const bool pr7 =
+      !streamhist::bench::FlagStr(argc, argv, "pr7_json", "").empty();
+  if (!pr6 && !pr7) {
     std::fprintf(stderr,
                  "usage: bench_load --pr6_json=BENCH_PR6.json "
-                 "[--pr6_smoke=1] [--pr6_threads=N] [--pr6_duration_ms=M]\n");
+                 "[--pr6_smoke=1] [--pr6_threads=N] [--pr6_duration_ms=M]\n"
+                 "       bench_load --pr7_json=BENCH_PR7.json "
+                 "[--pr7_smoke=1] [--pr7_threads=N] [--pr7_appends=M]\n");
     return 1;
   }
-  return streamhist::RunBenchPr6(argc, argv);
+  if (pr6) {
+    const int status = streamhist::RunBenchPr6(argc, argv);
+    if (status != 0 || !pr7) return status;
+  }
+  return streamhist::RunBenchPr7(argc, argv);
 }

@@ -14,27 +14,32 @@ WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 LOG="$WORK/serve.log"
 
-"$TOOL" serve --listen 0 --threads 2 > "$LOG" 2>&1 &
-SERVER=$!
-
-# The ephemeral port is announced on the first line; wait for it.
+# Start on an ephemeral port and wait for the announcement on the first
+# line. A transient startup failure (e.g. the kernel's ephemeral range
+# momentarily exhausted on a busy CI box) gets ONE retry on a fresh port.
+SERVER=""
 PORT=""
-for _ in $(seq 1 100); do
-  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+for ATTEMPT in 1 2; do
+  "$TOOL" serve --listen 0 --threads 2 > "$LOG" 2>&1 &
+  SERVER=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER" 2>/dev/null || break
+    sleep 0.1
+  done
   [ -n "$PORT" ] && break
-  if ! kill -0 "$SERVER" 2>/dev/null; then
-    echo "FAIL: server exited before listening"
-    cat "$LOG"
-    exit 1
-  fi
-  sleep 0.1
-done
-if [ -z "$PORT" ]; then
-  echo "FAIL: server never announced its port"
-  cat "$LOG"
   kill -9 "$SERVER" 2>/dev/null
+  wait "$SERVER" 2>/dev/null
+  if [ "$ATTEMPT" -eq 1 ]; then
+    echo "server failed to start; retrying once"
+    continue
+  fi
+  echo "FAIL: server never announced its port (twice)"
+  cat "$LOG"
   exit 1
-fi
+done
 echo "server listening on port $PORT (pid $SERVER)"
 
 python3 "$CLIENT" "$PORT"

@@ -91,6 +91,7 @@ ManagedStream::ManagedStream(ManagedStream&& other) noexcept
     : config_(other.config_),
       dropped_nonfinite_(other.dropped_nonfinite_),
       degraded_builds_(other.degraded_builds_),
+      wal_lsn_(other.wal_lsn_),
       charged_bytes_(std::exchange(other.charged_bytes_, 0)),
       publish_version_(other.publish_version_),
       last_degradation_(std::move(other.last_degradation_)),
@@ -107,6 +108,7 @@ ManagedStream& ManagedStream::operator=(ManagedStream&& other) noexcept {
   config_ = other.config_;
   dropped_nonfinite_ = other.dropped_nonfinite_;
   degraded_builds_ = other.degraded_builds_;
+  wal_lsn_ = other.wal_lsn_;
   charged_bytes_ = std::exchange(other.charged_bytes_, 0);
   publish_version_ = other.publish_version_;
   last_degradation_ = std::move(other.last_degradation_);
@@ -350,6 +352,7 @@ std::string ManagedStream::Describe() {
        << " distinct values";
   }
   os << "; " << dropped_nonfinite_ << " non-finite dropped";
+  if (wal_lsn_ > 0) os << "; wal lsn=" << wal_lsn_;
   if (degraded_builds_ > 0) {
     os << "; degraded builds=" << degraded_builds_;
     if (last_degradation_.degraded) {
@@ -392,10 +395,14 @@ constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
 // v4: appends a length-prefixed per-verb stats block (stream_stats.h) after
 //     the synopsis blobs — strictly at the tail, so every v1-v3 field keeps
 //     its byte offset.
-constexpr uint32_t kStreamVersion = 4;
+// v5: appends the stream's applied WAL LSN (i64) after the stats block —
+//     again strictly at the tail. v1-v4 snapshots restore with LSN 0,
+//     which makes recovery replay the whole retained log against them
+//     (idempotent-safe: see query_engine.cc replay filtering).
+constexpr uint32_t kStreamVersion = 5;
 }  // namespace
 
-std::string ManagedStream::Snapshot() const {
+std::string ManagedStream::Snapshot(int64_t wal_lsn_floor) const {
   ByteWriter payload;
   payload.PutI64(config_.window_size);
   payload.PutI64(config_.num_buckets);
@@ -415,6 +422,7 @@ std::string ManagedStream::Snapshot() const {
   }
   if (distinct_ != nullptr) payload.PutLengthPrefixed(distinct_->Serialize());
   payload.PutLengthPrefixed(stats_->Serialize());
+  payload.PutI64(std::max(wal_lsn_, wal_lsn_floor));
   return WrapFrame(kStreamMagic, kStreamVersion, payload.bytes());
 }
 
@@ -507,6 +515,16 @@ Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
       return Status::InvalidArgument("truncated stats snapshot");
     }
     if (Status s = stream.stats_->Deserialize(sub); !s.ok()) return s;
+  }
+  if (frame.version >= 5) {
+    int64_t wal_lsn = 0;
+    if (!reader.ReadI64(&wal_lsn)) {
+      return Status::InvalidArgument("truncated stream snapshot");
+    }
+    if (wal_lsn < 0) {
+      return Status::InvalidArgument("stream counters violate invariants");
+    }
+    stream.wal_lsn_ = wal_lsn;
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after stream snapshot");

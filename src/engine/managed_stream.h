@@ -179,6 +179,13 @@ class ManagedStream {
   /// descend below their first planned ladder rung.
   int64_t degraded_builds() const { return degraded_builds_; }
 
+  /// Highest WAL LSN applied to this stream's synopses (0 when the stream
+  /// never ran under a WAL). The engine's log-before-apply ordering keeps
+  /// the setter under the stream's writer mutex; recovery replays only
+  /// records above it. Carried in the SHMS v5 snapshot tail.
+  int64_t wal_lsn() const { return wal_lsn_; }
+  void set_wal_lsn(int64_t lsn) { wal_lsn_ = lsn; }
+
   /// Approximate bytes held by this stream's synopses (what the stream has
   /// charged with the memory governor).
   int64_t MemoryBytes() const;
@@ -233,7 +240,10 @@ class ManagedStream {
   /// Serializes the config plus every maintained synopsis as one framed,
   /// CRC-protected blob — the unit of engine checkpoints. A restored stream
   /// answers every query identically and ingests future points identically.
-  std::string Snapshot() const;
+  /// `wal_lsn_floor` raises the serialized WAL LSN (the engine's checkpoint
+  /// protocol stores max(wal_lsn(), global WAL high-water) — see
+  /// query_engine.cc); pass 0 for a plain snapshot.
+  std::string Snapshot(int64_t wal_lsn_floor = 0) const;
 
   /// Inverse of Snapshot; validates structure and never aborts on hostile
   /// bytes.
@@ -251,6 +261,7 @@ class ManagedStream {
   StreamConfig config_;
   int64_t dropped_nonfinite_ = 0;
   int64_t degraded_builds_ = 0;
+  int64_t wal_lsn_ = 0;
   int64_t charged_bytes_ = 0;  // currently charged with the governor
   uint64_t publish_version_ = 0;
   DegradationReport last_degradation_;

@@ -1,16 +1,23 @@
 #include "src/engine/query_engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <charconv>
 #include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "src/core/error_bounds.h"
+#include "src/engine/wal_records.h"
 #include "src/util/deadline.h"
 #include "src/util/fileio.h"
 #include "src/util/framing.h"
@@ -104,8 +111,13 @@ Result<std::pair<int64_t, int64_t>> ParseRange(
 // then one SHST frame per stream (length-prefixed name + snapshot blob).
 // Each frame carries its own CRC32C, so corruption is localized to one
 // section and the remaining streams still load.
+//
+// v2 appends the engine's global WAL LSN floor to the header payload — the
+// highest log position the image is guaranteed to reflect, and therefore
+// the safe truncation horizon. v1 files still load (floor 0).
 constexpr uint32_t kCheckpointMagic = 0x53484350;  // "SHCP"
 constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersionWal = 2;
 constexpr uint32_t kSectionMagic = 0x53485354;  // "SHST"
 constexpr uint32_t kSectionVersion = 1;
 
@@ -115,6 +127,54 @@ constexpr uint32_t kSectionVersion = 1;
 constexpr size_t kMinFrameSize = 20;
 
 }  // namespace
+
+// Everything the durable-ingest mode owns: the log itself, the recovery
+// report, and the background checkpointer.
+struct QueryEngine::WalState {
+  std::unique_ptr<wal::Wal> log;
+  std::string dir;
+  int64_t checkpoint_interval_ms = 0;
+  WalRecoveryReport recovery;
+
+  // CREATE/DROP hold this shared around [append the log record, mutate the
+  // registry]; a checkpoint holds it exclusive around [read the LSN floor,
+  // enumerate handles]. That makes "every create/drop logged at or below
+  // the floor is reflected in the enumerated handle set" an invariant — the
+  // half of the truncation-safety proof the per-stream writer locks cannot
+  // give. Appends don't take it: their log write and apply are already
+  // atomic with respect to that stream's serialization via LockWriter().
+  std::shared_mutex registry_mu;
+
+  // Serializes WalCheckpointNow against itself (verb vs background thread),
+  // so two checkpoints never interleave their write + truncate pairs.
+  std::mutex checkpoint_mu;
+
+  std::mutex mu;  // guards stop
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread checkpointer;
+  std::atomic<int64_t> checkpoints{0};
+
+  std::string CheckpointPath() const { return dir + "/checkpoint.shcp"; }
+
+  ~WalState() {
+    // CloseWal joins on the normal path; this is the backstop so the thread
+    // never outlives the state it reads.
+    if (checkpointer.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        stop = true;
+      }
+      cv.notify_all();
+      checkpointer.join();
+    }
+  }
+};
+
+QueryEngine::QueryEngine() = default;
+QueryEngine::~QueryEngine() { (void)CloseWal(); }
+QueryEngine::QueryEngine(QueryEngine&&) noexcept = default;
+QueryEngine& QueryEngine::operator=(QueryEngine&&) noexcept = default;
 
 Status QueryEngine::CreateStream(const std::string& name,
                                  const StreamConfig& config) {
@@ -137,28 +197,58 @@ Status QueryEngine::CreateStream(const std::string& name,
   governor::Release(estimate);
   STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream,
                               ManagedStream::Create(config));
-  // Two racing CREATEs of one name both pass the pre-check above; Insert's
-  // internal check-and-emplace decides the winner, and the loser's stream
-  // destructs (releasing its governor charge) without ever being visible.
+  if (wal_ == nullptr) {
+    // Two racing CREATEs of one name both pass the pre-check above; Insert's
+    // internal check-and-emplace decides the winner, and the loser's stream
+    // destructs (releasing its governor charge) without ever being visible.
+    return registry_->Insert(name, std::move(stream));
+  }
+  // Log before insert, both under the checkpoint barrier. A racing dup
+  // CREATE may log a second record; replay skips a CREATE whose stream
+  // already exists, so the loser's record is inert.
+  const std::shared_lock<std::shared_mutex> barrier(wal_->registry_mu);
+  STREAMHIST_ASSIGN_OR_RETURN(
+      const int64_t lsn,
+      wal_->log->Append(walrec::EncodeCreate(name, config)));
+  stream.set_wal_lsn(lsn);
   return registry_->Insert(name, std::move(stream));
 }
 
 Status QueryEngine::DropStream(const std::string& name) {
+  if (wal_ == nullptr) return registry_->Erase(name);
+  const std::shared_lock<std::shared_mutex> barrier(wal_->registry_mu);
+  // Pre-check so dropping a missing stream is not logged. A drop that races
+  // in between merely leaves a redundant DROP record (replay no-ops on an
+  // absent stream); the reverse — erasing without having logged — is what
+  // the order here rules out.
+  const Result<StreamHandle> existing = registry_->Get(name);
+  if (!existing.ok()) return existing.status();
+  STREAMHIST_ASSIGN_OR_RETURN(const int64_t lsn,
+                              wal_->log->Append(walrec::EncodeDrop(name)));
+  (void)lsn;
   return registry_->Erase(name);
 }
 
-Status QueryEngine::Append(const std::string& name, double value) {
-  STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(name));
-  const auto lock = handle.LockWriter();
-  handle.stream().Append(value);
-  handle.stream().PublishSnapshot();
+Status QueryEngine::LogAppend(const StreamHandle& handle,
+                              std::span<const double> values) {
+  if (wal_ == nullptr) return Status::OK();
+  STREAMHIST_ASSIGN_OR_RETURN(
+      const int64_t lsn,
+      wal_->log->Append(walrec::EncodeAppend(handle.name(), values)));
+  handle.stream().set_wal_lsn(lsn);
   return Status::OK();
+}
+
+Status QueryEngine::Append(const std::string& name, double value) {
+  const double values[] = {value};
+  return AppendBatch(name, values);
 }
 
 Status QueryEngine::AppendBatch(const std::string& name,
                                 std::span<const double> values) {
   STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(name));
   const auto lock = handle.LockWriter();
+  STREAMHIST_RETURN_NOT_OK(LogAppend(handle, values));
   handle.stream().AppendBatch(values);
   handle.stream().PublishSnapshot();
   return Status::OK();
@@ -178,16 +268,29 @@ Status QueryEngine::AppendBatches(std::span<const StreamBatch> batches) {
     STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(batch.name));
     targets.push_back(std::move(handle));
   }
+  // With a WAL, a batch whose log write fails is not applied — the others
+  // stand on their own (each stream's log+apply is atomic under its writer
+  // lock), and the first failure is reported.
+  std::vector<Status> results(batches.size(), Status::OK());
   ParallelFor(0, static_cast<int64_t>(batches.size()), /*grain=*/1,
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
-                  const StreamHandle& handle = targets[static_cast<size_t>(i)];
+                  const size_t idx = static_cast<size_t>(i);
+                  const StreamHandle& handle = targets[idx];
                   const auto lock = handle.LockWriter();
-                  handle.stream().AppendBatch(
-                      batches[static_cast<size_t>(i)].values);
+                  const Status logged =
+                      LogAppend(handle, batches[idx].values);
+                  if (!logged.ok()) {
+                    results[idx] = logged;
+                    continue;
+                  }
+                  handle.stream().AppendBatch(batches[idx].values);
                   handle.stream().PublishSnapshot();
                 }
               });
+  for (const Status& status : results) {
+    if (!status.ok()) return status;
+  }
   return Status::OK();
 }
 
@@ -238,10 +341,34 @@ void QueryEngine::SetBackoffSleeperForTest(void (*sleeper)(int64_t millis)) {
 
 Status QueryEngine::SaveCheckpoint(const std::string& path,
                                    SaveReport* report) const {
-  const std::vector<StreamHandle> handles = registry_->Handles();
+  return SaveCheckpointInternal(path, report, nullptr);
+}
+
+Status QueryEngine::SaveCheckpointInternal(const std::string& path,
+                                           SaveReport* report,
+                                           int64_t* wal_floor_out) const {
+  // With a WAL, the LSN floor and the handle enumeration must be one atomic
+  // observation: holding registry_mu exclusive means every CREATE/DROP
+  // whose record sits at or below the floor has finished its registry
+  // mutation and is reflected below. Records above the floor survive
+  // truncation and replay instead. Appends need no barrier — an append at
+  // LSN <= floor either applied before this stream's serialization (its
+  // writer lock orders them) or the stream's own LSN tail exceeds the
+  // floor, and Snapshot()'s max(own, floor) covers both.
+  int64_t wal_floor = 0;
+  std::vector<StreamHandle> handles;
+  if (wal_ != nullptr) {
+    const std::unique_lock<std::shared_mutex> barrier(wal_->registry_mu);
+    wal_floor = wal_->log->next_lsn() - 1;
+    handles = registry_->Handles();
+  } else {
+    handles = registry_->Handles();
+  }
+  if (wal_floor_out != nullptr) *wal_floor_out = wal_floor;
   ByteWriter header;
   header.PutU64(handles.size());
-  std::string file = WrapFrame(kCheckpointMagic, kCheckpointVersion,
+  header.PutU64(static_cast<uint64_t>(wal_floor));
+  std::string file = WrapFrame(kCheckpointMagic, kCheckpointVersionWal,
                                header.bytes());
   for (const StreamHandle& handle : handles) {
     // The writer mutex keeps a concurrent APPEND/BUILD from mutating the
@@ -249,7 +376,7 @@ Status QueryEngine::SaveCheckpoint(const std::string& path,
     const auto lock = handle.LockWriter();
     ByteWriter section;
     section.PutLengthPrefixed(handle.name());
-    section.PutLengthPrefixed(handle.stream().Snapshot());
+    section.PutLengthPrefixed(handle.stream().Snapshot(wal_floor));
     file += WrapFrame(kSectionMagic, kSectionVersion, section.bytes());
   }
   // The image is immutable from here, so a retry rewrites identical bytes —
@@ -275,18 +402,52 @@ Status QueryEngine::SaveCheckpoint(const std::string& path,
 
 Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpoint(
     const std::string& path) {
+  if (wal_ == nullptr) return LoadCheckpointFrom(path, nullptr);
+  CheckpointReport report;
+  {
+    // Keep CREATE/DROP out while the registry holds streams whose LSN tails
+    // came from a foreign checkpoint and mean nothing against this log.
+    const std::unique_lock<std::shared_mutex> barrier(wal_->registry_mu);
+    Result<CheckpointReport> loaded = LoadCheckpointFrom(path, nullptr);
+    if (!loaded.ok()) return loaded.status();
+    report = std::move(*loaded);
+    for (const StreamHandle& handle : registry_->Handles()) {
+      const auto lock = handle.LockWriter();
+      handle.stream().set_wal_lsn(0);
+    }
+  }
+  // Re-anchor durability on the loaded state: checkpoint it into the WAL
+  // directory and truncate, so a crash right after LOAD does not replay a
+  // stale log over what was just loaded.
+  const Status durable = WalCheckpointNow(nullptr);
+  if (!durable.ok()) {
+    return Status::IOError(
+        "checkpoint loaded, but re-anchoring the wal failed: " +
+        durable.ToString());
+  }
+  return report;
+}
+
+Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpointFrom(
+    const std::string& path, int64_t* header_lsn) {
   STREAMHIST_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
   ByteReader reader(file);
   STREAMHIST_ASSIGN_OR_RETURN(
       FrameView header, ReadFrame(reader, kCheckpointMagic, "checkpoint"));
-  if (header.version != kCheckpointVersion) {
+  if (header.version != kCheckpointVersion &&
+      header.version != kCheckpointVersionWal) {
     return Status::InvalidArgument("unsupported checkpoint version");
   }
   ByteReader header_reader(header.payload);
   uint64_t declared = 0;
-  if (!header_reader.ReadU64(&declared) || !header_reader.AtEnd()) {
+  uint64_t global_lsn = 0;
+  if (!header_reader.ReadU64(&declared) ||
+      (header.version >= kCheckpointVersionWal &&
+       !header_reader.ReadU64(&global_lsn)) ||
+      !header_reader.AtEnd()) {
     return Status::InvalidArgument("malformed checkpoint header payload");
   }
+  if (header_lsn != nullptr) *header_lsn = static_cast<int64_t>(global_lsn);
 
   // Everything below is partial recovery: the engine is only touched once
   // parsing is complete, and a bad section costs that one stream.
@@ -355,6 +516,214 @@ Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpoint(
   }
   registry_->ReplaceAll(std::move(restored));
   return report;
+}
+
+std::string QueryEngine::WalRecoveryReport::ToString() const {
+  std::ostringstream os;
+  os << open.ToString() << "; checkpoint: " << checkpoint_summary
+     << "; replayed " << records_applied << " record(s), skipped "
+     << records_skipped << ", dropped " << records_dropped;
+  return os.str();
+}
+
+Result<QueryEngine::WalRecoveryReport> QueryEngine::OpenWal(
+    const std::string& dir, const WalConfig& config) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a write-ahead log is already open");
+  }
+  auto state = std::make_unique<WalState>();
+  state->dir = dir;
+  state->checkpoint_interval_ms = config.checkpoint_interval_ms;
+  WalRecoveryReport recovery;
+  STREAMHIST_ASSIGN_OR_RETURN(
+      state->log, wal::Wal::Open(dir, config.options, &recovery.open));
+
+  // Seed the registry from the newest checkpoint, when one exists. An
+  // unusable checkpoint is NOT fatal — recovery degrades to a cold replay
+  // of whatever the log retains. AtomicWriteFile keeps half-written images
+  // off disk, so "unusable" means post-write rot, and the loss (if any) is
+  // bounded by what was truncated below the bad checkpoint.
+  const std::string checkpoint_path = state->CheckpointPath();
+  int64_t checkpoint_floor = 0;
+  if (::access(checkpoint_path.c_str(), F_OK) == 0) {
+    int64_t header_lsn = 0;
+    Result<CheckpointReport> loaded =
+        LoadCheckpointFrom(checkpoint_path, &header_lsn);
+    if (loaded.ok()) {
+      recovery.checkpoint_loaded = true;
+      recovery.checkpoint_summary = loaded->ToString();
+      checkpoint_floor = header_lsn;
+    } else {
+      recovery.checkpoint_summary =
+          "unusable (" + loaded.status().ToString() + ")";
+    }
+  } else {
+    recovery.checkpoint_summary = "none";
+  }
+
+  // Replay the retained records above the checkpoint's LSN floor. The floor
+  // is load-bearing for creates and drops: a CREATE at or below it may name
+  // a stream the checkpoint legitimately does not contain (dropped, or
+  // superseded by LOAD's re-anchor), and the per-stream tails cannot veto a
+  // record for a stream that does not exist. Segment granularity means
+  // truncation alone never guarantees the active segment is floor-free.
+  // Above the floor, per-stream LSN tails (SHMS v5) filter out what the
+  // checkpoint already reflects; v1-v4 snapshots restored with tail 0
+  // simply replay every retained record — idempotence via the filter, not
+  // via the records themselves. Failures count as dropped, never abort
+  // recovery: a half-usable log still beats an empty engine.
+  std::map<std::string, StreamHandle> appended;
+  const wal::Wal::RecordFn apply = [&](int64_t lsn,
+                                       std::string_view payload) -> Status {
+    Result<walrec::Record> record = walrec::Decode(payload);
+    if (!record.ok()) {
+      ++recovery.records_dropped;
+      return Status::OK();
+    }
+    switch (record->type) {
+      case walrec::RecordType::kCreate: {
+        // A stream that already exists — from the checkpoint or an earlier
+        // replayed CREATE — means this record is a dup-create loser or
+        // already reflected; either way it is settled.
+        if (registry_->Get(record->name).ok()) {
+          ++recovery.records_skipped;
+          break;
+        }
+        // CreateStream re-runs governor admission: a budget shrunk since
+        // the crash refuses the stream here, reported as dropped.
+        const Status created = CreateStream(record->name, record->config);
+        if (!created.ok()) {
+          ++recovery.records_dropped;
+          break;
+        }
+        Result<StreamHandle> handle = registry_->Get(record->name);
+        if (handle.ok()) {
+          const auto lock = handle->LockWriter();
+          handle->stream().set_wal_lsn(lsn);
+        }
+        ++recovery.records_applied;
+        break;
+      }
+      case walrec::RecordType::kAppend: {
+        Result<StreamHandle> handle = registry_->Get(record->name);
+        if (!handle.ok()) {
+          // The stream is dropped later in the log (or its CREATE was
+          // itself dropped); this append has no surviving target.
+          ++recovery.records_skipped;
+          break;
+        }
+        const auto lock = handle->LockWriter();
+        if (handle->stream().wal_lsn() >= lsn) {
+          ++recovery.records_skipped;
+          break;
+        }
+        handle->stream().AppendBatch(record->values);
+        handle->stream().set_wal_lsn(lsn);
+        appended.insert_or_assign(record->name, *handle);
+        ++recovery.records_applied;
+        break;
+      }
+      case walrec::RecordType::kDrop: {
+        Result<StreamHandle> handle = registry_->Get(record->name);
+        if (!handle.ok()) {
+          ++recovery.records_skipped;
+          break;
+        }
+        bool superseded = false;
+        {
+          const auto lock = handle->LockWriter();
+          // A tail at or above this LSN means the checkpoint reflects a
+          // later re-create of the same name; the drop already happened.
+          superseded = handle->stream().wal_lsn() >= lsn;
+        }
+        if (superseded) {
+          ++recovery.records_skipped;
+          break;
+        }
+        (void)registry_->Erase(record->name);
+        ++recovery.records_applied;
+        break;
+      }
+    }
+    return Status::OK();
+  };
+  STREAMHIST_RETURN_NOT_OK(
+      state->log->Replay(checkpoint_floor + 1, apply, nullptr));
+  for (auto& [name, handle] : appended) {
+    const auto lock = handle.LockWriter();
+    handle.stream().PublishSnapshot();
+  }
+
+  state->recovery = recovery;
+  wal_ = std::move(state);
+  if (wal_->checkpoint_interval_ms > 0) {
+    // The thread captures the WalState pointer directly (stable under the
+    // documented no-move-while-open rule) so shutdown via ~WalState is safe.
+    wal_->checkpointer = std::thread([this, st = wal_.get()] {
+      std::unique_lock<std::mutex> lk(st->mu);
+      while (!st->stop) {
+        st->cv.wait_for(lk,
+                        std::chrono::milliseconds(st->checkpoint_interval_ms),
+                        [&] { return st->stop; });
+        if (st->stop) break;
+        lk.unlock();
+        // A failed checkpoint (e.g. disk full) is retried on the next tick;
+        // the log keeps growing but loses nothing.
+        (void)WalCheckpointNow(nullptr);
+        lk.lock();
+      }
+    });
+  }
+  return recovery;
+}
+
+Status QueryEngine::CloseWal(wal::StatsSnapshot* final_stats) {
+  if (wal_ == nullptr) return Status::OK();
+  if (wal_->checkpointer.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lk(wal_->mu);
+      wal_->stop = true;
+    }
+    wal_->cv.notify_all();
+    wal_->checkpointer.join();
+  }
+  const Status flushed = wal_->log->Flush();
+  if (final_stats != nullptr) *final_stats = wal_->log->stats();
+  wal_.reset();
+  return flushed;
+}
+
+int64_t QueryEngine::WalDurableLsn() const {
+  return wal_ == nullptr ? 0 : wal_->log->durable_lsn();
+}
+
+wal::StatsSnapshot QueryEngine::WalStats() const {
+  return wal_ == nullptr ? wal::StatsSnapshot{} : wal_->log->stats();
+}
+
+QueryEngine::WalRecoveryReport QueryEngine::LastWalRecovery() const {
+  return wal_ == nullptr ? WalRecoveryReport{} : wal_->recovery;
+}
+
+Status QueryEngine::WalCheckpointNow(std::string* summary) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("no write-ahead log is open");
+  }
+  const std::lock_guard<std::mutex> serialize(wal_->checkpoint_mu);
+  SaveReport save_report;
+  int64_t floor = 0;
+  STREAMHIST_RETURN_NOT_OK(
+      SaveCheckpointInternal(wal_->CheckpointPath(), &save_report, &floor));
+  STREAMHIST_RETURN_NOT_OK(wal_->log->TruncateBefore(floor + 1));
+  wal_->checkpoints.fetch_add(1, std::memory_order_relaxed);
+  if (summary != nullptr) {
+    std::ostringstream os;
+    os << "checkpointed " << registry_->size() << " stream(s) to "
+       << wal_->CheckpointPath() << "; wal truncated below lsn "
+       << (floor + 1);
+    *summary = os.str();
+  }
+  return Status::OK();
 }
 
 Result<std::string> QueryEngine::Execute(const std::string& statement) {
@@ -427,6 +796,15 @@ Result<std::string> QueryEngine::ExecuteBatchAppend(
   std::ostringstream os;
   {
     const auto lock = handle->LockWriter();
+    // Durable ingest: the record must be on the log (and, under policy
+    // "always", fsynced) before anything is applied or acked. On failure
+    // the batch is NOT applied — the typed error below becomes the wire
+    // ERR, and the client must not treat the values as accepted.
+    const Status logged = LogAppend(*handle, values);
+    if (!logged.ok()) {
+      record(false);
+      return logged;
+    }
     ManagedStream& stream = handle->stream();
     const int64_t dropped_before = stream.dropped_nonfinite();
     stream.AppendBatch(values);
@@ -474,11 +852,41 @@ Result<std::string> QueryEngine::ExecuteParsed(
     os << "engine:";
     const std::string engine_lines = engine_stats_->Render();
     if (!engine_lines.empty()) os << '\n' << engine_lines;
+    if (wal_ != nullptr) {
+      os << "\nwal: durable lsn=" << wal_->log->durable_lsn()
+         << "; last recovery: " << wal_->recovery.ToString();
+    }
     for (const StreamHandle& handle : registry_->Handles()) {
       os << "\nstream " << handle.name() << ':';
       const std::string lines = handle.stats().Render();
       if (!lines.empty()) os << '\n' << lines;
     }
+    return os.str();
+  }
+
+  if (verb == "WAL") {
+    if (wal_ == nullptr) {
+      return Status::FailedPrecondition(
+          "no write-ahead log is open (start with --wal-dir)");
+    }
+    if (tokens.size() == 2 && ToUpper(tokens[1]) == "CHECKPOINT") {
+      std::string summary;
+      STREAMHIST_RETURN_NOT_OK(WalCheckpointNow(&summary));
+      return summary;
+    }
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("WAL [CHECKPOINT]");
+    }
+    const wal::StatsSnapshot s = wal_->log->stats();
+    std::ostringstream os;
+    os << "policy=" << wal::PolicySpecString(wal_->log->options())
+       << "; durable lsn=" << s.durable_lsn << "; next lsn=" << s.next_lsn
+       << "; records=" << s.records << "; bytes=" << s.bytes
+       << "; fsyncs=" << s.fsyncs << "; sync waits=" << s.sync_waits
+       << "; segments created=" << s.segments_created << " deleted="
+       << s.segments_deleted << "; checkpoints="
+       << wal_->checkpoints.load(std::memory_order_relaxed)
+       << "\nlast recovery: " << wal_->recovery.ToString();
     return os.str();
   }
 
@@ -518,6 +926,9 @@ Result<std::string> QueryEngine::ExecuteParsed(
     if (save_report.attempts > 1) {
       os << " (after " << save_report.attempts << " attempts)";
     }
+    if (wal_ != nullptr) {
+      os << "; wal durable lsn=" << wal_->log->durable_lsn();
+    }
     return os.str();
   }
   if (verb == "LOAD") {
@@ -544,6 +955,9 @@ Result<std::string> QueryEngine::ExecuteParsed(
       values.push_back(v);
     }
     const auto lock = handle.LockWriter();
+    // Log before apply: an unloggable append is a typed error and the
+    // values never enter the stream — the ack implies durability.
+    STREAMHIST_RETURN_NOT_OK(LogAppend(handle, values));
     ManagedStream& stream = handle.stream();
     const int64_t dropped_before = stream.dropped_nonfinite();
     stream.AppendBatch(values);

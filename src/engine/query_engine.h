@@ -11,6 +11,7 @@
 #include "src/engine/stream_stats.h"
 #include "src/util/deadline.h"
 #include "src/util/result.h"
+#include "src/util/wal.h"
 
 namespace streamhist {
 
@@ -74,6 +75,15 @@ struct StreamBatch {
 ///   SAVE <path>                   checkpoint every stream to a file
 ///                                 (transient I/O failures are retried)
 ///   LOAD <path>                   restore streams from a checkpoint
+///   WAL                           durability status: policy, durable LSN,
+///                                 segment counters, last recovery summary
+///   WAL CHECKPOINT                force a checkpoint into the WAL
+///                                 directory and truncate sealed segments
+///
+/// (WAL / WAL CHECKPOINT are deliberately *not* QueryVerb enumerators: the
+/// enum's cardinality is baked into the SHMS v4+ stats-block layout, and
+/// growing it would break loading v1-v4 checkpoints. They execute without
+/// per-verb stats.)
 ///
 /// Concurrency model (DESIGN.md §10): Execute is safe to call from any
 /// number of threads against one engine. Estimation verbs answer lock-free
@@ -86,13 +96,18 @@ struct StreamBatch {
 /// did before the registry existed, statement for statement.
 class QueryEngine {
  public:
-  QueryEngine() = default;
+  // Special members are out-of-line: wal_ points at a type only
+  // query_engine.cc completes.
+  QueryEngine();
+  ~QueryEngine();
 
   // Streams hold large state; the engine is intentionally move-only.
+  // An engine with an open WAL must not be moved: the background
+  // checkpointer captures `this` (OpenWal pins the object).
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
-  QueryEngine(QueryEngine&&) = default;
-  QueryEngine& operator=(QueryEngine&&) = default;
+  QueryEngine(QueryEngine&&) noexcept;
+  QueryEngine& operator=(QueryEngine&&) noexcept;
 
   /// Registers a new stream under `name`; fails on duplicates or bad config.
   Status CreateStream(const std::string& name, const StreamConfig& config);
@@ -201,9 +216,68 @@ class QueryEngine {
   /// in the result) while every intact section still loads. Only when the
   /// file itself is unreadable or its header frame is damaged does the call
   /// fail outright — and then the engine is left unchanged.
+  ///
+  /// With a WAL open, the restored streams' foreign LSN tails are reset and
+  /// a fresh checkpoint is written into the WAL directory (truncating the
+  /// log), so a crash right after LOAD recovers the loaded state instead of
+  /// replaying a stale log over it.
   Result<CheckpointReport> LoadCheckpoint(const std::string& path);
 
+  /// How OpenWal recovered: the log repair outcome, whether/what checkpoint
+  /// seeded the registry, and the replay tallies.
+  struct WalRecoveryReport {
+    wal::OpenReport open;            // segment scan / torn-tail repair
+    bool checkpoint_loaded = false;  // checkpoint.shcp seeded the registry
+    std::string checkpoint_summary;  // CheckpointReport text, or why not
+    int64_t records_applied = 0;     // replayed into live streams
+    int64_t records_skipped = 0;     // already reflected by the checkpoint
+    int64_t records_dropped = 0;     // undecodable or inapplicable
+    std::string ToString() const;
+  };
+
+  /// Durability configuration for OpenWal.
+  struct WalConfig {
+    wal::Options options;
+    /// Background checkpoint cadence; 0 disables the checkpointer thread
+    /// (WAL CHECKPOINT still works on demand).
+    int64_t checkpoint_interval_ms = 0;
+  };
+
+  /// Opens (or creates) the write-ahead log in `dir` and recovers: repairs
+  /// the log (torn tails truncated, never fatal), loads `dir`/checkpoint.shcp
+  /// when present, replays the retained records above each stream's applied
+  /// LSN (SHMS v5 tail; v1-v4 restore with LSN 0 and replay everything),
+  /// then starts logging CREATE/APPEND/DROP before each ack and — when
+  /// configured — a background checkpoint thread that snapshots and
+  /// truncates sealed segments. Fails only on real I/O errors, a governor
+  /// refusal, or when a WAL is already open.
+  Result<WalRecoveryReport> OpenWal(const std::string& dir,
+                                    const WalConfig& config);
+
+  /// Stops the checkpointer, flushes the log (the returned status is the
+  /// flush outcome), and detaches the WAL. `final_stats`, when non-null,
+  /// receives the post-flush counters — the last chance to read them.
+  /// Idempotent; the destructor calls it best-effort.
+  Status CloseWal(wal::StatsSnapshot* final_stats = nullptr);
+
+  bool wal_enabled() const { return wal_ != nullptr; }
+
+  /// Highest LSN the log has fsynced (0 without a WAL).
+  int64_t WalDurableLsn() const;
+
+  /// Log counters (zeroed snapshot without a WAL).
+  wal::StatsSnapshot WalStats() const;
+
+  /// The recovery report of the OpenWal call (empty report without a WAL).
+  WalRecoveryReport LastWalRecovery() const;
+
+  /// Checkpoints into the WAL directory and truncates every sealed segment
+  /// the checkpoint covers — the WAL CHECKPOINT verb and the background
+  /// checkpointer both land here. Serialized against itself.
+  Status WalCheckpointNow(std::string* summary = nullptr);
+
  private:
+  struct WalState;  // defined in query_engine.cc
   /// The parsed-statement dispatcher behind both Execute overloads. Sets
   /// `*touched` to the resolved stream handle for stream-scoped verbs (the
   /// stats target); leaves it empty for engine-scoped verbs and failed
@@ -212,11 +286,29 @@ class QueryEngine {
                                     const std::string& verb, ExecContext* ctx,
                                     StreamHandle* touched);
 
+  /// LoadCheckpoint's parsing core; `header_lsn`, when non-null, receives
+  /// the SHCP v2 header's global WAL LSN (0 for v1 files).
+  Result<CheckpointReport> LoadCheckpointFrom(const std::string& path,
+                                              int64_t* header_lsn);
+
+  /// SaveCheckpoint's core; `wal_floor_out`, when non-null, receives the
+  /// global WAL LSN stored in the image (the safe truncation horizon).
+  Status SaveCheckpointInternal(const std::string& path, SaveReport* report,
+                                int64_t* wal_floor_out) const;
+
+  /// Logs one APPEND record for `handle` (no-op without a WAL). Must run
+  /// under the stream's writer lock, before the values are applied — the
+  /// log-before-apply ordering the checkpoint LSN protocol relies on. A
+  /// failure (e.g. wal.fsync under policy "always") means the values must
+  /// not be applied or acked.
+  Status LogAppend(const StreamHandle& handle, std::span<const double> values);
+
   // unique_ptr: the registry's mutexes (and the stats' atomics) are not
   // movable, the engine is.
   std::unique_ptr<StreamRegistry> registry_ =
       std::make_unique<StreamRegistry>();
   std::unique_ptr<QueryStats> engine_stats_ = std::make_unique<QueryStats>();
+  std::unique_ptr<WalState> wal_;
 };
 
 }  // namespace streamhist

@@ -21,7 +21,9 @@
 #include "src/data/generators.h"
 #include "src/data/io.h"
 #include "src/engine/query_engine.h"
+#include "src/engine/wal_records.h"
 #include "src/server/tcp_server.h"
+#include "src/util/wal.h"
 
 namespace streamhist {
 
@@ -46,7 +48,7 @@ std::map<std::string, std::string> ParseFlags(
 
 int Usage(std::ostream& err) {
   err << "usage: streamhist_tool"
-         " <generate|build|query|inspect|console|serve> [flags]\n"
+         " <generate|build|query|inspect|console|serve|wal> [flags]\n"
          "  generate --kind K --n N [--seed S] --out series.csv\n"
          "  build --input series.csv --buckets B [--epsilon E]\n"
          "        [--algorithm vopt|agglomerative|greedy|equiwidth|maxdiff]\n"
@@ -73,7 +75,19 @@ int Usage(std::ostream& err) {
          "        the binary batch-APPEND frame, pipelined, with output\n"
          "        backpressure and governor admission control (DESIGN.md\n"
          "        \xC2\xA7" "11). D is the per-request deadline class knob;\n"
-         "        SIGINT/SIGTERM shuts down cleanly with a summary line.\n";
+         "        SIGINT/SIGTERM shuts down cleanly with a summary line.\n"
+         "  console|serve [--wal-dir DIR] [--wal-policy P]\n"
+         "        [--wal-checkpoint-ms MS]\n"
+         "        durable ingest (DESIGN.md \xC2\xA7" "12): CREATE/APPEND/DROP\n"
+         "        are logged to DIR before the ack and recovered on restart\n"
+         "        (checkpoint + replay; the recovery line prints first).\n"
+         "        P is always | bytes:N | interval:ms | none (default\n"
+         "        always, or $STREAMHIST_WAL); MS is the background\n"
+         "        checkpoint cadence (default 1000, 0 disables).\n"
+         "  wal <dump|verify> --dir DIR\n"
+         "        read-only segment scan: dump prints every decoded record,\n"
+         "        verify just the scan report. Exit 1 on interior corruption\n"
+         "        (a torn tail is normal crash residue, not corruption).\n";
   return 2;
 }
 
@@ -245,6 +259,59 @@ int Inspect(const std::map<std::string, std::string>& flags, std::ostream& out,
   return 0;
 }
 
+/// Resolves the --wal-* flags (with $STREAMHIST_WAL supplying the default
+/// policy spec) and opens the engine's write-ahead log, printing the
+/// recovery line. No --wal-dir means no WAL; returns a nonzero exit code on
+/// bad flags or a failed open.
+int MaybeOpenWal(QueryEngine& engine,
+                 const std::map<std::string, std::string>& flags,
+                 std::ostream& out, std::ostream& err, const char* who) {
+  if (!flags.contains("wal-dir")) return 0;
+  QueryEngine::WalConfig config;
+  std::string spec;
+  if (flags.contains("wal-policy")) {
+    spec = flags.at("wal-policy");
+  } else if (const char* env = std::getenv("STREAMHIST_WAL")) {
+    spec = env;
+  }
+  if (!spec.empty()) {
+    const Result<wal::Options> parsed = wal::ParsePolicySpec(spec);
+    if (!parsed.ok()) {
+      err << who << ": wal policy: " << parsed.status() << "\n";
+      return 2;
+    }
+    config.options = parsed.value();
+  }
+  config.checkpoint_interval_ms =
+      flags.contains("wal-checkpoint-ms")
+          ? std::atoll(flags.at("wal-checkpoint-ms").c_str())
+          : 1000;
+  if (config.checkpoint_interval_ms < 0) {
+    err << who << ": --wal-checkpoint-ms must be >= 0\n";
+    return 2;
+  }
+  const Result<QueryEngine::WalRecoveryReport> recovery =
+      engine.OpenWal(flags.at("wal-dir"), config);
+  if (!recovery.ok()) {
+    err << who << ": wal: " << recovery.status() << "\n";
+    return 1;
+  }
+  // Flushed before any "listening on" line so harnesses can read it first.
+  out << "wal: policy=" << wal::PolicySpecString(config.options) << "; "
+      << recovery.value().ToString() << std::endl;
+  return 0;
+}
+
+/// One-line durability totals for shutdown summaries.
+std::string WalSummaryLine(const wal::StatsSnapshot& s) {
+  std::ostringstream os;
+  os << "wal: records=" << s.records << ", bytes=" << s.bytes
+     << ", fsyncs=" << s.fsyncs << ", sync waits=" << s.sync_waits
+     << ", segments created=" << s.segments_created << " deleted="
+     << s.segments_deleted << ", durable lsn=" << s.durable_lsn;
+  return os.str();
+}
+
 /// Line-at-a-time QueryEngine session: statements from stdin (interactive)
 /// or a script file. Failed statements print an error and the session keeps
 /// going — one bad query should not kill a long-running console. EXIT/QUIT
@@ -262,6 +329,10 @@ int Console(const std::map<std::string, std::string>& flags, std::ostream& out,
     in = &script;
   }
   QueryEngine engine;
+  if (const int rc = MaybeOpenWal(engine, flags, out, err, "console");
+      rc != 0) {
+    return rc;
+  }
   std::string line;
   while (std::getline(*in, line)) {
     const size_t first = line.find_first_not_of(" \t\r");
@@ -316,6 +387,10 @@ int ServeTcp(const std::map<std::string, std::string>& flags,
   }
 
   QueryEngine engine;
+  if (const int rc = MaybeOpenWal(engine, flags, out, err, "serve");
+      rc != 0) {
+    return rc;
+  }
   auto server = net::TcpServer::Start(engine, options);
   if (!server.ok()) {
     err << "serve: " << server.status() << "\n";
@@ -344,6 +419,12 @@ int ServeTcp(const std::map<std::string, std::string>& flags,
 
   server.value()->Shutdown();
   out << server.value()->SummaryLine() << "\n";
+  if (engine.wal_enabled()) {
+    // Final flush first, so the totals line reports the true durable LSN.
+    wal::StatsSnapshot final_stats;
+    (void)engine.CloseWal(&final_stats);
+    out << WalSummaryLine(final_stats) << "\n";
+  }
   close(g_shutdown_pipe[0]);
   close(g_shutdown_pipe[1]);
   g_shutdown_pipe[0] = g_shutdown_pipe[1] = -1;
@@ -400,6 +481,10 @@ int Serve(const std::map<std::string, std::string>& flags, std::ostream& out,
   }
 
   QueryEngine engine;
+  if (const int rc = MaybeOpenWal(engine, flags, out, err, "serve");
+      rc != 0) {
+    return rc;
+  }
   std::vector<std::string> answers(statements.size());
   std::vector<uint8_t> succeeded(statements.size(), 0);
   std::vector<std::thread> sessions;
@@ -436,7 +521,68 @@ int Serve(const std::map<std::string, std::string>& flags, std::ostream& out,
   out << "serve: " << statements.size() << " statements on " << threads
       << (threads == 1 ? " session: " : " sessions: ") << ok << " ok, "
       << (statements.size() - ok) << " errors\n";
+  if (engine.wal_enabled()) {
+    wal::StatsSnapshot final_stats;
+    (void)engine.CloseWal(&final_stats);
+    out << WalSummaryLine(final_stats) << "\n";
+  }
   return 0;
+}
+
+/// Read-only WAL inspection: `wal dump` prints every decoded record, `wal
+/// verify` just the scan report. Neither repairs anything — a torn tail is
+/// reported, not truncated (that is Open's job, under a running engine).
+int WalCmd(const std::map<std::string, std::string>& flags,
+           const std::vector<std::string>& positional, std::ostream& out,
+           std::ostream& err) {
+  if (positional.empty() ||
+      (positional[0] != "dump" && positional[0] != "verify") ||
+      !flags.contains("dir")) {
+    err << "wal: expected 'wal <dump|verify> --dir DIR'\n";
+    return 2;
+  }
+  const bool dump = positional[0] == "dump";
+  out.precision(15);
+  const wal::Wal::RecordFn on_record = [&](int64_t lsn,
+                                           std::string_view payload) {
+    if (!dump) return Status::OK();
+    out << "lsn=" << lsn;
+    const Result<walrec::Record> record = walrec::Decode(payload);
+    if (!record.ok()) {
+      // The frame CRC passed, so this is a codec gap, not rot.
+      out << " undecodable: " << record.status() << "\n";
+      return Status::OK();
+    }
+    out << " " << walrec::RecordTypeName(record->type) << " stream="
+        << record->name;
+    switch (record->type) {
+      case walrec::RecordType::kCreate:
+        out << " window=" << record->config.window_size
+            << " buckets=" << record->config.num_buckets;
+        break;
+      case walrec::RecordType::kAppend: {
+        out << " values=" << record->values.size();
+        if (record->values.size() <= 8) {
+          for (double v : record->values) out << " " << v;
+        }
+        break;
+      }
+      case walrec::RecordType::kDrop:
+        break;
+    }
+    out << "\n";
+    return Status::OK();
+  };
+  wal::OpenReport report;
+  const Status status = wal::Wal::Scan(flags.at("dir"), on_record, &report);
+  if (!status.ok()) {
+    err << "wal: " << status << "\n";
+    return 1;
+  }
+  out << report.ToString() << "\n";
+  // Interior corruption means fsynced bytes rotted — worth a hard exit.
+  // A torn tail is normal crash residue and recovery handles it.
+  return report.corrupt_records > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -453,6 +599,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (args[0] == "inspect") return Inspect(flags, out, err);
   if (args[0] == "console") return Console(flags, out, err);
   if (args[0] == "serve") return Serve(flags, out, err);
+  if (args[0] == "wal") return WalCmd(flags, positional, out, err);
   return Usage(err);
 }
 

@@ -161,7 +161,9 @@ std::vector<std::string> KnownPoints() {
       "fileio.read.truncate", "fileio.rename",
       "fileio.short_write",  "governor.oom",
       "net.accept",          "net.read.short",
-      "net.write.eagain",
+      "net.write.eagain",    "wal.append.short",
+      "wal.fsync",           "wal.replay.corrupt",
+      "wal.seal",
   };
 }
 

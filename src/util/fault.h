@@ -47,6 +47,15 @@ namespace fault {
 ///                           frame headers, byte-at-a-time statements)
 ///   net.write.eagain        socket writes report EAGAIN without writing —
 ///                           forces the buffered-output / EPOLLOUT path
+///   wal.append.short        a WAL record write persists only half its
+///                           frame (util/wal.h) — leaves the torn-tail
+///                           shape recovery must truncate
+///   wal.fsync               the WAL group-commit fsync reports failure —
+///                           under policy "always" the append is NOT acked
+///   wal.seal                segment rotation fails; the append that
+///                           triggered it errors, the log stays writable
+///   wal.replay.corrupt      the recovery scan flips one bit mid-segment —
+///                           forces the CRC-skip / resynchronization path
 
 namespace internal {
 // Number of currently armed points; the fast path for the disabled case.

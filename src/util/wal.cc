@@ -1,0 +1,618 @@
+#include "src/util/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "src/util/fault.h"
+#include "src/util/fileio.h"
+#include "src/util/framing.h"
+#include "src/util/governor.h"
+
+namespace streamhist {
+namespace wal {
+namespace {
+
+// Segment header frame: payload is the first LSN this segment can hold.
+constexpr uint32_t kSegmentMagic = 0x5348574C;  // "SHWL"
+constexpr uint32_t kSegmentVersion = 1;
+// Record frame: payload is `lsn u64 | caller bytes`.
+constexpr uint32_t kRecordMagic = 0x53485752;  // "SHWR"
+constexpr uint32_t kRecordVersion = 1;
+// framing.h layout: magic u32 | version u32 | payload_len u64 | payload |
+// crc32c u32 — a 16-byte head and a 4-byte trailer around the payload.
+constexpr size_t kFrameHeadBytes = 16;
+constexpr size_t kFrameOverhead = 20;
+// Fixed governor charge on top of the active segment: scan buffer slack
+// and bookkeeping.
+constexpr int64_t kGovernorSlackBytes = 64 * 1024;
+
+std::string Errno(const char* op, const std::string& path) {
+  std::ostringstream os;
+  os << op << " failed for '" << path << "': " << std::strerror(errno);
+  return os.str();
+}
+
+std::string SegmentPath(const std::string& dir, int64_t first_lsn) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "wal-%020" PRId64 ".seg", first_lsn);
+  return dir + "/" + name;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(Errno("open", dir));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError(Errno("fsync", dir));
+  return Status::OK();
+}
+
+Status WriteAllFd(int fd, std::string_view bytes, const std::string& path) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("write", path));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Lists wal-*.seg files in `dir`, sorted by name (zero-padded first LSN, so
+// name order is LSN order).
+Result<std::vector<std::string>> ListSegments(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IOError(Errno("opendir", dir));
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string_view name(ent->d_name);
+    if (name.size() > 8 && name.substr(0, 4) == "wal-" &&
+        name.substr(name.size() - 4) == ".seg") {
+      names.emplace_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// Shared scan core behind Open (repair=true), Scan, and Replay. Walks every
+// segment in LSN order with a hand-rolled frame parser (ReadFrame's resync
+// advances even on short frames, which would blur the torn-tail /
+// interior-rot distinction this classification depends on):
+//
+//   * a CRC-bad frame whose head and declared length are intact is interior
+//     rot — skipped whole, counted, scan continues (resynchronization);
+//   * a structurally short or magic-less tail in the NEWEST segment is the
+//     torn footprint of a crashed write — truncated (when `repair`) at the
+//     last whole-frame boundary, reported, never fatal;
+//   * the same damage in a sealed segment abandons the rest of that segment
+//     only (there is no trustworthy delimiter to resync on).
+//
+// A scan therefore never fails on damaged content, only on real I/O errors.
+Status ScanImpl(const std::string& dir, bool repair, int64_t from_lsn,
+                const Wal::RecordFn* fn, std::vector<SegmentInfo>* segments,
+                OpenReport* report) {
+  OpenReport out;
+  STREAMHIST_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              ListSegments(dir));
+  std::vector<SegmentInfo> infos;
+  int64_t max_lsn = 0;  // across valid records and segment headers
+  for (size_t i = 0; i < names.size(); ++i) {
+    const bool last_segment = i + 1 == names.size();
+    const std::string path = dir + "/" + names[i];
+    STREAMHIST_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+    if (fault::Triggered("wal.replay.corrupt") &&
+        bytes.size() > kFrameOverhead) {
+      bytes[bytes.size() / 2] ^= 0x10;
+    }
+    SegmentInfo info;
+    info.path = path;
+    ++out.segments;
+    const char* data = bytes.data();
+    const size_t size = bytes.size();
+    size_t pos = 0;
+    bool at_header = true;
+    while (pos < size) {
+      const size_t rest = size - pos;
+      bool structural = rest < kFrameOverhead;
+      uint64_t payload_len = 0;
+      if (!structural) {
+        const uint32_t magic = LoadU32(data + pos);
+        payload_len = LoadU64(data + pos + 8);
+        if (magic != (at_header ? kSegmentMagic : kRecordMagic) ||
+            payload_len > rest - kFrameOverhead) {
+          structural = true;
+        }
+      }
+      if (structural) {
+        if (last_segment) {
+          out.torn_bytes += static_cast<int64_t>(rest);
+          out.tail_truncated = true;
+          if (repair) {
+            int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+            if (fd < 0) return Status::IOError(Errno("open", path));
+            const int rc = ::ftruncate(fd, static_cast<off_t>(pos));
+            ::close(fd);
+            if (rc != 0) return Status::IOError(Errno("ftruncate", path));
+          }
+        } else {
+          ++out.corrupt_records;
+        }
+        break;
+      }
+      const size_t frame_bytes = kFrameOverhead + payload_len;
+      const std::string_view covered(data + pos, kFrameHeadBytes + payload_len);
+      const uint32_t stored_crc = LoadU32(data + pos + kFrameHeadBytes +
+                                          static_cast<size_t>(payload_len));
+      const uint32_t version = LoadU32(data + pos + 4);
+      const std::string_view payload(data + pos + kFrameHeadBytes,
+                                     static_cast<size_t>(payload_len));
+      const bool header = at_header;
+      at_header = false;
+      pos += frame_bytes;
+      if (Crc32c(covered) != stored_crc) {
+        ++out.corrupt_records;
+        continue;
+      }
+      if (header) {
+        ByteReader hp(payload);
+        uint64_t first = 0;
+        if (version == kSegmentVersion && hp.ReadU64(&first)) {
+          info.first_lsn = static_cast<int64_t>(first);
+          info.max_lsn = info.first_lsn - 1;
+          max_lsn = std::max(max_lsn, info.first_lsn - 1);
+        } else {
+          ++out.corrupt_records;
+        }
+        continue;
+      }
+      ByteReader rp(payload);
+      uint64_t lsn = 0;
+      if (version != kRecordVersion || !rp.ReadU64(&lsn)) {
+        ++out.corrupt_records;
+        continue;
+      }
+      ++out.records;
+      const int64_t slsn = static_cast<int64_t>(lsn);
+      info.max_lsn = std::max(info.max_lsn, slsn);
+      max_lsn = std::max(max_lsn, slsn);
+      if (out.first_lsn == 0 || slsn < out.first_lsn) out.first_lsn = slsn;
+      if (fn != nullptr && *fn && slsn >= from_lsn) {
+        STREAMHIST_RETURN_NOT_OK((*fn)(slsn, rp.Rest()));
+      }
+    }
+    infos.push_back(std::move(info));
+  }
+  out.next_lsn = max_lsn + 1;
+  if (segments != nullptr) *segments = std::move(infos);
+  if (report != nullptr) *report = out;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Options> ParsePolicySpec(std::string_view spec) {
+  Options options;
+  if (spec == "always") {
+    options.policy = SyncPolicy::kAlways;
+    return options;
+  }
+  if (spec == "none") {
+    options.policy = SyncPolicy::kNone;
+    return options;
+  }
+  const size_t colon = spec.find(':');
+  const std::string_view head = spec.substr(0, colon);
+  const std::string_view arg = colon == std::string_view::npos
+                                   ? std::string_view()
+                                   : spec.substr(colon + 1);
+  if (head == "bytes") {
+    const int64_t n = governor::ParseByteSize(std::string(arg));
+    if (n <= 0) {
+      return Status::InvalidArgument(
+          "wal policy 'bytes:N' needs a positive byte count, got '" +
+          std::string(spec) + "'");
+    }
+    options.policy = SyncPolicy::kBytes;
+    options.bytes_threshold = n;
+    return options;
+  }
+  if (head == "interval") {
+    int64_t ms = -1;
+    std::istringstream in{std::string(arg)};
+    if (!(in >> ms) || !in.eof() || ms <= 0) {
+      return Status::InvalidArgument(
+          "wal policy 'interval:MS' needs a positive millisecond count, "
+          "got '" +
+          std::string(spec) + "'");
+    }
+    options.policy = SyncPolicy::kInterval;
+    options.interval_ms = ms;
+    return options;
+  }
+  return Status::InvalidArgument(
+      "unknown wal policy '" + std::string(spec) +
+      "' (want always | bytes:N | interval:MS | none)");
+}
+
+std::string PolicySpecString(const Options& options) {
+  switch (options.policy) {
+    case SyncPolicy::kAlways:
+      return "always";
+    case SyncPolicy::kNone:
+      return "none";
+    case SyncPolicy::kBytes:
+      return "bytes:" + std::to_string(options.bytes_threshold);
+    case SyncPolicy::kInterval:
+      return "interval:" + std::to_string(options.interval_ms);
+  }
+  return "always";
+}
+
+std::string OpenReport::ToString() const {
+  std::ostringstream os;
+  os << "wal: " << records << " record(s) across " << segments
+     << " segment(s), next lsn " << next_lsn;
+  if (tail_truncated) {
+    os << "; torn tail truncated (" << torn_bytes << " bytes)";
+  }
+  if (corrupt_records > 0) {
+    os << "; " << corrupt_records << " corrupt record(s) skipped";
+  }
+  return os.str();
+}
+
+Wal::Wal(std::string dir, const Options& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
+                                       const Options& options,
+                                       OpenReport* report) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::IOError(Errno("mkdir", dir));
+  }
+  const int64_t charge = options.segment_bytes + kGovernorSlackBytes;
+  if (!governor::TryCharge(charge)) {
+    return Status::ResourceExhausted(
+        "wal: governor refused " + governor::FormatBytes(charge) +
+        " for segment buffers (budget " +
+        governor::FormatBytes(governor::Budget()) + ")");
+  }
+  std::unique_ptr<Wal> wal(new Wal(dir, options));
+  wal->governor_charge_ = charge;
+  OpenReport scan;
+  STREAMHIST_RETURN_NOT_OK(
+      ScanImpl(dir, /*repair=*/true, 0, nullptr, &wal->sealed_, &scan));
+  wal->next_lsn_ = scan.next_lsn;
+  wal->written_lsn_ = scan.next_lsn - 1;
+  wal->durable_lsn_ = scan.next_lsn - 1;
+  // Always start a fresh active segment: every pre-existing file is sealed,
+  // which keeps the append path free of reopen-and-continue edge cases.
+  STREAMHIST_RETURN_NOT_OK(wal->OpenActiveSegment(wal->next_lsn_));
+  wal->stats_.segments_created = 1;
+  wal->flusher_ = std::thread([w = wal.get()] { w->FlusherMain(); });
+  if (report != nullptr) *report = scan;
+  return wal;
+}
+
+Status Wal::Scan(const std::string& dir, const RecordFn& fn,
+                 OpenReport* report) {
+  return ScanImpl(dir, /*repair=*/false, 0, fn ? &fn : nullptr, nullptr,
+                  report);
+}
+
+Status Wal::Replay(int64_t from_lsn, const RecordFn& fn,
+                   OpenReport* report) const {
+  return ScanImpl(dir_, /*repair=*/false, from_lsn, fn ? &fn : nullptr,
+                  nullptr, report);
+}
+
+Wal::~Wal() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+    flush_cv_.notify_all();
+    durable_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  if (fd_ >= 0) {
+    // Best-effort final durability; a failure here has no one to report to
+    // (shutdown paths that care call Flush() first for error visibility).
+    if (unsynced_bytes_ > 0) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (governor_charge_ > 0) governor::Release(governor_charge_);
+}
+
+Status Wal::OpenActiveSegment(int64_t first_lsn) {
+  const std::string path = SegmentPath(dir_, first_lsn);
+  const int flags = O_WRONLY | O_CLOEXEC | O_CREAT | O_EXCL;
+  int fd = ::open(path.c_str(), flags, 0666);
+  if (fd < 0 && errno == EEXIST) {
+    // A leftover segment with this exact first LSN holds no live records
+    // (a record would have advanced next_lsn past it), so replacing it is
+    // always safe. Typical cause: crash right after a rotation wrote only
+    // the header.
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError(Errno("unlink", path));
+    }
+    // The scan sealed that leftover under this very path. Drop the stale
+    // entry, or TruncateBefore (its max_lsn is first_lsn - 1, below any
+    // floor) would unlink the file we are about to append through — acked
+    // records silently diverted into an orphaned inode.
+    sealed_.erase(std::remove_if(sealed_.begin(), sealed_.end(),
+                                 [&](const SegmentInfo& seg) {
+                                   return seg.path == path;
+                                 }),
+                  sealed_.end());
+    fd = ::open(path.c_str(), flags, 0666);
+  }
+  if (fd < 0) return Status::IOError(Errno("open", path));
+  ByteWriter header;
+  header.PutU64(static_cast<uint64_t>(first_lsn));
+  const std::string frame =
+      WrapFrame(kSegmentMagic, kSegmentVersion, header.bytes());
+  if (Status s = WriteAllFd(fd, frame, path); !s.ok()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return s;
+  }
+  if (Status s = SyncDir(dir_); !s.ok()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return s;
+  }
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  active_path_ = path;
+  active_first_lsn_ = first_lsn;
+  active_bytes_ = static_cast<int64_t>(frame.size());
+  unsynced_bytes_ += static_cast<int64_t>(frame.size());
+  return Status::OK();
+}
+
+Status Wal::SealAndRotateLocked() {
+  if (fault::Triggered("wal.seal")) {
+    return Status::IOError("injected fault: wal.seal (segment rotation)");
+  }
+  // Seal = make the outgoing segment fully durable, so TruncateBefore can
+  // reason about sealed segments without consulting fsync state.
+  if (::fsync(fd_) != 0) return Status::IOError(Errno("fsync", active_path_));
+  ++stats_.fsyncs;
+  durable_lsn_ = std::max(durable_lsn_, written_lsn_);
+  unsynced_bytes_ = 0;
+  durable_cv_.notify_all();
+  const SegmentInfo outgoing{active_path_, active_first_lsn_, written_lsn_};
+  // OpenActiveSegment closes the old fd only after the new segment is up,
+  // so a failure leaves the current segment writable (retried next append).
+  STREAMHIST_RETURN_NOT_OK(OpenActiveSegment(next_lsn_));
+  sealed_.push_back(outgoing);
+  ++stats_.segments_created;
+  return Status::OK();
+}
+
+Status Wal::WriteFrameLocked(std::string_view frame) {
+  if (fault::Triggered("wal.append.short")) {
+    // Persist half the frame, then fail — the torn-write shape a crash or
+    // ENOSPC leaves. Roll the file back so the in-memory offset stays true.
+    (void)WriteAllFd(fd_, frame.substr(0, frame.size() / 2), active_path_);
+    if (::ftruncate(fd_, static_cast<off_t>(active_bytes_)) != 0) {
+      return Status::IOError(Errno("ftruncate", active_path_));
+    }
+    ::lseek(fd_, static_cast<off_t>(active_bytes_), SEEK_SET);
+    return Status::IOError("injected fault: wal.append.short (torn write)");
+  }
+  if (Status s = WriteAllFd(fd_, frame, active_path_); !s.ok()) {
+    // Partial progress is possible; roll back to the last record boundary.
+    (void)::ftruncate(fd_, static_cast<off_t>(active_bytes_));
+    (void)::lseek(fd_, static_cast<off_t>(active_bytes_), SEEK_SET);
+    return s;
+  }
+  active_bytes_ += static_cast<int64_t>(frame.size());
+  unsynced_bytes_ += static_cast<int64_t>(frame.size());
+  return Status::OK();
+}
+
+Result<int64_t> Wal::Append(std::string_view payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_ || fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  if (active_bytes_ >= options_.segment_bytes) {
+    STREAMHIST_RETURN_NOT_OK(SealAndRotateLocked());
+  }
+  const int64_t lsn = next_lsn_;
+  ByteWriter body;
+  body.PutU64(static_cast<uint64_t>(lsn));
+  body.Append(payload);
+  const std::string frame =
+      WrapFrame(kRecordMagic, kRecordVersion, body.bytes());
+  STREAMHIST_RETURN_NOT_OK(WriteFrameLocked(frame));
+  next_lsn_ = lsn + 1;
+  written_lsn_ = lsn;
+  ++stats_.records;
+  stats_.bytes += static_cast<int64_t>(frame.size());
+  switch (options_.policy) {
+    case SyncPolicy::kAlways: {
+      requested_lsn_ = std::max(requested_lsn_, lsn);
+      ++stats_.sync_waits;
+      const int64_t my_error_seq = flush_error_seq_;
+      flush_cv_.notify_one();
+      durable_cv_.wait(lock, [&] {
+        return durable_lsn_ >= lsn || flush_error_seq_ != my_error_seq ||
+               stop_;
+      });
+      if (durable_lsn_ >= lsn) return lsn;
+      if (flush_error_seq_ != my_error_seq) return flush_error_;
+      return Status::FailedPrecondition("wal closed while awaiting fsync");
+    }
+    case SyncPolicy::kBytes:
+      if (unsynced_bytes_ >= options_.bytes_threshold) {
+        requested_lsn_ = std::max(requested_lsn_, written_lsn_);
+        flush_cv_.notify_one();
+      }
+      return lsn;
+    case SyncPolicy::kInterval:
+    case SyncPolicy::kNone:
+      return lsn;
+  }
+  return lsn;
+}
+
+Status Wal::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t target = written_lsn_;
+  if (durable_lsn_ >= target) return Status::OK();
+  if (stop_) return Status::FailedPrecondition("wal is closed");
+  requested_lsn_ = std::max(requested_lsn_, target);
+  const int64_t my_error_seq = flush_error_seq_;
+  flush_cv_.notify_one();
+  durable_cv_.wait(lock, [&] {
+    return durable_lsn_ >= target || flush_error_seq_ != my_error_seq || stop_;
+  });
+  if (durable_lsn_ >= target) return Status::OK();
+  if (flush_error_seq_ != my_error_seq) return flush_error_;
+  return Status::FailedPrecondition("wal closed while awaiting fsync");
+}
+
+void Wal::FlusherMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    auto wakeup = [&] {
+      return stop_ || requested_lsn_ > durable_lsn_ ||
+             (options_.policy == SyncPolicy::kBytes &&
+              unsynced_bytes_ >= options_.bytes_threshold);
+    };
+    if (options_.policy == SyncPolicy::kInterval) {
+      flush_cv_.wait_for(lock,
+                         std::chrono::milliseconds(options_.interval_ms),
+                         wakeup);
+    } else {
+      flush_cv_.wait(lock, wakeup);
+    }
+    if (stop_) break;
+    const bool want =
+        requested_lsn_ > durable_lsn_ ||
+        (options_.policy == SyncPolicy::kBytes &&
+         unsynced_bytes_ >= options_.bytes_threshold) ||
+        (options_.policy == SyncPolicy::kInterval && unsynced_bytes_ > 0);
+    if (!want) continue;
+    if (const Status s = FsyncLocked(lock); !s.ok() && !stop_) {
+      // Back off so a persistently failing fsync can't spin the flusher;
+      // waiters were already released with the error.
+      flush_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+}
+
+Status Wal::FsyncLocked(std::unique_lock<std::mutex>& lock) {
+  const int64_t target = written_lsn_;
+  if (target <= durable_lsn_) return Status::OK();
+  // fsync outside the lock so concurrent appenders keep filling the next
+  // group — this is what makes the commit a *group* commit. The dup'd fd
+  // stays valid across a concurrent rotation (which closes fd_), and every
+  // record <= target is in the file behind it (rotation itself fsyncs).
+  const int dup_fd = ::dup(fd_);
+  if (dup_fd < 0) {
+    flush_error_ = Status::IOError(Errno("dup", active_path_));
+    ++flush_error_seq_;
+    durable_cv_.notify_all();
+    return flush_error_;
+  }
+  const int64_t covered_bytes = unsynced_bytes_;
+  lock.unlock();
+  Status result = Status::OK();
+  if (fault::Triggered("wal.fsync")) {
+    result = Status::IOError("injected fault: wal.fsync (fsync failed)");
+  } else if (::fsync(dup_fd) != 0) {
+    result = Status::IOError(Errno("fsync", active_path_));
+  }
+  ::close(dup_fd);
+  lock.lock();
+  if (result.ok()) {
+    ++stats_.fsyncs;
+    durable_lsn_ = std::max(durable_lsn_, target);
+    unsynced_bytes_ = std::max<int64_t>(0, unsynced_bytes_ - covered_bytes);
+    durable_cv_.notify_all();
+  } else {
+    flush_error_ = result;
+    ++flush_error_seq_;
+    durable_cv_.notify_all();
+  }
+  return result;
+}
+
+Status Wal::TruncateBefore(int64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool any = false;
+  std::vector<SegmentInfo> keep;
+  Status first_error = Status::OK();
+  for (SegmentInfo& seg : sealed_) {
+    if (seg.max_lsn < lsn) {
+      if (::unlink(seg.path.c_str()) != 0 && errno != ENOENT) {
+        if (first_error.ok()) {
+          first_error = Status::IOError(Errno("unlink", seg.path));
+        }
+        keep.push_back(std::move(seg));
+        continue;
+      }
+      ++stats_.segments_deleted;
+      any = true;
+    } else {
+      keep.push_back(std::move(seg));
+    }
+  }
+  sealed_ = std::move(keep);
+  if (any) {
+    if (Status s = SyncDir(dir_); !s.ok() && first_error.ok()) {
+      first_error = s;
+    }
+  }
+  return first_error;
+}
+
+int64_t Wal::durable_lsn() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+int64_t Wal::next_lsn() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+StatsSnapshot Wal::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  StatsSnapshot out = stats_;
+  out.durable_lsn = durable_lsn_;
+  out.next_lsn = next_lsn_;
+  return out;
+}
+
+}  // namespace wal
+}  // namespace streamhist

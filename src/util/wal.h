@@ -1,0 +1,205 @@
+#ifndef STREAMHIST_UTIL_WAL_H_
+#define STREAMHIST_UTIL_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace streamhist {
+namespace wal {
+
+/// Segmented write-ahead log of CRC32C-framed records with monotone LSNs
+/// and group commit. The WAL knows nothing about what a record means: the
+/// payload is an opaque byte string supplied by the caller (the engine's
+/// record codec lives in src/engine/wal_records.h), so the format can carry
+/// future record kinds — RETRACT/delta updates per Ganguly's update-stream
+/// summaries — without touching this layer.
+///
+/// On disk a log is a directory of segment files `wal-<first_lsn>.seg`
+/// (20-digit zero-padded first LSN, so lexicographic order is LSN order).
+/// A segment is a header frame followed by record frames, each a
+/// src/util/framing frame:
+///
+///   header: magic "SHWL" v1, payload = first_lsn u64
+///   record: magic "SHWR" v1, payload = lsn u64 | caller bytes
+///
+/// Open() scans every retained segment, truncates a torn tail (a partial
+/// frame at the end of the newest segment — the footprint of a crash
+/// mid-write) at the last whole-record boundary, and derives the next LSN.
+/// Recovery therefore never fails on a torn tail; it repairs and reports.
+/// A CRC-bad record in the interior (media rot) is skipped by frame
+/// resynchronization and counted, never fatal.
+///
+/// Durability policies (ParsePolicySpec: "always" | "bytes:N" |
+/// "interval:MS" | "none"):
+///   always     Append returns only after the record is fsynced. A
+///              background flusher coalesces concurrently waiting
+///              appenders into one fsync (group commit).
+///   bytes:N    Append returns once the record is buffered in the file;
+///              the flusher fsyncs whenever >= N unsynced bytes accumulate.
+///   interval:M the flusher fsyncs every M milliseconds.
+///   none       no fsync except on Close/Flush.
+/// Only "always" gives acked-implies-durable; the others bound the loss
+/// window instead (documented trade, bench-measured in BENCH_PR7).
+///
+/// Thread-safe: any number of appenders; one internal flusher thread.
+///
+/// Memory accounting: Open charges the active-segment write-back footprint
+/// (segment_bytes) plus scan buffers against the PR4 governor and refuses
+/// to open when over budget; the charge is released on destruction.
+///
+/// Fault points (util/fault.h): wal.append.short, wal.fsync, wal.seal,
+/// wal.replay.corrupt.
+
+enum class SyncPolicy { kAlways, kBytes, kInterval, kNone };
+
+struct Options {
+  SyncPolicy policy = SyncPolicy::kAlways;
+  /// kBytes: fsync once this many unsynced bytes accumulate.
+  int64_t bytes_threshold = 1 << 20;
+  /// kInterval: fsync cadence in milliseconds.
+  int64_t interval_ms = 5;
+  /// Rotate (seal) the active segment once it reaches this size.
+  int64_t segment_bytes = 4 << 20;
+};
+
+/// Parses a durability-policy spec ("always", "bytes:65536", "interval:5",
+/// "none") into Options (segment_bytes keeps its default). This is the
+/// STREAMHIST_WAL / `serve --wal-policy` grammar.
+Result<Options> ParsePolicySpec(std::string_view spec);
+
+/// Inverse of ParsePolicySpec for the policy fields.
+std::string PolicySpecString(const Options& options);
+
+/// What Open (or a read-only Scan) found on disk.
+struct OpenReport {
+  int64_t segments = 0;         // segment files scanned
+  int64_t records = 0;          // whole, CRC-valid records retained
+  int64_t corrupt_records = 0;  // CRC-bad interior records (skipped)
+  int64_t torn_bytes = 0;       // bytes cut (or cuttable) off the tail
+  bool tail_truncated = false;  // a torn tail was found
+  int64_t first_lsn = 0;        // lowest retained LSN (0 when empty)
+  int64_t next_lsn = 1;         // first LSN Append will assign
+  std::string ToString() const;
+};
+
+/// Process-lifetime counters (monotone except the LSN watermarks).
+struct StatsSnapshot {
+  int64_t records = 0;           // records appended this process
+  int64_t bytes = 0;             // frame bytes written this process
+  int64_t fsyncs = 0;            // fsync calls issued
+  int64_t sync_waits = 0;        // appends that blocked on durability
+  int64_t segments_created = 0;  // rotations (plus the initial segment)
+  int64_t segments_deleted = 0;  // sealed segments removed by truncation
+  int64_t durable_lsn = 0;       // highest LSN covered by an fsync
+  int64_t next_lsn = 1;
+};
+
+/// One sealed (or scanned) segment file. Internal bookkeeping, exposed for
+/// the scan routine that rebuilds it on Open.
+struct SegmentInfo {
+  std::string path;
+  int64_t first_lsn = 0;  // from the segment header
+  int64_t max_lsn = 0;    // highest valid record LSN; first_lsn - 1 if none
+};
+
+class Wal {
+ public:
+  /// Called once per retained record, in LSN order. A non-OK return aborts
+  /// the scan and is propagated.
+  using RecordFn =
+      std::function<Status(int64_t lsn, std::string_view payload)>;
+
+  /// Opens (creating the directory if needed) and repairs the log, then
+  /// starts the flusher. `report`, when non-null, receives the scan
+  /// outcome. Fails only on real I/O errors or governor refusal — never on
+  /// torn or corrupt content.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const Options& options,
+                                           OpenReport* report);
+
+  /// Read-only scan of a log directory: validates every frame and reports
+  /// what Open would find, optionally handing each record to `fn` (null is
+  /// fine — verify mode). Never modifies the files.
+  static Status Scan(const std::string& dir, const RecordFn& fn,
+                     OpenReport* report);
+
+  ~Wal();  // Flush(), stop the flusher, release the governor charge.
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Streams every retained record with LSN >= from_lsn to `fn`. Call
+  /// before the first Append (recovery replay); the scan reads the repaired
+  /// files back from disk.
+  Status Replay(int64_t from_lsn, const RecordFn& fn,
+                OpenReport* report) const;
+
+  /// Appends one record, assigns its LSN, and blocks per the durability
+  /// policy. Under "always" a flush failure (fault point wal.fsync) is
+  /// returned here and the record must not be acked — the caller's
+  /// log-before-apply ordering makes the value invisible.
+  Result<int64_t> Append(std::string_view payload);
+
+  /// Fsyncs everything appended so far (shutdown, pre-checkpoint barrier).
+  Status Flush();
+
+  /// Deletes sealed segments every record of which has LSN < lsn — called
+  /// after a checkpoint covering LSNs < lsn is durably on disk. The active
+  /// segment is never deleted.
+  Status TruncateBefore(int64_t lsn);
+
+  int64_t durable_lsn() const;
+  /// The LSN the next Append will assign; next_lsn() - 1 is the high-water
+  /// mark of assigned LSNs.
+  int64_t next_lsn() const;
+  StatsSnapshot stats() const;
+  const std::string& dir() const { return dir_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Wal(std::string dir, const Options& options);
+
+  Status OpenActiveSegment(int64_t first_lsn);
+  Status SealAndRotateLocked();
+  Status WriteFrameLocked(std::string_view frame);
+  void FlusherMain();
+  Status FsyncLocked(std::unique_lock<std::mutex>& lock);
+
+  const std::string dir_;
+  const Options options_;
+  int64_t governor_charge_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable flush_cv_;    // appenders -> flusher
+  std::condition_variable durable_cv_;  // flusher -> waiting appenders
+  int fd_ = -1;
+  std::string active_path_;        // file backing fd_
+  std::vector<SegmentInfo> sealed_;  // immutable predecessors of the active
+  int64_t active_first_lsn_ = 0;   // header LSN of the active segment
+  int64_t active_bytes_ = 0;       // bytes written to the active segment
+  int64_t next_lsn_ = 1;           // next LSN to assign
+  int64_t written_lsn_ = 0;        // highest LSN fully in the file
+  int64_t durable_lsn_ = 0;        // highest LSN covered by fsync
+  int64_t requested_lsn_ = 0;      // highest LSN an appender wants durable
+  int64_t unsynced_bytes_ = 0;     // bytes written since the last fsync
+  bool stop_ = false;
+  Status flush_error_ = Status::OK();  // last flush failure
+  int64_t flush_error_seq_ = 0;        // bumped on every flush failure
+  StatsSnapshot stats_;
+  std::thread flusher_;
+};
+
+}  // namespace wal
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_WAL_H_

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -268,9 +269,153 @@ TEST_F(FaultInjectionTest, KnownPointsMatchesHeaderRegistry) {
       "fileio.read.truncate",   "fileio.rename",
       "fileio.short_write",     "governor.oom",
       "net.accept",             "net.read.short",
-      "net.write.eagain",
+      "net.write.eagain",       "wal.append.short",
+      "wal.fsync",              "wal.replay.corrupt",
+      "wal.seal",
   };
   EXPECT_EQ(known, expected);
+}
+
+// ---------------------------------------------------------------------------
+// WAL fault points (util/wal.h): a durability failure must surface as a
+// typed error BEFORE the value is applied — the acked-implies-durable
+// contract seen from the failure side — and the log must stay usable.
+
+class WalFaultTest : public FaultInjectionTest {
+ protected:
+  std::string TempWalDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  QueryEngine::WalConfig AlwaysConfig() {
+    QueryEngine::WalConfig config;
+    config.options.policy = wal::SyncPolicy::kAlways;
+    return config;
+  }
+};
+
+TEST_F(WalFaultTest, FsyncFailureIsTypedAndValueIsNotAcked) {
+  const std::string dir = TempWalDir("wal_fsync_fault");
+  QueryEngine engine;
+  ASSERT_TRUE(engine.OpenWal(dir, AlwaysConfig()).ok());
+  ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+
+  fault::Arm("wal.fsync", 1);
+  const auto refused = engine.Execute("APPEND eth0 1 2 3");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kIOError);
+  // Not acked means not applied: the window is exactly as before.
+  EXPECT_EQ(engine.Execute("COUNT eth0").value(), "0");
+
+  // The budget fired once; the log keeps working and the next append lands.
+  ASSERT_TRUE(engine.Execute("APPEND eth0 4 5").ok());
+  EXPECT_EQ(engine.Execute("COUNT eth0").value(), "2");
+
+  // Recovery honours the ONE-WAY invariant: every acked value survives; a
+  // written-but-unacked record (the frame landed, only its fsync "failed")
+  // may legally reappear as a ghost. Here it deterministically does: 3
+  // ghost values + 2 acked.
+  ASSERT_TRUE(engine.CloseWal().ok());
+  QueryEngine recovered;
+  const auto recovery = recovered.OpenWal(dir, AlwaysConfig());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_EQ(recovered.Execute("COUNT eth0").value(), "5");
+}
+
+TEST_F(WalFaultTest, FsyncFailureOverTcpIsTypedErrNotAck) {
+  const std::string dir = TempWalDir("wal_fsync_tcp");
+  QueryEngine engine;
+  ASSERT_TRUE(engine.OpenWal(dir, AlwaysConfig()).ok());
+  ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+  const auto server = net::TcpServer::Start(engine, net::ServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status();
+  testing_net::TcpTestClient client(server.value()->port());
+  ASSERT_TRUE(client.connected());
+
+  fault::Arm("wal.fsync", 1);
+  ASSERT_TRUE(client.Send("APPEND eth0 7\n"));
+  const testing_net::Reply refused = client.ReadReply();
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, "IO_ERROR") << refused.message;
+
+  ASSERT_TRUE(client.Send("COUNT eth0\n"));
+  const testing_net::Reply count = client.ReadReply();
+  ASSERT_TRUE(count.ok);
+  EXPECT_EQ(count.lines[0], "0");  // the refused value never entered
+}
+
+TEST_F(WalFaultTest, ShortAppendWriteIsTypedAndLogStaysUsable) {
+  const std::string dir = TempWalDir("wal_short_fault");
+  QueryEngine engine;
+  ASSERT_TRUE(engine.OpenWal(dir, AlwaysConfig()).ok());
+  ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+
+  fault::Arm("wal.append.short", 1);
+  const auto refused = engine.Execute("APPEND eth0 1");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(engine.Execute("COUNT eth0").value(), "0");
+
+  // The torn half-frame was cut back out of the file: later records parse.
+  ASSERT_TRUE(engine.Execute("APPEND eth0 2").ok());
+  ASSERT_TRUE(engine.CloseWal().ok());
+  QueryEngine recovered;
+  ASSERT_TRUE(recovered.OpenWal(dir, AlwaysConfig()).ok());
+  EXPECT_EQ(recovered.Execute("COUNT eth0").value(), "1");
+}
+
+TEST_F(WalFaultTest, SealFailureRefusesAppendButLogSurvives) {
+  const std::string dir = TempWalDir("wal_seal_fault");
+  QueryEngine::WalConfig config = AlwaysConfig();
+  config.options.segment_bytes = 256;  // rotate after a handful of records
+  QueryEngine engine;
+  ASSERT_TRUE(engine.OpenWal(dir, config).ok());
+  ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+
+  fault::Arm("wal.seal", 1);
+  int64_t applied = 0;
+  bool saw_seal_failure = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto appended = engine.Execute("APPEND eth0 " + std::to_string(i));
+    if (appended.ok()) {
+      ++applied;
+    } else {
+      EXPECT_EQ(appended.status().code(), StatusCode::kIOError);
+      saw_seal_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_seal_failure);
+  EXPECT_GE(fault::TriggerCount("wal.seal"), 1);
+  EXPECT_EQ(engine.Execute("COUNT eth0").value(), std::to_string(applied));
+
+  // Every acked append survives recovery, seal hiccup notwithstanding.
+  ASSERT_TRUE(engine.CloseWal().ok());
+  QueryEngine recovered;
+  const auto recovery = recovered.OpenWal(dir, config);
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_EQ(recovered.Execute("COUNT eth0").value(), std::to_string(applied));
+}
+
+TEST_F(WalFaultTest, ReplayCorruptionIsCountedNeverFatal) {
+  const std::string dir = TempWalDir("wal_replay_fault");
+  {
+    QueryEngine engine;
+    ASSERT_TRUE(engine.OpenWal(dir, AlwaysConfig()).ok());
+    ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+    ASSERT_TRUE(engine.Execute("APPEND eth0 1 2 3 4").ok());
+    ASSERT_TRUE(engine.CloseWal().ok());
+  }
+  fault::ScopedFault armed("wal.replay.corrupt");
+  QueryEngine recovered;
+  const auto recovery = recovered.OpenWal(dir, AlwaysConfig());
+  // The injected mid-segment flip must never make recovery fail — the
+  // damaged record is skipped (counted corrupt) or the tail is cut.
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_GE(fault::TriggerCount("wal.replay.corrupt"), 1);
+  const auto& open = recovery.value().open;
+  EXPECT_GE(open.corrupt_records + (open.tail_truncated ? 1 : 0), 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,7 +5,10 @@
 // magic/version — must yield InvalidArgument, never a crash or an abort.
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "src/stream/sliding_window.h"
 #include "src/util/framing.h"
 #include "src/util/random.h"
+#include "src/util/wal.h"
 
 namespace streamhist {
 namespace {
@@ -281,7 +285,7 @@ TEST(ManagedStreamSerializationTest, DroppedNonfiniteSurvivesRoundTrip) {
   EXPECT_EQ(twice->dropped_nonfinite(), 3);
 }
 
-// v4 stream payload layout (bytes before the window blob):
+// v5 stream payload layout (bytes before the window blob):
 //   0..34   config through keep_distinct (8+8+8+1+1+8+1)
 //   35..43  v2 build-mode fields (bool + f64)
 //   44..51  dropped_nonfinite (i64)
@@ -289,6 +293,7 @@ TEST(ManagedStreamSerializationTest, DroppedNonfiniteSurvivesRoundTrip) {
 //   ...     synopsis blobs (window / quantiles / distinct)
 //   tail    length-prefixed query-stats block (new in v4): a u64 length
 //           followed by QueryStats::SerializedBytes() bytes
+//   tail    applied WAL LSN (i64, new in v5)
 // Older payloads are fabricated below by erasing the fields their version
 // predates, per the EXPERIMENTS.md version policy: the previous blob
 // versions must stay readable for a release cycle.
@@ -296,6 +301,8 @@ constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
 
 // Bytes the v4 stats tail adds to the end of the payload.
 constexpr size_t kStatsTailBytes = 8 + QueryStats::SerializedBytes();
+// Bytes the v5 WAL-LSN tail adds after that.
+constexpr size_t kWalTailBytes = 8;
 
 TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
   StreamConfig config;
@@ -309,9 +316,10 @@ TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  EXPECT_EQ(frame->version, 4u);
+  EXPECT_EQ(frame->version, 5u);
   std::string v1_payload(frame->payload);
-  ASSERT_GT(v1_payload.size(), 60u + kStatsTailBytes);
+  ASSERT_GT(v1_payload.size(), 60u + kStatsTailBytes + kWalTailBytes);
+  v1_payload.erase(v1_payload.size() - kWalTailBytes);  // wal lsn (v5)
   v1_payload.erase(v1_payload.size() - kStatsTailBytes);  // stats tail (v4)
   v1_payload.erase(52, 8);  // degraded_builds (v3)
   v1_payload.erase(35, 9);  // build-mode fields (v2)
@@ -341,9 +349,10 @@ TEST(ManagedStreamSerializationTest, V2SnapshotsStillLoadWithDefaults) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  ASSERT_EQ(frame->version, 4u);
+  ASSERT_EQ(frame->version, 5u);
   std::string v2_payload(frame->payload);
-  ASSERT_GT(v2_payload.size(), 60u + kStatsTailBytes);
+  ASSERT_GT(v2_payload.size(), 60u + kStatsTailBytes + kWalTailBytes);
+  v2_payload.erase(v2_payload.size() - kWalTailBytes);  // wal lsn (v5)
   v2_payload.erase(v2_payload.size() - kStatsTailBytes);  // stats tail (v4)
   v2_payload.erase(52, 8);  // degraded_builds (v3)
   const std::string v2_snapshot = WrapFrame(kStreamMagic, 2, v2_payload);
@@ -369,9 +378,10 @@ TEST(ManagedStreamSerializationTest, V3SnapshotsStillLoadWithEmptyStats) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  ASSERT_EQ(frame->version, 4u);
+  ASSERT_EQ(frame->version, 5u);
   std::string v3_payload(frame->payload);
-  ASSERT_GT(v3_payload.size(), kStatsTailBytes);
+  ASSERT_GT(v3_payload.size(), kStatsTailBytes + kWalTailBytes);
+  v3_payload.erase(v3_payload.size() - kWalTailBytes);  // wal lsn (v5)
   v3_payload.erase(v3_payload.size() - kStatsTailBytes);  // stats tail (v4)
   const std::string v3_snapshot = WrapFrame(kStreamMagic, 3, v3_payload);
 
@@ -417,13 +427,82 @@ TEST(ManagedStreamSerializationTest, NegativeStatsTailIsRejected) {
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
   std::string payload(frame->payload);
-  ASSERT_GT(payload.size(), kStatsTailBytes);
+  ASSERT_GT(payload.size(), kStatsTailBytes + kWalTailBytes);
+  payload.erase(payload.size() - kWalTailBytes);  // wal lsn (v5)
   // Force the first counter in the stats block (SUM's count, right after the
   // u64 length and the two u32 layout constants) to -1.
   const size_t counter_at = payload.size() - kStatsTailBytes + 8 + 4 + 4;
   for (size_t i = 0; i < 8; ++i) payload[counter_at + i] = '\xff';
   const auto restored =
       ManagedStream::Restore(WrapFrame(kStreamMagic, 4, payload));
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ManagedStreamSerializationTest, V4SnapshotsStillLoadWithZeroLsn) {
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(200)) stream.Append(v);
+  stream.set_wal_lsn(99);  // must NOT survive via v4
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->version, 5u);
+  std::string v4_payload(frame->payload);
+  ASSERT_GT(v4_payload.size(), kWalTailBytes);
+  v4_payload.erase(v4_payload.size() - kWalTailBytes);  // wal lsn (v5)
+  const std::string v4_snapshot = WrapFrame(kStreamMagic, 4, v4_payload);
+
+  auto restored = ManagedStream::Restore(v4_snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // v4 predates the LSN tail: a restored stream replays from scratch.
+  EXPECT_EQ(restored->wal_lsn(), 0);
+  EXPECT_EQ(restored->total_points(), stream.total_points());
+  EXPECT_EQ(restored->window_histogram().RangeSum(0, 64),
+            stream.window_histogram().RangeSum(0, 64));
+}
+
+TEST(ManagedStreamSerializationTest, WalLsnTailRoundTripsAndFloors) {
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(50)) stream.Append(v);
+  stream.set_wal_lsn(42);
+
+  auto restored = ManagedStream::Restore(stream.Snapshot());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->wal_lsn(), 42);
+
+  // Snapshot(floor) stores max(own, floor) — the checkpoint's guarantee
+  // that everything at or below the global floor is reflected.
+  auto floored = ManagedStream::Restore(stream.Snapshot(/*wal_lsn_floor=*/77));
+  ASSERT_TRUE(floored.ok()) << floored.status();
+  EXPECT_EQ(floored->wal_lsn(), 77);
+  auto kept = ManagedStream::Restore(stream.Snapshot(/*wal_lsn_floor=*/7));
+  ASSERT_TRUE(kept.ok()) << kept.status();
+  EXPECT_EQ(kept->wal_lsn(), 42);
+}
+
+TEST(ManagedStreamSerializationTest, NegativeWalLsnTailIsRejected) {
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(50)) stream.Append(v);
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  std::string payload(frame->payload);
+  for (size_t i = payload.size() - kWalTailBytes; i < payload.size(); ++i) {
+    payload[i] = '\xff';  // lsn = -1
+  }
+  const auto restored =
+      ManagedStream::Restore(WrapFrame(kStreamMagic, 5, payload));
   EXPECT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 }
@@ -532,6 +611,116 @@ TEST(AdversarialBytesTest, BitFlipsOnEverySynopsisBlobAreRejected) {
     corrupted[byte] ^= static_cast<char>(1 << rng.UniformInt(0, 7));
     EXPECT_FALSE(ManagedStream::Restore(corrupted).ok())
         << "flip in byte " << byte << " parsed";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The same adversarial grid, extended to WAL segment files: whatever a crash
+// (or rot) leaves on disk, a scan must classify it — records up to the
+// damage parse, the rest is torn tail or counted corruption — and never
+// crash or fail structurally.
+
+// Writes `bytes` as the single segment of a fresh WAL directory.
+std::string WalDirWithSegment(const std::string& name,
+                              const std::string& bytes) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream file(dir + "/wal-00000000000000000001.seg", std::ios::binary);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  file.close();
+  return dir;
+}
+
+// A well-formed segment image holding `records` one-byte payload records.
+std::string SampleSegmentBytes(int records) {
+  const std::string dir = ::testing::TempDir() + "/wal_sample_src";
+  std::filesystem::remove_all(dir);
+  wal::Options options;
+  options.policy = wal::SyncPolicy::kNone;
+  auto log = wal::Wal::Open(dir, options, nullptr);
+  EXPECT_TRUE(log.ok()) << log.status();
+  for (int i = 0; i < records; ++i) {
+    EXPECT_TRUE(log.value()->Append(std::string(1, static_cast<char>(i))).ok());
+  }
+  EXPECT_TRUE(log.value()->Flush().ok());
+  log.value().reset();  // close the fd before reading the file back
+  std::string bytes;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream file(entry.path(), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    EXPECT_TRUE(bytes.empty()) << "sample WAL spilled into two segments";
+    bytes = buffer.str();
+  }
+  EXPECT_FALSE(bytes.empty());
+  return bytes;
+}
+
+TEST(WalAdversarialBytesTest, TruncationAtEveryPrefixLengthScansCleanly) {
+  const std::string bytes = SampleSegmentBytes(6);
+  int64_t prev_records = 0;
+  for (size_t len = 0; len <= bytes.size(); ++len) {
+    const std::string dir = WalDirWithSegment("wal_prefix_grid",
+                                              bytes.substr(0, len));
+    wal::OpenReport report;
+    int64_t seen = 0;
+    const Status status = wal::Wal::Scan(
+        dir, [&](int64_t, std::string_view) {
+          ++seen;
+          return Status::OK();
+        },
+        &report);
+    ASSERT_TRUE(status.ok()) << "prefix " << len << ": " << status;
+    // Whole records before the cut all parse — the count never regresses as
+    // the prefix grows — and the remainder is torn tail, never a crash.
+    EXPECT_EQ(seen, report.records) << "prefix " << len;
+    EXPECT_LE(report.records + report.corrupt_records, 6) << "prefix " << len;
+    EXPECT_GE(report.records, prev_records) << "prefix " << len;
+    prev_records = report.records;
+  }
+  EXPECT_EQ(prev_records, 6);  // the full image parses completely
+}
+
+TEST(WalAdversarialBytesTest, EverySingleBitFlipScansCleanly) {
+  const std::string bytes = SampleSegmentBytes(4);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = bytes;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      const std::string dir = WalDirWithSegment("wal_bitflip_grid", corrupted);
+      wal::OpenReport report;
+      const Status status =
+          wal::Wal::Scan(dir, [](int64_t, std::string_view) {
+            return Status::OK();
+          }, &report);
+      ASSERT_TRUE(status.ok())
+          << "flip of bit " << bit << " in byte " << byte << ": " << status;
+      // One flipped bit damages at most the record it lands in (or, in the
+      // header/a length field, tears the tail) — never a crash, and never
+      // more than the four records the image holds.
+      EXPECT_LE(report.records, 4)
+          << "flip of bit " << bit << " in byte " << byte;
+      EXPECT_LE(report.corrupt_records, 4)
+          << "flip of bit " << bit << " in byte " << byte;
+    }
+  }
+}
+
+TEST(WalAdversarialBytesTest, OpenRepairsEveryTruncationPrefix) {
+  // The write path's contract: whatever prefix a crash leaves, Open must
+  // truncate the tear, report it, and leave a log that appends cleanly.
+  const std::string bytes = SampleSegmentBytes(3);
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    const std::string dir = WalDirWithSegment("wal_repair_grid",
+                                              bytes.substr(0, len));
+    wal::OpenReport report;
+    auto log = wal::Wal::Open(dir, wal::Options{}, &report);
+    ASSERT_TRUE(log.ok()) << "prefix " << len << ": " << log.status();
+    const auto lsn = log.value()->Append("post-repair record");
+    ASSERT_TRUE(lsn.ok()) << "prefix " << len << ": " << lsn.status();
+    EXPECT_EQ(lsn.value(), report.next_lsn) << "prefix " << len;
+    std::filesystem::remove_all(dir);
   }
 }
 

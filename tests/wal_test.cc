@@ -1,0 +1,443 @@
+// Write-ahead log (util/wal.h + engine integration): LSN monotonicity
+// across reopen, group commit under concurrent appenders, segment rotation
+// and truncation, torn-tail repair, policy-spec parsing, governor
+// admission, and the engine-level recovery / checkpoint / LOAD-re-anchor
+// protocol. The adversarial byte-level grids (every truncation prefix,
+// every bit flip) live in serialization_test.cc; the fault points in
+// fault_injection_test.cc.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/util/governor.h"
+#include "src/util/wal.h"
+
+namespace streamhist {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void TearDown() override { governor::SetBudgetForTest(0); }
+
+  std::string TempDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  wal::Options NonePolicy() {
+    wal::Options options;
+    options.policy = wal::SyncPolicy::kNone;
+    return options;
+  }
+
+  // All LSN >= from_lsn records currently replayable from `dir`.
+  std::vector<std::pair<int64_t, std::string>> Records(const std::string& dir,
+                                                       int64_t from_lsn = 1) {
+    std::vector<std::pair<int64_t, std::string>> out;
+    const Status scanned = wal::Wal::Scan(
+        dir,
+        [&](int64_t lsn, std::string_view payload) {
+          if (lsn >= from_lsn) out.emplace_back(lsn, std::string(payload));
+          return Status::OK();
+        },
+        nullptr);
+    EXPECT_TRUE(scanned.ok()) << scanned;
+    return out;
+  }
+};
+
+TEST_F(WalTest, LsnsAreMonotoneAcrossReopen) {
+  const std::string dir = TempDir("wal_lsn_reopen");
+  int64_t last = 0;
+  for (int round = 0; round < 3; ++round) {
+    wal::OpenReport report;
+    auto opened = wal::Wal::Open(dir, NonePolicy(), &report);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    EXPECT_EQ(report.next_lsn, last + 1);
+    for (int i = 0; i < 4; ++i) {
+      const auto lsn = opened.value()->Append("r" + std::to_string(i));
+      ASSERT_TRUE(lsn.ok()) << lsn.status();
+      EXPECT_EQ(lsn.value(), last + 1);
+      last = lsn.value();
+    }
+    ASSERT_TRUE(opened.value()->Flush().ok());
+  }
+  const auto records = Records(dir);
+  ASSERT_EQ(records.size(), 12u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].first, static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST_F(WalTest, GroupCommitAcksEveryConcurrentAppendDurably) {
+  const std::string dir = TempDir("wal_group_commit");
+  wal::Options options;  // policy kAlways: every append blocks on fsync
+  auto opened = wal::Wal::Open(dir, options, nullptr);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  wal::Wal& log = *opened.value();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 32;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<int64_t>> lsns(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto lsn = log.Append("t" + std::to_string(t));
+        ASSERT_TRUE(lsn.ok()) << lsn.status();
+        lsns[t].push_back(lsn.value());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const wal::StatsSnapshot stats = log.stats();
+  EXPECT_EQ(stats.records, kThreads * kPerThread);
+  // Every ack implies durability...
+  EXPECT_EQ(stats.durable_lsn, kThreads * kPerThread);
+  EXPECT_EQ(stats.sync_waits, kThreads * kPerThread);
+  // ...but the flusher may cover many waiters with one fsync. The exact
+  // coalescing ratio is timing-dependent (measured in bench_load); here we
+  // only require it never exceeds one fsync per append.
+  EXPECT_GE(stats.fsyncs, 1);
+  EXPECT_LE(stats.fsyncs, stats.sync_waits);
+
+  // LSNs: per-thread strictly increasing, globally a permutation of 1..N.
+  std::vector<int64_t> all;
+  for (const auto& per_thread : lsns) {
+    for (size_t i = 1; i < per_thread.size(); ++i) {
+      EXPECT_LT(per_thread[i - 1], per_thread[i]);
+    }
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST_F(WalTest, RotationKeepsReplayContiguous) {
+  const std::string dir = TempDir("wal_rotation");
+  wal::Options options = NonePolicy();
+  options.segment_bytes = 128;  // a few records per segment
+  {
+    auto opened = wal::Wal::Open(dir, options, nullptr);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(opened.value()->Append("payload-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(opened.value()->Flush().ok());
+    EXPECT_GT(opened.value()->stats().segments_created, 1);
+  }
+  wal::OpenReport report;
+  auto reopened = wal::Wal::Open(dir, options, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_GT(report.segments, 1);
+  EXPECT_EQ(report.records, 40);
+  int64_t expected = 1;
+  const Status replayed = reopened.value()->Replay(
+      1,
+      [&](int64_t lsn, std::string_view payload) {
+        EXPECT_EQ(lsn, expected);
+        EXPECT_EQ(payload, "payload-" + std::to_string(expected - 1));
+        ++expected;
+        return Status::OK();
+      },
+      nullptr);
+  ASSERT_TRUE(replayed.ok()) << replayed;
+  EXPECT_EQ(expected, 41);
+}
+
+TEST_F(WalTest, TruncateBeforeDeletesOnlyFullyCoveredSealedSegments) {
+  const std::string dir = TempDir("wal_truncate");
+  wal::Options options = NonePolicy();
+  options.segment_bytes = 128;
+  auto opened = wal::Wal::Open(dir, options, nullptr);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  wal::Wal& log = *opened.value();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(log.Append("payload-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(log.Flush().ok());
+
+  // Truncating below an early LSN removes nothing we still need: every
+  // record >= 10 must survive, and record 10 itself must still be present
+  // even if it shares a segment with lower LSNs.
+  ASSERT_TRUE(log.TruncateBefore(10).ok());
+  auto records = Records(dir, 1);
+  ASSERT_FALSE(records.empty());
+  EXPECT_LE(records.front().first, 10);
+  EXPECT_EQ(records.back().first, 40);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].first, records[i - 1].first + 1);  // contiguous
+  }
+  EXPECT_GT(log.stats().segments_deleted, 0);
+
+  // Truncating beyond the high-water mark never deletes the active segment;
+  // the log stays writable and the next append still gets LSN 41.
+  ASSERT_TRUE(log.TruncateBefore(1000).ok());
+  const auto lsn = log.Append("after-truncate");
+  ASSERT_TRUE(lsn.ok()) << lsn.status();
+  EXPECT_EQ(lsn.value(), 41);
+}
+
+TEST_F(WalTest, TruncateNeverUnlinksAReclaimedLeftoverActiveSegment) {
+  // Regression (found by scripts/wal_chaos.sh): a crash can leave a
+  // header-only segment at exactly next_lsn. Open reclaims that path for
+  // the new active segment, but the scan had already recorded it as sealed
+  // with max_lsn = first_lsn - 1 — below every future floor. A later
+  // TruncateBefore must not unlink the live active file through that stale
+  // entry, or every subsequent append lands in an orphaned inode.
+  const std::string dir = TempDir("wal_reclaimed_active");
+  {
+    auto opened = wal::Wal::Open(dir, NonePolicy(), nullptr);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(opened.value()->Append("early-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(opened.value()->Flush().ok());
+  }
+  // An open/close with no appends leaves the header-only segment at lsn 4.
+  { ASSERT_TRUE(wal::Wal::Open(dir, NonePolicy(), nullptr).ok()); }
+
+  auto reopened = wal::Wal::Open(dir, NonePolicy(), nullptr);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  wal::Wal& log = *reopened.value();
+  ASSERT_TRUE(log.Append("late-4").ok());
+  ASSERT_TRUE(log.Append("late-5").ok());
+  ASSERT_TRUE(log.TruncateBefore(4).ok());  // checkpoint covering lsns 1..3
+  ASSERT_TRUE(log.Flush().ok());
+
+  const auto records = Records(dir);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::pair<int64_t, std::string>{4, "late-4"}));
+  EXPECT_EQ(records[1], (std::pair<int64_t, std::string>{5, "late-5"}));
+}
+
+TEST_F(WalTest, TornTailIsCutAndAppendResumes) {
+  const std::string dir = TempDir("wal_torn_tail");
+  {
+    auto opened = wal::Wal::Open(dir, NonePolicy(), nullptr);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(opened.value()->Append("whole-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(opened.value()->Flush().ok());
+  }
+  // Simulate a crash mid-write: half a frame head of garbage at the tail.
+  std::string segment;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    segment = entry.path().string();
+  }
+  ASSERT_FALSE(segment.empty());
+  {
+    std::ofstream torn(segment, std::ios::binary | std::ios::app);
+    torn.write("\x52\x57\x48\x53\x01\x00\x00", 7);
+  }
+
+  wal::OpenReport report;
+  auto reopened = wal::Wal::Open(dir, NonePolicy(), &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(report.tail_truncated);
+  EXPECT_EQ(report.torn_bytes, 7);
+  EXPECT_EQ(report.records, 3);
+  EXPECT_EQ(report.next_lsn, 4);
+  const auto lsn = reopened.value()->Append("resumed");
+  ASSERT_TRUE(lsn.ok()) << lsn.status();
+  EXPECT_EQ(lsn.value(), 4);
+  ASSERT_TRUE(reopened.value()->Flush().ok());
+  EXPECT_EQ(Records(dir).size(), 4u);
+}
+
+TEST_F(WalTest, PolicySpecRoundTripsAndRejectsGarbage) {
+  for (const char* spec : {"always", "none", "bytes:65536", "interval:25"}) {
+    const auto parsed = wal::ParsePolicySpec(spec);
+    ASSERT_TRUE(parsed.ok()) << spec << ": " << parsed.status();
+    EXPECT_EQ(wal::PolicySpecString(parsed.value()), spec);
+  }
+  EXPECT_EQ(wal::ParsePolicySpec("bytes:1M").value().bytes_threshold,
+            1 << 20);
+  for (const char* spec :
+       {"", "sometimes", "bytes", "bytes:0", "bytes:-4", "interval:",
+        "interval:zero", "always:5"}) {
+    EXPECT_FALSE(wal::ParsePolicySpec(spec).ok()) << spec;
+  }
+}
+
+TEST_F(WalTest, GovernorRefusalIsResourceExhausted) {
+  const std::string dir = TempDir("wal_governor");
+  governor::SetBudgetForTest(governor::Used() + 1024);
+  const auto refused = wal::Wal::Open(dir, NonePolicy(), nullptr);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  governor::SetBudgetForTest(0);
+  const auto admitted = wal::Wal::Open(dir, NonePolicy(), nullptr);
+  EXPECT_TRUE(admitted.ok()) << admitted.status();
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: recovery replays exactly the logged history.
+
+class WalEngineTest : public WalTest {
+ protected:
+  QueryEngine::WalConfig Config(wal::SyncPolicy policy = wal::SyncPolicy::kNone,
+                                int64_t checkpoint_ms = 0) {
+    QueryEngine::WalConfig config;
+    config.options.policy = policy;
+    config.checkpoint_interval_ms = checkpoint_ms;
+    return config;
+  }
+
+  // The observable state a recovered engine must reproduce bit-for-bit.
+  std::string Fingerprint(QueryEngine& engine, const std::string& name) {
+    const std::string count = engine.Execute("COUNT " + name).value();
+    return engine.Execute("DESCRIBE " + name).value() + "\n" + count + "\n" +
+           engine.Execute("SUM " + name + " 0 " + count).value();
+  }
+};
+
+TEST_F(WalEngineTest, RecoveryReproducesStateIncludingDropRecreateChurn) {
+  const std::string dir = TempDir("wal_engine_recover");
+  std::string fingerprint;
+  {
+    QueryEngine engine;
+    ASSERT_TRUE(engine.OpenWal(dir, Config()).ok());
+    ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+    ASSERT_TRUE(engine.Execute("APPEND eth0 1 2 3 4 5").ok());
+    ASSERT_TRUE(engine.Execute("CREATE lo 32 4").ok());
+    ASSERT_TRUE(engine.Execute("APPEND lo 9").ok());
+    ASSERT_TRUE(engine.Execute("DROP lo").ok());
+    ASSERT_TRUE(engine.Execute("CREATE lo 16 4").ok());  // recreate, new shape
+    ASSERT_TRUE(engine.Execute("APPEND lo 7 7").ok());
+    fingerprint = Fingerprint(engine, "eth0");
+    ASSERT_TRUE(engine.CloseWal().ok());
+  }
+  QueryEngine recovered;
+  const auto recovery = recovered.OpenWal(dir, Config());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_EQ(recovery.value().records_applied, 7);
+  EXPECT_EQ(Fingerprint(recovered, "eth0"), fingerprint);
+  EXPECT_EQ(recovered.Execute("COUNT lo").value(), "2");
+  EXPECT_NE(recovered.Execute("DESCRIBE lo").value().find("window 2/16"),
+            std::string::npos);
+}
+
+TEST_F(WalEngineTest, CheckpointTruncatesAndRecoveryReplaysOnlyTheSuffix) {
+  const std::string dir = TempDir("wal_engine_checkpoint");
+  std::string fingerprint;
+  {
+    QueryEngine engine;
+    ASSERT_TRUE(engine.OpenWal(dir, Config()).ok());
+    ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+    ASSERT_TRUE(engine.Execute("APPEND eth0 1 2 3").ok());
+    const auto checkpointed = engine.Execute("WAL CHECKPOINT");
+    ASSERT_TRUE(checkpointed.ok()) << checkpointed.status();
+    EXPECT_NE(checkpointed.value().find("wal truncated below lsn"),
+              std::string::npos);
+    ASSERT_TRUE(engine.Execute("APPEND eth0 4 5").ok());  // post-checkpoint
+    fingerprint = Fingerprint(engine, "eth0");
+    ASSERT_TRUE(engine.CloseWal().ok());
+  }
+  QueryEngine recovered;
+  const auto recovery = recovered.OpenWal(dir, Config());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_TRUE(recovery.value().checkpoint_loaded);
+  // Only the post-checkpoint append replays; the prefix came from SHCP.
+  EXPECT_EQ(recovery.value().records_applied, 1);
+  EXPECT_EQ(Fingerprint(recovered, "eth0"), fingerprint);
+}
+
+TEST_F(WalEngineTest, WalVerbReportsStatusAndRequiresAnOpenLog) {
+  QueryEngine cold;
+  const auto refused = cold.Execute("WAL");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  const std::string dir = TempDir("wal_engine_verb");
+  QueryEngine engine;
+  ASSERT_TRUE(engine.OpenWal(dir, Config(wal::SyncPolicy::kAlways)).ok());
+  ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+  ASSERT_TRUE(engine.Execute("APPEND eth0 1").ok());
+
+  const auto status_line = engine.Execute("WAL");
+  ASSERT_TRUE(status_line.ok()) << status_line.status();
+  EXPECT_NE(status_line.value().find("policy=always"), std::string::npos);
+  EXPECT_NE(status_line.value().find("durable lsn=2"), std::string::npos);
+  EXPECT_NE(status_line.value().find("last recovery:"), std::string::npos);
+
+  const auto stats = engine.Execute("STATS");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("wal: durable lsn=2"), std::string::npos);
+
+  const std::string save_path = ::testing::TempDir() + "/wal_verb.shcp";
+  const auto saved = engine.Execute("SAVE " + save_path);
+  ASSERT_TRUE(saved.ok()) << saved.status();
+  EXPECT_NE(saved.value().find("wal durable lsn=2"), std::string::npos);
+
+  EXPECT_FALSE(engine.Execute("WAL BOGUS").ok());
+}
+
+TEST_F(WalEngineTest, LoadReanchorsTheWalToTheLoadedState) {
+  // A LOAD replaces the engine's state wholesale; stale WAL records must
+  // never replay over it on the next restart.
+  const std::string checkpoint = ::testing::TempDir() + "/wal_foreign.shcp";
+  {
+    QueryEngine other;  // no WAL: a "foreign" checkpoint
+    ASSERT_TRUE(other.Execute("CREATE wifi 32 4").ok());
+    ASSERT_TRUE(other.Execute("APPEND wifi 10 20 30").ok());
+    ASSERT_TRUE(other.Execute("SAVE " + checkpoint).ok());
+  }
+  const std::string dir = TempDir("wal_engine_load");
+  {
+    QueryEngine engine;
+    ASSERT_TRUE(engine.OpenWal(dir, Config()).ok());
+    ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+    ASSERT_TRUE(engine.Execute("APPEND eth0 1 2 3 4").ok());
+    ASSERT_TRUE(engine.Execute("LOAD " + checkpoint).ok());
+    EXPECT_FALSE(engine.Execute("COUNT eth0").ok());  // replaced wholesale
+    ASSERT_TRUE(engine.Execute("APPEND wifi 40").ok());
+    ASSERT_TRUE(engine.CloseWal().ok());
+  }
+  QueryEngine recovered;
+  const auto recovery = recovered.OpenWal(dir, Config());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_FALSE(recovered.Execute("COUNT eth0").ok());  // pre-LOAD history gone
+  EXPECT_EQ(recovered.Execute("COUNT wifi").value(), "4");
+}
+
+TEST_F(WalEngineTest, BackgroundCheckpointerTruncatesWithoutLosingState) {
+  const std::string dir = TempDir("wal_engine_bg_ckpt");
+  std::string fingerprint;
+  {
+    QueryEngine engine;
+    ASSERT_TRUE(
+        engine.OpenWal(dir, Config(wal::SyncPolicy::kNone, /*ckpt_ms=*/5))
+            .ok());
+    ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(engine.Execute("APPEND eth0 " + std::to_string(i)).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    fingerprint = Fingerprint(engine, "eth0");
+    ASSERT_TRUE(engine.CloseWal().ok());
+  }
+  QueryEngine recovered;
+  const auto recovery = recovered.OpenWal(dir, Config());
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_TRUE(recovery.value().checkpoint_loaded);
+  EXPECT_EQ(Fingerprint(recovered, "eth0"), fingerprint);
+}
+
+}  // namespace
+}  // namespace streamhist
