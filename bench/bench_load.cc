@@ -29,6 +29,14 @@
 // none); the smoke gate requires the best deferred policy to clear 10x the
 // per-append-fsync "always" throughput, which is what the group-commit /
 // deferred-durability machinery exists to buy.
+//
+// BENCH_PR8 (same binary, `--pr8_json=BENCH_PR8.json [--pr8_smoke=1]`):
+// the write-path overhaul (DESIGN.md §13). Four appenders and two live
+// snapshot readers share one engine; publication modes per-append /
+// per-batch / coalesced-5ms are compared on values/s, ack latency, and
+// reader throughput. The smoke gate requires the best batched mode to
+// clear 10x the per-append mode (or a 100k values/s absolute floor) AND
+// readers to keep >= 0.9x of their per-append read rate.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -548,6 +556,339 @@ Result<Pr7Result> MeasurePr7Policy(const std::string& label, bool with_wal,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_PR8: the write-path overhaul (DESIGN.md §13). One engine, four
+// appender threads (one stream each), and two live reader threads that hold
+// StreamHandles and continuously acquire snapshots and answer a range query
+// from them. Three publication modes over the same workload:
+//
+//   per-append  — Append() one value at a time, bound 0: every ack
+//                 republishes a snapshot. This is the PR7 engine-ingest
+//                 shape and the speedup denominator.
+//   per-batch   — AppendBatch() of kPr8Batch values, bound 0: one
+//                 republish amortized over the whole batch.
+//   coalesced   — same batches under a 5 ms staleness bound: republish
+//                 drops off the ack path entirely; the flusher closes
+//                 the visibility gap.
+//
+// After each mode every stream is FLUSHed and the visible point counts are
+// reconciled against the acked appends (exit 2 on mismatch: readers were
+// live, so a torn or lost publish would surface here).
+
+struct Pr8Result {
+  std::string label;
+  int64_t batch = 1;
+  int64_t staleness_ms = 0;
+  int64_t values = 0;
+  double seconds = 0.0;
+  double values_per_sec = 0.0;
+  double ack_p50_us = 0.0;
+  double ack_p99_us = 0.0;
+  int64_t reads = 0;
+  double reads_per_sec = 0.0;
+  int64_t publishes = 0;
+  int64_t publish_skipped = 0;
+  int64_t max_staleness_us = 0;
+};
+
+Result<Pr8Result> MeasurePr8Mode(const std::string& label, int writers,
+                                 int readers, int64_t per_writer,
+                                 int64_t batch, int64_t staleness_ms) {
+  Pr8Result result;
+  result.label = label;
+  result.batch = batch;
+  result.staleness_ms = staleness_ms;
+
+  QueryEngine engine;
+  StreamConfig stream;
+  stream.window_size = 64;
+  stream.num_buckets = 8;
+  stream.epsilon = 0.1;
+  stream.publish_staleness_ms = staleness_ms;
+  std::vector<StreamHandle> handles;
+  for (int t = 0; t < writers; ++t) {
+    const std::string name = "w" + std::to_string(t);
+    STREAMHIST_RETURN_NOT_OK(engine.CreateStream(name, stream));
+    STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, engine.Stream(name));
+    handles.push_back(std::move(handle));
+  }
+
+  // Live readers: closed-loop query clients that acquire a snapshot and
+  // answer a range query from it, pacing each sweep like a real client
+  // would (think dashboards, not spin loops — an unpaced reader on the
+  // single-core CI host would measure the scheduler, not the engine). They
+  // run for the whole measured interval so every mode pays the same read
+  // pressure on the publication path.
+  constexpr auto kReaderPace = std::chrono::microseconds(500);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> reads{0};
+  std::atomic<int64_t> read_errors{0};
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&] {
+      uint64_t last_version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const StreamHandle& handle : handles) {
+          const std::shared_ptr<const QuerySnapshot> snap = handle.snapshot();
+          if (snap->total_points > 0 &&
+              snap->histogram().RangeSum(0, snap->window_size) < 0.0) {
+            read_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          last_version = std::max(last_version, snap->version);
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(kReaderPace);
+      }
+      (void)last_version;
+    });
+  }
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(writers));
+  std::atomic<int64_t> failures{0};
+  std::vector<std::thread> workers;
+  const auto begin = Clock::now();
+  for (int t = 0; t < writers; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string name = "w" + std::to_string(t);
+      auto& lat = latencies[static_cast<size_t>(t)];
+      std::vector<double> buffer(static_cast<size_t>(batch));
+      for (int64_t i = 0; i < per_writer; i += batch) {
+        const int64_t n = std::min(batch, per_writer - i);
+        for (int64_t j = 0; j < n; ++j) {
+          buffer[static_cast<size_t>(j)] = 0.5 * static_cast<double>(i + j);
+        }
+        const auto start = Clock::now();
+        const Status appended =
+            batch == 1 ? engine.Append(name, buffer[0])
+                       : engine.AppendBatch(
+                             name, std::span<const double>(buffer.data(),
+                                                           static_cast<size_t>(
+                                                               n)));
+        if (!appended.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        lat.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count() /
+            1e3);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           begin)
+          .count() /
+      1e9;
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : reader_threads) reader.join();
+  if (failures.load() != 0) {
+    return Status::Internal(label + ": " + std::to_string(failures.load()) +
+                            " append(s) failed");
+  }
+  if (read_errors.load() != 0) {
+    return Status::Internal(label + ": " +
+                            std::to_string(read_errors.load()) +
+                            " torn snapshot read(s)");
+  }
+
+  // Identity: after an explicit flush, every acked value is visible.
+  STREAMHIST_RETURN_NOT_OK(engine.Execute("FLUSH").status());
+  for (const StreamHandle& handle : handles) {
+    const int64_t visible = handle.snapshot()->total_points;
+    if (visible != per_writer) {
+      return Status::Internal(label + ": stream shows " +
+                              std::to_string(visible) + " of " +
+                              std::to_string(per_writer) +
+                              " acked appends after FLUSH");
+    }
+    const PublishCounters counters =
+        handle.stream().publish_stats().Read();
+    result.publishes += counters.publishes;
+    result.publish_skipped += counters.skipped;
+    result.max_staleness_us =
+        std::max(result.max_staleness_us, counters.max_staleness_us);
+  }
+
+  result.values = per_writer * writers;
+  result.values_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.values) / result.seconds
+          : 0.0;
+  result.reads = reads.load();
+  result.reads_per_sec =
+      result.seconds > 0.0 ? static_cast<double>(result.reads) /
+                                 result.seconds
+                           : 0.0;
+  std::vector<double> merged;
+  for (auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.ack_p50_us = PercentileUs(merged, 0.50);
+  result.ack_p99_us = PercentileUs(merged, 0.99);
+  return result;
+}
+
+int RunBenchPr8(int argc, char** argv) {
+  using bench::FlagInt;
+  using bench::FlagStr;
+  std::string out_path = FlagStr(argc, argv, "pr8_json", "");
+  const bool smoke = FlagInt(argc, argv, "pr8_smoke", 0) != 0;
+  if (out_path.empty()) out_path = "BENCH_PR8_smoke.json";
+  const int writers = static_cast<int>(FlagInt(argc, argv, "pr8_threads", 4));
+  const int readers = static_cast<int>(FlagInt(argc, argv, "pr8_readers", 2));
+  const int64_t values = FlagInt(argc, argv, "pr8_values",
+                                 smoke ? 40'000 : 200'000);
+  // The per-append denominator republishes on every ack, so it runs a
+  // slice of the workload — throughput is a rate; the slice just bounds
+  // wall time.
+  const int64_t baseline_values = std::max<int64_t>(1'000, values / 20);
+  const double speedup_gate = 10.0;
+  const double absolute_floor = 100'000.0;  // values/s, ISSUE acceptance
+  const double reader_gate = 0.9;
+
+  bench::Banner("BENCH_PR8: write-path overhaul (writers=" +
+                std::to_string(writers) + ", live readers=" +
+                std::to_string(readers) + ")");
+
+  struct ModeSpec {
+    const char* label;
+    int64_t per_writer;
+    int64_t batch;
+    int64_t staleness_ms;
+  };
+  const ModeSpec modes[] = {
+      {"per-append", baseline_values, 1, 0},
+      {"per-batch", values, 64, 0},
+      {"coalesced-5ms", values, 64, 5},
+  };
+
+  std::vector<Pr8Result> results;
+  bench::TablePrinter table({"mode", "values", "values/s", "ack p50 us",
+                             "ack p99 us", "reads/s", "publishes",
+                             "skipped", "max stale us"});
+  for (const ModeSpec& mode : modes) {
+    Result<Pr8Result> measured =
+        MeasurePr8Mode(mode.label, writers, readers, mode.per_writer,
+                       mode.batch, mode.staleness_ms);
+    if (!measured.ok()) {
+      std::fprintf(stderr, "bench_load: %s\n",
+                   measured.status().ToString().c_str());
+      return measured.status().code() == StatusCode::kInternal ? 2 : 1;
+    }
+    results.push_back(std::move(measured).value());
+    const Pr8Result& r = results.back();
+    table.AddRow({r.label, bench::FmtInt(r.values),
+                  bench::FmtInt(static_cast<int64_t>(r.values_per_sec)),
+                  bench::Fmt(r.ack_p50_us), bench::Fmt(r.ack_p99_us),
+                  bench::FmtInt(static_cast<int64_t>(r.reads_per_sec)),
+                  bench::FmtInt(r.publishes), bench::FmtInt(r.publish_skipped),
+                  bench::FmtInt(r.max_staleness_us)});
+  }
+  table.Print();
+
+  const Pr8Result& baseline = results[0];
+  const Pr8Result* best = &results[1];
+  for (const Pr8Result& r : results) {
+    if (r.batch > 1 && r.values_per_sec > best->values_per_sec) best = &r;
+  }
+  const double ratio = baseline.values_per_sec > 0.0
+                           ? best->values_per_sec / baseline.values_per_sec
+                           : 0.0;
+  const bool ingest_ok =
+      best->values_per_sec >= absolute_floor || ratio >= speedup_gate;
+  // Reader no-regression: batching the write path must not starve readers.
+  const double reader_ratio =
+      baseline.reads_per_sec > 0.0
+          ? best->reads_per_sec / baseline.reads_per_sec
+          : 0.0;
+  const bool reader_ok = reader_ratio >= reader_gate;
+  std::printf("  ingest: %s at %s values/s (%.1fx over per-append)%s\n",
+              best->label.c_str(),
+              bench::FmtInt(static_cast<int64_t>(best->values_per_sec))
+                  .c_str(),
+              ratio,
+              smoke ? (ingest_ok ? " (gate >=10x or >=100k/s: ok)"
+                                 : " (gate >=10x or >=100k/s: FAIL)")
+                    : "");
+  std::printf("  readers: %.2fx of per-append read rate%s\n", reader_ratio,
+              smoke ? (reader_ok ? " (gate >= 0.9x: ok)"
+                                 : " (gate >= 0.9x: FAIL)")
+                    : "");
+  std::fflush(stdout);
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(std::string("BENCH_PR8"))
+      .Key("schema_version").Value(int64_t{1})
+      .Key("smoke").Value(smoke)
+      .Key("writer_threads").Value(static_cast<int64_t>(writers))
+      .Key("reader_threads").Value(static_cast<int64_t>(readers))
+      .Key("hardware_threads")
+      .Value(static_cast<int64_t>(std::thread::hardware_concurrency()))
+      .Key("modes").BeginArray();
+  for (const Pr8Result& r : results) {
+    json.BeginObject()
+        .Key("mode").Value(r.label)
+        .Key("batch").Value(r.batch)
+        .Key("publish_staleness_ms").Value(r.staleness_ms)
+        .Key("values").Value(r.values)
+        .Key("seconds").Value(r.seconds)
+        .Key("values_per_sec").Value(r.values_per_sec)
+        .Key("ack_p50_us").Value(r.ack_p50_us)
+        .Key("ack_p99_us").Value(r.ack_p99_us)
+        .Key("reads").Value(r.reads)
+        .Key("reads_per_sec").Value(r.reads_per_sec)
+        .Key("publishes").Value(r.publishes)
+        .Key("publish_skipped").Value(r.publish_skipped)
+        .Key("max_staleness_us").Value(r.max_staleness_us)
+        .EndObject();
+  }
+  json.EndArray()
+      .Key("gates").BeginObject()
+      .Key("ingest_speedup").BeginObject()
+      .Key("speedup_limit").Value(speedup_gate)
+      .Key("absolute_floor_values_per_sec").Value(absolute_floor)
+      .Key("baseline_values_per_sec").Value(baseline.values_per_sec)
+      .Key("best_mode").Value(best->label)
+      .Key("best_values_per_sec").Value(best->values_per_sec)
+      .Key("ratio").Value(ratio)
+      .Key("evaluated").Value(smoke)
+      .Key("ok").Value(ingest_ok)
+      .EndObject()
+      .Key("reader_no_regression").BeginObject()
+      .Key("limit").Value(reader_gate)
+      .Key("baseline_reads_per_sec").Value(baseline.reads_per_sec)
+      .Key("best_mode_reads_per_sec").Value(best->reads_per_sec)
+      .Key("ratio").Value(reader_ratio)
+      .Key("evaluated").Value(smoke)
+      .Key("ok").Value(reader_ok)
+      .EndObject().EndObject().EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (smoke && (!ingest_ok || !reader_ok)) {
+    std::fprintf(stderr,
+                 "bench_load: PR8 gate failed (ingest %.1fx/%s values/s, "
+                 "readers %.2fx)\n",
+                 ratio,
+                 bench::FmtInt(static_cast<int64_t>(best->values_per_sec))
+                     .c_str(),
+                 reader_ratio);
+    return 3;
+  }
+  return 0;
+}
+
 int RunBenchPr7(int argc, char** argv) {
   using bench::FlagInt;
   using bench::FlagStr;
@@ -949,17 +1290,27 @@ int main(int argc, char** argv) {
       !streamhist::bench::FlagStr(argc, argv, "pr6_json", "").empty();
   const bool pr7 =
       !streamhist::bench::FlagStr(argc, argv, "pr7_json", "").empty();
-  if (!pr6 && !pr7) {
+  const bool pr8 =
+      !streamhist::bench::FlagStr(argc, argv, "pr8_json", "").empty() ||
+      streamhist::bench::FlagInt(argc, argv, "pr8_smoke", 0) != 0;
+  if (!pr6 && !pr7 && !pr8) {
     std::fprintf(stderr,
                  "usage: bench_load --pr6_json=BENCH_PR6.json "
                  "[--pr6_smoke=1] [--pr6_threads=N] [--pr6_duration_ms=M]\n"
                  "       bench_load --pr7_json=BENCH_PR7.json "
-                 "[--pr7_smoke=1] [--pr7_threads=N] [--pr7_appends=M]\n");
+                 "[--pr7_smoke=1] [--pr7_threads=N] [--pr7_appends=M]\n"
+                 "       bench_load --pr8_json=BENCH_PR8.json "
+                 "[--pr8_smoke=1] [--pr8_threads=N] [--pr8_readers=R] "
+                 "[--pr8_values=M]\n");
     return 1;
   }
   if (pr6) {
     const int status = streamhist::RunBenchPr6(argc, argv);
-    if (status != 0 || !pr7) return status;
+    if (status != 0 || (!pr7 && !pr8)) return status;
   }
-  return streamhist::RunBenchPr7(argc, argv);
+  if (pr7) {
+    const int status = streamhist::RunBenchPr7(argc, argv);
+    if (status != 0 || !pr8) return status;
+  }
+  return streamhist::RunBenchPr8(argc, argv);
 }

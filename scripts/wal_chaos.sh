@@ -33,11 +33,12 @@ fail() {
 # Starts the server on an ephemeral port and waits for the announcement.
 # Retries ONCE, and only when the failure smells like a transient bind
 # problem — a crash during WAL recovery must never be retried away.
-# Sets SERVER and PORT.
+# Sets SERVER and PORT. Honors STALENESS_MS (see the cycle loop).
 start_server() {
   local attempt
   for attempt in 1 2; do
-    "$TOOL" serve --listen 0 --threads 2 --wal-dir "$WAL_DIR" \
+    STREAMHIST_PUBLISH_STALENESS_MS="${STALENESS_MS:-0}" \
+      "$TOOL" serve --listen 0 --threads 2 --wal-dir "$WAL_DIR" \
       --wal-policy always --wal-checkpoint-ms 50 > "$LOG" 2>&1 &
     SERVER=$!
     PORT=""
@@ -59,6 +60,13 @@ start_server() {
 }
 
 for CYCLE in $(seq 1 "$CYCLES"); do
+  # Alternate cycles run under a 50 ms publication-staleness bound
+  # (DESIGN.md §13): appends are acked and WAL-logged but their snapshot
+  # publication is coalesced, so the SIGKILL reliably lands while acked
+  # values are durable-but-not-yet-reader-visible. Recovery must replay
+  # them all the same — acked-implies-durable is a WAL property and cannot
+  # depend on whether a snapshot happened to be published before the crash.
+  STALENESS_MS=$(( (CYCLE % 2) * 50 ))
   start_server
   grep -q '^wal: policy=always' "$LOG" \
     || fail "cycle $CYCLE: no WAL recovery line before listening"

@@ -34,6 +34,7 @@ AgglomerativeHistogram::AgglomerativeHistogram(int64_t num_buckets,
   const size_t levels =
       num_buckets_ > 1 ? static_cast<size_t>(num_buckets_ - 1) : 0;
   queues_.resize(levels);
+  scan_.resize(levels);
   open_start_herror_.assign(levels, 0.0);
   has_open_.assign(levels, false);
   herr_cur_.assign(static_cast<size_t>(num_buckets_) + 1, 0.0);
@@ -80,13 +81,38 @@ void AgglomerativeHistogram::Append(double value) {
     // Scan the queue from the most recent endpoint backwards: the last
     // bucket [e.p, n) only widens, so its SpanError is non-decreasing as we
     // go back, and once it alone reaches the best total no earlier entry can
-    // improve — an exact prune that keeps the scan near the balance point.
-    const auto& queue = queues_[static_cast<size_t>(k - 2)];
-    for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
-      const double span =
-          SpanError(it->p, it->sum, it->sqsum, n, total_sum_, total_sqsum_);
-      if (span >= best) break;
-      best = std::min(best, it->herror + span);
+    // improve — a prune that keeps the scan near the balance point. This is
+    // the ingest hot loop (thousands of endpoints per append at large n), so
+    // it runs over the dense double ScanCache in fixed-size blocks: spans
+    // for a whole block are computed branch-free, then reduced. Evaluating
+    // a few candidates past the sequential break point cannot change the
+    // minimum (their span alone already reaches best), so blocking only
+    // trades a handful of extra evaluations for a vectorizable body.
+    const ScanCache& cache = scan_[static_cast<size_t>(k - 2)];
+    const double dn = static_cast<double>(n);
+    const double dsum = static_cast<double>(total_sum_);
+    const double dsq = static_cast<double>(total_sqsum_);
+    constexpr size_t kBlock = 64;
+    double spans[kBlock];
+    size_t endi = cache.p.size();
+    while (endi > 0) {
+      const size_t begini = endi >= kBlock ? endi - kBlock : 0;
+      const size_t m = endi - begini;
+      for (size_t i = 0; i < m; ++i) {
+        const double w = dn - cache.p[begini + i];
+        const double sdiff = dsum - cache.sum[begini + i];
+        const double qdiff = dsq - cache.sqsum[begini + i];
+        const double span = qdiff - sdiff * sdiff / w;
+        spans[i] = span > 0.0 ? span : 0.0;
+      }
+      for (size_t i = 0; i < m; ++i) {
+        const double cand = cache.herror[begini + i] + spans[i];
+        if (cand < best) best = cand;
+      }
+      // spans[0] is the widest bucket in the block; anything older is wider
+      // still, so its span alone already reaches best: stop.
+      if (spans[0] >= best) break;
+      endi = begini;
     }
     herr_cur_[static_cast<size_t>(k)] = best;
   }
@@ -104,6 +130,7 @@ void AgglomerativeHistogram::Append(double value) {
     } else if (h > (1.0 + delta_) * open_start_herror_[ki]) {
       queues_[ki].push_back(Entry{n - 1, prev_sum_, prev_sqsum_,
                                   herr_prev_[static_cast<size_t>(k)]});
+      scan_[ki].Push(queues_[ki].back());
       open_start_herror_[ki] = h;
     }
   }
@@ -126,6 +153,11 @@ int64_t AgglomerativeHistogram::MemoryBytes() const {
                  open_start_herror_.capacity() * sizeof(double) +
                  queues_.capacity() * sizeof(std::vector<Entry>);
   for (const auto& q : queues_) bytes += q.capacity() * sizeof(Entry);
+  for (const auto& c : scan_) {
+    bytes += (c.p.capacity() + c.sum.capacity() + c.sqsum.capacity() +
+              c.herror.capacity()) *
+             sizeof(double);
+  }
   return static_cast<int64_t>(bytes);
 }
 
@@ -365,6 +397,7 @@ Result<AgglomerativeHistogram> AgglomerativeHistogram::Deserialize(
       }
       last_p = e.p;
       queue.push_back(e);
+      hist.scan_[ki].Push(e);
     }
   }
   if (!reader.AtEnd()) {

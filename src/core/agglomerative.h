@@ -116,6 +116,21 @@ class AgglomerativeHistogram {
 
   // queues_[k-1] holds level-k snapshots, k in [1, B-1], in increasing p.
   std::vector<std::vector<Entry>> queues_;
+  // Derived, never serialized: the entry fields of each queue rounded to
+  // double and laid out struct-of-arrays. The per-append DP scan touches
+  // thousands of endpoints; reading four dense double arrays instead of
+  // 48-byte Entry records (with x87 long-double loads) keeps that scan a
+  // tight, vectorizable loop. Rebuilt from queues_ on Deserialize.
+  struct ScanCache {
+    std::vector<double> p, sum, sqsum, herror;
+    void Push(const Entry& e) {
+      p.push_back(static_cast<double>(e.p));
+      sum.push_back(static_cast<double>(e.sum));
+      sqsum.push_back(static_cast<double>(e.sqsum));
+      herror.push_back(e.herror);
+    }
+  };
+  std::vector<ScanCache> scan_;
   // Per level k in [1, B-1]: HERROR at the start of the currently open
   // interval (the trigger threshold).
   std::vector<double> open_start_herror_;

@@ -312,4 +312,13 @@ Result<FixedWindowHistogram> FixedWindowHistogram::Deserialize(
   return fw;
 }
 
+FixedWindowHistogram FixedWindowHistogram::FromContents(
+    const FixedWindowOptions& options, std::span<const double> contents) {
+  FixedWindowOptions lazy_options = options;
+  lazy_options.rebuild_on_append = false;  // one rebuild, on first demand
+  FixedWindowHistogram fw(lazy_options);
+  fw.AppendBatch(contents);
+  return fw;
+}
+
 }  // namespace streamhist

@@ -97,6 +97,15 @@ class FixedWindowHistogram {
   /// bars. Requires the SSE metric (mean representatives).
   std::vector<double> BucketErrors();
 
+  /// True when the interval structure is current AND the extracted histogram
+  /// is materialized — i.e. ApproxError()/Extract() are pure lookups right
+  /// now. The publish path uses this to adopt an already-built histogram
+  /// into an eager snapshot section instead of freezing the window contents
+  /// for lazy materialization.
+  bool HasCurrentHistogram() const {
+    return !dirty_ && cached_histogram_.has_value();
+  }
+
   /// Serializes options plus the complete sliding-window state as a framed,
   /// CRC-protected blob. The interval lists and memo table are *not*
   /// serialized: they are a deterministic function of the window contents
@@ -108,6 +117,17 @@ class FixedWindowHistogram {
   /// Inverse of Serialize; validates structure and never aborts on hostile
   /// bytes.
   static Result<FixedWindowHistogram> Deserialize(std::string_view bytes);
+
+  /// A window histogram whose contents are exactly `contents` (oldest
+  /// first, at most options.window_size points) — the materializer behind
+  /// lazily-built snapshot sections, which freeze the live window's
+  /// contents at publish time and rebuild from them on first demand. The
+  /// interval lists and memo are a deterministic function of the contents
+  /// (the Serialize contract), so the extracted histogram matches what the
+  /// live window would have produced. `options` must already be valid (they
+  /// come from a live instance).
+  static FixedWindowHistogram FromContents(const FixedWindowOptions& options,
+                                           std::span<const double> contents);
 
   /// --- diagnostics for tests and benchmarks ---
   /// Number of HERROR evaluations during the most recent rebuild.

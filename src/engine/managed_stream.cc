@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -15,6 +16,120 @@
 #include "src/util/logging.h"
 
 namespace streamhist {
+
+int64_t DefaultPublishStalenessMillis() {
+  static const int64_t cached = [] {
+    const char* env = std::getenv("STREAMHIST_PUBLISH_STALENESS_MS");
+    if (env == nullptr) return int64_t{0};
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0) return int64_t{0};
+    return static_cast<int64_t>(parsed);
+  }();
+  return cached;
+}
+
+WindowSection::WindowSection(Histogram histogram,
+                             std::vector<double> bucket_errors,
+                             double approx_error)
+    : histogram_(std::move(histogram)),
+      bucket_errors_(std::move(bucket_errors)),
+      approx_error_(approx_error) {
+  ready_.store(true, std::memory_order_release);
+}
+
+WindowSection::WindowSection(const FixedWindowOptions& options,
+                             std::vector<double> contents)
+    : options_(options), frozen_(std::move(contents)) {}
+
+void WindowSection::Materialize() const {
+  if (ready_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ready_.load(std::memory_order_relaxed)) return;
+  FixedWindowHistogram fw =
+      FixedWindowHistogram::FromContents(options_, frozen_);
+  approx_error_ = fw.ApproxError();
+  histogram_ = fw.Extract();
+  bucket_errors_ = fw.BucketErrors();
+  frozen_.clear();
+  frozen_.shrink_to_fit();
+  ready_.store(true, std::memory_order_release);
+}
+
+const Histogram& WindowSection::histogram() const {
+  Materialize();
+  return histogram_;
+}
+
+const std::vector<double>& WindowSection::bucket_errors() const {
+  Materialize();
+  return bucket_errors_;
+}
+
+double WindowSection::approx_error() const {
+  Materialize();
+  return approx_error_;
+}
+
+const std::string& QuerySnapshot::describe() const {
+  if (!describe_ready_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(describe_mu_);
+    if (!describe_ready_.load(std::memory_order_relaxed)) {
+      // Byte-identical to the pre-PR8 eager DESCRIBE line, composed from
+      // the frozen seed instead of the live synopses.
+      std::ostringstream os;
+      os << total_points << " points seen; window " << window_size << "/"
+         << describe_seed.window_capacity << ", B=" << describe_seed.num_buckets
+         << ", eps=" << describe_seed.epsilon
+         << ", window error=" << approx_error();
+      if (describe_seed.build_approx) {
+        os << "; build=approx(delta=" << describe_seed.build_delta << ")";
+      } else {
+        os << "; build=exact";
+      }
+      if (describe_seed.has_lifetime) {
+        os << "; lifetime error=" << describe_seed.lifetime_error;
+      }
+      if (quantiles != nullptr && quantiles->size() > 0) {
+        os << "; p50=" << quantiles->Quantile(0.5);
+      }
+      if (has_distinct) {
+        os << "; ~" << static_cast<int64_t>(distinct_estimate)
+           << " distinct values";
+      }
+      os << "; " << dropped_nonfinite << " non-finite dropped";
+      if (describe_seed.wal_lsn > 0) {
+        os << "; wal lsn=" << describe_seed.wal_lsn;
+      }
+      if (describe_seed.degraded_builds > 0) {
+        os << "; degraded builds=" << describe_seed.degraded_builds;
+        if (!describe_seed.last_degradation.empty()) {
+          os << "; last build: " << describe_seed.last_degradation;
+        }
+      }
+      describe_ = os.str();
+      describe_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return describe_;
+}
+
+// Mutated only under the stream's writer mutex (PublishStats inside is
+// additionally safe to read from any thread).
+struct ManagedStream::PublishState {
+  PublishStats stats;
+  // Change tracking since the last publish: which sections must be rebuilt
+  // versus shared with the previous snapshot (copy-on-write).
+  bool window_changed = true;
+  bool quantiles_changed = true;
+  int64_t fm_mutations_at_publish = -1;
+  double cached_distinct = 0.0;
+  std::shared_ptr<const WindowSection> last_window;
+  std::shared_ptr<const GKSummary> last_quantiles;
+  // Coalescing: set when a committed batch is not yet published.
+  bool dirty = false;
+  std::chrono::steady_clock::time_point dirty_since{};
+};
 
 const char* BuildRungName(BuildRung rung) {
   switch (rung) {
@@ -57,6 +172,9 @@ Result<ManagedStream> ManagedStream::Create(const StreamConfig& config) {
                               FixedWindowHistogram::Create(window_options));
 
   ManagedStream stream(config, std::move(window));
+  if (stream.config_.publish_staleness_ms < 0) {
+    stream.config_.publish_staleness_ms = DefaultPublishStalenessMillis();
+  }
   if (config.keep_lifetime_histogram) {
     ApproxHistogramOptions lifetime_options;
     lifetime_options.num_buckets = config.num_buckets;
@@ -85,7 +203,8 @@ ManagedStream::ManagedStream(const StreamConfig& config,
     : config_(config),
       window_(std::make_unique<FixedWindowHistogram>(std::move(window))),
       snapshot_cell_(std::make_shared<SnapshotCell<QuerySnapshot>>()),
-      stats_(std::make_unique<QueryStats>()) {}
+      stats_(std::make_unique<QueryStats>()),
+      publish_(std::make_unique<PublishState>()) {}
 
 ManagedStream::ManagedStream(ManagedStream&& other) noexcept
     : config_(other.config_),
@@ -100,7 +219,8 @@ ManagedStream::ManagedStream(ManagedStream&& other) noexcept
       quantiles_(std::move(other.quantiles_)),
       distinct_(std::move(other.distinct_)),
       snapshot_cell_(std::move(other.snapshot_cell_)),
-      stats_(std::move(other.stats_)) {}
+      stats_(std::move(other.stats_)),
+      publish_(std::move(other.publish_)) {}
 
 ManagedStream& ManagedStream::operator=(ManagedStream&& other) noexcept {
   if (this == &other) return *this;
@@ -118,6 +238,7 @@ ManagedStream& ManagedStream::operator=(ManagedStream&& other) noexcept {
   distinct_ = std::move(other.distinct_);
   snapshot_cell_ = std::move(other.snapshot_cell_);
   stats_ = std::move(other.stats_);
+  publish_ = std::move(other.publish_);
   return *this;
 }
 
@@ -129,8 +250,12 @@ void ManagedStream::AppendValue(double value) {
     return;
   }
   window_->Append(value);
+  publish_->window_changed = true;
   if (lifetime_ != nullptr) lifetime_->Append(value);
-  if (quantiles_ != nullptr) quantiles_->Insert(value);
+  if (quantiles_ != nullptr) {
+    quantiles_->Insert(value);
+    publish_->quantiles_changed = true;
+  }
   if (distinct_ != nullptr) distinct_->AddValue(value);
 }
 
@@ -142,6 +267,39 @@ void ManagedStream::Append(double value) {
 void ManagedStream::AppendBatch(std::span<const double> values) {
   for (double v : values) AppendValue(v);
   ReconcileGovernorCharge();
+}
+
+int64_t ManagedStream::CommitAppendBatch(std::span<const double> values) {
+  const int64_t dropped_before = dropped_nonfinite_;
+  for (double v : values) AppendValue(v);
+  ReconcileGovernorCharge();
+  PublishState& ps = *publish_;
+  const auto now = std::chrono::steady_clock::now();
+  if (!ps.dirty) {
+    ps.dirty = true;
+    ps.dirty_since = now;
+  }
+  const int64_t bound_ms = publish_staleness_ms();
+  if (bound_ms <= 0 ||
+      now - ps.dirty_since >= std::chrono::milliseconds(bound_ms)) {
+    PublishSnapshot();
+  } else {
+    ps.stats.RecordSkipped();
+  }
+  return dropped_nonfinite_ - dropped_before;
+}
+
+bool ManagedStream::FlushIfDirty() {
+  if (!publish_->dirty) return false;
+  PublishSnapshot();
+  return true;
+}
+
+bool ManagedStream::PublishPending() const { return publish_->dirty; }
+
+PublishStats& ManagedStream::publish_stats() { return publish_->stats; }
+const PublishStats& ManagedStream::publish_stats() const {
+  return publish_->stats;
 }
 
 void ManagedStream::Refresh() {
@@ -363,24 +521,80 @@ std::string ManagedStream::Describe() {
 }
 
 void ManagedStream::PublishSnapshot() {
+  const auto start = std::chrono::steady_clock::now();
+  PublishState& ps = *publish_;
   auto snap = std::make_shared<QuerySnapshot>();
   snap->version = ++publish_version_;
   snap->total_points = total_points();
   snap->window_size = window_->window().size();
   snap->dropped_nonfinite = dropped_nonfinite_;
-  snap->approx_error = window_->ApproxError();  // rebuilds when stale
-  snap->histogram = window_->Extract();
-  snap->bucket_errors = window_->BucketErrors();
-  if (quantiles_ != nullptr) {
-    snap->quantiles = std::make_shared<const GKSummary>(*quantiles_);
+
+  if (!ps.window_changed && ps.last_window != nullptr) {
+    snap->window = ps.last_window;  // unchanged since last publish: share
+  } else if (window_->HasCurrentHistogram()) {
+    // Refresh/BUILD already paid for the rebuild — adopt it eagerly.
+    snap->window = std::make_shared<const WindowSection>(
+        window_->Extract(), window_->BucketErrors(), window_->ApproxError());
+  } else {
+    // Freeze the contents; the first histogram accessor materializes. This
+    // is what keeps the publish path O(window) instead of O(rebuild).
+    snap->window = std::make_shared<const WindowSection>(
+        window_->options(), window_->window().ToVector());
   }
+  ps.last_window = snap->window;
+  ps.window_changed = false;
+
+  if (quantiles_ != nullptr) {
+    if (!ps.quantiles_changed && ps.last_quantiles != nullptr) {
+      snap->quantiles = ps.last_quantiles;
+    } else {
+      snap->quantiles = std::make_shared<const GKSummary>(*quantiles_);
+    }
+    ps.last_quantiles = snap->quantiles;
+    ps.quantiles_changed = false;
+  }
+
   if (distinct_ != nullptr) {
     snap->has_distinct = true;
-    snap->distinct_estimate = distinct_->EstimateDistinct();
+    const int64_t mutations = distinct_->mutations();
+    if (mutations != ps.fm_mutations_at_publish) {
+      ps.cached_distinct = distinct_->EstimateDistinct();
+      ps.fm_mutations_at_publish = mutations;
+    }
+    snap->distinct_estimate = ps.cached_distinct;
   }
-  snap->describe = Describe();
+
+  QuerySnapshot::DescribeSeed& seed = snap->describe_seed;
+  seed.window_capacity = config_.window_size;
+  seed.num_buckets = config_.num_buckets;
+  seed.epsilon = config_.epsilon;
+  seed.build_approx = config_.build_mode == WindowBuildMode::kApprox;
+  seed.build_delta = config_.build_delta;
+  if (lifetime_ != nullptr) {
+    seed.has_lifetime = true;
+    seed.lifetime_error = lifetime_->ApproxError();  // O(1): maintained bound
+  }
+  seed.wal_lsn = wal_lsn_;
+  seed.degraded_builds = degraded_builds_;
+  if (degraded_builds_ > 0 && last_degradation_.degraded) {
+    seed.last_degradation = last_degradation_.ToString();
+  }
+
+  int64_t staleness_us = 0;
+  if (ps.dirty) {
+    staleness_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       start - ps.dirty_since)
+                       .count();
+    ps.dirty = false;
+  }
+
   snapshot_cell_->Publish(std::move(snap));
   ReconcileGovernorCharge();
+  const auto end = std::chrono::steady_clock::now();
+  ps.stats.RecordPublish(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count(),
+      staleness_us);
 }
 
 std::shared_ptr<const QuerySnapshot> ManagedStream::AcquireSnapshot() const {
@@ -399,7 +613,10 @@ constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
 //     again strictly at the tail. v1-v4 snapshots restore with LSN 0,
 //     which makes recovery replay the whole retained log against them
 //     (idempotent-safe: see query_engine.cc replay filtering).
-constexpr uint32_t kStreamVersion = 5;
+// v6: appends a length-prefixed publication-stats block (PublishStats,
+//     stream_stats.h) after the WAL LSN — strictly at the tail. v1-v5
+//     snapshots restore with zeroed publication telemetry.
+constexpr uint32_t kStreamVersion = 6;
 }  // namespace
 
 std::string ManagedStream::Snapshot(int64_t wal_lsn_floor) const {
@@ -423,6 +640,7 @@ std::string ManagedStream::Snapshot(int64_t wal_lsn_floor) const {
   if (distinct_ != nullptr) payload.PutLengthPrefixed(distinct_->Serialize());
   payload.PutLengthPrefixed(stats_->Serialize());
   payload.PutI64(std::max(wal_lsn_, wal_lsn_floor));
+  payload.PutLengthPrefixed(publish_->stats.Serialize());
   return WrapFrame(kStreamMagic, kStreamVersion, payload.bytes());
 }
 
@@ -526,12 +744,24 @@ Result<ManagedStream> ManagedStream::Restore(std::string_view bytes) {
     }
     stream.wal_lsn_ = wal_lsn;
   }
+  if (frame.version >= 6) {
+    std::string_view sub;
+    if (!reader.ReadLengthPrefixed(&sub)) {
+      return Status::InvalidArgument("truncated publish-stats snapshot");
+    }
+    if (Status s = stream.publish_->stats.Deserialize(sub); !s.ok()) return s;
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after stream snapshot");
   }
   stream.ReconcileGovernorCharge();
-  // The synopses just changed under the snapshot Create() published —
-  // republish so readers see the restored state, not the empty one.
+  // The synopses just changed under the snapshot Create() published (and
+  // Create's publish cleared the change flags) — re-mark every section
+  // changed and republish so readers see the restored state, not the empty
+  // one.
+  stream.publish_->window_changed = true;
+  stream.publish_->quantiles_changed = true;
+  stream.publish_->fm_mutations_at_publish = -1;
   stream.PublishSnapshot();
   return stream;
 }

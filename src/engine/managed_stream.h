@@ -1,8 +1,10 @@
 #ifndef STREAMHIST_ENGINE_MANAGED_STREAM_H_
 #define STREAMHIST_ENGINE_MANAGED_STREAM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -58,7 +60,20 @@ struct StreamConfig {
   /// kApprox: the realized SSE is certified <= (1+build_delta)^(B-1) * OPT.
   /// Must be finite and >= 0.
   double build_delta = 0.1;
+  /// Snapshot-publication staleness bound in milliseconds (DESIGN.md §13):
+  /// 0 publishes on every committed batch (strictest, the effective
+  /// default); > 0 lets CommitAppendBatch coalesce publications, with the
+  /// engine's flusher guaranteeing no acked value stays reader-invisible
+  /// longer than the bound; < 0 defers to the process-wide default from
+  /// STREAMHIST_PUBLISH_STALENESS_MS (itself 0 when unset). Operational
+  /// knob, in-memory only: never serialized and never WAL-logged, so it can
+  /// be tuned per process without a format change.
+  int64_t publish_staleness_ms = -1;
 };
+
+/// The process default for StreamConfig::publish_staleness_ms — the value of
+/// STREAMHIST_PUBLISH_STALENESS_MS, parsed once, 0 when unset or malformed.
+int64_t DefaultPublishStalenessMillis();
 
 /// How one BUILD descended (or did not descend) the degradation ladder: one
 /// attempt per rung tried, in order, each with its wall-clock share and —
@@ -94,13 +109,65 @@ struct WindowBuildReport {
   DegradationReport degradation;
 };
 
+/// The window-histogram section of a QuerySnapshot: the extracted (1+eps)-
+/// approximate histogram, its per-bucket SSEs, and the certified HERROR
+/// bound. The section is immutable to callers and shared across snapshots
+/// whose window contents did not change (copy-on-write publication).
+///
+/// Materialization is lazy: the publish path freezes an O(n) copy of the
+/// window contents instead of paying the O((B^3/eps^2) log^3 n) interval
+/// rebuild per publish, and the first accessor call rebuilds from the
+/// frozen copy — so SUM/COUNT/DISTINCT traffic that never touches the
+/// histogram never pays for it, and a held snapshot stays answerable from
+/// its own frozen contents no matter how far the live window has advanced.
+/// When the live window is already materialized (Refresh/BUILD), the
+/// section adopts the built histogram eagerly and the frozen copy is
+/// skipped. Thread-safe: first-demand materialization is double-checked
+/// under an internal mutex; every later read is lock-free.
+class WindowSection {
+ public:
+  /// Eager: adopts an already-materialized histogram.
+  WindowSection(Histogram histogram, std::vector<double> bucket_errors,
+                double approx_error);
+
+  /// Lazy: freezes `contents` (oldest first); the first accessor call
+  /// materializes via FixedWindowHistogram::FromContents.
+  WindowSection(const FixedWindowOptions& options,
+                std::vector<double> contents);
+
+  /// The extracted histogram; answers SUM/AVG/POINT/SHOW.
+  const Histogram& histogram() const;
+
+  /// Exact per-bucket SSEs (the *BOUND verbs' error bars).
+  const std::vector<double>& bucket_errors() const;
+
+  /// The window histogram's SSE bound (the ERROR verb's answer).
+  double approx_error() const;
+
+ private:
+  void Materialize() const;
+
+  FixedWindowOptions options_;
+  mutable std::vector<double> frozen_;  // released after materialization
+  mutable std::mutex mu_;
+  mutable std::atomic<bool> ready_{false};
+  mutable Histogram histogram_;
+  mutable std::vector<double> bucket_errors_;
+  mutable double approx_error_ = 0.0;
+};
+
 /// Immutable, atomically-published view of one stream's queryable state —
 /// what every estimation verb reads instead of the live (mutating) synopses.
-/// A writer builds a fresh QuerySnapshot after each mutation and publishes
-/// it through the stream's SnapshotCell; a reader that acquired a version
-/// keeps answering from it coherently no matter how many republishes (or a
-/// DROP) happen meanwhile. All fields are plain values or pointers to
-/// const, precomputed at publish time, so reads are lock-free lookups.
+/// A writer publishes a fresh QuerySnapshot through the stream's
+/// SnapshotCell; a reader that acquired a version keeps answering from it
+/// coherently no matter how many republishes (or a DROP) happen meanwhile.
+///
+/// The snapshot is sectioned (DESIGN.md §13): cheap counters are plain
+/// fields delta-maintained by the writer; the window histogram, the GK
+/// summary, and the DESCRIBE line live behind independently ref-counted or
+/// lazily-materialized sections, so a republish copy-on-writes only what
+/// actually changed and expensive state is computed only on first demand.
+/// Lazy accessors are thread-safe and, once materialized, lock-free.
 struct QuerySnapshot {
   /// Publish sequence number (1 for the snapshot Create publishes).
   uint64_t version = 0;
@@ -108,19 +175,48 @@ struct QuerySnapshot {
   /// Live points in the window (= capacity once the window has filled).
   int64_t window_size = 0;
   int64_t dropped_nonfinite = 0;
-  /// The window histogram's SSE bound (the ERROR verb's answer).
-  double approx_error = 0.0;
-  /// The extracted (1+eps)-approximate window histogram; answers
-  /// SUM/AVG/POINT and, with `bucket_errors`, the *BOUND verbs.
-  Histogram histogram;
-  std::vector<double> bucket_errors;
-  /// Copy of the GK quantile summary at publish time; null when disabled.
+  /// Window-histogram section; never null once published. Shared with the
+  /// previous snapshot when no append touched the window in between.
+  std::shared_ptr<const WindowSection> window;
+  /// GK quantile summary at publish time; null when disabled. Shared with
+  /// the previous snapshot when no insert happened in between.
   std::shared_ptr<const GKSummary> quantiles;
-  /// FM distinct estimate, precomputed; meaningless when !has_distinct.
+  /// FM distinct estimate; recomputed at publish only when the sketch's
+  /// bitmaps actually changed. Meaningless when !has_distinct.
   bool has_distinct = false;
   double distinct_estimate = 0.0;
-  /// The DESCRIBE line at publish time.
-  std::string describe;
+
+  /// Everything the lazy DESCRIBE line needs beyond the fields above,
+  /// frozen at publish time.
+  struct DescribeSeed {
+    int64_t window_capacity = 0;
+    int64_t num_buckets = 0;
+    double epsilon = 0.0;
+    bool build_approx = false;
+    double build_delta = 0.0;
+    bool has_lifetime = false;
+    double lifetime_error = 0.0;
+    int64_t wal_lsn = 0;
+    int64_t degraded_builds = 0;
+    std::string last_degradation;  // empty when no degraded build yet
+  };
+  DescribeSeed describe_seed;
+
+  /// Compatibility read surface over the sections.
+  double approx_error() const { return window->approx_error(); }
+  const Histogram& histogram() const { return window->histogram(); }
+  const std::vector<double>& bucket_errors() const {
+    return window->bucket_errors();
+  }
+
+  /// The DESCRIBE line, composed (and cached) on first demand — string
+  /// formatting left the publish hot path with PR8.
+  const std::string& describe() const;
+
+ private:
+  mutable std::mutex describe_mu_;
+  mutable std::atomic<bool> describe_ready_{false};
+  mutable std::string describe_;
 };
 
 /// One named data stream with its continuously-maintained synopses — the
@@ -145,8 +241,42 @@ class ManagedStream {
   /// prefix-sum and SSE downstream.
   void Append(double value);
 
-  /// Feeds a batch (synopses rebuild lazily, so batches are cheap).
+  /// Feeds a batch (synopses rebuild lazily, so batches are cheap). Does
+  /// NOT publish — callers that need reader visibility use
+  /// CommitAppendBatch (policy-driven) or PublishSnapshot (unconditional).
   void AppendBatch(std::span<const double> values);
+
+  /// The engine's append core: feeds the batch, then runs the publication
+  /// policy — staleness bound 0 publishes immediately (per-batch, the
+  /// default); a positive bound coalesces, publishing only once the oldest
+  /// unpublished append has aged past the bound (the engine's flusher
+  /// closes the gap when the writer goes quiet). Caller holds the stream's
+  /// writer mutex. Returns the number of values quarantined as non-finite.
+  int64_t CommitAppendBatch(std::span<const double> values);
+
+  /// Publishes a fresh snapshot iff committed appends are still
+  /// unpublished; returns whether a publish ran. The flusher thread, the
+  /// FLUSH verb, and SAVE all land here. Caller holds the writer mutex.
+  bool FlushIfDirty();
+
+  /// True when committed appends are not yet reader-visible.
+  bool PublishPending() const;
+
+  /// Effective staleness bound in milliseconds (config, with < 0 resolved
+  /// against DefaultPublishStalenessMillis() at Create).
+  int64_t publish_staleness_ms() const {
+    return config_.publish_staleness_ms;
+  }
+
+  /// Tunes the bound at runtime (values < 0 clamp to 0: strict per-batch).
+  void set_publish_staleness_ms(int64_t ms) {
+    config_.publish_staleness_ms = ms < 0 ? 0 : ms;
+  }
+
+  /// Publication telemetry: publishes, coalesced skips, max staleness,
+  /// publish latency histogram (thread-safe; SHMS v6 checkpoint tail).
+  PublishStats& publish_stats();
+  const PublishStats& publish_stats() const;
 
   /// Forces the lazily-maintained window histogram current: rebuilds the
   /// interval structure and materializes the extracted histogram, so
@@ -221,11 +351,15 @@ class ManagedStream {
   /// One-line status ("n=1024 window, 16 buckets, 120000 points seen, ...").
   std::string Describe();
 
-  /// Rebuilds the lazily-maintained window state and publishes a fresh
-  /// QuerySnapshot of everything queryable. The concurrent engine calls this
-  /// (under the stream's writer mutex) after every mutating verb; between
-  /// publishes, readers keep answering from the previous version. Also
-  /// reconciles the governor charge (the rebuild can grow the synopses).
+  /// Publishes a fresh QuerySnapshot of everything queryable,
+  /// unconditionally. Sections whose backing synopsis did not change since
+  /// the last publish are shared (copy-on-write), the window section is
+  /// frozen for lazy materialization unless already built, the distinct
+  /// estimate is recomputed only when the FM bitmaps changed, and DESCRIBE
+  /// is composed on first demand — nothing here rebuilds the window. Runs
+  /// under the stream's writer mutex; between publishes, readers keep
+  /// answering from the previous version. Also reconciles the governor
+  /// charge.
   void PublishSnapshot();
 
   /// The latest published QuerySnapshot — never null (Create and Restore
@@ -276,6 +410,11 @@ class ManagedStream {
   std::shared_ptr<SnapshotCell<QuerySnapshot>> snapshot_cell_;
   // Atomics inside; the indirection keeps the stream movable.
   std::unique_ptr<QueryStats> stats_;
+  // Change tracking, COW section caches, coalescing state, and publish
+  // telemetry — mutated only under the stream's writer mutex. Behind
+  // unique_ptr (the telemetry's atomics) to keep the stream movable.
+  struct PublishState;
+  std::unique_ptr<PublishState> publish_;
 };
 
 }  // namespace streamhist

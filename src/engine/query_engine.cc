@@ -171,10 +171,90 @@ struct QueryEngine::WalState {
   }
 };
 
+// The background publisher behind positive staleness bounds (DESIGN.md §13):
+// wakes at half the tightest bound any stream was created with and publishes
+// every stream with committed-but-unpublished appends. That caps reader
+// staleness at the tick (≤ bound/2) even when the writer goes quiet — the
+// writer-side policy alone only publishes on the *next* commit.
+//
+// The thread captures the registry pointer, not the engine: the registry's
+// heap address is stable across engine moves. Declared last among the
+// engine's members so its joining destructor runs before the registry dies.
+struct QueryEngine::FlusherState {
+  StreamRegistry* registry = nullptr;
+  std::atomic<int64_t> tick_ms{1};
+
+  std::mutex mu;  // guards stop
+  std::condition_variable cv;
+  bool stop = false;
+  std::thread thread;
+
+  ~FlusherState() {
+    if (thread.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        stop = true;
+      }
+      cv.notify_all();
+      thread.join();
+    }
+  }
+};
+
+void QueryEngine::EnsureFlusher(int64_t bound_ms) {
+  if (bound_ms <= 0) return;
+  const int64_t tick = std::max<int64_t>(1, bound_ms / 2);
+  const std::lock_guard<std::mutex> lock(*flusher_mu_);
+  if (flusher_ != nullptr) {
+    // A stream with a tighter bound appeared: shrink the cadence. (Relaxed
+    // is fine — the thread re-reads the tick every wakeup.)
+    int64_t cur = flusher_->tick_ms.load(std::memory_order_relaxed);
+    while (tick < cur && !flusher_->tick_ms.compare_exchange_weak(
+                             cur, tick, std::memory_order_relaxed)) {
+    }
+    return;
+  }
+  flusher_ = std::make_unique<FlusherState>();
+  flusher_->registry = registry_.get();
+  flusher_->tick_ms.store(tick, std::memory_order_relaxed);
+  FlusherState* st = flusher_.get();
+  st->thread = std::thread([st] {
+    std::unique_lock<std::mutex> lk(st->mu);
+    while (!st->stop) {
+      st->cv.wait_for(
+          lk,
+          std::chrono::milliseconds(
+              st->tick_ms.load(std::memory_order_relaxed)),
+          [&] { return st->stop; });
+      if (st->stop) break;
+      lk.unlock();
+      // The dirty flag lives under the writer mutex, so the check and the
+      // publish ride one short critical section per stream. Uncontended
+      // locks at millisecond cadence cost the writers nothing measurable.
+      for (const StreamHandle& handle : st->registry->Handles()) {
+        const auto wlock = handle.LockWriter();
+        (void)handle.stream().FlushIfDirty();
+      }
+      lk.lock();
+    }
+  });
+}
+
 QueryEngine::QueryEngine() = default;
 QueryEngine::~QueryEngine() { (void)CloseWal(); }
 QueryEngine::QueryEngine(QueryEngine&&) noexcept = default;
-QueryEngine& QueryEngine::operator=(QueryEngine&&) noexcept = default;
+QueryEngine& QueryEngine::operator=(QueryEngine&& other) noexcept {
+  if (this == &other) return *this;
+  // Join our flusher before the registry it walks is replaced — the
+  // defaulted member-order assignment would free the registry first.
+  flusher_.reset();
+  registry_ = std::move(other.registry_);
+  engine_stats_ = std::move(other.engine_stats_);
+  wal_ = std::move(other.wal_);
+  flusher_mu_ = std::move(other.flusher_mu_);
+  flusher_ = std::move(other.flusher_);
+  return *this;
+}
 
 Status QueryEngine::CreateStream(const std::string& name,
                                  const StreamConfig& config) {
@@ -197,11 +277,16 @@ Status QueryEngine::CreateStream(const std::string& name,
   governor::Release(estimate);
   STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream,
                               ManagedStream::Create(config));
+  // Create() resolved the < 0 sentinel against the process default; arm the
+  // background flusher when the stream runs with a coalescing bound.
+  const int64_t staleness_ms = stream.publish_staleness_ms();
   if (wal_ == nullptr) {
     // Two racing CREATEs of one name both pass the pre-check above; Insert's
     // internal check-and-emplace decides the winner, and the loser's stream
     // destructs (releasing its governor charge) without ever being visible.
-    return registry_->Insert(name, std::move(stream));
+    const Status inserted = registry_->Insert(name, std::move(stream));
+    if (inserted.ok()) EnsureFlusher(staleness_ms);
+    return inserted;
   }
   // Log before insert, both under the checkpoint barrier. A racing dup
   // CREATE may log a second record; replay skips a CREATE whose stream
@@ -211,7 +296,9 @@ Status QueryEngine::CreateStream(const std::string& name,
       const int64_t lsn,
       wal_->log->Append(walrec::EncodeCreate(name, config)));
   stream.set_wal_lsn(lsn);
-  return registry_->Insert(name, std::move(stream));
+  const Status inserted = registry_->Insert(name, std::move(stream));
+  if (inserted.ok()) EnsureFlusher(staleness_ms);
+  return inserted;
 }
 
 Status QueryEngine::DropStream(const std::string& name) {
@@ -239,6 +326,15 @@ Status QueryEngine::LogAppend(const StreamHandle& handle,
   return Status::OK();
 }
 
+Result<int64_t> QueryEngine::AppendLocked(const StreamHandle& handle,
+                                          std::span<const double> values) {
+  const auto lock = handle.LockWriter();
+  // Log before apply: an unloggable append is a typed error and the values
+  // never enter the stream — the ack implies durability.
+  STREAMHIST_RETURN_NOT_OK(LogAppend(handle, values));
+  return handle.stream().CommitAppendBatch(values);
+}
+
 Status QueryEngine::Append(const std::string& name, double value) {
   const double values[] = {value};
   return AppendBatch(name, values);
@@ -247,11 +343,7 @@ Status QueryEngine::Append(const std::string& name, double value) {
 Status QueryEngine::AppendBatch(const std::string& name,
                                 std::span<const double> values) {
   STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(name));
-  const auto lock = handle.LockWriter();
-  STREAMHIST_RETURN_NOT_OK(LogAppend(handle, values));
-  handle.stream().AppendBatch(values);
-  handle.stream().PublishSnapshot();
-  return Status::OK();
+  return AppendLocked(handle, values).status();
 }
 
 Status QueryEngine::AppendBatches(std::span<const StreamBatch> batches) {
@@ -276,16 +368,9 @@ Status QueryEngine::AppendBatches(std::span<const StreamBatch> batches) {
               [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
                   const size_t idx = static_cast<size_t>(i);
-                  const StreamHandle& handle = targets[idx];
-                  const auto lock = handle.LockWriter();
-                  const Status logged =
-                      LogAppend(handle, batches[idx].values);
-                  if (!logged.ok()) {
-                    results[idx] = logged;
-                    continue;
-                  }
-                  handle.stream().AppendBatch(batches[idx].values);
-                  handle.stream().PublishSnapshot();
+                  const Result<int64_t> appended =
+                      AppendLocked(targets[idx], batches[idx].values);
+                  if (!appended.ok()) results[idx] = appended.status();
                 }
               });
   for (const Status& status : results) {
@@ -374,6 +459,9 @@ Status QueryEngine::SaveCheckpointInternal(const std::string& path,
     // The writer mutex keeps a concurrent APPEND/BUILD from mutating the
     // synopses mid-serialization; each stream is frozen one at a time.
     const auto lock = handle.LockWriter();
+    // A checkpoint is also a publication deadline: coalesced appends become
+    // reader-visible no later than the state that is about to be durable.
+    (void)handle.stream().FlushIfDirty();
     ByteWriter section;
     section.PutLengthPrefixed(handle.name());
     section.PutLengthPrefixed(handle.stream().Snapshot(wal_floor));
@@ -515,6 +603,11 @@ Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpointFrom(
          Status::InvalidArgument("trailing bytes after final section"));
   }
   registry_->ReplaceAll(std::move(restored));
+  // Restored streams re-resolved their staleness bounds through Create();
+  // re-arm the flusher for any that came back with a coalescing bound.
+  for (const StreamHandle& handle : registry_->Handles()) {
+    EnsureFlusher(handle.stream().publish_staleness_ms());
+  }
   return report;
 }
 
@@ -793,28 +886,20 @@ Result<std::string> QueryEngine::ExecuteBatchAppend(
     record(false);
     return handle.status();
   }
+  // Durable ingest: AppendLocked logs the record (and, under policy
+  // "always", fsyncs) before anything is applied or acked. On failure the
+  // batch is NOT applied — the typed error becomes the wire ERR, and the
+  // client must not treat the values as accepted.
+  const Result<int64_t> quarantined = AppendLocked(*handle, values);
+  if (!quarantined.ok()) {
+    record(false);
+    return quarantined.status();
+  }
   std::ostringstream os;
-  {
-    const auto lock = handle->LockWriter();
-    // Durable ingest: the record must be on the log (and, under policy
-    // "always", fsynced) before anything is applied or acked. On failure
-    // the batch is NOT applied — the typed error below becomes the wire
-    // ERR, and the client must not treat the values as accepted.
-    const Status logged = LogAppend(*handle, values);
-    if (!logged.ok()) {
-      record(false);
-      return logged;
-    }
-    ManagedStream& stream = handle->stream();
-    const int64_t dropped_before = stream.dropped_nonfinite();
-    stream.AppendBatch(values);
-    const int64_t quarantined = stream.dropped_nonfinite() - dropped_before;
-    stream.PublishSnapshot();
-    os << "appended "
-       << (static_cast<int64_t>(values.size()) - quarantined) << " point(s)";
-    if (quarantined > 0) {
-      os << ", quarantined " << quarantined << " non-finite";
-    }
+  os << "appended " << (static_cast<int64_t>(values.size()) - *quarantined)
+     << " point(s)";
+  if (*quarantined > 0) {
+    os << ", quarantined " << *quarantined << " non-finite";
   }
   record(true);
   return os.str();
@@ -860,6 +945,8 @@ Result<std::string> QueryEngine::ExecuteParsed(
       os << "\nstream " << handle.name() << ':';
       const std::string lines = handle.stats().Render();
       if (!lines.empty()) os << '\n' << lines;
+      const std::string publish = handle.stream().publish_stats().Render();
+      if (!publish.empty()) os << '\n' << publish;
     }
     return os.str();
   }
@@ -888,6 +975,27 @@ Result<std::string> QueryEngine::ExecuteParsed(
        << wal_->checkpoints.load(std::memory_order_relaxed)
        << "\nlast recovery: " << wal_->recovery.ToString();
     return os.str();
+  }
+
+  if (verb == "FLUSH") {
+    // Publish any coalesced appends now (DESIGN.md §13). Not a QueryVerb
+    // enumerator for the same reason WAL is not: the enum's cardinality is
+    // baked into the SHMS v4+ stats layout.
+    if (tokens.size() > 2) {
+      return Status::InvalidArgument("FLUSH [<stream>]");
+    }
+    int64_t flushed = 0;
+    if (tokens.size() == 2) {
+      STREAMHIST_ASSIGN_OR_RETURN(StreamHandle handle, Stream(tokens[1]));
+      const auto lock = handle.LockWriter();
+      if (handle.stream().FlushIfDirty()) ++flushed;
+    } else {
+      for (const StreamHandle& handle : registry_->Handles()) {
+        const auto lock = handle.LockWriter();
+        if (handle.stream().FlushIfDirty()) ++flushed;
+      }
+    }
+    return "flushed " + std::to_string(flushed) + " stream(s)";
   }
 
   if (tokens.size() < 2) {
@@ -954,15 +1062,10 @@ Result<std::string> QueryEngine::ExecuteParsed(
       STREAMHIST_ASSIGN_OR_RETURN(double v, ParseDouble(tokens[i]));
       values.push_back(v);
     }
-    const auto lock = handle.LockWriter();
-    // Log before apply: an unloggable append is a typed error and the
-    // values never enter the stream — the ack implies durability.
-    STREAMHIST_RETURN_NOT_OK(LogAppend(handle, values));
-    ManagedStream& stream = handle.stream();
-    const int64_t dropped_before = stream.dropped_nonfinite();
-    stream.AppendBatch(values);
-    const int64_t quarantined = stream.dropped_nonfinite() - dropped_before;
-    stream.PublishSnapshot();
+    // One engine-side append path for every ingest surface: the text verb
+    // lands on the same log-then-commit core as the binary batch frame.
+    STREAMHIST_ASSIGN_OR_RETURN(const int64_t quarantined,
+                                AppendLocked(handle, values));
     std::ostringstream os;
     os << "appended " << (static_cast<int64_t>(values.size()) - quarantined)
        << " point(s)";
@@ -1034,7 +1137,12 @@ Result<std::string> QueryEngine::ExecuteParsed(
   if (verb == "STATS") {
     // STATS <stream> [<verb>] — counters, or one verb's latency histogram.
     if (tokens.size() == 2) {
-      const std::string lines = handle.stats().Render();
+      std::string lines = handle.stats().Render();
+      const std::string publish = handle.stream().publish_stats().Render();
+      if (!publish.empty()) {
+        if (!lines.empty()) lines += '\n';
+        lines += publish;
+      }
       if (lines.empty()) {
         return "no statistics recorded for '" + tokens[1] + "'";
       }
@@ -1069,7 +1177,7 @@ Result<std::string> QueryEngine::ExecuteParsed(
     if (verb == "AVG" && lo == hi) {
       return Status::InvalidArgument("AVG over an empty range");
     }
-    const double sum = snap->histogram.RangeSum(lo, hi);
+    const double sum = snap->histogram().RangeSum(lo, hi);
     return FormatNumber(verb == "SUM"
                             ? sum
                             : sum / static_cast<double>(hi - lo));
@@ -1083,9 +1191,10 @@ Result<std::string> QueryEngine::ExecuteParsed(
     }
     const BoundedValue r =
         verb == "SUMBOUND"
-            ? RangeSumWithBound(snap->histogram, snap->bucket_errors, lo, hi)
-            : RangeAverageWithBound(snap->histogram, snap->bucket_errors, lo,
-                                    hi);
+            ? RangeSumWithBound(snap->histogram(), snap->bucket_errors(), lo,
+                                hi)
+            : RangeAverageWithBound(snap->histogram(), snap->bucket_errors(),
+                                    lo, hi);
     return FormatNumber(r.estimate) + " +- " + FormatNumber(r.error_bound);
   }
   if (verb == "POINT") {
@@ -1096,7 +1205,7 @@ Result<std::string> QueryEngine::ExecuteParsed(
     if (i < 0 || i >= window_size) {
       return Status::OutOfRange("point index outside the window");
     }
-    return FormatNumber(snap->histogram.Estimate(i));
+    return FormatNumber(snap->histogram().Estimate(i));
   }
   if (verb == "QUANTILE") {
     if (tokens.size() != 3) {
@@ -1125,13 +1234,13 @@ Result<std::string> QueryEngine::ExecuteParsed(
     return FormatNumber(static_cast<double>(snap->total_points));
   }
   if (verb == "ERROR") {
-    return FormatNumber(snap->approx_error);
+    return FormatNumber(snap->approx_error());
   }
   if (verb == "DESCRIBE") {
-    return snap->describe;
+    return snap->describe();
   }
   if (verb == "SHOW") {
-    return snap->histogram.ToString();
+    return snap->histogram().ToString();
   }
   return Status::InvalidArgument("unknown verb '" + verb + "'");
 }

@@ -2,6 +2,7 @@
 #define STREAMHIST_ENGINE_QUERY_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -79,11 +80,15 @@ struct StreamBatch {
 ///                                 segment counters, last recovery summary
 ///   WAL CHECKPOINT                force a checkpoint into the WAL
 ///                                 directory and truncate sealed segments
+///   FLUSH [<stream>]              publish any coalesced appends now — one
+///                                 stream, or every stream with publication
+///                                 pending (see DESIGN.md §13; a no-op under
+///                                 the default per-batch publication policy)
 ///
-/// (WAL / WAL CHECKPOINT are deliberately *not* QueryVerb enumerators: the
-/// enum's cardinality is baked into the SHMS v4+ stats-block layout, and
-/// growing it would break loading v1-v4 checkpoints. They execute without
-/// per-verb stats.)
+/// (WAL / WAL CHECKPOINT / FLUSH are deliberately *not* QueryVerb
+/// enumerators: the enum's cardinality is baked into the SHMS v4+
+/// stats-block layout, and growing it would break loading v1-v5
+/// checkpoints. They execute without per-verb stats.)
 ///
 /// Concurrency model (DESIGN.md §10): Execute is safe to call from any
 /// number of threads against one engine. Estimation verbs answer lock-free
@@ -277,7 +282,8 @@ class QueryEngine {
   Status WalCheckpointNow(std::string* summary = nullptr);
 
  private:
-  struct WalState;  // defined in query_engine.cc
+  struct WalState;      // defined in query_engine.cc
+  struct FlusherState;  // defined in query_engine.cc
   /// The parsed-statement dispatcher behind both Execute overloads. Sets
   /// `*touched` to the resolved stream handle for stream-scoped verbs (the
   /// stats target); leaves it empty for engine-scoped verbs and failed
@@ -303,12 +309,33 @@ class QueryEngine {
   /// not be applied or acked.
   Status LogAppend(const StreamHandle& handle, std::span<const double> values);
 
+  /// The single append core every ingest path lands on — text APPEND, the
+  /// binary batch frame, AppendBatch, and AppendBatches all funnel here.
+  /// Takes the stream's writer lock, logs to the WAL (log-before-ack), feeds
+  /// the batch, and runs the publication policy (ManagedStream::
+  /// CommitAppendBatch). Returns the number of values quarantined as
+  /// non-finite.
+  Result<int64_t> AppendLocked(const StreamHandle& handle,
+                               std::span<const double> values);
+
+  /// Starts the background flusher (once) when any stream runs with a
+  /// positive staleness bound: a thread that ticks at half the smallest
+  /// bound and publishes any stream whose oldest unpublished append has aged
+  /// past its stream's bound — the guarantee that a quiet writer cannot
+  /// strand acked values reader-invisible.
+  void EnsureFlusher(int64_t bound_ms);
+
   // unique_ptr: the registry's mutexes (and the stats' atomics) are not
   // movable, the engine is.
   std::unique_ptr<StreamRegistry> registry_ =
       std::make_unique<StreamRegistry>();
   std::unique_ptr<QueryStats> engine_stats_ = std::make_unique<QueryStats>();
   std::unique_ptr<WalState> wal_;
+  // Guards flusher_ creation; unique_ptr keeps the engine movable.
+  std::unique_ptr<std::mutex> flusher_mu_ = std::make_unique<std::mutex>();
+  // Declared last: its joining destructor runs before the registry (which
+  // the flusher thread walks) is torn down.
+  std::unique_ptr<FlusherState> flusher_;
 };
 
 }  // namespace streamhist

@@ -222,6 +222,107 @@ Status QueryStats::Deserialize(std::string_view bytes) {
   return Status::OK();
 }
 
+void PublishStats::RecordPublish(int64_t nanos, int64_t staleness_us) {
+  if (nanos < 0) nanos = 0;
+  if (staleness_us < 0) staleness_us = 0;
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  latency_[QueryStats::LatencyBucketIndex(nanos)].fetch_add(
+      1, std::memory_order_relaxed);
+  int64_t seen = max_staleness_us_.load(std::memory_order_relaxed);
+  while (staleness_us > seen &&
+         !max_staleness_us_.compare_exchange_weak(seen, staleness_us,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void PublishStats::RecordSkipped() {
+  skipped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PublishCounters PublishStats::Read() const {
+  PublishCounters out;
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.skipped = skipped_.load(std::memory_order_relaxed);
+  out.max_staleness_us = max_staleness_us_.load(std::memory_order_relaxed);
+  out.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < kVerbLatencyBuckets; ++b) {
+    out.latency[b] = latency_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string PublishStats::Render() const {
+  const PublishCounters c = Read();
+  if (c.publishes == 0) return {};
+  // Reuse the verb-quantile machinery: only count/latency matter to it.
+  VerbCounters as_verb;
+  as_verb.count = c.publishes;
+  as_verb.latency = c.latency;
+  std::ostringstream os;
+  os << "publish count=" << c.publishes << " skipped=" << c.skipped
+     << " max_staleness=" << c.max_staleness_us << "us mean="
+     << FormatNanos(static_cast<double>(c.total_nanos) /
+                    static_cast<double>(c.publishes))
+     << " p50<="
+     << FormatNanos(static_cast<double>(QuantileUpperNanos(as_verb, 0.5)))
+     << " p99<="
+     << FormatNanos(static_cast<double>(QuantileUpperNanos(as_verb, 0.99)));
+  return os.str();
+}
+
+std::string PublishStats::Serialize() const {
+  const PublishCounters c = Read();
+  ByteWriter out;
+  out.PutU32(4);  // scalar counters ahead of the buckets
+  out.PutU32(static_cast<uint32_t>(kVerbLatencyBuckets));
+  out.PutI64(c.publishes);
+  out.PutI64(c.skipped);
+  out.PutI64(c.max_staleness_us);
+  out.PutI64(c.total_nanos);
+  for (int64_t hits : c.latency) out.PutI64(hits);
+  return out.TakeBytes();
+}
+
+Status PublishStats::Deserialize(std::string_view bytes) {
+  if (bytes.size() != SerializedBytes()) {
+    return Status::InvalidArgument("publish-stats block has wrong size");
+  }
+  ByteReader reader(bytes);
+  uint32_t scalars = 0, buckets = 0;
+  if (!reader.ReadU32(&scalars) || !reader.ReadU32(&buckets) || scalars != 4 ||
+      buckets != kVerbLatencyBuckets) {
+    return Status::InvalidArgument("publish-stats block layout mismatch");
+  }
+  int64_t publishes = 0, skipped = 0, max_staleness_us = 0, total_nanos = 0;
+  if (!reader.ReadI64(&publishes) || !reader.ReadI64(&skipped) ||
+      !reader.ReadI64(&max_staleness_us) || !reader.ReadI64(&total_nanos)) {
+    return Status::InvalidArgument("truncated publish-stats block");
+  }
+  if (publishes < 0 || skipped < 0 || max_staleness_us < 0 ||
+      total_nanos < 0) {
+    return Status::InvalidArgument("publish-stats counters violate invariants");
+  }
+  std::array<int64_t, kVerbLatencyBuckets> latency = {};
+  for (size_t b = 0; b < kVerbLatencyBuckets; ++b) {
+    if (!reader.ReadI64(&latency[b])) {
+      return Status::InvalidArgument("truncated publish-stats block");
+    }
+    if (latency[b] < 0) {
+      return Status::InvalidArgument(
+          "publish-stats counters violate invariants");
+    }
+  }
+  publishes_.store(publishes, std::memory_order_relaxed);
+  skipped_.store(skipped, std::memory_order_relaxed);
+  max_staleness_us_.store(max_staleness_us, std::memory_order_relaxed);
+  total_nanos_.store(total_nanos, std::memory_order_relaxed);
+  for (size_t b = 0; b < kVerbLatencyBuckets; ++b) {
+    latency_[b].store(latency[b], std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
 void QueryStats::MergeFrom(const QueryStats& other) {
   for (size_t i = 0; i < kNumQueryVerbs; ++i) {
     const VerbCounters c = other.Read(static_cast<QueryVerb>(i));

@@ -139,6 +139,62 @@ class QueryStats {
 /// "1.2us" / "3.4ms" style rendering of a nanosecond count.
 std::string FormatNanos(double nanos);
 
+/// Point-in-time copy of a stream's publication counters.
+struct PublishCounters {
+  int64_t publishes = 0;
+  int64_t skipped = 0;
+  int64_t max_staleness_us = 0;
+  int64_t total_nanos = 0;
+  std::array<int64_t, kVerbLatencyBuckets> latency = {};
+};
+
+/// Snapshot-publication telemetry for one stream: how many times a fresh
+/// QuerySnapshot was published, how many publication opportunities the
+/// coalescing policy skipped, the worst observed staleness (age of the
+/// oldest unpublished append when its publish finally ran), and a latency
+/// histogram of the publish operation itself (same log2 nanosecond buckets
+/// as QueryStats). Relaxed atomics, same recording discipline as QueryStats;
+/// carried through SHMS v6 checkpoints as a tail block.
+class PublishStats {
+ public:
+  PublishStats() = default;
+  PublishStats(const PublishStats&) = delete;
+  PublishStats& operator=(const PublishStats&) = delete;
+
+  /// Records one publish: its own wall-clock cost and the staleness it
+  /// cleared (0 when nothing was pending).
+  void RecordPublish(int64_t nanos, int64_t staleness_us);
+
+  /// Records one coalesced (skipped) publication opportunity.
+  void RecordSkipped();
+
+  PublishCounters Read() const;
+
+  /// One "publish count=N skipped=K max_staleness=Xus mean=Y p50<=Z p99<=W"
+  /// line; empty string when nothing was ever published.
+  std::string Render() const;
+
+  /// Fixed-size byte image (SerializedBytes() long) — the SHMS v6 tail.
+  std::string Serialize() const;
+
+  /// Inverse of Serialize into *this (expects a fresh instance). Rejects
+  /// wrong sizes, layout mismatches, and negative counters.
+  Status Deserialize(std::string_view bytes);
+
+  static constexpr size_t SerializedBytes() {
+    // Two u32 layout constants, then the four scalar counters and the
+    // latency buckets, all i64.
+    return 8 + (4 + kVerbLatencyBuckets) * 8;
+  }
+
+ private:
+  std::atomic<int64_t> publishes_{0};
+  std::atomic<int64_t> skipped_{0};
+  std::atomic<int64_t> max_staleness_us_{0};
+  std::atomic<int64_t> total_nanos_{0};
+  std::array<std::atomic<int64_t>, kVerbLatencyBuckets> latency_{};
+};
+
 }  // namespace streamhist
 
 #endif  // STREAMHIST_ENGINE_STREAM_STATS_H_

@@ -43,7 +43,11 @@ void FMSketch::Add(uint64_t key) {
   const size_t bucket = static_cast<size_t>(h & (m - 1));
   const uint64_t rest = h >> std::countr_zero(m) | (uint64_t{1} << 63);
   const int rank = std::countr_zero(rest);
-  bitmaps_[bucket] |= uint64_t{1} << rank;
+  const uint64_t bit = uint64_t{1} << rank;
+  if ((bitmaps_[bucket] & bit) == 0) {
+    bitmaps_[bucket] |= bit;
+    ++mutations_;
+  }
 }
 
 void FMSketch::AddValue(double value) {
@@ -76,6 +80,7 @@ Status FMSketch::Merge(const FMSketch& other) {
     return Status::InvalidArgument("FMSketch shape/seed mismatch");
   }
   for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    if ((other.bitmaps_[i] & ~bitmaps_[i]) != 0) ++mutations_;
     bitmaps_[i] |= other.bitmaps_[i];
   }
   items_added_ += other.items_added_;
@@ -122,6 +127,7 @@ Result<FMSketch> FMSketch::Deserialize(std::string_view bytes) {
   sketch.items_added_ = items_added;
   for (uint64_t& bitmap : sketch.bitmaps_) {
     reader.ReadU64(&bitmap);  // size pre-validated above
+    if (bitmap != 0) ++sketch.mutations_;  // caches keyed on mutations() reset
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after FM sketch");

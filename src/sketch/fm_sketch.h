@@ -36,6 +36,14 @@ class FMSketch {
   /// Number of items added (not distinct).
   int64_t items_added() const { return items_added_; }
 
+  /// Number of Add calls that actually changed a bitmap — and therefore the
+  /// estimate. Two sketch states with equal mutation counts that started
+  /// from the same state yield equal estimates, so callers can cache
+  /// EstimateDistinct() keyed on this counter and skip the O(num_bitmaps)
+  /// scan on the (overwhelmingly common) no-new-bit append. In-memory only:
+  /// not serialized, not part of the equality surface.
+  int64_t mutations() const { return mutations_; }
+
   int64_t num_bitmaps() const {
     return static_cast<int64_t>(bitmaps_.size());
   }
@@ -61,6 +69,7 @@ class FMSketch {
 
   uint64_t seed_;
   int64_t items_added_ = 0;
+  int64_t mutations_ = 0;
   std::vector<uint64_t> bitmaps_;  // bit r set: some key hit rank r
 };
 

@@ -165,13 +165,20 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
       if (--state->remaining == 0) state->done.notify_all();
     });
   }
+  std::vector<std::exception_ptr> errors;
   {
     std::unique_lock<std::mutex> lock(state->mu);
     state->done.wait(lock, [&state] { return state->remaining == 0; });
+    // Take the slots: exception objects must only ever be destroyed on this
+    // thread. A worker's task lambda can drop the last SharedState reference
+    // after a rethrow below has already unwound this frame, and freeing an
+    // exception from the worker then races with the catch handler still
+    // holding it (libstdc++'s exception_ptr refcount is opaque to TSan).
+    errors.swap(state->errors);
   }
   // Deterministic propagation: the lowest-chunk failure wins regardless of
   // which worker hit it first.
-  for (const std::exception_ptr& e : state->errors) {
+  for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
 }

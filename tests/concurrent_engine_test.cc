@@ -65,18 +65,18 @@ TEST(ConcurrentEngineTest, SnapshotIsolationNoTornReads) {
         if (snap->window_size != kWindow) ++violations;
         // All-equal buckets: the window is constant in every published
         // version.
-        const double v0 = snap->histogram.Estimate(0);
+        const double v0 = snap->histogram().Estimate(0);
         for (int64_t i = 1; i < snap->window_size; ++i) {
-          if (snap->histogram.Estimate(i) != v0) {
+          if (snap->histogram().Estimate(i) != v0) {
             ++violations;
             break;
           }
         }
-        if (snap->histogram.RangeSum(0, kWindow) !=
+        if (snap->histogram().RangeSum(0, kWindow) !=
             v0 * static_cast<double>(kWindow)) {
           ++violations;
         }
-        if (snap->approx_error != 0.0) ++violations;
+        if (snap->approx_error() != 0.0) ++violations;
       }
     });
   }
@@ -104,7 +104,7 @@ TEST(ConcurrentEngineTest, SnapshotAcquiredBeforeRepublishIsImmutable) {
   const std::shared_ptr<const QuerySnapshot> before = handle.snapshot();
   const uint64_t before_version = before->version;
   const int64_t before_points = before->total_points;
-  const double before_sum = before->histogram.RangeSum(0, 8);
+  const double before_sum = before->histogram().RangeSum(0, 8);
 
   ASSERT_TRUE(
       engine.AppendBatch("s", std::vector<double>{9, 9, 9, 9, 9, 9, 9, 9})
@@ -113,12 +113,60 @@ TEST(ConcurrentEngineTest, SnapshotAcquiredBeforeRepublishIsImmutable) {
   const std::shared_ptr<const QuerySnapshot> after = handle.snapshot();
   EXPECT_GT(after->version, before_version);
   EXPECT_EQ(after->total_points, 16);
-  EXPECT_EQ(after->histogram.RangeSum(0, 8), 72.0);
+  EXPECT_EQ(after->histogram().RangeSum(0, 8), 72.0);
   // The old snapshot still answers exactly as it did when acquired.
   EXPECT_EQ(before->version, before_version);
   EXPECT_EQ(before->total_points, before_points);
-  EXPECT_EQ(before->histogram.RangeSum(0, 8), before_sum);
+  EXPECT_EQ(before->histogram().RangeSum(0, 8), before_sum);
   EXPECT_EQ(before_sum, 8.0);
+}
+
+// Under a coalescing publication policy (DESIGN.md §13), a held stale
+// snapshot stays byte-for-byte immutable while thousands of acked-but-
+// unpublished appends accumulate behind it — and the eventual flush
+// publishes the whole backlog in one new version.
+TEST(ConcurrentEngineTest, HeldSnapshotImmutableAcrossCoalescedAppends) {
+  constexpr int64_t kWindow = 64;
+  constexpr int kCoalesced = 10'000;
+
+  QueryEngine engine;
+  StreamConfig config = SmallConfig(kWindow, 8);
+  config.publish_staleness_ms = 60'000;  // coalesce far past the test
+  ASSERT_TRUE(engine.CreateStream("s", config).ok());
+  ASSERT_TRUE(engine.Execute("FLUSH s").ok());
+  const std::vector<double> fill(kWindow, 1.0);
+  ASSERT_TRUE(engine.AppendBatch("s", fill).ok());
+  ASSERT_TRUE(engine.Execute("FLUSH s").ok());
+
+  const StreamHandle handle = engine.Stream("s").value();
+  const std::shared_ptr<const QuerySnapshot> held = handle.snapshot();
+  const uint64_t held_version = held->version;
+  ASSERT_EQ(held->total_points, kWindow);
+  ASSERT_EQ(held->histogram().RangeSum(0, kWindow), 64.0);
+
+  // 10k acked appends, every one coalesced: the published version must not
+  // move, and the held snapshot must not change underneath its reader.
+  for (int i = 0; i < kCoalesced; ++i) {
+    ASSERT_TRUE(engine.Append("s", 2.0).ok());
+  }
+  EXPECT_EQ(handle.snapshot()->version, held_version);
+  EXPECT_EQ(handle.snapshot()->total_points, kWindow);
+  EXPECT_EQ(held->version, held_version);
+  EXPECT_EQ(held->total_points, kWindow);
+  EXPECT_EQ(held->histogram().RangeSum(0, kWindow), 64.0);
+  EXPECT_EQ(held->approx_error(), 0.0);
+
+  // The explicit flush publishes the entire backlog as one new version.
+  EXPECT_EQ(engine.Execute("FLUSH s").value(), "flushed 1 stream(s)");
+  const std::shared_ptr<const QuerySnapshot> fresh = handle.snapshot();
+  EXPECT_GT(fresh->version, held_version);
+  EXPECT_EQ(fresh->total_points, kWindow + kCoalesced);
+  EXPECT_EQ(fresh->histogram().RangeSum(0, kWindow),
+            2.0 * static_cast<double>(kWindow));
+  // And the held snapshot is still exactly what its reader acquired.
+  EXPECT_EQ(held->version, held_version);
+  EXPECT_EQ(held->total_points, kWindow);
+  EXPECT_EQ(held->histogram().RangeSum(0, kWindow), 64.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -135,7 +183,7 @@ TEST(ConcurrentEngineTest, HandleKeepsDroppedStreamAlive) {
   // The drained-but-held stream still answers coherently.
   const std::shared_ptr<const QuerySnapshot> snap = handle.snapshot();
   EXPECT_EQ(snap->total_points, 3);
-  EXPECT_EQ(snap->histogram.RangeSum(0, 3), 6.0);
+  EXPECT_EQ(snap->histogram().RangeSum(0, 3), 6.0);
   EXPECT_EQ(handle.stream().total_points(), 3);
 }
 

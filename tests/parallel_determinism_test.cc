@@ -331,7 +331,7 @@ TEST(ParallelDeterminismTest, PublishedSnapshotsAreBitIdenticalAcrossThreads) {
     std::vector<std::vector<uint64_t>> bits;
     for (const StreamBatch& batch : batches) {
       const StreamHandle handle = engine.Stream(batch.name).value();
-      bits.push_back(BucketBits(handle.snapshot()->histogram));
+      bits.push_back(BucketBits(handle.snapshot()->histogram()));
     }
     return bits;
   };
@@ -357,7 +357,7 @@ TEST(ParallelDeterminismTest, HeldSnapshotIsImmuneToRepublish) {
 
   const StreamHandle handle = engine.Stream("a").value();
   const std::shared_ptr<const QuerySnapshot> held = handle.snapshot();
-  const std::vector<uint64_t> held_bits = BucketBits(held->histogram);
+  const std::vector<uint64_t> held_bits = BucketBits(held->histogram());
   const int64_t held_points = held->total_points;
 
   // Republish via batch append + parallel refresh: the held snapshot keeps
@@ -367,7 +367,7 @@ TEST(ParallelDeterminismTest, HeldSnapshotIsImmuneToRepublish) {
   ASSERT_TRUE(engine.AppendBatches(more).ok());
   engine.RefreshAll();
 
-  EXPECT_EQ(BucketBits(held->histogram), held_bits);
+  EXPECT_EQ(BucketBits(held->histogram()), held_bits);
   EXPECT_EQ(held->total_points, held_points);
   const std::shared_ptr<const QuerySnapshot> fresh = handle.snapshot();
   EXPECT_GT(fresh->version, held->version);

@@ -285,7 +285,7 @@ TEST(ManagedStreamSerializationTest, DroppedNonfiniteSurvivesRoundTrip) {
   EXPECT_EQ(twice->dropped_nonfinite(), 3);
 }
 
-// v5 stream payload layout (bytes before the window blob):
+// v6 stream payload layout (bytes before the window blob):
 //   0..34   config through keep_distinct (8+8+8+1+1+8+1)
 //   35..43  v2 build-mode fields (bool + f64)
 //   44..51  dropped_nonfinite (i64)
@@ -294,6 +294,7 @@ TEST(ManagedStreamSerializationTest, DroppedNonfiniteSurvivesRoundTrip) {
 //   tail    length-prefixed query-stats block (new in v4): a u64 length
 //           followed by QueryStats::SerializedBytes() bytes
 //   tail    applied WAL LSN (i64, new in v5)
+//   tail    length-prefixed publish-stats block (new in v6)
 // Older payloads are fabricated below by erasing the fields their version
 // predates, per the EXPERIMENTS.md version policy: the previous blob
 // versions must stay readable for a release cycle.
@@ -303,6 +304,8 @@ constexpr uint32_t kStreamMagic = 0x53484D53;  // "SHMS"
 constexpr size_t kStatsTailBytes = 8 + QueryStats::SerializedBytes();
 // Bytes the v5 WAL-LSN tail adds after that.
 constexpr size_t kWalTailBytes = 8;
+// Bytes the v6 publish-stats tail adds after that.
+constexpr size_t kPublishTailBytes = 8 + PublishStats::SerializedBytes();
 
 TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
   StreamConfig config;
@@ -316,9 +319,11 @@ TEST(ManagedStreamSerializationTest, V1SnapshotsStillLoadWithDefaults) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  EXPECT_EQ(frame->version, 5u);
+  EXPECT_EQ(frame->version, 6u);
   std::string v1_payload(frame->payload);
-  ASSERT_GT(v1_payload.size(), 60u + kStatsTailBytes + kWalTailBytes);
+  ASSERT_GT(v1_payload.size(),
+            60u + kStatsTailBytes + kWalTailBytes + kPublishTailBytes);
+  v1_payload.erase(v1_payload.size() - kPublishTailBytes);  // publish (v6)
   v1_payload.erase(v1_payload.size() - kWalTailBytes);  // wal lsn (v5)
   v1_payload.erase(v1_payload.size() - kStatsTailBytes);  // stats tail (v4)
   v1_payload.erase(52, 8);  // degraded_builds (v3)
@@ -349,9 +354,11 @@ TEST(ManagedStreamSerializationTest, V2SnapshotsStillLoadWithDefaults) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  ASSERT_EQ(frame->version, 5u);
+  ASSERT_EQ(frame->version, 6u);
   std::string v2_payload(frame->payload);
-  ASSERT_GT(v2_payload.size(), 60u + kStatsTailBytes + kWalTailBytes);
+  ASSERT_GT(v2_payload.size(),
+            60u + kStatsTailBytes + kWalTailBytes + kPublishTailBytes);
+  v2_payload.erase(v2_payload.size() - kPublishTailBytes);  // publish (v6)
   v2_payload.erase(v2_payload.size() - kWalTailBytes);  // wal lsn (v5)
   v2_payload.erase(v2_payload.size() - kStatsTailBytes);  // stats tail (v4)
   v2_payload.erase(52, 8);  // degraded_builds (v3)
@@ -378,9 +385,11 @@ TEST(ManagedStreamSerializationTest, V3SnapshotsStillLoadWithEmptyStats) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  ASSERT_EQ(frame->version, 5u);
+  ASSERT_EQ(frame->version, 6u);
   std::string v3_payload(frame->payload);
-  ASSERT_GT(v3_payload.size(), kStatsTailBytes + kWalTailBytes);
+  ASSERT_GT(v3_payload.size(),
+            kStatsTailBytes + kWalTailBytes + kPublishTailBytes);
+  v3_payload.erase(v3_payload.size() - kPublishTailBytes);  // publish (v6)
   v3_payload.erase(v3_payload.size() - kWalTailBytes);  // wal lsn (v5)
   v3_payload.erase(v3_payload.size() - kStatsTailBytes);  // stats tail (v4)
   const std::string v3_snapshot = WrapFrame(kStreamMagic, 3, v3_payload);
@@ -427,7 +436,9 @@ TEST(ManagedStreamSerializationTest, NegativeStatsTailIsRejected) {
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
   std::string payload(frame->payload);
-  ASSERT_GT(payload.size(), kStatsTailBytes + kWalTailBytes);
+  ASSERT_GT(payload.size(),
+            kStatsTailBytes + kWalTailBytes + kPublishTailBytes);
+  payload.erase(payload.size() - kPublishTailBytes);  // publish (v6)
   payload.erase(payload.size() - kWalTailBytes);  // wal lsn (v5)
   // Force the first counter in the stats block (SUM's count, right after the
   // u64 length and the two u32 layout constants) to -1.
@@ -450,9 +461,10 @@ TEST(ManagedStreamSerializationTest, V4SnapshotsStillLoadWithZeroLsn) {
   const std::string snapshot = stream.Snapshot();
   auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
   ASSERT_TRUE(frame.ok()) << frame.status();
-  ASSERT_EQ(frame->version, 5u);
+  ASSERT_EQ(frame->version, 6u);
   std::string v4_payload(frame->payload);
-  ASSERT_GT(v4_payload.size(), kWalTailBytes);
+  ASSERT_GT(v4_payload.size(), kWalTailBytes + kPublishTailBytes);
+  v4_payload.erase(v4_payload.size() - kPublishTailBytes);  // publish (v6)
   v4_payload.erase(v4_payload.size() - kWalTailBytes);  // wal lsn (v5)
   const std::string v4_snapshot = WrapFrame(kStreamMagic, 4, v4_payload);
 
@@ -503,6 +515,74 @@ TEST(ManagedStreamSerializationTest, NegativeWalLsnTailIsRejected) {
   }
   const auto restored =
       ManagedStream::Restore(WrapFrame(kStreamMagic, 5, payload));
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ManagedStreamSerializationTest, V5SnapshotsStillLoadWithZeroPublishStats) {
+  StreamConfig config;
+  config.window_size = 64;
+  config.num_buckets = 8;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(200)) stream.Append(v);
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->version, 6u);
+  std::string v5_payload(frame->payload);
+  ASSERT_GT(v5_payload.size(), kPublishTailBytes);
+  v5_payload.erase(v5_payload.size() - kPublishTailBytes);  // publish (v6)
+  const std::string v5_snapshot = WrapFrame(kStreamMagic, 5, v5_payload);
+
+  auto restored = ManagedStream::Restore(v5_snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // v5 predates publication telemetry: only the restore's own publish shows.
+  EXPECT_EQ(restored->publish_stats().Read().skipped, 0);
+  EXPECT_EQ(restored->total_points(), stream.total_points());
+  EXPECT_EQ(restored->window_histogram().RangeSum(0, 64),
+            stream.window_histogram().RangeSum(0, 64));
+}
+
+TEST(ManagedStreamSerializationTest, PublishStatsSurviveSnapshotRoundTrip) {
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(40)) stream.Append(v);
+  stream.publish_stats().RecordPublish(/*nanos=*/1500, /*staleness_us=*/250);
+  stream.publish_stats().RecordPublish(/*nanos=*/90000, /*staleness_us=*/40);
+  stream.publish_stats().RecordSkipped();
+  const PublishCounters before = stream.publish_stats().Read();
+
+  auto restored = ManagedStream::Restore(stream.Snapshot());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const PublishCounters after = restored->publish_stats().Read();
+  // Restore itself publishes once more on top of the carried counters.
+  EXPECT_GE(after.publishes, before.publishes);
+  EXPECT_EQ(after.skipped, before.skipped);
+  EXPECT_GE(after.max_staleness_us, before.max_staleness_us);
+  EXPECT_GE(after.total_nanos, before.total_nanos);
+}
+
+TEST(ManagedStreamSerializationTest, NegativePublishTailIsRejected) {
+  StreamConfig config;
+  config.window_size = 32;
+  config.num_buckets = 4;
+  ManagedStream stream = ManagedStream::Create(config).value();
+  for (double v : TestSeries(40)) stream.Append(v);
+
+  const std::string snapshot = stream.Snapshot();
+  auto frame = UnwrapFrame(snapshot, kStreamMagic, "stream");
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  std::string payload(frame->payload);
+  ASSERT_GT(payload.size(), kPublishTailBytes);
+  // Force the publishes counter (right after the u64 length and the two u32
+  // layout constants of the publish block) to -1.
+  const size_t counter_at = payload.size() - kPublishTailBytes + 8 + 4 + 4;
+  for (size_t i = 0; i < 8; ++i) payload[counter_at + i] = '\xff';
+  const auto restored =
+      ManagedStream::Restore(WrapFrame(kStreamMagic, 6, payload));
   EXPECT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
 }
