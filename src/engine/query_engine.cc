@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cctype>
 #include <charconv>
 #include <chrono>
@@ -240,11 +242,34 @@ void QueryEngine::EnsureFlusher(int64_t bound_ms) {
   });
 }
 
+namespace {
+// The WAL checkpointer thread captures the engine's `this` (and its
+// WalState pointer); moving an engine with an open WAL would leave that
+// thread running against a dead shell. The header documents the rule —
+// enforce it here rather than trusting the comment.
+void AbortIfWalOpen(const void* wal_state) {
+  if (wal_state == nullptr) return;
+  std::fprintf(stderr,
+               "fatal: QueryEngine moved while its WAL is open; "
+               "call CloseWal() first\n");
+  std::abort();
+}
+}  // namespace
+
 QueryEngine::QueryEngine() = default;
 QueryEngine::~QueryEngine() { (void)CloseWal(); }
-QueryEngine::QueryEngine(QueryEngine&&) noexcept = default;
+QueryEngine::QueryEngine(QueryEngine&& other) noexcept {
+  AbortIfWalOpen(other.wal_.get());
+  registry_ = std::move(other.registry_);
+  engine_stats_ = std::move(other.engine_stats_);
+  wal_ = std::move(other.wal_);
+  flusher_mu_ = std::move(other.flusher_mu_);
+  flusher_ = std::move(other.flusher_);
+}
 QueryEngine& QueryEngine::operator=(QueryEngine&& other) noexcept {
   if (this == &other) return *this;
+  AbortIfWalOpen(wal_.get());
+  AbortIfWalOpen(other.wal_.get());
   // Join our flusher before the registry it walks is replaced — the
   // defaulted member-order assignment would free the registry first.
   flusher_.reset();

@@ -58,7 +58,10 @@ Result<BatchAppend> DecodeBatchAppend(std::string_view frame) {
   if (name.empty()) {
     return Status::InvalidArgument("batch frame names no stream");
   }
-  if (reader.remaining() != count * sizeof(double)) {
+  // Division form so a hostile count (e.g. 2^61) can't wrap count * 8 mod
+  // 2^64 and slip past into the resize below.
+  if (count > reader.remaining() / sizeof(double) ||
+      reader.remaining() != count * sizeof(double)) {
     return Status::InvalidArgument(
         "batch frame declares " + std::to_string(count) + " value(s) but " +
         std::to_string(reader.remaining() / sizeof(double)) + " follow");

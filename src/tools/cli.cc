@@ -391,16 +391,11 @@ int ServeTcp(const std::map<std::string, std::string>& flags,
       rc != 0) {
     return rc;
   }
-  auto server = net::TcpServer::Start(engine, options);
-  if (!server.ok()) {
-    err << "serve: " << server.status() << "\n";
-    return 1;
-  }
-  out << "listening on 127.0.0.1:" << server.value()->port() << " ("
-      << threads << (threads == 1 ? " thread" : " threads");
-  if (deadline_ms > 0) out << ", deadline " << deadline_ms << " ms";
-  out << ")" << std::endl;  // flushed: scripts parse the port from this line
-
+  // Shutdown plumbing goes in BEFORE the server exists: a SIGINT/SIGTERM
+  // delivered during startup is then queued as a byte in the pipe (drained
+  // by the read loop below) instead of taking the default disposition and
+  // killing the process with the WAL unflushed. On pipe failure nothing has
+  // started yet; ~QueryEngine closes and flushes the WAL.
   if (pipe(g_shutdown_pipe) != 0) {
     err << "serve: cannot create shutdown pipe\n";
     return 1;
@@ -410,6 +405,20 @@ int ServeTcp(const std::map<std::string, std::string>& flags,
   sigemptyset(&action.sa_mask);
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
+
+  auto server = net::TcpServer::Start(engine, options);
+  if (!server.ok()) {
+    err << "serve: " << server.status() << "\n";
+    const int rfd = g_shutdown_pipe[0], wfd = g_shutdown_pipe[1];
+    g_shutdown_pipe[0] = g_shutdown_pipe[1] = -1;
+    close(rfd);
+    close(wfd);
+    return 1;
+  }
+  out << "listening on 127.0.0.1:" << server.value()->port() << " ("
+      << threads << (threads == 1 ? " thread" : " threads");
+  if (deadline_ms > 0) out << ", deadline " << deadline_ms << " ms";
+  out << ")" << std::endl;  // flushed: scripts parse the port from this line
 
   char byte = 0;
   ssize_t n;

@@ -408,6 +408,9 @@ Status Wal::SealAndRotateLocked() {
   ++stats_.fsyncs;
   durable_lsn_ = std::max(durable_lsn_, written_lsn_);
   unsynced_bytes_ = 0;
+  // Invalidate any covered_bytes a concurrently unlocked FsyncLocked
+  // captured: from here on unsynced_bytes_ counts the NEW segment only.
+  ++rotation_epoch_;
   durable_cv_.notify_all();
   const SegmentInfo outgoing{active_path_, active_first_lsn_, written_lsn_};
   // OpenActiveSegment closes the old fd only after the new segment is up,
@@ -545,6 +548,7 @@ Status Wal::FsyncLocked(std::unique_lock<std::mutex>& lock) {
     return flush_error_;
   }
   const int64_t covered_bytes = unsynced_bytes_;
+  const int64_t epoch = rotation_epoch_;
   lock.unlock();
   Status result = Status::OK();
   if (fault::Triggered("wal.fsync")) {
@@ -557,7 +561,14 @@ Status Wal::FsyncLocked(std::unique_lock<std::mutex>& lock) {
   if (result.ok()) {
     ++stats_.fsyncs;
     durable_lsn_ = std::max(durable_lsn_, target);
-    unsynced_bytes_ = std::max<int64_t>(0, unsynced_bytes_ - covered_bytes);
+    if (rotation_epoch_ == epoch) {
+      // No rotation raced the unlocked fsync, so covered_bytes still
+      // describes bytes of the same segment; subtract what we synced.
+      // After a rotation the counter was reset and now tracks the new
+      // segment's un-fsynced bytes — subtracting stale covered_bytes
+      // would mark those as synced and starve the bytes:N policy.
+      unsynced_bytes_ = std::max<int64_t>(0, unsynced_bytes_ - covered_bytes);
+    }
     durable_cv_.notify_all();
   } else {
     flush_error_ = result;

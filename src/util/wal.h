@@ -192,6 +192,7 @@ class Wal {
   int64_t durable_lsn_ = 0;        // highest LSN covered by fsync
   int64_t requested_lsn_ = 0;      // highest LSN an appender wants durable
   int64_t unsynced_bytes_ = 0;     // bytes written since the last fsync
+  int64_t rotation_epoch_ = 0;     // bumped whenever a rotation resets it
   bool stop_ = false;
   Status flush_error_ = Status::OK();  // last flush failure
   int64_t flush_error_seq_ = 0;        // bumped on every flush failure

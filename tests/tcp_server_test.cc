@@ -17,6 +17,7 @@
 #include "src/server/tcp_server.h"
 #include "src/server/wire.h"
 #include "src/util/fault.h"
+#include "src/util/framing.h"
 #include "src/util/governor.h"
 #include "tcp_test_client.h"
 
@@ -80,6 +81,26 @@ TEST(WireTest, DecodeRejectsCorruptionAndEmptyNames) {
   EXPECT_FALSE(net::DecodeBatchAppend(frame).ok());
 
   EXPECT_FALSE(net::DecodeBatchAppend(Frame("", {1.0})).ok());
+}
+
+TEST(WireTest, DecodeRejectsOverflowingValueCount) {
+  // A CRC-valid frame whose declared count makes count * 8 wrap mod 2^64 to
+  // the actual payload size. Must be a clean decode error, not a
+  // std::length_error from resize(2^61) faulting the epoll worker.
+  for (const uint64_t hostile :
+       {uint64_t{1} << 61, (uint64_t{1} << 61) + 1, (uint64_t{1} << 63) + 2,
+        std::numeric_limits<uint64_t>::max() / sizeof(double) + 1}) {
+    ByteWriter payload;
+    payload.PutLengthPrefixed("s");
+    payload.PutU64(hostile);
+    payload.PutF64(1.0);  // far fewer bytes than the count claims
+    const std::string frame = WrapFrame(net::kBatchFrameMagic,
+                                        net::kBatchFrameVersion,
+                                        payload.bytes());
+    const auto batch = net::DecodeBatchAppend(frame);
+    ASSERT_FALSE(batch.ok()) << "count=" << hostile;
+    EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(WireTest, OkResponseCountsLines) {
