@@ -37,6 +37,17 @@
 // reader throughput. The smoke gate requires the best batched mode to
 // clear 10x the per-append mode (or a 100k values/s absolute floor) AND
 // readers to keep >= 0.9x of their per-append read rate.
+//
+// BENCH_PR9 (same binary, `--pr9_json=BENCH_PR9.json [--pr9_smoke=1]`):
+// replication read scale-out (DESIGN.md §14). Two phases over identical
+// workloads — a paced writer APPENDing to the primary while closed-loop
+// read clients cycle the estimation verbs — differing only in where the
+// readers point: all at the primary, or split between the primary and one
+// live replica that follows it over WAL shipping. The smoke gate requires
+// the replica phase to deliver >= 1.8x the primary-only aggregate read
+// throughput, evaluated only on hosts with >= 4 hardware threads (on a
+// 1-core host the two servers, the replica apply loop, and every client
+// share one CPU — the ratio would measure the scheduler, not scale-out).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -62,6 +73,7 @@
 #include "bench/common.h"
 #include "src/data/generators.h"
 #include "src/engine/query_engine.h"
+#include "src/server/replication.h"
 #include "src/server/tcp_server.h"
 #include "src/server/wire.h"
 
@@ -889,6 +901,376 @@ int RunBenchPr8(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_PR9: replication read scale-out. One primary (WAL + ReplicationHub
+// behind its TcpServer) takes a paced write load; R closed-loop read
+// clients cycle the estimation verbs. Phase 1 points every reader at the
+// primary; phase 2 starts a live replica (ReplicaClient applying shipped
+// WAL into a second read-only engine behind its own TcpServer) and splits
+// the same readers across both. Identity checks: zero typed/protocol
+// errors on either server, and after the timed region the replica must
+// catch up to the primary's durable LSN — every acked write arrived.
+
+struct Pr9Phase {
+  std::string label;
+  bool with_replica = false;
+  double seconds = 0.0;
+  int64_t reads = 0;  // aggregate across all read clients
+  double reads_per_sec = 0.0;
+  int64_t primary_reads = 0;
+  int64_t replica_reads = 0;
+  int64_t writes = 0;  // acked appends during the timed region
+  double writes_per_sec = 0.0;
+  double read_p50_us = 0.0;
+  double read_p99_us = 0.0;
+  int64_t typed_errors = 0;
+  int64_t protocol_errors = 0;
+  // Replica-phase telemetry (zeroed in the primary-only phase).
+  net::HubStatsSnapshot hub;
+  int64_t replica_applied_lsn = 0;
+  int64_t primary_durable_lsn = 0;
+  int64_t replica_reconnects = 0;
+};
+
+Result<Pr9Phase> MeasurePr9Phase(const std::string& label, bool with_replica,
+                                 int readers, int server_threads,
+                                 int duration_ms, int64_t write_pace_us) {
+  Pr9Phase phase;
+  phase.label = label;
+  phase.with_replica = with_replica;
+
+  char dir_template[] = "/tmp/streamhist_pr9_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    return Status::IOError("mkdtemp failed for the PR9 wal dir");
+  }
+  const std::string dir(dir_template);
+
+  // Primary: WAL first, stream + seed after — creation and seed appends are
+  // WAL records, which is exactly how they reach the replica. The window is
+  // sized so the paced writer never fills it (a full window adds per-append
+  // eviction cost, an engine property this bench is not about), and the
+  // seed is deep enough for every verb ClientLoop cycles.
+  QueryEngine engine;
+  QueryEngine::WalConfig wal_config;
+  STREAMHIST_RETURN_NOT_OK(engine.OpenWal(dir + "/primary", wal_config)
+                               .status());
+  StreamConfig stream;
+  stream.window_size = 8192;
+  stream.num_buckets = 16;
+  stream.epsilon = 0.1;
+  STREAMHIST_RETURN_NOT_OK(engine.CreateStream("s", stream));
+  STREAMHIST_RETURN_NOT_OK(engine.AppendBatch(
+      "s", GenerateDataset(DatasetKind::kUtilization, 4096, /*seed=*/23)));
+
+  net::HubOptions hub_options;
+  hub_options.heartbeat_ms = 50;
+  net::ReplicationHub hub(engine, hub_options);
+  net::ServerOptions primary_options;
+  primary_options.threads = server_threads;
+  primary_options.replication_hub = &hub;
+  STREAMHIST_ASSIGN_OR_RETURN(std::unique_ptr<net::TcpServer> primary,
+                              net::TcpServer::Start(engine, primary_options));
+
+  // Replica (phase 2 only): its own WAL (local durability), a subscription
+  // into the primary, and a plain TcpServer over the read-only engine.
+  QueryEngine replica_engine;
+  std::unique_ptr<net::ReplicaClient> replica;
+  std::unique_ptr<net::TcpServer> replica_server;
+  if (with_replica) {
+    STREAMHIST_RETURN_NOT_OK(
+        replica_engine.OpenWal(dir + "/replica", wal_config).status());
+    net::ReplicaOptions replica_options;
+    replica_options.primary_port = primary->port();
+    STREAMHIST_ASSIGN_OR_RETURN(
+        replica, net::ReplicaClient::Start(replica_engine, replica_options));
+    net::ServerOptions replica_server_options;
+    replica_server_options.threads = server_threads;
+    STREAMHIST_ASSIGN_OR_RETURN(
+        replica_server,
+        net::TcpServer::Start(replica_engine, replica_server_options));
+  }
+
+  // Wait until the replica holds the whole seed before the clocks start —
+  // the measured region compares steady-state read service, not bootstrap.
+  const auto CaughtUp = [&] {
+    return replica_engine.replica_status().applied_lsn >=
+           engine.WalDurableLsn();
+  };
+  if (with_replica) {
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while (!CaughtUp()) {
+      if (Clock::now() >= deadline) {
+        return Status::Internal(label + ": replica never caught up to lsn " +
+                                std::to_string(engine.WalDurableLsn()));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  // Matched write load: one paced writer against the primary in both
+  // phases. Paced (not closed-loop) so both phases carry the same offered
+  // write rate regardless of how read traffic shifts ack latency.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> writes{0};
+  std::atomic<int64_t> write_errors{0};
+  std::thread writer([&, port = primary->port()] {
+    LoadClient client(port);
+    if (!client.connected()) {
+      write_errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (int64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      const std::string request =
+          "APPEND s " + std::to_string(0.5 + 0.001 * static_cast<double>(i)) +
+          "\n";
+      if (!client.Send(request) || client.ReadReply() != 1) {
+        write_errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      writes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(write_pace_us));
+    }
+  });
+
+  // Readers: the PR6 closed-loop estimation clients. With a replica, split
+  // them evenly — odd indices go to the replica — so aggregate capacity is
+  // what is measured, at the same total client count.
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(readers));
+  std::vector<int64_t> typed(static_cast<size_t>(readers), 0);
+  std::vector<int64_t> protocol(static_cast<size_t>(readers), 0);
+  std::vector<bool> on_replica(static_cast<size_t>(readers), false);
+  std::vector<std::thread> threads;
+  const auto begin = Clock::now();
+  for (int i = 0; i < readers; ++i) {
+    const bool to_replica = with_replica && (i % 2 == 1);
+    on_replica[static_cast<size_t>(i)] = to_replica;
+    const uint16_t port =
+        to_replica ? replica_server->port() : primary->port();
+    threads.emplace_back(ClientLoop, port, i, std::cref(stop),
+                         &latencies[static_cast<size_t>(i)],
+                         &typed[static_cast<size_t>(i)],
+                         &protocol[static_cast<size_t>(i)]);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+  writer.join();
+  phase.seconds =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           begin)
+          .count() /
+      1e9;
+
+  // Identity: the replica must drain to the primary's durable LSN once
+  // writes stop — an acked write that never arrives is a correctness bug,
+  // not a perf result.
+  if (with_replica) {
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while (!CaughtUp()) {
+      if (Clock::now() >= deadline) {
+        return Status::Internal(
+            label + ": replica stalled at lsn " +
+            std::to_string(replica_engine.replica_status().applied_lsn) +
+            " of " + std::to_string(engine.WalDurableLsn()));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const QueryEngine::ReplicaStatus status = replica_engine.replica_status();
+    phase.hub = hub.stats();
+    phase.replica_applied_lsn = status.applied_lsn;
+    phase.replica_reconnects = status.reconnects;
+    phase.primary_durable_lsn = engine.WalDurableLsn();
+  }
+
+  std::vector<double> merged;
+  for (int i = 0; i < readers; ++i) {
+    const auto& lat = latencies[static_cast<size_t>(i)];
+    const int64_t count = static_cast<int64_t>(lat.size());
+    (on_replica[static_cast<size_t>(i)] ? phase.replica_reads
+                                        : phase.primary_reads) += count;
+    merged.insert(merged.end(), lat.begin(), lat.end());
+    phase.typed_errors += typed[static_cast<size_t>(i)];
+    phase.protocol_errors += protocol[static_cast<size_t>(i)];
+  }
+  phase.reads = phase.primary_reads + phase.replica_reads;
+  phase.reads_per_sec =
+      phase.seconds > 0.0 ? static_cast<double>(phase.reads) / phase.seconds
+                          : 0.0;
+  phase.writes = writes.load();
+  phase.writes_per_sec =
+      phase.seconds > 0.0 ? static_cast<double>(phase.writes) / phase.seconds
+                          : 0.0;
+  phase.protocol_errors += write_errors.load();
+  std::sort(merged.begin(), merged.end());
+  phase.read_p50_us = PercentileUs(merged, 0.50);
+  phase.read_p99_us = PercentileUs(merged, 0.99);
+
+  // Teardown in dependency order: the replica client stops before the
+  // engine it applies into, servers before the hub, the hub before the
+  // primary engine.
+  if (replica_server) replica_server->Shutdown();
+  if (replica) replica->Stop();
+  replica.reset();
+  primary->Shutdown();
+  hub.Stop();
+  if (with_replica) {
+    STREAMHIST_RETURN_NOT_OK(replica_engine.CloseWal());
+  }
+  STREAMHIST_RETURN_NOT_OK(engine.CloseWal());
+  std::filesystem::remove_all(dir);
+  return phase;
+}
+
+int RunBenchPr9(int argc, char** argv) {
+  using bench::FlagInt;
+  using bench::FlagStr;
+  std::string out_path = FlagStr(argc, argv, "pr9_json", "");
+  const bool smoke = FlagInt(argc, argv, "pr9_smoke", 0) != 0;
+  if (out_path.empty()) out_path = "BENCH_PR9_smoke.json";
+  const int readers = static_cast<int>(FlagInt(argc, argv, "pr9_readers", 4));
+  const int server_threads =
+      static_cast<int>(FlagInt(argc, argv, "pr9_threads", 2));
+  const int duration_ms = static_cast<int>(
+      FlagInt(argc, argv, "pr9_duration_ms", smoke ? 300 : 1000));
+  const int64_t write_pace_us = FlagInt(argc, argv, "pr9_write_pace_us", 1000);
+  const double scale_gate = 1.8;
+  const int64_t hardware =
+      static_cast<int64_t>(std::thread::hardware_concurrency());
+  // The scale-out gate only means something when the primary server, the
+  // replica server, the apply loop, and the clients can actually run in
+  // parallel (BENCH_PR5 set this precedent for its scaling gate).
+  const bool gate_evaluated = smoke && hardware >= 4;
+
+  bench::Banner("BENCH_PR9: replication read scale-out (readers=" +
+                std::to_string(readers) + ", server threads=" +
+                std::to_string(server_threads) + ")");
+
+  std::vector<Pr9Phase> phases;
+  bench::TablePrinter table({"phase", "reads/s", "primary", "replica",
+                             "writes/s", "p50 us", "p99 us", "shipped"});
+  const struct {
+    const char* label;
+    bool with_replica;
+  } specs[] = {{"primary-only", false}, {"primary+replica", true}};
+  for (const auto& spec : specs) {
+    Result<Pr9Phase> measured =
+        MeasurePr9Phase(spec.label, spec.with_replica, readers, server_threads,
+                        duration_ms, write_pace_us);
+    if (!measured.ok()) {
+      std::fprintf(stderr, "bench_load: %s\n",
+                   measured.status().ToString().c_str());
+      return measured.status().code() == StatusCode::kInternal ? 2 : 1;
+    }
+    phases.push_back(std::move(measured).value());
+    const Pr9Phase& p = phases.back();
+    table.AddRow({p.label,
+                  bench::FmtInt(static_cast<int64_t>(p.reads_per_sec)),
+                  bench::FmtInt(p.primary_reads),
+                  bench::FmtInt(p.replica_reads),
+                  bench::FmtInt(static_cast<int64_t>(p.writes_per_sec)),
+                  bench::Fmt(p.read_p50_us), bench::Fmt(p.read_p99_us),
+                  bench::FmtInt(p.hub.records)});
+  }
+  table.Print();
+
+  const Pr9Phase& solo = phases[0];
+  const Pr9Phase& scaled = phases[1];
+  const double ratio = solo.reads_per_sec > 0.0
+                           ? scaled.reads_per_sec / solo.reads_per_sec
+                           : 0.0;
+  const bool scale_ok = !gate_evaluated || ratio >= scale_gate;
+  int64_t errors = 0;
+  for (const Pr9Phase& p : phases) {
+    errors += p.typed_errors + p.protocol_errors;
+  }
+  const bool errors_ok = errors == 0;
+  std::printf("  aggregate reads: %.2fx with one replica attached%s\n", ratio,
+              gate_evaluated
+                  ? (scale_ok ? " (gate >= 1.8x: ok)"
+                              : " (gate >= 1.8x: FAIL)")
+                  : " (gate not evaluated: < 4 hardware threads)");
+  std::printf("  replica applied lsn %lld of %lld, %lld records shipped\n",
+              static_cast<long long>(scaled.replica_applied_lsn),
+              static_cast<long long>(scaled.primary_durable_lsn),
+              static_cast<long long>(scaled.hub.records));
+  std::fflush(stdout);
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("bench").Value(std::string("BENCH_PR9"))
+      .Key("schema_version").Value(int64_t{1})
+      .Key("smoke").Value(smoke)
+      .Key("readers").Value(static_cast<int64_t>(readers))
+      .Key("server_threads").Value(static_cast<int64_t>(server_threads))
+      .Key("duration_ms").Value(static_cast<int64_t>(duration_ms))
+      .Key("write_pace_us").Value(write_pace_us)
+      .Key("hardware_threads").Value(hardware)
+      .Key("phases").BeginArray();
+  for (const Pr9Phase& p : phases) {
+    json.BeginObject()
+        .Key("phase").Value(p.label)
+        .Key("with_replica").Value(p.with_replica)
+        .Key("seconds").Value(p.seconds)
+        .Key("reads").Value(p.reads)
+        .Key("reads_per_sec").Value(p.reads_per_sec)
+        .Key("primary_reads").Value(p.primary_reads)
+        .Key("replica_reads").Value(p.replica_reads)
+        .Key("writes").Value(p.writes)
+        .Key("writes_per_sec").Value(p.writes_per_sec)
+        .Key("read_p50_us").Value(p.read_p50_us)
+        .Key("read_p99_us").Value(p.read_p99_us)
+        .Key("typed_errors").Value(p.typed_errors)
+        .Key("protocol_errors").Value(p.protocol_errors)
+        .EndObject();
+  }
+  json.EndArray()
+      .Key("replication").BeginObject()
+      .Key("batches").Value(scaled.hub.batches)
+      .Key("records").Value(scaled.hub.records)
+      .Key("heartbeats").Value(scaled.hub.heartbeats)
+      .Key("bootstraps").Value(scaled.hub.bootstraps)
+      .Key("replica_applied_lsn").Value(scaled.replica_applied_lsn)
+      .Key("primary_durable_lsn").Value(scaled.primary_durable_lsn)
+      .Key("replica_reconnects").Value(scaled.replica_reconnects)
+      .EndObject()
+      .Key("gates").BeginObject()
+      .Key("read_scaleout").BeginObject()
+      .Key("limit").Value(scale_gate)
+      .Key("primary_only_reads_per_sec").Value(solo.reads_per_sec)
+      .Key("with_replica_reads_per_sec").Value(scaled.reads_per_sec)
+      .Key("ratio").Value(ratio)
+      .Key("evaluated").Value(gate_evaluated)
+      .Key("ok").Value(scale_ok)
+      .EndObject()
+      .Key("errors").BeginObject()
+      .Key("count").Value(errors)
+      .Key("ok").Value(errors_ok)
+      .EndObject()
+      .EndObject().EndObject();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("  wrote %s\n", out_path.c_str());
+
+  if (!errors_ok) {
+    std::fprintf(stderr, "bench_load: %lld read/write error(s) observed\n",
+                 static_cast<long long>(errors));
+    return 2;
+  }
+  if (!scale_ok) {
+    std::fprintf(stderr,
+                 "bench_load: PR9 read scale-out %.2fx is below the %.1fx "
+                 "smoke gate\n",
+                 ratio, scale_gate);
+    return 3;
+  }
+  return 0;
+}
+
 int RunBenchPr7(int argc, char** argv) {
   using bench::FlagInt;
   using bench::FlagStr;
@@ -1293,7 +1675,10 @@ int main(int argc, char** argv) {
   const bool pr8 =
       !streamhist::bench::FlagStr(argc, argv, "pr8_json", "").empty() ||
       streamhist::bench::FlagInt(argc, argv, "pr8_smoke", 0) != 0;
-  if (!pr6 && !pr7 && !pr8) {
+  const bool pr9 =
+      !streamhist::bench::FlagStr(argc, argv, "pr9_json", "").empty() ||
+      streamhist::bench::FlagInt(argc, argv, "pr9_smoke", 0) != 0;
+  if (!pr6 && !pr7 && !pr8 && !pr9) {
     std::fprintf(stderr,
                  "usage: bench_load --pr6_json=BENCH_PR6.json "
                  "[--pr6_smoke=1] [--pr6_threads=N] [--pr6_duration_ms=M]\n"
@@ -1301,16 +1686,23 @@ int main(int argc, char** argv) {
                  "[--pr7_smoke=1] [--pr7_threads=N] [--pr7_appends=M]\n"
                  "       bench_load --pr8_json=BENCH_PR8.json "
                  "[--pr8_smoke=1] [--pr8_threads=N] [--pr8_readers=R] "
-                 "[--pr8_values=M]\n");
+                 "[--pr8_values=M]\n"
+                 "       bench_load --pr9_json=BENCH_PR9.json "
+                 "[--pr9_smoke=1] [--pr9_readers=R] [--pr9_threads=N] "
+                 "[--pr9_duration_ms=M]\n");
     return 1;
   }
   if (pr6) {
     const int status = streamhist::RunBenchPr6(argc, argv);
-    if (status != 0 || (!pr7 && !pr8)) return status;
+    if (status != 0 || (!pr7 && !pr8 && !pr9)) return status;
   }
   if (pr7) {
     const int status = streamhist::RunBenchPr7(argc, argv);
-    if (status != 0 || !pr8) return status;
+    if (status != 0 || (!pr8 && !pr9)) return status;
   }
-  return streamhist::RunBenchPr8(argc, argv);
+  if (pr8) {
+    const int status = streamhist::RunBenchPr8(argc, argv);
+    if (status != 0 || !pr9) return status;
+  }
+  return streamhist::RunBenchPr9(argc, argv);
 }

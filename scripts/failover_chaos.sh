@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Replication failover chaos harness (DESIGN.md §14): run a primary and a
+# live read replica under semi-synchronous WAL shipping, SIGKILL the primary
+# mid-burst, and prove three things every cycle:
+#
+#   1. zero acked-write loss — every append the client saw an OK for under
+#      --repl-sync-ms semi-sync is present on the replica after PROMOTE,
+#   2. reads survive the outage — the replica answers estimation verbs
+#      while the primary is dead, before and after promotion, and
+#   3. the lineage chains — the promoted node becomes the next cycle's
+#      primary and feeds a brand-new replica (exercising subscribe-from-LSN
+#      and, once checkpoints truncate, the Bootstrap handoff).
+#
+# The client keeps acked/sent counters in a state file across cycles and
+# asserts acked <= COUNT <= sent at every verification point (see
+# failover_chaos_client.py for why semi-sync upgrades this to zero acked
+# loss at promote time).
+#
+# usage: failover_chaos.sh <path-to-streamhist_tool> [cycles]
+set -u
+
+TOOL="${1:?usage: failover_chaos.sh <path-to-streamhist_tool> [cycles]}"
+CYCLES="${2:-5}"
+CLIENT="$(dirname "$0")/failover_chaos_client.py"
+WORK=$(mktemp -d)
+PRIMARY=""
+REPLICA=""
+trap 'kill -9 "$PRIMARY" "$REPLICA" 2>/dev/null; rm -rf "$WORK"' EXIT
+STATE="$WORK/state.json"
+GEN=0
+
+fail() {
+  echo "FAIL: $1"
+  for f in "$WORK"/node-*.log; do
+    [ -f "$f" ] || continue
+    echo "--- $f"
+    tail -30 "$f"
+  done
+  exit 1
+}
+
+# Starts one node on an ephemeral port with its own WAL dir. With a third
+# argument it starts as a replica of that primary port. Sets NODE_PID and
+# NODE_PORT (parsed from the machine-readable "LISTENING <port>" line).
+start_node() {
+  local wal="$1" log="$2" primary_port="${3:-}"
+  local extra=()
+  if [ -n "$primary_port" ]; then
+    extra=(--replica-of "127.0.0.1:$primary_port" --replica-max-lag-ms 30000)
+  fi
+  "$TOOL" serve --listen 0 --threads 2 --wal-dir "$wal" \
+    --wal-policy always --repl-sync-ms 5000 "${extra[@]}" > "$log" 2>&1 &
+  NODE_PID=$!
+  NODE_PORT=""
+  for _ in $(seq 1 100); do
+    NODE_PORT=$(awk '/^LISTENING /{print $2; exit}' "$log")
+    [ -n "$NODE_PORT" ] && return 0
+    kill -0 "$NODE_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  fail "node ($log) never announced LISTENING"
+}
+
+# Generation 0: the first primary.
+start_node "$WORK/wal-0" "$WORK/node-0.log"
+PRIMARY=$NODE_PID
+PRIMARY_PORT=$NODE_PORT
+
+for CYCLE in $(seq 1 "$CYCLES"); do
+  GEN=$((GEN + 1))
+  start_node "$WORK/wal-$GEN" "$WORK/node-$GEN.log" "$PRIMARY_PORT"
+  REPLICA=$NODE_PID
+  REPLICA_PORT=$NODE_PORT
+
+  # The burst client proves the pipeline live end to end (probe append
+  # visible on the replica) before we arm the kill timer — a kill that
+  # lands before the replica ever subscribed would be testing nothing.
+  python3 "$CLIENT" burst "$PRIMARY_PORT" "$REPLICA_PORT" "$STATE" 200000 \
+    > "$WORK/client.log" 2>&1 &
+  CLIENT_PID=$!
+  for _ in $(seq 1 200); do
+    grep -q 'pipeline live' "$WORK/client.log" && break
+    kill -0 "$CLIENT_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  grep -q 'pipeline live' "$WORK/client.log" || {
+    cat "$WORK/client.log"
+    fail "cycle $CYCLE: replication pipeline never went live"
+  }
+
+  # Let the kill land at a random point in the burst so every cycle tears
+  # the shipping stream somewhere new.
+  sleep "$(awk -v r="$RANDOM" 'BEGIN { printf "%.2f", 0.05 + (r % 100) / 400 }')"
+  kill -9 "$PRIMARY" 2>/dev/null
+  wait "$PRIMARY" 2>/dev/null
+  wait "$CLIENT_PID"
+  CLIENT_STATUS=$?
+  cat "$WORK/client.log"
+  [ "$CLIENT_STATUS" -eq 0 ] || fail "cycle $CYCLE: burst client invariant violated"
+
+  # Primary is gone: the replica must still serve reads, then PROMOTE and
+  # prove zero acked-write loss.
+  python3 "$CLIENT" promote "$REPLICA_PORT" "$STATE" \
+    || fail "cycle $CYCLE: failover verification failed"
+
+  # The promoted node is the next cycle's primary.
+  PRIMARY=$REPLICA
+  PRIMARY_PORT=$REPLICA_PORT
+  REPLICA=""
+done
+
+# Clean SIGTERM shutdown of the last survivor; its summary must show WAL
+# totals like any durable server.
+kill -TERM "$PRIMARY" 2>/dev/null
+wait "$PRIMARY"
+SURVIVOR_STATUS=$?
+[ "$SURVIVOR_STATUS" -eq 0 ] || fail "survivor exited $SURVIVOR_STATUS on SIGTERM"
+grep -q '^wal: records=' "$WORK/node-$GEN.log" \
+  || fail "no WAL totals in the survivor's shutdown summary"
+
+echo "failover_chaos: $CYCLES SIGKILL+PROMOTE cycles, zero acked-write loss"
+exit 0

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Failover client for the replication chaos harness (DESIGN.md §14).
+
+scripts/failover_chaos.sh runs a primary + replica pair under semi-sync
+replication (--repl-sync-ms), SIGKILLs the primary mid-burst, promotes the
+replica, and chains the promoted node in as the next cycle's primary. This
+client is both halves of the check, selected by the first argument:
+
+  burst <primary_port> <replica_port> <statefile> <max_appends>
+      Verifies the recovered count on the primary, proves the replication
+      pipeline is live end to end (an appended probe value becomes visible
+      on the replica), prints "pipeline live" for the harness's kill timer,
+      then appends until the primary is killed out from under it.
+
+  promote <replica_port> <statefile>
+      Runs with the primary already dead. Asserts the replica still answers
+      estimation verbs (the outage read), issues PROMOTE, and asserts zero
+      acked-write loss: every append the burst phase saw an OK for must be
+      in the promoted node's count.
+
+The state file carries sent/acked counters across cycles exactly like
+wal_chaos_client.py: `sent` increments before the append reaches the
+kernel, `acked` only after its OK is read, and the invariant everywhere is
+acked <= COUNT <= sent. Under semi-sync an OK additionally means the record
+was durable on the replica (or the sync budget lapsed, which the harness's
+generous budget makes effectively impossible on loopback), which is what
+upgrades the promote-time check from "bounded loss" to "zero acked loss".
+
+A connection reset mid-burst is the expected outcome (the harness killed
+the primary) and exits 0; only an invariant violation or a protocol error
+exits 1.
+"""
+
+import json
+import os
+import socket
+import sys
+import time
+
+STREAM = "failover0"
+
+
+def load_state(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return {"sent": 0, "acked": 0, "cycles": 0}
+
+
+def save_state(path, state):
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class Connection:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def read_line(self):
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                return None
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return line.decode()
+
+    def read_reply(self):
+        """(ok, lines) for OK replies, (False, [err line]) for ERR, None on EOF."""
+        head = self.read_line()
+        if head is None:
+            return None
+        if head.startswith("OK "):
+            lines = []
+            for _ in range(int(head.split()[1])):
+                line = self.read_line()
+                if line is None:
+                    return None
+                lines.append(line)
+            return True, lines
+        if head.startswith("ERR "):
+            return False, [head]
+        raise AssertionError(f"unparseable reply head: {head!r}")
+
+    def ask(self, statement):
+        self.sock.sendall((statement + "\n").encode())
+        return self.read_reply()
+
+
+def count_stream(conn):
+    reply = conn.ask(f"COUNT {STREAM}")
+    if reply is None or not reply[0]:
+        return None, reply
+    return int(reply[1][0]), reply
+
+
+def burst(primary_port, replica_port, state_path, max_appends):
+    state = load_state(state_path)
+    state["cycles"] += 1
+
+    primary = Connection(primary_port)
+
+    # Ensure the stream exists: OK on the first-ever cycle, ALREADY_EXISTS on
+    # every chained generation (evidence the CREATE record replicated).
+    reply = primary.ask(f"CREATE {STREAM} 1000000 8")
+    if reply is None:
+        print("failover_chaos_client: primary closed during CREATE")
+        return 1
+    if not reply[0] and "EXISTS" not in reply[1][0].upper():
+        print(f"failover_chaos_client: unexpected CREATE error: {reply[1][0]}")
+        return 1
+
+    count, reply = count_stream(primary)
+    if count is None:
+        print(f"failover_chaos_client: primary COUNT failed: {reply}")
+        return 1
+    if not state["acked"] <= count <= state["sent"]:
+        print(
+            f"failover_chaos_client: DURABILITY VIOLATION cycle "
+            f"{state['cycles']}: acked={state['acked']} count={count} "
+            f"sent={state['sent']}"
+        )
+        return 1
+    save_state(state_path, state)
+
+    # Prove the pipeline live end to end before the harness arms its kill
+    # timer: one probe append on the primary must become visible on the
+    # replica. Until this passes, a kill could land before the replica ever
+    # subscribed, and semi-sync would (correctly) have degraded to async.
+    state["sent"] += 1
+    reply = primary.ask(f"APPEND {STREAM} {state['sent']}")
+    if reply is None or not reply[0]:
+        print(f"failover_chaos_client: probe append failed: {reply}")
+        return 1
+    state["acked"] += 1
+    save_state(state_path, state)
+
+    replica = Connection(replica_port)
+    deadline = time.monotonic() + 15
+    while True:
+        rcount, reply = count_stream(replica)
+        if rcount is not None and rcount >= state["acked"]:
+            break
+        if time.monotonic() > deadline:
+            print(
+                f"failover_chaos_client: replica never caught up "
+                f"(want >= {state['acked']}, last reply {reply})"
+            )
+            return 1
+        time.sleep(0.05)
+    replica.sock.close()
+    print(
+        f"failover_chaos_client: cycle {state['cycles']} pipeline live: "
+        f"replica count {rcount} >= acked {state['acked']}",
+        flush=True,
+    )
+
+    # Append until the harness kills the primary (or max_appends, whichever
+    # first). This process outlives the server, so in-memory counters are
+    # safe; the state file is rewritten on every exit path.
+    try:
+        for _ in range(max_appends):
+            value = state["sent"] + 1
+            state["sent"] += 1
+            primary.sock.sendall(f"APPEND {STREAM} {value}\n".encode())
+            reply = primary.read_reply()
+            if reply is None:
+                break  # primary killed: everything un-acked stays un-acked
+            if not reply[0]:
+                print(f"failover_chaos_client: append refused: {reply[1][0]}")
+                return 1
+            state["acked"] += 1
+    except (ConnectionResetError, BrokenPipeError, socket.timeout):
+        pass  # the SIGKILL arrived mid-send or mid-recv; expected
+    finally:
+        save_state(state_path, state)
+
+    print(
+        f"failover_chaos_client: cycle {state['cycles']} burst done: "
+        f"acked={state['acked']} sent={state['sent']}"
+    )
+    return 0
+
+
+def promote(replica_port, state_path):
+    state = load_state(state_path)
+    replica = Connection(replica_port)
+
+    # The outage read: the primary is already dead, and the whole point of a
+    # read replica is that estimation verbs keep answering anyway.
+    count, reply = count_stream(replica)
+    if count is None:
+        print(f"failover_chaos_client: outage read failed: {reply}")
+        return 1
+    print(
+        f"failover_chaos_client: outage read served: count={count} "
+        f"(acked={state['acked']})"
+    )
+
+    reply = replica.ask("PROMOTE")
+    if reply is None or not reply[0]:
+        print(f"failover_chaos_client: PROMOTE failed: {reply}")
+        return 1
+    print(f"failover_chaos_client: {reply[1][0]}")
+
+    count, reply = count_stream(replica)
+    if count is None:
+        print(f"failover_chaos_client: post-promote COUNT failed: {reply}")
+        return 1
+    if not state["acked"] <= count <= state["sent"]:
+        print(
+            f"failover_chaos_client: ACKED-WRITE LOSS at promote: "
+            f"acked={state['acked']} count={count} sent={state['sent']}"
+        )
+        return 1
+
+    # The promoted node must accept writes again — and they count like any
+    # other acked write for the next cycle's verification.
+    state["sent"] += 1
+    reply = replica.ask(f"APPEND {STREAM} {state['sent']}")
+    if reply is None or not reply[0]:
+        print(f"failover_chaos_client: post-promote append failed: {reply}")
+        return 1
+    state["acked"] += 1
+    save_state(state_path, state)
+    print(
+        f"failover_chaos_client: promoted node verified: "
+        f"acked={state['acked']} <= count={count + 1} <= sent={state['sent']}"
+    )
+    return 0
+
+
+def main():
+    mode = sys.argv[1]
+    if mode == "burst":
+        return burst(
+            int(sys.argv[2]), int(sys.argv[3]), sys.argv[4], int(sys.argv[5])
+        )
+    if mode == "promote":
+        return promote(int(sys.argv[2]), sys.argv[3])
+    print(f"failover_chaos_client: unknown mode {mode!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

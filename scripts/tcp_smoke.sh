@@ -14,9 +14,10 @@ WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 LOG="$WORK/serve.log"
 
-# Start on an ephemeral port and wait for the announcement on the first
-# line. A transient startup failure (e.g. the kernel's ephemeral range
-# momentarily exhausted on a busy CI box) gets ONE retry on a fresh port.
+# Start on an ephemeral port and wait for the machine-readable "LISTENING
+# <port>" announcement. A transient startup failure (e.g. the kernel's
+# ephemeral range momentarily exhausted on a busy CI box) gets ONE retry on
+# a fresh port.
 SERVER=""
 PORT=""
 for ATTEMPT in 1 2; do
@@ -24,7 +25,7 @@ for ATTEMPT in 1 2; do
   SERVER=$!
   PORT=""
   for _ in $(seq 1 100); do
-    PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+    PORT=$(awk '/^LISTENING /{print $2; exit}' "$LOG")
     [ -n "$PORT" ] && break
     kill -0 "$SERVER" 2>/dev/null || break
     sleep 0.1

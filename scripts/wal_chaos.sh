@@ -30,10 +30,11 @@ fail() {
   exit 1
 }
 
-# Starts the server on an ephemeral port and waits for the announcement.
-# Retries ONCE, and only when the failure smells like a transient bind
-# problem — a crash during WAL recovery must never be retried away.
-# Sets SERVER and PORT. Honors STALENESS_MS (see the cycle loop).
+# Starts the server on an ephemeral port and waits for the machine-readable
+# "LISTENING <port>" announcement. Retries ONCE, and only when the failure
+# smells like a transient bind problem — a crash during WAL recovery must
+# never be retried away. Sets SERVER and PORT. Honors STALENESS_MS (see the
+# cycle loop).
 start_server() {
   local attempt
   for attempt in 1 2; do
@@ -43,7 +44,7 @@ start_server() {
     SERVER=$!
     PORT=""
     for _ in $(seq 1 100); do
-      PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+      PORT=$(awk '/^LISTENING /{print $2; exit}' "$LOG")
       [ -n "$PORT" ] && return 0
       kill -0 "$SERVER" 2>/dev/null || break
       sleep 0.1

@@ -20,6 +20,7 @@
 
 #include "src/core/error_bounds.h"
 #include "src/engine/wal_records.h"
+#include "src/util/backoff.h"
 #include "src/util/deadline.h"
 #include "src/util/fileio.h"
 #include "src/util/framing.h"
@@ -203,6 +204,27 @@ struct QueryEngine::FlusherState {
   }
 };
 
+// Replication flags and replica-side status (DESIGN.md §14). Allocated
+// unconditionally so the hot-path gates (read_only, has_barrier) are plain
+// relaxed atomic loads with no null check; the mutex guards the cold fields.
+struct QueryEngine::ReplState {
+  std::atomic<bool> read_only{false};
+  std::atomic<bool> has_barrier{false};
+  std::atomic<int64_t> max_lag_ms{0};
+  mutable std::mutex mu;  // guards everything below
+  ReplicaStatus status;
+  ReplicationBarrier barrier;
+  std::function<Result<std::string>()> promote;
+};
+
+namespace {
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 void QueryEngine::EnsureFlusher(int64_t bound_ms) {
   if (bound_ms <= 0) return;
   const int64_t tick = std::max<int64_t>(1, bound_ms / 2);
@@ -256,13 +278,14 @@ void AbortIfWalOpen(const void* wal_state) {
 }
 }  // namespace
 
-QueryEngine::QueryEngine() = default;
+QueryEngine::QueryEngine() : repl_(std::make_unique<ReplState>()) {}
 QueryEngine::~QueryEngine() { (void)CloseWal(); }
 QueryEngine::QueryEngine(QueryEngine&& other) noexcept {
   AbortIfWalOpen(other.wal_.get());
   registry_ = std::move(other.registry_);
   engine_stats_ = std::move(other.engine_stats_);
   wal_ = std::move(other.wal_);
+  repl_ = std::move(other.repl_);
   flusher_mu_ = std::move(other.flusher_mu_);
   flusher_ = std::move(other.flusher_);
 }
@@ -276,6 +299,7 @@ QueryEngine& QueryEngine::operator=(QueryEngine&& other) noexcept {
   registry_ = std::move(other.registry_);
   engine_stats_ = std::move(other.engine_stats_);
   wal_ = std::move(other.wal_);
+  repl_ = std::move(other.repl_);
   flusher_mu_ = std::move(other.flusher_mu_);
   flusher_ = std::move(other.flusher_);
   return *this;
@@ -283,6 +307,10 @@ QueryEngine& QueryEngine::operator=(QueryEngine&& other) noexcept {
 
 Status QueryEngine::CreateStream(const std::string& name,
                                  const StreamConfig& config) {
+  if (repl_->read_only.load(std::memory_order_relaxed)) {
+    return Status::ReadOnly(
+        "this node is a read replica; CREATE must go to the primary");
+  }
   if (name.empty()) return Status::InvalidArgument("stream name is empty");
   if (registry_->Get(name).ok()) {
     return Status::InvalidArgument("stream '" + name + "' already exists");
@@ -322,11 +350,45 @@ Status QueryEngine::CreateStream(const std::string& name,
       wal_->log->Append(walrec::EncodeCreate(name, config)));
   stream.set_wal_lsn(lsn);
   const Status inserted = registry_->Insert(name, std::move(stream));
+  if (inserted.ok()) {
+    EnsureFlusher(staleness_ms);
+    STREAMHIST_RETURN_NOT_OK(RunReplicationBarrier(lsn));
+  }
+  return inserted;
+}
+
+Status QueryEngine::CreateStreamUnlogged(const std::string& name,
+                                         const StreamConfig& config,
+                                         int64_t wal_lsn) {
+  if (name.empty()) return Status::InvalidArgument("stream name is empty");
+  if (registry_->Get(name).ok()) {
+    return Status::InvalidArgument("stream '" + name + "' already exists");
+  }
+  // Same admission probe as the logged path: a budget shrunk since the
+  // record was written refuses the stream here (dropped by the caller).
+  const int64_t estimate = ManagedStream::EstimateFootprintBytes(config);
+  if (!governor::TryCharge(estimate)) {
+    return Status::ResourceExhausted(
+        "memory budget refused stream '" + name + "': estimated " +
+        std::to_string(estimate) + " bytes, used " +
+        std::to_string(governor::Used()) + ", budget " +
+        governor::FormatBytes(governor::Budget()));
+  }
+  governor::Release(estimate);
+  STREAMHIST_ASSIGN_OR_RETURN(ManagedStream stream,
+                              ManagedStream::Create(config));
+  const int64_t staleness_ms = stream.publish_staleness_ms();
+  stream.set_wal_lsn(wal_lsn);
+  const Status inserted = registry_->Insert(name, std::move(stream));
   if (inserted.ok()) EnsureFlusher(staleness_ms);
   return inserted;
 }
 
 Status QueryEngine::DropStream(const std::string& name) {
+  if (repl_->read_only.load(std::memory_order_relaxed)) {
+    return Status::ReadOnly(
+        "this node is a read replica; DROP must go to the primary");
+  }
   if (wal_ == nullptr) return registry_->Erase(name);
   const std::shared_lock<std::shared_mutex> barrier(wal_->registry_mu);
   // Pre-check so dropping a missing stream is not logged. A drop that races
@@ -337,8 +399,9 @@ Status QueryEngine::DropStream(const std::string& name) {
   if (!existing.ok()) return existing.status();
   STREAMHIST_ASSIGN_OR_RETURN(const int64_t lsn,
                               wal_->log->Append(walrec::EncodeDrop(name)));
-  (void)lsn;
-  return registry_->Erase(name);
+  const Status erased = registry_->Erase(name);
+  if (erased.ok()) STREAMHIST_RETURN_NOT_OK(RunReplicationBarrier(lsn));
+  return erased;
 }
 
 Status QueryEngine::LogAppend(const StreamHandle& handle,
@@ -348,11 +411,15 @@ Status QueryEngine::LogAppend(const StreamHandle& handle,
       const int64_t lsn,
       wal_->log->Append(walrec::EncodeAppend(handle.name(), values)));
   handle.stream().set_wal_lsn(lsn);
-  return Status::OK();
+  return RunReplicationBarrier(lsn);
 }
 
 Result<int64_t> QueryEngine::AppendLocked(const StreamHandle& handle,
                                           std::span<const double> values) {
+  if (repl_->read_only.load(std::memory_order_relaxed)) {
+    return Status::ReadOnly(
+        "this node is a read replica; APPEND must go to the primary");
+  }
   const auto lock = handle.LockWriter();
   // Log before apply: an unloggable append is a typed error and the values
   // never enter the stream — the ack implies durability.
@@ -454,9 +521,8 @@ Status QueryEngine::SaveCheckpoint(const std::string& path,
   return SaveCheckpointInternal(path, report, nullptr);
 }
 
-Status QueryEngine::SaveCheckpointInternal(const std::string& path,
-                                           SaveReport* report,
-                                           int64_t* wal_floor_out) const {
+Status QueryEngine::BuildCheckpointImage(std::string* image,
+                                         int64_t* wal_floor) const {
   // With a WAL, the LSN floor and the handle enumeration must be one atomic
   // observation: holding registry_mu exclusive means every CREATE/DROP
   // whose record sits at or below the floor has finished its registry
@@ -465,19 +531,19 @@ Status QueryEngine::SaveCheckpointInternal(const std::string& path,
   // LSN <= floor either applied before this stream's serialization (its
   // writer lock orders them) or the stream's own LSN tail exceeds the
   // floor, and Snapshot()'s max(own, floor) covers both.
-  int64_t wal_floor = 0;
+  int64_t floor = 0;
   std::vector<StreamHandle> handles;
   if (wal_ != nullptr) {
     const std::unique_lock<std::shared_mutex> barrier(wal_->registry_mu);
-    wal_floor = wal_->log->next_lsn() - 1;
+    floor = wal_->log->next_lsn() - 1;
     handles = registry_->Handles();
   } else {
     handles = registry_->Handles();
   }
-  if (wal_floor_out != nullptr) *wal_floor_out = wal_floor;
+  if (wal_floor != nullptr) *wal_floor = floor;
   ByteWriter header;
   header.PutU64(handles.size());
-  header.PutU64(static_cast<uint64_t>(wal_floor));
+  header.PutU64(static_cast<uint64_t>(floor));
   std::string file = WrapFrame(kCheckpointMagic, kCheckpointVersionWal,
                                header.bytes());
   for (const StreamHandle& handle : handles) {
@@ -489,26 +555,31 @@ Status QueryEngine::SaveCheckpointInternal(const std::string& path,
     (void)handle.stream().FlushIfDirty();
     ByteWriter section;
     section.PutLengthPrefixed(handle.name());
-    section.PutLengthPrefixed(handle.stream().Snapshot(wal_floor));
+    section.PutLengthPrefixed(handle.stream().Snapshot(floor));
     file += WrapFrame(kSectionMagic, kSectionVersion, section.bytes());
   }
+  *image = std::move(file);
+  return Status::OK();
+}
+
+Status QueryEngine::SaveCheckpointInternal(const std::string& path,
+                                           SaveReport* report,
+                                           int64_t* wal_floor_out) const {
+  std::string file;
+  STREAMHIST_RETURN_NOT_OK(BuildCheckpointImage(&file, wal_floor_out));
   // The image is immutable from here, so a retry rewrites identical bytes —
   // safe against transient I/O failures (AtomicWriteFile's temp-file
   // discipline means a failed attempt leaves no partial state behind).
+  // Default BackoffOptions reproduce the historical 1ms, 2ms schedule.
+  Backoff backoff{BackoffOptions{}};
+  if (g_backoff_sleeper != nullptr) backoff.set_sleeper(g_backoff_sleeper);
   Status last = Status::OK();
   for (int attempt = 1; attempt <= kSaveAttempts; ++attempt) {
     if (report != nullptr) report->attempts = attempt;
     last = AtomicWriteFile(path, file);
     if (last.ok()) return last;
     if (last.code() != StatusCode::kIOError) return last;  // not transient
-    if (attempt < kSaveAttempts) {
-      const int64_t backoff_ms = int64_t{1} << (attempt - 1);
-      if (g_backoff_sleeper != nullptr) {
-        g_backoff_sleeper(backoff_ms);
-      } else {
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      }
-    }
+    if (attempt < kSaveAttempts) backoff.SleepNext();
   }
   return last;
 }
@@ -544,6 +615,11 @@ Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpoint(
 Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpointFrom(
     const std::string& path, int64_t* header_lsn) {
   STREAMHIST_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+  return LoadCheckpointFromBytes(file, header_lsn);
+}
+
+Result<QueryEngine::CheckpointReport> QueryEngine::LoadCheckpointFromBytes(
+    std::string_view file, int64_t* header_lsn) {
   ByteReader reader(file);
   STREAMHIST_ASSIGN_OR_RETURN(
       FrameView header, ReadFrame(reader, kCheckpointMagic, "checkpoint"));
@@ -644,6 +720,80 @@ std::string QueryEngine::WalRecoveryReport::ToString() const {
   return os.str();
 }
 
+Status QueryEngine::ApplyWalRecord(
+    int64_t lsn, std::string_view payload, WalApplyCounters* counters,
+    std::map<std::string, StreamHandle>* appended) {
+  Result<walrec::Record> record = walrec::Decode(payload);
+  if (!record.ok()) {
+    ++counters->dropped;
+    return Status::OK();
+  }
+  switch (record->type) {
+    case walrec::RecordType::kCreate: {
+      // A stream that already exists — from the checkpoint or an earlier
+      // replayed CREATE — means this record is a dup-create loser or
+      // already reflected; either way it is settled.
+      if (registry_->Get(record->name).ok()) {
+        ++counters->skipped;
+        break;
+      }
+      // The unlogged form: this record IS the log entry — going through
+      // CreateStream would append a second one at a fresh LSN on a replica.
+      // It also re-runs governor admission, so a budget shrunk since the
+      // record was written refuses the stream here, reported as dropped.
+      const Status created =
+          CreateStreamUnlogged(record->name, record->config, lsn);
+      if (!created.ok()) {
+        ++counters->dropped;
+        break;
+      }
+      ++counters->applied;
+      break;
+    }
+    case walrec::RecordType::kAppend: {
+      Result<StreamHandle> handle = registry_->Get(record->name);
+      if (!handle.ok()) {
+        // The stream is dropped later in the log (or its CREATE was
+        // itself dropped); this append has no surviving target.
+        ++counters->skipped;
+        break;
+      }
+      const auto lock = handle->LockWriter();
+      if (handle->stream().wal_lsn() >= lsn) {
+        ++counters->skipped;
+        break;
+      }
+      handle->stream().AppendBatch(record->values);
+      handle->stream().set_wal_lsn(lsn);
+      appended->insert_or_assign(record->name, *handle);
+      ++counters->applied;
+      break;
+    }
+    case walrec::RecordType::kDrop: {
+      Result<StreamHandle> handle = registry_->Get(record->name);
+      if (!handle.ok()) {
+        ++counters->skipped;
+        break;
+      }
+      bool superseded = false;
+      {
+        const auto lock = handle->LockWriter();
+        // A tail at or above this LSN means the checkpoint reflects a
+        // later re-create of the same name; the drop already happened.
+        superseded = handle->stream().wal_lsn() >= lsn;
+      }
+      if (superseded) {
+        ++counters->skipped;
+        break;
+      }
+      (void)registry_->Erase(record->name);
+      ++counters->applied;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
 Result<QueryEngine::WalRecoveryReport> QueryEngine::OpenWal(
     const std::string& dir, const WalConfig& config) {
   if (wal_ != nullptr) {
@@ -691,82 +841,24 @@ Result<QueryEngine::WalRecoveryReport> QueryEngine::OpenWal(
   // via the records themselves. Failures count as dropped, never abort
   // recovery: a half-usable log still beats an empty engine.
   std::map<std::string, StreamHandle> appended;
+  WalApplyCounters counters;
   const wal::Wal::RecordFn apply = [&](int64_t lsn,
                                        std::string_view payload) -> Status {
-    Result<walrec::Record> record = walrec::Decode(payload);
-    if (!record.ok()) {
-      ++recovery.records_dropped;
-      return Status::OK();
-    }
-    switch (record->type) {
-      case walrec::RecordType::kCreate: {
-        // A stream that already exists — from the checkpoint or an earlier
-        // replayed CREATE — means this record is a dup-create loser or
-        // already reflected; either way it is settled.
-        if (registry_->Get(record->name).ok()) {
-          ++recovery.records_skipped;
-          break;
-        }
-        // CreateStream re-runs governor admission: a budget shrunk since
-        // the crash refuses the stream here, reported as dropped.
-        const Status created = CreateStream(record->name, record->config);
-        if (!created.ok()) {
-          ++recovery.records_dropped;
-          break;
-        }
-        Result<StreamHandle> handle = registry_->Get(record->name);
-        if (handle.ok()) {
-          const auto lock = handle->LockWriter();
-          handle->stream().set_wal_lsn(lsn);
-        }
-        ++recovery.records_applied;
-        break;
-      }
-      case walrec::RecordType::kAppend: {
-        Result<StreamHandle> handle = registry_->Get(record->name);
-        if (!handle.ok()) {
-          // The stream is dropped later in the log (or its CREATE was
-          // itself dropped); this append has no surviving target.
-          ++recovery.records_skipped;
-          break;
-        }
-        const auto lock = handle->LockWriter();
-        if (handle->stream().wal_lsn() >= lsn) {
-          ++recovery.records_skipped;
-          break;
-        }
-        handle->stream().AppendBatch(record->values);
-        handle->stream().set_wal_lsn(lsn);
-        appended.insert_or_assign(record->name, *handle);
-        ++recovery.records_applied;
-        break;
-      }
-      case walrec::RecordType::kDrop: {
-        Result<StreamHandle> handle = registry_->Get(record->name);
-        if (!handle.ok()) {
-          ++recovery.records_skipped;
-          break;
-        }
-        bool superseded = false;
-        {
-          const auto lock = handle->LockWriter();
-          // A tail at or above this LSN means the checkpoint reflects a
-          // later re-create of the same name; the drop already happened.
-          superseded = handle->stream().wal_lsn() >= lsn;
-        }
-        if (superseded) {
-          ++recovery.records_skipped;
-          break;
-        }
-        (void)registry_->Erase(record->name);
-        ++recovery.records_applied;
-        break;
-      }
-    }
-    return Status::OK();
+    return ApplyWalRecord(lsn, payload, &counters, &appended);
   };
   STREAMHIST_RETURN_NOT_OK(
       state->log->Replay(checkpoint_floor + 1, apply, nullptr));
+  // A log retaining nothing at or above the checkpoint floor (segments
+  // wiped while the checkpoint survived — disk swap, operator cleanup)
+  // must not hand out LSNs the checkpoint already covers: the per-stream
+  // tails would veto those records on the NEXT recovery and acked writes
+  // would silently vanish. Re-anchor the log just past the floor.
+  if (state->log->next_lsn() <= checkpoint_floor) {
+    STREAMHIST_RETURN_NOT_OK(state->log->AlignNextLsn(checkpoint_floor + 1));
+  }
+  recovery.records_applied = counters.applied;
+  recovery.records_skipped = counters.skipped;
+  recovery.records_dropped = counters.dropped;
   for (auto& [name, handle] : appended) {
     const auto lock = handle.LockWriter();
     handle.stream().PublishSnapshot();
@@ -842,6 +934,154 @@ Status QueryEngine::WalCheckpointNow(std::string* summary) {
     *summary = os.str();
   }
   return Status::OK();
+}
+
+Status QueryEngine::WalReadTail(wal::TailCursor* cursor, int64_t max_bytes,
+                                wal::TailBatch* out) const {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("no write-ahead log is open");
+  }
+  return wal_->log->ReadTail(cursor, max_bytes, out);
+}
+
+bool QueryEngine::WalWaitDurable(int64_t lsn, int64_t timeout_ms) const {
+  if (wal_ == nullptr) return false;
+  return wal_->log->WaitDurable(lsn, timeout_ms);
+}
+
+void QueryEngine::SetReadOnly(bool read_only) {
+  repl_->read_only.store(read_only, std::memory_order_relaxed);
+}
+
+bool QueryEngine::read_only() const {
+  return repl_->read_only.load(std::memory_order_relaxed);
+}
+
+void QueryEngine::SetReplicationBarrier(ReplicationBarrier barrier) {
+  const std::lock_guard<std::mutex> lock(repl_->mu);
+  repl_->barrier = std::move(barrier);
+  repl_->has_barrier.store(static_cast<bool>(repl_->barrier),
+                           std::memory_order_relaxed);
+}
+
+Status QueryEngine::RunReplicationBarrier(int64_t lsn) {
+  if (!repl_->has_barrier.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  ReplicationBarrier barrier;
+  {
+    const std::lock_guard<std::mutex> lock(repl_->mu);
+    barrier = repl_->barrier;
+  }
+  if (!barrier) return Status::OK();
+  // Called with no engine locks that the shipping side needs: CREATE/DROP
+  // hold registry_mu shared (the feeder never takes it) and APPEND holds one
+  // stream's writer lock, so a semi-sync wait here cannot deadlock shipping.
+  return barrier(lsn);
+}
+
+void QueryEngine::SetReplicaMaxLagMs(int64_t ms) {
+  repl_->max_lag_ms.store(ms, std::memory_order_relaxed);
+}
+
+void QueryEngine::SetPromoteHandler(
+    std::function<Result<std::string>()> handler) {
+  const std::lock_guard<std::mutex> lock(repl_->mu);
+  repl_->promote = std::move(handler);
+}
+
+void QueryEngine::UpdateReplicaStatus(const ReplicaStatus& status) {
+  const std::lock_guard<std::mutex> lock(repl_->mu);
+  repl_->status = status;
+}
+
+QueryEngine::ReplicaStatus QueryEngine::replica_status() const {
+  const std::lock_guard<std::mutex> lock(repl_->mu);
+  return repl_->status;
+}
+
+Status QueryEngine::CheckReplicaLag() const {
+  if (!repl_->read_only.load(std::memory_order_relaxed)) return Status::OK();
+  const int64_t bound = repl_->max_lag_ms.load(std::memory_order_relaxed);
+  if (bound <= 0) return Status::OK();
+  int64_t last_contact_ms = 0;
+  {
+    const std::lock_guard<std::mutex> lock(repl_->mu);
+    last_contact_ms = repl_->status.last_contact_ms;
+  }
+  // Before the first primary frame there is no lag measurement; recovered
+  // local state is served as-is rather than shedding on an unknown.
+  if (last_contact_ms == 0) return Status::OK();
+  const int64_t lag_ms = SteadyNowMs() - last_contact_ms;
+  if (lag_ms <= bound) return Status::OK();
+  return Status::Overloaded(
+      "replica lag " + std::to_string(lag_ms) + "ms exceeds the " +
+      std::to_string(bound) + "ms bound; query the primary or retry later");
+}
+
+Status QueryEngine::ApplyReplicatedBatch(
+    std::span<const std::pair<int64_t, std::string>> records,
+    ReplicatedBatchReport* report) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "replica apply requires an open write-ahead log (--wal-dir)");
+  }
+  // Durability first: land every record in the local log at its primary LSN
+  // and fsync once, THEN apply. A crash after the fsync replays this batch
+  // from the local log on restart; a crash before it resumes shipping from
+  // the durable LSN. Records below next_lsn are re-deliveries from a
+  // reconnect overlap — already in the local log, so only re-applied (the
+  // per-stream LSN veto settles those).
+  for (const auto& [lsn, payload] : records) {
+    if (lsn >= wal_->log->next_lsn()) {
+      STREAMHIST_RETURN_NOT_OK(wal_->log->AppendAt(lsn, payload));
+    }
+  }
+  STREAMHIST_RETURN_NOT_OK(wal_->log->Flush());
+  WalApplyCounters counters;
+  std::map<std::string, StreamHandle> appended;
+  for (const auto& [lsn, payload] : records) {
+    STREAMHIST_RETURN_NOT_OK(
+        ApplyWalRecord(lsn, payload, &counters, &appended));
+  }
+  for (auto& [name, handle] : appended) {
+    const auto lock = handle.LockWriter();
+    handle.stream().PublishSnapshot();
+  }
+  if (report != nullptr) {
+    report->applied = counters.applied;
+    report->skipped = counters.skipped;
+    report->dropped = counters.dropped;
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::BootstrapFromImage(std::string_view image,
+                                       int64_t wal_floor) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "bootstrap requires an open write-ahead log (--wal-dir)");
+  }
+  // Persist the image as our own checkpoint BEFORE touching the registry: a
+  // crash anywhere past this write recovers from the image (whose header
+  // floor keeps stale retained records vetoed), so a half-applied bootstrap
+  // is unreachable.
+  STREAMHIST_RETURN_NOT_OK(AtomicWriteFile(wal_->CheckpointPath(), image));
+  int64_t header_lsn = 0;
+  {
+    // Unlike LOAD, the per-stream LSN tails are KEPT: primary and replica
+    // share one LSN space, and the tails are exactly what vetoes records
+    // the image already reflects when shipping resumes.
+    const std::unique_lock<std::shared_mutex> barrier(wal_->registry_mu);
+    Result<CheckpointReport> loaded =
+        LoadCheckpointFromBytes(image, &header_lsn);
+    if (!loaded.ok()) return loaded.status();
+  }
+  const int64_t floor = std::max(wal_floor, header_lsn);
+  // Local segments predate the image; fast-forward the log to floor + 1 and
+  // drop them so replication resumes contiguously at primary LSNs.
+  STREAMHIST_RETURN_NOT_OK(wal_->log->AlignNextLsn(floor + 1));
+  return wal_->log->TruncateBefore(floor + 1);
 }
 
 Result<std::string> QueryEngine::Execute(const std::string& statement) {
@@ -966,6 +1206,19 @@ Result<std::string> QueryEngine::ExecuteParsed(
       os << "\nwal: durable lsn=" << wal_->log->durable_lsn()
          << "; last recovery: " << wal_->recovery.ToString();
     }
+    const ReplicaStatus rs = replica_status();
+    if (rs.is_replica) {
+      const bool ro = repl_->read_only.load(std::memory_order_relaxed);
+      os << "\nreplication: role=" << (ro ? "replica" : "promoted")
+         << "; connected=" << (rs.connected ? "yes" : "no")
+         << "; primary durable lsn=" << rs.primary_durable_lsn
+         << "; applied lsn=" << rs.applied_lsn << "; lag records="
+         << std::max<int64_t>(0, rs.primary_durable_lsn - rs.applied_lsn)
+         << "; lag ms="
+         << (rs.last_contact_ms == 0 ? 0 : SteadyNowMs() - rs.last_contact_ms)
+         << "; reconnects=" << rs.reconnects << "; batches=" << rs.batches
+         << "; records=" << rs.records << "; bootstraps=" << rs.bootstraps;
+    }
     for (const StreamHandle& handle : registry_->Handles()) {
       os << "\nstream " << handle.name() << ':';
       const std::string lines = handle.stats().Render();
@@ -1023,6 +1276,25 @@ Result<std::string> QueryEngine::ExecuteParsed(
     return "flushed " + std::to_string(flushed) + " stream(s)";
   }
 
+  if (verb == "PROMOTE") {
+    // Failover: flip this replica into a writable primary at a clean batch
+    // boundary (DESIGN.md §14). Not a QueryVerb enumerator for the same
+    // SHMS stats-layout reason as WAL and FLUSH.
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("PROMOTE takes no arguments");
+    }
+    std::function<Result<std::string>()> promote;
+    {
+      const std::lock_guard<std::mutex> lock(repl_->mu);
+      promote = repl_->promote;
+    }
+    if (!promote) {
+      return Status::FailedPrecondition(
+          "PROMOTE requires a replica (start with --replica-of)");
+    }
+    return promote();
+  }
+
   if (tokens.size() < 2) {
     return Status::InvalidArgument(verb + " requires an argument");
   }
@@ -1066,6 +1338,12 @@ Result<std::string> QueryEngine::ExecuteParsed(
   }
   if (verb == "LOAD") {
     if (tokens.size() != 2) return Status::InvalidArgument("LOAD <path>");
+    if (repl_->read_only.load(std::memory_order_relaxed)) {
+      // LOAD rewrites the registry and re-anchors the log — on a replica
+      // that would fork its LSN space away from the primary's.
+      return Status::ReadOnly(
+          "this node is a read replica; LOAD must go to the primary");
+    }
     STREAMHIST_ASSIGN_OR_RETURN(CheckpointReport report,
                                 LoadCheckpoint(tokens[1]));
     return report.ToString();
@@ -1189,6 +1467,11 @@ Result<std::string> QueryEngine::ExecuteParsed(
     }
     return Status::InvalidArgument("STATS [<stream> [<verb>]]");
   }
+
+  // Replica rung of the degradation ladder: when this node is a badly
+  // lagged replica, a typed shed the client can retry elsewhere beats an
+  // arbitrarily stale answer.
+  STREAMHIST_RETURN_NOT_OK(CheckReplicaLag());
 
   // Estimation verbs: answer from the latest published snapshot, lock-free.
   // A concurrent APPEND/BUILD/DROP cannot tear or invalidate `snap`.

@@ -1,10 +1,15 @@
 #ifndef STREAMHIST_ENGINE_QUERY_ENGINE_H_
 #define STREAMHIST_ENGINE_QUERY_ENGINE_H_
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/engine/managed_stream.h"
@@ -84,8 +89,11 @@ struct StreamBatch {
 ///                                 stream, or every stream with publication
 ///                                 pending (see DESIGN.md §13; a no-op under
 ///                                 the default per-batch publication policy)
+///   PROMOTE                       flip a read replica into a writable
+///                                 primary at a clean LSN boundary (DESIGN.md
+///                                 §14); refused on a non-replica
 ///
-/// (WAL / WAL CHECKPOINT / FLUSH are deliberately *not* QueryVerb
+/// (WAL / WAL CHECKPOINT / FLUSH / PROMOTE are deliberately *not* QueryVerb
 /// enumerators: the enum's cardinality is baked into the SHMS v4+
 /// stats-block layout, and growing it would break loading v1-v5
 /// checkpoints. They execute without per-verb stats.)
@@ -281,9 +289,98 @@ class QueryEngine {
   /// checkpointer both land here. Serialized against itself.
   Status WalCheckpointNow(std::string* summary = nullptr);
 
+  /// Tailing read of the durable log for replication shipping — a thin pass
+  /// through to wal::Wal::ReadTail. Fails kFailedPrecondition without an
+  /// open WAL.
+  Status WalReadTail(wal::TailCursor* cursor, int64_t max_bytes,
+                     wal::TailBatch* out) const;
+
+  /// Blocks until the log's durable LSN reaches `lsn` or `timeout_ms`
+  /// passes; false on timeout (or with no WAL open). The shipping loop's
+  /// wait primitive: new durable records wake it, idle periods become
+  /// heartbeats.
+  bool WalWaitDurable(int64_t lsn, int64_t timeout_ms) const;
+
+  // --- Replication (DESIGN.md §14) ---
+  //
+  // The engine carries the mechanism; the policy lives in src/server: a
+  // primary installs a barrier (semi-sync acks), a replica runs read-only
+  // with a feed of shipped batches, and PROMOTE hands control back.
+
+  /// Read-only replica mode: CREATE/DROP/APPEND/LOAD are refused with
+  /// kReadOnly while replicated batches keep applying underneath.
+  /// Estimation verbs, SAVE, and WAL CHECKPOINT stay available.
+  void SetReadOnly(bool read_only);
+  bool read_only() const;
+
+  /// Installed on a primary: called with each record's LSN after its
+  /// successful WAL append (CREATE/DROP/APPEND log paths). A semi-sync
+  /// barrier blocks until a replica acknowledged the LSN or its wait budget
+  /// lapsed; returning non-OK fails the write (the record is already
+  /// locally durable, so barriers should degrade, not error, on timeout).
+  using ReplicationBarrier = std::function<Status(int64_t lsn)>;
+  void SetReplicationBarrier(ReplicationBarrier barrier);
+
+  /// Builds the serialized SHCP checkpoint image in memory — the bootstrap
+  /// handoff body — plus the WAL LSN floor it reflects. Exactly the bytes
+  /// SaveCheckpoint would write, without touching disk.
+  Status BuildCheckpointImage(std::string* image, int64_t* wal_floor) const;
+
+  /// Replica bootstrap: persists `image` as this engine's own checkpoint
+  /// (crash-during-bootstrap recovers from it), replaces the registry with
+  /// its streams KEEPING their per-stream LSN tails (primary and replica
+  /// share one LSN space), and fast-forwards the local WAL so replication
+  /// resumes at wal_floor + 1. Requires an open WAL.
+  Status BootstrapFromImage(std::string_view image, int64_t wal_floor);
+
+  /// What ApplyReplicatedBatch did with the shipped records.
+  struct ReplicatedBatchReport {
+    int64_t applied = 0;
+    int64_t skipped = 0;  // LSN veto: already reflected (idempotent re-apply)
+    int64_t dropped = 0;  // undecodable or inapplicable
+  };
+
+  /// Applies one shipped batch: logs every record into the local WAL at its
+  /// primary LSN, fsyncs once (durability before acknowledgment), then
+  /// applies through the replay path — the per-stream LSN veto makes
+  /// re-delivery after a reconnect idempotent — and publishes the touched
+  /// streams so estimation verbs serve the new state. Requires an open WAL.
+  Status ApplyReplicatedBatch(std::span<const std::pair<int64_t, std::string>>
+                                  records,
+                              ReplicatedBatchReport* report = nullptr);
+
+  /// Live replica-side replication state, fed by the replication client in
+  /// src/server and rendered by STATS. Timestamps are steady-clock
+  /// milliseconds so lag math never moves backwards with wall-clock jumps.
+  struct ReplicaStatus {
+    bool is_replica = false;
+    bool connected = false;
+    int64_t primary_durable_lsn = 0;  // from heartbeats / record batches
+    int64_t applied_lsn = 0;          // highest LSN applied locally
+    int64_t last_contact_ms = 0;      // steady-clock ms of last primary frame
+    int64_t reconnects = 0;
+    int64_t batches = 0;
+    int64_t records = 0;
+    int64_t bootstraps = 0;
+  };
+  void UpdateReplicaStatus(const ReplicaStatus& status);
+  ReplicaStatus replica_status() const;
+
+  /// Degradation ladder, replica rung: when > 0 and this replica has not
+  /// heard from its primary for longer than `ms`, estimation verbs shed
+  /// with kOverloaded instead of serving arbitrarily stale answers. 0
+  /// disables the shed.
+  void SetReplicaMaxLagMs(int64_t ms);
+
+  /// Registered by the replica runtime; the PROMOTE verb invokes it. The
+  /// handler stops replication at a batch boundary, flips read-only off,
+  /// and returns the promotion summary.
+  void SetPromoteHandler(std::function<Result<std::string>()> handler);
+
  private:
   struct WalState;      // defined in query_engine.cc
   struct FlusherState;  // defined in query_engine.cc
+  struct ReplState;     // defined in query_engine.cc
   /// The parsed-statement dispatcher behind both Execute overloads. Sets
   /// `*touched` to the resolved stream handle for stream-scoped verbs (the
   /// stats target); leaves it empty for engine-scoped verbs and failed
@@ -296,6 +393,40 @@ class QueryEngine {
   /// the SHCP v2 header's global WAL LSN (0 for v1 files).
   Result<CheckpointReport> LoadCheckpointFrom(const std::string& path,
                                               int64_t* header_lsn);
+
+  /// The from-memory core behind LoadCheckpointFrom — also the bootstrap
+  /// path, where the image arrives over the wire instead of from disk.
+  Result<CheckpointReport> LoadCheckpointFromBytes(std::string_view file,
+                                                   int64_t* header_lsn);
+
+  /// CreateStream minus the read-only gate and the WAL record: the replay /
+  /// replica-apply form, where the CREATE is already logged (or arrives at a
+  /// primary-assigned LSN). `wal_lsn` seeds the stream's LSN tail.
+  Status CreateStreamUnlogged(const std::string& name,
+                              const StreamConfig& config, int64_t wal_lsn);
+
+  /// Replay/apply tallies for ApplyWalRecord.
+  struct WalApplyCounters {
+    int64_t applied = 0;
+    int64_t skipped = 0;
+    int64_t dropped = 0;
+  };
+
+  /// Applies one decoded-or-droppable WAL record to the registry — the
+  /// shared core of OpenWal's recovery replay and ApplyReplicatedBatch.
+  /// Per-stream LSN tails veto records the state already reflects; touched
+  /// streams are collected into `appended` for a deferred publish. Never
+  /// fails on record content (damage counts as dropped).
+  Status ApplyWalRecord(int64_t lsn, std::string_view payload,
+                        WalApplyCounters* counters,
+                        std::map<std::string, StreamHandle>* appended);
+
+  /// Runs the installed replication barrier for `lsn` (no-op without one).
+  Status RunReplicationBarrier(int64_t lsn);
+
+  /// The replica lag shed: OK, or kOverloaded when read-only and the
+  /// primary has been silent past the configured bound.
+  Status CheckReplicaLag() const;
 
   /// SaveCheckpoint's core; `wal_floor_out`, when non-null, receives the
   /// global WAL LSN stored in the image (the safe truncation horizon).
@@ -331,6 +462,9 @@ class QueryEngine {
       std::make_unique<StreamRegistry>();
   std::unique_ptr<QueryStats> engine_stats_ = std::make_unique<QueryStats>();
   std::unique_ptr<WalState> wal_;
+  // Always allocated (the constructor does): replication flags are read on
+  // hot paths without a null check. unique_ptr keeps the engine movable.
+  std::unique_ptr<ReplState> repl_;
   // Guards flusher_ creation; unique_ptr keeps the engine movable.
   std::unique_ptr<std::mutex> flusher_mu_ = std::make_unique<std::mutex>();
   // Declared last: its joining destructor runs before the registry (which

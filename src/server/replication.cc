@@ -1,0 +1,586 @@
+#include "src/server/replication.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/engine/query_engine.h"
+#include "src/server/socket.h"
+#include "src/server/wire.h"
+#include "src/util/backoff.h"
+#include "src/util/fault.h"
+#include "src/util/governor.h"
+#include "src/util/wal.h"
+
+namespace streamhist {
+namespace net {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Blocking send of a whole frame. Tolerates fault-injected EAGAIN (the
+/// socket itself is blocking) by waiting for writability; false on any real
+/// error — the caller tears the link down.
+bool SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = WriteFd(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLOUT;
+      (void)::poll(&p, 1, 100);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void SetBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+}  // namespace
+
+// --- ReplicationHub ---------------------------------------------------------
+
+struct ReplicationHub::Impl {
+  QueryEngine& engine;
+  HubOptions options;
+
+  /// One adopted replica link, served by two threads: the feeder ships WAL
+  /// records (blocking writes, durability waits), the reader drains the
+  /// replica's Progress acks the moment they arrive — a semi-sync barrier
+  /// is blocked on exactly that, so acks must not wait out the feeder's
+  /// durability sleep. `dead` flags the subscriber for reaping (a thread
+  /// cannot join itself).
+  struct Subscriber {
+    UniqueFd fd;
+    int64_t charge = 0;
+    int64_t from_lsn = 1;
+    std::string input;  // replica->primary bytes buffered pre-handoff
+    std::atomic<int64_t> acked_lsn{0};
+    std::atomic<bool> dead{false};
+    std::thread feeder;
+    std::thread reader;
+  };
+
+  mutable std::mutex mu;  // guards subs; acked_cv waits on it
+  std::condition_variable acked_cv;
+  std::vector<std::unique_ptr<Subscriber>> subs;
+  std::atomic<bool> stop{false};
+
+  std::atomic<int64_t> subscribes{0};
+  std::atomic<int64_t> batches{0};
+  std::atomic<int64_t> records{0};
+  std::atomic<int64_t> heartbeats{0};
+  std::atomic<int64_t> bootstraps{0};
+  std::atomic<int64_t> sync_waits{0};
+  std::atomic<int64_t> sync_timeouts{0};
+
+  Impl(QueryEngine& e, const HubOptions& o) : engine(e), options(o) {}
+
+  /// Parses complete frames out of `buf`, applying Progress acks; false on
+  /// protocol damage (framing is lost — drop the link).
+  bool ParseAcks(Subscriber& sub, std::string& buf) {
+    while (!buf.empty()) {
+      const ReplFrameScan scan = ScanReplFrame(buf, 4096);
+      if (scan.state == FrameScan::State::kNeedMore) return true;
+      if (scan.state == FrameScan::State::kBad) return false;
+      const std::string_view frame(buf.data(), scan.frame_bytes);
+      if (scan.magic == kReplProgressMagic) {
+        const Result<int64_t> lsn = DecodeReplProgress(frame);
+        if (!lsn.ok()) return false;
+        int64_t cur = sub.acked_lsn.load(std::memory_order_relaxed);
+        while (*lsn > cur && !sub.acked_lsn.compare_exchange_weak(
+                                 cur, *lsn, std::memory_order_relaxed)) {
+        }
+        acked_cv.notify_all();
+      }
+      // Non-Progress frames from a replica are undefined; drop them — the
+      // shipping direction carries its own integrity via CRC.
+      buf.erase(0, scan.frame_bytes);
+    }
+    return true;
+  }
+
+  void ReaderMain(Subscriber* sub) {
+    std::string buf = std::move(sub->input);
+    bool healthy = ParseAcks(*sub, buf);
+    while (healthy) {
+      char chunk[4096];
+      const ssize_t n = ::recv(sub->fd.get(), chunk, sizeof(chunk), 0);
+      if (n == 0) break;  // replica closed its end
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // includes the shutdown() from Stop / the feeder
+      }
+      buf.append(chunk, static_cast<size_t>(n));
+      healthy = ParseAcks(*sub, buf);
+    }
+    sub->dead.store(true, std::memory_order_release);
+    ::shutdown(sub->fd.get(), SHUT_RDWR);  // unsticks a blocked feeder write
+    acked_cv.notify_all();
+  }
+
+  void FeederMain(Subscriber* sub) {
+    wal::TailCursor cursor;
+    cursor.next_lsn = std::max<int64_t>(1, sub->from_lsn);
+    while (!stop.load(std::memory_order_acquire) &&
+           !sub->dead.load(std::memory_order_acquire)) {
+      // Fault `net.partition`: the link silently dies mid-stream, exactly
+      // like a yanked cable — no FIN reaches the replica until the close.
+      if (fault::Triggered("net.partition")) break;
+      wal::TailBatch batch;
+      const Status read =
+          engine.WalReadTail(&cursor, options.max_batch_bytes, &batch);
+      if (!read.ok()) break;
+      if (batch.truncated_below) {
+        // The records this replica needs were checkpoint-truncated: hand
+        // over the checkpoint image instead and resume above its floor.
+        std::string image;
+        int64_t floor = 0;
+        if (!engine.BuildCheckpointImage(&image, &floor).ok()) break;
+        if (!SendAll(sub->fd.get(), EncodeReplBootstrap(floor, image))) break;
+        bootstraps.fetch_add(1, std::memory_order_relaxed);
+        cursor = wal::TailCursor{};
+        cursor.next_lsn = floor + 1;
+        continue;
+      }
+      if (!batch.records.empty()) {
+        if (!SendAll(sub->fd.get(), EncodeReplRecords(batch.records))) break;
+        batches.fetch_add(1, std::memory_order_relaxed);
+        records.fetch_add(static_cast<int64_t>(batch.records.size()),
+                          std::memory_order_relaxed);
+        continue;  // keep draining the backlog before waiting
+      }
+      // Caught up. Wait for the next durable record; a quiet interval
+      // becomes a heartbeat so the replica can tell silence from death.
+      if (!engine.WalWaitDurable(cursor.next_lsn, options.heartbeat_ms)) {
+        if (!SendAll(sub->fd.get(),
+                     EncodeReplHeartbeat(engine.WalDurableLsn()))) {
+          break;
+        }
+        heartbeats.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    sub->dead.store(true, std::memory_order_release);
+    ::shutdown(sub->fd.get(), SHUT_RDWR);  // unsticks the reader's recv
+    // A semi-sync waiter blocked on this subscriber must recheck liveness.
+    acked_cv.notify_all();
+  }
+
+  /// Joins and frees subscribers whose feeders exited. Called off the
+  /// feeder threads (Adopt / Stop / stats).
+  void ReapLocked() {
+    auto it = subs.begin();
+    while (it != subs.end()) {
+      Subscriber& sub = **it;
+      if (sub.dead.load(std::memory_order_acquire)) {
+        if (sub.feeder.joinable()) sub.feeder.join();
+        if (sub.reader.joinable()) sub.reader.join();
+        governor::Release(sub.charge);
+        it = subs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+ReplicationHub::ReplicationHub(QueryEngine& engine, const HubOptions& options)
+    : impl_(std::make_unique<Impl>(engine, options)) {}
+
+ReplicationHub::~ReplicationHub() { Stop(); }
+
+void ReplicationHub::Adopt(int fd, int64_t governor_charge, int64_t from_lsn,
+                           std::string pending_input) {
+  auto sub = std::make_unique<Impl::Subscriber>();
+  sub->fd = UniqueFd(fd);
+  sub->charge = governor_charge;
+  sub->from_lsn = from_lsn;
+  sub->input = std::move(pending_input);
+  // The TCP server accepted it nonblocking; the feeder wants blocking
+  // writes as its flow control.
+  SetBlocking(sub->fd.get());
+  impl_->subscribes.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ReapLocked();
+  if (impl_->stop.load(std::memory_order_acquire)) {
+    governor::Release(sub->charge);
+    return;  // shutting down: the socket just closes
+  }
+  Impl::Subscriber* raw = sub.get();
+  Impl* impl = impl_.get();
+  sub->feeder = std::thread([impl, raw] { impl->FeederMain(raw); });
+  sub->reader = std::thread([impl, raw] { impl->ReaderMain(raw); });
+  impl_->subs.push_back(std::move(sub));
+}
+
+Status ReplicationHub::WaitShipped(int64_t lsn) {
+  if (impl_->options.sync_ms <= 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(impl_->options.sync_ms);
+  bool waited = false;
+  for (;;) {
+    bool any_live = false;
+    int64_t best = 0;
+    for (const auto& sub : impl_->subs) {
+      if (sub->dead.load(std::memory_order_acquire)) continue;
+      any_live = true;
+      best = std::max(best, sub->acked_lsn.load(std::memory_order_relaxed));
+    }
+    // No replica connected: semi-sync degrades to async rather than
+    // stalling every write until one shows up.
+    if (!any_live || best >= lsn) return Status::OK();
+    if (!waited) {
+      waited = true;
+      impl_->sync_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (impl_->acked_cv.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      // The record is locally durable; a slow replica must not turn into
+      // client-visible write errors (and retried duplicates). Count it and
+      // move on.
+      impl_->sync_timeouts.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+}
+
+void ReplicationHub::Stop() {
+  impl_->stop.store(true, std::memory_order_release);
+  std::vector<std::unique_ptr<Impl::Subscriber>> drained;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    drained.swap(impl_->subs);
+  }
+  for (auto& sub : drained) {
+    ::shutdown(sub->fd.get(), SHUT_RDWR);
+  }
+  for (auto& sub : drained) {
+    if (sub->feeder.joinable()) sub->feeder.join();
+    if (sub->reader.joinable()) sub->reader.join();
+    governor::Release(sub->charge);
+  }
+  impl_->acked_cv.notify_all();
+}
+
+HubStatsSnapshot ReplicationHub::stats() const {
+  HubStatsSnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& sub : impl_->subs) {
+      if (!sub->dead.load(std::memory_order_acquire)) ++snap.subscribers;
+      snap.acked_lsn = std::max(
+          snap.acked_lsn, sub->acked_lsn.load(std::memory_order_relaxed));
+    }
+  }
+  snap.subscribes = impl_->subscribes.load(std::memory_order_relaxed);
+  snap.batches = impl_->batches.load(std::memory_order_relaxed);
+  snap.records = impl_->records.load(std::memory_order_relaxed);
+  snap.heartbeats = impl_->heartbeats.load(std::memory_order_relaxed);
+  snap.bootstraps = impl_->bootstraps.load(std::memory_order_relaxed);
+  snap.sync_waits = impl_->sync_waits.load(std::memory_order_relaxed);
+  snap.sync_timeouts = impl_->sync_timeouts.load(std::memory_order_relaxed);
+  return snap;
+}
+
+// --- ReplicaClient ----------------------------------------------------------
+
+struct ReplicaClient::Impl {
+  QueryEngine& engine;
+  ReplicaOptions options;
+
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  std::mutex fd_mu;  // guards fd against Stop()'s shutdown from outside
+  UniqueFd fd;
+
+  std::mutex status_mu;  // guards status (the thread's working copy)
+  QueryEngine::ReplicaStatus status;
+
+  std::mutex lifecycle_mu;  // serializes Stop/Promote
+  bool promoted = false;
+  int64_t promoted_lsn = 0;
+
+  Impl(QueryEngine& e, const ReplicaOptions& o) : engine(e), options(o) {
+    status.is_replica = true;
+  }
+
+  /// Mutates the working status under the lock and pushes a copy into the
+  /// engine, where STATS and the lag shed read it.
+  template <typename Fn>
+  void UpdateStatus(Fn&& fn) {
+    QueryEngine::ReplicaStatus copy;
+    {
+      const std::lock_guard<std::mutex> lock(status_mu);
+      fn(status);
+      copy = status;
+    }
+    engine.UpdateReplicaStatus(copy);
+  }
+
+  /// Handles one complete primary->replica frame; false tears the link
+  /// down (CRC damage, apply failure) so the resubscribe resynchronizes.
+  bool HandleFrame(uint32_t magic, std::string_view frame) {
+    const int64_t now_ms = SteadyNowMs();
+    switch (magic) {
+      case kReplRecordsMagic: {
+        const Result<std::vector<ReplRecord>> decoded =
+            DecodeReplRecords(frame);
+        // A corrupt frame (fault repl.frame.corrupt, or a real fault in
+        // between) fails the CRC inside UnwrapFrame: never apply, drop the
+        // link, resume from our durable LSN.
+        if (!decoded.ok()) return false;
+        if (!engine.ApplyReplicatedBatch(*decoded).ok()) return false;
+        const int64_t top =
+            decoded->empty() ? 0 : decoded->back().first;
+        UpdateStatus([&](QueryEngine::ReplicaStatus& s) {
+          s.last_contact_ms = now_ms;
+          s.batches += 1;
+          s.records += static_cast<int64_t>(decoded->size());
+          if (top > s.applied_lsn) s.applied_lsn = top;
+          if (top > s.primary_durable_lsn) s.primary_durable_lsn = top;
+        });
+        // The Progress ack carries OUR durable LSN, sent only after
+        // ApplyReplicatedBatch's fsync — this is what lets a semi-sync
+        // primary treat the ack as replica-durable.
+        return SendAll(fd_get(), EncodeReplProgress(engine.WalDurableLsn()));
+      }
+      case kReplHeartbeatMagic: {
+        const Result<int64_t> lsn = DecodeReplHeartbeat(frame);
+        if (!lsn.ok()) return false;
+        UpdateStatus([&](QueryEngine::ReplicaStatus& s) {
+          s.last_contact_ms = now_ms;
+          if (*lsn > s.primary_durable_lsn) s.primary_durable_lsn = *lsn;
+        });
+        return true;
+      }
+      case kReplBootstrapMagic: {
+        const Result<ReplBootstrap> boot = DecodeReplBootstrap(frame);
+        if (!boot.ok()) return false;
+        if (!engine.BootstrapFromImage(boot->image, boot->wal_floor).ok()) {
+          return false;
+        }
+        UpdateStatus([&](QueryEngine::ReplicaStatus& s) {
+          s.last_contact_ms = now_ms;
+          s.bootstraps += 1;
+          if (boot->wal_floor > s.applied_lsn) s.applied_lsn = boot->wal_floor;
+          if (boot->wal_floor > s.primary_durable_lsn) {
+            s.primary_durable_lsn = boot->wal_floor;
+          }
+        });
+        return SendAll(fd_get(), EncodeReplProgress(engine.WalDurableLsn()));
+      }
+      default:
+        // Subscribe/Progress never flow primary -> replica; hostile or
+        // confused peer — drop the link.
+        return false;
+    }
+  }
+
+  int fd_get() {
+    const std::lock_guard<std::mutex> lock(fd_mu);
+    return fd.get();
+  }
+
+  /// One connected session: subscribe, then pump frames until the link
+  /// dies, the primary goes silent, or stop is requested.
+  void RunSession() {
+    const int64_t from = engine.WalDurableLsn() + 1;
+    if (!SendAll(fd_get(), EncodeReplSubscribe(from))) return;
+    UpdateStatus([&](QueryEngine::ReplicaStatus& s) {
+      s.connected = true;
+      s.last_contact_ms = SteadyNowMs();
+    });
+    std::string buf;
+    int64_t last_frame_ms = SteadyNowMs();
+    while (!stop.load(std::memory_order_acquire)) {
+      pollfd p{};
+      p.fd = fd_get();
+      p.events = POLLIN;
+      const int pr = ::poll(&p, 1, 100);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      if (pr == 0) {
+        if (options.dead_peer_timeout_ms > 0 &&
+            SteadyNowMs() - last_frame_ms > options.dead_peer_timeout_ms) {
+          // Heartbeats stopped: the primary is dead or partitioned.
+          return;
+        }
+        continue;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(p.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n == 0) return;  // primary closed (shutdown, or ERR + close)
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;
+        }
+        return;
+      }
+      buf.append(chunk, static_cast<size_t>(n));
+      while (!buf.empty()) {
+        const ReplFrameScan scan = ScanReplFrame(buf, options.max_frame_bytes);
+        if (scan.state == FrameScan::State::kNeedMore) break;
+        if (scan.state == FrameScan::State::kBad) return;
+        // A text "ERR ..." reply to our Subscribe (refused / not enabled)
+        // also lands here as a bad magic and tears the session down.
+        const std::string_view frame(buf.data(), scan.frame_bytes);
+        if (!HandleFrame(scan.magic, frame)) return;
+        last_frame_ms = SteadyNowMs();
+        buf.erase(0, scan.frame_bytes);
+      }
+    }
+  }
+
+  void ClientMain() {
+    Backoff backoff{BackoffOptions{
+        .initial_ms = options.reconnect_initial_ms,
+        .max_ms = options.reconnect_max_ms,
+        .multiplier = 2.0,
+        .jitter = options.reconnect_jitter,
+        .seed = options.reconnect_seed,
+    }};
+    // Sleep in slices so Stop()/PROMOTE never waits out a whole backoff.
+    backoff.set_sleeper([this](int64_t ms) {
+      const int64_t until = SteadyNowMs() + ms;
+      while (!stop.load(std::memory_order_acquire) &&
+             SteadyNowMs() < until) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    int64_t sessions = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Result<UniqueFd> conn = ConnectLoopback(options.primary_port);
+      if (conn.ok()) {
+        {
+          const std::lock_guard<std::mutex> lock(fd_mu);
+          fd = std::move(*conn);
+        }
+        ++sessions;
+        if (sessions > 1) {
+          UpdateStatus(
+              [](QueryEngine::ReplicaStatus& s) { s.reconnects += 1; });
+        }
+        RunSession();
+        // The session made contact, so the next failure starts its backoff
+        // schedule from the beginning.
+        backoff.Reset();
+        {
+          const std::lock_guard<std::mutex> lock(fd_mu);
+          fd.Reset();
+        }
+        UpdateStatus(
+            [](QueryEngine::ReplicaStatus& s) { s.connected = false; });
+      }
+      if (stop.load(std::memory_order_acquire)) break;
+      backoff.SleepNext();
+    }
+  }
+
+  void StopThread() {
+    stop.store(true, std::memory_order_release);
+    {
+      const std::lock_guard<std::mutex> lock(fd_mu);
+      // RunSession exits at a frame boundary: recv fails, and any frame
+      // already being applied finishes first (apply happens on this same
+      // thread) — that is the clean LSN boundary PROMOTE needs.
+      if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
+    }
+    if (thread.joinable()) thread.join();
+  }
+};
+
+ReplicaClient::ReplicaClient(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+Result<std::unique_ptr<ReplicaClient>> ReplicaClient::Start(
+    QueryEngine& engine, const ReplicaOptions& options) {
+  if (!engine.wal_enabled()) {
+    return Status::FailedPrecondition(
+        "a replica needs its own write-ahead log (start with --wal-dir)");
+  }
+  auto impl = std::make_unique<Impl>(engine, options);
+  engine.SetReadOnly(true);
+  impl->UpdateStatus([](QueryEngine::ReplicaStatus&) {});  // publish is_replica
+  Impl* raw = impl.get();
+  engine.SetPromoteHandler([raw]() -> Result<std::string> {
+    const std::lock_guard<std::mutex> lock(raw->lifecycle_mu);
+    if (raw->promoted) {
+      return "already promoted at lsn " + std::to_string(raw->promoted_lsn);
+    }
+    raw->StopThread();
+    raw->promoted = true;
+    raw->promoted_lsn = raw->engine.WalDurableLsn();
+    raw->engine.SetReadOnly(false);
+    raw->UpdateStatus(
+        [](QueryEngine::ReplicaStatus& s) { s.connected = false; });
+    std::ostringstream os;
+    os << "promoted to primary at lsn " << raw->promoted_lsn
+       << "; accepting writes";
+    return os.str();
+  });
+  raw->thread = std::thread([raw] { raw->ClientMain(); });
+  return std::unique_ptr<ReplicaClient>(new ReplicaClient(std::move(impl)));
+}
+
+ReplicaClient::~ReplicaClient() {
+  Stop();
+  // The PROMOTE handler captures impl_ raw; make sure nothing can call it
+  // once the client is gone.
+  impl_->engine.SetPromoteHandler(nullptr);
+}
+
+Result<std::string> ReplicaClient::Promote() {
+  const std::lock_guard<std::mutex> lock(impl_->lifecycle_mu);
+  if (impl_->promoted) {
+    return "already promoted at lsn " + std::to_string(impl_->promoted_lsn);
+  }
+  impl_->StopThread();
+  impl_->promoted = true;
+  impl_->promoted_lsn = impl_->engine.WalDurableLsn();
+  impl_->engine.SetReadOnly(false);
+  impl_->UpdateStatus(
+      [](QueryEngine::ReplicaStatus& s) { s.connected = false; });
+  std::ostringstream os;
+  os << "promoted to primary at lsn " << impl_->promoted_lsn
+     << "; accepting writes";
+  return os.str();
+}
+
+void ReplicaClient::Stop() {
+  const std::lock_guard<std::mutex> lock(impl_->lifecycle_mu);
+  impl_->StopThread();
+}
+
+}  // namespace net
+}  // namespace streamhist

@@ -1,0 +1,134 @@
+#ifndef STREAMHIST_SERVER_REPLICATION_H_
+#define STREAMHIST_SERVER_REPLICATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/result.h"
+
+namespace streamhist {
+
+class QueryEngine;
+
+namespace net {
+
+/// Primary -> replica WAL shipping (DESIGN.md §14).
+///
+/// The topology is one primary, N read replicas, over the existing TCP
+/// front-end: a replica opens an ordinary connection, sends one Subscribe
+/// frame, and the server hands the socket off to the ReplicationHub, which
+/// feeds it Records / Heartbeat / Bootstrap frames from a dedicated thread
+/// per subscriber. Dedicated threads are deliberate: shipping does blocking
+/// writes and durability waits that must never stall the epoll workers, and
+/// a replica that stops draining simply stalls its own feeder (TCP
+/// backpressure) without affecting clients or other replicas.
+
+/// ReplicationHub tuning. Defaults suit the loopback deployments this
+/// server targets; tests shrink the times to drive edges deterministically.
+struct HubOptions {
+  /// Idle cadence: with no new durable records for this long, a Heartbeat
+  /// (carrying the durable LSN) keeps the link's liveness observable.
+  int64_t heartbeat_ms = 500;
+  /// Semi-synchronous ack budget: > 0 makes the engine's write barrier wait
+  /// up to this long for some replica to confirm the record durable on its
+  /// side. 0 ships asynchronously (acked writes can be lost with the
+  /// primary until a replica catches up — see DESIGN.md §14.3).
+  int64_t sync_ms = 0;
+  /// Target bytes of WAL frames per Records batch.
+  int64_t max_batch_bytes = 256 * 1024;
+};
+
+struct HubStatsSnapshot {
+  int64_t subscribers = 0;  // live right now
+  int64_t subscribes = 0;   // sockets ever adopted
+  int64_t batches = 0;      // Records frames shipped
+  int64_t records = 0;      // records shipped inside them
+  int64_t heartbeats = 0;
+  int64_t bootstraps = 0;    // checkpoint-image handoffs
+  int64_t sync_waits = 0;    // barrier invocations that actually waited
+  int64_t sync_timeouts = 0; // waits that lapsed (demoted to async)
+  int64_t acked_lsn = 0;     // highest replica-durable LSN seen
+};
+
+class ReplicationHub {
+ public:
+  ReplicationHub(QueryEngine& engine, const HubOptions& options);
+  ~ReplicationHub();  // Stop()
+
+  ReplicationHub(const ReplicationHub&) = delete;
+  ReplicationHub& operator=(const ReplicationHub&) = delete;
+
+  /// Takes ownership of a subscribed socket (and its governor charge) from
+  /// the TCP server and starts feeding it from `from_lsn`. `pending_input`
+  /// is whatever the connection had buffered past the Subscribe frame
+  /// (early Progress bytes).
+  void Adopt(int fd, int64_t governor_charge, int64_t from_lsn,
+             std::string pending_input);
+
+  /// The engine's replication barrier (install via SetReplicationBarrier):
+  /// under semi-sync, blocks until some live subscriber reports `lsn`
+  /// durable or sync_ms lapses. Always returns OK — the record is already
+  /// locally durable, so a lapsed wait degrades to async rather than
+  /// erroring an ack the client would then retry into a duplicate.
+  Status WaitShipped(int64_t lsn);
+
+  /// Disconnects every subscriber and joins the feeders. Idempotent.
+  void Stop();
+
+  HubStatsSnapshot stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Replica-side runtime: maintains the subscription to the primary, applies
+/// shipped batches into a read-only engine, and handles failover promotion.
+struct ReplicaOptions {
+  uint16_t primary_port = 0;  // loopback port of the primary's TCP server
+  /// No frame (records or heartbeat) for this long means the primary is
+  /// dead or partitioned: drop the link and reconnect with backoff.
+  int64_t dead_peer_timeout_ms = 3000;
+  /// Reconnect backoff schedule (util/backoff): jitter keeps a fleet of
+  /// replicas from stampeding the primary the instant it returns.
+  int64_t reconnect_initial_ms = 50;
+  int64_t reconnect_max_ms = 2000;
+  double reconnect_jitter = 0.3;
+  uint64_t reconnect_seed = 1;
+  /// Largest accepted frame — must admit a whole Bootstrap image.
+  size_t max_frame_bytes = size_t{1} << 30;
+};
+
+class ReplicaClient {
+ public:
+  /// Flips the engine read-only, registers the PROMOTE handler, and starts
+  /// the subscription thread. The engine must already have an open WAL (the
+  /// replica's own durability) and must outlive the client.
+  static Result<std::unique_ptr<ReplicaClient>> Start(
+      QueryEngine& engine, const ReplicaOptions& options);
+
+  ~ReplicaClient();  // Stop() — leaves the engine read-only if not promoted
+
+  ReplicaClient(const ReplicaClient&) = delete;
+  ReplicaClient& operator=(const ReplicaClient&) = delete;
+
+  /// Failover: stops replication at a frame boundary (every applied batch
+  /// is locally durable, so the boundary is clean), flips the engine
+  /// writable, and reports the promotion LSN. Idempotent; this is what the
+  /// PROMOTE verb calls.
+  Result<std::string> Promote();
+
+  /// Stops the subscription thread without promoting. Idempotent.
+  void Stop();
+
+ private:
+  struct Impl;
+  explicit ReplicaClient(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace net
+}  // namespace streamhist
+
+#endif  // STREAMHIST_SERVER_REPLICATION_H_

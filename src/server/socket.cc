@@ -63,6 +63,24 @@ Result<uint16_t> LocalPort(int fd) {
   return static_cast<uint16_t>(ntohs(addr.sin_port));
 }
 
+Result<UniqueFd> ConnectLoopback(uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("connect");
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
@@ -88,7 +106,10 @@ ssize_t WriteFd(int fd, const char* buf, size_t len) {
   }
   ssize_t n;
   do {
-    n = ::write(fd, buf, len);
+    // MSG_NOSIGNAL: a peer that vanished mid-write is EPIPE, not a
+    // process-killing SIGPIPE — the replication feeders write from plain
+    // threads with no signal handling around them.
+    n = ::send(fd, buf, len, MSG_NOSIGNAL);
   } while (n < 0 && errno == EINTR);
   return n;
 }

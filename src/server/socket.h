@@ -48,6 +48,12 @@ Result<UniqueFd> ListenLoopback(uint16_t port, int backlog);
 /// The port a bound socket ended up on (resolves port-0 binds).
 Result<uint16_t> LocalPort(int fd);
 
+/// A BLOCKING loopback connection to `port` (TCP_NODELAY set) — the
+/// replication client's transport. Blocking is deliberate: the client and
+/// the primary's feeder each own a dedicated thread, so blocking writes are
+/// the natural flow control and no event loop is involved.
+Result<UniqueFd> ConnectLoopback(uint16_t port);
+
 /// Marks `fd` nonblocking.
 Status SetNonBlocking(int fd);
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/engine/query_engine.h"
+#include "src/server/replication.h"
 #include "src/server/socket.h"
 #include "src/server/wire.h"
 #include "src/util/fault.h"
@@ -50,6 +51,10 @@ struct Connection {
   bool want_write = false;
   /// Governor bytes charged at admission, released on destruction.
   int64_t charge = 0;
+  /// >= 0 once a replication Subscribe frame was accepted: the requested
+  /// from-LSN. The connection leaves the statement protocol — as soon as its
+  /// queued replies drain, the socket is handed to the ReplicationHub.
+  int64_t subscribe_from = -1;
   /// Last moment queued output shrank — the slow-reader clock.
   SteadyClock::time_point last_progress{};
 
@@ -69,6 +74,7 @@ struct Stats {
   std::atomic<int64_t> protocol_errors{0};
   std::atomic<int64_t> slow_reader_disconnects{0};
   std::atomic<int64_t> dropped_mid_request{0};
+  std::atomic<int64_t> repl_subscribes{0};
   std::atomic<int64_t> bytes_in{0};
   std::atomic<int64_t> bytes_out{0};
 };
@@ -187,6 +193,9 @@ struct TcpServer::Impl {
   /// output high-water mark is reached (the no-queuing-to-death rule: a
   /// pipelining client only gets as much execution as it drains replies).
   void ParseAvailable(Connection& conn) {
+    // A subscribed connection no longer speaks the statement protocol: any
+    // buffered bytes past the Subscribe frame are the hub's to parse.
+    if (conn.subscribe_from >= 0) return;
     while (!conn.close_after_flush &&
            conn.PendingOut() < options.max_output_buffer) {
       if (conn.discarding_line) {
@@ -240,6 +249,53 @@ struct TcpServer::Impl {
         }
         conn.input.erase(0, scan.frame_bytes);
         continue;
+      }
+
+      const auto first_byte = static_cast<unsigned char>(conn.input[0]);
+      if (first_byte >= kReplSubscribeFirstByte &&
+          first_byte <= (kReplProgressMagic & 0xFFu)) {
+        const ReplFrameScan scan =
+            ScanReplFrame(conn.input, options.max_frame_bytes);
+        if (scan.state == FrameScan::State::kNeedMore) break;
+        if (scan.state == FrameScan::State::kBad ||
+            scan.magic != kReplSubscribeMagic) {
+          // Only Subscribe may open the replication dialogue; anything else
+          // here means the peer lost the plot — answer once and close.
+          stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          Reply(conn, ErrResponse("PROTOCOL",
+                                  scan.error.empty()
+                                      ? "unexpected replication frame before "
+                                        "subscribe"
+                                      : scan.error));
+          conn.close_after_flush = true;
+          break;
+        }
+        const Result<int64_t> from = DecodeReplSubscribe(
+            std::string_view(conn.input.data(), scan.frame_bytes));
+        if (!from.ok()) {
+          stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          Reply(conn, ErrResponse("PROTOCOL", from.status().message()));
+          conn.close_after_flush = true;
+          break;
+        }
+        if (options.replication_hub == nullptr) {
+          stats.statement_errors.fetch_add(1, std::memory_order_relaxed);
+          Reply(conn,
+                ErrResponse("FAILED_PRECONDITION",
+                            "replication is not enabled on this server (it "
+                            "needs a write-ahead log: serve with --wal-dir)"));
+          conn.close_after_flush = true;
+          break;
+        }
+        if (fault::Triggered("repl.subscribe")) {
+          Reply(conn, ErrResponse("OVERLOADED",
+                                  "replication subscribe refused (fault)"));
+          conn.close_after_flush = true;
+          break;
+        }
+        conn.input.erase(0, scan.frame_bytes);
+        conn.subscribe_from = *from;
+        break;  // remaining input travels with the socket to the hub
       }
 
       const size_t nl = conn.input.find('\n');
@@ -319,8 +375,32 @@ struct TcpServer::Impl {
                                !conn.input.empty());
       if (!progressed) break;
     }
+    if (conn.subscribe_from >= 0 && conn.PendingOut() == 0 &&
+        !conn.close_after_flush) {
+      // Every reply that preceded the Subscribe is on the wire: the
+      // statement protocol is over for this socket. Hand it to the hub.
+      HandoffToHub(worker, conn);
+      return true;  // conn is gone; nothing further to service
+    }
     UpdateInterest(worker, conn);
     return true;
+  }
+
+  /// Moves a subscribed connection (socket, governor charge, buffered
+  /// input) out of the event loop and into the replication hub, which feeds
+  /// it from a dedicated thread. Invalidates `conn`.
+  void HandoffToHub(Worker& worker, Connection& conn) {
+    const int fd = conn.fd.get();
+    ::epoll_ctl(worker.epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
+    stats.active.fetch_sub(1, std::memory_order_relaxed);
+    stats.repl_subscribes.fetch_add(1, std::memory_order_relaxed);
+    const int64_t charge = conn.charge;
+    const int64_t from = conn.subscribe_from;
+    std::string pending = std::move(conn.input);
+    const int raw = conn.fd.Release();
+    worker.conns.erase(fd);
+    // The charge transfers: the hub releases it when the subscriber dies.
+    options.replication_hub->Adopt(raw, charge, from, std::move(pending));
   }
 
   void UpdateInterest(Worker& worker, Connection& conn) {
@@ -604,6 +684,7 @@ ServerStatsSnapshot TcpServer::stats() const {
       s.slow_reader_disconnects.load(std::memory_order_relaxed);
   snap.dropped_mid_request =
       s.dropped_mid_request.load(std::memory_order_relaxed);
+  snap.repl_subscribes = s.repl_subscribes.load(std::memory_order_relaxed);
   snap.bytes_in = s.bytes_in.load(std::memory_order_relaxed);
   snap.bytes_out = s.bytes_out.load(std::memory_order_relaxed);
   return snap;

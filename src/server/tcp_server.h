@@ -13,6 +13,8 @@ class QueryEngine;
 
 namespace net {
 
+class ReplicationHub;
+
 /// Tuning knobs for TcpServer. The defaults suit a localhost deployment;
 /// tests shrink the limits to drive the admission / backpressure paths
 /// deterministically.
@@ -48,6 +50,11 @@ struct ServerOptions {
   int64_t slow_reader_timeout_ms = 5000;
   /// listen(2) backlog.
   int backlog = 128;
+  /// When set, a replication Subscribe frame hands its connection (socket,
+  /// governor charge and all) off to this hub, which ships WAL records on a
+  /// dedicated feeder thread. Null refuses subscribes with
+  /// ERR FAILED_PRECONDITION. Must outlive the server.
+  ReplicationHub* replication_hub = nullptr;
 };
 
 /// Monotonic counters, readable at any time (and after Shutdown).
@@ -64,6 +71,7 @@ struct ServerStatsSnapshot {
   int64_t protocol_errors = 0;      // malformed frames / oversized lines
   int64_t slow_reader_disconnects = 0;
   int64_t dropped_mid_request = 0;  // peer vanished with a partial request
+  int64_t repl_subscribes = 0;      // connections handed to the replication hub
   int64_t bytes_in = 0;
   int64_t bytes_out = 0;
 };

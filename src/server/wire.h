@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/util/result.h"
@@ -90,6 +91,76 @@ const char* StatusCodeToken(StatusCode code);
 
 /// Renders an error Status as its wire reply line.
 std::string ErrResponse(const Status& status);
+
+/// --- Replication frame family (DESIGN.md §14) ---
+///
+/// A replica opens an ordinary connection and sends one Subscribe frame;
+/// once the primary accepts it the connection leaves the statement protocol
+/// for good. Primary -> replica traffic is then Records / Heartbeat /
+/// Bootstrap frames; replica -> primary traffic is Progress frames. All use
+/// the util/framing layout (so every frame is CRC32C-checked end to end)
+/// with first wire bytes 0xF6..0xFA — disjoint from text statements and
+/// from the 0xF5 batch-APPEND frame, so one-byte dispatch still works.
+///
+///   Subscribe  replica -> primary   payload: from_lsn u64 — ship records
+///              with LSN >= from_lsn. Answered with Bootstrap when that LSN
+///              was already truncated by a checkpoint.
+///   Records    primary -> replica   payload: count u64, then count x
+///              (lsn u64 | length-prefixed record bytes). Only fsynced
+///              records are ever shipped.
+///   Heartbeat  primary -> replica   payload: durable_lsn u64 — liveness
+///              plus the lag numerator when no records are flowing.
+///   Bootstrap  primary -> replica   payload: wal_floor u64 |
+///              length-prefixed SHCP checkpoint image reflecting every LSN
+///              <= wal_floor; shipping resumes at wal_floor + 1.
+///   Progress   replica -> primary   payload: durable_lsn u64 — the highest
+///              LSN the replica has fsynced into its own log (sent only
+///              after that fsync, which is what makes semi-sync acks mean
+///              replica-durable).
+
+inline constexpr uint32_t kReplSubscribeMagic = 0x485253F6;   // "\xF6SRH"
+inline constexpr uint32_t kReplRecordsMagic = 0x485253F7;     // "\xF7SRH"
+inline constexpr uint32_t kReplHeartbeatMagic = 0x485253F8;   // "\xF8SRH"
+inline constexpr uint32_t kReplBootstrapMagic = 0x485253F9;   // "\xF9SRH"
+inline constexpr uint32_t kReplProgressMagic = 0x485253FA;    // "\xFASRH"
+inline constexpr uint32_t kReplFrameVersion = 1;
+inline constexpr unsigned char kReplSubscribeFirstByte = 0xF6;
+
+/// One shipped record: the primary's LSN plus the opaque WAL payload
+/// (src/engine/wal_records bytes — this layer never decodes them).
+using ReplRecord = std::pair<int64_t, std::string>;
+
+/// A decoded Bootstrap frame.
+struct ReplBootstrap {
+  int64_t wal_floor = 0;
+  std::string image;  // SHCP checkpoint container bytes
+};
+
+std::string EncodeReplSubscribe(int64_t from_lsn);
+/// Fault point `repl.frame.corrupt` flips one payload bit of the encoded
+/// frame — the receiver must reject it on CRC and resynchronize by
+/// reconnecting rather than applying garbage.
+std::string EncodeReplRecords(std::span<const ReplRecord> records);
+std::string EncodeReplHeartbeat(int64_t durable_lsn);
+std::string EncodeReplBootstrap(int64_t wal_floor, std::string_view image);
+std::string EncodeReplProgress(int64_t durable_lsn);
+
+/// Incremental scan for one complete replication-family frame. Same
+/// contract as ScanBatchFrame (kNeedMore / kFrame / kBad) plus the frame's
+/// magic so the caller can dispatch before decoding.
+struct ReplFrameScan {
+  FrameScan::State state = FrameScan::State::kNeedMore;
+  uint32_t magic = 0;
+  size_t frame_bytes = 0;
+  std::string error;
+};
+ReplFrameScan ScanReplFrame(std::string_view buffer, size_t max_frame_bytes);
+
+Result<int64_t> DecodeReplSubscribe(std::string_view frame);
+Result<std::vector<ReplRecord>> DecodeReplRecords(std::string_view frame);
+Result<int64_t> DecodeReplHeartbeat(std::string_view frame);
+Result<ReplBootstrap> DecodeReplBootstrap(std::string_view frame);
+Result<int64_t> DecodeReplProgress(std::string_view frame);
 
 }  // namespace net
 }  // namespace streamhist

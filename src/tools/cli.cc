@@ -22,6 +22,7 @@
 #include "src/data/io.h"
 #include "src/engine/query_engine.h"
 #include "src/engine/wal_records.h"
+#include "src/server/replication.h"
 #include "src/server/tcp_server.h"
 #include "src/util/wal.h"
 
@@ -76,6 +77,20 @@ int Usage(std::ostream& err) {
          "        backpressure and governor admission control (DESIGN.md\n"
          "        \xC2\xA7" "11). D is the per-request deadline class knob;\n"
          "        SIGINT/SIGTERM shuts down cleanly with a summary line.\n"
+         "        A 'LISTENING <port>' line on stdout is the machine-\n"
+         "        readable bind announcement harnesses should parse.\n"
+         "  serve --listen PORT --wal-dir DIR [--repl-sync-ms MS]\n"
+         "        primary role (DESIGN.md \xC2\xA7" "14): replicas may subscribe\n"
+         "        and are fed the WAL live. MS > 0 makes acks semi-\n"
+         "        synchronous (wait up to MS for a replica to confirm\n"
+         "        durability; a lapse degrades to async, never errors).\n"
+         "  serve --listen PORT --wal-dir DIR --replica-of HOST:PORT\n"
+         "        [--replica-max-lag-ms MS]\n"
+         "        read replica: subscribes to the primary (loopback only),\n"
+         "        applies its WAL, serves estimation verbs; writes answer\n"
+         "        ERR READONLY. Reconnects with jittered backoff; silent\n"
+         "        past MS (default 10000, 0 off) sheds ERR OVERLOADED.\n"
+         "        The PROMOTE statement flips it into a writable primary.\n"
          "  console|serve [--wal-dir DIR] [--wal-policy P]\n"
          "        [--wal-checkpoint-ms MS]\n"
          "        durable ingest (DESIGN.md \xC2\xA7" "12): CREATE/APPEND/DROP\n"
@@ -86,8 +101,10 @@ int Usage(std::ostream& err) {
          "        checkpoint cadence (default 1000, 0 disables).\n"
          "  wal <dump|verify> --dir DIR\n"
          "        read-only segment scan: dump prints every decoded record,\n"
-         "        verify just the scan report. Exit 1 on interior corruption\n"
-         "        (a torn tail is normal crash residue, not corruption).\n";
+         "        verify just the scan report. Exit codes: 0 clean, 1 on\n"
+         "        interior corruption (fsynced bytes rotted), 3 when the\n"
+         "        only damage is a torn tail (normal crash residue that\n"
+         "        recovery truncates).\n";
   return 2;
 }
 
@@ -391,6 +408,74 @@ int ServeTcp(const std::map<std::string, std::string>& flags,
       rc != 0) {
     return rc;
   }
+
+  // Replication (DESIGN.md §14). Any WAL-backed server can feed replicas, so
+  // the hub exists whenever the log does — an ex-replica keeps it after
+  // PROMOTE and can immediately take subscribers of its own.
+  std::unique_ptr<net::ReplicationHub> hub;
+  if (engine.wal_enabled()) {
+    net::HubOptions hub_options;
+    if (flags.contains("repl-sync-ms")) {
+      hub_options.sync_ms = std::atoll(flags.at("repl-sync-ms").c_str());
+      if (hub_options.sync_ms < 0) {
+        err << "serve: --repl-sync-ms must be >= 0\n";
+        return 2;
+      }
+    }
+    hub = std::make_unique<net::ReplicationHub>(engine, hub_options);
+    net::ReplicationHub* raw_hub = hub.get();
+    engine.SetReplicationBarrier(
+        [raw_hub](int64_t lsn) { return raw_hub->WaitShipped(lsn); });
+    options.replication_hub = raw_hub;
+  } else if (flags.contains("repl-sync-ms")) {
+    err << "serve: --repl-sync-ms needs a write-ahead log (--wal-dir)\n";
+    return 2;
+  }
+
+  std::unique_ptr<net::ReplicaClient> replica;
+  if (flags.contains("replica-of")) {
+    const std::string& target = flags.at("replica-of");
+    const size_t colon = target.rfind(':');
+    const std::string host = colon == std::string::npos
+                                 ? std::string()
+                                 : target.substr(0, colon);
+    const int64_t primary_port =
+        colon == std::string::npos
+            ? 0
+            : std::atoll(target.substr(colon + 1).c_str());
+    if ((host != "127.0.0.1" && host != "localhost") || primary_port < 1 ||
+        primary_port > 65535) {
+      err << "serve: --replica-of expects 127.0.0.1:PORT or localhost:PORT"
+             " (the replication link is loopback-only, like the listener)\n";
+      return 2;
+    }
+    if (!engine.wal_enabled()) {
+      err << "serve: a replica needs its own write-ahead log (--wal-dir)\n";
+      return 1;
+    }
+    int64_t max_lag_ms = 10000;
+    if (flags.contains("replica-max-lag-ms")) {
+      max_lag_ms = std::atoll(flags.at("replica-max-lag-ms").c_str());
+      if (max_lag_ms < 0) {
+        err << "serve: --replica-max-lag-ms must be >= 0\n";
+        return 2;
+      }
+    }
+    net::ReplicaOptions replica_options;
+    replica_options.primary_port = static_cast<uint16_t>(primary_port);
+    Result<std::unique_ptr<net::ReplicaClient>> started =
+        net::ReplicaClient::Start(engine, replica_options);
+    if (!started.ok()) {
+      err << "serve: replica: " << started.status() << "\n";
+      return 1;
+    }
+    replica = std::move(started.value());
+    engine.SetReplicaMaxLagMs(max_lag_ms);
+    out << "replica of " << host << ":" << primary_port
+        << " (max lag " << max_lag_ms << " ms; PROMOTE to take over)"
+        << std::endl;
+  }
+
   // Shutdown plumbing goes in BEFORE the server exists: a SIGINT/SIGTERM
   // delivered during startup is then queued as a byte in the pipe (drained
   // by the read loop below) instead of taking the default disposition and
@@ -415,10 +500,13 @@ int ServeTcp(const std::map<std::string, std::string>& flags,
     close(wfd);
     return 1;
   }
+  // The machine-readable bind announcement: harnesses asking for --listen 0
+  // parse the kernel-chosen port from exactly this line.
+  out << "LISTENING " << server.value()->port() << std::endl;
   out << "listening on 127.0.0.1:" << server.value()->port() << " ("
       << threads << (threads == 1 ? " thread" : " threads");
   if (deadline_ms > 0) out << ", deadline " << deadline_ms << " ms";
-  out << ")" << std::endl;  // flushed: scripts parse the port from this line
+  out << ")" << std::endl;
 
   char byte = 0;
   ssize_t n;
@@ -428,6 +516,20 @@ int ServeTcp(const std::map<std::string, std::string>& flags,
 
   server.value()->Shutdown();
   out << server.value()->SummaryLine() << "\n";
+  // Replication stops after the front-end (no new subscribes can arrive) and
+  // before the WAL closes (the feeders read it until the very end).
+  if (replica != nullptr) replica->Stop();
+  if (hub != nullptr) {
+    engine.SetReplicationBarrier(nullptr);
+    const net::HubStatsSnapshot hs = hub->stats();
+    if (hs.subscribes > 0) {
+      out << "replication: " << hs.subscribes << " subscribes, " << hs.batches
+          << " batches (" << hs.records << " records), " << hs.heartbeats
+          << " heartbeats, " << hs.bootstraps << " bootstraps, acked lsn "
+          << hs.acked_lsn << "\n";
+    }
+    hub->Stop();
+  }
   if (engine.wal_enabled()) {
     // Final flush first, so the totals line reports the true durable LSN.
     wal::StatsSnapshot final_stats;
@@ -590,8 +692,11 @@ int WalCmd(const std::map<std::string, std::string>& flags,
   }
   out << report.ToString() << "\n";
   // Interior corruption means fsynced bytes rotted — worth a hard exit.
-  // A torn tail is normal crash residue and recovery handles it.
-  return report.corrupt_records > 0 ? 1 : 0;
+  // A torn tail alone is normal crash residue (recovery truncates it), so
+  // it gets its own advisory code an operator's script can treat as OK.
+  if (report.corrupt_records > 0) return 1;
+  if (report.tail_truncated) return 3;
+  return 0;
 }
 
 }  // namespace

@@ -1,0 +1,66 @@
+#include "src/util/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace streamhist {
+namespace {
+
+// splitmix64: a fixed, well-mixed hash so jitter depends only on
+// (seed, attempt) — no stateful RNG, no cross-instance divergence.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Backoff::Backoff(const BackoffOptions& options) : options_(options) {
+  if (options_.initial_ms < 0) options_.initial_ms = 0;
+  if (options_.max_ms < options_.initial_ms) {
+    options_.max_ms = options_.initial_ms;
+  }
+  if (options_.multiplier < 1.0) options_.multiplier = 1.0;
+  options_.jitter = std::clamp(options_.jitter, 0.0, 0.999);
+}
+
+int64_t Backoff::DelayMs(int64_t attempt) const {
+  if (attempt < 1) attempt = 1;
+  // Grow multiplicatively in double space; the cap makes overflow moot.
+  double base = static_cast<double>(options_.initial_ms);
+  const double cap = static_cast<double>(options_.max_ms);
+  for (int64_t i = 1; i < attempt && base < cap; ++i) {
+    base *= options_.multiplier;
+  }
+  base = std::min(base, cap);
+  if (options_.jitter > 0.0) {
+    const uint64_t h =
+        Mix64(options_.seed ^ Mix64(static_cast<uint64_t>(attempt)));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    base *= 1.0 - options_.jitter + 2.0 * options_.jitter * unit;
+  }
+  return std::clamp(static_cast<int64_t>(std::llround(base)), int64_t{0},
+                    options_.max_ms * 2);
+}
+
+int64_t Backoff::NextDelayMs() { return DelayMs(++attempt_); }
+
+void Backoff::SleepNext() {
+  const int64_t ms = NextDelayMs();
+  if (ms <= 0) return;
+  if (sleeper_) {
+    sleeper_(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+void Backoff::Reset() { attempt_ = 0; }
+
+void Backoff::set_sleeper(Sleeper sleeper) { sleeper_ = std::move(sleeper); }
+
+}  // namespace streamhist

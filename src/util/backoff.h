@@ -1,0 +1,66 @@
+#ifndef STREAMHIST_UTIL_BACKOFF_H_
+#define STREAMHIST_UTIL_BACKOFF_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace streamhist {
+
+/// Capped exponential backoff with deterministic, seedable jitter.
+///
+/// Two call sites share this schedule: the checkpoint writer's bounded
+/// retry against transient fsync/rename failures (src/engine), and the
+/// replica's reconnect loop against a primary that is down or partitioned
+/// (src/server). The first wants the exact historical 1ms, 2ms, ... doubling
+/// with no jitter; the second wants jitter so a fleet of replicas does not
+/// reconnect in lockstep the instant the primary returns.
+///
+/// DelayMs(n) is a pure function of the options and the 1-based attempt
+/// number — jitter is drawn from a hash of (seed, n), not from a stateful
+/// RNG — so a test can assert the whole schedule without sleeping, and two
+/// Backoff instances with the same options agree forever.
+struct BackoffOptions {
+  int64_t initial_ms = 1;   // delay before the second attempt
+  int64_t max_ms = 1000;    // cap applied before jitter
+  double multiplier = 2.0;  // growth per attempt
+  /// Jitter fraction in [0, 1): the capped base delay is scaled by a
+  /// deterministic factor in [1 - jitter, 1 + jitter) keyed on (seed, n).
+  double jitter = 0.0;
+  uint64_t seed = 0;
+};
+
+class Backoff {
+ public:
+  using Sleeper = std::function<void(int64_t ms)>;
+
+  explicit Backoff(const BackoffOptions& options);
+
+  /// The delay after failed attempt `attempt` (1-based). Pure.
+  int64_t DelayMs(int64_t attempt) const;
+
+  /// DelayMs for the next attempt, advancing the internal counter.
+  int64_t NextDelayMs();
+
+  /// Sleeps for NextDelayMs() via the injected sleeper.
+  void SleepNext();
+
+  /// Restarts the schedule at attempt 1 — call after a success so the next
+  /// failure starts over at initial_ms.
+  void Reset();
+
+  /// Failed attempts consumed so far via NextDelayMs/SleepNext.
+  int64_t attempt() const { return attempt_; }
+
+  /// Replaces the real sleep (tests, and the engine's injectable-sleeper
+  /// seam). A null sleeper restores the default std::this_thread sleep.
+  void set_sleeper(Sleeper sleeper);
+
+ private:
+  BackoffOptions options_;
+  int64_t attempt_ = 0;
+  Sleeper sleeper_;
+};
+
+}  // namespace streamhist
+
+#endif  // STREAMHIST_UTIL_BACKOFF_H_

@@ -160,10 +160,11 @@ std::vector<std::string> KnownPoints() {
       "fileio.fsync.transient", "fileio.read.bitflip",
       "fileio.read.truncate", "fileio.rename",
       "fileio.short_write",  "governor.oom",
-      "net.accept",          "net.read.short",
-      "net.write.eagain",    "wal.append.short",
-      "wal.fsync",           "wal.replay.corrupt",
-      "wal.seal",
+      "net.accept",          "net.partition",
+      "net.read.short",      "net.write.eagain",
+      "repl.frame.corrupt",  "repl.subscribe",
+      "wal.append.short",    "wal.fsync",
+      "wal.replay.corrupt",  "wal.seal",
   };
 }
 

@@ -42,11 +42,19 @@ namespace fault {
 ///   net.accept              the TCP acceptor drops a just-accepted socket
 ///                           (src/server) — simulates EMFILE-class accept
 ///                           failures after the kernel handshake succeeded
+///   net.partition           the replication link drops mid-stream on the
+///                           primary's send path (src/server) — forces the
+///                           replica's reconnect-with-backoff and resume
 ///   net.read.short          socket reads return at most one byte per call
 ///                           — forces every incremental reparse path (split
 ///                           frame headers, byte-at-a-time statements)
 ///   net.write.eagain        socket writes report EAGAIN without writing —
 ///                           forces the buffered-output / EPOLLOUT path
+///   repl.frame.corrupt      EncodeReplRecords flips one payload bit
+///                           (src/server/wire) — the replica must reject the
+///                           frame on CRC and resynchronize by reconnecting
+///   repl.subscribe          the primary refuses a replication subscribe
+///                           (src/server) — the replica retries with backoff
 ///   wal.append.short        a WAL record write persists only half its
 ///                           frame (util/wal.h) — leaves the torn-tail
 ///                           shape recovery must truncate

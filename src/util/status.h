@@ -19,6 +19,13 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kResourceExhausted,
+  /// The engine is a read replica: mutating verbs are refused here and must
+  /// go to the primary (wire token "READONLY").
+  kReadOnly,
+  /// The server is shedding this request to protect service quality — e.g.
+  /// a replica whose replication lag exceeds its staleness bound (wire
+  /// token "OVERLOADED", matching the front-end's admission-control code).
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("Ok",
@@ -69,6 +76,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -487,6 +487,172 @@ Result<int64_t> Wal::Append(std::string_view payload) {
   return lsn;
 }
 
+Status Wal::ReadTail(TailCursor* cursor, int64_t max_bytes, TailBatch* out) {
+  out->records.clear();
+  out->truncated_below = false;
+  int64_t emitted_bytes = 0;
+  // Bounded segment hops per call; a reader that cannot make progress
+  // returns an empty batch and retries rather than spinning here.
+  for (int hop = 0; hop < 64; ++hop) {
+    int64_t cap = 0;          // durability horizon: never emit beyond it
+    int64_t chosen_max = 0;   // the chosen segment's claimed max LSN
+    std::string path;
+    bool is_active = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_ || fd_ < 0) return Status::FailedPrecondition("wal is closed");
+      cap = durable_lsn_;
+      if (cursor->next_lsn > cap) return Status::OK();  // caught up
+      const int64_t retained_floor =
+          sealed_.empty() ? active_first_lsn_ : sealed_.front().first_lsn;
+      if (cursor->next_lsn < retained_floor) {
+        out->truncated_below = true;
+        return Status::OK();
+      }
+      for (const SegmentInfo& seg : sealed_) {
+        if (seg.max_lsn >= cursor->next_lsn) {
+          path = seg.path;
+          chosen_max = seg.max_lsn;
+          break;
+        }
+      }
+      if (path.empty()) {
+        path = active_path_;
+        chosen_max = written_lsn_;
+        is_active = true;
+      }
+    }
+    if (path != cursor->segment_path) {
+      cursor->segment_path = path;
+      cursor->offset = 0;
+    }
+    auto bytes_or = ReadFileToString(path);
+    if (!bytes_or.ok()) {
+      // The segment raced a checkpoint truncation out from under us; the
+      // records it held are below the new retention floor.
+      out->truncated_below = true;
+      return Status::OK();
+    }
+    const std::string& bytes = bytes_or.value();
+    const char* data = bytes.data();
+    const size_t size = bytes.size();
+    size_t pos = std::min(static_cast<size_t>(cursor->offset), size);
+    while (pos < size) {
+      const size_t rest = size - pos;
+      if (rest < kFrameOverhead) break;
+      const uint32_t magic = LoadU32(data + pos);
+      const uint64_t payload_len = LoadU64(data + pos + 8);
+      if ((magic != kRecordMagic && magic != kSegmentMagic) ||
+          payload_len > rest - kFrameOverhead) {
+        // Structurally short: an in-flight append's tail (active segment)
+        // or abandoned rot (sealed) — either way, stop parsing this file.
+        break;
+      }
+      const size_t frame_bytes = kFrameOverhead + payload_len;
+      const std::string_view covered(data + pos,
+                                     kFrameHeadBytes + payload_len);
+      const uint32_t stored_crc = LoadU32(data + pos + kFrameHeadBytes +
+                                          static_cast<size_t>(payload_len));
+      const uint32_t version = LoadU32(data + pos + 4);
+      const std::string_view payload(data + pos + kFrameHeadBytes,
+                                     static_cast<size_t>(payload_len));
+      if (Crc32c(covered) != stored_crc || magic == kSegmentMagic) {
+        // Headers carry no records; CRC-bad interiors are skipped exactly
+        // like Replay's resynchronization skips them.
+        pos += frame_bytes;
+        cursor->offset = static_cast<int64_t>(pos);
+        continue;
+      }
+      ByteReader rp(payload);
+      uint64_t lsn_u = 0;
+      if (version != kRecordVersion || !rp.ReadU64(&lsn_u)) {
+        pos += frame_bytes;
+        cursor->offset = static_cast<int64_t>(pos);
+        continue;
+      }
+      const int64_t lsn = static_cast<int64_t>(lsn_u);
+      if (lsn > cap) return Status::OK();  // not durable yet; reread later
+      pos += frame_bytes;
+      cursor->offset = static_cast<int64_t>(pos);
+      if (lsn < cursor->next_lsn) continue;  // already consumed
+      out->records.emplace_back(lsn, std::string(rp.Rest()));
+      cursor->next_lsn = lsn + 1;
+      emitted_bytes += static_cast<int64_t>(frame_bytes);
+      if (emitted_bytes >= max_bytes) return Status::OK();
+    }
+    if (is_active) return Status::OK();  // read everything on disk so far
+    // A finished sealed segment may claim LSNs it cannot produce (rot that
+    // abandoned its tail, or an AlignNextLsn gap); advance past its claim
+    // so the hop cannot re-pick the same file forever.
+    cursor->next_lsn = std::max(cursor->next_lsn, chosen_max + 1);
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendAt(int64_t lsn, std::string_view payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_ || fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  if (lsn < next_lsn_) {
+    return Status::InvalidArgument(
+        "AppendAt lsn " + std::to_string(lsn) + " is below next lsn " +
+        std::to_string(next_lsn_));
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    STREAMHIST_RETURN_NOT_OK(SealAndRotateLocked());
+  }
+  ByteWriter body;
+  body.PutU64(static_cast<uint64_t>(lsn));
+  body.Append(payload);
+  const std::string frame =
+      WrapFrame(kRecordMagic, kRecordVersion, body.bytes());
+  STREAMHIST_RETURN_NOT_OK(WriteFrameLocked(frame));
+  next_lsn_ = lsn + 1;
+  written_lsn_ = lsn;
+  ++stats_.records;
+  stats_.bytes += static_cast<int64_t>(frame.size());
+  return Status::OK();
+}
+
+Status Wal::AlignNextLsn(int64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_ || fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  if (lsn < next_lsn_) {
+    return Status::InvalidArgument(
+        "AlignNextLsn cannot move backwards: lsn " + std::to_string(lsn) +
+        " < next lsn " + std::to_string(next_lsn_));
+  }
+  if (lsn == active_first_lsn_ && written_lsn_ < active_first_lsn_) {
+    return Status::OK();  // already an empty segment headed exactly there
+  }
+  next_lsn_ = lsn;
+  // LSNs below the floor live in the bootstrap image, not this log; treat
+  // them as written-and-durable so resume points (durable + 1) are honest.
+  written_lsn_ = std::max(written_lsn_, lsn - 1);
+  durable_lsn_ = std::max(durable_lsn_, lsn - 1);
+  durable_cv_.notify_all();
+  return SealAndRotateLocked();
+}
+
+bool Wal::WaitDurable(int64_t lsn, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (durable_lsn_ >= lsn) return true;
+  if (stop_) return false;
+  const int64_t target = std::min(lsn, written_lsn_);
+  if (target > requested_lsn_) {
+    requested_lsn_ = target;
+    flush_cv_.notify_one();
+  }
+  if (timeout_ms <= 0) return false;
+  durable_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return durable_lsn_ >= lsn || stop_; });
+  return durable_lsn_ >= lsn;
+}
+
+int64_t Wal::first_retained_lsn() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return sealed_.empty() ? active_first_lsn_ : sealed_.front().first_lsn;
+}
+
 Status Wal::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
   const int64_t target = written_lsn_;

@@ -112,6 +112,26 @@ struct SegmentInfo {
   int64_t max_lsn = 0;    // highest valid record LSN; first_lsn - 1 if none
 };
 
+/// Position of a tailing reader (the replication feeder). Value-semantic:
+/// next_lsn is authoritative; segment_path/offset are a seek hint that is
+/// revalidated on every ReadTail, so a cursor gone stale across a rotation
+/// or checkpoint truncation self-heals instead of misreading.
+struct TailCursor {
+  int64_t next_lsn = 1;      // lowest LSN the reader still wants
+  std::string segment_path;  // file the cursor is parked in ("": unknown)
+  int64_t offset = 0;        // byte offset of the next unread frame
+};
+
+/// One ReadTail result: records in LSN order, every LSN fsync-covered at
+/// call time.
+struct TailBatch {
+  std::vector<std::pair<int64_t, std::string>> records;  // (lsn, payload)
+  /// The cursor predates retention (a checkpoint truncated those segments):
+  /// the reader cannot resume from the log and must bootstrap from a
+  /// checkpoint image instead.
+  bool truncated_below = false;
+};
+
 class Wal {
  public:
   /// Called once per retained record, in LSN order. A non-OK return aborts
@@ -152,6 +172,34 @@ class Wal {
 
   /// Fsyncs everything appended so far (shutdown, pre-checkpoint barrier).
   Status Flush();
+
+  /// Reads records with LSN >= cursor->next_lsn in LSN order, stopping
+  /// after roughly max_bytes of frame data or at the durability horizon —
+  /// a tailing reader never sees a record the primary has not fsynced, so
+  /// a replica can never end up more durable than its primary. Advances
+  /// the cursor and follows the active segment across rotations; an empty
+  /// batch with truncated_below unset means caught up.
+  Status ReadTail(TailCursor* cursor, int64_t max_bytes, TailBatch* out);
+
+  /// Appends one record at an explicit LSN (replica side: records arrive
+  /// already numbered by the primary; gaps from skipped corrupt records
+  /// are legal). Requires lsn >= next_lsn(). Never waits for durability,
+  /// whatever the policy — batch appliers call Flush() once per batch.
+  Status AppendAt(int64_t lsn, std::string_view payload);
+
+  /// Fast-forwards the log so the next record lands at exactly `lsn`
+  /// (>= next_lsn()), sealing the active segment and opening a fresh one
+  /// whose header carries `lsn`. This is the checkpoint-bootstrap handoff's
+  /// "resume after the floor" step: LSNs <= lsn - 1 are treated as durable
+  /// (they live in the bootstrap image, not this log).
+  Status AlignNextLsn(int64_t lsn);
+
+  /// Blocks until durable_lsn() >= lsn (nudging the flusher if needed), the
+  /// timeout elapses, or the log closes. Returns whether lsn is durable.
+  bool WaitDurable(int64_t lsn, int64_t timeout_ms);
+
+  /// Lowest LSN a tailing reader could still read from retained segments.
+  int64_t first_retained_lsn() const;
 
   /// Deletes sealed segments every record of which has LSN < lsn — called
   /// after a checkpoint covering LSNs < lsn is durably on disk. The active

@@ -1,0 +1,95 @@
+#include "src/util/backoff.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace streamhist {
+namespace {
+
+TEST(BackoffTest, DefaultScheduleIsTheHistoricalDoubling) {
+  // The checkpoint writer's retry loop predates this class; its schedule
+  // (1ms, 2ms, 4ms, ... capped at 1s, no jitter) must be reproduced exactly
+  // by the defaults or extracting the helper changed behavior.
+  Backoff backoff{BackoffOptions{}};
+  EXPECT_EQ(backoff.DelayMs(1), 1);
+  EXPECT_EQ(backoff.DelayMs(2), 2);
+  EXPECT_EQ(backoff.DelayMs(3), 4);
+  EXPECT_EQ(backoff.DelayMs(10), 512);
+  EXPECT_EQ(backoff.DelayMs(11), 1000);  // cap
+  EXPECT_EQ(backoff.DelayMs(60), 1000);  // stays capped, no overflow
+}
+
+TEST(BackoffTest, NextDelayAdvancesAndResetRestarts) {
+  Backoff backoff{BackoffOptions{}};
+  EXPECT_EQ(backoff.attempt(), 0);
+  EXPECT_EQ(backoff.NextDelayMs(), 1);
+  EXPECT_EQ(backoff.NextDelayMs(), 2);
+  EXPECT_EQ(backoff.NextDelayMs(), 4);
+  EXPECT_EQ(backoff.attempt(), 3);
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempt(), 0);
+  EXPECT_EQ(backoff.NextDelayMs(), 1);  // schedule restarted
+}
+
+TEST(BackoffTest, JitterIsBoundedAndDeterministicPerSeed) {
+  BackoffOptions options;
+  options.initial_ms = 100;
+  options.max_ms = 10000;
+  options.jitter = 0.3;
+  options.seed = 42;
+  Backoff a{options};
+  Backoff b{options};
+  options.seed = 43;
+  Backoff other{options};
+
+  bool seeds_diverged = false;
+  for (int64_t attempt = 1; attempt <= 8; ++attempt) {
+    const int64_t base = Backoff{BackoffOptions{.initial_ms = 100,
+                                                .max_ms = 10000,
+                                                .jitter = 0.0}}
+                             .DelayMs(attempt);
+    const int64_t jittered = a.DelayMs(attempt);
+    // Same options => identical schedule, forever.
+    EXPECT_EQ(jittered, b.DelayMs(attempt));
+    // Jitter stays inside [1 - j, 1 + j) of the capped base (plus rounding).
+    EXPECT_GE(jittered, static_cast<int64_t>(0.7 * static_cast<double>(base)) - 1)
+        << attempt;
+    EXPECT_LE(jittered, static_cast<int64_t>(1.3 * static_cast<double>(base)) + 1)
+        << attempt;
+    if (jittered != other.DelayMs(attempt)) seeds_diverged = true;
+  }
+  // A different seed must not reproduce the same schedule — that is the
+  // whole point of jitter: replicas reconnecting out of lockstep.
+  EXPECT_TRUE(seeds_diverged);
+}
+
+TEST(BackoffTest, DegenerateOptionsAreClamped) {
+  BackoffOptions options;
+  options.initial_ms = -5;   // clamped to 0
+  options.max_ms = -10;      // clamped up to initial
+  options.multiplier = 0.5;  // clamped to 1.0 (never shrinks)
+  Backoff backoff{options};
+  EXPECT_EQ(backoff.DelayMs(1), 0);
+  EXPECT_EQ(backoff.DelayMs(50), 0);
+
+  options = BackoffOptions{};
+  options.initial_ms = 500;
+  options.max_ms = 100;  // below initial: raised to it
+  Backoff raised{options};
+  EXPECT_EQ(raised.DelayMs(1), 500);
+  EXPECT_EQ(raised.DelayMs(9), 500);
+}
+
+TEST(BackoffTest, SleeperIsInjectable) {
+  Backoff backoff{BackoffOptions{}};
+  std::vector<int64_t> slept;
+  backoff.set_sleeper([&](int64_t ms) { slept.push_back(ms); });
+  backoff.SleepNext();
+  backoff.SleepNext();
+  backoff.SleepNext();
+  EXPECT_EQ(slept, (std::vector<int64_t>{1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace streamhist

@@ -1,5 +1,6 @@
 #include "src/tools/cli.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "src/engine/query_engine.h"
 #include "src/util/random.h"
+#include "src/util/wal.h"
 
 namespace streamhist {
 namespace {
@@ -270,6 +272,57 @@ TEST_F(CliTest, ServeRejectsBadThreadCounts) {
                                dir_ + "/nope.shq"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("cannot open script"), std::string::npos);
+}
+
+TEST_F(CliTest, WalVerifyExitCodesSeparateTornTailFromInteriorRot) {
+  // `wal verify` is an ops probe (README runbook): 0 = clean, 3 = torn tail
+  // only (normal crash residue — recovery truncates it), 1 = interior
+  // corruption (fsynced bytes rotted — page the operator). The advisory 3
+  // must never mask real rot.
+  const std::string wal_dir = dir_ + "/wal_verify";
+  std::filesystem::remove_all(wal_dir);
+  {
+    wal::Options options;
+    options.policy = wal::SyncPolicy::kNone;
+    auto opened = wal::Wal::Open(wal_dir, options, nullptr);
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(opened.value()->Append("payload-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(opened.value()->Flush().ok());
+  }
+  std::string segment;
+  for (const auto& entry : std::filesystem::directory_iterator(wal_dir)) {
+    if (entry.path().extension() == ".seg") segment = entry.path().string();
+  }
+  ASSERT_FALSE(segment.empty());
+
+  CliResult r = RunTool({"wal", "verify", "--dir", wal_dir});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+
+  // A half-written frame head at the tail: crash residue, advisory exit 3.
+  {
+    std::ofstream torn(segment, std::ios::binary | std::ios::app);
+    torn.write("\x52\x57\x48\x53\x01\x00\x00", 7);
+  }
+  r = RunTool({"wal", "verify", "--dir", wal_dir});
+  EXPECT_EQ(r.code, 3) << r.out << r.err;
+
+  // Flip one byte inside the FIRST record's payload: interior corruption
+  // now coexists with the torn tail, and the hard exit 1 must win.
+  {
+    std::fstream f(segment,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    std::string bytes((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+    const size_t pos = bytes.find("payload-0");
+    ASSERT_NE(pos, std::string::npos);
+    f.seekp(static_cast<std::streamoff>(pos));
+    const char flipped = static_cast<char>(bytes[pos] ^ 0x01);
+    f.write(&flipped, 1);
+  }
+  r = RunTool({"wal", "verify", "--dir", wal_dir});
+  EXPECT_EQ(r.code, 1) << r.out << r.err;
 }
 
 TEST_F(CliTest, ConsoleMissingScriptFileFails) {

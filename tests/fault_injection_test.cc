@@ -268,10 +268,11 @@ TEST_F(FaultInjectionTest, KnownPointsMatchesHeaderRegistry) {
       "fileio.fsync.transient", "fileio.read.bitflip",
       "fileio.read.truncate",   "fileio.rename",
       "fileio.short_write",     "governor.oom",
-      "net.accept",             "net.read.short",
-      "net.write.eagain",       "wal.append.short",
-      "wal.fsync",              "wal.replay.corrupt",
-      "wal.seal",
+      "net.accept",             "net.partition",
+      "net.read.short",         "net.write.eagain",
+      "repl.frame.corrupt",     "repl.subscribe",
+      "wal.append.short",       "wal.fsync",
+      "wal.replay.corrupt",     "wal.seal",
   };
   EXPECT_EQ(known, expected);
 }

@@ -6,6 +6,7 @@
 // ephemeral ports so tests parallelize.
 
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <string>
@@ -14,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "src/engine/query_engine.h"
+#include "src/server/replication.h"
 #include "src/server/tcp_server.h"
 #include "src/server/wire.h"
 #include "src/util/fault.h"
@@ -527,6 +529,356 @@ TEST_F(TcpServerTest, ManyConnectionsAcrossWorkers) {
     EXPECT_EQ(count.lines[0], "3") << i;
   }
   EXPECT_EQ(server->stats().accepted, 9);
+}
+
+// ---------------------------------------------------------------------------
+// Replication wire frames (no sockets).
+
+TEST(WireTest, ReplFramesRoundTrip) {
+  const std::string subscribe = net::EncodeReplSubscribe(42);
+  EXPECT_EQ(static_cast<unsigned char>(subscribe[0]),
+            net::kReplSubscribeFirstByte);
+  net::ReplFrameScan scan = net::ScanReplFrame(subscribe, 1 << 20);
+  ASSERT_EQ(scan.state, net::FrameScan::State::kFrame);
+  EXPECT_EQ(scan.magic, net::kReplSubscribeMagic);
+  EXPECT_EQ(scan.frame_bytes, subscribe.size());
+  const auto from = net::DecodeReplSubscribe(subscribe);
+  ASSERT_TRUE(from.ok()) << from.status();
+  EXPECT_EQ(from.value(), 42);
+
+  const std::vector<net::ReplRecord> records = {{7, "alpha"}, {8, "beta"}};
+  const std::string shipped = net::EncodeReplRecords(records);
+  scan = net::ScanReplFrame(shipped, 1 << 20);
+  ASSERT_EQ(scan.state, net::FrameScan::State::kFrame);
+  EXPECT_EQ(scan.magic, net::kReplRecordsMagic);
+  const auto decoded = net::DecodeReplRecords(shipped);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value(), records);
+
+  const auto durable = net::DecodeReplHeartbeat(net::EncodeReplHeartbeat(99));
+  ASSERT_TRUE(durable.ok()) << durable.status();
+  EXPECT_EQ(durable.value(), 99);
+
+  const auto progress = net::DecodeReplProgress(net::EncodeReplProgress(17));
+  ASSERT_TRUE(progress.ok()) << progress.status();
+  EXPECT_EQ(progress.value(), 17);
+
+  const std::string image(300, '\x5a');
+  const auto bootstrap =
+      net::DecodeReplBootstrap(net::EncodeReplBootstrap(123, image));
+  ASSERT_TRUE(bootstrap.ok()) << bootstrap.status();
+  EXPECT_EQ(bootstrap->wal_floor, 123);
+  EXPECT_EQ(bootstrap->image, image);
+}
+
+TEST(WireTest, ReplScanNeedsMoreOnPrefixAndRejectsCorruption) {
+  const std::vector<net::ReplRecord> records = {{1, "payload"}};
+  const std::string frame = net::EncodeReplRecords(records);
+  for (size_t len = 1; len < frame.size(); ++len) {
+    EXPECT_EQ(net::ScanReplFrame(frame.substr(0, len), 1 << 20).state,
+              net::FrameScan::State::kNeedMore)
+        << "len=" << len;
+  }
+
+  std::string corrupt = frame;
+  corrupt.back() = static_cast<char>(corrupt.back() ^ 0x01);
+  EXPECT_FALSE(net::DecodeReplRecords(corrupt).ok());
+
+  // Bad magic in the replication range and a hostile declared length are
+  // both rejected at scan time, before any buffering.
+  std::string bad(net::kFrameHeaderBytes, '\0');
+  bad[0] = static_cast<char>(net::kReplSubscribeFirstByte);
+  EXPECT_EQ(net::ScanReplFrame(bad, 1 << 20).state, net::FrameScan::State::kBad);
+  std::string hostile = frame;
+  const uint64_t huge = uint64_t{1} << 40;
+  std::memcpy(hostile.data() + 8, &huge, sizeof(huge));
+  EXPECT_EQ(net::ScanReplFrame(hostile, 1 << 20).state,
+            net::FrameScan::State::kBad);
+}
+
+TEST(WireTest, ReplFrameCorruptFaultBreaksTheCrc) {
+  // The chaos hook: an armed repl.frame.corrupt makes the encoder emit a
+  // bit-flipped Records frame the replica must reject on CRC.
+  const std::vector<net::ReplRecord> records = {{5, "bits"}};
+  fault::ScopedFault corrupt("repl.frame.corrupt");
+  const std::string frame = net::EncodeReplRecords(records);
+  const net::ReplFrameScan scan = net::ScanReplFrame(frame, 1 << 20);
+  ASSERT_EQ(scan.state, net::FrameScan::State::kFrame);  // framing intact
+  EXPECT_FALSE(net::DecodeReplRecords(frame).ok());      // payload rotted
+  EXPECT_GE(fault::TriggerCount("repl.frame.corrupt"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Live replication: a primary server with a ReplicationHub feeding a
+// ReplicaClient that applies into a second, read-only engine.
+
+class ReplicationTest : public TcpServerTest {
+ protected:
+  std::string WalDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  void OpenWal(QueryEngine& engine, const std::string& name,
+               int64_t segment_bytes = 0) {
+    QueryEngine::WalConfig config;
+    if (segment_bytes > 0) config.options.segment_bytes = segment_bytes;
+    const auto report = engine.OpenWal(WalDir(name), config);
+    ASSERT_TRUE(report.ok()) << report.status();
+  }
+
+  // Primary = the base fixture's engine_ + a hub wired into the server.
+  void StartPrimary(const std::string& wal_name, int64_t sync_ms = 0,
+                    int64_t segment_bytes = 0) {
+    OpenWal(engine_, wal_name, segment_bytes);
+    net::HubOptions hub_options;
+    hub_options.heartbeat_ms = 50;
+    hub_options.sync_ms = sync_ms;
+    hub_ = std::make_unique<net::ReplicationHub>(engine_, hub_options);
+    if (sync_ms > 0) {
+      engine_.SetReplicationBarrier(
+          [this](int64_t lsn) { return hub_->WaitShipped(lsn); });
+    }
+    net::ServerOptions options;
+    options.replication_hub = hub_.get();
+    server_ = StartServer(options);
+    ASSERT_NE(server_, nullptr);
+  }
+
+  void StartReplica(const std::string& wal_name) {
+    OpenWal(replica_engine_, wal_name);
+    net::ReplicaOptions options;
+    options.primary_port = server_->port();
+    options.dead_peer_timeout_ms = 2000;
+    options.reconnect_initial_ms = 5;
+    options.reconnect_max_ms = 50;
+    auto started = net::ReplicaClient::Start(replica_engine_, options);
+    ASSERT_TRUE(started.ok()) << started.status();
+    replica_ = std::move(started.value());
+  }
+
+  bool ReplicaCaughtUpTo(int64_t lsn) {
+    return WaitFor([&] {
+      return replica_engine_.replica_status().applied_lsn >= lsn;
+    });
+  }
+
+  void TearDown() override {
+    replica_.reset();            // stops the subscription thread
+    if (server_) server_->Shutdown();
+    engine_.SetReplicationBarrier(nullptr);
+    if (hub_) hub_->Stop();
+    TcpServerTest::TearDown();
+  }
+
+  // Declaration order matters for destruction: the server (which hands
+  // sockets to the hub) dies before the hub, and the replica client (which
+  // applies into replica_engine_) dies before its engine.
+  std::unique_ptr<net::ReplicationHub> hub_;
+  std::unique_ptr<net::TcpServer> server_;
+  QueryEngine replica_engine_;
+  std::unique_ptr<net::ReplicaClient> replica_;
+};
+
+TEST_F(ReplicationTest, ReplicaFollowsRefusesWritesAndPromotes) {
+  StartPrimary("repl_follow_primary");
+  StartReplica("repl_follow_replica");
+
+  TcpTestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s 64 8\nAPPEND s 1 2 3\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_TRUE(client.ReadReply().ok);
+
+  ASSERT_TRUE(ReplicaCaughtUpTo(engine_.WalDurableLsn()));
+  const auto count = replica_engine_.Execute("COUNT s");
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count.value(), "3");
+
+  // Writes are refused with the typed READONLY wire token...
+  const auto refused = replica_engine_.Execute("APPEND s 9");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kReadOnly);
+
+  // ...while replicated appends keep landing underneath.
+  ASSERT_TRUE(client.Send("APPEND s 4 5\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_TRUE(ReplicaCaughtUpTo(engine_.WalDurableLsn()));
+  EXPECT_EQ(replica_engine_.Execute("COUNT s").value(), "5");
+
+  const QueryEngine::ReplicaStatus status = replica_engine_.replica_status();
+  EXPECT_TRUE(status.is_replica);
+  EXPECT_TRUE(status.connected);
+  EXPECT_EQ(status.applied_lsn, engine_.WalDurableLsn());
+  EXPECT_GE(status.batches, 1);
+
+  // PROMOTE (the verb the TCP front-end would dispatch) flips it writable
+  // at the applied-LSN boundary; a second PROMOTE is idempotent.
+  const auto promoted = replica_engine_.Execute("PROMOTE");
+  ASSERT_TRUE(promoted.ok()) << promoted.status();
+  EXPECT_NE(promoted.value().find("promoted to primary at lsn"),
+            std::string::npos)
+      << promoted.value();
+  const auto again = replica_engine_.Execute("PROMOTE");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_NE(again.value().find("already promoted"), std::string::npos);
+
+  const auto write = replica_engine_.Execute("APPEND s 6");
+  ASSERT_TRUE(write.ok()) << write.status();
+  EXPECT_EQ(replica_engine_.Execute("COUNT s").value(), "6");
+}
+
+TEST_F(ReplicationTest, SubscribeWithoutAHubIsTypedAndCloses) {
+  // No WAL, no hub: a Subscribe frame gets a typed refusal, not a hang.
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TcpTestClient client(server->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(net::EncodeReplSubscribe(1)));
+  const Reply refusal = client.ReadReply();
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_EQ(refusal.code, "FAILED_PRECONDITION");
+  client.ReadUntilEof();
+  EXPECT_TRUE(client.eof());
+  EXPECT_EQ(server->stats().repl_subscribes, 0);
+}
+
+TEST_F(ReplicationTest, SubscribeFaultRefusesWithOverloaded) {
+  StartPrimary("repl_subscribe_fault");
+  fault::Arm("repl.subscribe", 1);
+  TcpTestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send(net::EncodeReplSubscribe(1)));
+  const Reply refusal = client.ReadReply();
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_EQ(refusal.code, "OVERLOADED");
+  client.ReadUntilEof();
+  EXPECT_TRUE(client.eof());
+
+  // The fault budget is spent: the next subscribe is adopted by the hub.
+  TcpTestClient retry(server_->port());
+  ASSERT_TRUE(retry.connected());
+  ASSERT_TRUE(retry.Send(net::EncodeReplSubscribe(1)));
+  ASSERT_TRUE(WaitFor([&] { return server_->stats().repl_subscribes == 1; }));
+  ASSERT_TRUE(WaitFor([&] { return hub_->stats().subscribers == 1; }));
+}
+
+TEST_F(ReplicationTest, PartitionForcesReconnectWithResumeAtDurableLsn) {
+  StartPrimary("repl_partition_primary");
+  StartReplica("repl_partition_replica");
+
+  TcpTestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s 128 8\nAPPEND s 1 2 3\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_TRUE(ReplicaCaughtUpTo(engine_.WalDurableLsn()));
+
+  // One partition drops the shipping link on the primary's send path; the
+  // replica must notice, reconnect with backoff, and resume from its own
+  // durable LSN — re-delivered records are vetoed, not double-applied.
+  fault::Arm("net.partition", 1);
+  ASSERT_TRUE(WaitFor([&] {
+    return replica_engine_.replica_status().reconnects >= 1;
+  }));
+  ASSERT_TRUE(WaitFor([&] { return hub_->stats().subscribers == 1; }));
+
+  ASSERT_TRUE(client.Send("APPEND s 4 5 6 7\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_TRUE(ReplicaCaughtUpTo(engine_.WalDurableLsn()));
+  EXPECT_EQ(replica_engine_.Execute("COUNT s").value(), "7");
+  EXPECT_EQ(replica_engine_.Execute("SUM s 0 7").value(),
+            engine_.Execute("SUM s 0 7").value());
+  EXPECT_GE(hub_->stats().subscribes, 2);  // original + post-partition
+}
+
+TEST_F(ReplicationTest, LateSubscriberBootstrapsFromACheckpointImage) {
+  // Tiny segments so the appends seal several of them; the checkpoint then
+  // truncates the sealed prefix and the primary legitimately no longer
+  // retains LSN 1. A from-the-beginning subscriber must be served the
+  // checkpoint image (Bootstrap handoff), never a gap.
+  StartPrimary("repl_bootstrap_primary", /*sync_ms=*/0, /*segment_bytes=*/128);
+
+  TcpTestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s 64 8\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  constexpr int kAppends = 30;
+  for (int i = 0; i < kAppends; ++i) {
+    ASSERT_TRUE(client.Send("APPEND s " + std::to_string(i) + "\n"));
+    ASSERT_TRUE(client.ReadReply().ok) << i;
+  }
+  ASSERT_TRUE(client.Send("WAL CHECKPOINT\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_GT(engine_.WalStats().segments_deleted, 0)
+      << "checkpoint truncated nothing: the bootstrap path is not exercised";
+
+  StartReplica("repl_bootstrap_replica");
+  ASSERT_TRUE(ReplicaCaughtUpTo(engine_.WalDurableLsn()));
+  EXPECT_GE(replica_engine_.replica_status().bootstraps, 1);
+  EXPECT_EQ(replica_engine_.Execute("COUNT s").value(),
+            std::to_string(kAppends));
+  EXPECT_EQ(replica_engine_.Execute("SUM s 0 " + std::to_string(kAppends))
+                .value(),
+            engine_.Execute("SUM s 0 " + std::to_string(kAppends)).value());
+}
+
+TEST_F(ReplicationTest, SemiSyncBarrierAcksThroughAReplica) {
+  StartPrimary("repl_sync_primary", /*sync_ms=*/5000);
+  StartReplica("repl_sync_replica");
+
+  // With the barrier installed, every OK below means the hub's WaitShipped
+  // returned — under a generous budget and a live replica that must happen
+  // via a real ack, never a timeout.
+  TcpTestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s 64 8\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.Send("APPEND s " + std::to_string(i) + "\n"));
+    ASSERT_TRUE(client.ReadReply().ok) << i;
+  }
+
+  ASSERT_TRUE(WaitFor([&] {
+    return hub_->stats().acked_lsn >= engine_.WalDurableLsn();
+  }));
+  EXPECT_EQ(hub_->stats().sync_timeouts, 0);
+  EXPECT_EQ(replica_engine_.WalDurableLsn(), engine_.WalDurableLsn());
+}
+
+TEST_F(ReplicationTest, SemiSyncWithNoSubscriberDegradesToAsync) {
+  StartPrimary("repl_sync_alone", /*sync_ms=*/5000);
+  // No replica at all: the barrier must not block writes for the budget —
+  // a lone primary keeps acking at full speed (DESIGN.md §14.3).
+  TcpTestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Send("CREATE s 64 8\nAPPEND s 1 2 3\nCOUNT s\n"));
+  ASSERT_TRUE(client.ReadReply().ok);
+  ASSERT_TRUE(client.ReadReply().ok);
+  const Reply count = client.ReadReply();
+  ASSERT_TRUE(count.ok);
+  EXPECT_EQ(count.lines[0], "3");
+}
+
+TEST_F(TcpServerTest, StaleReplicaShedsEstimationWithOverloaded) {
+  // Engine-level rung of the degradation ladder: a read-only replica past
+  // its lag bound sheds estimation verbs with a typed OVERLOADED.
+  ASSERT_TRUE(engine_.Execute("CREATE s 64 8").ok());
+  engine_.SetReadOnly(true);
+  engine_.SetReplicaMaxLagMs(1);
+  QueryEngine::ReplicaStatus status;
+  status.is_replica = true;
+  status.last_contact_ms = 1;  // steady-clock epoch: hopelessly stale
+  engine_.UpdateReplicaStatus(status);
+
+  const auto shed = engine_.Execute("COUNT s");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kOverloaded);
+
+  engine_.SetReplicaMaxLagMs(0);  // bound disabled: serves what it has
+  EXPECT_TRUE(engine_.Execute("COUNT s").ok());
+  engine_.SetReadOnly(false);
 }
 
 }  // namespace

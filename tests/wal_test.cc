@@ -6,6 +6,13 @@
 // every bit flip) live in serialization_test.cc; the fault points in
 // fault_injection_test.cc.
 
+// GCC 12 emits a bogus -Wrestrict for operator+(const char*, std::string&&)
+// once this TU is big enough for the optimizer to inline the short-string
+// insert path (gcc bug 105651). There is no real aliasing here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -414,6 +421,165 @@ TEST_F(WalEngineTest, LoadReanchorsTheWalToTheLoadedState) {
   ASSERT_TRUE(recovery.ok()) << recovery.status();
   EXPECT_FALSE(recovered.Execute("COUNT eth0").ok());  // pre-LOAD history gone
   EXPECT_EQ(recovered.Execute("COUNT wifi").value(), "4");
+}
+
+TEST_F(WalTest, ReplayResumesAtEveryLsnIncludingSegmentBoundaries) {
+  // Replication resumes a subscriber at an arbitrary LSN — most awkwardly
+  // at exactly the first record of a segment, where the reader must skip
+  // whole sealed files and land on a fresh header. Replay from EVERY
+  // position and require a contiguous suffix each time.
+  const std::string dir = TempDir("wal_replay_resume");
+  wal::Options options = NonePolicy();
+  options.segment_bytes = 128;  // several segments across 40 records
+  auto opened = wal::Wal::Open(dir, options, nullptr);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(opened.value()->Append("payload-" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(opened.value()->Flush().ok());
+  ASSERT_GT(opened.value()->stats().segments_created, 2);
+
+  for (int64_t from = 1; from <= 41; ++from) {
+    int64_t expected = from;
+    const Status replayed = opened.value()->Replay(
+        from,
+        [&](int64_t lsn, std::string_view payload) {
+          EXPECT_EQ(lsn, expected) << "resume at " << from;
+          EXPECT_EQ(payload, "payload-" + std::to_string(lsn - 1));
+          ++expected;
+          return Status::OK();
+        },
+        nullptr);
+    ASSERT_TRUE(replayed.ok()) << "resume at " << from << ": " << replayed;
+    EXPECT_EQ(expected, 41) << "resume at " << from;
+  }
+}
+
+TEST_F(WalTest, ReadTailFollowsRotationsAndReportsTruncation) {
+  const std::string dir = TempDir("wal_read_tail");
+  wal::Options options;  // policy always: records are durable immediately
+  options.segment_bytes = 128;
+  auto opened = wal::Wal::Open(dir, options, nullptr);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  wal::Wal& log = *opened.value();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(log.Append("tail-" + std::to_string(i)).ok());
+  }
+
+  // Drain from LSN 1 in small bites: records arrive in order, contiguous,
+  // across every rotation, and the cursor reports caught-up at the end.
+  wal::TailCursor cursor;
+  int64_t expected = 1;
+  while (true) {
+    wal::TailBatch batch;
+    ASSERT_TRUE(log.ReadTail(&cursor, /*max_bytes=*/96, &batch).ok());
+    EXPECT_FALSE(batch.truncated_below);
+    if (batch.records.empty()) break;
+    for (const auto& [lsn, payload] : batch.records) {
+      EXPECT_EQ(lsn, expected);
+      EXPECT_EQ(payload, "tail-" + std::to_string(lsn - 1));
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, 31);
+
+  // A cursor below the retained floor is told so (the hub's cue to send a
+  // checkpoint-bootstrap instead of a record gap).
+  ASSERT_TRUE(log.TruncateBefore(25).ok());
+  wal::TailCursor stale;
+  stale.next_lsn = 1;
+  wal::TailBatch batch;
+  ASSERT_TRUE(log.ReadTail(&stale, 1 << 20, &batch).ok());
+  EXPECT_TRUE(batch.truncated_below);
+}
+
+TEST_F(WalTest, AppendAtAndAlignNextLsnKeepTheReplicaLogMonotonic) {
+  const std::string dir = TempDir("wal_append_at");
+  auto opened = wal::Wal::Open(dir, NonePolicy(), nullptr);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  wal::Wal& log = *opened.value();
+
+  // The replica apply path: records arrive numbered by the primary, with
+  // gaps legal (skipped corrupt records), but never behind next_lsn.
+  ASSERT_TRUE(log.AppendAt(1, "one").ok());
+  ASSERT_TRUE(log.AppendAt(3, "three").ok());  // gap: lsn 2 skipped upstream
+  EXPECT_FALSE(log.AppendAt(2, "rewind").ok());
+  EXPECT_EQ(log.next_lsn(), 4);
+
+  // The bootstrap handoff: fast-forward past the image's floor.
+  ASSERT_TRUE(log.AlignNextLsn(100).ok());
+  EXPECT_FALSE(log.AlignNextLsn(50).ok());  // never backwards
+  const auto lsn = log.Append("after-floor");
+  ASSERT_TRUE(lsn.ok()) << lsn.status();
+  EXPECT_EQ(lsn.value(), 100);
+  ASSERT_TRUE(log.Flush().ok());
+
+  const auto records = Records(dir, 1);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (std::pair<int64_t, std::string>{1, "one"}));
+  EXPECT_EQ(records[1], (std::pair<int64_t, std::string>{3, "three"}));
+  EXPECT_EQ(records[2], (std::pair<int64_t, std::string>{100, "after-floor"}));
+}
+
+TEST_F(WalEngineTest, RecoveryFromACheckpointWithAWipedLogReanchorsLsns) {
+  // Operator scenario: the segments were lost (disk swap, overzealous
+  // cleanup) but checkpoint.shcp survived. Recovery must serve the
+  // checkpointed state AND re-anchor the fresh log past the checkpoint's
+  // floor — otherwise new appends reuse covered LSNs and the per-stream
+  // veto silently discards them on the NEXT recovery.
+  const std::string dir = TempDir("wal_engine_wiped");
+  int64_t floor_lsn = 0;
+  {
+    QueryEngine engine;
+    ASSERT_TRUE(engine.OpenWal(dir, Config(wal::SyncPolicy::kAlways)).ok());
+    ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+    ASSERT_TRUE(engine.Execute("APPEND eth0 1 2 3").ok());
+    ASSERT_TRUE(engine.Execute("WAL CHECKPOINT").ok());
+    floor_lsn = engine.WalDurableLsn();
+    ASSERT_TRUE(engine.CloseWal().ok());
+  }
+  int64_t removed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seg") {
+      std::filesystem::remove(entry.path());
+      ++removed;
+    }
+  }
+  ASSERT_GT(removed, 0);
+
+  {
+    QueryEngine recovered;
+    const auto recovery =
+        recovered.OpenWal(dir, Config(wal::SyncPolicy::kAlways));
+    ASSERT_TRUE(recovery.ok()) << recovery.status();
+    EXPECT_TRUE(recovery.value().checkpoint_loaded);
+    EXPECT_EQ(recovery.value().open.records, 0);
+    EXPECT_EQ(recovered.Execute("COUNT eth0").value(), "3");
+    ASSERT_TRUE(recovered.Execute("APPEND eth0 4 5").ok());
+    EXPECT_GT(recovered.WalDurableLsn(), floor_lsn) << "LSNs were reused";
+    ASSERT_TRUE(recovered.CloseWal().ok());
+  }
+  // The writes that landed after the wipe survive a second recovery —
+  // the regression this test exists for.
+  QueryEngine again;
+  ASSERT_TRUE(again.OpenWal(dir, Config(wal::SyncPolicy::kAlways)).ok());
+  EXPECT_EQ(again.Execute("COUNT eth0").value(), "5");
+}
+
+TEST_F(WalEngineTest, RecoveryWithAnAbsentDirIsAColdStart) {
+  // The dir not existing yet is the day-one case, not an error: OpenWal
+  // creates it, reports no checkpoint and no records, and logs normally.
+  const std::string dir = TempDir("wal_engine_absent") + "-never-made";
+  std::filesystem::remove_all(dir);
+  QueryEngine engine;
+  const auto recovery = engine.OpenWal(dir, Config(wal::SyncPolicy::kAlways));
+  ASSERT_TRUE(recovery.ok()) << recovery.status();
+  EXPECT_FALSE(recovery.value().checkpoint_loaded);
+  EXPECT_EQ(recovery.value().open.records, 0);
+  EXPECT_EQ(recovery.value().records_applied, 0);
+  ASSERT_TRUE(engine.Execute("CREATE eth0 64 8").ok());
+  ASSERT_TRUE(engine.Execute("APPEND eth0 1").ok());
+  EXPECT_EQ(engine.WalDurableLsn(), 2);
 }
 
 TEST_F(WalEngineTest, BackgroundCheckpointerTruncatesWithoutLosingState) {
